@@ -1,0 +1,46 @@
+//! One criterion benchmark per table/figure experiment (test scale):
+//! regenerating each paper artifact is itself a measured operation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use opeer_bench::experiments::{fig_analysis, fig_datasets, fig_inference, tables};
+use opeer_bench::Session;
+use opeer_topology::{World, WorldConfig};
+
+fn session() -> (&'static World, Session<'static>) {
+    let world: &'static World = Box::leak(Box::new(WorldConfig::small(17).generate()));
+    let session = Session::new(world, 17);
+    (world, session)
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let (_w, s) = session();
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(|| tables::table1(black_box(&s))));
+    g.bench_function("table2", |b| b.iter(|| tables::table2(black_box(&s))));
+    g.bench_function("table4", |b| b.iter(|| tables::table4(black_box(&s))));
+    g.bench_function("table5", |b| b.iter(|| tables::table5(black_box(&s))));
+    g.bench_function("fig1a", |b| b.iter(|| fig_datasets::fig1a(black_box(&s))));
+    g.bench_function("fig1b", |b| b.iter(|| fig_datasets::fig1b(black_box(&s))));
+    g.bench_function("fig2a", |b| b.iter(|| fig_datasets::fig2a(black_box(&s))));
+    g.bench_function("fig2b", |b| b.iter(|| fig_datasets::fig2b(black_box(&s))));
+    g.bench_function("fig4", |b| b.iter(|| fig_datasets::fig4(black_box(&s))));
+    g.bench_function("fig5", |b| b.iter(|| fig_datasets::fig5(black_box(&s))));
+    g.bench_function("fig6", |b| b.iter(|| fig_datasets::fig6(black_box(&s))));
+    g.bench_function("fig8", |b| b.iter(|| fig_inference::fig8(black_box(&s))));
+    g.bench_function("fig9a", |b| b.iter(|| fig_inference::fig9a(black_box(&s))));
+    g.bench_function("fig9b", |b| b.iter(|| fig_inference::fig9b(black_box(&s))));
+    g.bench_function("fig9c", |b| b.iter(|| fig_inference::fig9c(black_box(&s))));
+    g.bench_function("fig9d", |b| b.iter(|| fig_inference::fig9d(black_box(&s))));
+    g.bench_function("fig10a", |b| b.iter(|| fig_inference::fig10a(black_box(&s))));
+    g.bench_function("fig10b", |b| b.iter(|| fig_inference::fig10b(black_box(&s))));
+    g.bench_function("fig11a", |b| b.iter(|| fig_analysis::fig11a(black_box(&s))));
+    g.bench_function("fig11b", |b| b.iter(|| fig_analysis::fig11b(black_box(&s))));
+    g.bench_function("fig12a", |b| b.iter(|| fig_analysis::fig12a(black_box(&s))));
+    g.bench_function("fig12b", |b| b.iter(|| fig_analysis::fig12b(black_box(&s))));
+    g.bench_function("sec64", |b| b.iter(|| fig_analysis::sec64(black_box(&s))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmarks for the pipeline stages at test scale: world
+//! generation, registry fusion, campaign, corpus, and the five-step
+//! inference itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use opeer_core::pipeline::{run_pipeline, PipelineConfig};
+use opeer_core::InferenceInput;
+use opeer_measure::campaign::{run_campaign, CampaignConfig};
+use opeer_measure::traceroute::{build_corpus, CorpusConfig};
+use opeer_measure::vp::discover_vps;
+use opeer_registry::{build_observed_world, RegistryConfig};
+use opeer_topology::{RoutingOracle, WorldConfig};
+
+fn bench_world_gen(c: &mut Criterion) {
+    c.bench_function("world_generate_small", |b| {
+        b.iter(|| WorldConfig::small(black_box(7)).generate())
+    });
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let world = WorldConfig::small(7).generate();
+    c.bench_function("registry_fusion", |b| {
+        b.iter(|| build_observed_world(black_box(&world), &RegistryConfig::default()))
+    });
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let world = WorldConfig::small(7).generate();
+    let vps = discover_vps(&world, 7);
+    c.bench_function("ping_campaign", |b| {
+        b.iter(|| run_campaign(black_box(&world), &vps, CampaignConfig::study(7)))
+    });
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let world = WorldConfig::small(7).generate();
+    c.bench_function("traceroute_corpus", |b| {
+        b.iter(|| {
+            build_corpus(
+                black_box(&world),
+                CorpusConfig {
+                    n_random: 200,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+}
+
+fn bench_routes(c: &mut Criterion) {
+    let world = WorldConfig::small(7).generate();
+    let oracle = RoutingOracle::new(&world);
+    let dst = world.memberships[0].member;
+    c.bench_function("routes_to_one_destination", |b| {
+        b.iter(|| oracle.routes_to(black_box(dst)))
+    });
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let world = WorldConfig::small(7).generate();
+    let input = InferenceInput::assemble(&world, 7);
+    c.bench_function("inference_pipeline", |b| {
+        b.iter(|| run_pipeline(black_box(&input), &PipelineConfig::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_world_gen, bench_registry, bench_campaign, bench_corpus, bench_routes, bench_full_pipeline
+}
+criterion_main!(benches);

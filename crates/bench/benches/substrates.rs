@@ -1,0 +1,135 @@
+//! Criterion benchmarks for the substrate hot paths: prefix-trie LPM,
+//! geodesics, the speed model, BGP/MRT codecs, traIXroute detection and
+//! MIDAR-style MBT.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use opeer_geo::{GeoPoint, SpeedModel};
+use opeer_net::{Asn, IpToAsMap, Ipv4Prefix, PrefixTrie};
+use std::net::Ipv4Addr;
+
+fn bench_trie(c: &mut Criterion) {
+    let mut trie = PrefixTrie::new();
+    for i in 0..50_000u32 {
+        let addr = Ipv4Addr::from(0x0A00_0000u32 + i * 64);
+        let len = 18 + (i % 14) as u8;
+        trie.insert(Ipv4Prefix::new(addr, len).expect("valid"), i);
+    }
+    let probes: Vec<Ipv4Addr> = (0..1024u32)
+        .map(|i| Ipv4Addr::from(0x0A00_0000u32 + i * 3001))
+        .collect();
+    c.bench_function("trie_lpm_50k_prefixes", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for &p in &probes {
+                if trie.longest_match(black_box(p)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_ip2as(c: &mut Criterion) {
+    let mut map = IpToAsMap::new();
+    for i in 0..20_000u32 {
+        let addr = Ipv4Addr::from(0x1400_0000u32 + i * 256);
+        map.insert(Ipv4Prefix::new(addr, 24).expect("valid"), Asn::new(1000 + i));
+    }
+    c.bench_function("ip2as_lookup", |b| {
+        b.iter(|| map.lookup(black_box(Ipv4Addr::new(20, 50, 60, 7))))
+    });
+}
+
+fn bench_geodesic(c: &mut Criterion) {
+    let ams = GeoPoint::new(52.37, 4.9).expect("valid");
+    let sin = GeoPoint::new(1.35, 103.82).expect("valid");
+    c.bench_function("vincenty_inverse", |b| {
+        b.iter(|| opeer_geo::vincenty_inverse_m(black_box(ams), black_box(sin)))
+    });
+    c.bench_function("haversine", |b| {
+        b.iter(|| opeer_geo::haversine_m(black_box(ams), black_box(sin)))
+    });
+}
+
+fn bench_speed_model(c: &mut Criterion) {
+    let model = SpeedModel::default();
+    c.bench_function("feasible_annulus", |b| {
+        b.iter(|| model.feasible_annulus_ms(black_box(7.3)))
+    });
+}
+
+fn bench_bgp_codec(c: &mut Criterion) {
+    let update = opeer_bgp::BgpUpdate::announce(
+        (0..32)
+            .map(|i| {
+                Ipv4Prefix::new(Ipv4Addr::from(0xCB00_0000u32 + i * 256), 24).expect("valid")
+            })
+            .collect(),
+        vec![Asn::new(64500), Asn::new(3356), Asn::new(65001)],
+        "192.0.2.1".parse().expect("valid"),
+    );
+    let bytes = update.encode();
+    c.bench_function("bgp_update_encode", |b| b.iter(|| black_box(&update).encode()));
+    c.bench_function("bgp_update_decode", |b| {
+        b.iter(|| opeer_bgp::BgpUpdate::decode(black_box(&bytes)).expect("valid"))
+    });
+}
+
+fn bench_traix(c: &mut Criterion) {
+    let mut data = opeer_traix::IxpData::new();
+    data.add_ixp(0, &["185.1.0.0/21".parse().expect("valid")]);
+    for i in 0..512u32 {
+        data.add_interface(
+            0,
+            Ipv4Addr::from(u32::from(Ipv4Addr::new(185, 1, 0, 0)) + 10 + i),
+            Asn::new(1000 + i),
+        );
+    }
+    let mut ip2as = IpToAsMap::new();
+    for i in 0..512u32 {
+        ip2as.insert(
+            Ipv4Prefix::new(Ipv4Addr::from(0x1400_0000 + i * 65536), 16).expect("valid"),
+            Asn::new(1000 + i),
+        );
+    }
+    let hops: Vec<Option<Ipv4Addr>> = vec![
+        Some(Ipv4Addr::new(20, 1, 0, 1)),
+        Some(Ipv4Addr::new(185, 1, 0, 10)),
+        Some(Ipv4Addr::new(20, 0, 0, 5)),
+        Some(Ipv4Addr::new(20, 0, 0, 6)),
+        None,
+        Some(Ipv4Addr::new(20, 2, 0, 9)),
+    ];
+    c.bench_function("traix_detect_crossings", |b| {
+        b.iter(|| opeer_traix::detect_crossings(black_box(&hops), &data, &ip2as))
+    });
+}
+
+fn bench_mbt(c: &mut Criterion) {
+    let mk = |offset: f64| -> Vec<opeer_measure::ipid::IpIdSample> {
+        (0..12)
+            .map(|k| opeer_measure::ipid::IpIdSample {
+                t_s: offset + k as f64 * 2.0,
+                ip_id: (1000 + k * 200) as u16,
+            })
+            .collect()
+    };
+    let a = mk(0.0);
+    let b = mk(0.5);
+    c.bench_function("alias_mbt", |b2| {
+        b2.iter(|| opeer_alias::mbt_shared_counter(black_box(&a), black_box(&b), 3000.0))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_trie,
+    bench_ip2as,
+    bench_geodesic,
+    bench_speed_model,
+    bench_bgp_codec,
+    bench_traix,
+    bench_mbt
+);
+criterion_main!(benches);

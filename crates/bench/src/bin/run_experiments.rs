@@ -1,0 +1,98 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! run_experiments [--scale paper|small] [--seed N] [--out DIR]
+//! ```
+//!
+//! Writes one `<id>.txt` and one `<id>.json` per experiment into the
+//! output directory and prints the text reports to stdout. The default
+//! output directory is `target/experiments`.
+
+use opeer_bench::{run_all, Session};
+use opeer_topology::WorldConfig;
+use std::io::Write;
+use std::path::PathBuf;
+
+struct Args {
+    scale: String,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: "paper".to_string(),
+        seed: 42,
+        out: PathBuf::from("target/experiments"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => args.scale = it.next().unwrap_or_else(|| usage("missing --scale value")),
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("bad --seed value"))
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().unwrap_or_else(|| usage("missing --out value")))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: run_experiments [--scale paper|small] [--seed N] [--out DIR]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = match args.scale.as_str() {
+        "paper" => WorldConfig::paper(args.seed),
+        "small" => WorldConfig::small(args.seed),
+        other => usage(&format!("unknown scale {other}")),
+    };
+
+    eprintln!("generating world (scale={}, seed={})...", args.scale, args.seed);
+    let t0 = std::time::Instant::now();
+    let world = cfg.generate();
+    eprintln!("  {} [{:?}]", world.summary(), t0.elapsed());
+
+    eprintln!("building measurement/inference session...");
+    let t1 = std::time::Instant::now();
+    let session = Session::new(&world, args.seed);
+    eprintln!(
+        "  campaign: {} observations; corpus: {} traceroutes; inferences: {} [{:?}]",
+        session.input.campaign.observations.len(),
+        session.input.corpus.len(),
+        session.result.inferences.len(),
+        t1.elapsed()
+    );
+
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    let t2 = std::time::Instant::now();
+    let all = run_all(&session);
+    eprintln!("experiments done [{:?}]", t2.elapsed());
+
+    for r in &all {
+        let mut txt =
+            std::fs::File::create(args.out.join(format!("{}.txt", r.id))).expect("write .txt");
+        writeln!(txt, "# {}\n\n{}", r.title, r.text).expect("write text");
+        let json = serde_json::to_string_pretty(&r.json).expect("serialise");
+        std::fs::write(args.out.join(format!("{}.json", r.id)), json).expect("write .json");
+
+        println!("════════════════════════════════════════════════════════════");
+        println!("{} — {}", r.id, r.title);
+        println!("────────────────────────────────────────────────────────────");
+        println!("{}", r.text);
+    }
+    println!("wrote {} experiments to {}", all.len(), args.out.display());
+}

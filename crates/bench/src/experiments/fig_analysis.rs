@@ -1,0 +1,262 @@
+//! Figures 11, 12 and the §6.4 routing-implications analysis.
+
+use super::util::median_u64;
+use super::Rendered;
+use crate::session::Session;
+use opeer_bgp::rel::{customer_cones, AsRelationships};
+use opeer_core::features::{
+    classify_members, feature_table, member_info_from_world, summarize, MemberClass,
+};
+use opeer_core::evolution::{evolution_report, growth_index};
+use opeer_core::routing_impl::{analyze, ExitChoice, RoutingImplConfig};
+use opeer_measure::latency::LatencyModel;
+use opeer_measure::traceroute::TracerouteEngine;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig11Data {
+    local_share: f64,
+    remote_share: f64,
+    hybrid_share: f64,
+    median_cone_local: usize,
+    median_cone_remote: usize,
+    median_cone_hybrid: usize,
+    median_traffic_local: u64,
+    median_traffic_remote: u64,
+    median_traffic_hybrid: u64,
+    top_country_local: Option<(String, f64)>,
+    top_country_remote: Option<(String, f64)>,
+}
+
+fn fig11_data(s: &Session<'_>) -> Fig11Data {
+    let rels = AsRelationships::from_world(s.world);
+    let cones = customer_cones(&rels);
+    let info = member_info_from_world(s.world, &cones);
+    let classes = classify_members(&s.result);
+    let rows = feature_table(&classes, &info);
+    let sums = summarize(&rows);
+    let get = |c: MemberClass| sums.iter().find(|x| x.class == c).expect("class present");
+    let (l, r, h) = (
+        get(MemberClass::LocalOnly),
+        get(MemberClass::RemoteOnly),
+        get(MemberClass::Hybrid),
+    );
+    let total = (l.count + r.count + h.count).max(1) as f64;
+    Fig11Data {
+        local_share: l.count as f64 / total,
+        remote_share: r.count as f64 / total,
+        hybrid_share: h.count as f64 / total,
+        median_cone_local: l.median_cone,
+        median_cone_remote: r.median_cone,
+        median_cone_hybrid: h.median_cone,
+        median_traffic_local: l.median_traffic_mbps,
+        median_traffic_remote: r.median_traffic_mbps,
+        median_traffic_hybrid: h.median_traffic_mbps,
+        top_country_local: l.top_country.clone(),
+        top_country_remote: r.top_country.clone(),
+    }
+}
+
+/// Fig. 11a — customer cones of local / remote / hybrid members (paper:
+/// 63.7 % / 23.4 % / 12.9 % of members; hybrid cones an order of
+/// magnitude larger).
+pub fn fig11a(s: &Session<'_>) -> Rendered {
+    let d = fig11_data(s);
+    let text = format!(
+        "member classes: local {:.1}% (paper 63.7%), remote {:.1}% (paper 23.4%), hybrid {:.1}% (paper 12.9%)\nmedian customer cones: local {}, remote {}, hybrid {}  (paper: hybrid ≈10×)\ntop countries: local {:?}, remote {:?}\n",
+        d.local_share * 100.0,
+        d.remote_share * 100.0,
+        d.hybrid_share * 100.0,
+        d.median_cone_local,
+        d.median_cone_remote,
+        d.median_cone_hybrid,
+        d.top_country_local,
+        d.top_country_remote
+    );
+    Rendered::new("fig11a", "Fig 11a: customer cones by member class", text, &d)
+}
+
+/// Fig. 11b — traffic levels of local / remote / hybrid members (paper:
+/// local and remote similar; hybrids reach the top levels).
+pub fn fig11b(s: &Session<'_>) -> Rendered {
+    let d = fig11_data(s);
+    let text = format!(
+        "median PDB-reported traffic (Mbps): local {}, remote {}, hybrid {}\nremote/local ratio: {:.2} (paper: similar distributions)\nhybrid/local ratio: {:.2} (paper: hybrids at the top levels)\n",
+        d.median_traffic_local,
+        d.median_traffic_remote,
+        d.median_traffic_hybrid,
+        d.median_traffic_remote as f64 / d.median_traffic_local.max(1) as f64,
+        d.median_traffic_hybrid as f64 / d.median_traffic_local.max(1) as f64,
+    );
+    Rendered::new("fig11b", "Fig 11b: traffic levels by member class", text, &d)
+}
+
+#[derive(Serialize)]
+struct Fig12aData {
+    months: u32,
+    join_ratio: Option<f64>,
+    departure_rate_ratio: Option<f64>,
+    switchers: usize,
+    growth_index: Vec<(u32, f64, f64)>,
+}
+
+/// Fig. 12a — remote vs local growth at the five tracked IXPs (paper:
+/// remote joins ≈2× local, departures ≈+25 %, 18 switchers).
+pub fn fig12a(s: &Session<'_>) -> Rendered {
+    let months = 14;
+    let report = evolution_report(s.world, months);
+    let idx = growth_index(&report.series);
+    let data = Fig12aData {
+        months,
+        join_ratio: report.stats.join_ratio,
+        departure_rate_ratio: report.stats.departure_rate_ratio,
+        switchers: report.switchers.len(),
+        growth_index: idx.clone(),
+    };
+    let mut text = format!(
+        "tracked IXPs: {:?}\nremote/local join ratio: {:?}   (paper ≈2)\nremote/local departure-rate ratio: {:?}   (paper ≈1.25)\nremote→local switchers: {}   (paper 18)\nmonth  local-index  remote-index\n",
+        report.ixps, data.join_ratio, data.departure_rate_ratio, data.switchers
+    );
+    for (m, l, r) in &idx {
+        text.push_str(&format!("{m:>5}  {l:>11.3}  {r:>12.3}\n"));
+    }
+    Rendered::new("fig12a", "Fig 12a: remote vs local IXP growth", text, &data)
+}
+
+#[derive(Serialize)]
+struct Fig12bData {
+    interfaces_compared: usize,
+    median_abs_diff_ms: f64,
+    within_2ms: f64,
+}
+
+/// Fig. 12b — ping vs traceroute RTTs towards the members of a LINX-like
+/// IXP (paper: the two patterns are close, motivating traceroute-based
+/// scaling of the methodology).
+pub fn fig12b(s: &Session<'_>) -> Rendered {
+    let Some(linx_obs) = s.input.observed.ixp_by_name("LINX LON") else {
+        return Rendered::new("fig12b", "Fig 12b: ping vs traceroute RTTs", "LINX LON not observed\n".into(), &());
+    };
+    // Traceroutes from the IXP's NOC AS (where the LG sits) towards
+    // member interfaces.
+    let world_ixp = s
+        .world
+        .ixps
+        .iter()
+        .position(|x| x.name == "LINX LON")
+        .expect("LINX LON in spec");
+    let noc_asn = s.world.ixps[world_ixp].route_server_asn;
+    let noc_id = s
+        .world
+        .ases
+        .iter()
+        .position(|a| a.asn == noc_asn)
+        .map(opeer_topology::AsId::from_index)
+        .expect("NOC AS exists");
+    let engine = TracerouteEngine::new(s.world, LatencyModel::new(s.seed ^ 0x12b));
+
+    let mut diffs: Vec<f64> = Vec::new();
+    let mut compared = 0usize;
+    for o in s.result.observations.values() {
+        if o.ixp != linx_obs || compared >= 150 {
+            continue;
+        }
+        let Some(tr) = engine.trace_fresh(noc_id, o.addr) else {
+            continue;
+        };
+        let Some(last) = tr.responding().last() else {
+            continue;
+        };
+        if last.addr != o.addr {
+            continue;
+        }
+        compared += 1;
+        diffs.push((last.rtt_ms - o.min_rtt_ms).abs());
+    }
+    diffs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = diffs.get(diffs.len() / 2).copied().unwrap_or(f64::NAN);
+    let within2 = diffs.iter().filter(|&&d| d <= 2.0).count() as f64 / diffs.len().max(1) as f64;
+    let data = Fig12bData {
+        interfaces_compared: compared,
+        median_abs_diff_ms: median,
+        within_2ms: within2,
+    };
+    let text = format!(
+        "LINX-LON members compared: {}\nmedian |ping − traceroute| RTT: {:.2} ms\nwithin 2 ms: {:.1}%   (paper: patterns are close)\n",
+        data.interfaces_compared, data.median_abs_diff_ms, data.within_2ms * 100.0
+    );
+    Rendered::new("fig12b", "Fig 12b: ping vs traceroute RTTs (LINX LON)", text, &data)
+}
+
+#[derive(Serialize)]
+struct Sec64Data {
+    pairs_examined: usize,
+    crossings: usize,
+    hot_potato: f64,
+    remote_used_though_closer_exists: f64,
+    closer_studied_unused: f64,
+}
+
+/// §6.4 — routing implications at a DE-CIX-FRA-like IXP (paper: 66 %
+/// hot-potato, 18 % remote-used-though-closer-exists, 16 %
+/// closer-DE-CIX-unused).
+pub fn sec64(s: &Session<'_>) -> Rendered {
+    let report = analyze(
+        &s.input,
+        &s.result,
+        &RoutingImplConfig {
+            max_pairs: 600,
+            ..Default::default()
+        },
+    );
+    let data = Sec64Data {
+        pairs_examined: report.pairs_examined,
+        crossings: report.crossings,
+        hot_potato: report.share(ExitChoice::HotPotato),
+        remote_used_though_closer_exists: report.share(ExitChoice::RemoteUsedThoughCloserExists),
+        closer_studied_unused: report.share(ExitChoice::CloserStudiedIxpUnused),
+    };
+    let text = format!(
+        "DE-CIX FRA remote-member pair study\npairs examined: {}  crossings observed: {}\nhot-potato exits:                {:.1}%   (paper 66%)\nremote used though closer exists: {:.1}%   (paper 18%)\ncloser DE-CIX unused:             {:.1}%   (paper 16%)\n",
+        data.pairs_examined,
+        data.crossings,
+        data.hot_potato * 100.0,
+        data.remote_used_though_closer_exists * 100.0,
+        data.closer_studied_unused * 100.0
+    );
+    Rendered::new("sec64", "§6.4: routing implications of remote peering", text, &data)
+}
+
+/// Helper for tests: median over u64 (re-exported for the bench binary).
+pub fn _median(v: Vec<u64>) -> u64 {
+    median_u64(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn analysis_figures_run() {
+        let w = WorldConfig::small(157).generate();
+        let s = Session::new(&w, 8);
+
+        let f11a = fig11a(&s);
+        let hybrid_cone = f11a.json["median_cone_hybrid"].as_u64().expect("field");
+        let local_cone = f11a.json["median_cone_local"].as_u64().expect("field");
+        assert!(hybrid_cone >= local_cone, "hybrids are bigger networks");
+
+        let f12a = fig12a(&s);
+        let ratio = f12a.json["join_ratio"].as_f64();
+        if let Some(r) = ratio {
+            assert!(r > 1.0, "remote joins dominate: {r}");
+        }
+
+        let f12b = fig12b(&s);
+        assert!(f12b.json["interfaces_compared"].as_u64().expect("field") > 0);
+
+        let s64 = sec64(&s);
+        assert!(s64.json["pairs_examined"].as_u64().expect("field") > 0);
+    }
+}

@@ -1,0 +1,409 @@
+//! Figures 1, 2, 4, 5, 6 — dataset and control-subset characterisation.
+
+use super::util::Ecdf;
+use super::Rendered;
+use crate::session::Session;
+use opeer_geo::SpeedModel;
+use opeer_measure::latency::LatencyModel;
+use opeer_measure::y1731::facility_delay_matrix;
+use opeer_topology::IxpId;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Serialize)]
+struct Fig1aData {
+    as_facility_counts: Vec<usize>,
+    ixp_facility_counts: Vec<usize>,
+    as_single_share: f64,
+    as_over10_share: f64,
+}
+
+/// Fig. 1a — distribution of the number of facilities per AS and per IXP
+/// (the paper: ~60 % in one facility, ~5 % in more than ten).
+pub fn fig1a(s: &Session<'_>) -> Rendered {
+    let as_counts: Vec<usize> = s
+        .input
+        .observed
+        .as_facilities
+        .values()
+        .filter(|v| !v.is_empty())
+        .map(Vec::len)
+        .collect();
+    let ixp_counts: Vec<usize> = s
+        .input
+        .observed
+        .ixps
+        .iter()
+        .filter(|x| !x.facility_idxs.is_empty())
+        .map(|x| x.facility_idxs.len())
+        .collect();
+    let single = as_counts.iter().filter(|&&c| c == 1).count() as f64 / as_counts.len().max(1) as f64;
+    let over10 = as_counts.iter().filter(|&&c| c > 10).count() as f64 / as_counts.len().max(1) as f64;
+    let data = Fig1aData {
+        as_single_share: single,
+        as_over10_share: over10,
+        as_facility_counts: as_counts,
+        ixp_facility_counts: ixp_counts,
+    };
+    let text = format!(
+        "ASes with facility data: {}\n  single-facility: {:.1}%  (paper ≈60%)\n  >10 facilities:  {:.1}%  (paper ≈5%)\nIXPs with facility data: {}\n",
+        data.as_facility_counts.len(),
+        single * 100.0,
+        over10 * 100.0,
+        data.ixp_facility_counts.len(),
+    );
+    Rendered::new("fig1a", "Fig 1a: facilities per AS / IXP", text, &data)
+}
+
+#[derive(Serialize)]
+struct Fig1bData {
+    local_rtts: Vec<f64>,
+    remote_rtts: Vec<f64>,
+    local_under_1ms: f64,
+    remote_under_1ms: f64,
+    remote_under_10ms: f64,
+}
+
+/// Fig. 1b — ECDF of minimum RTTs for validated remote and local peers in
+/// the control subset (paper: 99 % of locals < 1 ms; 18 % of remotes
+/// < 1 ms; 40 % of remotes < 10 ms).
+pub fn fig1b(s: &Session<'_>) -> Rendered {
+    let mut local = Vec::new();
+    let mut remote = Vec::new();
+    for o in s.control.best_per_target() {
+        match s.input.observed.validation.verdict(o.target) {
+            Some(true) => remote.push(o.min_rtt_ms),
+            Some(false) => local.push(o.min_rtt_ms),
+            None => {}
+        }
+    }
+    let le = Ecdf::new(local.clone());
+    let re = Ecdf::new(remote.clone());
+    let data = Fig1bData {
+        local_under_1ms: le.at(1.0),
+        remote_under_1ms: re.at(1.0),
+        remote_under_10ms: re.at(10.0),
+        local_rtts: local,
+        remote_rtts: remote,
+    };
+    let text = format!(
+        "control subset, validated peers\nlocal  (n={}):  <1ms {:.1}%   (paper 99%)\nremote (n={}):  <1ms {:.1}%   (paper 18%)\n                <10ms {:.1}%  (paper 40%)\nECDF local:\n{}ECDF remote:\n{}",
+        data.local_rtts.len(),
+        data.local_under_1ms * 100.0,
+        data.remote_rtts.len(),
+        data.remote_under_1ms * 100.0,
+        data.remote_under_10ms * 100.0,
+        le.render(&[0.5, 1.0, 2.0, 5.0, 10.0, 50.0]),
+        re.render(&[0.5, 1.0, 2.0, 5.0, 10.0, 50.0]),
+    );
+    Rendered::new("fig1b", "Fig 1b: min RTT ECDF, control validation subset", text, &data)
+}
+
+#[derive(Serialize)]
+struct Fig2aData {
+    facilities: usize,
+    pairs: usize,
+    median_rtts_ms: Vec<f64>,
+    share_above_10ms: f64,
+    min_pair_ms: f64,
+}
+
+/// Fig. 2a — median RTTs between the facilities of the wide-area NET-IX
+/// fabric (paper: 87 % of pairs above 10 ms, with some close pairs like
+/// FRA–PRA at 7 ms).
+pub fn fig2a(s: &Session<'_>) -> Rendered {
+    let netix = s
+        .world
+        .ixps
+        .iter()
+        .position(|x| x.name == "NET-IX")
+        .expect("NET-IX in the named spec");
+    let m = facility_delay_matrix(
+        s.world,
+        IxpId::from_index(netix),
+        &LatencyModel::new(s.seed),
+        9,
+    );
+    let rtts: Vec<f64> = m.pairs().map(|(_, _, _, rtt)| rtt).collect();
+    let data = Fig2aData {
+        facilities: m.facilities.len(),
+        pairs: rtts.len(),
+        share_above_10ms: m.fraction_above_ms(10.0),
+        min_pair_ms: rtts.iter().copied().fold(f64::INFINITY, f64::min),
+        median_rtts_ms: rtts,
+    };
+    let text = format!(
+        "NET-IX-like wide-area fabric: {} facilities, {} pairs\npairs with median RTT > 10 ms: {:.1}%  (paper 87%)\nclosest pair: {:.1} ms  (paper: FRA-PRA 7 ms)\n",
+        data.facilities,
+        data.pairs,
+        data.share_above_10ms * 100.0,
+        data.min_pair_ms
+    );
+    Rendered::new("fig2a", "Fig 2a: wide-area IXP inter-facility RTTs (NET-IX)", text, &data)
+}
+
+#[derive(Serialize)]
+struct Fig2bData {
+    multi_member_ixps: usize,
+    wide_area: usize,
+    wide_area_share: f64,
+    top50_wide_area: usize,
+    max_km_per_ixp: Vec<(String, f64, usize)>,
+}
+
+/// Fig. 2b — max distance between IXP facilities vs member count; the
+/// wide-area census (paper: 64/446 = 14.4 % of multi-member IXPs, 10 of
+/// the 50 largest).
+pub fn fig2b(s: &Session<'_>) -> Rendered {
+    let mut rows: Vec<(String, f64, usize)> = Vec::new();
+    for x in &s.input.observed.ixps {
+        let members = x.member_count();
+        if members < 2 {
+            continue;
+        }
+        let pts: Vec<opeer_geo::GeoPoint> = x
+            .facility_idxs
+            .iter()
+            .map(|&f| s.input.observed.facilities[f].location)
+            .collect();
+        let max_km = opeer_geo::max_pairwise_distance_km(&pts);
+        rows.push((x.name.clone(), max_km, members));
+    }
+    let wide: usize = rows.iter().filter(|(_, d, _)| *d > 50.0).count();
+    let mut by_size = rows.clone();
+    by_size.sort_by_key(|&(_, _, m)| std::cmp::Reverse(m));
+    let top50_wide = by_size
+        .iter()
+        .take(50)
+        .filter(|(_, d, _)| *d > 50.0)
+        .count();
+    let data = Fig2bData {
+        multi_member_ixps: rows.len(),
+        wide_area: wide,
+        wide_area_share: wide as f64 / rows.len().max(1) as f64,
+        top50_wide_area: top50_wide,
+        max_km_per_ixp: rows,
+    };
+    let text = format!(
+        "multi-member IXPs: {}\nwide-area (>50 km facility spread): {} ({:.1}%)   (paper 64/446 = 14.4%)\nwide-area among the 50 largest: {}   (paper 10)\n",
+        data.multi_member_ixps,
+        data.wide_area,
+        data.wide_area_share * 100.0,
+        data.top50_wide_area
+    );
+    Rendered::new("fig2b", "Fig 2b: IXP facility spread vs member count", text, &data)
+}
+
+#[derive(Serialize)]
+struct Fig4Data {
+    local_by_tier: BTreeMap<String, usize>,
+    remote_by_tier: BTreeMap<String, usize>,
+    remote_sub_1ge: f64,
+    local_sub_1ge: f64,
+}
+
+fn tier(mbps: u32) -> String {
+    match mbps {
+        0..=999 => format!("{}FE", mbps.div_ceil(100)),
+        1_000..=9_999 => format!("{}GE", mbps / 1_000),
+        10_000..=99_999 => "10GE+".into(),
+        _ => "100GE+".into(),
+    }
+}
+
+/// Fig. 4 — port capacities of validated remote vs local peers in the
+/// control subset (paper: 27 % of remotes below 1 GE; no local below
+/// 1 GE; 100 GE only local).
+pub fn fig4(s: &Session<'_>) -> Rendered {
+    let mut local: BTreeMap<String, usize> = BTreeMap::new();
+    let mut remote: BTreeMap<String, usize> = BTreeMap::new();
+    let (mut l_sub, mut l_all, mut r_sub, mut r_all) = (0usize, 0usize, 0usize, 0usize);
+    for v in &s.input.observed.validation.ixps {
+        if v.role != opeer_topology::ValidationRole::Control {
+            continue;
+        }
+        let Some(ixp) = s.input.observed.ixp_by_name(&v.name) else {
+            continue;
+        };
+        for e in &v.entries {
+            let Some(&cap) = s.input.observed.ixps[ixp].port_capacity.get(&e.asn) else {
+                continue;
+            };
+            let t = tier(cap);
+            if e.remote {
+                *remote.entry(t).or_insert(0) += 1;
+                r_all += 1;
+                if cap < 1_000 {
+                    r_sub += 1;
+                }
+            } else {
+                *local.entry(t).or_insert(0) += 1;
+                l_all += 1;
+                if cap < 1_000 {
+                    l_sub += 1;
+                }
+            }
+        }
+    }
+    let data = Fig4Data {
+        remote_sub_1ge: r_sub as f64 / r_all.max(1) as f64,
+        local_sub_1ge: l_sub as f64 / l_all.max(1) as f64,
+        local_by_tier: local,
+        remote_by_tier: remote,
+    };
+    let mut text = format!(
+        "control subset port capacities\nremote below 1GE: {:.1}%  (paper 27%)\nlocal below 1GE:  {:.1}%  (paper 0%)\n",
+        data.remote_sub_1ge * 100.0,
+        data.local_sub_1ge * 100.0
+    );
+    text.push_str("tier       local  remote\n");
+    let tiers: std::collections::BTreeSet<&String> =
+        data.local_by_tier.keys().chain(data.remote_by_tier.keys()).collect();
+    for t in tiers {
+        text.push_str(&format!(
+            "{:<10} {:>5}  {:>6}\n",
+            t,
+            data.local_by_tier.get(t).unwrap_or(&0),
+            data.remote_by_tier.get(t).unwrap_or(&0)
+        ));
+    }
+    Rendered::new("fig4", "Fig 4: port capacity, remote vs local (control)", text, &data)
+}
+
+#[derive(Serialize)]
+struct Fig5Data {
+    remote_no_record: f64,
+    remote_zero_common: f64,
+    remote_one_plus_common: f64,
+    local_one_plus_common: f64,
+}
+
+/// Fig. 5 — number of *common* facilities with the IXP for validated
+/// remote and local peers (paper: all locals ≥ 1; 95 % of remotes none;
+/// ~18 % of remotes with no data at all; ~5 % apparently colocated).
+pub fn fig5(s: &Session<'_>) -> Rendered {
+    let (mut r_none, mut r_zero, mut r_some, mut r_all) = (0usize, 0usize, 0usize, 0usize);
+    let (mut l_some, mut l_all) = (0usize, 0usize);
+    for v in &s.input.observed.validation.ixps {
+        if v.role != opeer_topology::ValidationRole::Control {
+            continue;
+        }
+        let Some(ixp) = s.input.observed.ixp_by_name(&v.name) else {
+            continue;
+        };
+        for e in &v.entries {
+            let record = s.input.observed.facilities_of_as(e.asn);
+            let common = s.input.observed.common_facilities(e.asn, ixp);
+            if e.remote {
+                r_all += 1;
+                match record {
+                    None => r_none += 1,
+                    Some(_) if common.is_empty() => r_zero += 1,
+                    Some(_) => r_some += 1,
+                }
+            } else {
+                l_all += 1;
+                if !common.is_empty() {
+                    l_some += 1;
+                }
+            }
+        }
+    }
+    let data = Fig5Data {
+        remote_no_record: r_none as f64 / r_all.max(1) as f64,
+        remote_zero_common: r_zero as f64 / r_all.max(1) as f64,
+        remote_one_plus_common: r_some as f64 / r_all.max(1) as f64,
+        local_one_plus_common: l_some as f64 / l_all.max(1) as f64,
+    };
+    let text = format!(
+        "control subset common-facility census\nremote: no record {:.1}% (paper 18%), zero common {:.1}% (paper ~77%), ≥1 common {:.1}% (paper 5%)\nlocal: ≥1 common facility {:.1}% (paper 100%)\n",
+        data.remote_no_record * 100.0,
+        data.remote_zero_common * 100.0,
+        data.remote_one_plus_common * 100.0,
+        data.local_one_plus_common * 100.0
+    );
+    Rendered::new("fig5", "Fig 5: common facilities with the IXP (control)", text, &data)
+}
+
+#[derive(Serialize)]
+struct Fig6Data {
+    samples: Vec<(f64, f64)>,
+    within_bounds: f64,
+    below_vmin: f64,
+}
+
+/// Fig. 6 — inter-facility RTT vs distance from the wide-area fabrics
+/// (NL-IX + NET-IX Y.1731 matrices) against the speed-model bounds.
+pub fn fig6(s: &Session<'_>) -> Rendered {
+    let speed = SpeedModel::default();
+    let model = LatencyModel::new(s.seed);
+    let mut samples: Vec<(f64, f64)> = Vec::new();
+    for name in ["NL-IX", "NET-IX"] {
+        let Some(ix) = s.world.ixps.iter().position(|x| x.name == name) else {
+            continue;
+        };
+        let m = facility_delay_matrix(s.world, IxpId::from_index(ix), &model, 9);
+        for (_, _, d, rtt) in m.pairs() {
+            if d > 1.0 {
+                samples.push((d, rtt));
+            }
+        }
+    }
+    let mut within = 0usize;
+    let mut below = 0usize;
+    for &(d, rtt) in &samples {
+        let a = speed.feasible_annulus_ms(rtt);
+        if a.contains(d) {
+            within += 1;
+        } else if d < a.min_km {
+            below += 1; // slower than the vmin envelope
+        }
+    }
+    let data = Fig6Data {
+        within_bounds: within as f64 / samples.len().max(1) as f64,
+        below_vmin: below as f64 / samples.len().max(1) as f64,
+        samples,
+    };
+    let text = format!(
+        "Y.1731 samples (NL-IX + NET-IX): {}\nwithin [vmin, vmax] bounds: {:.1}%\nslower than the vmin envelope: {:.1}%  (the fit is a *lower* envelope: small)\n",
+        data.samples.len(),
+        data.within_bounds * 100.0,
+        data.below_vmin * 100.0
+    );
+    Rendered::new("fig6", "Fig 6: inter-facility RTT vs distance + speed bounds", text, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn dataset_figures_reproduce_shapes() {
+        let w = WorldConfig::small(149).generate();
+        let s = Session::new(&w, 6);
+
+        let f1b = fig1b(&s);
+        let v: serde_json::Value = f1b.json;
+        let local_under = v["local_under_1ms"].as_f64().expect("field");
+        assert!(local_under > 0.7, "locals should be fast: {local_under}");
+
+        let f2b = fig2b(&s);
+        let share = f2b.json["wide_area_share"].as_f64().expect("field");
+        assert!((0.02..0.40).contains(&share), "wide-area share {share}");
+
+        let f4 = fig4(&s);
+        let r_sub = f4.json["remote_sub_1ge"].as_f64().expect("field");
+        let l_sub = f4.json["local_sub_1ge"].as_f64().expect("field");
+        assert!(r_sub > 0.05, "some remotes below 1GE: {r_sub}");
+        assert!(l_sub < 0.05, "locals below 1GE rare: {l_sub}");
+
+        let f5 = fig5(&s);
+        let l_common = f5.json["local_one_plus_common"].as_f64().expect("field");
+        assert!(l_common > 0.75, "locals share facilities: {l_common}");
+
+        let f6 = fig6(&s);
+        let within = f6.json["within_bounds"].as_f64().expect("field");
+        assert!(within > 0.85, "Y.1731 samples inside bounds: {within}");
+    }
+}

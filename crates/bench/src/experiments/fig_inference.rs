@@ -1,0 +1,378 @@
+//! Figures 8, 9, 10 — validation and in-the-wild inference results.
+
+use super::util::Ecdf;
+use super::Rendered;
+use crate::session::Session;
+use opeer_core::metrics::score_per_ixp;
+use opeer_core::steps::step4::RouterClass;
+use opeer_core::types::Verdict;
+use opeer_topology::ValidationRole;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Serialize)]
+struct Fig8Row {
+    ixp: String,
+    validated: usize,
+    pre: f64,
+    acc: f64,
+}
+
+/// Fig. 8 — per-IXP precision and accuracy on the test subset.
+pub fn fig8(s: &Session<'_>) -> Rendered {
+    let per = score_per_ixp(
+        &s.result.inferences,
+        &s.input.observed.validation,
+        Some(ValidationRole::Test),
+    );
+    let rows: Vec<Fig8Row> = per
+        .iter()
+        .map(|(name, n, m)| Fig8Row {
+            ixp: name.clone(),
+            validated: *n,
+            pre: m.pre(),
+            acc: m.acc(),
+        })
+        .collect();
+    let mut text = format!("{:<16} {:>10} {:>7} {:>7}\n", "IXP", "#validated", "PRE", "ACC");
+    for r in &rows {
+        text.push_str(&format!(
+            "{:<16} {:>10} {:>6.1}% {:>6.1}%\n",
+            r.ixp,
+            r.validated,
+            r.pre * 100.0,
+            r.acc * 100.0
+        ));
+    }
+    Rendered::new("fig8", "Fig 8: per-IXP validation (test subset)", text, &rows)
+}
+
+#[derive(Serialize)]
+struct Fig9aRow {
+    vp: String,
+    atlas: bool,
+    queried: usize,
+    responsive: usize,
+    discarded: bool,
+}
+
+/// Fig. 9a — response rates per vantage point (LGs answer nearly always,
+/// Atlas probes far less).
+pub fn fig9a(s: &Session<'_>) -> Rendered {
+    let rows: Vec<Fig9aRow> = s
+        .input
+        .campaign
+        .vp_stats
+        .iter()
+        .map(|v| Fig9aRow {
+            vp: s
+                .input
+                .vp(v.vp)
+                .map(|x| x.name.clone())
+                .unwrap_or_else(|| format!("{:?}", v.vp)),
+            atlas: v.atlas,
+            queried: v.targets,
+            responsive: v.responsive,
+            discarded: v.discarded,
+        })
+        .collect();
+    let rate = |atlas: bool| -> (usize, usize) {
+        rows.iter()
+            .filter(|r| r.atlas == atlas && !r.discarded)
+            .fold((0, 0), |(q, p), r| (q + r.queried, p + r.responsive))
+    };
+    let (lg_q, lg_r) = rate(false);
+    let (at_q, at_r) = rate(true);
+    let discarded = rows.iter().filter(|r| r.discarded).count();
+    let text = format!(
+        "LGs:   {}/{} responsive ({:.0}%)   (paper 95%)\nAtlas: {}/{} responsive ({:.0}%)   (paper 75%)\nAtlas probes discarded (dead or mgmt-LAN): {}\n",
+        lg_r,
+        lg_q,
+        100.0 * lg_r as f64 / lg_q.max(1) as f64,
+        at_r,
+        at_q,
+        100.0 * at_r as f64 / at_q.max(1) as f64,
+        discarded
+    );
+    Rendered::new("fig9a", "Fig 9a: VP response rates", text, &rows)
+}
+
+#[derive(Serialize)]
+struct Fig9bData {
+    rtts: Vec<f64>,
+    under_2ms: f64,
+    over_10ms: f64,
+}
+
+/// Fig. 9b — ECDF of `RTTmin` per responsive interface across the studied
+/// IXPs (paper: 75 % within 2 ms; >20 % above 10 ms).
+pub fn fig9b(s: &Session<'_>) -> Rendered {
+    let rtts: Vec<f64> = s
+        .result
+        .observations
+        .values()
+        .map(|o| o.min_rtt_ms)
+        .collect();
+    let e = Ecdf::new(rtts.clone());
+    let data = Fig9bData {
+        under_2ms: e.at(2.0),
+        over_10ms: 1.0 - e.at(10.0),
+        rtts,
+    };
+    let text = format!(
+        "responsive interfaces: {}\nwithin 2 ms: {:.1}%   (paper 75%)\nabove 10 ms: {:.1}%   (paper >20%)\n{}",
+        data.rtts.len(),
+        data.under_2ms * 100.0,
+        data.over_10ms * 100.0,
+        e.render(&[0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0])
+    );
+    Rendered::new("fig9b", "Fig 9b: RTTmin ECDF across studied IXPs", text, &data)
+}
+
+#[derive(Serialize)]
+struct Fig9cData {
+    remote_without_feasible_ixp_facility: f64,
+    remote_with_feasible_ixp_facility: f64,
+    scatter: Vec<(f64, usize, String)>,
+}
+
+/// Fig. 9c — inference outcome vs (RTTmin, #feasible facilities)
+/// (paper: 94 % of remote interfaces have no feasible common facility).
+pub fn fig9c(s: &Session<'_>) -> Rendered {
+    let mut scatter = Vec::new();
+    let (mut r_none, mut r_some) = (0usize, 0usize);
+    for d in &s.result.step3_details {
+        let verdict = match d.verdict {
+            Some(Verdict::Remote) => {
+                if d.feasible_ixp_facilities == 0 {
+                    r_none += 1;
+                } else {
+                    r_some += 1;
+                }
+                "remote"
+            }
+            Some(Verdict::Local) => "local",
+            None => "unknown",
+        };
+        scatter.push((d.min_rtt_ms, d.feasible_ixp_facilities, verdict.to_string()));
+    }
+    let r_all = (r_none + r_some).max(1);
+    let data = Fig9cData {
+        remote_without_feasible_ixp_facility: r_none as f64 / r_all as f64,
+        remote_with_feasible_ixp_facility: r_some as f64 / r_all as f64,
+        scatter,
+    };
+    let text = format!(
+        "step-3 remote inferences: {}\n  without feasible IXP facility: {:.1}%  (paper 94%)\n  with ≥1 feasible IXP facility: {:.1}%  (paper 6%)\n",
+        r_all,
+        data.remote_without_feasible_ixp_facility * 100.0,
+        data.remote_with_feasible_ixp_facility * 100.0
+    );
+    Rendered::new("fig9c", "Fig 9c: inference vs feasible facilities and RTTmin", text, &data)
+}
+
+#[derive(Serialize)]
+struct Fig9dData {
+    routers: usize,
+    multi_ixp_routers: usize,
+    over_10_ixps_share: f64,
+    by_class: BTreeMap<String, usize>,
+    ixp_count_histogram: BTreeMap<usize, usize>,
+}
+
+/// Fig. 9d — multi-IXP router types vs the number of next-hop IXPs
+/// (paper: ~80 % of the relevant routers are multi-IXP, 25 % of them face
+/// more than 10 IXPs; remote routers outnumber hybrids).
+pub fn fig9d(s: &Session<'_>) -> Rendered {
+    let findings = &s.result.multi_ixp_routers;
+    let mut by_class: BTreeMap<String, usize> = BTreeMap::new();
+    let mut hist: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut over10 = 0usize;
+    for f in findings {
+        let label = match f.class {
+            Some(RouterClass::Local) => "local",
+            Some(RouterClass::Remote) => "remote",
+            Some(RouterClass::Hybrid) => "hybrid",
+            None => "unclassified",
+        };
+        *by_class.entry(label.into()).or_insert(0) += 1;
+        *hist.entry(f.next_hop_ixps.len()).or_insert(0) += 1;
+        if f.next_hop_ixps.len() > 10 {
+            over10 += 1;
+        }
+    }
+    let data = Fig9dData {
+        routers: findings.len(),
+        multi_ixp_routers: findings.len(),
+        over_10_ixps_share: over10 as f64 / findings.len().max(1) as f64,
+        by_class,
+        ixp_count_histogram: hist,
+    };
+    let mut text = format!(
+        "multi-IXP routers: {}\nfacing >10 IXPs: {:.1}%  (paper 25%)\nclasses: {:?}\n#IXPs histogram:\n",
+        data.multi_ixp_routers,
+        data.over_10_ixps_share * 100.0,
+        data.by_class
+    );
+    for (k, v) in &data.ixp_count_histogram {
+        text.push_str(&format!("  {k:>3} IXPs: {v}\n"));
+    }
+    Rendered::new("fig9d", "Fig 9d: multi-IXP router types", text, &data)
+}
+
+#[derive(Serialize)]
+struct Fig10aRow {
+    ixp: String,
+    port_capacity: usize,
+    rtt_colo: usize,
+    multi_ixp: usize,
+    private_links: usize,
+}
+
+/// Fig. 10a — contribution of each inference step per studied IXP
+/// (paper: steps 2+3 and 4 dominate; step 1 ≈ 10 % on average; step 5
+/// needed at 11 of the 30).
+pub fn fig10a(s: &Session<'_>) -> Rendered {
+    let contributions = s.result.step_contributions();
+    let mut rows = Vec::new();
+    for (ixp_idx, counts) in &contributions {
+        let ixp = &s.input.observed.ixps[*ixp_idx];
+        if !ixp.studied {
+            continue;
+        }
+        rows.push(Fig10aRow {
+            ixp: ixp.name.clone(),
+            port_capacity: counts.port_capacity,
+            rtt_colo: counts.rtt_colo,
+            multi_ixp: counts.multi_ixp,
+            private_links: counts.private_links,
+        });
+    }
+    rows.sort_by_key(|r| {
+        std::cmp::Reverse(r.port_capacity + r.rtt_colo + r.multi_ixp + r.private_links)
+    });
+    let mut text = format!(
+        "{:<16} {:>6} {:>9} {:>9} {:>8}\n",
+        "IXP", "port", "rtt+colo", "multiIXP", "private"
+    );
+    for r in &rows {
+        text.push_str(&format!(
+            "{:<16} {:>6} {:>9} {:>9} {:>8}\n",
+            r.ixp, r.port_capacity, r.rtt_colo, r.multi_ixp, r.private_links
+        ));
+    }
+    let with_step5 = rows.iter().filter(|r| r.private_links > 0).count();
+    text.push_str(&format!(
+        "IXPs needing step 5: {with_step5}   (paper: 11 of 30)\n"
+    ));
+    Rendered::new("fig10a", "Fig 10a: per-step contribution per IXP", text, &rows)
+}
+
+#[derive(Serialize)]
+struct Fig10bRow {
+    ixp: String,
+    local: usize,
+    remote: usize,
+    remote_share: f64,
+}
+
+#[derive(Serialize)]
+struct Fig10bData {
+    rows: Vec<Fig10bRow>,
+    overall_remote_share: f64,
+    ixps_over_10pct_remote: f64,
+    largest_two_remote_share: Vec<(String, f64)>,
+}
+
+/// Fig. 10b — local/remote member split per studied IXP (paper: 28 % of
+/// inferred interfaces remote; >90 % of IXPs have >10 % remote members;
+/// ~40 % at the two giants).
+pub fn fig10b(s: &Session<'_>) -> Rendered {
+    let mut rows = Vec::new();
+    let (mut total_r, mut total) = (0usize, 0usize);
+    for (ixp_idx, ixp) in s.input.observed.ixps.iter().enumerate() {
+        if !ixp.studied {
+            continue;
+        }
+        let (mut l, mut r) = (0usize, 0usize);
+        for inf in s.result.for_ixp(ixp_idx) {
+            match inf.verdict {
+                Verdict::Local => l += 1,
+                Verdict::Remote => r += 1,
+            }
+        }
+        if l + r == 0 {
+            continue;
+        }
+        total += l + r;
+        total_r += r;
+        rows.push(Fig10bRow {
+            ixp: ixp.name.clone(),
+            local: l,
+            remote: r,
+            remote_share: r as f64 / (l + r) as f64,
+        });
+    }
+    rows.sort_by_key(|r| std::cmp::Reverse(r.local + r.remote));
+    let over10 = rows.iter().filter(|r| r.remote_share > 0.10).count() as f64
+        / rows.len().max(1) as f64;
+    let data = Fig10bData {
+        overall_remote_share: total_r as f64 / total.max(1) as f64,
+        ixps_over_10pct_remote: over10,
+        largest_two_remote_share: rows
+            .iter()
+            .take(2)
+            .map(|r| (r.ixp.clone(), r.remote_share))
+            .collect(),
+        rows,
+    };
+    let mut text = format!(
+        "inferred interfaces at studied IXPs: {total}\noverall remote share: {:.1}%   (paper 28%)\nIXPs with >10% remote members: {:.1}%   (paper 90%)\n",
+        data.overall_remote_share * 100.0,
+        data.ixps_over_10pct_remote * 100.0
+    );
+    for (name, share) in &data.largest_two_remote_share {
+        text.push_str(&format!("  {name}: {:.1}% remote   (paper ≈40%)\n", share * 100.0));
+    }
+    text.push_str(&format!("{:<16} {:>6} {:>7} {:>7}\n", "IXP", "local", "remote", "share"));
+    for r in data.rows.iter().take(30) {
+        text.push_str(&format!(
+            "{:<16} {:>6} {:>7} {:>6.1}%\n",
+            r.ixp,
+            r.local,
+            r.remote,
+            r.remote_share * 100.0
+        ));
+    }
+    Rendered::new("fig10b", "Fig 10b: inferences per IXP", text, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn inference_figures_hold_shape() {
+        let w = WorldConfig::small(151).generate();
+        let s = Session::new(&w, 7);
+
+        let f8 = fig8(&s);
+        let rows: Vec<serde_json::Value> = serde_json::from_value(f8.json).expect("json");
+        assert_eq!(rows.len(), 8, "eight test-subset IXPs");
+
+        let f9b = fig9b(&s);
+        let under2 = f9b.json["under_2ms"].as_f64().expect("field");
+        assert!(under2 > 0.4, "most interfaces near their VP: {under2}");
+
+        let f9c = fig9c(&s);
+        let no_fac = f9c.json["remote_without_feasible_ixp_facility"]
+            .as_f64()
+            .expect("field");
+        assert!(no_fac > 0.7, "remote without feasible facility: {no_fac}");
+
+        let f10b = fig10b(&s);
+        let share = f10b.json["overall_remote_share"].as_f64().expect("field");
+        assert!((0.10..0.50).contains(&share), "remote share {share}");
+    }
+}

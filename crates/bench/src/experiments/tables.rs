@@ -1,0 +1,307 @@
+//! Tables 1, 2, 4, 5.
+
+use super::Rendered;
+use crate::session::Session;
+use opeer_core::metrics::score;
+use opeer_core::types::{Inference, Step};
+use opeer_topology::ValidationRole;
+use serde::Serialize;
+
+/// Table 1 — overview of the fused IXP dataset and per-source
+/// contributions (totals, uniques, conflicts).
+pub fn table1(s: &Session<'_>) -> Rendered {
+    let stats = &s.input.table1;
+    Rendered::new(
+        "table1",
+        "Table 1: IXP dataset and contribution of each data source",
+        stats.render(),
+        stats,
+    )
+}
+
+#[derive(Serialize)]
+struct Table2Row {
+    ixp: String,
+    role: String,
+    facilities: usize,
+    total_peers: usize,
+    validated: usize,
+    local: usize,
+    remote: usize,
+}
+
+/// Table 2 — the validation dataset (15 IXPs, control/test split).
+pub fn table2(s: &Session<'_>) -> Rendered {
+    let mut rows = Vec::new();
+    for v in &s.input.observed.validation.ixps {
+        let obs_idx = s.input.observed.ixp_by_name(&v.name);
+        let (facilities, total) = obs_idx
+            .map(|i| {
+                (
+                    s.input.observed.ixps[i].facility_idxs.len(),
+                    s.input.observed.ixps[i].member_count(),
+                )
+            })
+            .unwrap_or((0, 0));
+        rows.push(Table2Row {
+            ixp: v.name.clone(),
+            role: format!("{:?}", v.role),
+            facilities,
+            total_peers: total,
+            validated: v.entries.len(),
+            local: v.locals(),
+            remote: v.remotes(),
+        });
+    }
+    rows.sort_by_key(|r| std::cmp::Reverse(r.validated));
+    let mut text = format!(
+        "{:<16} {:<8} {:>5} {:>7} {:>10} {:>7} {:>7}\n",
+        "IXP", "role", "#fac", "#peers", "#validated", "#local", "#remote"
+    );
+    let (mut tl, mut tr) = (0usize, 0usize);
+    for r in &rows {
+        text.push_str(&format!(
+            "{:<16} {:<8} {:>5} {:>7} {:>10} {:>7} {:>7}\n",
+            r.ixp, r.role, r.facilities, r.total_peers, r.validated, r.local, r.remote
+        ));
+        tl += r.local;
+        tr += r.remote;
+    }
+    text.push_str(&format!(
+        "Total validated: {} ({} local, {} remote)\n",
+        tl + tr,
+        tl,
+        tr
+    ));
+    Rendered::new("table2", "Table 2: validation data (operators + websites)", text, &rows)
+}
+
+#[derive(Serialize)]
+struct Table4Row {
+    method: String,
+    fpr: f64,
+    fnr: f64,
+    pre: f64,
+    acc: f64,
+    cov: f64,
+}
+
+/// Table 4 — per-step (standalone semantics, as the paper validates each
+/// step independently) and combined validation against the test subset,
+/// with the RTT-threshold baseline.
+pub fn table4(s: &Session<'_>) -> Rendered {
+    let validation = &s.input.observed.validation;
+    let role = Some(ValidationRole::Test);
+
+    let standalone = opeer_core::pipeline::run_standalone_steps(
+        &s.input,
+        &opeer_core::pipeline::PipelineConfig::default(),
+    );
+    let empty: Vec<Inference> = Vec::new();
+    let of = |step: Step| standalone.get(&step).unwrap_or(&empty);
+
+    let mut rows: Vec<(String, opeer_core::Metrics)> = Vec::new();
+    rows.push((
+        "RTTmin (Castro 10ms)".into(),
+        score(&s.baseline, validation, role),
+    ));
+    rows.push((
+        "Step 1: Port Capacity".into(),
+        score(of(Step::PortCapacity), validation, role),
+    ));
+    rows.push((
+        "Step 2+3: RTT+Colo".into(),
+        score(of(Step::RttColo), validation, role),
+    ));
+    rows.push((
+        "Step 4: Multi-IXP".into(),
+        score(of(Step::MultiIxp), validation, role),
+    ));
+    rows.push((
+        "Step 5: Private Links".into(),
+        score(of(Step::PrivateLinks), validation, role),
+    ));
+    rows.push((
+        "Combined".into(),
+        score(&s.result.inferences, validation, role),
+    ));
+
+    let mut text = String::new();
+    let mut json = Vec::new();
+    for (label, m) in &rows {
+        text.push_str(&m.row(label));
+        text.push('\n');
+        json.push(Table4Row {
+            method: label.clone(),
+            fpr: m.fpr(),
+            fnr: m.fnr(),
+            pre: m.pre(),
+            acc: m.acc(),
+            cov: m.cov(),
+        });
+    }
+
+    // Diagnostic row: the paper's baseline-FPR mechanism is wide-area
+    // IXPs (§4.2) — locals patched at distant fabric sites measured above
+    // the threshold. The Table-2 test subset here is geographically
+    // metro, so the rate is shown against truth labels at the wide-area
+    // studied IXPs instead (experiments may consult the truth).
+    let (mut wa_fp, mut wa_locals) = (0usize, 0usize);
+    for b in &s.baseline {
+        let ixp = &s.input.observed.ixps[b.ixp];
+        let Some(world_idx) = s.world.ixps.iter().position(|x| x.name == ixp.name) else {
+            continue;
+        };
+        if !s
+            .world
+            .is_wide_area_ixp(opeer_topology::IxpId::from_index(world_idx))
+        {
+            continue;
+        }
+        if let Some(false) = s.truth_remote(b.addr) {
+            wa_locals += 1;
+            if b.verdict.is_remote() {
+                wa_fp += 1;
+            }
+        }
+    }
+    let wa_rate = wa_fp as f64 / wa_locals.max(1) as f64;
+    text.push_str(&format!(
+        "[diagnostic] RTTmin FPR at wide-area IXPs (truth-scored): {:.1}% over {} locals  (paper: wide-area IXPs drive the 17.5% FPR; excluding them it drops to 2%)\n",
+        wa_rate * 100.0,
+        wa_locals
+    ));
+    json.push(Table4Row {
+        method: "RTTmin @ wide-area IXPs (diagnostic)".into(),
+        fpr: wa_rate,
+        fnr: 0.0,
+        pre: 0.0,
+        acc: 0.0,
+        cov: 0.0,
+    });
+
+    Rendered::new(
+        "table4",
+        "Table 4: validation of each step of the algorithm (test subset)",
+        text,
+        &json,
+    )
+}
+
+#[derive(Serialize)]
+struct Table5Row {
+    vp_type: String,
+    vps: usize,
+    queried: usize,
+    responsive: usize,
+    members: usize,
+    ixps: usize,
+}
+
+/// Table 5 — ping-campaign interface statistics, split by VP type.
+pub fn table5(s: &Session<'_>) -> Rendered {
+    let mut rows = Vec::new();
+    for atlas in [false, true] {
+        let stats: Vec<_> = s
+            .input
+            .campaign
+            .vp_stats
+            .iter()
+            .filter(|v| v.atlas == atlas && !v.discarded)
+            .collect();
+        let queried: usize = stats.iter().map(|v| v.targets).sum();
+        let responsive: usize = stats.iter().map(|v| v.responsive).sum();
+        let ixps: std::collections::BTreeSet<_> = stats.iter().map(|v| v.ixp).collect();
+        // Distinct member ASNs behind the queried interfaces.
+        let mut members = std::collections::BTreeSet::new();
+        for o in &s.input.campaign.observations {
+            if let Some(vp) = s.input.vp(o.vp) {
+                if vp.is_atlas() == atlas {
+                    if let Some((_, asn)) = s.input.observed.member_of_addr(o.target) {
+                        members.insert(asn);
+                    }
+                }
+            }
+        }
+        rows.push(Table5Row {
+            vp_type: if atlas { "Atlas" } else { "LG" }.into(),
+            vps: stats.len(),
+            queried,
+            responsive,
+            members: members.len(),
+            ixps: ixps.len(),
+        });
+    }
+    let total = Table5Row {
+        vp_type: "Total".into(),
+        vps: rows.iter().map(|r| r.vps).sum(),
+        queried: rows.iter().map(|r| r.queried).sum(),
+        responsive: rows.iter().map(|r| r.responsive).sum(),
+        members: rows.iter().map(|r| r.members).sum(),
+        ixps: {
+            let all: std::collections::BTreeSet<_> = s
+                .input
+                .campaign
+                .vp_stats
+                .iter()
+                .filter(|v| !v.discarded)
+                .map(|v| v.ixp)
+                .collect();
+            all.len()
+        },
+    };
+    rows.push(total);
+
+    let mut text = format!(
+        "{:<7} {:>5} {:>9} {:>11} {:>9} {:>6}\n",
+        "VP", "#VPs", "#queried", "#responsive", "#members", "#IXPs"
+    );
+    for r in &rows {
+        let rate = if r.queried > 0 {
+            format!(" ({:.0}%)", 100.0 * r.responsive as f64 / r.queried as f64)
+        } else {
+            String::new()
+        };
+        text.push_str(&format!(
+            "{:<7} {:>5} {:>9} {:>11}{rate} {:>9} {:>6}\n",
+            r.vp_type, r.vps, r.queried, r.responsive, r.members, r.ixps
+        ));
+    }
+    Rendered::new(
+        "table5",
+        "Table 5: interfaces involved in the ping campaign",
+        text,
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn tables_render_nonempty() {
+        let w = WorldConfig::small(139).generate();
+        let s = Session::new(&w, 5);
+        for r in [table1(&s), table2(&s), table4(&s), table5(&s)] {
+            assert!(!r.text.is_empty(), "{} empty", r.id);
+        }
+    }
+
+    #[test]
+    fn table4_combined_beats_baseline() {
+        let w = WorldConfig::small(139).generate();
+        let s = Session::new(&w, 5);
+        let r = table4(&s);
+        let rows: Vec<serde_json::Value> =
+            serde_json::from_value(r.json).expect("table4 json");
+        let acc = |m: &str| -> f64 {
+            rows.iter()
+                .find(|v| v["method"].as_str() == Some(m))
+                .and_then(|v| v["acc"].as_f64())
+                .expect("row present")
+        };
+        assert!(acc("Combined") > acc("RTTmin (Castro 10ms)"));
+    }
+}

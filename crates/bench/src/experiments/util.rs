@@ -1,0 +1,101 @@
+//! Small statistics helpers shared by experiments.
+
+use serde::Serialize;
+
+/// An empirical CDF over `f64` samples.
+#[derive(Debug, Clone, Serialize)]
+pub struct Ecdf {
+    /// Sorted samples.
+    pub samples: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF (drops non-finite values).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| v.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Ecdf { samples }
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let idx = self.samples.partition_point(|&v| v <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (0..=1).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((self.samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.samples[idx]
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Renders `x → F(x)` at the given probe points.
+    pub fn render(&self, probes: &[f64]) -> String {
+        let mut out = String::new();
+        for &p in probes {
+            out.push_str(&format!("  F({p:>8.2}) = {:>6.1}%\n", self.at(p) * 100.0));
+        }
+        out
+    }
+}
+
+/// Percentage formatting helper.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Median of a u64 sample set (0 when empty).
+pub fn median_u64(mut v: Vec<u64>) -> u64 {
+    if v.is_empty() {
+        return 0;
+    }
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_basics() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, f64::NAN, 4.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.at(0.5), 0.0);
+        assert_eq!(e.at(2.0), 0.5);
+        assert_eq!(e.at(10.0), 1.0);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn ecdf_empty() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.at(1.0), 0.0);
+        assert!(e.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn median_and_pct() {
+        assert_eq!(median_u64(vec![5, 1, 9]), 5);
+        assert_eq!(median_u64(vec![]), 0);
+        assert_eq!(pct(0.285), "28.5%");
+    }
+}

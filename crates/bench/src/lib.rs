@@ -1,0 +1,19 @@
+//! # opeer-bench — the experiment harness
+//!
+//! One experiment per table and figure of the paper's evaluation, each
+//! regenerating the corresponding rows/series from a simulated world
+//! (see DESIGN.md §4 for the complete index and EXPERIMENTS.md for
+//! paper-vs-measured numbers). Run them all with:
+//!
+//! ```text
+//! cargo run --release -p opeer-bench --bin run_experiments -- --scale paper --out target/experiments
+//! ```
+//!
+//! Criterion benchmarks (`cargo bench -p opeer-bench`) time the substrate
+//! hot paths, the pipeline stages, and every experiment at test scale.
+
+pub mod experiments;
+pub mod session;
+
+pub use experiments::{run_all, Rendered};
+pub use session::Session;

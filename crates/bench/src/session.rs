@@ -1,0 +1,74 @@
+//! A measurement/inference session shared by all experiments.
+//!
+//! Building the observable inputs (registry fusion, ping campaigns,
+//! traceroute corpus) and running the pipeline dominate runtime, so the
+//! experiments share one [`Session`] instead of rebuilding per figure.
+
+use opeer_core::baseline::{run_baseline, DEFAULT_THRESHOLD_MS};
+use opeer_core::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
+use opeer_core::types::Inference;
+use opeer_core::InferenceInput;
+use opeer_measure::campaign::{run_control_campaign, CampaignConfig, CampaignResult};
+use opeer_topology::World;
+
+/// Everything the experiments read.
+pub struct Session<'w> {
+    /// The ground-truth world (experiments may consult it for
+    /// truth-vs-inference comparisons; the pipeline itself never did).
+    pub world: &'w World,
+    /// Master seed.
+    pub seed: u64,
+    /// The observable inputs.
+    pub input: InferenceInput<'w>,
+    /// The §4.1 control-subset campaign (operator-internal pings).
+    pub control: CampaignResult,
+    /// The pipeline output.
+    pub result: PipelineResult,
+    /// The Castro et al. baseline output.
+    pub baseline: Vec<Inference>,
+}
+
+impl<'w> Session<'w> {
+    /// Builds the session: assembles inputs, runs the control campaign,
+    /// the pipeline and the baseline.
+    pub fn new(world: &'w World, seed: u64) -> Self {
+        let input = InferenceInput::assemble(world, seed);
+        let control = run_control_campaign(world, CampaignConfig::control(seed));
+        let result = run_pipeline(&input, &PipelineConfig::default());
+        let baseline = run_baseline(&input, DEFAULT_THRESHOLD_MS);
+        Session {
+            world,
+            seed,
+            input,
+            control,
+            result,
+            baseline,
+        }
+    }
+
+    /// Ground-truth remoteness of a peering-LAN interface (experiments
+    /// only — used to label control-set figures the way operator lists
+    /// labelled the paper's).
+    pub fn truth_remote(&self, addr: std::net::Ipv4Addr) -> Option<bool> {
+        let ifc = self.world.iface_by_addr(addr)?;
+        let mid = self.world.membership_of_iface(ifc)?;
+        Some(self.world.memberships[mid.index()].truth.is_remote())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn session_builds_once_and_is_complete() {
+        let w = WorldConfig::small(131).generate();
+        let s = Session::new(&w, 3);
+        assert!(!s.result.inferences.is_empty());
+        assert!(!s.baseline.is_empty());
+        assert!(!s.control.observations.is_empty());
+        let addr = s.result.inferences[0].addr;
+        assert!(s.truth_remote(addr).is_some());
+    }
+}

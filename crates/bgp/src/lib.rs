@@ -1,0 +1,30 @@
+//! # opeer-bgp — the BGP substrate
+//!
+//! The paper leans on several BGP-derived datasets: CAIDA AS
+//! relationships and customer cones (§6.2, Fig. 11a), the Routeviews
+//! `prefix2as` mapping for IP-to-AS resolution (§5.2 step 5), and
+//! RIPEstat's "routed prefixes of an AS" lookup for choosing traceroute
+//! targets (§6.4). This crate rebuilds that stack:
+//!
+//! * [`rel`] — AS-relationship datasets in the CAIDA serial-1 text
+//!   format, derived from the world's ground-truth transit edges, plus
+//!   customer-cone computation.
+//! * [`msg`] — a real BGP UPDATE wire codec (RFC 4271, 4-byte ASNs):
+//!   ORIGIN / AS_PATH / NEXT_HOP / MED / COMMUNITIES attributes, NLRI
+//!   and withdrawals.
+//! * [`mrt`] — an MRT codec (RFC 6396): `TABLE_DUMP_V2`
+//!   (PEER_INDEX_TABLE, RIB_IPV4_UNICAST) and `BGP4MP_MESSAGE_AS4`
+//!   records, so simulated collector dumps are bit-compatible artifacts
+//!   a real pipeline could ingest.
+//! * [`rib`] — simulated route collectors: build a RIB over the world's
+//!   policy routing, export/import it through MRT, derive `prefix2as`,
+//!   and answer RIPEstat-style routed-prefix queries.
+
+pub mod mrt;
+pub mod msg;
+pub mod rel;
+pub mod rib;
+
+pub use msg::{BgpUpdate, PathAttribute};
+pub use rel::{customer_cones, AsRelationships, Relationship};
+pub use rib::{Collector, RibEntry};

@@ -1,0 +1,460 @@
+//! BGP UPDATE wire codec (RFC 4271, with RFC 6793 4-byte AS paths).
+//!
+//! Encodes and parses the subset of BGP that routing datasets need:
+//! UPDATE messages with withdrawn routes, the ORIGIN / AS_PATH /
+//! NEXT_HOP / MULTI_EXIT_DISC / COMMUNITIES attributes, and IPv4 NLRI.
+//! The codec is strict on parse (malformed input is an error, never a
+//! panic) and canonical on encode.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use opeer_net::{Asn, Ipv4Prefix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// BGP message type code for UPDATE.
+pub const BGP_TYPE_UPDATE: u8 = 2;
+/// Size of the fixed BGP header (marker + length + type).
+pub const BGP_HEADER_LEN: usize = 19;
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpError {
+    /// Input ended prematurely.
+    Truncated(&'static str),
+    /// A length field is inconsistent with the available bytes.
+    BadLength(&'static str),
+    /// An illegal field value.
+    BadValue(&'static str),
+}
+
+impl fmt::Display for BgpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BgpError::Truncated(w) => write!(f, "truncated BGP data at {w}"),
+            BgpError::BadLength(w) => write!(f, "inconsistent length in {w}"),
+            BgpError::BadValue(w) => write!(f, "illegal value in {w}"),
+        }
+    }
+}
+
+impl std::error::Error for BgpError {}
+
+/// Path origin codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Origin {
+    /// Interior (0).
+    Igp,
+    /// Exterior (1).
+    Egp,
+    /// Incomplete (2).
+    Incomplete,
+}
+
+/// A parsed path attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PathAttribute {
+    /// Type 1.
+    Origin(Origin),
+    /// Type 2 — one AS_SEQUENCE segment of 4-byte ASNs.
+    AsPath(Vec<Asn>),
+    /// Type 3.
+    NextHop(Ipv4Addr),
+    /// Type 4.
+    MultiExitDisc(u32),
+    /// Type 8 — RFC 1997 communities as raw u32s.
+    Communities(Vec<u32>),
+    /// Anything else, kept verbatim (type, flags, value).
+    Unknown(u8, u8, Vec<u8>),
+}
+
+/// A BGP UPDATE message.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BgpUpdate {
+    /// Withdrawn IPv4 prefixes.
+    pub withdrawn: Vec<Ipv4Prefix>,
+    /// Path attributes.
+    pub attributes: Vec<PathAttribute>,
+    /// Announced IPv4 prefixes.
+    pub nlri: Vec<Ipv4Prefix>,
+}
+
+impl BgpUpdate {
+    /// Convenience: an announcement of `prefixes` with the given path.
+    pub fn announce(prefixes: Vec<Ipv4Prefix>, as_path: Vec<Asn>, next_hop: Ipv4Addr) -> Self {
+        BgpUpdate {
+            withdrawn: Vec::new(),
+            attributes: vec![
+                PathAttribute::Origin(Origin::Igp),
+                PathAttribute::AsPath(as_path),
+                PathAttribute::NextHop(next_hop),
+            ],
+            nlri: prefixes,
+        }
+    }
+
+    /// The AS_PATH attribute, if present.
+    pub fn as_path(&self) -> Option<&[Asn]> {
+        self.attributes.iter().find_map(|a| match a {
+            PathAttribute::AsPath(p) => Some(p.as_slice()),
+            _ => None,
+        })
+    }
+
+    /// The origin AS (last AS on the path).
+    pub fn origin_as(&self) -> Option<Asn> {
+        self.as_path().and_then(|p| p.last().copied())
+    }
+
+    /// Encodes the full message (header + body).
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+
+        // Withdrawn routes.
+        let mut wd = BytesMut::new();
+        for p in &self.withdrawn {
+            put_prefix(&mut wd, p);
+        }
+        body.put_u16(wd.len() as u16);
+        body.put(wd);
+
+        // Path attributes.
+        let mut attrs = BytesMut::new();
+        for a in &self.attributes {
+            encode_attribute(&mut attrs, a);
+        }
+        body.put_u16(attrs.len() as u16);
+        body.put(attrs);
+
+        // NLRI.
+        for p in &self.nlri {
+            put_prefix(&mut body, p);
+        }
+
+        let mut msg = BytesMut::with_capacity(BGP_HEADER_LEN + body.len());
+        msg.put_bytes(0xFF, 16);
+        msg.put_u16((BGP_HEADER_LEN + body.len()) as u16);
+        msg.put_u8(BGP_TYPE_UPDATE);
+        msg.put(body);
+        msg.freeze()
+    }
+
+    /// Parses a full message (header + body).
+    pub fn decode(mut buf: &[u8]) -> Result<Self, BgpError> {
+        if buf.len() < BGP_HEADER_LEN {
+            return Err(BgpError::Truncated("header"));
+        }
+        let marker_ok = buf[..16].iter().all(|&b| b == 0xFF);
+        if !marker_ok {
+            return Err(BgpError::BadValue("marker"));
+        }
+        let total = usize::from(u16::from_be_bytes([buf[16], buf[17]]));
+        if buf[18] != BGP_TYPE_UPDATE {
+            return Err(BgpError::BadValue("message type"));
+        }
+        if total != buf.len() {
+            return Err(BgpError::BadLength("message length"));
+        }
+        buf = &buf[BGP_HEADER_LEN..];
+        Self::decode_body(&mut buf)
+    }
+
+    fn decode_body(buf: &mut &[u8]) -> Result<Self, BgpError> {
+        let mut update = BgpUpdate::default();
+
+        if buf.remaining() < 2 {
+            return Err(BgpError::Truncated("withdrawn length"));
+        }
+        let wd_len = usize::from(buf.get_u16());
+        if buf.remaining() < wd_len {
+            return Err(BgpError::BadLength("withdrawn routes"));
+        }
+        let mut wd = &buf[..wd_len];
+        buf.advance(wd_len);
+        while wd.has_remaining() {
+            update.withdrawn.push(get_prefix(&mut wd)?);
+        }
+
+        if buf.remaining() < 2 {
+            return Err(BgpError::Truncated("attributes length"));
+        }
+        let at_len = usize::from(buf.get_u16());
+        if buf.remaining() < at_len {
+            return Err(BgpError::BadLength("path attributes"));
+        }
+        let mut at = &buf[..at_len];
+        buf.advance(at_len);
+        while at.has_remaining() {
+            update.attributes.push(decode_attribute(&mut at)?);
+        }
+
+        while buf.has_remaining() {
+            update.nlri.push(get_prefix(buf)?);
+        }
+        Ok(update)
+    }
+}
+
+/// Attribute flag: optional.
+const FLAG_OPTIONAL: u8 = 0x80;
+/// Attribute flag: transitive.
+const FLAG_TRANSITIVE: u8 = 0x40;
+/// Attribute flag: extended (two-byte) length.
+const FLAG_EXTENDED: u8 = 0x10;
+
+fn encode_attribute(out: &mut BytesMut, attr: &PathAttribute) {
+    let (flags, type_code, value): (u8, u8, Vec<u8>) = match attr {
+        PathAttribute::Origin(o) => (
+            FLAG_TRANSITIVE,
+            1,
+            vec![match o {
+                Origin::Igp => 0,
+                Origin::Egp => 1,
+                Origin::Incomplete => 2,
+            }],
+        ),
+        PathAttribute::AsPath(path) => {
+            let mut v = Vec::with_capacity(2 + path.len() * 4);
+            if !path.is_empty() {
+                v.push(2); // AS_SEQUENCE
+                v.push(path.len() as u8);
+                for a in path {
+                    v.extend_from_slice(&a.value().to_be_bytes());
+                }
+            }
+            (FLAG_TRANSITIVE, 2, v)
+        }
+        PathAttribute::NextHop(ip) => (FLAG_TRANSITIVE, 3, ip.octets().to_vec()),
+        PathAttribute::MultiExitDisc(m) => (FLAG_OPTIONAL, 4, m.to_be_bytes().to_vec()),
+        PathAttribute::Communities(cs) => {
+            let mut v = Vec::with_capacity(cs.len() * 4);
+            for c in cs {
+                v.extend_from_slice(&c.to_be_bytes());
+            }
+            (FLAG_OPTIONAL | FLAG_TRANSITIVE, 8, v)
+        }
+        PathAttribute::Unknown(t, f, v) => (*f, *t, v.clone()),
+    };
+    let extended = value.len() > 255;
+    out.put_u8(flags | if extended { FLAG_EXTENDED } else { 0 });
+    out.put_u8(type_code);
+    if extended {
+        out.put_u16(value.len() as u16);
+    } else {
+        out.put_u8(value.len() as u8);
+    }
+    out.put_slice(&value);
+}
+
+fn decode_attribute(buf: &mut &[u8]) -> Result<PathAttribute, BgpError> {
+    if buf.remaining() < 3 {
+        return Err(BgpError::Truncated("attribute header"));
+    }
+    let flags = buf.get_u8();
+    let type_code = buf.get_u8();
+    let len = if flags & FLAG_EXTENDED != 0 {
+        if buf.remaining() < 2 {
+            return Err(BgpError::Truncated("attribute extended length"));
+        }
+        usize::from(buf.get_u16())
+    } else {
+        if !buf.has_remaining() {
+            return Err(BgpError::Truncated("attribute length"));
+        }
+        usize::from(buf.get_u8())
+    };
+    if buf.remaining() < len {
+        return Err(BgpError::BadLength("attribute value"));
+    }
+    let mut value = &buf[..len];
+    buf.advance(len);
+
+    let attr = match type_code {
+        1 => {
+            if value.len() != 1 {
+                return Err(BgpError::BadLength("ORIGIN"));
+            }
+            PathAttribute::Origin(match value[0] {
+                0 => Origin::Igp,
+                1 => Origin::Egp,
+                2 => Origin::Incomplete,
+                _ => return Err(BgpError::BadValue("ORIGIN")),
+            })
+        }
+        2 => {
+            let mut path = Vec::new();
+            if value.has_remaining() {
+                if value.remaining() < 2 {
+                    return Err(BgpError::Truncated("AS_PATH segment"));
+                }
+                let seg_type = value.get_u8();
+                if seg_type != 2 {
+                    return Err(BgpError::BadValue("AS_PATH segment type"));
+                }
+                let count = usize::from(value.get_u8());
+                if value.remaining() != count * 4 {
+                    return Err(BgpError::BadLength("AS_PATH segment"));
+                }
+                for _ in 0..count {
+                    path.push(Asn::new(value.get_u32()));
+                }
+            }
+            PathAttribute::AsPath(path)
+        }
+        3 => {
+            if value.len() != 4 {
+                return Err(BgpError::BadLength("NEXT_HOP"));
+            }
+            PathAttribute::NextHop(Ipv4Addr::new(value[0], value[1], value[2], value[3]))
+        }
+        4 => {
+            if value.len() != 4 {
+                return Err(BgpError::BadLength("MED"));
+            }
+            PathAttribute::MultiExitDisc(value.get_u32())
+        }
+        8 => {
+            if value.len() % 4 != 0 {
+                return Err(BgpError::BadLength("COMMUNITIES"));
+            }
+            let mut cs = Vec::with_capacity(value.len() / 4);
+            while value.has_remaining() {
+                cs.push(value.get_u32());
+            }
+            PathAttribute::Communities(cs)
+        }
+        other => PathAttribute::Unknown(other, flags, value.to_vec()),
+    };
+    Ok(attr)
+}
+
+/// Writes a prefix in BGP NLRI encoding: length byte + minimal octets.
+pub fn put_prefix(out: &mut BytesMut, p: &Ipv4Prefix) {
+    out.put_u8(p.len());
+    let octets = p.network().octets();
+    let n = usize::from(p.len()).div_ceil(8);
+    out.put_slice(&octets[..n]);
+}
+
+/// Reads a prefix in BGP NLRI encoding.
+pub fn get_prefix(buf: &mut &[u8]) -> Result<Ipv4Prefix, BgpError> {
+    if !buf.has_remaining() {
+        return Err(BgpError::Truncated("prefix length"));
+    }
+    let len = buf.get_u8();
+    if len > 32 {
+        return Err(BgpError::BadValue("prefix length"));
+    }
+    let n = usize::from(len).div_ceil(8);
+    if buf.remaining() < n {
+        return Err(BgpError::Truncated("prefix octets"));
+    }
+    let mut octets = [0u8; 4];
+    octets[..n].copy_from_slice(&buf[..n]);
+    buf.advance(n);
+    Ipv4Prefix::new(Ipv4Addr::from(octets), len).ok_or(BgpError::BadValue("prefix"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().expect("valid prefix")
+    }
+
+    #[test]
+    fn roundtrip_announcement() {
+        let u = BgpUpdate::announce(
+            vec![p("203.0.113.0/24"), p("198.51.100.0/25")],
+            vec![Asn::new(64500), Asn::new(3356), Asn::new(65001)],
+            "192.0.2.1".parse().expect("valid"),
+        );
+        let bytes = u.encode();
+        let back = BgpUpdate::decode(&bytes).expect("roundtrip");
+        assert_eq!(back, u);
+        assert_eq!(back.origin_as(), Some(Asn::new(65001)));
+    }
+
+    #[test]
+    fn roundtrip_with_withdrawals_med_communities() {
+        let u = BgpUpdate {
+            withdrawn: vec![p("10.0.0.0/8")],
+            attributes: vec![
+                PathAttribute::Origin(Origin::Incomplete),
+                PathAttribute::AsPath(vec![Asn::new(1), Asn::new(4_200_000_001)]),
+                PathAttribute::NextHop("192.0.2.9".parse().expect("valid")),
+                PathAttribute::MultiExitDisc(50),
+                PathAttribute::Communities(vec![(65535 << 16) | 666, (64500 << 16) | 1]),
+            ],
+            nlri: vec![p("0.0.0.0/0")],
+        };
+        let back = BgpUpdate::decode(&u.encode()).expect("roundtrip");
+        assert_eq!(back, u);
+    }
+
+    #[test]
+    fn golden_bytes_minimal_update() {
+        // An empty UPDATE (withdraw-nothing, announce-nothing): header 19
+        // bytes + 2 (wd len) + 2 (attr len) = 23 bytes.
+        let u = BgpUpdate::default();
+        let bytes = u.encode();
+        assert_eq!(bytes.len(), 23);
+        assert_eq!(&bytes[..16], &[0xFF; 16]);
+        assert_eq!(u16::from_be_bytes([bytes[16], bytes[17]]), 23);
+        assert_eq!(bytes[18], BGP_TYPE_UPDATE);
+        assert_eq!(&bytes[19..], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn prefix_encoding_is_minimal() {
+        let mut out = BytesMut::new();
+        put_prefix(&mut out, &p("10.0.0.0/8"));
+        assert_eq!(&out[..], &[8, 10]);
+        let mut out = BytesMut::new();
+        put_prefix(&mut out, &p("192.168.128.0/17"));
+        assert_eq!(&out[..], &[17, 192, 168, 128]);
+        let mut out = BytesMut::new();
+        put_prefix(&mut out, &p("0.0.0.0/0"));
+        assert_eq!(&out[..], &[0]);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(BgpUpdate::decode(&[]).is_err());
+        assert!(BgpUpdate::decode(&[0u8; 19]).is_err()); // bad marker
+        let mut ok = BgpUpdate::default().encode().to_vec();
+        ok[16] = 0; // corrupt length
+        ok[17] = 50;
+        assert!(BgpUpdate::decode(&ok).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_prefix_len() {
+        let mut buf: &[u8] = &[40, 1, 2, 3, 4, 5];
+        assert_eq!(get_prefix(&mut buf), Err(BgpError::BadValue("prefix length")));
+    }
+
+    #[test]
+    fn unknown_attribute_preserved() {
+        let u = BgpUpdate {
+            withdrawn: vec![],
+            attributes: vec![PathAttribute::Unknown(99, FLAG_OPTIONAL, vec![1, 2, 3])],
+            nlri: vec![],
+        };
+        let back = BgpUpdate::decode(&u.encode()).expect("roundtrip");
+        assert_eq!(back.attributes, u.attributes);
+    }
+
+    #[test]
+    fn empty_as_path_roundtrips() {
+        let u = BgpUpdate {
+            withdrawn: vec![],
+            attributes: vec![PathAttribute::AsPath(vec![])],
+            nlri: vec![p("203.0.113.0/24")],
+        };
+        let back = BgpUpdate::decode(&u.encode()).expect("roundtrip");
+        assert_eq!(back.as_path(), Some(&[][..]));
+        assert_eq!(back.origin_as(), None);
+    }
+}

@@ -1,0 +1,72 @@
+use opeer_core::baseline::{run_baseline, DEFAULT_THRESHOLD_MS};
+use opeer_core::metrics::score;
+use opeer_core::pipeline::{run_pipeline, PipelineConfig};
+use opeer_core::InferenceInput;
+use opeer_topology::{ValidationRole, WorldConfig};
+
+fn main() {
+    let t = std::time::Instant::now();
+    let world = WorldConfig::paper(42).generate();
+    eprintln!("world: {} ({:?})", world.summary(), t.elapsed());
+    let t = std::time::Instant::now();
+    let input = InferenceInput::assemble(&world, 42);
+    eprintln!("input assembled in {:?}: {} campaign obs, {} traceroutes", t.elapsed(), input.campaign.observations.len(), input.corpus.len());
+    let t = std::time::Instant::now();
+    let result = run_pipeline(&input, &PipelineConfig::default());
+    eprintln!("pipeline in {:?}", t.elapsed());
+    eprintln!("inferences {} (unclassified {}), remote share {:.3}", result.inferences.len(), result.unclassified.len(), result.remote_share());
+    eprintln!("counts: {:?}", result.counts);
+
+    let baseline = run_baseline(&input, DEFAULT_THRESHOLD_MS);
+    for role in [Some(ValidationRole::Test), None] {
+        let b = score(&baseline, &input.observed.validation, role);
+        let c = score(&result.inferences, &input.observed.validation, role);
+        eprintln!("role {:?}", role);
+        eprintln!("  {}", b.row("baseline RTT-10ms"));
+        eprintln!("  {}", c.row("combined"));
+    }
+    use opeer_core::types::Step;
+    eprintln!("standalone per-step rows (Table 4 semantics, test subset):");
+    let standalone = opeer_core::pipeline::run_standalone_steps(&input, &PipelineConfig::default());
+    for step in [Step::PortCapacity, Step::RttColo, Step::MultiIxp, Step::PrivateLinks] {
+        let empty = Vec::new();
+        let subset = standalone.get(&step).unwrap_or(&empty);
+        let m = score(subset, &input.observed.validation, Some(ValidationRole::Test));
+        eprintln!("  {}", m.row(&format!("{step}")));
+    }
+
+    // Step-4 funnel diagnostics.
+    let findings = &result.multi_ixp_routers;
+    let classified = findings.iter().filter(|f| f.class.is_some()).count();
+    let mut with_prior = 0usize;
+    for f in findings {
+        let has_prior = result.inferences.iter().any(|i| {
+            i.asn == f.asn && f.next_hop_ixps.contains(&i.ixp) && i.step != Step::MultiIxp
+        });
+        if has_prior {
+            with_prior += 1;
+        }
+    }
+    eprintln!(
+        "step-4 funnel: {} multi-IXP findings, {} with prior verdicts at involved IXPs, {} classified",
+        findings.len(),
+        with_prior,
+        classified
+    );
+
+    // Step-5 truth agreement breakdown.
+    let (mut s5_ok, mut s5_l2r, mut s5_r2l) = (0usize, 0usize, 0usize);
+    for inf in result.inferences.iter().filter(|i| i.step == Step::PrivateLinks) {
+        let Some(ifc) = world.iface_by_addr(inf.addr) else { continue };
+        let Some(mid) = world.membership_of_iface(ifc) else { continue };
+        let truth_remote = world.memberships[mid.index()].truth.is_remote();
+        if truth_remote == inf.verdict.is_remote() {
+            s5_ok += 1;
+        } else if truth_remote {
+            s5_r2l += 1;
+        } else {
+            s5_l2r += 1;
+        }
+    }
+    eprintln!("step-5 truth: ok {s5_ok}, local→remote errors {s5_l2r}, remote→local errors {s5_r2l}");
+}

@@ -1,0 +1,101 @@
+//! Longitudinal analysis of remote peering (§6.3, Fig. 12a).
+//!
+//! Thin analysis layer over the membership timeline: monthly local/remote
+//! member counts at the five tracked IXPs, growth-ratio statistics (the
+//! paper: remote joins ≈ 2× local joins, remote departure *rate* ≈ +25 %)
+//! and the remote→local switchers (18 cases in the paper's window).
+//!
+//! The counts come from the world's timeline because the paper, too,
+//! derives them from archived membership observations over fourteen
+//! months rather than from a single inference snapshot; the inference
+//! pipeline cross-validates the *current* month.
+
+use opeer_topology::evolution::{
+    evolution_ixps, find_switchers, growth_stats, monthly_series, GrowthStats, MonthlyCounts,
+    Switcher,
+};
+use opeer_topology::World;
+use serde::{Deserialize, Serialize};
+
+/// The Fig. 12a bundle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvolutionReport {
+    /// Names of the tracked IXPs.
+    pub ixps: Vec<String>,
+    /// Monthly counts over the timeline.
+    pub series: Vec<MonthlyCounts>,
+    /// Aggregate growth statistics.
+    pub stats: GrowthStats,
+    /// Remote→local switchers.
+    pub switchers: Vec<Switcher>,
+}
+
+/// Builds the longitudinal report over the tracked IXPs (§6.3's five:
+/// LINX, HKIX, LONAP, THINX, UA-IX).
+pub fn evolution_report(world: &World, months: u32) -> EvolutionReport {
+    let ixps = evolution_ixps(world);
+    let series = monthly_series(world, &ixps, months);
+    let stats = growth_stats(&series);
+    let switchers = find_switchers(world, &ixps);
+    EvolutionReport {
+        ixps: ixps
+            .iter()
+            .map(|&i| world.ixps[i.index()].name.clone())
+            .collect(),
+        series,
+        stats,
+        switchers,
+    }
+}
+
+/// Cumulative growth indexed to the month-0 population (the Fig. 12a
+/// y-axis): returns `(month, local index, remote index)` with 1.0 = the
+/// starting population.
+pub fn growth_index(series: &[MonthlyCounts]) -> Vec<(u32, f64, f64)> {
+    let Some(first) = series.first() else {
+        return Vec::new();
+    };
+    let (l0, r0) = (first.local.max(1) as f64, first.remote.max(1) as f64);
+    series
+        .iter()
+        .map(|c| (c.month, c.local as f64 / l0, c.remote as f64 / r0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn report_reproduces_growth_shape() {
+        let w = WorldConfig::small(113).generate();
+        let report = evolution_report(&w, 14);
+        assert_eq!(report.ixps.len(), 5);
+        assert_eq!(report.series.len(), 15);
+        assert!(!report.switchers.is_empty());
+        // The 2:1 remote-join claim is asserted statistically over the
+        // whole world in opeer-topology (five small-scale IXPs are too
+        // few draws); here the report must at least be internally
+        // consistent: counts move exactly by joins minus departures.
+        for w2 in report.series.windows(2) {
+            let (a, b) = (w2[0], w2[1]);
+            assert_eq!(
+                b.remote as i64 - a.remote as i64,
+                b.remote_joins as i64 - b.remote_departures as i64
+            );
+        }
+        assert!(report.stats.join_ratio.is_some(), "in-window joins exist");
+    }
+
+    #[test]
+    fn growth_index_starts_at_one() {
+        let w = WorldConfig::small(113).generate();
+        let report = evolution_report(&w, 14);
+        let idx = growth_index(&report.series);
+        let (m, l, r) = idx[0];
+        assert_eq!(m, 0);
+        assert!((l - 1.0).abs() < 1e-9);
+        assert!((r - 1.0).abs() < 1e-9);
+    }
+}

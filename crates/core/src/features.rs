@@ -1,0 +1,228 @@
+//! Features of remote peers (§6.2, Fig. 11).
+//!
+//! After inference, member ASes fall into three classes — local-only,
+//! remote-only, hybrid (both kinds of connections somewhere) — and the
+//! paper compares their customer cones, self-reported traffic levels,
+//! served user populations and headquarters countries. The paper found
+//! 63.7 % local / 23.4 % remote / 12.9 % hybrid, similar cone and traffic
+//! distributions for local and remote peers, and cones an order of
+//! magnitude larger for hybrids.
+
+use crate::pipeline::PipelineResult;
+use crate::types::Verdict;
+use opeer_net::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Member classification across all its inferred IXP connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemberClass {
+    /// Only local connections.
+    LocalOnly,
+    /// Only remote connections.
+    RemoteOnly,
+    /// Both kinds (at one IXP or across IXPs).
+    Hybrid,
+}
+
+/// PDB/APNIC-style side data for one member (what the paper pulls from
+/// PeeringDB and APNIC population estimates).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemberInfo {
+    /// Self-reported aggregate traffic, Mbps.
+    pub traffic_mbps: u64,
+    /// Estimated user population.
+    pub user_population: u64,
+    /// Headquarters country code.
+    pub country: String,
+    /// Customer cone size (from the AS-relationship dataset).
+    pub cone: usize,
+}
+
+/// One row of the feature table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureRow {
+    /// The member.
+    pub asn: Asn,
+    /// Its class.
+    pub class: MemberClass,
+    /// Side data.
+    pub info: MemberInfo,
+}
+
+/// Classifies every inferred member AS.
+pub fn classify_members(result: &PipelineResult) -> BTreeMap<Asn, MemberClass> {
+    let mut seen: BTreeMap<Asn, (bool, bool)> = BTreeMap::new();
+    for inf in &result.inferences {
+        let e = seen.entry(inf.asn).or_insert((false, false));
+        match inf.verdict {
+            Verdict::Local => e.0 = true,
+            Verdict::Remote => e.1 = true,
+        }
+    }
+    seen.into_iter()
+        .map(|(asn, (l, r))| {
+            let class = match (l, r) {
+                (true, false) => MemberClass::LocalOnly,
+                (false, true) => MemberClass::RemoteOnly,
+                _ => MemberClass::Hybrid,
+            };
+            (asn, class)
+        })
+        .collect()
+}
+
+/// Joins classes with side data into the Fig. 11 feature table.
+pub fn feature_table(
+    classes: &BTreeMap<Asn, MemberClass>,
+    info: &BTreeMap<Asn, MemberInfo>,
+) -> Vec<FeatureRow> {
+    classes
+        .iter()
+        .filter_map(|(&asn, &class)| {
+            info.get(&asn).map(|i| FeatureRow {
+                asn,
+                class,
+                info: i.clone(),
+            })
+        })
+        .collect()
+}
+
+/// Summary statistics per class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// The class.
+    pub class: MemberClass,
+    /// Number of members.
+    pub count: usize,
+    /// Median customer cone.
+    pub median_cone: usize,
+    /// Median traffic, Mbps.
+    pub median_traffic_mbps: u64,
+    /// Most common headquarters country with its share.
+    pub top_country: Option<(String, f64)>,
+}
+
+/// Summarises the feature table per class (Fig. 11a/11b's headline
+/// numbers).
+pub fn summarize(rows: &[FeatureRow]) -> Vec<ClassSummary> {
+    [MemberClass::LocalOnly, MemberClass::RemoteOnly, MemberClass::Hybrid]
+        .into_iter()
+        .map(|class| {
+            let of_class: Vec<&FeatureRow> = rows.iter().filter(|r| r.class == class).collect();
+            let median = |mut v: Vec<u64>| -> u64 {
+                if v.is_empty() {
+                    return 0;
+                }
+                v.sort_unstable();
+                v[v.len() / 2]
+            };
+            let mut by_country: BTreeMap<&str, usize> = BTreeMap::new();
+            for r in &of_class {
+                *by_country.entry(r.info.country.as_str()).or_insert(0) += 1;
+            }
+            let top_country = by_country
+                .into_iter()
+                .max_by_key(|&(_, n)| n)
+                .map(|(c, n)| (c.to_string(), n as f64 / of_class.len().max(1) as f64));
+            ClassSummary {
+                class,
+                count: of_class.len(),
+                median_cone: median(of_class.iter().map(|r| r.info.cone as u64).collect()) as usize,
+                median_traffic_mbps: median(of_class.iter().map(|r| r.info.traffic_mbps).collect()),
+                top_country,
+            }
+        })
+        .collect()
+}
+
+/// Builds the PDB/APNIC-style side data from the world (these fields are
+/// *published* by networks — self-reported PDB records and public APNIC
+/// estimates — so reading them is an observable, not a truth leak).
+pub fn member_info_from_world(
+    world: &opeer_topology::World,
+    cones: &BTreeMap<Asn, usize>,
+) -> BTreeMap<Asn, MemberInfo> {
+    world
+        .ases
+        .iter()
+        .map(|a| {
+            (
+                a.asn,
+                MemberInfo {
+                    traffic_mbps: a.traffic_mbps,
+                    user_population: a.user_population,
+                    country: world.cities[a.home_city.index()].country.clone(),
+                    cone: cones.get(&a.asn).copied().unwrap_or(1),
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Inference, Step};
+
+    fn inf(addr: &str, asn: u32, verdict: Verdict) -> Inference {
+        Inference {
+            addr: addr.parse().expect("valid"),
+            ixp: 0,
+            asn: Asn::new(asn),
+            verdict,
+            step: Step::RttColo,
+            evidence: String::new(),
+        }
+    }
+
+    #[test]
+    fn classification_covers_three_classes() {
+        let result = PipelineResult {
+            inferences: vec![
+                inf("1.0.0.1", 1, Verdict::Local),
+                inf("1.0.0.2", 2, Verdict::Remote),
+                inf("1.0.0.3", 3, Verdict::Local),
+                inf("1.0.0.4", 3, Verdict::Remote),
+            ],
+            unclassified: vec![],
+            observations: Default::default(),
+            step3_details: vec![],
+            multi_ixp_routers: vec![],
+            counts: Default::default(),
+        };
+        let classes = classify_members(&result);
+        assert_eq!(classes[&Asn::new(1)], MemberClass::LocalOnly);
+        assert_eq!(classes[&Asn::new(2)], MemberClass::RemoteOnly);
+        assert_eq!(classes[&Asn::new(3)], MemberClass::Hybrid);
+    }
+
+    #[test]
+    fn summary_medians() {
+        let mk = |asn: u32, class, cone, traffic| FeatureRow {
+            asn: Asn::new(asn),
+            class,
+            info: MemberInfo {
+                traffic_mbps: traffic,
+                user_population: 0,
+                country: "NL".into(),
+                cone,
+            },
+        };
+        let rows = vec![
+            mk(1, MemberClass::LocalOnly, 1, 100),
+            mk(2, MemberClass::LocalOnly, 3, 300),
+            mk(3, MemberClass::Hybrid, 1000, 50_000),
+        ];
+        let sums = summarize(&rows);
+        let local = sums.iter().find(|s| s.class == MemberClass::LocalOnly).expect("present");
+        assert_eq!(local.count, 2);
+        assert_eq!(local.median_cone, 3); // upper median of {1,3}
+        let hybrid = sums.iter().find(|s| s.class == MemberClass::Hybrid).expect("present");
+        assert_eq!(hybrid.median_cone, 1000);
+        assert_eq!(hybrid.top_country.as_ref().expect("country").0, "NL");
+        let remote = sums.iter().find(|s| s.class == MemberClass::RemoteOnly).expect("present");
+        assert_eq!(remote.count, 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Assembly of everything the pipeline consumes.
+//!
+//! [`InferenceInput`] owns the observable artifacts: the fused registry
+//! dataset, the discovered vantage points, the §5.2 ping campaign, the
+//! public traceroute corpus, and the `prefix2as` IP-to-AS map from a
+//! simulated route collector. [`InferenceInput::assemble`] produces all
+//! of them from a world in one call (the common case for experiments and
+//! examples); the fields are public so tests can inject hand-crafted
+//! pieces.
+//!
+//! The `world` reference is retained **only** as the measurement plane —
+//! alias resolution must send IP-ID probes somewhere. The pipeline never
+//! reads ground-truth fields from it.
+
+use opeer_bgp::Collector;
+use opeer_measure::campaign::{run_campaign, CampaignConfig, CampaignResult};
+use opeer_measure::traceroute::{build_corpus, CorpusConfig, Traceroute};
+use opeer_measure::vp::{discover_vps, VantagePoint};
+use opeer_net::IpToAsMap;
+use opeer_registry::{build_observed_world, ObservedWorld, RegistryConfig, Table1Stats};
+use opeer_topology::{AsId, World};
+
+/// Everything the inference pipeline reads.
+pub struct InferenceInput<'w> {
+    /// The measurement plane (IP-ID probing only; truth is off limits).
+    pub world: &'w World,
+    /// The fused registry dataset.
+    pub observed: ObservedWorld,
+    /// Table 1 accounting from the fusion.
+    pub table1: Table1Stats,
+    /// Discovered vantage points.
+    pub vps: Vec<VantagePoint>,
+    /// The §5.2 study ping campaign.
+    pub campaign: CampaignResult,
+    /// The public traceroute corpus.
+    pub corpus: Vec<Traceroute>,
+    /// Routeviews-style IP-to-AS mapping.
+    pub ip2as: IpToAsMap,
+}
+
+impl<'w> InferenceInput<'w> {
+    /// Builds the full input set from a world with default configurations
+    /// derived from `seed`.
+    pub fn assemble(world: &'w World, seed: u64) -> Self {
+        Self::assemble_with(
+            world,
+            seed,
+            &RegistryConfig {
+                seed,
+                ..RegistryConfig::default()
+            },
+            &CampaignConfig::study(seed),
+            &CorpusConfig {
+                seed,
+                ..CorpusConfig::default()
+            },
+        )
+    }
+
+    /// Builds the input set with explicit sub-configurations.
+    pub fn assemble_with(
+        world: &'w World,
+        seed: u64,
+        registry: &RegistryConfig,
+        campaign_cfg: &CampaignConfig,
+        corpus_cfg: &CorpusConfig,
+    ) -> Self {
+        let (observed, table1) = build_observed_world(world, registry);
+        let vps = discover_vps(world, seed);
+        let campaign = run_campaign(world, &vps, *campaign_cfg);
+        let corpus = build_corpus(world, *corpus_cfg);
+        // Collector fed by the best-connected transit AS.
+        let peer = world
+            .ases
+            .iter()
+            .position(|a| matches!(a.kind, opeer_topology::AsKind::TransitGlobal))
+            .unwrap_or(0);
+        let ip2as = Collector::build(world, AsId::from_index(peer)).prefix2as();
+        InferenceInput {
+            world,
+            observed,
+            table1,
+            vps,
+            campaign,
+            corpus,
+            ip2as,
+        }
+    }
+
+    /// The vantage point record for a VP id.
+    pub fn vp(&self, id: opeer_measure::vp::VpId) -> Option<&VantagePoint> {
+        self.vps.iter().find(|v| v.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn assemble_produces_consistent_input() {
+        let w = WorldConfig::small(73).generate();
+        let input = InferenceInput::assemble(&w, 2);
+        assert!(!input.observed.ixps.is_empty());
+        assert!(!input.vps.is_empty());
+        assert!(!input.campaign.observations.is_empty());
+        assert!(!input.corpus.is_empty());
+        assert!(input.ip2as.num_prefixes() > 100);
+        // Campaign observations resolve through the observed world.
+        let mut resolved = 0;
+        for o in input.campaign.observations.iter().take(200) {
+            if input.observed.member_of_addr(o.target).is_some() {
+                resolved += 1;
+            }
+        }
+        assert!(resolved > 50, "campaign targets unresolvable: {resolved}");
+    }
+}

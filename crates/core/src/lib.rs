@@ -1,0 +1,63 @@
+//! # opeer-core — remote peering inference at IXPs
+//!
+//! The primary contribution of *“O Peer, Where Art Thou? Uncovering
+//! Remote Peering Interconnections at IXPs”* (Nomikos et al., IMC 2018):
+//! a five-step methodology that classifies each IXP member interface as a
+//! **local** or **remote** peer (Definition 1: remote = no physical
+//! presence in the IXP's infrastructure and/or connected through a
+//! reseller).
+//!
+//! The pipeline consumes only observables — the fused registry dataset of
+//! `opeer-registry`, ping campaigns and traceroute corpora from
+//! `opeer-measure`, IP-to-AS data from `opeer-bgp` — and never touches
+//! the generator's ground truth. Scoring against the Table 2 validation
+//! lists happens in [`metrics`], exactly as the paper scores against
+//! operator lists.
+//!
+//! Steps, in their load-bearing order (§5.2):
+//!
+//! 1. [`steps::step1`] — **port capacities**: a port below the IXP's
+//!    minimum physical capacity can only be a reseller's virtual port.
+//! 2. [`steps::step2`] — **ping campaign hygiene**: minimum RTTs with
+//!    TTL filters, rounding-LG handling, per-target best VP.
+//! 3. [`steps::step3`] — **colocation-informed RTT interpretation**: the
+//!    feasibility annulus of Fig. 7 intersected with facility data.
+//! 4. [`steps::step4`] — **multi-IXP routers**: alias-resolved routers
+//!    seen next to several IXPs propagate verdicts with the facility
+//!    distance conditions.
+//! 5. [`steps::step5`] — **private connectivity**: the CFS-style facility
+//!    vote over private interconnection neighbors.
+//!
+//! [`baseline`] implements the state of the art the paper compares
+//! against (Castro et al.: `RTTmin ≤ 10 ms ⇒ local`), and
+//! [`pipeline::run_pipeline`] wires everything together.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use opeer_core::input::InferenceInput;
+//! use opeer_core::pipeline::{run_pipeline, PipelineConfig};
+//! use opeer_topology::WorldConfig;
+//!
+//! let world = WorldConfig::small(1).generate();
+//! let input = InferenceInput::assemble(&world, 1);
+//! let result = run_pipeline(&input, &PipelineConfig::default());
+//! println!("{} interfaces inferred", result.inferences.len());
+//! ```
+
+pub mod baseline;
+pub mod beyond_pings;
+pub mod evolution;
+pub mod features;
+pub mod input;
+pub mod metrics;
+pub mod pipeline;
+pub mod routing_impl;
+pub mod steps;
+pub mod types;
+
+pub use baseline::run_baseline;
+pub use input::InferenceInput;
+pub use metrics::{score, Metrics};
+pub use pipeline::{run_pipeline, PipelineConfig, PipelineResult};
+pub use types::{Inference, Step, Verdict};

@@ -1,0 +1,246 @@
+//! Validation metrics (Table 3) and scoring.
+//!
+//! With `VDR`/`VDL` the validated remote/local sets and `INFR`/`INFL`
+//! the inferred ones (evaluated only on validated interfaces):
+//!
+//! * coverage `COV = |INF ∩ VD| / |VD|`
+//! * false-positive rate `FPR = |INFR ∩ VDL| / |INF ∩ VDL|`
+//! * false-negative rate `FNR = |INFL ∩ VDR| / |INF ∩ VDR|`
+//! * precision `PRE = |INFR ∩ VDR| / |INFR|`
+//! * accuracy `ACC = (|INFR ∩ VDR| + |INFL ∩ VDL|) / |INF|`
+
+use crate::types::{Inference, Verdict};
+use opeer_registry::ValidationDataset;
+use opeer_topology::ValidationRole;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// The Table 3 metric set.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Validated interfaces (|VD| restricted to the scored IXPs).
+    pub vd: usize,
+    /// Inferred *and* validated interfaces (|INF ∩ VD|).
+    pub inf_vd: usize,
+    /// True remotes among inferred-remote.
+    pub tp: usize,
+    /// Validated-local inferred-remote (false positives).
+    pub fp: usize,
+    /// Validated-remote inferred-local (false negatives).
+    pub fn_: usize,
+    /// Validated-local inferred-local (true negatives).
+    pub tn: usize,
+}
+
+impl Metrics {
+    /// Coverage.
+    pub fn cov(&self) -> f64 {
+        ratio(self.inf_vd, self.vd)
+    }
+
+    /// False-positive rate.
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// False-negative rate.
+    pub fn fnr(&self) -> f64 {
+        ratio(self.fn_, self.fn_ + self.tp)
+    }
+
+    /// Precision of the remote class.
+    pub fn pre(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Accuracy.
+    pub fn acc(&self) -> f64 {
+        ratio(self.tp + self.tn, self.inf_vd)
+    }
+
+    /// Renders one Table 4-style row.
+    pub fn row(&self, label: &str) -> String {
+        format!(
+            "{label:<22} FPR {:>5.1}%  FNR {:>5.1}%  PRE {:>5.1}%  ACC {:>5.1}%  COV {:>5.1}%  (n={})",
+            self.fpr() * 100.0,
+            self.fnr() * 100.0,
+            self.pre() * 100.0,
+            self.acc() * 100.0,
+            self.cov() * 100.0,
+            self.inf_vd
+        )
+    }
+}
+
+fn ratio(a: usize, b: usize) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// Scores inferences against the validation subset of the given role
+/// (`None` = both subsets).
+pub fn score(
+    inferences: &[Inference],
+    validation: &ValidationDataset,
+    role: Option<ValidationRole>,
+) -> Metrics {
+    let mut truth: BTreeMap<Ipv4Addr, bool> = BTreeMap::new();
+    for v in &validation.ixps {
+        if role.is_some_and(|r| r != v.role) {
+            continue;
+        }
+        for e in &v.entries {
+            truth.insert(e.addr, e.remote);
+        }
+    }
+    let mut m = Metrics {
+        vd: truth.len(),
+        ..Default::default()
+    };
+    for inf in inferences {
+        let Some(&remote_truth) = truth.get(&inf.addr) else {
+            continue;
+        };
+        m.inf_vd += 1;
+        match (inf.verdict, remote_truth) {
+            (Verdict::Remote, true) => m.tp += 1,
+            (Verdict::Remote, false) => m.fp += 1,
+            (Verdict::Local, true) => m.fn_ += 1,
+            (Verdict::Local, false) => m.tn += 1,
+        }
+    }
+    m
+}
+
+/// Per-IXP scoring (Fig. 8): returns `(ixp name, validated count, metrics)`
+/// for every validation IXP of the role.
+pub fn score_per_ixp(
+    inferences: &[Inference],
+    validation: &ValidationDataset,
+    role: Option<ValidationRole>,
+) -> Vec<(String, usize, Metrics)> {
+    let mut out = Vec::new();
+    for v in &validation.ixps {
+        if role.is_some_and(|r| r != v.role) {
+            continue;
+        }
+        let subset = ValidationDataset {
+            ixps: vec![v.clone()],
+        };
+        let m = score(inferences, &subset, None);
+        out.push((v.name.clone(), v.entries.len(), m));
+    }
+    out.sort_by_key(|(_, n, _)| std::cmp::Reverse(*n));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Step;
+    use opeer_net::Asn;
+    use opeer_registry::validation::{ValidationEntry, ValidationIxp};
+
+    fn entry(addr: &str, remote: bool) -> ValidationEntry {
+        ValidationEntry {
+            addr: addr.parse().expect("valid"),
+            asn: Asn::new(1),
+            remote,
+        }
+    }
+
+    fn inf(addr: &str, verdict: Verdict) -> Inference {
+        Inference {
+            addr: addr.parse().expect("valid"),
+            ixp: 0,
+            asn: Asn::new(1),
+            verdict,
+            step: Step::RttColo,
+            evidence: String::new(),
+        }
+    }
+
+    fn dataset() -> ValidationDataset {
+        ValidationDataset {
+            ixps: vec![ValidationIxp {
+                name: "T".into(),
+                role: ValidationRole::Test,
+                entries: vec![
+                    entry("1.0.0.1", true),
+                    entry("1.0.0.2", true),
+                    entry("1.0.0.3", false),
+                    entry("1.0.0.4", false),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn perfect_inference_scores_perfectly() {
+        let v = dataset();
+        let infs = vec![
+            inf("1.0.0.1", Verdict::Remote),
+            inf("1.0.0.2", Verdict::Remote),
+            inf("1.0.0.3", Verdict::Local),
+            inf("1.0.0.4", Verdict::Local),
+        ];
+        let m = score(&infs, &v, None);
+        assert_eq!(m.cov(), 1.0);
+        assert_eq!(m.acc(), 1.0);
+        assert_eq!(m.pre(), 1.0);
+        assert_eq!(m.fpr(), 0.0);
+        assert_eq!(m.fnr(), 0.0);
+    }
+
+    #[test]
+    fn mixed_inference_scores_as_defined() {
+        let v = dataset();
+        // One TP, one FN, one FP, one uncovered.
+        let infs = vec![
+            inf("1.0.0.1", Verdict::Remote), // TP
+            inf("1.0.0.2", Verdict::Local),  // FN
+            inf("1.0.0.3", Verdict::Remote), // FP
+            inf("9.9.9.9", Verdict::Remote), // not validated: ignored
+        ];
+        let m = score(&infs, &v, None);
+        assert_eq!(m.inf_vd, 3);
+        assert_eq!(m.cov(), 0.75);
+        assert_eq!(m.pre(), 0.5); // 1 TP / (1 TP + 1 FP)
+        assert_eq!(m.fnr(), 0.5); // 1 FN / (1 FN + 1 TP)
+        assert_eq!(m.fpr(), 1.0); // 1 FP / (1 FP + 0 TN)
+        assert!((m.acc() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn role_filter_restricts() {
+        let v = dataset();
+        let infs = vec![inf("1.0.0.1", Verdict::Remote)];
+        let test = score(&infs, &v, Some(ValidationRole::Test));
+        let control = score(&infs, &v, Some(ValidationRole::Control));
+        assert_eq!(test.inf_vd, 1);
+        assert_eq!(control.vd, 0);
+        assert_eq!(control.inf_vd, 0);
+    }
+
+    #[test]
+    fn per_ixp_scores() {
+        let v = dataset();
+        let infs = vec![inf("1.0.0.1", Verdict::Remote)];
+        let per = score_per_ixp(&infs, &v, None);
+        assert_eq!(per.len(), 1);
+        assert_eq!(per[0].0, "T");
+        assert_eq!(per[0].1, 4);
+    }
+
+    #[test]
+    fn row_renders() {
+        let m = score(&[inf("1.0.0.1", Verdict::Remote)], &dataset(), None);
+        let row = m.row("Combined");
+        assert!(row.contains("ACC"));
+        assert!(row.contains("Combined"));
+    }
+}

@@ -1,0 +1,281 @@
+//! The combined five-step pipeline (§5.2) with per-step attribution.
+
+use crate::input::InferenceInput;
+use crate::steps::step2::RttObservation;
+use crate::steps::step3::Step3Detail;
+use crate::steps::step4::MultiIxpFinding;
+use crate::steps::{step1, step2, step3, step4, step5, Ledger};
+use crate::types::{Inference, Step, Unclassified};
+use opeer_alias::AliasConfig;
+use opeer_geo::SpeedModel;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Speed bounds for step 3 (shared with Fig. 6/7 analyses).
+    pub speed: SpeedModel,
+    /// Alias-resolution settings for steps 4 and 5.
+    pub alias: AliasConfig,
+    /// Apply the §6.1 `RTT′min = RTTmin − 1` correction for looking
+    /// glasses that round RTTs up to whole milliseconds. Disabling it is
+    /// an ablation knob (the annulus inner edge then overshoots for
+    /// rounded observations).
+    pub honor_lg_rounding: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            speed: SpeedModel::default(),
+            alias: AliasConfig::default(),
+            honor_lg_rounding: true,
+        }
+    }
+}
+
+/// Per-step inference counts (Fig. 10a's data).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StepCounts {
+    /// Step 1.
+    pub port_capacity: usize,
+    /// Steps 2+3.
+    pub rtt_colo: usize,
+    /// Step 4.
+    pub multi_ixp: usize,
+    /// Step 5.
+    pub private_links: usize,
+}
+
+impl StepCounts {
+    /// Total inferences across steps.
+    pub fn total(&self) -> usize {
+        self.port_capacity + self.rtt_colo + self.multi_ixp + self.private_links
+    }
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// All inferences, sorted by interface address.
+    pub inferences: Vec<Inference>,
+    /// Member interfaces no step could classify.
+    pub unclassified: Vec<Unclassified>,
+    /// Consolidated step-2 observations (Fig. 9b's data).
+    pub observations: BTreeMap<Ipv4Addr, RttObservation>,
+    /// Step-3 per-target diagnostics (Fig. 9c's data).
+    pub step3_details: Vec<Step3Detail>,
+    /// Step-4 router findings (Fig. 9d's data).
+    pub multi_ixp_routers: Vec<MultiIxpFinding>,
+    /// Aggregate per-step counts.
+    pub counts: StepCounts,
+}
+
+impl PipelineResult {
+    /// Inferences attributed to one step.
+    pub fn by_step(&self, step: Step) -> impl Iterator<Item = &Inference> {
+        self.inferences.iter().filter(move |i| i.step == step)
+    }
+
+    /// Inferences for one observed IXP.
+    pub fn for_ixp(&self, ixp: usize) -> impl Iterator<Item = &Inference> {
+        self.inferences.iter().filter(move |i| i.ixp == ixp)
+    }
+
+    /// Fraction of inferred interfaces classified remote.
+    pub fn remote_share(&self) -> f64 {
+        if self.inferences.is_empty() {
+            return 0.0;
+        }
+        self.inferences.iter().filter(|i| i.verdict.is_remote()).count() as f64
+            / self.inferences.len() as f64
+    }
+
+    /// Per-IXP step-contribution counts (Fig. 10a): `ixp → StepCounts`.
+    pub fn step_contributions(&self) -> BTreeMap<usize, StepCounts> {
+        let mut out: BTreeMap<usize, StepCounts> = BTreeMap::new();
+        for i in &self.inferences {
+            let c = out.entry(i.ixp).or_default();
+            match i.step {
+                Step::PortCapacity => c.port_capacity += 1,
+                Step::RttColo => c.rtt_colo += 1,
+                Step::MultiIxp => c.multi_ixp += 1,
+                Step::PrivateLinks => c.private_links += 1,
+                Step::Baseline => {}
+            }
+        }
+        out
+    }
+}
+
+/// Runs the full methodology in the §5.2 order.
+pub fn run_pipeline(input: &InferenceInput<'_>, cfg: &PipelineConfig) -> PipelineResult {
+    let mut ledger = Ledger::new();
+
+    // Step 1: port capacities (reliable, low coverage).
+    let n1 = step1::apply(input, &mut ledger);
+
+    // Step 2: ping material; Step 3: RTT + colocation.
+    let observations = step2::consolidate(input);
+    let step3_details = step3::apply(input, &observations, &cfg.speed, &mut ledger);
+    let n3 = ledger.len() - n1;
+
+    // Step 4: multi-IXP routers.
+    let details_map: BTreeMap<Ipv4Addr, Step3Detail> =
+        step3_details.iter().map(|d| (d.addr, *d)).collect();
+    let multi_ixp_routers = step4::apply(input, &details_map, &cfg.alias, &mut ledger);
+    let n4 = ledger.len() - n1 - n3;
+
+    // Step 5: private connectivity (last resort).
+    let n5 = step5::apply(input, &cfg.alias, &mut ledger);
+
+    // Residual unknowns.
+    let mut unclassified = Vec::new();
+    for (ixp_idx, ixp) in input.observed.ixps.iter().enumerate() {
+        for (&addr, &asn) in &ixp.interfaces {
+            if !ledger.known(addr) {
+                unclassified.push(Unclassified {
+                    addr,
+                    ixp: ixp_idx,
+                    asn,
+                });
+            }
+        }
+    }
+
+    PipelineResult {
+        inferences: ledger.all().cloned().collect(),
+        unclassified,
+        observations,
+        step3_details,
+        multi_ixp_routers,
+        counts: StepCounts {
+            port_capacity: n1,
+            rtt_colo: n3,
+            multi_ixp: n4,
+            private_links: n5,
+        },
+    }
+}
+
+/// Runs every step in *standalone* mode (Table 4 semantics): each step
+/// classifies everything it can by itself — steps 4 and 5 get steps 1–3
+/// as seed priors but emit their own verdicts for all reachable
+/// interfaces. Returns the per-step inference sets.
+pub fn run_standalone_steps(
+    input: &InferenceInput<'_>,
+    cfg: &PipelineConfig,
+) -> BTreeMap<Step, Vec<Inference>> {
+    let mut out = BTreeMap::new();
+
+    let mut l1 = Ledger::new();
+    step1::apply(input, &mut l1);
+    out.insert(Step::PortCapacity, l1.all().cloned().collect());
+
+    let observations = step2::consolidate(input);
+    let mut l23 = Ledger::new();
+    let details_vec = step3::apply(input, &observations, &cfg.speed, &mut l23);
+    out.insert(Step::RttColo, l23.all().cloned().collect());
+
+    let mut priors = l1.clone();
+    for inf in l23.all() {
+        priors.record(inf.clone());
+    }
+    let details_map: BTreeMap<Ipv4Addr, Step3Detail> =
+        details_vec.iter().map(|d| (d.addr, *d)).collect();
+    let (_, s4) = step4::classify_all(input, &details_map, &cfg.alias, &priors);
+    out.insert(Step::MultiIxp, s4);
+
+    let s5 = step5::classify_all(input, &cfg.alias);
+    out.insert(Step::PrivateLinks, s5);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::score;
+    use opeer_topology::{ValidationRole, WorldConfig};
+
+    fn run(seed: u64) -> (opeer_topology::World, PipelineResult, crate::input::InferenceInput<'static>) {
+        // Leak the world to simplify lifetime plumbing in tests.
+        let w: &'static opeer_topology::World =
+            Box::leak(Box::new(WorldConfig::small(seed).generate()));
+        let input = crate::input::InferenceInput::assemble(w, seed);
+        let result = run_pipeline(&input, &PipelineConfig::default());
+        (w.clone(), result, input)
+    }
+
+    #[test]
+    fn pipeline_produces_inferences_every_step() {
+        let (_w, result, _input) = run(109);
+        assert!(result.counts.port_capacity > 0, "step 1 silent");
+        assert!(result.counts.rtt_colo > 0, "steps 2+3 silent");
+        assert!(
+            result.counts.total() == result.inferences.len(),
+            "attribution mismatch"
+        );
+    }
+
+    #[test]
+    fn combined_beats_baseline_on_test_subset() {
+        let (_w, result, input) = run(109);
+        let combined = score(
+            &result.inferences,
+            &input.observed.validation,
+            Some(ValidationRole::Test),
+        );
+        let baseline_inferences =
+            crate::baseline::run_baseline(&input, crate::baseline::DEFAULT_THRESHOLD_MS);
+        let baseline = score(
+            &baseline_inferences,
+            &input.observed.validation,
+            Some(ValidationRole::Test),
+        );
+        assert!(
+            combined.acc() > baseline.acc(),
+            "combined {:.3} must beat baseline {:.3}",
+            combined.acc(),
+            baseline.acc()
+        );
+        assert!(combined.acc() > 0.85, "combined accuracy {:.3}", combined.acc());
+    }
+
+    #[test]
+    fn coverage_is_high() {
+        let (_w, result, input) = run(109);
+        // Test subset (VP-covered IXPs): the paper's headline coverage.
+        let test = score(
+            &result.inferences,
+            &input.observed.validation,
+            Some(ValidationRole::Test),
+        );
+        assert!(test.cov() > 0.70, "test-subset coverage {:.3}", test.cov());
+        // Control IXPs have no VPs, so only steps 1/4/5 reach them;
+        // combined coverage is lower but must stay substantial.
+        let all = score(&result.inferences, &input.observed.validation, None);
+        assert!(all.cov() > 0.55, "overall coverage {:.3}", all.cov());
+    }
+
+    #[test]
+    fn remote_share_is_plausible() {
+        let (_w, result, _input) = run(109);
+        let share = result.remote_share();
+        assert!(
+            (0.10..=0.50).contains(&share),
+            "remote share {share} out of band (paper: 28%)"
+        );
+    }
+
+    #[test]
+    fn unclassified_disjoint_from_inferred() {
+        let (_w, result, _input) = run(109);
+        let inferred: std::collections::HashSet<_> =
+            result.inferences.iter().map(|i| i.addr).collect();
+        for u in &result.unclassified {
+            assert!(!inferred.contains(&u.addr));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The five methodology steps (§5.2), in application order.
+//!
+//! Each step module exposes a pure function from the shared
+//! [`crate::input::InferenceInput`] (plus the ledger of already-made
+//! inferences) to new inferences. The order is load-bearing (§5.2):
+//! step 1 first because it is near-certain where it applies; step 2
+//! produces the RTT material step 3 interprets; steps 4 and 5 only touch
+//! interfaces the earlier steps left unknown, with step 5 as the last
+//! resort.
+
+pub mod step1;
+pub mod step2;
+pub mod step3;
+pub mod step4;
+pub mod step5;
+
+use crate::types::{Inference, Verdict};
+use opeer_net::Asn;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// The running record of inferences, keyed by interface address.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    entries: BTreeMap<Ipv4Addr, Inference>,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether an interface already has a verdict.
+    pub fn known(&self, addr: Ipv4Addr) -> bool {
+        self.entries.contains_key(&addr)
+    }
+
+    /// The verdict for an interface, if any.
+    pub fn verdict(&self, addr: Ipv4Addr) -> Option<Verdict> {
+        self.entries.get(&addr).map(|i| i.verdict)
+    }
+
+    /// The full inference for an interface, if any.
+    pub fn get(&self, addr: Ipv4Addr) -> Option<&Inference> {
+        self.entries.get(&addr)
+    }
+
+    /// Records an inference unless the interface is already classified
+    /// (earlier steps win). Returns whether it was recorded.
+    pub fn record(&mut self, inf: Inference) -> bool {
+        use std::collections::btree_map::Entry;
+        match self.entries.entry(inf.addr) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(inf);
+                true
+            }
+        }
+    }
+
+    /// All inferences, sorted by address.
+    pub fn all(&self) -> impl Iterator<Item = &Inference> {
+        self.entries.values()
+    }
+
+    /// Number of inferences.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no inference has been made.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Verdicts already made for one member ASN, with their IXPs.
+    pub fn verdicts_of_asn(&self, asn: Asn) -> Vec<(usize, Verdict)> {
+        self.entries
+            .values()
+            .filter(|i| i.asn == asn)
+            .map(|i| (i.ixp, i.verdict))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Step;
+
+    fn inf(addr: &str, verdict: Verdict) -> Inference {
+        Inference {
+            addr: addr.parse().expect("valid"),
+            ixp: 0,
+            asn: Asn::new(1),
+            verdict,
+            step: Step::PortCapacity,
+            evidence: String::new(),
+        }
+    }
+
+    #[test]
+    fn earlier_steps_win() {
+        let mut ledger = Ledger::new();
+        assert!(ledger.record(inf("185.0.0.10", Verdict::Remote)));
+        assert!(!ledger.record(inf("185.0.0.10", Verdict::Local)));
+        assert_eq!(
+            ledger.verdict("185.0.0.10".parse().expect("valid")),
+            Some(Verdict::Remote)
+        );
+        assert_eq!(ledger.len(), 1);
+    }
+
+    #[test]
+    fn verdicts_of_asn_collects() {
+        let mut ledger = Ledger::new();
+        ledger.record(inf("185.0.0.10", Verdict::Remote));
+        ledger.record(inf("185.0.0.11", Verdict::Local));
+        assert_eq!(ledger.verdicts_of_asn(Asn::new(1)).len(), 2);
+        assert!(ledger.verdicts_of_asn(Asn::new(2)).is_empty());
+    }
+}

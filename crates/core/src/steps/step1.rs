@@ -1,0 +1,110 @@
+//! Step 1 — finding reseller customers via port capacities (§5.1.1, §5.2).
+//!
+//! Fractional port capacities can be bought only through resellers: an
+//! IXP's own pricing page lists a minimum physical capacity `Cmin`
+//! (1 GE everywhere in this world, as at the paper's IXPs), so a member
+//! whose observed port capacity `Cx < Cmin` must hold a virtual reseller
+//! port ⇒ remote by Definition 1.
+//!
+//! Precision is high but not perfect (96 % in the paper): a handful of
+//! legacy members still hold grandfathered sub-`Cmin` *physical* ports,
+//! and registry capacity rows can be stale — both artifact classes exist
+//! in the observed dataset.
+
+use crate::input::InferenceInput;
+use crate::steps::Ledger;
+use crate::types::{Inference, Step, Verdict};
+
+/// Applies step 1 over every observed IXP with pricing data. Returns the
+/// number of new inferences.
+pub fn apply(input: &InferenceInput<'_>, ledger: &mut Ledger) -> usize {
+    let mut new = 0;
+    for (ixp_idx, ixp) in input.observed.ixps.iter().enumerate() {
+        let Some(cmin) = ixp.cmin_mbps else { continue };
+        for (&addr, &asn) in &ixp.interfaces {
+            let Some(&cap) = ixp.port_capacity.get(&asn) else {
+                continue;
+            };
+            if cap < cmin {
+                let recorded = ledger.record(Inference {
+                    addr,
+                    ixp: ixp_idx,
+                    asn,
+                    verdict: Verdict::Remote,
+                    step: Step::PortCapacity,
+                    evidence: format!("port {cap} Mbps < Cmin {cmin} Mbps ({})", ixp.name),
+                });
+                if recorded {
+                    new += 1;
+                }
+            }
+        }
+    }
+    new
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::{AccessTruth, PortKind, WorldConfig};
+
+    #[test]
+    fn flags_submin_ports_as_remote() {
+        let w = WorldConfig::small(79).generate();
+        let input = InferenceInput::assemble(&w, 3);
+        let mut ledger = Ledger::new();
+        let n = apply(&input, &mut ledger);
+        assert!(n > 0, "no sub-Cmin ports found");
+        for inf in ledger.all() {
+            assert_eq!(inf.verdict, Verdict::Remote);
+            assert_eq!(inf.step, Step::PortCapacity);
+        }
+    }
+
+    #[test]
+    fn precision_is_high_against_truth() {
+        let w = WorldConfig::small(79).generate();
+        let input = InferenceInput::assemble(&w, 3);
+        let mut ledger = Ledger::new();
+        apply(&input, &mut ledger);
+        let (mut tp, mut fp) = (0usize, 0usize);
+        for inf in ledger.all() {
+            let Some(ifc) = w.iface_by_addr(inf.addr) else { continue };
+            let Some(mid) = w.membership_of_iface(ifc) else { continue };
+            if w.memberships[mid.index()].truth.is_remote() {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        let pre = tp as f64 / (tp + fp).max(1) as f64;
+        assert!(pre > 0.90, "step-1 precision {pre}");
+    }
+
+    #[test]
+    fn reseller_at_cmin_capacity_escapes() {
+        // A reseller customer with a 1 GE virtual port is indistinguishable
+        // by capacity alone — step 1 must NOT claim it.
+        let w = WorldConfig::small(79).generate();
+        let input = InferenceInput::assemble(&w, 3);
+        let mut ledger = Ledger::new();
+        apply(&input, &mut ledger);
+        let mut escaped = 0;
+        for m in &w.memberships {
+            if !m.active_at(w.observation_month) {
+                continue;
+            }
+            if let (PortKind::VirtualReseller { .. }, AccessTruth::RemoteReseller { .. }) =
+                (m.port, m.truth)
+            {
+                if m.port_mbps >= 1000 {
+                    let addr = w.interfaces[m.iface.index()].addr;
+                    if !ledger.known(addr) {
+                        escaped += 1;
+                    }
+                }
+            }
+        }
+        assert!(escaped > 0, "expected ≥Cmin reseller ports to escape step 1");
+    }
+}

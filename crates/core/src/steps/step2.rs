@@ -1,0 +1,100 @@
+//! Step 2 — the ping-campaign material (§5.2).
+//!
+//! The campaign layer of `opeer-measure` already applied the TTL-match /
+//! TTL-switch filters and the Atlas route-server hygiene; this step
+//! reduces its observations to one record per target interface — the
+//! best (lowest) minimum RTT across the IXP's usable VPs, preferring
+//! non-rounding VPs on ties — and attaches what step 3 needs: the VP's
+//! location and whether the value was rounded up (§6.1's `RTT′min`
+//! correction).
+
+use crate::input::InferenceInput;
+use opeer_geo::GeoPoint;
+use opeer_net::Asn;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// One target's consolidated RTT observation.
+#[derive(Debug, Clone, Copy)]
+pub struct RttObservation {
+    /// Target interface.
+    pub addr: Ipv4Addr,
+    /// Observed IXP index.
+    pub ixp: usize,
+    /// Member ASN (from the fused interface dataset).
+    pub asn: Asn,
+    /// Minimum RTT, ms, as reported (integer if the VP rounds).
+    pub min_rtt_ms: f64,
+    /// Whether the reporting VP rounds RTTs up to whole ms.
+    pub rounded: bool,
+    /// Location of the reporting VP.
+    pub vp_location: GeoPoint,
+}
+
+/// Consolidates the campaign into per-target observations. Targets whose
+/// address cannot be resolved through the fused interface dataset are
+/// dropped (the paper can only reason about known member interfaces).
+pub fn consolidate(input: &InferenceInput<'_>) -> BTreeMap<Ipv4Addr, RttObservation> {
+    let mut best: BTreeMap<Ipv4Addr, RttObservation> = BTreeMap::new();
+    for o in &input.campaign.observations {
+        let Some((ixp, asn)) = input.observed.member_of_addr(o.target) else {
+            continue;
+        };
+        let Some(vp) = input.vp(o.vp) else { continue };
+        let cand = RttObservation {
+            addr: o.target,
+            ixp,
+            asn,
+            min_rtt_ms: o.min_rtt_ms,
+            rounded: o.vp_rounds_up,
+            vp_location: vp.location,
+        };
+        best.entry(o.target)
+            .and_modify(|cur| {
+                let better = cand.min_rtt_ms < cur.min_rtt_ms
+                    || (cand.min_rtt_ms == cur.min_rtt_ms && !cand.rounded && cur.rounded);
+                if better {
+                    *cur = cand;
+                }
+            })
+            .or_insert(cand);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn consolidation_covers_most_responsive_targets() {
+        let w = WorldConfig::small(83).generate();
+        let input = InferenceInput::assemble(&w, 4);
+        let obs = consolidate(&input);
+        assert!(!obs.is_empty());
+        // One record per address, each resolvable.
+        for (addr, o) in &obs {
+            assert_eq!(*addr, o.addr);
+            assert!(input.observed.member_of_addr(*addr).is_some());
+            assert!(o.min_rtt_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn prefers_lower_rtt() {
+        let w = WorldConfig::small(83).generate();
+        let input = InferenceInput::assemble(&w, 4);
+        let obs = consolidate(&input);
+        for o in &input.campaign.observations {
+            if let Some(best) = obs.get(&o.target) {
+                assert!(
+                    best.min_rtt_ms <= o.min_rtt_ms,
+                    "best {} > observed {}",
+                    best.min_rtt_ms,
+                    o.min_rtt_ms
+                );
+            }
+        }
+    }
+}

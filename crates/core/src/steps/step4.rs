@@ -1,0 +1,412 @@
+//! Step 4 — multi-IXP router inference (§5.1.3, §5.2, Fig. 3).
+//!
+//! From the traceroute corpus, every hop pair `{IPx, IPixp}` says "an
+//! interface of member AS *x* sits right next to this IXP". ASes that
+//! appear next to more than one IXP get their observed interfaces
+//! alias-resolved (MIDAR-style, conservative); a resolved router facing
+//! several IXPs is a *multi-IXP router*, and a verdict already known for
+//! one of its IXPs propagates to the others under the paper's facility
+//! conditions:
+//!
+//! * **local multi-IXP** (Fig. 3a) — prior *local* at one IXP and all the
+//!   involved IXPs share a facility ⇒ local everywhere;
+//! * **remote multi-IXP** (Fig. 3b) — prior *remote* at `IXP_R` and
+//!   either all involved IXPs share a facility, or every involved IXP's
+//!   facilities lie closer to `IXP_R` than the member possibly is
+//!   (condition 2(b), using step 3's inner annulus bound `dmin`) ⇒
+//!   remote everywhere;
+//! * **hybrid** (Fig. 3c) — prior *local* at `IXP_L`; involved IXPs with
+//!   no common facility with `IXP_L`, or farther from it than the
+//!   member's outer bound `dmax` allows (condition 3(b)), are remote.
+
+use crate::input::InferenceInput;
+use crate::steps::step3::Step3Detail;
+use crate::steps::Ledger;
+use crate::types::{Inference, Step, Verdict};
+use opeer_alias::{resolve, AliasConfig};
+use opeer_net::Asn;
+use opeer_traix::{member_ixp_pairs, IxpData};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// Classification of one multi-IXP router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterClass {
+    /// Local to all involved IXPs (Fig. 3a).
+    Local,
+    /// Remote to all involved IXPs (Fig. 3b).
+    Remote,
+    /// Local to a subset, remote to the rest (Fig. 3c).
+    Hybrid,
+}
+
+/// One discovered router (alias group) and its classification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiIxpFinding {
+    /// Owning member ASN.
+    pub asn: Asn,
+    /// Alias-grouped interface addresses.
+    pub ifaces: Vec<Ipv4Addr>,
+    /// IXPs this router faces (observed indices).
+    pub next_hop_ixps: BTreeSet<usize>,
+    /// Classification, when the conditions resolved one.
+    pub class: Option<RouterClass>,
+}
+
+/// Builds the traIXroute lookup data from the fused registry.
+pub fn ixp_data(input: &InferenceInput<'_>) -> IxpData {
+    let mut data = IxpData::new();
+    for (i, ixp) in input.observed.ixps.iter().enumerate() {
+        data.add_ixp(i as u32, &ixp.prefixes);
+        for (&addr, &asn) in &ixp.interfaces {
+            data.add_interface(i as u32, addr, asn);
+        }
+    }
+    data
+}
+
+/// Applies step 4. Returns the router findings (Fig. 9d's data) and
+/// records propagated inferences in the ledger.
+pub fn apply(
+    input: &InferenceInput<'_>,
+    details: &BTreeMap<Ipv4Addr, Step3Detail>,
+    alias_cfg: &AliasConfig,
+    ledger: &mut Ledger,
+) -> Vec<MultiIxpFinding> {
+    run(input, details, alias_cfg, ledger, None)
+}
+
+/// Standalone mode (Table 4 semantics): classifies every interface the
+/// multi-IXP propagation can reach, using `priors` (typically steps 1–3)
+/// for the seed verdicts but emitting its own verdicts for all involved
+/// interfaces, classified or not.
+pub fn classify_all(
+    input: &InferenceInput<'_>,
+    details: &BTreeMap<Ipv4Addr, Step3Detail>,
+    alias_cfg: &AliasConfig,
+    priors: &Ledger,
+) -> (Vec<MultiIxpFinding>, Vec<Inference>) {
+    let mut scratch = priors.clone();
+    let mut collected = Vec::new();
+    let findings = run(input, details, alias_cfg, &mut scratch, Some(&mut collected));
+    (findings, collected)
+}
+
+fn run(
+    input: &InferenceInput<'_>,
+    details: &BTreeMap<Ipv4Addr, Step3Detail>,
+    alias_cfg: &AliasConfig,
+    ledger: &mut Ledger,
+    mut collect_all: Option<&mut Vec<Inference>>,
+) -> Vec<MultiIxpFinding> {
+    let data = ixp_data(input);
+
+    // 1. Harvest {IPx, IPixp} pairs per member AS, and per-AS crossing
+    //    evidence from both sides of every detected crossing — a member
+    //    "appears to peer at" an IXP whether it is the near or far side.
+    let mut as_pairs: BTreeMap<Asn, BTreeSet<(Ipv4Addr, usize)>> = BTreeMap::new();
+    let mut crossing_evidence: BTreeMap<Asn, BTreeSet<usize>> = BTreeMap::new();
+    for tr in &input.corpus {
+        let hops: Vec<Option<Ipv4Addr>> = tr.hops.iter().map(|h| h.map(|s| s.addr)).collect();
+        for p in member_ixp_pairs(&hops, &data, &input.ip2as) {
+            as_pairs
+                .entry(p.member)
+                .or_default()
+                .insert((p.member_addr, p.ixp as usize));
+            crossing_evidence
+                .entry(p.member)
+                .or_default()
+                .insert(p.ixp as usize);
+        }
+        for c in opeer_traix::detect_crossings(&hops, &data, &input.ip2as) {
+            crossing_evidence.entry(c.from).or_default().insert(c.ixp as usize);
+            crossing_evidence.entry(c.to).or_default().insert(c.ixp as usize);
+        }
+    }
+
+    // LAN interfaces per ASN across the observed IXPs.
+    let mut lan_ifaces: BTreeMap<Asn, Vec<(Ipv4Addr, usize)>> = BTreeMap::new();
+    for (i, ixp) in input.observed.ixps.iter().enumerate() {
+        for (&addr, &asn) in &ixp.interfaces {
+            lan_ifaces.entry(asn).or_default().push((addr, i));
+        }
+    }
+
+    let empty: BTreeSet<(Ipv4Addr, usize)> = BTreeSet::new();
+    let mut findings = Vec::new();
+    for (&asn, crossings) in &crossing_evidence {
+        // Candidate: the AS appears in crossings at ≥2 distinct IXPs.
+        if crossings.len() < 2 {
+            continue;
+        }
+        let pairs = as_pairs.get(&asn).unwrap_or(&empty);
+        // 2. Alias-resolve all its observed interfaces.
+        let mut addrs: BTreeSet<Ipv4Addr> = pairs.iter().map(|&(a, _)| a).collect();
+        for &(a, _) in lan_ifaces.get(&asn).map(Vec::as_slice).unwrap_or(&[]) {
+            addrs.insert(a);
+        }
+        let iface_ids: Vec<opeer_topology::IfaceId> = addrs
+            .iter()
+            .filter_map(|&a| input.world.iface_by_addr(a))
+            .collect();
+        let sets = resolve(input.world, &iface_ids, alias_cfg);
+
+        // 3. Group interfaces per resolved router; singletons stay alone.
+        let mut groups: BTreeMap<usize, Vec<Ipv4Addr>> = BTreeMap::new();
+        let mut singles: Vec<Ipv4Addr> = Vec::new();
+        for &a in &addrs {
+            match input.world.iface_by_addr(a).and_then(|i| sets.group_of(i)) {
+                Some(g) => groups.entry(g).or_default().push(a),
+                None => singles.push(a),
+            }
+        }
+        let mut all_groups: Vec<Vec<Ipv4Addr>> = groups.into_values().collect();
+        all_groups.extend(singles.into_iter().map(|a| vec![a]));
+
+        for group in all_groups {
+            // IXPs this group faces: pair-derived next hops + the IXPs of
+            // its own LAN addresses.
+            let mut next_hop: BTreeSet<usize> = BTreeSet::new();
+            for &a in &group {
+                for &(pa, ixp) in pairs {
+                    if pa == a {
+                        next_hop.insert(ixp);
+                    }
+                }
+                if let Some((ixp, owner)) = input.observed.member_of_addr(a) {
+                    if owner == asn {
+                        next_hop.insert(ixp);
+                    }
+                }
+            }
+            if next_hop.len() < 2 {
+                continue;
+            }
+
+            let class = classify(input, asn, &next_hop, details, ledger, &lan_ifaces);
+            // 4. Propagate: in pipeline mode only to unknown memberships;
+            //    in standalone mode every involved interface gets the
+            //    step's own verdict (Table 4 semantics).
+            if let Some((class, verdicts)) = &class {
+                for (ixp, verdict) in verdicts {
+                    if let Some(lans) = lan_ifaces.get(&asn) {
+                        for &(addr, lan_ixp) in lans {
+                            if lan_ixp != *ixp {
+                                continue;
+                            }
+                            let inf = Inference {
+                                addr,
+                                ixp: *ixp,
+                                asn,
+                                verdict: *verdict,
+                                step: Step::MultiIxp,
+                                evidence: format!(
+                                    "{class:?} multi-IXP router facing {} IXPs",
+                                    next_hop.len()
+                                ),
+                            };
+                            if let Some(sink) = collect_all.as_deref_mut() {
+                                sink.push(inf.clone());
+                            }
+                            if !ledger.known(addr) {
+                                ledger.record(inf);
+                            }
+                        }
+                    }
+                }
+            }
+            findings.push(MultiIxpFinding {
+                asn,
+                ifaces: group,
+                next_hop_ixps: next_hop,
+                class: class.map(|(c, _)| c),
+            });
+        }
+    }
+    findings
+}
+
+/// Applies the three classification rules. Returns the class and the
+/// per-IXP verdicts to propagate.
+#[allow(clippy::type_complexity)]
+fn classify(
+    input: &InferenceInput<'_>,
+    asn: Asn,
+    involved: &BTreeSet<usize>,
+    details: &BTreeMap<Ipv4Addr, Step3Detail>,
+    ledger: &Ledger,
+    lan_ifaces: &BTreeMap<Asn, Vec<(Ipv4Addr, usize)>>,
+) -> Option<(RouterClass, Vec<(usize, Verdict)>)> {
+    // Prior verdicts of this AS at the involved IXPs, with their annuli.
+    let mut prior: BTreeMap<usize, (Verdict, Option<Step3Detail>)> = BTreeMap::new();
+    if let Some(lans) = lan_ifaces.get(&asn) {
+        for &(addr, ixp) in lans {
+            if !involved.contains(&ixp) {
+                continue;
+            }
+            if let Some(v) = ledger.verdict(addr) {
+                prior.insert(ixp, (v, details.get(&addr).copied()));
+            }
+        }
+    }
+
+    let share_facility = |a: usize, b: usize| -> bool {
+        input.observed.ixps[a]
+            .facility_idxs
+            .iter()
+            .any(|f| input.observed.ixps[b].facility_idxs.contains(f))
+    };
+    let all_share = || -> bool {
+        let v: Vec<usize> = involved.iter().copied().collect();
+        v.windows(2).all(|w| share_facility(w[0], w[1]))
+            && (v.len() < 2 || share_facility(v[0], *v.last().expect("non-empty")))
+    };
+    let ixp_pair_dist = |a: usize, b: usize, max: bool| -> Option<f64> {
+        let fa = &input.observed.ixps[a].facility_idxs;
+        let fb = &input.observed.ixps[b].facility_idxs;
+        let mut best: Option<f64> = None;
+        for &x in fa {
+            for &y in fb {
+                let d = input.observed.facilities[x]
+                    .location
+                    .distance_km(&input.observed.facilities[y].location);
+                best = Some(match best {
+                    None => d,
+                    Some(cur) if max => cur.max(d),
+                    Some(cur) => cur.min(d),
+                });
+            }
+        }
+        best
+    };
+
+    // Rule 1: local multi-IXP router.
+    if let Some((&l_ixp, _)) = prior.iter().find(|(_, (v, _))| *v == Verdict::Local) {
+        if all_share() {
+            let _ = l_ixp;
+            return Some((
+                RouterClass::Local,
+                involved.iter().map(|&i| (i, Verdict::Local)).collect(),
+            ));
+        }
+    }
+
+    // Rule 2: remote multi-IXP router.
+    if let Some((&r_ixp, (_, det))) = prior.iter().find(|(_, (v, _))| *v == Verdict::Remote) {
+        let cond_a = all_share();
+        let cond_b = det.map_or(false, |d| {
+            involved.iter().all(|&x| {
+                x == r_ixp
+                    || ixp_pair_dist(x, r_ixp, true).is_some_and(|max_d| max_d < d.annulus.min_km)
+            })
+        });
+        if cond_a || cond_b {
+            return Some((
+                RouterClass::Remote,
+                involved.iter().map(|&i| (i, Verdict::Remote)).collect(),
+            ));
+        }
+    }
+
+    // Rule 3: hybrid.
+    if let Some((&l_ixp, (_, det))) = prior.iter().find(|(_, (v, _))| *v == Verdict::Local) {
+        let mut verdicts: Vec<(usize, Verdict)> = vec![(l_ixp, Verdict::Local)];
+        let mut any_remote = false;
+        for &x in involved {
+            if x == l_ixp {
+                continue;
+            }
+            if share_facility(l_ixp, x) {
+                verdicts.push((x, Verdict::Local));
+                continue;
+            }
+            let cond_b = det.map_or(false, |d| {
+                ixp_pair_dist(l_ixp, x, false).is_some_and(|min_d| min_d > d.annulus.max_km)
+            });
+            // Condition (a): no common facility at all — already true here.
+            let cond_a = true;
+            if cond_a || cond_b {
+                verdicts.push((x, Verdict::Remote));
+                any_remote = true;
+            }
+        }
+        if any_remote {
+            return Some((RouterClass::Hybrid, verdicts));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steps::{step2, step3};
+    use opeer_geo::SpeedModel;
+    use opeer_topology::WorldConfig;
+
+    fn run(seed: u64) -> (opeer_topology::World, Vec<MultiIxpFinding>, Ledger) {
+        let w = WorldConfig::small(seed).generate();
+        let input = InferenceInput::assemble(&w, seed);
+        let mut ledger = Ledger::new();
+        crate::steps::step1::apply(&input, &mut ledger);
+        let obs = step2::consolidate(&input);
+        let details_vec = step3::apply(&input, &obs, &SpeedModel::default(), &mut ledger);
+        let details: BTreeMap<Ipv4Addr, Step3Detail> =
+            details_vec.iter().map(|d| (d.addr, *d)).collect();
+        let before = ledger.len();
+        let findings = apply(&input, &details, &AliasConfig::default(), &mut ledger);
+        assert!(ledger.len() >= before);
+        (w, findings, ledger)
+    }
+
+    #[test]
+    fn finds_multi_ixp_routers() {
+        let (_w, findings, _ledger) = run(101);
+        assert!(!findings.is_empty(), "no multi-IXP routers discovered");
+        for f in &findings {
+            assert!(f.next_hop_ixps.len() >= 2);
+            assert!(!f.ifaces.is_empty());
+        }
+    }
+
+    #[test]
+    fn propagated_verdicts_are_mostly_correct() {
+        let (w, _findings, ledger) = run(101);
+        let (mut ok, mut bad) = (0usize, 0usize);
+        for inf in ledger.all() {
+            if inf.step != Step::MultiIxp {
+                continue;
+            }
+            let Some(ifc) = w.iface_by_addr(inf.addr) else { continue };
+            let Some(mid) = w.membership_of_iface(ifc) else { continue };
+            if w.memberships[mid.index()].truth.is_remote() == inf.verdict.is_remote() {
+                ok += 1;
+            } else {
+                bad += 1;
+            }
+        }
+        if ok + bad >= 10 {
+            let acc = ok as f64 / (ok + bad) as f64;
+            assert!(acc > 0.75, "step-4 accuracy {acc} over {} inferences", ok + bad);
+        }
+    }
+
+    #[test]
+    fn groups_respect_alias_truth() {
+        // Every multi-address group must really be one router.
+        let (w, findings, _ledger) = run(101);
+        for f in &findings {
+            if f.ifaces.len() < 2 {
+                continue;
+            }
+            let routers: BTreeSet<_> = f
+                .ifaces
+                .iter()
+                .filter_map(|&a| w.iface_by_addr(a))
+                .map(|i| w.interfaces[i.index()].router)
+                .collect();
+            assert_eq!(routers.len(), 1, "alias group spans routers: {:?}", f.ifaces);
+        }
+    }
+}

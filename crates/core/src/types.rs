@@ -1,0 +1,107 @@
+//! Core inference types.
+
+use opeer_net::Asn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The verdict for one member interface at one IXP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Physically patched in an IXP facility, not via a reseller.
+    Local,
+    /// Remote under Definition 1 (distant and/or through a reseller).
+    Remote,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Remote`].
+    pub fn is_remote(self) -> bool {
+        matches!(self, Verdict::Remote)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Local => write!(f, "local"),
+            Verdict::Remote => write!(f, "remote"),
+        }
+    }
+}
+
+/// Which part of the methodology produced an inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Step {
+    /// The Castro et al. RTT-threshold baseline (not part of the
+    /// combined pipeline; kept for comparison).
+    Baseline,
+    /// §5.2 step 1 — port capacity vs `Cmin`.
+    PortCapacity,
+    /// §5.2 steps 2+3 — minimum RTT + colocation annulus.
+    RttColo,
+    /// §5.2 step 4 — multi-IXP router propagation.
+    MultiIxp,
+    /// §5.2 step 5 — private-connectivity facility vote.
+    PrivateLinks,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Step::Baseline => "baseline-rtt",
+            Step::PortCapacity => "port-capacity",
+            Step::RttColo => "rtt+colo",
+            Step::MultiIxp => "multi-ixp",
+            Step::PrivateLinks => "private-links",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One inference record: an interface of a member at an IXP, classified.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Inference {
+    /// The member's peering-LAN interface address.
+    pub addr: Ipv4Addr,
+    /// Observed IXP index (into `ObservedWorld::ixps`).
+    pub ixp: usize,
+    /// Member ASN.
+    pub asn: Asn,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// The step that produced it.
+    pub step: Step,
+    /// Human-readable evidence trail.
+    pub evidence: String,
+}
+
+/// A member interface that no step could classify.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Unclassified {
+    /// The interface address.
+    pub addr: Ipv4Addr,
+    /// Observed IXP index.
+    pub ixp: usize,
+    /// Member ASN.
+    pub asn: Asn,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_display_and_predicates() {
+        assert_eq!(Verdict::Local.to_string(), "local");
+        assert_eq!(Verdict::Remote.to_string(), "remote");
+        assert!(Verdict::Remote.is_remote());
+        assert!(!Verdict::Local.is_remote());
+    }
+
+    #[test]
+    fn step_display() {
+        assert_eq!(Step::PortCapacity.to_string(), "port-capacity");
+        assert_eq!(Step::RttColo.to_string(), "rtt+colo");
+    }
+}

@@ -1,0 +1,110 @@
+//! WGS-84 coordinates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point on the WGS-84 ellipsoid, in decimal degrees.
+///
+/// Latitude is clamped-validated to `[-90, 90]`; longitude is normalised to
+/// `(-180, 180]` so that registry rows using `0..360` conventions compare
+/// equal to their signed twins.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    lat_deg: f64,
+    lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, returning `None` for non-finite or out-of-range
+    /// latitude. Longitude is normalised rather than rejected.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Option<Self> {
+        if !lat_deg.is_finite() || !lon_deg.is_finite() || !(-90.0..=90.0).contains(&lat_deg) {
+            return None;
+        }
+        Some(GeoPoint {
+            lat_deg,
+            lon_deg: normalize_lon(lon_deg),
+        })
+    }
+
+    /// Latitude in decimal degrees, `[-90, 90]`.
+    pub const fn lat(&self) -> f64 {
+        self.lat_deg
+    }
+
+    /// Longitude in decimal degrees, `(-180, 180]`.
+    pub const fn lon(&self) -> f64 {
+        self.lon_deg
+    }
+
+    /// Latitude in radians.
+    pub fn lat_rad(&self) -> f64 {
+        self.lat_deg.to_radians()
+    }
+
+    /// Longitude in radians.
+    pub fn lon_rad(&self) -> f64 {
+        self.lon_deg.to_radians()
+    }
+
+    /// Geodesic distance to `other` in metres (see [`crate::geodesic`]).
+    pub fn distance_m(&self, other: &GeoPoint) -> f64 {
+        crate::geodesic::distance_m(*self, *other)
+    }
+
+    /// Geodesic distance to `other` in kilometres.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        self.distance_m(other) / 1000.0
+    }
+}
+
+fn normalize_lon(lon: f64) -> f64 {
+    let mut l = lon % 360.0;
+    if l > 180.0 {
+        l -= 360.0;
+    } else if l <= -180.0 {
+        l += 360.0;
+    }
+    l
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.lat_deg, self.lon_deg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_construction() {
+        let p = GeoPoint::new(52.3, 4.9).unwrap(); // Amsterdam
+        assert_eq!(p.lat(), 52.3);
+        assert_eq!(p.lon(), 4.9);
+    }
+
+    #[test]
+    fn rejects_bad_latitude() {
+        assert!(GeoPoint::new(90.1, 0.0).is_none());
+        assert!(GeoPoint::new(-90.1, 0.0).is_none());
+        assert!(GeoPoint::new(f64::NAN, 0.0).is_none());
+        assert!(GeoPoint::new(0.0, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn normalises_longitude() {
+        assert_eq!(GeoPoint::new(0.0, 190.0).unwrap().lon(), -170.0);
+        assert_eq!(GeoPoint::new(0.0, -190.0).unwrap().lon(), 170.0);
+        assert_eq!(GeoPoint::new(0.0, 360.0).unwrap().lon(), 0.0);
+        assert_eq!(GeoPoint::new(0.0, 180.0).unwrap().lon(), 180.0);
+        assert_eq!(GeoPoint::new(0.0, -180.0).unwrap().lon(), 180.0);
+    }
+
+    #[test]
+    fn poles_are_valid() {
+        assert!(GeoPoint::new(90.0, 0.0).is_some());
+        assert!(GeoPoint::new(-90.0, 123.0).is_some());
+    }
+}

@@ -1,0 +1,204 @@
+//! Ellipsoidal and spherical distance computations.
+//!
+//! The precise engine is Vincenty's inverse formula on the WGS-84
+//! ellipsoid, accurate to ~0.5 mm for all point pairs at which the
+//! iteration converges (everything except near-antipodal pairs). For the
+//! rare non-convergent near-antipodal case — which does not occur between
+//! real IXP facilities and vantage points — [`distance_m`] falls back to
+//! the haversine great-circle distance on the mean-radius sphere and the
+//! error stays below the ellipsoidal flattening bound (~0.56 %, i.e. far
+//! below the paper's 50 km metro threshold at those distances).
+
+use crate::coord::GeoPoint;
+
+/// WGS-84 semi-major axis, metres.
+pub const WGS84_A: f64 = 6_378_137.0;
+/// WGS-84 flattening.
+pub const WGS84_F: f64 = 1.0 / 298.257_223_563;
+/// WGS-84 semi-minor axis, metres.
+pub const WGS84_B: f64 = WGS84_A * (1.0 - WGS84_F);
+/// Mean Earth radius (IUGG), metres — used by the haversine fallback.
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Haversine great-circle distance in metres on the mean-radius sphere.
+pub fn haversine_m(p1: GeoPoint, p2: GeoPoint) -> f64 {
+    let (lat1, lon1) = (p1.lat_rad(), p1.lon_rad());
+    let (lat2, lon2) = (p2.lat_rad(), p2.lon_rad());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_M * a.sqrt().min(1.0).asin()
+}
+
+/// Vincenty's inverse formula on WGS-84: distance in metres, or `None` if
+/// the iteration fails to converge (near-antipodal pairs).
+pub fn vincenty_inverse_m(p1: GeoPoint, p2: GeoPoint) -> Option<f64> {
+    let (lat1, lon1) = (p1.lat_rad(), p1.lon_rad());
+    let (lat2, lon2) = (p2.lat_rad(), p2.lon_rad());
+    if (lat1 - lat2).abs() < 1e-15 && (lon1 - lon2).abs() < 1e-15 {
+        return Some(0.0);
+    }
+
+    let f = WGS84_F;
+    let l = lon2 - lon1;
+    let u1 = ((1.0 - f) * lat1.tan()).atan();
+    let u2 = ((1.0 - f) * lat2.tan()).atan();
+    let (sin_u1, cos_u1) = u1.sin_cos();
+    let (sin_u2, cos_u2) = u2.sin_cos();
+
+    let mut lambda = l;
+    let mut iter = 0;
+    let (sin_sigma, cos_sigma, sigma, cos_sq_alpha, cos_2sigma_m) = loop {
+        let (sin_lambda, cos_lambda) = lambda.sin_cos();
+        let sin_sigma = ((cos_u2 * sin_lambda).powi(2)
+            + (cos_u1 * sin_u2 - sin_u1 * cos_u2 * cos_lambda).powi(2))
+        .sqrt();
+        if sin_sigma == 0.0 {
+            // Coincident points.
+            return Some(0.0);
+        }
+        let cos_sigma = sin_u1 * sin_u2 + cos_u1 * cos_u2 * cos_lambda;
+        let sigma = sin_sigma.atan2(cos_sigma);
+        let sin_alpha = cos_u1 * cos_u2 * sin_lambda / sin_sigma;
+        let cos_sq_alpha = 1.0 - sin_alpha * sin_alpha;
+        // Equatorial line: cos²α = 0.
+        let cos_2sigma_m = if cos_sq_alpha.abs() < 1e-12 {
+            0.0
+        } else {
+            cos_sigma - 2.0 * sin_u1 * sin_u2 / cos_sq_alpha
+        };
+        let c = f / 16.0 * cos_sq_alpha * (4.0 + f * (4.0 - 3.0 * cos_sq_alpha));
+        let lambda_prev = lambda;
+        lambda = l
+            + (1.0 - c)
+                * f
+                * sin_alpha
+                * (sigma
+                    + c * sin_sigma
+                        * (cos_2sigma_m + c * cos_sigma * (-1.0 + 2.0 * cos_2sigma_m * cos_2sigma_m)));
+        if (lambda - lambda_prev).abs() < 1e-12 {
+            break (sin_sigma, cos_sigma, sigma, cos_sq_alpha, cos_2sigma_m);
+        }
+        iter += 1;
+        if iter > 200 {
+            return None; // near-antipodal: no convergence
+        }
+    };
+
+    let u_sq = cos_sq_alpha * (WGS84_A * WGS84_A - WGS84_B * WGS84_B) / (WGS84_B * WGS84_B);
+    let a_coef = 1.0 + u_sq / 16384.0 * (4096.0 + u_sq * (-768.0 + u_sq * (320.0 - 175.0 * u_sq)));
+    let b_coef = u_sq / 1024.0 * (256.0 + u_sq * (-128.0 + u_sq * (74.0 - 47.0 * u_sq)));
+    let delta_sigma = b_coef
+        * sin_sigma
+        * (cos_2sigma_m
+            + b_coef / 4.0
+                * (cos_sigma * (-1.0 + 2.0 * cos_2sigma_m * cos_2sigma_m)
+                    - b_coef / 6.0
+                        * cos_2sigma_m
+                        * (-3.0 + 4.0 * sin_sigma * sin_sigma)
+                        * (-3.0 + 4.0 * cos_2sigma_m * cos_2sigma_m)));
+    Some(WGS84_B * a_coef * (sigma - delta_sigma))
+}
+
+/// Geodesic distance in metres: Vincenty when it converges, haversine
+/// otherwise. This is the distance used everywhere in the workspace.
+pub fn distance_m(p1: GeoPoint, p2: GeoPoint) -> f64 {
+    vincenty_inverse_m(p1, p2).unwrap_or_else(|| haversine_m(p1, p2))
+}
+
+/// Geodesic distance in kilometres.
+pub fn distance_km(p1: GeoPoint, p2: GeoPoint) -> f64 {
+    distance_m(p1, p2) / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    /// Karney (2013), Table: JFK→LHR test pair. Published geodesic distance
+    /// is 5 551 759.400 m; Vincenty should land within a metre.
+    #[test]
+    fn jfk_to_lhr_matches_published_value() {
+        let jfk = pt(40.6, -73.8);
+        let lhr = pt(51.6, -0.5);
+        let d = vincenty_inverse_m(jfk, lhr).unwrap();
+        assert!((d - 5_551_759.4).abs() < 1.0, "got {d}");
+    }
+
+    /// One degree of longitude along the equator is exactly a·π/180 because
+    /// the equator is a geodesic of the ellipsoid.
+    #[test]
+    fn equatorial_degree() {
+        let d = vincenty_inverse_m(pt(0.0, 0.0), pt(0.0, 1.0)).unwrap();
+        let expect = WGS84_A * std::f64::consts::PI / 180.0;
+        assert!((d - expect).abs() < 0.01, "got {d}, want {expect}");
+    }
+
+    /// The quarter meridian of WGS-84 is 10 001 965.729 m.
+    #[test]
+    fn quarter_meridian() {
+        let d = vincenty_inverse_m(pt(0.0, 0.0), pt(90.0, 0.0)).unwrap();
+        assert!((d - 10_001_965.729).abs() < 0.5, "got {d}");
+    }
+
+    #[test]
+    fn zero_for_coincident_points() {
+        let p = pt(52.37, 4.9);
+        assert_eq!(vincenty_inverse_m(p, p), Some(0.0));
+        assert_eq!(distance_m(p, p), 0.0);
+        assert_eq!(haversine_m(p, p), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = pt(52.37, 4.9); // Amsterdam
+        let b = pt(50.11, 8.68); // Frankfurt
+        let d1 = distance_m(a, b);
+        let d2 = distance_m(b, a);
+        assert!((d1 - d2).abs() < 1e-6);
+        // AMS-FRA is ~360 km as the crow flies.
+        assert!((d1 / 1000.0 - 360.0).abs() < 15.0, "got {} km", d1 / 1000.0);
+    }
+
+    #[test]
+    fn haversine_close_to_vincenty_mid_latitudes() {
+        let a = pt(48.85, 2.35); // Paris
+        let b = pt(41.9, 12.5); // Rome
+        let hv = haversine_m(a, b);
+        let vc = vincenty_inverse_m(a, b).unwrap();
+        let rel = (hv - vc).abs() / vc;
+        assert!(rel < 0.006, "relative error {rel}");
+    }
+
+    #[test]
+    fn antipodal_falls_back_to_haversine() {
+        // Exactly antipodal points on the equator: Vincenty cannot converge,
+        // distance_m must still return roughly half the circumference.
+        let a = pt(0.0, 0.0);
+        let b = pt(0.0, 179.9999);
+        let d = distance_m(a, b);
+        assert!(d > 19_000_000.0, "got {d}");
+    }
+
+    #[test]
+    fn dateline_crossing_is_short() {
+        let west = pt(0.0, 179.9);
+        let east = pt(0.0, -179.9);
+        let d = distance_km(west, east);
+        assert!(d < 30.0, "got {d} km; dateline not handled");
+    }
+
+    #[test]
+    fn london_bucharest_over_1300km() {
+        // §4.2: NL-IX facilities in London and Bucharest are over 1300 km
+        // apart.
+        let lon = pt(51.507, -0.128);
+        let buc = pt(44.426, 26.102);
+        let d = distance_km(lon, buc);
+        assert!(d > 1300.0 && d < 2300.0, "got {d} km");
+    }
+}

@@ -1,0 +1,356 @@
+//! Measurement campaigns and their observation records.
+//!
+//! Two protocols from the paper:
+//!
+//! * **Study campaign** (§5.2 step 2): from every usable VP of an IXP,
+//!   ping every member interface every 2 hours for 2 days (24 samples),
+//!   apply the TTL-match and TTL-switch filters, keep `RTTmin`.
+//! * **Control campaign** (§4.1): operator-internal access, every 20
+//!   minutes for two days (144 samples), same filters.
+//!
+//! The campaign also reproduces the §6.1 probe hygiene: Atlas probes that
+//! never answer are dropped, and Atlas probes with `RTTmin ≥ 1 ms` to
+//! their route server are discarded as management-LAN impostors.
+
+use crate::latency::LatencyModel;
+use crate::ping::PingEngine;
+use crate::vp::{operator_vp, VantagePoint, VpId};
+use opeer_net::TtlFilter;
+use opeer_topology::{IxpId, World};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Number of probe rounds per (VP, target) pair.
+    pub samples: u64,
+    /// Seed for the latency model.
+    pub seed: u64,
+    /// Atlas probes with route-server RTTmin at or above this are dropped
+    /// (ms). The paper uses 1 ms.
+    pub rs_filter_ms: f64,
+}
+
+impl CampaignConfig {
+    /// §5.2 protocol: 24 samples (every 2 h for 2 days).
+    pub fn study(seed: u64) -> Self {
+        CampaignConfig {
+            samples: 24,
+            seed,
+            rs_filter_ms: 1.0,
+        }
+    }
+
+    /// §4.1 control protocol: 144 samples (every 20 min for 2 days).
+    pub fn control(seed: u64) -> Self {
+        CampaignConfig {
+            samples: 144,
+            seed,
+            rs_filter_ms: 1.0,
+        }
+    }
+}
+
+/// The minimum-RTT observation for one (VP, interface) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PingObservation {
+    /// The vantage point.
+    pub vp: VpId,
+    /// The IXP whose member LAN the target belongs to.
+    pub ixp: IxpId,
+    /// Target interface address on the peering LAN.
+    pub target: Ipv4Addr,
+    /// Minimum RTT over all TTL-accepted samples, ms (as reported by the
+    /// VP — integer for rounding LGs).
+    pub min_rtt_ms: f64,
+    /// Whether the reporting VP rounds RTTs up to integer ms (the
+    /// inference must widen the annulus inward for these, §6.1).
+    pub vp_rounds_up: bool,
+    /// Number of samples that answered and passed the TTL-match filter.
+    pub accepted: usize,
+    /// Total probes sent.
+    pub sent: usize,
+}
+
+/// Per-VP campaign statistics (Fig. 9a, Table 5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VpStats {
+    /// The VP.
+    pub vp: VpId,
+    /// Its IXP.
+    pub ixp: IxpId,
+    /// Whether it is an Atlas probe.
+    pub atlas: bool,
+    /// Interfaces probed.
+    pub targets: usize,
+    /// Interfaces with at least one accepted reply.
+    pub responsive: usize,
+    /// Whether the VP was discarded entirely (dead, or failed the
+    /// route-server filter).
+    pub discarded: bool,
+    /// RTTmin to the route server, if measured.
+    pub rs_rtt_ms: Option<f64>,
+}
+
+/// Full result of a campaign.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// One record per (usable VP, responsive target) with a consistent
+    /// TTL series.
+    pub observations: Vec<PingObservation>,
+    /// Per-VP statistics including discarded VPs.
+    pub vp_stats: Vec<VpStats>,
+}
+
+impl CampaignResult {
+    /// Observations for one IXP.
+    pub fn for_ixp(&self, ixp: IxpId) -> impl Iterator<Item = &PingObservation> {
+        self.observations.iter().filter(move |o| o.ixp == ixp)
+    }
+
+    /// The best (lowest) RTTmin per target address across VPs of its IXP,
+    /// preferring non-rounding VPs on ties. This is what Step 3 consumes.
+    pub fn best_per_target(&self) -> Vec<&PingObservation> {
+        use std::collections::HashMap;
+        let mut best: HashMap<Ipv4Addr, &PingObservation> = HashMap::new();
+        for o in &self.observations {
+            best.entry(o.target)
+                .and_modify(|cur| {
+                    let better = o.min_rtt_ms < cur.min_rtt_ms
+                        || (o.min_rtt_ms == cur.min_rtt_ms && !o.vp_rounds_up && cur.vp_rounds_up);
+                    if better {
+                        *cur = o;
+                    }
+                })
+                .or_insert(o);
+        }
+        let mut v: Vec<&PingObservation> = best.into_values().collect();
+        v.sort_by_key(|o| o.target);
+        v
+    }
+}
+
+/// Runs a campaign from the given VPs against the member interfaces of
+/// their own IXPs.
+pub fn run_campaign(world: &World, vps: &[VantagePoint], cfg: CampaignConfig) -> CampaignResult {
+    let engine = PingEngine::new(world, LatencyModel::new(cfg.seed));
+    let mut result = CampaignResult::default();
+
+    for vp in vps {
+        // Route-server hygiene for Atlas probes.
+        let mut rs_min: Option<f64> = None;
+        for i in 0..cfg.samples {
+            if let Some(r) = engine.ping_route_server(vp, i) {
+                rs_min = Some(rs_min.map_or(r.rtt_ms, |m: f64| m.min(r.rtt_ms)));
+            }
+        }
+        let discarded_rs = vp.is_atlas()
+            && rs_min.map_or(true, |m| m >= cfg.rs_filter_ms);
+        let mut stats = VpStats {
+            vp: vp.id,
+            ixp: vp.ixp,
+            atlas: vp.is_atlas(),
+            targets: 0,
+            responsive: 0,
+            discarded: discarded_rs,
+            rs_rtt_ms: rs_min,
+        };
+        if discarded_rs {
+            result.vp_stats.push(stats);
+            continue;
+        }
+
+        let month = world.observation_month;
+        for &mid in world.memberships_of_ixp(vp.ixp) {
+            let m = &world.memberships[mid.index()];
+            if !m.active_at(month) {
+                continue;
+            }
+            let target = world.interfaces[m.iface.index()].addr;
+            stats.targets += 1;
+            let mut filter = TtlFilter::new(vp.ttl_max_hops());
+            let mut min_rtt = f64::INFINITY;
+            let mut sent = 0usize;
+            for i in 0..cfg.samples {
+                sent += 1;
+                if let Some(reply) = engine.ping(vp, target, i) {
+                    if filter.accept(reply.ttl) {
+                        min_rtt = min_rtt.min(reply.rtt_ms);
+                    }
+                }
+            }
+            // TTL-switch rule: a series answered by different devices is
+            // discarded wholesale.
+            if filter.accepted() > 0 && filter.is_consistent() {
+                stats.responsive += 1;
+                result.observations.push(PingObservation {
+                    vp: vp.id,
+                    ixp: vp.ixp,
+                    target,
+                    min_rtt_ms: min_rtt,
+                    vp_rounds_up: vp.rounds_up(),
+                    accepted: filter.accepted(),
+                    sent,
+                });
+            }
+        }
+        result.vp_stats.push(stats);
+    }
+    result
+}
+
+/// Runs the §4.1 control-subset campaign: operator-internal VPs at every
+/// control-validation IXP.
+pub fn run_control_campaign(world: &World, cfg: CampaignConfig) -> CampaignResult {
+    let control: Vec<IxpId> = world
+        .ixps
+        .iter()
+        .enumerate()
+        .filter(|(_, x)| x.validation == opeer_topology::ValidationRole::Control)
+        .map(|(i, _)| IxpId::from_index(i))
+        .collect();
+    let vps: Vec<VantagePoint> = control
+        .iter()
+        .enumerate()
+        .map(|(k, &ixp)| operator_vp(world, ixp, 1_000_000 + k as u32))
+        .collect();
+    run_campaign(world, &vps, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vp::discover_vps;
+    use opeer_topology::{AccessTruth, WorldConfig};
+
+    fn world() -> World {
+        WorldConfig::small(19).generate()
+    }
+
+    #[test]
+    fn study_campaign_produces_observations() {
+        let w = world();
+        let vps = discover_vps(&w, 2);
+        let res = run_campaign(&w, &vps, CampaignConfig::study(2));
+        assert!(!res.observations.is_empty());
+        for o in &res.observations {
+            assert!(o.min_rtt_ms.is_finite());
+            assert!(o.min_rtt_ms > 0.0);
+            assert!(o.accepted <= o.sent);
+        }
+    }
+
+    #[test]
+    fn lg_response_rate_exceeds_atlas() {
+        let w = world();
+        let vps = discover_vps(&w, 2);
+        let res = run_campaign(&w, &vps, CampaignConfig::study(2));
+        let rate = |atlas: bool| -> Option<f64> {
+            let (mut t, mut r) = (0usize, 0usize);
+            for s in res.vp_stats.iter().filter(|s| s.atlas == atlas && !s.discarded) {
+                t += s.targets;
+                r += s.responsive;
+            }
+            (t > 0).then(|| r as f64 / t as f64)
+        };
+        let lg = rate(false).expect("LG stats");
+        assert!(lg > 0.85, "LG response rate {lg}");
+        if let Some(atlas) = rate(true) {
+            assert!(atlas < lg, "Atlas {atlas} should respond less than LGs {lg}");
+        }
+    }
+
+    #[test]
+    fn mgmt_lan_probes_get_discarded() {
+        let w = world();
+        let vps = discover_vps(&w, 2);
+        let res = run_campaign(&w, &vps, CampaignConfig::study(2));
+        let mgmt: Vec<_> = vps
+            .iter()
+            .filter(|v| {
+                matches!(
+                    v.kind,
+                    crate::vp::VpKind::Atlas {
+                        host: crate::vp::AtlasHost::MgmtLan(_),
+                        dead: false
+                    }
+                )
+            })
+            .collect();
+        for vp in mgmt {
+            let s = res
+                .vp_stats
+                .iter()
+                .find(|s| s.vp == vp.id)
+                .expect("stats recorded");
+            assert!(s.discarded, "{} should fail the RS filter", vp.name);
+        }
+    }
+
+    #[test]
+    fn control_campaign_covers_control_ixps_only() {
+        let w = world();
+        let res = run_control_campaign(&w, CampaignConfig::control(2));
+        assert!(!res.observations.is_empty());
+        for o in &res.observations {
+            assert_eq!(
+                w.ixps[o.ixp.index()].validation,
+                opeer_topology::ValidationRole::Control
+            );
+        }
+    }
+
+    #[test]
+    fn control_rtts_separate_local_from_far_remote() {
+        // Fig. 1b's shape: locals cluster < 1 ms, far remotes ≫ 10 ms.
+        let w = world();
+        let res = run_control_campaign(&w, CampaignConfig::control(2));
+        let mut local_under_1ms = 0usize;
+        let mut locals = 0usize;
+        for o in &res.observations {
+            let ifc = w.iface_by_addr(o.target).expect("campaign target exists");
+            let mid = w.membership_of_iface(ifc).expect("LAN iface");
+            let m = &w.memberships[mid.index()];
+            if let AccessTruth::Local { .. } = m.truth {
+                locals += 1;
+                if o.min_rtt_ms < 1.0 {
+                    local_under_1ms += 1;
+                }
+            }
+        }
+        assert!(locals > 10, "too few locals observed: {locals}");
+        let frac = local_under_1ms as f64 / locals as f64;
+        // Wide-area control IXPs may hold a few distant locals; the bulk
+        // must still be sub-millisecond.
+        assert!(frac > 0.75, "only {frac} of locals under 1 ms");
+    }
+
+    #[test]
+    fn best_per_target_prefers_lower() {
+        let w = world();
+        let vps = discover_vps(&w, 2);
+        let res = run_campaign(&w, &vps, CampaignConfig::study(2));
+        let best = res.best_per_target();
+        let mut seen = std::collections::HashSet::new();
+        for o in &best {
+            assert!(seen.insert(o.target), "duplicate target in best_per_target");
+        }
+        // Every observation's target is covered.
+        let all: std::collections::HashSet<_> =
+            res.observations.iter().map(|o| o.target).collect();
+        assert_eq!(seen, all);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let w = world();
+        let vps = discover_vps(&w, 2);
+        let a = run_campaign(&w, &vps, CampaignConfig::study(5));
+        let b = run_campaign(&w, &vps, CampaignConfig::study(5));
+        assert_eq!(a.observations.len(), b.observations.len());
+        for (x, y) in a.observations.iter().zip(&b.observations) {
+            assert_eq!(x.min_rtt_ms, y.min_rtt_ms);
+        }
+    }
+}

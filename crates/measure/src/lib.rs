@@ -1,0 +1,50 @@
+//! # opeer-measure — the simulated measurement plane
+//!
+//! The paper's data plane consisted of pings from looking glasses and RIPE
+//! Atlas probes colocated with IXPs (§3.1), 3.15 billion public Atlas
+//! traceroutes, and Y.1731 inter-facility delay matrices volunteered by
+//! NL-IX and NET-IX. This crate reproduces that plane over the synthetic
+//! [`opeer_topology::World`], artifact for artifact:
+//!
+//! * [`latency`] — the delay model. Every path's base RTT derives from
+//!   geodesic distance and a stable per-path effective speed drawn
+//!   between the [`opeer_geo::SpeedModel`] bounds (the same bounds Step 3
+//!   of the inference uses — the model is calibrated to the world exactly
+//!   as the paper's fit was calibrated to its Y.1731 data), plus
+//!   processing overhead, per-sample jitter, transient spikes, and a
+//!   small rate of slow-path outliers that defeat the bounds.
+//! * [`vp`] — vantage points: per-IXP looking glasses (some of which
+//!   round RTTs *up* to whole milliseconds, §6.1) and Atlas probes, some
+//!   hosted in IXP facilities, some on distant management LANs (their
+//!   consistently inflated RTTs must be filtered), some dead.
+//! * [`ping`] — the ping engine, with reply-TTL semantics feeding the
+//!   TTL-match/TTL-switch filters of `opeer-net`.
+//! * [`campaign`] — measurement campaigns: the §5.2 protocol (24 samples
+//!   per pair over two days) and the §4.1 control protocol (every 20
+//!   minutes for two days), producing minimum-RTT observations and
+//!   response-rate statistics (Table 5, Fig. 9a/9b).
+//! * [`traceroute`] — the traceroute engine over policy-routed paths and
+//!   a public-corpus builder standing in for the Atlas measurement
+//!   archive.
+//! * [`y1731`] — demarcation-point delay matrices for wide-area IXPs
+//!   (Fig. 2a, Fig. 6).
+//! * [`ipid`] — IP-ID probing of interfaces, the raw signal for
+//!   MIDAR-style alias resolution in `opeer-alias`.
+//!
+//! Everything is deterministic given the world and a measurement seed.
+
+pub mod campaign;
+pub mod ipid;
+pub mod latency;
+pub mod periscope;
+pub mod ping;
+pub mod traceroute;
+pub mod vp;
+pub mod y1731;
+
+pub use campaign::{CampaignConfig, CampaignResult, PingObservation, VpStats};
+pub use latency::LatencyModel;
+pub use ping::{PingEngine, PingReply};
+pub use traceroute::{CorpusConfig, TraceSample, Traceroute, TracerouteEngine};
+pub use vp::{discover_vps, AtlasHost, VantagePoint, VpId, VpKind};
+pub use y1731::facility_delay_matrix;

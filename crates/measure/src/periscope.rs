@@ -1,0 +1,246 @@
+//! Periscope-style looking-glass query automation (§3.1, [45]).
+//!
+//! Public looking glasses are web forms with informal etiquette: they
+//! throttle, they time out, and hammering them gets your prober
+//! blacklisted. Periscope (Giotsas et al., PAM 2016) unifies LG querying
+//! behind one API with per-LG rate limiting and request scheduling; the
+//! paper issued its LG pings through it. This module reproduces that
+//! behaviour over the simulated measurement plane: a token-bucket per
+//! looking glass, deterministic virtual time, and per-LG accounting —
+//! so campaign code that respects the budget works unchanged against
+//! real Periscope.
+
+use crate::ping::{PingEngine, PingReply};
+use crate::vp::{VantagePoint, VpId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Per-LG request budget.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RateLimit {
+    /// Bucket capacity (burst size).
+    pub burst: u32,
+    /// Sustained queries per second.
+    pub per_second: f64,
+}
+
+impl Default for RateLimit {
+    fn default() -> Self {
+        // Periscope's conservative public-LG etiquette: small bursts,
+        // roughly one query every couple of seconds sustained.
+        RateLimit {
+            burst: 5,
+            per_second: 0.5,
+        }
+    }
+}
+
+/// Outcome of one scheduled query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryOutcome {
+    /// The LG answered (or timed out server-side: `None`).
+    Completed(Option<PingReply>),
+    /// The per-LG budget was exhausted; retry after the returned virtual
+    /// time (seconds).
+    RateLimited {
+        /// Earliest time the bucket has a token again.
+        retry_at_s: f64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    last_refill_s: f64,
+}
+
+/// Per-VP accounting.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Queries that went through.
+    pub completed: u64,
+    /// Queries rejected by the limiter.
+    pub rate_limited: u64,
+}
+
+/// The scheduler: one token bucket per looking glass.
+pub struct Periscope<'w> {
+    engine: PingEngine<'w>,
+    limit: RateLimit,
+    buckets: HashMap<VpId, Bucket>,
+    stats: HashMap<VpId, QueryStats>,
+}
+
+impl<'w> Periscope<'w> {
+    /// Creates a scheduler over a ping engine.
+    pub fn new(engine: PingEngine<'w>, limit: RateLimit) -> Self {
+        Periscope {
+            engine,
+            limit,
+            buckets: HashMap::new(),
+            stats: HashMap::new(),
+        }
+    }
+
+    /// Issues one LG query at virtual time `t_s`. Time must not go
+    /// backwards per LG (panics in debug builds if it does — a scheduler
+    /// bug, not a data condition).
+    pub fn query(
+        &mut self,
+        vp: &VantagePoint,
+        target: Ipv4Addr,
+        t_s: f64,
+        sample_idx: u64,
+    ) -> QueryOutcome {
+        let bucket = self.buckets.entry(vp.id).or_insert(Bucket {
+            tokens: f64::from(self.limit.burst),
+            last_refill_s: t_s,
+        });
+        debug_assert!(
+            t_s + 1e-9 >= bucket.last_refill_s,
+            "virtual time went backwards for {:?}",
+            vp.id
+        );
+        let elapsed = (t_s - bucket.last_refill_s).max(0.0);
+        bucket.tokens =
+            (bucket.tokens + elapsed * self.limit.per_second).min(f64::from(self.limit.burst));
+        bucket.last_refill_s = t_s;
+
+        let stats = self.stats.entry(vp.id).or_default();
+        if bucket.tokens < 1.0 {
+            stats.rate_limited += 1;
+            let deficit = 1.0 - bucket.tokens;
+            return QueryOutcome::RateLimited {
+                retry_at_s: t_s + deficit / self.limit.per_second,
+            };
+        }
+        bucket.tokens -= 1.0;
+        stats.completed += 1;
+        QueryOutcome::Completed(self.engine.ping(vp, target, sample_idx))
+    }
+
+    /// Runs a target list against one LG, advancing virtual time and
+    /// honouring the budget (sleeping until `retry_at_s` when throttled).
+    /// Returns `(target, reply)` pairs and the virtual time consumed.
+    pub fn run_batch(
+        &mut self,
+        vp: &VantagePoint,
+        targets: &[Ipv4Addr],
+        start_s: f64,
+    ) -> (Vec<(Ipv4Addr, Option<PingReply>)>, f64) {
+        let mut t = start_s;
+        let mut out = Vec::with_capacity(targets.len());
+        for (i, &target) in targets.iter().enumerate() {
+            loop {
+                match self.query(vp, target, t, i as u64) {
+                    QueryOutcome::Completed(reply) => {
+                        out.push((target, reply));
+                        break;
+                    }
+                    QueryOutcome::RateLimited { retry_at_s } => {
+                        t = retry_at_s;
+                    }
+                }
+            }
+        }
+        (out, t - start_s)
+    }
+
+    /// Accounting for one LG.
+    pub fn stats(&self, vp: VpId) -> QueryStats {
+        self.stats.get(&vp).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::vp::discover_vps;
+    use opeer_topology::{World, WorldConfig};
+
+    fn setup() -> (World, Vec<VantagePoint>) {
+        let w = WorldConfig::small(171).generate();
+        let vps = discover_vps(&w, 2);
+        (w, vps)
+    }
+
+    #[test]
+    fn burst_then_throttle() {
+        let (w, vps) = setup();
+        let vp = vps[0].clone();
+        let mut p = Periscope::new(
+            PingEngine::new(&w, LatencyModel::new(2)),
+            RateLimit { burst: 3, per_second: 1.0 },
+        );
+        let target = w.ixps[vp.ixp.index()].route_server_ip;
+        // Three burst tokens at t=0, the fourth query throttles.
+        for i in 0..3 {
+            assert!(matches!(
+                p.query(&vp, target, 0.0, i),
+                QueryOutcome::Completed(_)
+            ));
+        }
+        match p.query(&vp, target, 0.0, 3) {
+            QueryOutcome::RateLimited { retry_at_s } => {
+                assert!((retry_at_s - 1.0).abs() < 1e-9, "retry at {retry_at_s}");
+            }
+            other => panic!("expected throttle, got {other:?}"),
+        }
+        // After waiting, the token is back.
+        assert!(matches!(
+            p.query(&vp, target, 1.0, 4),
+            QueryOutcome::Completed(_)
+        ));
+        let s = p.stats(vp.id);
+        assert_eq!(s.completed, 4);
+        assert_eq!(s.rate_limited, 1);
+    }
+
+    #[test]
+    fn batch_consumes_virtual_time() {
+        let (w, vps) = setup();
+        let vp = vps[0].clone();
+        let mut p = Periscope::new(
+            PingEngine::new(&w, LatencyModel::new(2)),
+            RateLimit { burst: 2, per_second: 2.0 },
+        );
+        let targets: Vec<_> = w
+            .memberships_of_ixp(vp.ixp)
+            .iter()
+            .take(10)
+            .map(|&m| w.interfaces[w.memberships[m.index()].iface.index()].addr)
+            .collect();
+        let (results, elapsed) = p.run_batch(&vp, &targets, 0.0);
+        assert_eq!(results.len(), targets.len());
+        // 10 queries, 2 burst + 2/s refill ⇒ at least ~4s of virtual time.
+        assert!(elapsed >= (targets.len() as f64 - 2.0) / 2.0 - 1e-6, "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn buckets_are_per_lg() {
+        let (w, vps) = setup();
+        let lgs: Vec<_> = vps
+            .iter()
+            .filter(|v| matches!(v.kind, crate::vp::VpKind::LookingGlass { .. }))
+            .take(2)
+            .cloned()
+            .collect();
+        assert_eq!(lgs.len(), 2);
+        let mut p = Periscope::new(
+            PingEngine::new(&w, LatencyModel::new(2)),
+            RateLimit { burst: 1, per_second: 0.1 },
+        );
+        let t0 = w.ixps[lgs[0].ixp.index()].route_server_ip;
+        let t1 = w.ixps[lgs[1].ixp.index()].route_server_ip;
+        assert!(matches!(p.query(&lgs[0], t0, 0.0, 0), QueryOutcome::Completed(_)));
+        // The second LG has its own untouched bucket.
+        assert!(matches!(p.query(&lgs[1], t1, 0.0, 0), QueryOutcome::Completed(_)));
+        // But the first LG is now dry.
+        assert!(matches!(
+            p.query(&lgs[0], t0, 0.0, 1),
+            QueryOutcome::RateLimited { .. }
+        ));
+    }
+}

@@ -1,0 +1,220 @@
+//! Vantage points: looking glasses and Atlas-style probes.
+//!
+//! §3.1: the paper had 23 public looking glasses directly attached to IXP
+//! LANs (queried through Periscope) and 66 Atlas probes matched to IXPs,
+//! of which 50 sat in IXP facilities but *outside* the LAN, 14 never
+//! answered, and a further 21 were later discarded for showing ≥ 1 ms to
+//! their IXP's route server (management LANs hosted away from the IXP,
+//! §6.1). [`discover_vps`] reproduces those populations per world.
+
+use opeer_geo::GeoPoint;
+use opeer_topology::routing::stable_hash;
+use opeer_topology::{CityId, FacilityId, IxpId, World};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vantage point (dense, world-specific).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VpId(pub u32);
+
+/// Where an Atlas-style probe is physically hosted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AtlasHost {
+    /// Inside an IXP facility (the useful case) — one L3 hop off the LAN.
+    IxpFacility(FacilityId),
+    /// On the IXP's management LAN, which is actually hosted in a distant
+    /// city; all of its RTTs are inflated and the route-server filter
+    /// must remove it.
+    MgmtLan(CityId),
+}
+
+/// The flavour of a vantage point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VpKind {
+    /// A looking glass directly attached to the IXP peering LAN
+    /// (0 forwarding hops; some round RTTs up to whole ms).
+    LookingGlass {
+        /// Whether RTT output is rounded up to integer milliseconds.
+        rounds_up: bool,
+    },
+    /// An Atlas-style probe (1 forwarding hop off the LAN).
+    Atlas {
+        /// Physical hosting.
+        host: AtlasHost,
+        /// Dead probes never produce responses (the paper's 14).
+        dead: bool,
+    },
+    /// One-time operator-internal access used for the control dataset
+    /// (§4.1): behaves like a non-rounding LG.
+    OperatorInternal,
+}
+
+/// A vantage point bound to one IXP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VantagePoint {
+    /// Dense id.
+    pub id: VpId,
+    /// The IXP this VP measures.
+    pub ixp: IxpId,
+    /// Kind and quirks.
+    pub kind: VpKind,
+    /// Physical location (drives every RTT involving this VP).
+    pub location: GeoPoint,
+    /// Human-readable name for reports.
+    pub name: String,
+}
+
+impl VantagePoint {
+    /// Forwarding hops tolerated by the TTL-match filter for this VP
+    /// (§4.1/§6.1: 0 for LGs, 1 for Atlas probes).
+    pub fn ttl_max_hops(&self) -> u8 {
+        match self.kind {
+            VpKind::LookingGlass { .. } | VpKind::OperatorInternal => 0,
+            VpKind::Atlas { .. } => 1,
+        }
+    }
+
+    /// Whether the VP rounds reported RTTs up to whole milliseconds.
+    pub fn rounds_up(&self) -> bool {
+        matches!(self.kind, VpKind::LookingGlass { rounds_up: true })
+    }
+
+    /// Whether this VP is an Atlas probe.
+    pub fn is_atlas(&self) -> bool {
+        matches!(self.kind, VpKind::Atlas { .. })
+    }
+}
+
+/// Discovers the public vantage points of a world: one LG per IXP that
+/// operates one, plus 0–4 Atlas probes per *studied* IXP with the
+/// paper's population of facility-hosted / management-LAN / dead probes.
+///
+/// `seed` individualises probe placement; the same seed always yields the
+/// same VP set.
+pub fn discover_vps(world: &World, seed: u64) -> Vec<VantagePoint> {
+    let mut out = Vec::new();
+    let mut next = 0u32;
+    for (i, ixp) in world.ixps.iter().enumerate() {
+        let ixp_id = IxpId::from_index(i);
+        let anchor = world.facility_point(ixp.anchor_facility);
+        if ixp.has_looking_glass {
+            out.push(VantagePoint {
+                id: VpId(next),
+                ixp: ixp_id,
+                kind: VpKind::LookingGlass {
+                    rounds_up: ixp.lg_rounds_up,
+                },
+                location: anchor,
+                name: format!("{} LG", ixp.name),
+            });
+            next += 1;
+        }
+        if !ixp.studied {
+            continue;
+        }
+        // Atlas probes: 0–4 per studied IXP; ~55% in facilities, ~23%
+        // management-LAN impostors, ~22% dead — matching §6.1's 66-probe
+        // census (50 in-facility, 21 filtered, 14 silent, overlapping).
+        let n_probes = (stable_hash(&[seed, i as u64, 1]) % 5) as usize;
+        for k in 0..n_probes {
+            let h = stable_hash(&[seed, i as u64, 2, k as u64]);
+            let roll = h % 100;
+            let (host, dead, loc) = if roll < 55 {
+                let facs = &ixp.facilities;
+                let f = facs[(h / 100) as usize % facs.len()];
+                (AtlasHost::IxpFacility(f), false, world.facility_point(f))
+            } else if roll < 78 {
+                // Management LAN hosted in a far-away city.
+                let c = CityId::from_index((h / 100) as usize % world.cities.len());
+                (AtlasHost::MgmtLan(c), false, world.city_point(c))
+            } else {
+                let facs = &ixp.facilities;
+                let f = facs[(h / 100) as usize % facs.len()];
+                (AtlasHost::IxpFacility(f), true, world.facility_point(f))
+            };
+            out.push(VantagePoint {
+                id: VpId(next),
+                ixp: ixp_id,
+                kind: VpKind::Atlas { host, dead },
+                location: loc,
+                name: format!("{} Atlas#{k}", ixp.name),
+            });
+            next += 1;
+        }
+    }
+    out
+}
+
+/// A synthetic operator-internal VP at an IXP's anchor facility, used to
+/// replay the control-subset measurements of §4.1 (the paper obtained
+/// one-time access to in-fabric pings for IXPs without public VPs).
+pub fn operator_vp(world: &World, ixp: IxpId, id: u32) -> VantagePoint {
+    let x = &world.ixps[ixp.index()];
+    VantagePoint {
+        id: VpId(id),
+        ixp,
+        kind: VpKind::OperatorInternal,
+        location: world.facility_point(x.anchor_facility),
+        name: format!("{} operator", x.name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn discovery_is_deterministic_and_plausible() {
+        let w = WorldConfig::small(21).generate();
+        let a = discover_vps(&w, 5);
+        let b = discover_vps(&w, 5);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        let lgs = a.iter().filter(|v| matches!(v.kind, VpKind::LookingGlass { .. })).count();
+        let atlas = a.iter().filter(|v| v.is_atlas()).count();
+        assert!(lgs >= 20, "expected LGs on named IXPs, got {lgs}");
+        assert!(atlas > 5, "expected Atlas probes, got {atlas}");
+        // Different seeds move probes around (counts or placements differ).
+        let c = discover_vps(&w, 6);
+        let placements = |vs: &[VantagePoint]| -> Vec<String> {
+            vs.iter().filter(|v| v.is_atlas()).map(|v| format!("{:?}", v.location)).collect()
+        };
+        assert_ne!(placements(&a), placements(&c), "seed had no effect");
+    }
+
+    #[test]
+    fn control_ixps_have_no_public_vps() {
+        let w = WorldConfig::small(21).generate();
+        let vps = discover_vps(&w, 5);
+        for (i, ixp) in w.ixps.iter().enumerate() {
+            if ixp.validation == opeer_topology::ValidationRole::Control {
+                let n = vps.iter().filter(|v| v.ixp.index() == i).count();
+                assert_eq!(n, 0, "{} should have no public VP", ixp.name);
+            }
+        }
+    }
+
+    #[test]
+    fn ttl_hops_per_kind() {
+        let w = WorldConfig::small(21).generate();
+        let vps = discover_vps(&w, 5);
+        for v in &vps {
+            match v.kind {
+                VpKind::LookingGlass { .. } => assert_eq!(v.ttl_max_hops(), 0),
+                VpKind::Atlas { .. } => assert_eq!(v.ttl_max_hops(), 1),
+                VpKind::OperatorInternal => assert_eq!(v.ttl_max_hops(), 0),
+            }
+        }
+    }
+
+    #[test]
+    fn operator_vp_is_at_anchor() {
+        let w = WorldConfig::small(21).generate();
+        let ixp = IxpId::from_index(8); // DE-CIX NYC (control)
+        let vp = operator_vp(&w, ixp, 999);
+        assert_eq!(vp.ttl_max_hops(), 0);
+        assert!(!vp.rounds_up());
+        let anchor = w.facility_point(w.ixps[8].anchor_facility);
+        assert!(vp.location.distance_km(&anchor) < 0.001);
+    }
+}

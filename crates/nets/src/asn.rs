@@ -1,0 +1,175 @@
+//! Autonomous System Numbers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An Autonomous System Number (ASN).
+///
+/// Wraps a 32-bit ASN (RFC 6793). 16-bit ASNs are the subset `0..=65535`.
+///
+/// The ordering is numeric, which makes `Asn` usable as a `BTreeMap` key and
+/// keeps dataset exports (e.g. the CAIDA-style AS-relationship files emitted
+/// by `opeer-bgp`) deterministically sorted.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Asn(u32);
+
+impl Asn {
+    /// AS 0 is reserved (RFC 7607) and never a valid origin.
+    pub const RESERVED_ZERO: Asn = Asn(0);
+
+    /// Creates an ASN from its numeric value.
+    pub const fn new(value: u32) -> Self {
+        Asn(value)
+    }
+
+    /// Numeric value of the ASN.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is a 16-bit (2-byte) ASN.
+    pub const fn is_16bit(self) -> bool {
+        self.0 <= u16::MAX as u32
+    }
+
+    /// Whether the ASN falls in a range reserved for private use
+    /// (RFC 6996: 64512–65534 and 4200000000–4294967294).
+    pub const fn is_private(self) -> bool {
+        (self.0 >= 64512 && self.0 <= 65534) || (self.0 >= 4_200_000_000 && self.0 <= 4_294_967_294)
+    }
+
+    /// Whether the ASN is reserved and must not appear in routing
+    /// (AS 0, AS 23456 "AS_TRANS", 65535, 4294967295, and documentation
+    /// ranges 64496–64511 / 65536–65551).
+    pub const fn is_reserved(self) -> bool {
+        matches!(self.0, 0 | 23456 | 65535 | 4_294_967_295)
+            || (self.0 >= 64496 && self.0 <= 64511)
+            || (self.0 >= 65536 && self.0 <= 65551)
+    }
+
+    /// Whether the ASN is routable in the public Internet: neither private
+    /// nor reserved.
+    pub const fn is_public(self) -> bool {
+        !self.is_private() && !self.is_reserved()
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Debug for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(value: u32) -> Self {
+        Asn(value)
+    }
+}
+
+impl From<Asn> for u32 {
+    fn from(asn: Asn) -> Self {
+        asn.0
+    }
+}
+
+/// Error returned when parsing an [`Asn`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsnParseError(String);
+
+impl fmt::Display for AsnParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ASN: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for AsnParseError {}
+
+impl FromStr for Asn {
+    type Err = AsnParseError;
+
+    /// Parses `"65000"`, `"AS65000"` or `"as65000"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .or_else(|| s.strip_prefix("As"))
+            .unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| AsnParseError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let asn = Asn::new(64512);
+        assert_eq!(asn.to_string(), "AS64512");
+        assert_eq!("AS64512".parse::<Asn>().unwrap(), asn);
+        assert_eq!("64512".parse::<Asn>().unwrap(), asn);
+        assert_eq!("as64512".parse::<Asn>().unwrap(), asn);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("ASX".parse::<Asn>().is_err());
+        assert!("".parse::<Asn>().is_err());
+        assert!("-1".parse::<Asn>().is_err());
+        assert!("4294967296".parse::<Asn>().is_err()); // overflows u32
+    }
+
+    #[test]
+    fn classification_16bit() {
+        assert!(Asn::new(65535).is_16bit());
+        assert!(!Asn::new(65536).is_16bit());
+    }
+
+    #[test]
+    fn classification_private_ranges() {
+        assert!(Asn::new(64512).is_private());
+        assert!(Asn::new(65534).is_private());
+        assert!(!Asn::new(64511).is_private());
+        assert!(!Asn::new(65535).is_private());
+        assert!(Asn::new(4_200_000_000).is_private());
+        assert!(Asn::new(4_294_967_294).is_private());
+        assert!(!Asn::new(4_294_967_295).is_private());
+    }
+
+    #[test]
+    fn classification_reserved() {
+        assert!(Asn::RESERVED_ZERO.is_reserved());
+        assert!(Asn::new(23456).is_reserved());
+        assert!(Asn::new(65535).is_reserved());
+        assert!(Asn::new(64496).is_reserved());
+        assert!(Asn::new(64511).is_reserved());
+        assert!(Asn::new(65551).is_reserved());
+        assert!(!Asn::new(64495).is_reserved());
+    }
+
+    #[test]
+    fn classification_public() {
+        assert!(Asn::new(3333).is_public());
+        assert!(Asn::new(196608).is_public()); // first public 32-bit ASN
+        assert!(!Asn::new(64512).is_public());
+        assert!(!Asn::new(0).is_public());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut v = vec![Asn::new(10), Asn::new(2), Asn::new(65536)];
+        v.sort();
+        assert_eq!(v, vec![Asn::new(2), Asn::new(10), Asn::new(65536)]);
+    }
+}

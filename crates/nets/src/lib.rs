@@ -1,0 +1,46 @@
+//! # opeer-net — networking base types
+//!
+//! Foundation types shared by every other crate in the `opeer` workspace:
+//!
+//! * [`Asn`] — autonomous system numbers (16- and 32-bit, with the reserved
+//!   ranges from RFC 1930 / RFC 6996 / RFC 7300 classified).
+//! * [`Ipv4Prefix`] — a canonical IPv4 CIDR prefix with containment,
+//!   overlap and subdivision operations.
+//! * [`PrefixTrie`] — a binary radix trie keyed by [`Ipv4Prefix`] supporting
+//!   exact match, longest-prefix match and iteration; this is the engine
+//!   behind IP-to-AS and IP-to-IXP lookups.
+//! * [`IpToAsMap`] — a Routeviews `prefix2as`-style longest-prefix-match
+//!   mapping from addresses to origin ASes, with multi-origin (MOAS)
+//!   handling.
+//! * [`ttl`] — reply-TTL heuristics used by the paper's *TTL match* and
+//!   *TTL switch* ping filters (§4.1/§5.2 of Nomikos et al., IMC 2018).
+//!
+//! The crate is deliberately dependency-light and fully synchronous: all
+//! operations are CPU-bound lookups over in-memory structures.
+//!
+//! ## Example
+//!
+//! ```
+//! use opeer_net::{Asn, Ipv4Prefix, IpToAsMap};
+//! use std::net::Ipv4Addr;
+//!
+//! let mut map = IpToAsMap::new();
+//! map.insert("193.0.0.0/16".parse().unwrap(), Asn::new(3333));
+//! map.insert("193.0.22.0/23".parse().unwrap(), Asn::new(25152));
+//!
+//! // Longest-prefix match prefers the /23 over the covering /16.
+//! let origin = map.lookup(Ipv4Addr::new(193, 0, 22, 7)).unwrap();
+//! assert_eq!(origin.origins(), &[Asn::new(25152)]);
+//! ```
+
+pub mod asn;
+pub mod ip2as;
+pub mod prefix;
+pub mod trie;
+pub mod ttl;
+
+pub use asn::Asn;
+pub use ip2as::{IpToAsMap, OriginSet};
+pub use prefix::{Ipv4Prefix, PrefixParseError};
+pub use trie::PrefixTrie;
+pub use ttl::{infer_initial_ttl, InitialTtl, TtlFilter};

@@ -1,0 +1,312 @@
+//! A binary radix (Patricia-style) trie keyed by [`Ipv4Prefix`].
+//!
+//! The trie is the lookup engine used throughout the workspace:
+//! IP-to-AS mapping ([`crate::IpToAsMap`]), IXP peering-LAN identification
+//! (`opeer-traix`), and collector RIBs (`opeer-bgp`) all build on it.
+//!
+//! The implementation follows the guides' "simplicity and robustness" rule:
+//! a plain uncompressed binary trie with one node per prefix bit. For the
+//! prefix populations in this workload (≤ a few hundred thousand prefixes,
+//! depth ≤ 32) this is fast, predictable, and trivially correct; path
+//! compression is a deliberate omission, documented here so downstream users
+//! know the trade-off.
+
+use crate::prefix::Ipv4Prefix;
+use std::net::Ipv4Addr;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Node<V> {
+    fn new() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A map from [`Ipv4Prefix`] to `V` with longest-prefix-match lookup.
+///
+/// ```
+/// use opeer_net::{Ipv4Prefix, PrefixTrie};
+/// use std::net::Ipv4Addr;
+///
+/// let mut trie = PrefixTrie::new();
+/// trie.insert("10.0.0.0/8".parse().unwrap(), "rfc1918");
+/// trie.insert("10.9.0.0/16".parse().unwrap(), "lab");
+///
+/// let (pfx, v) = trie.longest_match(Ipv4Addr::new(10, 9, 1, 1)).unwrap();
+/// assert_eq!(v, &"lab");
+/// assert_eq!(pfx.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            root: Node::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` under `prefix`, returning the previous value if the
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].get_or_insert_with(|| Box::new(Node::new()));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup of a prefix.
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&V> {
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Exact-match mutable lookup of a prefix.
+    pub fn get_mut(&mut self, prefix: &Ipv4Prefix) -> Option<&mut V> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].as_deref_mut()?;
+        }
+        node.value.as_mut()
+    }
+
+    /// Removes a prefix, returning its value. Interior nodes are left in
+    /// place (they are reclaimed wholesale when the trie is dropped); this
+    /// keeps removal simple and O(len) without parent links.
+    pub fn remove(&mut self, prefix: &Ipv4Prefix) -> Option<V> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].as_deref_mut()?;
+        }
+        let old = node.value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Longest-prefix match: the most specific stored prefix containing
+    /// `addr`, with its value.
+    pub fn longest_match(&self, addr: Ipv4Addr) -> Option<(Ipv4Prefix, &V)> {
+        let bits = u32::from(addr);
+        let mut node = &self.root;
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..32u8 {
+            let b = ((bits >> (31 - i as u32)) & 1) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| {
+            let p = Ipv4Prefix::new(addr, len).expect("len <= 32");
+            (p, v)
+        })
+    }
+
+    /// All stored prefixes containing `addr`, from least to most specific.
+    pub fn matches(&self, addr: Ipv4Addr) -> Vec<(Ipv4Prefix, &V)> {
+        let bits = u32::from(addr);
+        let mut node = &self.root;
+        let mut out = Vec::new();
+        if let Some(v) = node.value.as_ref() {
+            out.push((Ipv4Prefix::DEFAULT, v));
+        }
+        for i in 0..32u8 {
+            let b = ((bits >> (31 - i as u32)) & 1) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        let p = Ipv4Prefix::new(addr, i + 1).expect("len <= 32");
+                        out.push((p, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in lexicographic
+    /// (network, length) order of the bit path.
+    pub fn iter(&self) -> Iter<'_, V> {
+        Iter {
+            stack: vec![(&self.root, Ipv4Prefix::DEFAULT)],
+        }
+    }
+}
+
+/// Iterator over trie entries; see [`PrefixTrie::iter`].
+pub struct Iter<'a, V> {
+    stack: Vec<(&'a Node<V>, Ipv4Prefix)>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (Ipv4Prefix, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((node, prefix)) = self.stack.pop() {
+            // Push children in reverse so the 0-branch is visited first.
+            if prefix.len() < 32 {
+                if let Some((lo, hi)) = prefix.split() {
+                    if let Some(c) = node.children[1].as_deref() {
+                        self.stack.push((c, hi));
+                    }
+                    if let Some(c) = node.children[0].as_deref() {
+                        self.stack.push((c, lo));
+                    }
+                }
+            }
+            if let Some(v) = node.value.as_ref() {
+                return Some((prefix, v));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(&p("10.0.0.0/9")), None);
+        assert_eq!(t.remove(&p("10.0.0.0/8")), Some(2));
+        assert_eq!(t.remove(&p("10.0.0.0/8")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), vec![1]);
+        t.get_mut(&p("10.0.0.0/8")).unwrap().push(2);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn longest_match_prefers_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        t.insert(p("10.0.0.0/8"), "eight");
+        t.insert(p("10.9.0.0/16"), "sixteen");
+        t.insert(p("10.9.1.0/24"), "twentyfour");
+
+        let cases = [
+            ("10.9.1.5", "twentyfour", 24u8),
+            ("10.9.2.5", "sixteen", 16),
+            ("10.8.0.1", "eight", 8),
+            ("11.0.0.1", "default", 0),
+        ];
+        for (addr, want, len) in cases {
+            let (pfx, v) = t.longest_match(addr.parse().unwrap()).unwrap();
+            assert_eq!(*v, want, "addr {addr}");
+            assert_eq!(pfx.len(), len, "addr {addr}");
+        }
+    }
+
+    #[test]
+    fn longest_match_empty_and_miss() {
+        let t: PrefixTrie<u8> = PrefixTrie::new();
+        assert!(t.longest_match("1.2.3.4".parse().unwrap()).is_none());
+
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        assert!(t.longest_match("11.0.0.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn matches_returns_all_covering() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), 0);
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.9.0.0/16"), 16);
+        let ms = t.matches("10.9.0.1".parse().unwrap());
+        let lens: Vec<u8> = ms.iter().map(|(p, _)| p.len()).collect();
+        assert_eq!(lens, vec![0, 8, 16]);
+    }
+
+    #[test]
+    fn host_route_roundtrip() {
+        let mut t = PrefixTrie::new();
+        let host = p("192.0.2.55/32");
+        t.insert(host, "host");
+        let (pfx, v) = t.longest_match("192.0.2.55".parse().unwrap()).unwrap();
+        assert_eq!(pfx, host);
+        assert_eq!(*v, "host");
+        assert!(t.longest_match("192.0.2.54".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let mut t = PrefixTrie::new();
+        let prefixes = [p("10.0.0.0/8"), p("10.9.0.0/16"), p("172.16.0.0/12"), p("0.0.0.0/0")];
+        for (i, pre) in prefixes.iter().enumerate() {
+            t.insert(*pre, i);
+        }
+        let got: Vec<Ipv4Prefix> = t.iter().map(|(p, _)| p).collect();
+        assert_eq!(got.len(), prefixes.len());
+        for pre in prefixes {
+            assert!(got.contains(&pre), "{pre} missing from iter");
+        }
+        // Default route must come first (root before descendants).
+        assert_eq!(got[0], p("0.0.0.0/0"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Reply-TTL heuristics: the *TTL match* and *TTL switch* filters.
+//!
+//! Castro et al. (CoNEXT 2014) and Nomikos et al. (IMC 2018, §4.1/§5.2)
+//! filter ping replies whose IP TTL is inconsistent with a reply generated
+//! *inside* the IXP subnet: a remote middlebox or an off-LAN responder
+//! produces a reply whose TTL has been decremented by intermediate hops.
+//!
+//! * **TTL match** — keep a reply only if its TTL equals the expected
+//!   initial TTL (64 or 255) minus an allowed number of forwarding hops
+//!   (0 for looking glasses attached to the peering LAN, 1 for RIPE Atlas
+//!   probes hosted one hop off the LAN, per §6.1).
+//! * **TTL switch** — discard a measurement series if the replies switch
+//!   between different inferred initial TTLs, which indicates that
+//!   different devices answered over time.
+
+use serde::{Deserialize, Serialize};
+
+/// Canonical initial TTL values used by common network stacks.
+///
+/// 64 (Linux/BSD routers), 128 (Windows hosts — rare for router control
+/// planes but classified for completeness), 255 (Cisco/Juniper control
+/// planes and most ICMP echo implementations on routers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InitialTtl {
+    /// Initial TTL 64.
+    T64,
+    /// Initial TTL 128.
+    T128,
+    /// Initial TTL 255.
+    T255,
+}
+
+impl InitialTtl {
+    /// Numeric value of the initial TTL.
+    pub const fn value(self) -> u8 {
+        match self {
+            InitialTtl::T64 => 64,
+            InitialTtl::T128 => 128,
+            InitialTtl::T255 => 255,
+        }
+    }
+}
+
+/// Infers the most likely initial TTL for an observed reply TTL: the
+/// smallest canonical value ≥ the observation. Returns `None` for 0
+/// (never a valid reply TTL on the wire).
+pub fn infer_initial_ttl(observed: u8) -> Option<InitialTtl> {
+    match observed {
+        0 => None,
+        1..=64 => Some(InitialTtl::T64),
+        65..=128 => Some(InitialTtl::T128),
+        129..=255 => Some(InitialTtl::T255),
+    }
+}
+
+/// Number of hops a reply has traversed, assuming the inferred initial TTL.
+pub fn hops_from_ttl(observed: u8) -> Option<u8> {
+    infer_initial_ttl(observed).map(|init| init.value() - observed)
+}
+
+/// Stateful filter applying the TTL-match and TTL-switch rules to a series
+/// of ping replies for one `(vantage point, target)` pair.
+///
+/// `max_hops` is the number of forwarding hops tolerated between the
+/// vantage point and the target: `0` for an LG on the peering LAN,
+/// `1` for an Atlas probe in an IXP facility but outside the LAN
+/// (the paper's `TTLmax − 1` rule).
+///
+/// ```
+/// use opeer_net::TtlFilter;
+///
+/// let mut f = TtlFilter::new(0);
+/// assert!(f.accept(255)); // reply straight off the LAN
+/// assert!(!f.accept(254)); // one hop too far
+/// assert!(f.accept(64));  // different stack, still 0 hops…
+/// assert!(!f.is_consistent()); // …but now the series switched initial TTLs
+/// ```
+#[derive(Debug, Clone)]
+pub struct TtlFilter {
+    max_hops: u8,
+    seen_initials: Vec<InitialTtl>,
+    accepted: usize,
+    rejected: usize,
+}
+
+impl TtlFilter {
+    /// Creates a filter tolerating at most `max_hops` forwarding hops.
+    pub fn new(max_hops: u8) -> Self {
+        TtlFilter {
+            max_hops,
+            seen_initials: Vec::new(),
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Applies the TTL-match rule to one reply TTL. Accepted replies also
+    /// record their inferred initial TTL for the switch rule.
+    pub fn accept(&mut self, observed_ttl: u8) -> bool {
+        let Some(init) = infer_initial_ttl(observed_ttl) else {
+            self.rejected += 1;
+            return false;
+        };
+        let hops = init.value() - observed_ttl;
+        if hops <= self.max_hops {
+            if !self.seen_initials.contains(&init) {
+                self.seen_initials.push(init);
+            }
+            self.accepted += 1;
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    /// TTL-switch rule: `true` while all accepted replies in the series
+    /// share one inferred initial TTL. A series that is not consistent must
+    /// be discarded wholesale (different devices answered over time).
+    pub fn is_consistent(&self) -> bool {
+        self.seen_initials.len() <= 1
+    }
+
+    /// Count of replies that passed the match rule.
+    pub fn accepted(&self) -> usize {
+        self.accepted
+    }
+
+    /// Count of replies rejected by the match rule.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_ttl_classification() {
+        assert_eq!(infer_initial_ttl(0), None);
+        assert_eq!(infer_initial_ttl(1), Some(InitialTtl::T64));
+        assert_eq!(infer_initial_ttl(64), Some(InitialTtl::T64));
+        assert_eq!(infer_initial_ttl(65), Some(InitialTtl::T128));
+        assert_eq!(infer_initial_ttl(128), Some(InitialTtl::T128));
+        assert_eq!(infer_initial_ttl(129), Some(InitialTtl::T255));
+        assert_eq!(infer_initial_ttl(255), Some(InitialTtl::T255));
+    }
+
+    #[test]
+    fn hops_computation() {
+        assert_eq!(hops_from_ttl(255), Some(0));
+        assert_eq!(hops_from_ttl(250), Some(5));
+        assert_eq!(hops_from_ttl(64), Some(0));
+        assert_eq!(hops_from_ttl(60), Some(4));
+        assert_eq!(hops_from_ttl(0), None);
+    }
+
+    #[test]
+    fn match_rule_lg_zero_hops() {
+        let mut f = TtlFilter::new(0);
+        assert!(f.accept(255));
+        assert!(f.accept(64));
+        assert!(!f.accept(254));
+        assert!(!f.accept(63));
+        assert_eq!(f.accepted(), 2);
+        assert_eq!(f.rejected(), 2);
+    }
+
+    #[test]
+    fn match_rule_atlas_one_hop() {
+        let mut f = TtlFilter::new(1);
+        assert!(f.accept(255));
+        assert!(f.accept(254)); // TTLmax - 1 allowed for Atlas
+        assert!(!f.accept(253));
+    }
+
+    #[test]
+    fn switch_rule_detects_device_change() {
+        let mut f = TtlFilter::new(0);
+        assert!(f.accept(255));
+        assert!(f.is_consistent());
+        assert!(f.accept(64)); // different stack answered
+        assert!(!f.is_consistent());
+    }
+
+    #[test]
+    fn zero_ttl_rejected() {
+        let mut f = TtlFilter::new(0);
+        assert!(!f.accept(0));
+        assert!(f.is_consistent());
+        assert_eq!(f.accepted(), 0);
+    }
+}

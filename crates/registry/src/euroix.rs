@@ -1,0 +1,159 @@
+//! Euro-IX-style machine-readable IXP export (the "IX-F Member Export").
+//!
+//! The paper's highest-preference source is the IXP websites, which
+//! publish member lists in the Euro-IX JSON schema (§3.2 [52]). This
+//! module implements a faithful subset of that schema with serde so the
+//! website ingestion path runs through genuine JSON serialisation and
+//! parsing — the same code would ingest a real `member-export.json`.
+
+use opeer_topology::{IxpId, World};
+use serde::{Deserialize, Serialize};
+
+/// Root of a member export document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemberExport {
+    /// Schema version tag (the real exports use e.g. "1.0").
+    pub version: String,
+    /// Exporting IXP list (one per document here).
+    pub ixp_list: Vec<IxpRecord>,
+    /// Member list.
+    pub member_list: Vec<MemberRecord>,
+}
+
+/// The exporting IXP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IxpRecord {
+    /// IXP short name.
+    pub shortname: String,
+    /// IPv4 peering LAN prefixes, CIDR strings.
+    pub peering_lans: Vec<String>,
+    /// Published physical port capacities, Mbps.
+    pub capacity_options_mbps: Vec<u32>,
+    /// Minimum physical capacity from the pricing page, Mbps.
+    pub min_capacity_mbps: u32,
+    /// Facility names where the switch fabric is present.
+    pub facilities: Vec<String>,
+}
+
+/// One member AS.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemberRecord {
+    /// Member ASN (numeric, as in the IX-F schema).
+    pub asnum: u32,
+    /// Connections (one per port).
+    pub connection_list: Vec<ConnectionRecord>,
+}
+
+/// One port/connection of a member.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConnectionRecord {
+    /// Port speed in Mbps.
+    pub if_speed: u32,
+    /// VLAN interface addresses.
+    pub vlan_list: Vec<VlanRecord>,
+}
+
+/// Addressing of one VLAN attachment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VlanRecord {
+    /// IPv4 address on the peering LAN.
+    pub ipv4: String,
+}
+
+/// Exports the website view of one IXP from the ground truth. This is
+/// what the IXP itself publishes, so it is complete and correct — the
+/// paper treats websites as the most reliable source for exactly that
+/// reason.
+pub fn export_ixp(world: &World, ixp: IxpId) -> MemberExport {
+    let x = &world.ixps[ixp.index()];
+    let month = world.observation_month;
+    let mut members: std::collections::BTreeMap<u32, MemberRecord> = Default::default();
+    for &mid in world.memberships_of_ixp(ixp) {
+        let m = &world.memberships[mid.index()];
+        if !m.active_at(month) {
+            continue;
+        }
+        let asn = world.ases[m.member.index()].asn.value();
+        let addr = world.interfaces[m.iface.index()].addr;
+        members
+            .entry(asn)
+            .or_insert_with(|| MemberRecord {
+                asnum: asn,
+                connection_list: Vec::new(),
+            })
+            .connection_list
+            .push(ConnectionRecord {
+                if_speed: m.port_mbps,
+                vlan_list: vec![VlanRecord {
+                    ipv4: addr.to_string(),
+                }],
+            });
+    }
+    MemberExport {
+        version: "1.0".to_string(),
+        ixp_list: vec![IxpRecord {
+            shortname: x.name.clone(),
+            peering_lans: vec![x.peering_lan.to_string()],
+            capacity_options_mbps: x.capacity_options_mbps.clone(),
+            min_capacity_mbps: x.min_physical_capacity_mbps,
+            facilities: x
+                .facilities
+                .iter()
+                .map(|f| world.facilities[f.index()].name.clone())
+                .collect(),
+        }],
+        member_list: members.into_values().collect(),
+    }
+}
+
+/// Serialises an export to JSON.
+pub fn to_json(export: &MemberExport) -> String {
+    serde_json::to_string_pretty(export).expect("export is serialisable")
+}
+
+/// Parses an export from JSON.
+pub fn from_json(s: &str) -> Result<MemberExport, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn export_roundtrips_through_json() {
+        let w = WorldConfig::small(37).generate();
+        let ams = w.ixps.iter().position(|x| x.name == "AMS-IX").expect("AMS-IX");
+        let export = export_ixp(&w, IxpId::from_index(ams));
+        assert_eq!(export.ixp_list[0].shortname, "AMS-IX");
+        assert!(!export.member_list.is_empty());
+        let js = to_json(&export);
+        let back = from_json(&js).expect("roundtrip parses");
+        assert_eq!(back.member_list.len(), export.member_list.len());
+        assert_eq!(back.ixp_list[0].peering_lans, export.ixp_list[0].peering_lans);
+    }
+
+    #[test]
+    fn export_addresses_live_on_the_lan() {
+        let w = WorldConfig::small(37).generate();
+        let export = export_ixp(&w, opeer_topology::IxpId::from_index(0));
+        let lan: opeer_net::Ipv4Prefix = export.ixp_list[0].peering_lans[0]
+            .parse()
+            .expect("valid CIDR");
+        for m in &export.member_list {
+            for c in &m.connection_list {
+                for v in &c.vlan_list {
+                    let ip: std::net::Ipv4Addr = v.ipv4.parse().expect("valid address");
+                    assert!(lan.contains(ip), "{ip} outside {lan}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(from_json("{\"version\": 1}").is_err());
+        assert!(from_json("not json at all").is_err());
+    }
+}

@@ -1,0 +1,375 @@
+//! Source fusion with the paper's preference order, and Table 1.
+//!
+//! Conflicting rows are resolved by `Websites > HE > PDB > PCH` (§3.2);
+//! along the way the fusion counts, per source, the total rows it
+//! contributed, the rows only it knew, and the rows where it disagreed
+//! with a higher-preference source — Table 1's three column groups.
+
+use crate::euroix;
+use crate::facilities::{build_colocation, FacilityNoise};
+use crate::observed::{ObservedIxp, ObservedWorld};
+use crate::sources::{generate_source, SourceKind, SourceView};
+use crate::validation::build_validation;
+use opeer_net::{Asn, Ipv4Prefix};
+use opeer_topology::{IxpId, World};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// Configuration of the whole registry build.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegistryConfig {
+    /// Seed for all noise draws.
+    pub seed: u64,
+    /// Colocation noise parameters.
+    pub facility_noise: FacilityNoise,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            seed: 0x51,
+            facility_noise: FacilityNoise::default(),
+        }
+    }
+}
+
+/// Per-source Table 1 row.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SourceStat {
+    /// Prefix rows contributed.
+    pub prefixes_total: usize,
+    /// Prefix rows only this source had.
+    pub prefixes_unique: usize,
+    /// Prefix rows disagreeing with a higher-preference source.
+    pub prefix_conflicts: usize,
+    /// Interface rows contributed.
+    pub ifaces_total: usize,
+    /// Interface rows only this source had.
+    pub ifaces_unique: usize,
+    /// Interface rows disagreeing with a higher-preference source.
+    pub iface_conflicts: usize,
+}
+
+/// Table 1: the per-source dataset accounting.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table1Stats {
+    /// Rows in source-preference order.
+    pub per_source: BTreeMap<SourceKind, SourceStat>,
+    /// Distinct IXP prefixes after fusion.
+    pub total_prefixes: usize,
+    /// Distinct interface rows after fusion.
+    pub total_interfaces: usize,
+    /// Distinct IXPs after fusion.
+    pub total_ixps: usize,
+}
+
+impl Table1Stats {
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Source      | IXP Prefixes (tot/uniq/conflict) | IXP Interfaces (tot/uniq/conflict)\n",
+        );
+        for kind in SourceKind::ORDERED {
+            if let Some(s) = self.per_source.get(&kind) {
+                out.push_str(&format!(
+                    "{:<11} | {:>6} {:>6} {:>6}             | {:>7} {:>7} {:>7}\n",
+                    format!("{kind:?}"),
+                    s.prefixes_total,
+                    s.prefixes_unique,
+                    s.prefix_conflicts,
+                    s.ifaces_total,
+                    s.ifaces_unique,
+                    s.iface_conflicts
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "Total       | {:>6} prefixes ({} IXPs)       | {:>7} interfaces\n",
+            self.total_prefixes, self.total_ixps, self.total_interfaces
+        ));
+        out
+    }
+}
+
+/// The website view, generated through the real Euro-IX JSON path:
+/// export → JSON → parse → ingest. Only the named (publishing) IXPs are
+/// covered, mirroring the paper's 42-prefix website column.
+fn website_view(world: &World) -> SourceView {
+    let mut view = SourceView {
+        kind: Some(SourceKind::Websites),
+        ..Default::default()
+    };
+    for (i, ixp) in world.ixps.iter().enumerate() {
+        // Publishing IXPs: the named set (studied or holding validation
+        // data); generated filler IXPs don't run member exports.
+        let publishes = ixp.studied || ixp.validation != opeer_topology::ValidationRole::None;
+        if !publishes {
+            continue;
+        }
+        let json = euroix::to_json(&euroix::export_ixp(world, IxpId::from_index(i)));
+        let export = euroix::from_json(&json).expect("own export parses");
+        let rec = &export.ixp_list[0];
+        let prefixes: Vec<Ipv4Prefix> = rec
+            .peering_lans
+            .iter()
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        view.prefixes.insert(rec.shortname.clone(), prefixes);
+        let mut ifaces = BTreeMap::new();
+        let mut caps = BTreeMap::new();
+        for m in &export.member_list {
+            for c in &m.connection_list {
+                for v in &c.vlan_list {
+                    if let Ok(ip) = v.ipv4.parse::<Ipv4Addr>() {
+                        ifaces.insert(ip, Asn::new(m.asnum));
+                    }
+                }
+                caps.insert(Asn::new(m.asnum), c.if_speed);
+            }
+        }
+        view.interfaces.insert(rec.shortname.clone(), ifaces);
+        view.capacities.insert(rec.shortname.clone(), caps);
+    }
+    view
+}
+
+/// Builds the full observed world: generates all four sources, fuses
+/// them, attaches colocation, capacities, pricing (`Cmin`) and the
+/// validation dataset.
+pub fn build_observed_world(world: &World, cfg: &RegistryConfig) -> (ObservedWorld, Table1Stats) {
+    let views: Vec<SourceView> = vec![
+        website_view(world),
+        generate_source(world, SourceKind::He, cfg.seed),
+        generate_source(world, SourceKind::Pdb, cfg.seed),
+        generate_source(world, SourceKind::Pch, cfg.seed),
+    ];
+
+    let mut stats = Table1Stats::default();
+    for kind in SourceKind::ORDERED {
+        stats.per_source.insert(kind, SourceStat::default());
+    }
+
+    // Union of IXP names across sources.
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for v in &views {
+        names.extend(v.prefixes.keys().cloned());
+        names.extend(v.interfaces.keys().cloned());
+    }
+
+    // Fuse per IXP.
+    let mut ow = ObservedWorld::default();
+    for name in &names {
+        let mut fused = ObservedIxp {
+            name: name.clone(),
+            ..Default::default()
+        };
+
+        // --- prefixes ---
+        let mut winner_prefixes: Option<(SourceKind, Vec<Ipv4Prefix>)> = None;
+        for v in &views {
+            let kind = v.kind.expect("views are tagged");
+            if let Some(p) = v.prefixes.get(name) {
+                let stat = stats.per_source.get_mut(&kind).expect("all kinds present");
+                stat.prefixes_total += p.len();
+                match &winner_prefixes {
+                    None => winner_prefixes = Some((kind, p.clone())),
+                    Some((_, w)) => {
+                        if w != p {
+                            stat.prefix_conflicts += p.len().max(1).min(1);
+                        }
+                    }
+                }
+            }
+        }
+        // uniqueness: counted after the loop below (needs presence map).
+        let present_in: Vec<SourceKind> = views
+            .iter()
+            .filter(|v| v.prefixes.contains_key(name))
+            .map(|v| v.kind.expect("tagged"))
+            .collect();
+        if present_in.len() == 1 {
+            stats
+                .per_source
+                .get_mut(&present_in[0])
+                .expect("all kinds present")
+                .prefixes_unique += 1;
+        }
+        if let Some((_, p)) = winner_prefixes {
+            fused.prefixes = p;
+        }
+
+        // --- interfaces ---
+        let mut iface_rows: BTreeMap<Ipv4Addr, (SourceKind, Asn)> = BTreeMap::new();
+        let mut iface_presence: BTreeMap<Ipv4Addr, usize> = BTreeMap::new();
+        for v in &views {
+            let kind = v.kind.expect("tagged");
+            if let Some(rows) = v.interfaces.get(name) {
+                let stat = stats.per_source.get_mut(&kind).expect("all kinds present");
+                stat.ifaces_total += rows.len();
+                for (&addr, &asn) in rows {
+                    *iface_presence.entry(addr).or_insert(0) += 1;
+                    match iface_rows.get(&addr) {
+                        None => {
+                            iface_rows.insert(addr, (kind, asn));
+                        }
+                        Some(&(_, winner_asn)) => {
+                            if winner_asn != asn {
+                                stat.iface_conflicts += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Unique rows: addresses seen in exactly one source — attribute to
+        // the winning (only) source.
+        for (&addr, &count) in &iface_presence {
+            if count == 1 {
+                let (kind, _) = iface_rows[&addr];
+                stats
+                    .per_source
+                    .get_mut(&kind)
+                    .expect("all kinds present")
+                    .ifaces_unique += 1;
+            }
+        }
+        fused.interfaces = iface_rows.into_iter().map(|(a, (_, asn))| (a, asn)).collect();
+
+        // --- capacities: first source in preference order wins ---
+        for v in &views {
+            if let Some(caps) = v.capacities.get(name) {
+                for (&asn, &c) in caps {
+                    fused.port_capacity.entry(asn).or_insert(c);
+                }
+            }
+        }
+
+        ow.ixps.push(fused);
+    }
+
+    // Per-IXP metadata from the ground truth's *public* side: pricing
+    // pages and route-server addresses are on the websites.
+    for fused in &mut ow.ixps {
+        if let Some(i) = world.ixps.iter().position(|x| x.name == fused.name) {
+            let x = &world.ixps[i];
+            let publishes = x.studied || x.validation != opeer_topology::ValidationRole::None;
+            if publishes {
+                fused.cmin_mbps = Some(x.min_physical_capacity_mbps);
+                fused.capacity_options = x.capacity_options_mbps.clone();
+                fused.route_server_ip = Some(x.route_server_ip);
+            } else if !fused.port_capacity.is_empty() {
+                // PDB-derived capacity floor: the smallest *published
+                // physical* option; resellers may exist unnoticed.
+                fused.cmin_mbps = Some(1_000);
+            }
+            fused.studied = x.studied;
+        }
+    }
+
+    // Colocation + validation.
+    let colo = build_colocation(world, cfg.facility_noise, cfg.seed);
+    ow.facilities = colo.facilities;
+    ow.as_facilities = colo.as_facilities;
+    for fused in &mut ow.ixps {
+        if let Some(list) = colo.ixp_facilities.get(&fused.name) {
+            fused.facility_idxs = list.clone();
+        }
+    }
+    ow.validation = build_validation(world, cfg.seed);
+    ow.rebuild_indexes();
+
+    stats.total_prefixes = ow.ixps.iter().map(|x| x.prefixes.len()).sum();
+    stats.total_interfaces = ow.total_interfaces();
+    stats.total_ixps = ow.ixps.len();
+    (ow, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    fn build() -> (World, ObservedWorld, Table1Stats) {
+        let w = WorldConfig::small(53).generate();
+        let (ow, stats) = build_observed_world(&w, &RegistryConfig::default());
+        (w, ow, stats)
+    }
+
+    #[test]
+    fn websites_never_conflict_and_have_capacities() {
+        let (_w, ow, stats) = build();
+        let web = stats.per_source[&SourceKind::Websites];
+        assert_eq!(web.iface_conflicts, 0, "websites are the preference root");
+        assert_eq!(web.prefix_conflicts, 0);
+        let ams = ow.ixp_by_name("AMS-IX").expect("AMS-IX observed");
+        assert!(!ow.ixps[ams].port_capacity.is_empty());
+        assert_eq!(ow.ixps[ams].cmin_mbps, Some(1_000));
+    }
+
+    #[test]
+    fn he_contributes_most_interfaces_among_secondaries() {
+        let (_w, _ow, stats) = build();
+        let he = stats.per_source[&SourceKind::He].ifaces_total;
+        let pch = stats.per_source[&SourceKind::Pch].ifaces_total;
+        assert!(he > pch, "HE {he} vs PCH {pch}");
+    }
+
+    #[test]
+    fn conflicts_are_rare_but_present() {
+        let (_w, _ow, stats) = build();
+        let mut conflicts = 0usize;
+        let mut total = 0usize;
+        for kind in [SourceKind::He, SourceKind::Pdb, SourceKind::Pch] {
+            conflicts += stats.per_source[&kind].iface_conflicts;
+            total += stats.per_source[&kind].ifaces_total;
+        }
+        let rate = conflicts as f64 / total.max(1) as f64;
+        assert!(rate < 0.02, "conflict rate {rate}");
+    }
+
+    #[test]
+    fn fused_interfaces_mostly_match_truth() {
+        let (w, ow, _stats) = build();
+        let mut wrong = 0usize;
+        let mut total = 0usize;
+        for ixp in &ow.ixps {
+            for (&addr, &asn) in &ixp.interfaces {
+                let Some(ifc) = w.iface_by_addr(addr) else { continue };
+                let owner = w.routers[w.interfaces[ifc.index()].router.index()].owner;
+                total += 1;
+                if w.ases[owner.index()].asn != asn {
+                    wrong += 1;
+                }
+            }
+        }
+        assert!(total > 100);
+        let rate = wrong as f64 / total as f64;
+        assert!(rate < 0.01, "fused error rate {rate}");
+    }
+
+    #[test]
+    fn observed_world_covers_most_ixps() {
+        let (w, ow, stats) = build();
+        assert!(ow.ixps.len() as f64 > w.ixps.len() as f64 * 0.85);
+        assert_eq!(stats.total_ixps, ow.ixps.len());
+        assert!(stats.total_interfaces > 0);
+        let rendered = stats.render();
+        assert!(rendered.contains("Websites"));
+        assert!(rendered.contains("Total"));
+    }
+
+    #[test]
+    fn validation_attached() {
+        let (_w, ow, _stats) = build();
+        assert_eq!(ow.validation.ixps.len(), 15);
+    }
+
+    #[test]
+    fn studied_ixps_flagged() {
+        let (w, ow, _stats) = build();
+        let studied_truth = w.ixps.iter().filter(|x| x.studied).count();
+        let studied_obs = ow.ixps.iter().filter(|x| x.studied).count();
+        assert_eq!(studied_truth, studied_obs);
+    }
+}

@@ -1,0 +1,38 @@
+//! # opeer-registry — the observable data layer
+//!
+//! The inference methodology never sees the ground truth; it sees what the
+//! paper saw: IXP websites (Euro-IX machine-readable exports), Hurricane
+//! Electric, PeeringDB, Packet Clearing House, Inflect, and best-effort
+//! validation lists from operators and websites (§3). This crate derives
+//! those sources from the ground-truth [`opeer_topology::World`] through
+//! per-source noise models — coverage gaps, stale rows, outright errors —
+//! and then fuses them exactly as §3.2 prescribes:
+//!
+//! > `IXP websites > HE > PDB > PCH`
+//!
+//! The outputs are:
+//!
+//! * [`ObservedWorld`] — the fused dataset the inference pipeline runs on:
+//!   IXP prefixes and interfaces (IP → member ASN), port capacities and
+//!   minimum physical capacities (`Cmin`), facility lists with
+//!   coordinates, and AS-to-facility colocation (with the documented
+//!   18 %-missing / 5 %-spurious artifacts of Fig. 5).
+//! * [`Table1Stats`] — the per-source total/unique/conflict accounting of
+//!   Table 1.
+//! * [`ValidationDataset`] — the 15-IXP control/test validation lists of
+//!   Table 2, sampled at the operators' coverage (they know their
+//!   reseller ports, so remote peers are over-represented).
+//! * [`euroix`] — a real serde schema for the Euro-IX-style JSON export,
+//!   so the website ingestion path exercises actual parsing.
+
+pub mod euroix;
+pub mod facilities;
+pub mod fusion;
+pub mod observed;
+pub mod sources;
+pub mod validation;
+
+pub use fusion::{build_observed_world, RegistryConfig, Table1Stats};
+pub use observed::{ObservedIxp, ObservedWorld};
+pub use sources::{SourceKind, SourceView};
+pub use validation::{ValidationDataset, ValidationEntry, ValidationIxp};

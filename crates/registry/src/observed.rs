@@ -1,0 +1,170 @@
+//! The fused observable dataset.
+//!
+//! [`ObservedWorld`] is the *only* input the inference pipeline gets
+//! besides measurements. Identity keys are observable ones: ASNs,
+//! interface addresses, facility names — never ground-truth arena ids.
+
+use crate::validation::ValidationDataset;
+use opeer_geo::GeoPoint;
+use opeer_net::{Asn, Ipv4Prefix, PrefixTrie};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// A facility row in the fused colocation dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObservedFacility {
+    /// Facility name (the cross-source join key, as in PDB/Inflect).
+    pub name: String,
+    /// Coordinates after Inflect correction (§3.4).
+    pub location: GeoPoint,
+    /// Whether the PDB coordinates had to be corrected via Inflect.
+    pub corrected: bool,
+}
+
+/// One IXP as the registries describe it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ObservedIxp {
+    /// IXP name.
+    pub name: String,
+    /// Peering-LAN prefixes.
+    pub prefixes: Vec<Ipv4Prefix>,
+    /// Route server address, when published.
+    pub route_server_ip: Option<Ipv4Addr>,
+    /// Fused interface assignments: LAN address → member ASN.
+    pub interfaces: BTreeMap<Ipv4Addr, Asn>,
+    /// Observed port capacity per member ASN, Mbps (website JSON or PDB).
+    pub port_capacity: BTreeMap<Asn, u32>,
+    /// Minimum *physical* port capacity from the pricing page, Mbps
+    /// (`Cmin`, §5.1.1); `None` when the pricing page is unavailable.
+    pub cmin_mbps: Option<u32>,
+    /// Published physical capacity options, Mbps.
+    pub capacity_options: Vec<u32>,
+    /// Indices into [`ObservedWorld::facilities`] where the IXP deploys
+    /// fabric (fused PDB + website augmentation).
+    pub facility_idxs: Vec<usize>,
+    /// Whether this IXP is in the §6 study set (has usable VPs).
+    pub studied: bool,
+}
+
+impl ObservedIxp {
+    /// Number of distinct member ASNs.
+    pub fn member_count(&self) -> usize {
+        let set: std::collections::BTreeSet<Asn> = self.interfaces.values().copied().collect();
+        set.len()
+    }
+}
+
+/// The full fused dataset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ObservedWorld {
+    /// IXPs (index = observed IXP id).
+    pub ixps: Vec<ObservedIxp>,
+    /// Facility rows (deduplicated by name).
+    pub facilities: Vec<ObservedFacility>,
+    /// Colocation: ASN → facility indices. Absent key = no record at all
+    /// (Fig. 5's "N/A" class).
+    pub as_facilities: BTreeMap<Asn, Vec<usize>>,
+    /// Validation lists (Table 2).
+    pub validation: ValidationDataset,
+    #[serde(skip)]
+    lan_trie: PrefixTrie<usize>,
+}
+
+impl ObservedWorld {
+    /// Rebuilds the LAN-prefix lookup trie (called by the builder).
+    pub fn rebuild_indexes(&mut self) {
+        self.lan_trie = PrefixTrie::new();
+        for (i, ixp) in self.ixps.iter().enumerate() {
+            for p in &ixp.prefixes {
+                self.lan_trie.insert(*p, i);
+            }
+        }
+    }
+
+    /// The observed IXP whose peering LAN contains `addr`.
+    pub fn ixp_of_addr(&self, addr: Ipv4Addr) -> Option<usize> {
+        self.lan_trie.longest_match(addr).map(|(_, v)| *v)
+    }
+
+    /// The member ASN assigned to a peering-LAN address, with its IXP.
+    pub fn member_of_addr(&self, addr: Ipv4Addr) -> Option<(usize, Asn)> {
+        let ixp = self.ixp_of_addr(addr)?;
+        let asn = *self.ixps[ixp].interfaces.get(&addr)?;
+        Some((ixp, asn))
+    }
+
+    /// Facility indices where an AS is present (empty slice = record with
+    /// no facilities; `None` = no record).
+    pub fn facilities_of_as(&self, asn: Asn) -> Option<&[usize]> {
+        self.as_facilities.get(&asn).map(Vec::as_slice)
+    }
+
+    /// Common facilities of an AS and an IXP (by observed index).
+    pub fn common_facilities(&self, asn: Asn, ixp: usize) -> Vec<usize> {
+        let Some(af) = self.facilities_of_as(asn) else {
+            return Vec::new();
+        };
+        af.iter()
+            .copied()
+            .filter(|f| self.ixps[ixp].facility_idxs.contains(f))
+            .collect()
+    }
+
+    /// Looks up an observed IXP by name.
+    pub fn ixp_by_name(&self, name: &str) -> Option<usize> {
+        self.ixps.iter().position(|x| x.name == name)
+    }
+
+    /// Total interface rows across IXPs.
+    pub fn total_interfaces(&self) -> usize {
+        self.ixps.iter().map(|x| x.interfaces.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trie_lookup_after_rebuild() {
+        let mut ow = ObservedWorld::default();
+        let mut ixp = ObservedIxp {
+            name: "TEST-IX".into(),
+            prefixes: vec!["185.1.0.0/22".parse().expect("valid")],
+            ..Default::default()
+        };
+        ixp.interfaces
+            .insert("185.1.0.10".parse().expect("valid"), Asn::new(65001));
+        ow.ixps.push(ixp);
+        ow.rebuild_indexes();
+        assert_eq!(ow.ixp_of_addr("185.1.1.1".parse().expect("valid")), Some(0));
+        assert_eq!(
+            ow.member_of_addr("185.1.0.10".parse().expect("valid")),
+            Some((0, Asn::new(65001)))
+        );
+        assert_eq!(ow.member_of_addr("185.1.0.11".parse().expect("valid")), None);
+        assert_eq!(ow.ixp_of_addr("10.0.0.1".parse().expect("valid")), None);
+    }
+
+    #[test]
+    fn member_count_dedups_asns() {
+        let mut ixp = ObservedIxp::default();
+        ixp.interfaces.insert("185.1.0.10".parse().expect("valid"), Asn::new(1));
+        ixp.interfaces.insert("185.1.0.11".parse().expect("valid"), Asn::new(1));
+        ixp.interfaces.insert("185.1.0.12".parse().expect("valid"), Asn::new(2));
+        assert_eq!(ixp.member_count(), 2);
+    }
+
+    #[test]
+    fn common_facilities_requires_record() {
+        let mut ow = ObservedWorld::default();
+        ow.ixps.push(ObservedIxp {
+            facility_idxs: vec![0, 1],
+            ..Default::default()
+        });
+        assert!(ow.common_facilities(Asn::new(5), 0).is_empty());
+        ow.as_facilities.insert(Asn::new(5), vec![1, 7]);
+        assert_eq!(ow.common_facilities(Asn::new(5), 0), vec![1]);
+    }
+}

@@ -1,0 +1,267 @@
+//! The four registry sources and their noise models.
+//!
+//! §3.2 fuses IXP websites, Hurricane Electric, PeeringDB and PCH.
+//! Table 1 quantifies their quality: websites are authoritative but cover
+//! few IXPs; HE covers the most interfaces; PDB covers the most IXPs; PCH
+//! is sparse; each secondary source carries a small rate of conflicting
+//! rows (~0.27–0.37 % of interfaces). The [`SourceView`] generators below
+//! derive each source from the ground truth through exactly those knobs.
+
+use opeer_net::{Asn, Ipv4Prefix};
+use opeer_topology::routing::stable_hash;
+use opeer_topology::World;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// The four fused sources, in the paper's preference order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SourceKind {
+    /// IXP websites (Euro-IX JSON exports) — most reliable.
+    Websites,
+    /// Hurricane Electric's exchange report.
+    He,
+    /// PeeringDB.
+    Pdb,
+    /// Packet Clearing House.
+    Pch,
+}
+
+impl SourceKind {
+    /// All sources in preference order.
+    pub const ORDERED: [SourceKind; 4] =
+        [SourceKind::Websites, SourceKind::He, SourceKind::Pdb, SourceKind::Pch];
+}
+
+/// Per-source noise parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SourceNoise {
+    /// Fraction of IXPs the source covers at all.
+    pub ixp_coverage: f64,
+    /// Fraction of a covered IXP's interfaces the source lists.
+    pub iface_coverage: f64,
+    /// Probability that a listed interface carries the wrong ASN.
+    pub iface_error: f64,
+    /// Probability that the source lists a slightly-wrong LAN prefix.
+    pub prefix_error: f64,
+    /// Whether the source records port capacities, and if so the
+    /// fraction of members covered.
+    pub capacity_coverage: f64,
+    /// Probability that a recorded capacity is stale (wrong tier).
+    pub capacity_stale: f64,
+}
+
+/// Default noise per source, calibrated against Table 1.
+pub fn default_noise(kind: SourceKind) -> SourceNoise {
+    match kind {
+        SourceKind::Websites => SourceNoise {
+            ixp_coverage: 1.0, // of the IXPs that publish exports (named set)
+            iface_coverage: 1.0,
+            iface_error: 0.0,
+            prefix_error: 0.0,
+            capacity_coverage: 1.0,
+            capacity_stale: 0.0,
+        },
+        SourceKind::He => SourceNoise {
+            ixp_coverage: 0.61,
+            iface_coverage: 0.95,
+            iface_error: 0.0027,
+            prefix_error: 0.002,
+            capacity_coverage: 0.0,
+            capacity_stale: 0.0,
+        },
+        SourceKind::Pdb => SourceNoise {
+            ixp_coverage: 0.90,
+            iface_coverage: 0.70,
+            iface_error: 0.0028,
+            prefix_error: 0.0015,
+            capacity_coverage: 0.80,
+            capacity_stale: 0.05,
+        },
+        SourceKind::Pch => SourceNoise {
+            ixp_coverage: 0.66,
+            iface_coverage: 0.20,
+            iface_error: 0.0037,
+            prefix_error: 0.002,
+            capacity_coverage: 0.0,
+            capacity_stale: 0.0,
+        },
+    }
+}
+
+/// One source's view of the IXP ecosystem, keyed by IXP name.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SourceView {
+    /// Which source this is.
+    pub kind: Option<SourceKind>,
+    /// Peering-LAN prefixes per IXP.
+    pub prefixes: BTreeMap<String, Vec<Ipv4Prefix>>,
+    /// Interface assignments per IXP.
+    pub interfaces: BTreeMap<String, BTreeMap<Ipv4Addr, Asn>>,
+    /// Port capacities per IXP (Mbps per member ASN).
+    pub capacities: BTreeMap<String, BTreeMap<Asn, u32>>,
+}
+
+/// Generates a secondary source (HE/PDB/PCH) from the ground truth.
+/// (The website view is generated through the Euro-IX JSON path in
+/// [`crate::fusion`], not here.)
+pub fn generate_source(world: &World, kind: SourceKind, seed: u64) -> SourceView {
+    let noise = default_noise(kind);
+    let tag = kind as u64 + 101;
+    let month = world.observation_month;
+    let mut view = SourceView {
+        kind: Some(kind),
+        ..Default::default()
+    };
+
+    for (i, ixp) in world.ixps.iter().enumerate() {
+        if unit(seed, &[tag, i as u64, 1]) >= noise.ixp_coverage {
+            continue;
+        }
+        // Prefix row, occasionally wrong (shifted LAN).
+        let prefix = if unit(seed, &[tag, i as u64, 2]) < noise.prefix_error {
+            shift_prefix(ixp.peering_lan)
+        } else {
+            ixp.peering_lan
+        };
+        view.prefixes.insert(ixp.name.clone(), vec![prefix]);
+
+        let mut ifaces = BTreeMap::new();
+        let mut caps = BTreeMap::new();
+        let member_asns: Vec<Asn> = world
+            .memberships_of_ixp(opeer_topology::IxpId::from_index(i))
+            .iter()
+            .map(|&mid| world.ases[world.memberships[mid.index()].member.index()].asn)
+            .collect();
+        for &mid in world.memberships_of_ixp(opeer_topology::IxpId::from_index(i)) {
+            let m = &world.memberships[mid.index()];
+            if !m.active_at(month) {
+                continue;
+            }
+            let addr = world.interfaces[m.iface.index()].addr;
+            let key = u64::from(u32::from(addr));
+            if unit(seed, &[tag, key, 3]) >= noise.iface_coverage {
+                continue;
+            }
+            let true_asn = world.ases[m.member.index()].asn;
+            let asn = if unit(seed, &[tag, key, 4]) < noise.iface_error {
+                // Wrong row: another member's ASN (a stale reassignment).
+                let pick = (stable_hash(&[seed, tag, key, 5]) as usize) % member_asns.len().max(1);
+                let wrong = member_asns.get(pick).copied().unwrap_or(true_asn);
+                if wrong == true_asn {
+                    Asn::new(true_asn.value().wrapping_add(1))
+                } else {
+                    wrong
+                }
+            } else {
+                true_asn
+            };
+            ifaces.insert(addr, asn);
+
+            if noise.capacity_coverage > 0.0
+                && unit(seed, &[tag, key, 6]) < noise.capacity_coverage
+            {
+                let cap = if unit(seed, &[tag, key, 7]) < noise.capacity_stale {
+                    stale_capacity(m.port_mbps, stable_hash(&[seed, tag, key, 8]))
+                } else {
+                    m.port_mbps
+                };
+                caps.insert(asn, cap);
+            }
+        }
+        if !ifaces.is_empty() {
+            view.interfaces.insert(ixp.name.clone(), ifaces);
+        }
+        if !caps.is_empty() {
+            view.capacities.insert(ixp.name.clone(), caps);
+        }
+    }
+    view
+}
+
+fn unit(seed: u64, words: &[u64]) -> f64 {
+    let mut v = vec![seed];
+    v.extend_from_slice(words);
+    (stable_hash(&v) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn shift_prefix(p: Ipv4Prefix) -> Ipv4Prefix {
+    let shifted = u32::from(p.network()).wrapping_add(p.num_addresses() as u32);
+    Ipv4Prefix::new(shifted.into(), p.len()).unwrap_or(p)
+}
+
+fn stale_capacity(true_mbps: u32, h: u64) -> u32 {
+    let options = [100, 500, 1_000, 10_000];
+    let pick = options[(h as usize) % options.len()];
+    if pick == true_mbps {
+        options[(h as usize + 1) % options.len()]
+    } else {
+        pick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn sources_differ_in_coverage() {
+        let w = WorldConfig::small(41).generate();
+        let he = generate_source(&w, SourceKind::He, 1);
+        let pdb = generate_source(&w, SourceKind::Pdb, 1);
+        let pch = generate_source(&w, SourceKind::Pch, 1);
+        // PDB covers the most IXPs; PCH lists the fewest interfaces.
+        assert!(pdb.prefixes.len() > he.prefixes.len());
+        assert!(pdb.prefixes.len() > pch.prefixes.len());
+        let total = |v: &SourceView| -> usize { v.interfaces.values().map(BTreeMap::len).sum() };
+        assert!(total(&he) > total(&pch), "HE {} vs PCH {}", total(&he), total(&pch));
+    }
+
+    #[test]
+    fn error_rates_are_small_but_nonzero() {
+        let w = WorldConfig::small(41).generate();
+        let pdb = generate_source(&w, SourceKind::Pdb, 1);
+        let mut errors = 0usize;
+        let mut total = 0usize;
+        for (_ixp, ifaces) in &pdb.interfaces {
+            for (&addr, &asn) in ifaces {
+                total += 1;
+                let ifc = w.iface_by_addr(addr).expect("addr from world");
+                let owner = w.routers[w.interfaces[ifc.index()].router.index()].owner;
+                if w.ases[owner.index()].asn != asn {
+                    errors += 1;
+                }
+            }
+        }
+        let rate = errors as f64 / total.max(1) as f64;
+        assert!(rate < 0.02, "error rate {rate} too high");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = WorldConfig::small(41).generate();
+        let a = generate_source(&w, SourceKind::He, 7);
+        let b = generate_source(&w, SourceKind::He, 7);
+        assert_eq!(a.prefixes, b.prefixes);
+        assert_eq!(a.interfaces, b.interfaces);
+        let c = generate_source(&w, SourceKind::He, 8);
+        assert_ne!(a.interfaces, c.interfaces, "seed had no effect");
+    }
+
+    #[test]
+    fn shifted_prefix_differs() {
+        let p: Ipv4Prefix = "185.0.8.0/21".parse().expect("valid");
+        let s = shift_prefix(p);
+        assert_ne!(p, s);
+        assert_eq!(s.len(), 21);
+    }
+
+    #[test]
+    fn stale_capacity_never_matches_truth() {
+        for h in 0..40u64 {
+            assert_ne!(stale_capacity(1_000, h), 1_000);
+            assert_ne!(stale_capacity(100, h), 100);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+fn main() {
+    let t = std::time::Instant::now();
+    let w = opeer_topology::WorldConfig::paper(1).generate();
+    println!("{} in {:?}", w.summary(), t.elapsed());
+    let problems = w.check_consistency();
+    println!("consistency problems: {}", problems.len());
+}

@@ -1,0 +1,221 @@
+//! Longitudinal views of the membership timeline (§6.3, Fig. 12a).
+//!
+//! The generator stamps every membership with a join month and an optional
+//! leave month. This module derives the time series the paper reports:
+//! per-month local/remote member counts, join and departure rates per
+//! peering type, and the remote→local switchers.
+
+use crate::ids::{AsId, IxpId};
+use crate::world::World;
+use serde::{Deserialize, Serialize};
+
+/// Counts for one month of the timeline.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct MonthlyCounts {
+    /// Month index (0 = start of the window).
+    pub month: u32,
+    /// Active local members.
+    pub local: usize,
+    /// Active remote members.
+    pub remote: usize,
+    /// Local members that joined this month.
+    pub local_joins: usize,
+    /// Remote members that joined this month.
+    pub remote_joins: usize,
+    /// Local members that left this month.
+    pub local_departures: usize,
+    /// Remote members that left this month.
+    pub remote_departures: usize,
+}
+
+/// Aggregated growth statistics over a window.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GrowthStats {
+    /// Total in-window local joins.
+    pub local_joins: usize,
+    /// Total in-window remote joins.
+    pub remote_joins: usize,
+    /// Total in-window local departures.
+    pub local_departures: usize,
+    /// Total in-window remote departures.
+    pub remote_departures: usize,
+    /// `remote_joins / local_joins` (∞-safe: `None` when no local joins).
+    pub join_ratio: Option<f64>,
+    /// Remote departure *rate* relative to local departure rate,
+    /// normalised by the month-0 populations.
+    pub departure_rate_ratio: Option<f64>,
+}
+
+/// Per-month member counts for the given IXPs over the whole timeline.
+pub fn monthly_series(world: &World, ixps: &[IxpId], months: u32) -> Vec<MonthlyCounts> {
+    let mut out = Vec::with_capacity(months as usize + 1);
+    for month in 0..=months {
+        let mut c = MonthlyCounts {
+            month,
+            ..Default::default()
+        };
+        for &ixp in ixps {
+            for &mid in world.memberships_of_ixp(ixp) {
+                let m = &world.memberships[mid.index()];
+                let remote = m.truth.is_remote();
+                if m.active_at(month) {
+                    if remote {
+                        c.remote += 1;
+                    } else {
+                        c.local += 1;
+                    }
+                }
+                if m.joined_month == month && month > 0 {
+                    if remote {
+                        c.remote_joins += 1;
+                    } else {
+                        c.local_joins += 1;
+                    }
+                }
+                if m.left_month == Some(month) {
+                    if remote {
+                        c.remote_departures += 1;
+                    } else {
+                        c.local_departures += 1;
+                    }
+                }
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Aggregates a monthly series into growth statistics.
+pub fn growth_stats(series: &[MonthlyCounts]) -> GrowthStats {
+    let local_joins: usize = series.iter().map(|c| c.local_joins).sum();
+    let remote_joins: usize = series.iter().map(|c| c.remote_joins).sum();
+    let local_departures: usize = series.iter().map(|c| c.local_departures).sum();
+    let remote_departures: usize = series.iter().map(|c| c.remote_departures).sum();
+    let (l0, r0) = series
+        .first()
+        .map(|c| (c.local.max(1), c.remote.max(1)))
+        .unwrap_or((1, 1));
+    let join_ratio = if local_joins > 0 {
+        Some(remote_joins as f64 / local_joins as f64)
+    } else {
+        None
+    };
+    let departure_rate_ratio = if local_departures > 0 {
+        let local_rate = local_departures as f64 / l0 as f64;
+        let remote_rate = remote_departures as f64 / r0 as f64;
+        Some(remote_rate / local_rate)
+    } else {
+        None
+    };
+    GrowthStats {
+        local_joins,
+        remote_joins,
+        local_departures,
+        remote_departures,
+        join_ratio,
+        departure_rate_ratio,
+    }
+}
+
+/// A member that switched from remote to local at the same IXP: its remote
+/// membership ended exactly when a local one began (§6.3 found 18 such
+/// cases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Switcher {
+    /// The member AS.
+    pub member: AsId,
+    /// The IXP where the switch happened.
+    pub ixp: IxpId,
+    /// The switch month.
+    pub month: u32,
+}
+
+/// Finds all remote→local switchers at the given IXPs.
+pub fn find_switchers(world: &World, ixps: &[IxpId]) -> Vec<Switcher> {
+    let mut out = Vec::new();
+    for &ixp in ixps {
+        let mids = world.memberships_of_ixp(ixp);
+        for &a in mids {
+            let ma = &world.memberships[a.index()];
+            let Some(left) = ma.left_month else { continue };
+            if !ma.truth.is_remote() {
+                continue;
+            }
+            for &b in mids {
+                let mb = &world.memberships[b.index()];
+                if mb.member == ma.member && !mb.truth.is_remote() && mb.joined_month == left {
+                    out.push(Switcher {
+                        member: ma.member,
+                        ixp,
+                        month: left,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by_key(|s| (s.month, s.member, s.ixp));
+    out.dedup();
+    out
+}
+
+/// The IXPs the paper tracks longitudinally (those of §6.3 present in the
+/// named spec table).
+pub fn evolution_ixps(world: &World) -> Vec<IxpId> {
+    const NAMES: [&str; 5] = ["LINX LON", "HKIX", "LONAP", "THINX", "UA-IX"];
+    world
+        .ixps
+        .iter()
+        .enumerate()
+        .filter(|(_, x)| NAMES.contains(&x.name.as_str()))
+        .map(|(i, _)| IxpId::from_index(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WorldConfig;
+
+    #[test]
+    fn series_is_consistent() {
+        let w = WorldConfig::small(3).generate();
+        let ixps = evolution_ixps(&w);
+        assert_eq!(ixps.len(), 5);
+        let series = monthly_series(&w, &ixps, 14);
+        assert_eq!(series.len(), 15);
+        // Counts never negative, members grow or shrink by the join/leave
+        // deltas.
+        for win in series.windows(2) {
+            let (a, b) = (win[0], win[1]);
+            let delta_local = b.local as i64 - a.local as i64;
+            assert_eq!(delta_local, b.local_joins as i64 - b.local_departures as i64);
+            let delta_remote = b.remote as i64 - a.remote as i64;
+            assert_eq!(delta_remote, b.remote_joins as i64 - b.remote_departures as i64);
+        }
+    }
+
+    #[test]
+    fn remote_joins_dominate() {
+        // Paper-scale bias: remote joins ≈ 2× local joins. Use the whole
+        // world to smooth small-sample noise.
+        let w = WorldConfig::small(5).generate();
+        let all: Vec<IxpId> = (0..w.ixps.len()).map(IxpId::from_index).collect();
+        let stats = growth_stats(&monthly_series(&w, &all, 14));
+        let ratio = stats.join_ratio.expect("joins exist");
+        assert!(
+            ratio > 1.2,
+            "remote/local join ratio {ratio} too low (want ≈2)"
+        );
+    }
+
+    #[test]
+    fn switchers_found() {
+        let w = WorldConfig::small(3).generate();
+        let sw = find_switchers(&w, &evolution_ixps(&w));
+        assert!(!sw.is_empty(), "generator plants switchers");
+        for s in &sw {
+            assert!(s.month > 0);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Typed arena indices.
+//!
+//! Every entity in the [`crate::world::World`] lives in a dense `Vec` arena
+//! and is referred to by a typed index. The newtypes prevent the classic
+//! "indexed the router table with a facility id" bug without any runtime
+//! cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Index into the owning arena.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs from an arena index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Index of a city in [`crate::world::World::cities`].
+    CityId,
+    "city"
+);
+define_id!(
+    /// Index of a colocation facility in [`crate::world::World::facilities`].
+    FacilityId,
+    "fac"
+);
+define_id!(
+    /// Index of an AS in [`crate::world::World::ases`].
+    AsId,
+    "as#"
+);
+define_id!(
+    /// Index of an IXP in [`crate::world::World::ixps`].
+    IxpId,
+    "ixp"
+);
+define_id!(
+    /// Index of a router in [`crate::world::World::routers`].
+    RouterId,
+    "rtr"
+);
+define_id!(
+    /// Index of an interface in [`crate::world::World::interfaces`].
+    IfaceId,
+    "if"
+);
+define_id!(
+    /// Index of an IXP membership in [`crate::world::World::memberships`].
+    MembershipId,
+    "mem"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let r = RouterId::from_index(42);
+        assert_eq!(r.index(), 42);
+        assert_eq!(format!("{r}"), "rtr42");
+        assert_eq!(format!("{r:?}"), "rtr42");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(AsId(1) < AsId(2));
+        assert_eq!(FacilityId(7), FacilityId::from_index(7));
+    }
+}

@@ -1,0 +1,358 @@
+//! # opeer-traix — IXP crossing detection in traceroute paths
+//!
+//! A reimplementation of the traIXroute methodology ([65], configured as
+//! in §3.3 of the paper): an IXP crossing is announced when a traceroute
+//! contains an IP triplet `(IP1, IP2, IP3)` such that
+//!
+//! 1. `IP2` belongs to an IXP peering LAN and is *assigned* to the same
+//!    member AS that owns `IP3`,
+//! 2. the AS of `IP1` differs from that AS, and
+//! 3. both ASes are members of the IXP owning the LAN.
+//!
+//! Besides full crossings, the crate extracts the two weaker signals the
+//! inference pipeline feeds on:
+//!
+//! * [`member_ixp_pairs`] — hop pairs `{IPx, IPixp}` where an interface
+//!   of a member AS immediately precedes an IXP address (§5.2 step 4's
+//!   raw material for multi-IXP router discovery);
+//! * [`private_as_links`] — consecutive-hop AS adjacencies *not* crossing
+//!   any IXP LAN (§5.2 step 5's private-interconnection set).
+//!
+//! Inputs are plain hop-address lists plus two lookup structures, so the
+//! crate stays independent of how paths were obtained — simulated here,
+//! but a real MRT/warts ingester could feed the same API.
+
+use opeer_net::{Asn, IpToAsMap, Ipv4Prefix, PrefixTrie};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+/// Opaque IXP identifier within a [`IxpData`] set (index-like).
+pub type IxpRef = u32;
+
+/// The IXP-side lookup data traIXroute needs.
+#[derive(Debug, Clone, Default)]
+pub struct IxpData {
+    lans: PrefixTrie<IxpRef>,
+    iface_owner: HashMap<Ipv4Addr, (IxpRef, Asn)>,
+    members: BTreeMap<IxpRef, BTreeSet<Asn>>,
+}
+
+impl IxpData {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an IXP with its peering LAN prefixes.
+    pub fn add_ixp(&mut self, ixp: IxpRef, prefixes: &[Ipv4Prefix]) {
+        for p in prefixes {
+            self.lans.insert(*p, ixp);
+        }
+        self.members.entry(ixp).or_default();
+    }
+
+    /// Registers a member's LAN interface assignment.
+    pub fn add_interface(&mut self, ixp: IxpRef, addr: Ipv4Addr, member: Asn) {
+        self.iface_owner.insert(addr, (ixp, member));
+        self.members.entry(ixp).or_default().insert(member);
+    }
+
+    /// The IXP whose LAN contains `addr`.
+    pub fn ixp_of(&self, addr: Ipv4Addr) -> Option<IxpRef> {
+        self.lans.longest_match(addr).map(|(_, v)| *v)
+    }
+
+    /// The member AS an IXP address is assigned to.
+    pub fn assignee(&self, addr: Ipv4Addr) -> Option<(IxpRef, Asn)> {
+        self.iface_owner.get(&addr).copied()
+    }
+
+    /// Whether `asn` is a member of `ixp`.
+    pub fn is_member(&self, ixp: IxpRef, asn: Asn) -> bool {
+        self.members.get(&ixp).is_some_and(|m| m.contains(&asn))
+    }
+}
+
+/// Maps any address to its AS: IXP assignments first (the paper resolves
+/// IXP IPs through the interface dataset, not BGP), then longest-prefix
+/// match over announced space.
+pub fn addr_to_as(addr: Ipv4Addr, data: &IxpData, ip2as: &IpToAsMap) -> Option<Asn> {
+    if let Some((_, asn)) = data.assignee(addr) {
+        return Some(asn);
+    }
+    ip2as.unique_origin(addr)
+}
+
+/// A detected IXP crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crossing {
+    /// The IXP crossed.
+    pub ixp: IxpRef,
+    /// Member AS on the near side (`IP1`).
+    pub from: Asn,
+    /// Member AS on the far side (assignee of `IP2`, owner of `IP3`).
+    pub to: Asn,
+    /// The IXP LAN address observed (`IP2`).
+    pub lan_addr: Ipv4Addr,
+    /// Index of `IP2` in the hop list.
+    pub position: usize,
+}
+
+/// Detects IXP crossings in one hop-address list (entries may be `None`
+/// for non-responding TTLs; windows containing gaps are skipped, as a
+/// real traIXroute must).
+pub fn detect_crossings(
+    hops: &[Option<Ipv4Addr>],
+    data: &IxpData,
+    ip2as: &IpToAsMap,
+) -> Vec<Crossing> {
+    let mut out = Vec::new();
+    if hops.len() < 3 {
+        return out;
+    }
+    for i in 0..hops.len() - 2 {
+        let (Some(a), Some(b), Some(c)) = (hops[i], hops[i + 1], hops[i + 2]) else {
+            continue;
+        };
+        // Condition (i): the middle IP is on an IXP LAN, assigned to the
+        // same AS that owns the third IP.
+        let Some((ixp, to_asn)) = data.assignee(b) else {
+            continue;
+        };
+        let Some(c_asn) = addr_to_as(c, data, ip2as) else {
+            continue;
+        };
+        if c_asn != to_asn {
+            continue;
+        }
+        // Condition (ii): the first IP belongs to a different AS.
+        let Some(from_asn) = addr_to_as(a, data, ip2as) else {
+            continue;
+        };
+        if from_asn == to_asn {
+            continue;
+        }
+        // Condition (iii): both are members of that IXP.
+        if !data.is_member(ixp, from_asn) || !data.is_member(ixp, to_asn) {
+            continue;
+        }
+        out.push(Crossing {
+            ixp,
+            from: from_asn,
+            to: to_asn,
+            lan_addr: b,
+            position: i + 1,
+        });
+    }
+    out
+}
+
+/// A `{IPx, IPixp}` observation: a member interface immediately preceding
+/// an IXP address (§5.2 step 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberIxpPair {
+    /// The member-owned interface (`IPx`).
+    pub member_addr: Ipv4Addr,
+    /// The AS owning `IPx`.
+    pub member: Asn,
+    /// The IXP whose address follows.
+    pub ixp: IxpRef,
+    /// The following IXP LAN address.
+    pub lan_addr: Ipv4Addr,
+}
+
+/// Extracts all `{IPx, IPixp}` pairs from a hop list: `IPx` must belong
+/// (by interface assignment or IP-to-AS) to a member of the IXP whose LAN
+/// the next hop sits on.
+pub fn member_ixp_pairs(
+    hops: &[Option<Ipv4Addr>],
+    data: &IxpData,
+    ip2as: &IpToAsMap,
+) -> Vec<MemberIxpPair> {
+    let mut out = Vec::new();
+    for w in hops.windows(2) {
+        let (Some(x), Some(y)) = (w[0], w[1]) else {
+            continue;
+        };
+        let Some(ixp) = data.ixp_of(y) else { continue };
+        let Some(member) = addr_to_as(x, data, ip2as) else {
+            continue;
+        };
+        if data.is_member(ixp, member) {
+            out.push(MemberIxpPair {
+                member_addr: x,
+                member,
+                ixp,
+                lan_addr: y,
+            });
+        }
+    }
+    out
+}
+
+/// A private (non-IXP) AS-level adjacency observed between consecutive
+/// hops, with the involved interface addresses (§5.2 step 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivateHop {
+    /// Near-side AS.
+    pub a: Asn,
+    /// Near-side interface.
+    pub a_addr: Ipv4Addr,
+    /// Far-side AS.
+    pub b: Asn,
+    /// Far-side interface (the one whose facility Step 5 votes on).
+    pub b_addr: Ipv4Addr,
+}
+
+/// Extracts private AS adjacencies: consecutive responding hops in
+/// different ASes where *neither* address is on an IXP LAN.
+pub fn private_as_links(
+    hops: &[Option<Ipv4Addr>],
+    data: &IxpData,
+    ip2as: &IpToAsMap,
+) -> Vec<PrivateHop> {
+    let mut out = Vec::new();
+    for w in hops.windows(2) {
+        let (Some(x), Some(y)) = (w[0], w[1]) else {
+            continue;
+        };
+        if data.ixp_of(x).is_some() || data.ixp_of(y).is_some() {
+            continue;
+        }
+        let (Some(a), Some(b)) = (ip2as.unique_origin(x), ip2as.unique_origin(y)) else {
+            continue;
+        };
+        if a != b {
+            out.push(PrivateHop {
+                a,
+                a_addr: x,
+                b,
+                b_addr: y,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().expect("valid address")
+    }
+
+    fn setup() -> (IxpData, IpToAsMap) {
+        let mut data = IxpData::new();
+        data.add_ixp(0, &["185.1.0.0/22".parse().expect("valid")]);
+        data.add_interface(0, ip("185.1.0.10"), Asn::new(100));
+        data.add_interface(0, ip("185.1.0.11"), Asn::new(200));
+        let mut ip2as = IpToAsMap::new();
+        ip2as.insert("20.0.0.0/16".parse().expect("valid"), Asn::new(100));
+        ip2as.insert("20.1.0.0/16".parse().expect("valid"), Asn::new(200));
+        ip2as.insert("20.2.0.0/16".parse().expect("valid"), Asn::new(300));
+        (data, ip2as)
+    }
+
+    #[test]
+    fn detects_classic_triplet() {
+        let (data, ip2as) = setup();
+        // AS200 internal → AS100's LAN iface → AS100 internal.
+        let hops = vec![Some(ip("20.1.0.1")), Some(ip("185.1.0.10")), Some(ip("20.0.0.5"))];
+        let xs = detect_crossings(&hops, &data, &ip2as);
+        assert_eq!(xs.len(), 1);
+        assert_eq!(xs[0].from, Asn::new(200));
+        assert_eq!(xs[0].to, Asn::new(100));
+        assert_eq!(xs[0].position, 1);
+    }
+
+    #[test]
+    fn rejects_when_third_hop_is_foreign() {
+        let (data, ip2as) = setup();
+        // Third hop in AS300 ≠ assignee AS100: condition (i) fails.
+        let hops = vec![Some(ip("20.1.0.1")), Some(ip("185.1.0.10")), Some(ip("20.2.0.5"))];
+        assert!(detect_crossings(&hops, &data, &ip2as).is_empty());
+    }
+
+    #[test]
+    fn rejects_non_member_first_hop() {
+        let (data, ip2as) = setup();
+        // AS300 is not an IXP member: condition (iii) fails.
+        let hops = vec![Some(ip("20.2.0.1")), Some(ip("185.1.0.10")), Some(ip("20.0.0.5"))];
+        assert!(detect_crossings(&hops, &data, &ip2as).is_empty());
+    }
+
+    #[test]
+    fn rejects_same_as_on_both_sides() {
+        let (data, ip2as) = setup();
+        let hops = vec![Some(ip("20.0.0.1")), Some(ip("185.1.0.10")), Some(ip("20.0.0.5"))];
+        assert!(detect_crossings(&hops, &data, &ip2as).is_empty());
+    }
+
+    #[test]
+    fn gaps_break_triplets() {
+        let (data, ip2as) = setup();
+        let hops = vec![Some(ip("20.1.0.1")), None, Some(ip("185.1.0.10")), Some(ip("20.0.0.5"))];
+        assert!(detect_crossings(&hops, &data, &ip2as).is_empty());
+    }
+
+    #[test]
+    fn unassigned_lan_addr_not_a_crossing() {
+        let (data, ip2as) = setup();
+        // 185.1.0.99 is on the LAN but not in the interface dataset.
+        let hops = vec![Some(ip("20.1.0.1")), Some(ip("185.1.0.99")), Some(ip("20.0.0.5"))];
+        assert!(detect_crossings(&hops, &data, &ip2as).is_empty());
+    }
+
+    #[test]
+    fn member_pairs_from_lan_and_internal_addresses() {
+        let (data, ip2as) = setup();
+        // A member's own LAN iface preceding another LAN iface (the
+        // multi-IXP-router signature: one box, two IXPs).
+        let hops = vec![Some(ip("185.1.0.11")), Some(ip("185.1.0.10"))];
+        let pairs = member_ixp_pairs(&hops, &data, &ip2as);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].member, Asn::new(200));
+        assert_eq!(pairs[0].ixp, 0);
+
+        // An internal address preceding a LAN iface.
+        let hops = vec![Some(ip("20.1.0.7")), Some(ip("185.1.0.10"))];
+        let pairs = member_ixp_pairs(&hops, &data, &ip2as);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].member_addr, ip("20.1.0.7"));
+    }
+
+    #[test]
+    fn non_member_predecessor_yields_no_pair() {
+        let (data, ip2as) = setup();
+        let hops = vec![Some(ip("20.2.0.7")), Some(ip("185.1.0.10"))];
+        assert!(member_ixp_pairs(&hops, &data, &ip2as).is_empty());
+    }
+
+    #[test]
+    fn private_links_skip_ixp_hops() {
+        let (data, ip2as) = setup();
+        let hops = vec![
+            Some(ip("20.0.0.1")),
+            Some(ip("20.1.0.1")),   // AS100→AS200 private
+            Some(ip("185.1.0.10")), // LAN hop: next window skipped
+            Some(ip("20.0.0.2")),
+            Some(ip("20.2.0.9")), // AS100→AS300 private
+        ];
+        let links = private_as_links(&hops, &data, &ip2as);
+        assert_eq!(links.len(), 2);
+        assert_eq!((links[0].a, links[0].b), (Asn::new(100), Asn::new(200)));
+        assert_eq!((links[1].a, links[1].b), (Asn::new(100), Asn::new(300)));
+    }
+
+    #[test]
+    fn addr_to_as_prefers_interface_assignment() {
+        let (data, ip2as) = setup();
+        // LAN addresses resolve through the assignment dataset...
+        assert_eq!(addr_to_as(ip("185.1.0.11"), &data, &ip2as), Some(Asn::new(200)));
+        // ...and ordinary addresses through longest-prefix match.
+        assert_eq!(addr_to_as(ip("20.2.0.1"), &data, &ip2as), Some(Asn::new(300)));
+        assert_eq!(addr_to_as(ip("9.9.9.9"), &data, &ip2as), None);
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: generate a world, run the methodology, score it.
+//!
+//! ```text
+//! cargo run --release --example quickstart [seed]
+//! ```
+
+use opeer::prelude::*;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    println!("━━ opeer quickstart (seed {seed}) ━━\n");
+
+    // A small but fully structured world: the 37 named IXPs (Table 2
+    // validation set included) plus generated smaller exchanges.
+    let world = WorldConfig::small(seed).generate();
+    println!("world: {}\n", world.summary());
+
+    // Everything the methodology is allowed to see.
+    let input = InferenceInput::assemble(&world, seed);
+    println!(
+        "observables: {} IXPs in the fused registry, {} ping observations, {} traceroutes\n",
+        input.observed.ixps.len(),
+        input.campaign.observations.len(),
+        input.corpus.len()
+    );
+
+    // The five-step inference.
+    let result = run_pipeline(&input, &PipelineConfig::default());
+    println!(
+        "inferences: {} interfaces ({:.1}% remote), {} left unknown",
+        result.inferences.len(),
+        result.remote_share() * 100.0,
+        result.unclassified.len()
+    );
+    println!(
+        "per step: port-capacity {}, rtt+colo {}, multi-IXP {}, private-links {}\n",
+        result.counts.port_capacity,
+        result.counts.rtt_colo,
+        result.counts.multi_ixp,
+        result.counts.private_links
+    );
+
+    // Compare against the RTT-threshold baseline on the validation data.
+    let baseline = run_baseline(&input, DEFAULT_THRESHOLD_MS);
+    let m_base = score(&baseline, &input.observed.validation, Some(ValidationRole::Test));
+    let m_ours = score(&result.inferences, &input.observed.validation, Some(ValidationRole::Test));
+    println!("validation (test subset):");
+    println!("  {}", m_base.row("RTT ≤ 10 ms baseline"));
+    println!("  {}", m_ours.row("5-step methodology"));
+
+    // A few example verdicts with their evidence trails.
+    println!("\nsample verdicts:");
+    for inf in result.inferences.iter().take(8) {
+        println!(
+            "  {} at {}: {} [{}] — {}",
+            inf.asn,
+            input.observed.ixps[inf.ixp].name,
+            inf.verdict,
+            inf.step,
+            inf.evidence
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! # opeer — remote peering inference at IXPs
+//!
+//! A from-scratch Rust reproduction of *“O Peer, Where Art Thou?
+//! Uncovering Remote Peering Interconnections at IXPs”* (Nomikos et al.,
+//! IMC 2018): the five-step local/remote peer inference methodology, every
+//! substrate it depends on (synthetic Internet topology, measurement
+//! plane, registry ecosystem, BGP/MRT stack, traIXroute, MIDAR-style alias
+//! resolution), and an experiment harness that regenerates every table and
+//! figure of the paper's evaluation.
+//!
+//! This crate is the facade: it re-exports the workspace crates under one
+//! name and hosts the runnable examples and cross-crate integration tests.
+//!
+//! ## The 60-second tour
+//!
+//! ```
+//! use opeer::prelude::*;
+//!
+//! // 1. A deterministic synthetic Internet (ground truth).
+//! let world = WorldConfig::small(42).generate();
+//!
+//! // 2. The observable layer: noisy registries, ping campaigns,
+//! //    traceroute corpus, IP-to-AS data.
+//! let input = InferenceInput::assemble(&world, 42);
+//!
+//! // 3. The paper's methodology.
+//! let result = run_pipeline(&input, &PipelineConfig::default());
+//!
+//! // 4. Score against the Table-2-style validation lists.
+//! let metrics = score(&result.inferences, &input.observed.validation, None);
+//! assert!(metrics.acc() > 0.8);
+//! ```
+//!
+//! See `examples/` for operator-facing workflows and
+//! `opeer-bench::run_experiments` for the full evaluation.
+
+pub use opeer_alias as alias;
+pub use opeer_bgp as bgp;
+pub use opeer_core as core;
+pub use opeer_geo as geo;
+pub use opeer_measure as measure;
+pub use opeer_net as net;
+pub use opeer_registry as registry;
+pub use opeer_topology as topology;
+pub use opeer_traix as traix;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use opeer_core::baseline::{run_baseline, DEFAULT_THRESHOLD_MS};
+    pub use opeer_core::metrics::{score, score_per_ixp, Metrics};
+    pub use opeer_core::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
+    pub use opeer_core::types::{Inference, Step, Verdict};
+    pub use opeer_core::InferenceInput;
+    pub use opeer_geo::{GeoPoint, SpeedModel};
+    pub use opeer_net::{Asn, Ipv4Prefix};
+    pub use opeer_topology::{ValidationRole, World, WorldConfig};
+}

@@ -1,0 +1,194 @@
+//! Property-based tests over the core data structures and invariants.
+
+use opeer::geo::{GeoPoint, SpeedModel};
+use opeer::net::{Asn, Ipv4Prefix, PrefixTrie, TtlFilter};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| {
+        Ipv4Prefix::new(Ipv4Addr::from(addr), len).expect("len in range")
+    })
+}
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-89.0f64..89.0, -179.9f64..179.9)
+        .prop_map(|(lat, lon)| GeoPoint::new(lat, lon).expect("in range"))
+}
+
+proptest! {
+    // ---- prefixes ----
+
+    #[test]
+    fn prefix_parse_display_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        let back: Ipv4Prefix = s.parse().expect("own display parses");
+        prop_assert_eq!(p, back);
+    }
+
+    #[test]
+    fn prefix_contains_its_bounds(p in arb_prefix()) {
+        prop_assert!(p.contains(p.network()));
+        prop_assert!(p.contains(p.broadcast()));
+    }
+
+    #[test]
+    fn prefix_split_partitions(p in arb_prefix()) {
+        if let Some((lo, hi)) = p.split() {
+            prop_assert!(p.covers(&lo) && p.covers(&hi));
+            prop_assert!(!lo.overlaps(&hi));
+            prop_assert_eq!(lo.num_addresses() + hi.num_addresses(), p.num_addresses());
+        }
+    }
+
+    #[test]
+    fn covers_is_transitive(a in arb_prefix(), b in arb_prefix(), c in arb_prefix()) {
+        if a.covers(&b) && b.covers(&c) {
+            prop_assert!(a.covers(&c));
+        }
+    }
+
+    // ---- trie vs model ----
+
+    #[test]
+    fn trie_matches_reference_model(
+        entries in proptest::collection::vec((arb_prefix(), any::<u32>()), 1..60),
+        probes in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut model: BTreeMap<Ipv4Prefix, u32> = BTreeMap::new();
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+            model.insert(*p, *v);
+        }
+        prop_assert_eq!(trie.len(), model.len());
+        for probe in probes {
+            let addr = Ipv4Addr::from(probe);
+            let expected = model
+                .iter()
+                .filter(|(p, _)| p.contains(addr))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(p, v)| (*p, *v));
+            let got = trie.longest_match(addr).map(|(p, v)| (p, *v));
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn trie_remove_restores_shadowed(p in arb_prefix(), v1 in any::<u32>(), v2 in any::<u32>()) {
+        let mut trie = PrefixTrie::new();
+        trie.insert(p, v1);
+        prop_assert_eq!(trie.insert(p, v2), Some(v1));
+        prop_assert_eq!(trie.remove(&p), Some(v2));
+        prop_assert_eq!(trie.longest_match(p.network()).map(|(_, v)| *v), None);
+    }
+
+    // ---- geodesy ----
+
+    #[test]
+    fn distance_is_symmetric_and_nonnegative(a in arb_point(), b in arb_point()) {
+        let d1 = opeer::geo::distance_m(a, b);
+        let d2 = opeer::geo::distance_m(b, a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-3, "asymmetry {d1} vs {d2}");
+        prop_assert!(d1 <= 20_040_000.0, "over half circumference: {d1}");
+    }
+
+    #[test]
+    fn haversine_close_to_vincenty(a in arb_point(), b in arb_point()) {
+        if let Some(v) = opeer::geo::vincenty_inverse_m(a, b) {
+            let h = opeer::geo::haversine_m(a, b);
+            if v > 1_000.0 {
+                let rel = (h - v).abs() / v;
+                prop_assert!(rel < 0.01, "rel error {rel}");
+            }
+        }
+    }
+
+    // ---- speed model ----
+
+    #[test]
+    fn annulus_always_well_formed(rtt in 0.0f64..500.0) {
+        let m = SpeedModel::default();
+        let a = m.feasible_annulus_ms(rtt);
+        prop_assert!(a.min_km >= 0.0);
+        prop_assert!(a.min_km <= a.max_km + 1e-9, "inverted annulus at rtt {rtt}");
+    }
+
+    #[test]
+    fn annulus_outer_monotone(r1 in 0.1f64..200.0, r2 in 0.1f64..200.0) {
+        let m = SpeedModel::default();
+        let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(m.d_max_km(lo) <= m.d_max_km(hi) + 1e-9);
+        prop_assert!(m.d_min_km(lo) <= m.d_min_km(hi) + 1e-6);
+    }
+
+    // ---- ASN ----
+
+    #[test]
+    fn asn_roundtrip(v in any::<u32>()) {
+        let asn = Asn::new(v);
+        let parsed: Asn = asn.to_string().parse().expect("own display parses");
+        prop_assert_eq!(asn, parsed);
+    }
+
+    // ---- TTL filter ----
+
+    #[test]
+    fn ttl_filter_accepts_only_within_budget(max_hops in 0u8..4, ttls in proptest::collection::vec(1u8..=255, 1..30)) {
+        let mut f = TtlFilter::new(max_hops);
+        for t in &ttls {
+            let accepted = f.accept(*t);
+            let hops = opeer::net::ttl::hops_from_ttl(*t).expect("nonzero ttl");
+            prop_assert_eq!(accepted, hops <= max_hops);
+        }
+        prop_assert_eq!(f.accepted() + f.rejected(), ttls.len());
+    }
+
+    // ---- BGP codec ----
+
+    #[test]
+    fn bgp_update_roundtrips(
+        nlri in proptest::collection::vec(arb_prefix(), 0..20),
+        withdrawn in proptest::collection::vec(arb_prefix(), 0..10),
+        path in proptest::collection::vec(any::<u32>(), 0..12),
+        med in proptest::option::of(any::<u32>()),
+    ) {
+        let mut attributes = vec![
+            opeer::bgp::msg::PathAttribute::Origin(opeer::bgp::msg::Origin::Igp),
+            opeer::bgp::PathAttribute::AsPath(path.into_iter().map(Asn::new).collect()),
+            opeer::bgp::PathAttribute::NextHop("192.0.2.1".parse().expect("valid")),
+        ];
+        if let Some(m) = med {
+            attributes.push(opeer::bgp::PathAttribute::MultiExitDisc(m));
+        }
+        let update = opeer::bgp::BgpUpdate { withdrawn, attributes, nlri };
+        let decoded = opeer::bgp::BgpUpdate::decode(&update.encode()).expect("roundtrip");
+        prop_assert_eq!(decoded, update);
+    }
+
+    // ---- MBT ----
+
+    #[test]
+    fn mbt_accepts_true_shared_counter(
+        init in any::<u16>(),
+        rate in 1.0f64..1500.0,
+        offset in 0.1f64..1.9,
+    ) {
+        let mk = |t0: f64| -> Vec<opeer::measure::ipid::IpIdSample> {
+            (0..10)
+                .map(|k| {
+                    let t = t0 + k as f64 * 2.0;
+                    opeer::measure::ipid::IpIdSample {
+                        t_s: t,
+                        ip_id: (u64::from(init) + (rate * t) as u64 % 65536) as u16,
+                    }
+                })
+                .collect()
+        };
+        let a = mk(0.0);
+        let b = mk(offset);
+        prop_assert!(opeer::alias::mbt_shared_counter(&a, &b, 3000.0));
+    }
+}
