@@ -183,8 +183,8 @@ pub fn iffinder_probe(world: &World, cfg: &AliasConfig, ifc: IfaceId) -> Option<
         return None;
     }
     let router = iface.router;
-    let responds =
-        stable_hash(&[cfg.seed, 0x1FF, u64::from(router.0)]) % 1000 < (cfg.p_iffinder * 1000.0) as u64;
+    let responds = stable_hash(&[cfg.seed, 0x1FF, u64::from(router.0)]) % 1000
+        < (cfg.p_iffinder * 1000.0) as u64;
     if !responds {
         return None;
     }
@@ -231,7 +231,7 @@ pub fn resolve(world: &World, ifaces: &[IfaceId], cfg: &AliasConfig) -> AliasSet
     // Union-find.
     let index: HashMap<IfaceId, usize> = all.iter().enumerate().map(|(k, &i)| (i, k)).collect();
     let mut parent: Vec<usize> = (0..all.len()).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -249,10 +249,7 @@ pub fn resolve(world: &World, ifaces: &[IfaceId], cfg: &AliasConfig) -> AliasSet
         let root = find(&mut parent, k);
         groups.entry(root).or_default().push(i);
     }
-    let mut out: Vec<Vec<IfaceId>> = groups
-        .into_values()
-        .filter(|g| g.len() > 1)
-        .collect();
+    let mut out: Vec<Vec<IfaceId>> = groups.into_values().filter(|g| g.len() > 1).collect();
     for g in &mut out {
         g.sort();
     }
@@ -363,7 +360,10 @@ mod tests {
             }
         }
         assert_eq!(found.len(), 2, "need two shared-counter routers");
-        let cfg = AliasConfig { p_iffinder: 0.0, ..Default::default() };
+        let cfg = AliasConfig {
+            p_iffinder: 0.0,
+            ..Default::default()
+        };
         let sets = resolve(&w, &found, &cfg);
         assert!(
             !sets.aliased(found[0], found[1]),
@@ -375,7 +375,10 @@ mod tests {
     fn random_and_zero_ipid_stay_unresolved() {
         let w = world();
         if let Some(ifaces) = router_with(&w, false, 2) {
-            let cfg = AliasConfig { p_iffinder: 0.0, ..Default::default() };
+            let cfg = AliasConfig {
+                p_iffinder: 0.0,
+                ..Default::default()
+            };
             let sets = resolve(&w, &ifaces[..2], &cfg);
             assert!(
                 !sets.aliased(ifaces[0], ifaces[1]),
@@ -387,7 +390,9 @@ mod tests {
     #[test]
     fn mbt_rejects_short_trains_and_constants() {
         let mk = |vals: &[(f64, u16)]| -> Vec<IpIdSample> {
-            vals.iter().map(|&(t_s, ip_id)| IpIdSample { t_s, ip_id }).collect()
+            vals.iter()
+                .map(|&(t_s, ip_id)| IpIdSample { t_s, ip_id })
+                .collect()
         };
         let a = mk(&[(0.0, 5), (1.0, 10)]);
         let b = mk(&[(0.5, 7), (1.5, 12)]);
@@ -395,13 +400,18 @@ mod tests {
 
         let za = mk(&[(0.0, 0), (1.0, 0), (2.0, 0)]);
         let zb = mk(&[(0.5, 0), (1.5, 0), (2.5, 0)]);
-        assert!(!mbt_shared_counter(&za, &zb, 1000.0), "frozen counter unusable");
+        assert!(
+            !mbt_shared_counter(&za, &zb, 1000.0),
+            "frozen counter unusable"
+        );
     }
 
     #[test]
     fn mbt_accepts_interleaved_counter_with_wrap() {
         let mk = |vals: &[(f64, u16)]| -> Vec<IpIdSample> {
-            vals.iter().map(|&(t_s, ip_id)| IpIdSample { t_s, ip_id }).collect()
+            vals.iter()
+                .map(|&(t_s, ip_id)| IpIdSample { t_s, ip_id })
+                .collect()
         };
         // Counter at ~100/s crossing the 2^16 boundary.
         let a = mk(&[(0.0, 65400), (2.0, 65600u32 as u16), (4.0, 264)]);
@@ -416,12 +426,12 @@ mod tests {
         // An unrelated interface, unmergeable by MBT.
         let outsider = (0..w.interfaces.len())
             .map(IfaceId::from_index)
-            .find(|&i| {
-                w.interfaces[i.index()].responds_to_ping
-                    && !ifaces.contains(&i)
-            })
+            .find(|&i| w.interfaces[i.index()].responds_to_ping && !ifaces.contains(&i))
             .expect("outsider interface");
-        let cfg = AliasConfig { p_iffinder: 0.0, ..Default::default() };
+        let cfg = AliasConfig {
+            p_iffinder: 0.0,
+            ..Default::default()
+        };
         let all = vec![ifaces[0], ifaces[1], outsider];
         let base = resolve(&w, &all, &cfg);
         assert!(!base.aliased(ifaces[0], outsider));
@@ -444,13 +454,14 @@ mod tests {
             })
             .take(60)
             .collect();
-        let cfg = AliasConfig { p_iffinder: 0.0, ..Default::default() };
+        let cfg = AliasConfig {
+            p_iffinder: 0.0,
+            ..Default::default()
+        };
         let sets = resolve(&w, &lan_ifaces, &cfg);
         for g in &sets.groups {
-            let routers: std::collections::HashSet<_> = g
-                .iter()
-                .map(|&i| w.interfaces[i.index()].router)
-                .collect();
+            let routers: std::collections::HashSet<_> =
+                g.iter().map(|&i| w.interfaces[i.index()].router).collect();
             assert_eq!(routers.len(), 1, "false merge across routers: {g:?}");
         }
     }

@@ -32,8 +32,12 @@ fn bench_experiments(c: &mut Criterion) {
     g.bench_function("fig9b", |b| b.iter(|| fig_inference::fig9b(black_box(&s))));
     g.bench_function("fig9c", |b| b.iter(|| fig_inference::fig9c(black_box(&s))));
     g.bench_function("fig9d", |b| b.iter(|| fig_inference::fig9d(black_box(&s))));
-    g.bench_function("fig10a", |b| b.iter(|| fig_inference::fig10a(black_box(&s))));
-    g.bench_function("fig10b", |b| b.iter(|| fig_inference::fig10b(black_box(&s))));
+    g.bench_function("fig10a", |b| {
+        b.iter(|| fig_inference::fig10a(black_box(&s)))
+    });
+    g.bench_function("fig10b", |b| {
+        b.iter(|| fig_inference::fig10b(black_box(&s)))
+    });
     g.bench_function("fig11a", |b| b.iter(|| fig_analysis::fig11a(black_box(&s))));
     g.bench_function("fig11b", |b| b.iter(|| fig_analysis::fig11b(black_box(&s))));
     g.bench_function("fig12a", |b| b.iter(|| fig_analysis::fig12a(black_box(&s))));

@@ -34,7 +34,10 @@ fn bench_ip2as(c: &mut Criterion) {
     let mut map = IpToAsMap::new();
     for i in 0..20_000u32 {
         let addr = Ipv4Addr::from(0x1400_0000u32 + i * 256);
-        map.insert(Ipv4Prefix::new(addr, 24).expect("valid"), Asn::new(1000 + i));
+        map.insert(
+            Ipv4Prefix::new(addr, 24).expect("valid"),
+            Asn::new(1000 + i),
+        );
     }
     c.bench_function("ip2as_lookup", |b| {
         b.iter(|| map.lookup(black_box(Ipv4Addr::new(20, 50, 60, 7))))
@@ -62,15 +65,15 @@ fn bench_speed_model(c: &mut Criterion) {
 fn bench_bgp_codec(c: &mut Criterion) {
     let update = opeer_bgp::BgpUpdate::announce(
         (0..32)
-            .map(|i| {
-                Ipv4Prefix::new(Ipv4Addr::from(0xCB00_0000u32 + i * 256), 24).expect("valid")
-            })
+            .map(|i| Ipv4Prefix::new(Ipv4Addr::from(0xCB00_0000u32 + i * 256), 24).expect("valid"))
             .collect(),
         vec![Asn::new(64500), Asn::new(3356), Asn::new(65001)],
         "192.0.2.1".parse().expect("valid"),
     );
     let bytes = update.encode();
-    c.bench_function("bgp_update_encode", |b| b.iter(|| black_box(&update).encode()));
+    c.bench_function("bgp_update_encode", |b| {
+        b.iter(|| black_box(&update).encode())
+    });
     c.bench_function("bgp_update_decode", |b| {
         b.iter(|| opeer_bgp::BgpUpdate::decode(black_box(&bytes)).expect("valid"))
     });

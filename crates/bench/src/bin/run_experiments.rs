@@ -61,7 +61,10 @@ fn main() {
         other => usage(&format!("unknown scale {other}")),
     };
 
-    eprintln!("generating world (scale={}, seed={})...", args.scale, args.seed);
+    eprintln!(
+        "generating world (scale={}, seed={})...",
+        args.scale, args.seed
+    );
     let t0 = std::time::Instant::now();
     let world = cfg.generate();
     eprintln!("  {} [{:?}]", world.summary(), t0.elapsed());

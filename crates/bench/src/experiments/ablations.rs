@@ -61,18 +61,34 @@ pub fn ablations(s: &Session<'_>) -> Rendered {
     {
         let mut ledger = Ledger::new();
         step1::apply(&s.input, &mut ledger);
-        rows.push(row("steps 1", &ledger.all().cloned().collect::<Vec<_>>(), s));
+        rows.push(row(
+            "steps 1",
+            &ledger.all().cloned().collect::<Vec<_>>(),
+            s,
+        ));
 
         let details_vec = step3::apply(&s.input, &observations, &cfg.speed, &mut ledger);
-        rows.push(row("steps 1–3", &ledger.all().cloned().collect::<Vec<_>>(), s));
+        rows.push(row(
+            "steps 1–3",
+            &ledger.all().cloned().collect::<Vec<_>>(),
+            s,
+        ));
 
         let details: BTreeMap<Ipv4Addr, step3::Step3Detail> =
             details_vec.iter().map(|d| (d.addr, *d)).collect();
         step4::apply(&s.input, &details, &cfg.alias, &mut ledger);
-        rows.push(row("steps 1–4", &ledger.all().cloned().collect::<Vec<_>>(), s));
+        rows.push(row(
+            "steps 1–4",
+            &ledger.all().cloned().collect::<Vec<_>>(),
+            s,
+        ));
 
         step5::apply(&s.input, &cfg.alias, &mut ledger);
-        rows.push(row("steps 1–5", &ledger.all().cloned().collect::<Vec<_>>(), s));
+        rows.push(row(
+            "steps 1–5",
+            &ledger.all().cloned().collect::<Vec<_>>(),
+            s,
+        ));
     }
 
     // --- 2. baseline threshold sweep ---
@@ -115,7 +131,12 @@ pub fn ablations(s: &Session<'_>) -> Rendered {
             r.fnr * 100.0
         ));
     }
-    Rendered::new("ablations", "Ablations: step value, thresholds, corrections", text, &rows)
+    Rendered::new(
+        "ablations",
+        "Ablations: step value, thresholds, corrections",
+        text,
+        &rows,
+    )
 }
 
 #[cfg(test)]
@@ -151,7 +172,12 @@ mod tests {
             .find(|v| v["variant"].as_str() == Some("steps 1–5"))
             .and_then(|v| v["acc"].as_f64())
             .expect("present");
-        for t in ["baseline 2 ms", "baseline 5 ms", "baseline 10 ms", "baseline 20 ms"] {
+        for t in [
+            "baseline 2 ms",
+            "baseline 5 ms",
+            "baseline 10 ms",
+            "baseline 20 ms",
+        ] {
             let acc = rows
                 .iter()
                 .find(|v| v["variant"].as_str() == Some(t))

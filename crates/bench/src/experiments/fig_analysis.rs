@@ -4,10 +4,10 @@ use super::util::median_u64;
 use super::Rendered;
 use crate::session::Session;
 use opeer_bgp::rel::{customer_cones, AsRelationships};
+use opeer_core::evolution::{evolution_report, growth_index};
 use opeer_core::features::{
     classify_members, feature_table, member_info_from_world, summarize, MemberClass,
 };
-use opeer_core::evolution::{evolution_report, growth_index};
 use opeer_core::routing_impl::{analyze, ExitChoice, RoutingImplConfig};
 use opeer_measure::latency::LatencyModel;
 use opeer_measure::traceroute::TracerouteEngine;
@@ -73,7 +73,12 @@ pub fn fig11a(s: &Session<'_>) -> Rendered {
         d.top_country_local,
         d.top_country_remote
     );
-    Rendered::new("fig11a", "Fig 11a: customer cones by member class", text, &d)
+    Rendered::new(
+        "fig11a",
+        "Fig 11a: customer cones by member class",
+        text,
+        &d,
+    )
 }
 
 /// Fig. 11b — traffic levels of local / remote / hybrid members (paper:
@@ -88,7 +93,12 @@ pub fn fig11b(s: &Session<'_>) -> Rendered {
         d.median_traffic_remote as f64 / d.median_traffic_local.max(1) as f64,
         d.median_traffic_hybrid as f64 / d.median_traffic_local.max(1) as f64,
     );
-    Rendered::new("fig11b", "Fig 11b: traffic levels by member class", text, &d)
+    Rendered::new(
+        "fig11b",
+        "Fig 11b: traffic levels by member class",
+        text,
+        &d,
+    )
 }
 
 #[derive(Serialize)]
@@ -135,7 +145,12 @@ struct Fig12bData {
 /// scaling of the methodology).
 pub fn fig12b(s: &Session<'_>) -> Rendered {
     let Some(linx_obs) = s.input.observed.ixp_by_name("LINX LON") else {
-        return Rendered::new("fig12b", "Fig 12b: ping vs traceroute RTTs", "LINX LON not observed\n".into(), &());
+        return Rendered::new(
+            "fig12b",
+            "Fig 12b: ping vs traceroute RTTs",
+            "LINX LON not observed\n".into(),
+            &(),
+        );
     };
     // Traceroutes from the IXP's NOC AS (where the LG sits) towards
     // member interfaces.
@@ -185,7 +200,12 @@ pub fn fig12b(s: &Session<'_>) -> Rendered {
         "LINX-LON members compared: {}\nmedian |ping − traceroute| RTT: {:.2} ms\nwithin 2 ms: {:.1}%   (paper: patterns are close)\n",
         data.interfaces_compared, data.median_abs_diff_ms, data.within_2ms * 100.0
     );
-    Rendered::new("fig12b", "Fig 12b: ping vs traceroute RTTs (LINX LON)", text, &data)
+    Rendered::new(
+        "fig12b",
+        "Fig 12b: ping vs traceroute RTTs (LINX LON)",
+        text,
+        &data,
+    )
 }
 
 #[derive(Serialize)]
@@ -224,7 +244,12 @@ pub fn sec64(s: &Session<'_>) -> Rendered {
         data.remote_used_though_closer_exists * 100.0,
         data.closer_studied_unused * 100.0
     );
-    Rendered::new("sec64", "§6.4: routing implications of remote peering", text, &data)
+    Rendered::new(
+        "sec64",
+        "§6.4: routing implications of remote peering",
+        text,
+        &data,
+    )
 }
 
 /// Helper for tests: median over u64 (re-exported for the bench binary).

@@ -37,8 +37,10 @@ pub fn fig1a(s: &Session<'_>) -> Rendered {
         .filter(|x| !x.facility_idxs.is_empty())
         .map(|x| x.facility_idxs.len())
         .collect();
-    let single = as_counts.iter().filter(|&&c| c == 1).count() as f64 / as_counts.len().max(1) as f64;
-    let over10 = as_counts.iter().filter(|&&c| c > 10).count() as f64 / as_counts.len().max(1) as f64;
+    let single =
+        as_counts.iter().filter(|&&c| c == 1).count() as f64 / as_counts.len().max(1) as f64;
+    let over10 =
+        as_counts.iter().filter(|&&c| c > 10).count() as f64 / as_counts.len().max(1) as f64;
     let data = Fig1aData {
         as_single_share: single,
         as_over10_share: over10,
@@ -96,7 +98,12 @@ pub fn fig1b(s: &Session<'_>) -> Rendered {
         le.render(&[0.5, 1.0, 2.0, 5.0, 10.0, 50.0]),
         re.render(&[0.5, 1.0, 2.0, 5.0, 10.0, 50.0]),
     );
-    Rendered::new("fig1b", "Fig 1b: min RTT ECDF, control validation subset", text, &data)
+    Rendered::new(
+        "fig1b",
+        "Fig 1b: min RTT ECDF, control validation subset",
+        text,
+        &data,
+    )
 }
 
 #[derive(Serialize)]
@@ -139,7 +146,12 @@ pub fn fig2a(s: &Session<'_>) -> Rendered {
         data.share_above_10ms * 100.0,
         data.min_pair_ms
     );
-    Rendered::new("fig2a", "Fig 2a: wide-area IXP inter-facility RTTs (NET-IX)", text, &data)
+    Rendered::new(
+        "fig2a",
+        "Fig 2a: wide-area IXP inter-facility RTTs (NET-IX)",
+        text,
+        &data,
+    )
 }
 
 #[derive(Serialize)]
@@ -191,7 +203,12 @@ pub fn fig2b(s: &Session<'_>) -> Rendered {
         data.wide_area_share * 100.0,
         data.top50_wide_area
     );
-    Rendered::new("fig2b", "Fig 2b: IXP facility spread vs member count", text, &data)
+    Rendered::new(
+        "fig2b",
+        "Fig 2b: IXP facility spread vs member count",
+        text,
+        &data,
+    )
 }
 
 #[derive(Serialize)]
@@ -257,8 +274,11 @@ pub fn fig4(s: &Session<'_>) -> Rendered {
         data.local_sub_1ge * 100.0
     );
     text.push_str("tier       local  remote\n");
-    let tiers: std::collections::BTreeSet<&String> =
-        data.local_by_tier.keys().chain(data.remote_by_tier.keys()).collect();
+    let tiers: std::collections::BTreeSet<&String> = data
+        .local_by_tier
+        .keys()
+        .chain(data.remote_by_tier.keys())
+        .collect();
     for t in tiers {
         text.push_str(&format!(
             "{:<10} {:>5}  {:>6}\n",
@@ -267,7 +287,12 @@ pub fn fig4(s: &Session<'_>) -> Rendered {
             data.remote_by_tier.get(t).unwrap_or(&0)
         ));
     }
-    Rendered::new("fig4", "Fig 4: port capacity, remote vs local (control)", text, &data)
+    Rendered::new(
+        "fig4",
+        "Fig 4: port capacity, remote vs local (control)",
+        text,
+        &data,
+    )
 }
 
 #[derive(Serialize)]
@@ -322,7 +347,12 @@ pub fn fig5(s: &Session<'_>) -> Rendered {
         data.remote_one_plus_common * 100.0,
         data.local_one_plus_common * 100.0
     );
-    Rendered::new("fig5", "Fig 5: common facilities with the IXP (control)", text, &data)
+    Rendered::new(
+        "fig5",
+        "Fig 5: common facilities with the IXP (control)",
+        text,
+        &data,
+    )
 }
 
 #[derive(Serialize)]
@@ -370,7 +400,12 @@ pub fn fig6(s: &Session<'_>) -> Rendered {
         data.within_bounds * 100.0,
         data.below_vmin * 100.0
     );
-    Rendered::new("fig6", "Fig 6: inter-facility RTT vs distance + speed bounds", text, &data)
+    Rendered::new(
+        "fig6",
+        "Fig 6: inter-facility RTT vs distance + speed bounds",
+        text,
+        &data,
+    )
 }
 
 #[cfg(test)]

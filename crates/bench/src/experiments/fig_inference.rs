@@ -34,7 +34,10 @@ pub fn fig8(s: &Session<'_>) -> Rendered {
             acc: m.acc(),
         })
         .collect();
-    let mut text = format!("{:<16} {:>10} {:>7} {:>7}\n", "IXP", "#validated", "PRE", "ACC");
+    let mut text = format!(
+        "{:<16} {:>10} {:>7} {:>7}\n",
+        "IXP", "#validated", "PRE", "ACC"
+    );
     for r in &rows {
         text.push_str(&format!(
             "{:<16} {:>10} {:>6.1}% {:>6.1}%\n",
@@ -44,7 +47,12 @@ pub fn fig8(s: &Session<'_>) -> Rendered {
             r.acc * 100.0
         ));
     }
-    Rendered::new("fig8", "Fig 8: per-IXP validation (test subset)", text, &rows)
+    Rendered::new(
+        "fig8",
+        "Fig 8: per-IXP validation (test subset)",
+        text,
+        &rows,
+    )
 }
 
 #[derive(Serialize)]
@@ -126,7 +134,12 @@ pub fn fig9b(s: &Session<'_>) -> Rendered {
         data.over_10ms * 100.0,
         e.render(&[0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0])
     );
-    Rendered::new("fig9b", "Fig 9b: RTTmin ECDF across studied IXPs", text, &data)
+    Rendered::new(
+        "fig9b",
+        "Fig 9b: RTTmin ECDF across studied IXPs",
+        text,
+        &data,
+    )
 }
 
 #[derive(Serialize)]
@@ -168,7 +181,12 @@ pub fn fig9c(s: &Session<'_>) -> Rendered {
         data.remote_without_feasible_ixp_facility * 100.0,
         data.remote_with_feasible_ixp_facility * 100.0
     );
-    Rendered::new("fig9c", "Fig 9c: inference vs feasible facilities and RTTmin", text, &data)
+    Rendered::new(
+        "fig9c",
+        "Fig 9c: inference vs feasible facilities and RTTmin",
+        text,
+        &data,
+    )
 }
 
 #[derive(Serialize)]
@@ -265,7 +283,12 @@ pub fn fig10a(s: &Session<'_>) -> Rendered {
     text.push_str(&format!(
         "IXPs needing step 5: {with_step5}   (paper: 11 of 30)\n"
     ));
-    Rendered::new("fig10a", "Fig 10a: per-step contribution per IXP", text, &rows)
+    Rendered::new(
+        "fig10a",
+        "Fig 10a: per-step contribution per IXP",
+        text,
+        &rows,
+    )
 }
 
 #[derive(Serialize)]
@@ -314,8 +337,8 @@ pub fn fig10b(s: &Session<'_>) -> Rendered {
         });
     }
     rows.sort_by_key(|r| std::cmp::Reverse(r.local + r.remote));
-    let over10 = rows.iter().filter(|r| r.remote_share > 0.10).count() as f64
-        / rows.len().max(1) as f64;
+    let over10 =
+        rows.iter().filter(|r| r.remote_share > 0.10).count() as f64 / rows.len().max(1) as f64;
     let data = Fig10bData {
         overall_remote_share: total_r as f64 / total.max(1) as f64,
         ixps_over_10pct_remote: over10,
@@ -332,9 +355,15 @@ pub fn fig10b(s: &Session<'_>) -> Rendered {
         data.ixps_over_10pct_remote * 100.0
     );
     for (name, share) in &data.largest_two_remote_share {
-        text.push_str(&format!("  {name}: {:.1}% remote   (paper ≈40%)\n", share * 100.0));
+        text.push_str(&format!(
+            "  {name}: {:.1}% remote   (paper ≈40%)\n",
+            share * 100.0
+        ));
     }
-    text.push_str(&format!("{:<16} {:>6} {:>7} {:>7}\n", "IXP", "local", "remote", "share"));
+    text.push_str(&format!(
+        "{:<16} {:>6} {:>7} {:>7}\n",
+        "IXP", "local", "remote", "share"
+    ));
     for r in data.rows.iter().take(30) {
         text.push_str(&format!(
             "{:<16} {:>6} {:>7} {:>6.1}%\n",

@@ -73,7 +73,12 @@ pub fn table2(s: &Session<'_>) -> Rendered {
         tl,
         tr
     ));
-    Rendered::new("table2", "Table 2: validation data (operators + websites)", text, &rows)
+    Rendered::new(
+        "table2",
+        "Table 2: validation data (operators + websites)",
+        text,
+        &rows,
+    )
 }
 
 #[derive(Serialize)]
@@ -100,31 +105,32 @@ pub fn table4(s: &Session<'_>) -> Rendered {
     let empty: Vec<Inference> = Vec::new();
     let of = |step: Step| standalone.get(&step).unwrap_or(&empty);
 
-    let mut rows: Vec<(String, opeer_core::Metrics)> = Vec::new();
-    rows.push((
-        "RTTmin (Castro 10ms)".into(),
-        score(&s.baseline, validation, role),
-    ));
-    rows.push((
-        "Step 1: Port Capacity".into(),
-        score(of(Step::PortCapacity), validation, role),
-    ));
-    rows.push((
-        "Step 2+3: RTT+Colo".into(),
-        score(of(Step::RttColo), validation, role),
-    ));
-    rows.push((
-        "Step 4: Multi-IXP".into(),
-        score(of(Step::MultiIxp), validation, role),
-    ));
-    rows.push((
-        "Step 5: Private Links".into(),
-        score(of(Step::PrivateLinks), validation, role),
-    ));
-    rows.push((
-        "Combined".into(),
-        score(&s.result.inferences, validation, role),
-    ));
+    let rows: Vec<(String, opeer_core::Metrics)> = vec![
+        (
+            "RTTmin (Castro 10ms)".into(),
+            score(&s.baseline, validation, role),
+        ),
+        (
+            "Step 1: Port Capacity".into(),
+            score(of(Step::PortCapacity), validation, role),
+        ),
+        (
+            "Step 2+3: RTT+Colo".into(),
+            score(of(Step::RttColo), validation, role),
+        ),
+        (
+            "Step 4: Multi-IXP".into(),
+            score(of(Step::MultiIxp), validation, role),
+        ),
+        (
+            "Step 5: Private Links".into(),
+            score(of(Step::PrivateLinks), validation, role),
+        ),
+        (
+            "Combined".into(),
+            score(&s.result.inferences, validation, role),
+        ),
+    ];
 
     let mut text = String::new();
     let mut json = Vec::new();
@@ -294,8 +300,7 @@ mod tests {
         let w = WorldConfig::small(139).generate();
         let s = Session::new(&w, 5);
         let r = table4(&s);
-        let rows: Vec<serde_json::Value> =
-            serde_json::from_value(r.json).expect("table4 json");
+        let rows: Vec<serde_json::Value> = serde_json::from_value(r.json).expect("table4 json");
         let acc = |m: &str| -> f64 {
             rows.iter()
                 .find(|v| v["method"].as_str() == Some(m))

@@ -314,7 +314,7 @@ fn decode_attribute(buf: &mut &[u8]) -> Result<PathAttribute, BgpError> {
             PathAttribute::MultiExitDisc(value.get_u32())
         }
         8 => {
-            if value.len() % 4 != 0 {
+            if !value.len().is_multiple_of(4) {
                 return Err(BgpError::BadLength("COMMUNITIES"));
             }
             let mut cs = Vec::with_capacity(value.len() / 4);
@@ -432,7 +432,10 @@ mod tests {
     #[test]
     fn decode_rejects_bad_prefix_len() {
         let mut buf: &[u8] = &[40, 1, 2, 3, 4, 5];
-        assert_eq!(get_prefix(&mut buf), Err(BgpError::BadValue("prefix length")));
+        assert_eq!(
+            get_prefix(&mut buf),
+            Err(BgpError::BadValue("prefix length"))
+        );
     }
 
     #[test]

@@ -226,7 +226,11 @@ mod tests {
             ],
         };
         let cones = customer_cones(&rels);
-        assert_eq!(cones[&Asn::new(1)], 4, "shared customer must not double-count");
+        assert_eq!(
+            cones[&Asn::new(1)],
+            4,
+            "shared customer must not double-count"
+        );
     }
 
     #[test]

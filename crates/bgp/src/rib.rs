@@ -75,7 +75,10 @@ impl Collector {
                 as_path.push(a.asn);
             }
             for &prefix in &a.prefixes {
-                rib.push(RibEntry { prefix, as_path: as_path.clone() });
+                rib.push(RibEntry {
+                    prefix,
+                    as_path: as_path.clone(),
+                });
             }
         }
         rib.sort_by_key(|e| e.prefix);
@@ -240,11 +243,12 @@ mod tests {
         let map = c.prefix2as();
         let mut checked = 0;
         for r in w.routers.iter().take(50) {
-            let Some(ifc) = w.internal_iface_of(
-                opeer_topology::RouterId::from_index(
-                    w.routers.iter().position(|x| std::ptr::eq(x, r)).expect("self"),
-                ),
-            ) else {
+            let Some(ifc) = w.internal_iface_of(opeer_topology::RouterId::from_index(
+                w.routers
+                    .iter()
+                    .position(|x| std::ptr::eq(x, r))
+                    .expect("self"),
+            )) else {
                 continue;
             };
             let addr = w.interfaces[ifc.index()].addr;

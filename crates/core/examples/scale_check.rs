@@ -10,11 +10,21 @@ fn main() {
     eprintln!("world: {} ({:?})", world.summary(), t.elapsed());
     let t = std::time::Instant::now();
     let input = InferenceInput::assemble(&world, 42);
-    eprintln!("input assembled in {:?}: {} campaign obs, {} traceroutes", t.elapsed(), input.campaign.observations.len(), input.corpus.len());
+    eprintln!(
+        "input assembled in {:?}: {} campaign obs, {} traceroutes",
+        t.elapsed(),
+        input.campaign.observations.len(),
+        input.corpus.len()
+    );
     let t = std::time::Instant::now();
     let result = run_pipeline(&input, &PipelineConfig::default());
     eprintln!("pipeline in {:?}", t.elapsed());
-    eprintln!("inferences {} (unclassified {}), remote share {:.3}", result.inferences.len(), result.unclassified.len(), result.remote_share());
+    eprintln!(
+        "inferences {} (unclassified {}), remote share {:.3}",
+        result.inferences.len(),
+        result.unclassified.len(),
+        result.remote_share()
+    );
     eprintln!("counts: {:?}", result.counts);
 
     let baseline = run_baseline(&input, DEFAULT_THRESHOLD_MS);
@@ -28,10 +38,19 @@ fn main() {
     use opeer_core::types::Step;
     eprintln!("standalone per-step rows (Table 4 semantics, test subset):");
     let standalone = opeer_core::pipeline::run_standalone_steps(&input, &PipelineConfig::default());
-    for step in [Step::PortCapacity, Step::RttColo, Step::MultiIxp, Step::PrivateLinks] {
+    for step in [
+        Step::PortCapacity,
+        Step::RttColo,
+        Step::MultiIxp,
+        Step::PrivateLinks,
+    ] {
         let empty = Vec::new();
         let subset = standalone.get(&step).unwrap_or(&empty);
-        let m = score(subset, &input.observed.validation, Some(ValidationRole::Test));
+        let m = score(
+            subset,
+            &input.observed.validation,
+            Some(ValidationRole::Test),
+        );
         eprintln!("  {}", m.row(&format!("{step}")));
     }
 
@@ -56,9 +75,17 @@ fn main() {
 
     // Step-5 truth agreement breakdown.
     let (mut s5_ok, mut s5_l2r, mut s5_r2l) = (0usize, 0usize, 0usize);
-    for inf in result.inferences.iter().filter(|i| i.step == Step::PrivateLinks) {
-        let Some(ifc) = world.iface_by_addr(inf.addr) else { continue };
-        let Some(mid) = world.membership_of_iface(ifc) else { continue };
+    for inf in result
+        .inferences
+        .iter()
+        .filter(|i| i.step == Step::PrivateLinks)
+    {
+        let Some(ifc) = world.iface_by_addr(inf.addr) else {
+            continue;
+        };
+        let Some(mid) = world.membership_of_iface(ifc) else {
+            continue;
+        };
         let truth_remote = world.memberships[mid.index()].truth.is_remote();
         if truth_remote == inf.verdict.is_remote() {
             s5_ok += 1;
@@ -68,5 +95,7 @@ fn main() {
             s5_l2r += 1;
         }
     }
-    eprintln!("step-5 truth: ok {s5_ok}, local→remote errors {s5_l2r}, remote→local errors {s5_r2l}");
+    eprintln!(
+        "step-5 truth: ok {s5_ok}, local→remote errors {s5_l2r}, remote→local errors {s5_r2l}"
+    );
 }

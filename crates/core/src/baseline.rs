@@ -34,7 +34,10 @@ pub fn run_baseline(input: &InferenceInput<'_>, threshold_ms: f64) -> Vec<Infere
                 asn: o.asn,
                 verdict,
                 step: Step::Baseline,
-                evidence: format!("RTTmin {:.2} ms vs {threshold_ms} ms threshold", o.min_rtt_ms),
+                evidence: format!(
+                    "RTTmin {:.2} ms vs {threshold_ms} ms threshold",
+                    o.min_rtt_ms
+                ),
             }
         })
         .collect()
@@ -65,14 +68,21 @@ mod tests {
         let mut fn_count = 0usize;
         for inf in &inferences {
             if inf.verdict == Verdict::Local {
-                let Some(ifc) = w.iface_by_addr(inf.addr) else { continue };
-                let Some(mid) = w.membership_of_iface(ifc) else { continue };
+                let Some(ifc) = w.iface_by_addr(inf.addr) else {
+                    continue;
+                };
+                let Some(mid) = w.membership_of_iface(ifc) else {
+                    continue;
+                };
                 if w.memberships[mid.index()].truth.is_remote() {
                     fn_count += 1;
                 }
             }
         }
-        assert!(fn_count > 0, "expected nearby remote peers to fool the baseline");
+        assert!(
+            fn_count > 0,
+            "expected nearby remote peers to fool the baseline"
+        );
     }
 
     #[test]

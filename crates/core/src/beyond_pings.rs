@@ -93,7 +93,9 @@ pub fn as_observations(
             .facility_idxs
             .first()
             .map(|&f| input.observed.facilities[f].location);
-        let Some(vp_location) = vp_location else { continue };
+        let Some(vp_location) = vp_location else {
+            continue;
+        };
         out.insert(
             *addr,
             RttObservation {
@@ -112,7 +114,10 @@ pub fn as_observations(
 /// Runs the step-3 interpretation over traceroute-derived observations:
 /// a ping-free variant of steps 2+3. Returns the inferences it could
 /// make (standalone semantics).
-pub fn pingless_rtt_colo(input: &InferenceInput<'_>, speed: &opeer_geo::SpeedModel) -> Vec<crate::types::Inference> {
+pub fn pingless_rtt_colo(
+    input: &InferenceInput<'_>,
+    speed: &opeer_geo::SpeedModel,
+) -> Vec<crate::types::Inference> {
     let rtts = traceroute_rtts(input);
     let observations = as_observations(input, &rtts);
     let mut ledger = crate::steps::Ledger::new();
@@ -180,8 +185,12 @@ mod tests {
         // Compare against truth: should be clearly better than chance.
         let (mut ok, mut bad) = (0usize, 0usize);
         for inf in &inferences {
-            let Some(ifc) = w.iface_by_addr(inf.addr) else { continue };
-            let Some(mid) = w.membership_of_iface(ifc) else { continue };
+            let Some(ifc) = w.iface_by_addr(inf.addr) else {
+                continue;
+            };
+            let Some(mid) = w.membership_of_iface(ifc) else {
+                continue;
+            };
             if w.memberships[mid.index()].truth.is_remote() == inf.verdict.is_remote() {
                 ok += 1;
             } else {

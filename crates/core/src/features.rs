@@ -107,34 +107,38 @@ pub struct ClassSummary {
 /// Summarises the feature table per class (Fig. 11a/11b's headline
 /// numbers).
 pub fn summarize(rows: &[FeatureRow]) -> Vec<ClassSummary> {
-    [MemberClass::LocalOnly, MemberClass::RemoteOnly, MemberClass::Hybrid]
-        .into_iter()
-        .map(|class| {
-            let of_class: Vec<&FeatureRow> = rows.iter().filter(|r| r.class == class).collect();
-            let median = |mut v: Vec<u64>| -> u64 {
-                if v.is_empty() {
-                    return 0;
-                }
-                v.sort_unstable();
-                v[v.len() / 2]
-            };
-            let mut by_country: BTreeMap<&str, usize> = BTreeMap::new();
-            for r in &of_class {
-                *by_country.entry(r.info.country.as_str()).or_insert(0) += 1;
+    [
+        MemberClass::LocalOnly,
+        MemberClass::RemoteOnly,
+        MemberClass::Hybrid,
+    ]
+    .into_iter()
+    .map(|class| {
+        let of_class: Vec<&FeatureRow> = rows.iter().filter(|r| r.class == class).collect();
+        let median = |mut v: Vec<u64>| -> u64 {
+            if v.is_empty() {
+                return 0;
             }
-            let top_country = by_country
-                .into_iter()
-                .max_by_key(|&(_, n)| n)
-                .map(|(c, n)| (c.to_string(), n as f64 / of_class.len().max(1) as f64));
-            ClassSummary {
-                class,
-                count: of_class.len(),
-                median_cone: median(of_class.iter().map(|r| r.info.cone as u64).collect()) as usize,
-                median_traffic_mbps: median(of_class.iter().map(|r| r.info.traffic_mbps).collect()),
-                top_country,
-            }
-        })
-        .collect()
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        let mut by_country: BTreeMap<&str, usize> = BTreeMap::new();
+        for r in &of_class {
+            *by_country.entry(r.info.country.as_str()).or_insert(0) += 1;
+        }
+        let top_country = by_country
+            .into_iter()
+            .max_by_key(|&(_, n)| n)
+            .map(|(c, n)| (c.to_string(), n as f64 / of_class.len().max(1) as f64));
+        ClassSummary {
+            class,
+            count: of_class.len(),
+            median_cone: median(of_class.iter().map(|r| r.info.cone as u64).collect()) as usize,
+            median_traffic_mbps: median(of_class.iter().map(|r| r.info.traffic_mbps).collect()),
+            top_country,
+        }
+    })
+    .collect()
 }
 
 /// Builds the PDB/APNIC-style side data from the world (these fields are
@@ -216,13 +220,22 @@ mod tests {
             mk(3, MemberClass::Hybrid, 1000, 50_000),
         ];
         let sums = summarize(&rows);
-        let local = sums.iter().find(|s| s.class == MemberClass::LocalOnly).expect("present");
+        let local = sums
+            .iter()
+            .find(|s| s.class == MemberClass::LocalOnly)
+            .expect("present");
         assert_eq!(local.count, 2);
         assert_eq!(local.median_cone, 3); // upper median of {1,3}
-        let hybrid = sums.iter().find(|s| s.class == MemberClass::Hybrid).expect("present");
+        let hybrid = sums
+            .iter()
+            .find(|s| s.class == MemberClass::Hybrid)
+            .expect("present");
         assert_eq!(hybrid.median_cone, 1000);
         assert_eq!(hybrid.top_country.as_ref().expect("country").0, "NL");
-        let remote = sums.iter().find(|s| s.class == MemberClass::RemoteOnly).expect("present");
+        let remote = sums
+            .iter()
+            .find(|s| s.class == MemberClass::RemoteOnly)
+            .expect("present");
         assert_eq!(remote.count, 0);
     }
 }

@@ -89,7 +89,10 @@ impl PipelineResult {
         if self.inferences.is_empty() {
             return 0.0;
         }
-        self.inferences.iter().filter(|i| i.verdict.is_remote()).count() as f64
+        self.inferences
+            .iter()
+            .filter(|i| i.verdict.is_remote())
+            .count() as f64
             / self.inferences.len() as f64
     }
 
@@ -199,7 +202,13 @@ mod tests {
     use crate::metrics::score;
     use opeer_topology::{ValidationRole, WorldConfig};
 
-    fn run(seed: u64) -> (opeer_topology::World, PipelineResult, crate::input::InferenceInput<'static>) {
+    fn run(
+        seed: u64,
+    ) -> (
+        opeer_topology::World,
+        PipelineResult,
+        crate::input::InferenceInput<'static>,
+    ) {
         // Leak the world to simplify lifetime plumbing in tests.
         let w: &'static opeer_topology::World =
             Box::leak(Box::new(WorldConfig::small(seed).generate()));
@@ -240,7 +249,11 @@ mod tests {
             combined.acc(),
             baseline.acc()
         );
-        assert!(combined.acc() > 0.85, "combined accuracy {:.3}", combined.acc());
+        assert!(
+            combined.acc() > 0.85,
+            "combined accuracy {:.3}",
+            combined.acc()
+        );
     }
 
     #[test]

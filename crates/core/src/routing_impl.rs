@@ -132,7 +132,11 @@ pub fn analyze(
             }
             let common: Vec<usize> = member_ixps
                 .get(&asr)
-                .and_then(|a| member_ixps.get(&asx).map(|b| a.intersection(b).copied().collect()))
+                .and_then(|a| {
+                    member_ixps
+                        .get(&asx)
+                        .map(|b| a.intersection(b).copied().collect())
+                })
                 .unwrap_or_default();
             if common.len() >= 2 && common.contains(&studied) {
                 pairs.push((asr, asx));
@@ -141,7 +145,9 @@ pub fn analyze(
     }
     // Deterministic subsample.
     pairs.sort();
-    pairs.sort_by_key(|&(a, b)| stable_hash(&[cfg.seed, u64::from(a.value()), u64::from(b.value())]));
+    pairs.sort_by_key(|&(a, b)| {
+        stable_hash(&[cfg.seed, u64::from(a.value()), u64::from(b.value())])
+    });
     pairs.truncate(cfg.max_pairs);
 
     let engine = TracerouteEngine::new(input.world, LatencyModel::new(cfg.seed));
@@ -163,16 +169,26 @@ pub fn analyze(
         .collect();
 
     for (asx, srcs) in by_dst {
-        let Some(&dst_id) = as_index.get(&asx) else { continue };
-        let Some(prefixes) = routed.get(&asx) else { continue };
-        let Some(prefix) = prefixes.first() else { continue };
+        let Some(&dst_id) = as_index.get(&asx) else {
+            continue;
+        };
+        let Some(prefixes) = routed.get(&asx) else {
+            continue;
+        };
+        let Some(prefix) = prefixes.first() else {
+            continue;
+        };
         // Probe a host deep inside the routed prefix: a border-router
         // address would hide the crossing hop (the destination reply
         // subsumes the ingress interface).
-        let Some(dst_addr) = prefix.addr_at(prefix.num_addresses() / 2) else { continue };
+        let Some(dst_addr) = prefix.addr_at(prefix.num_addresses() / 2) else {
+            continue;
+        };
         let table = engine.oracle().routes_to(dst_id);
         for asr in srcs {
-            let Some(&src_id) = as_index.get(&asr) else { continue };
+            let Some(&src_id) = as_index.get(&asr) else {
+                continue;
+            };
             report.pairs_examined += 1;
             let Some(tr) = engine.trace(&table, src_id, dst_addr) else {
                 continue;
@@ -292,7 +308,10 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(report.pairs_examined > 0, "no candidate pairs at DE-CIX FRA");
+        assert!(
+            report.pairs_examined > 0,
+            "no candidate pairs at DE-CIX FRA"
+        );
         if report.crossings > 10 {
             let hot = report.share(ExitChoice::HotPotato);
             assert!(

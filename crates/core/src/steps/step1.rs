@@ -69,8 +69,12 @@ mod tests {
         apply(&input, &mut ledger);
         let (mut tp, mut fp) = (0usize, 0usize);
         for inf in ledger.all() {
-            let Some(ifc) = w.iface_by_addr(inf.addr) else { continue };
-            let Some(mid) = w.membership_of_iface(ifc) else { continue };
+            let Some(ifc) = w.iface_by_addr(inf.addr) else {
+                continue;
+            };
+            let Some(mid) = w.membership_of_iface(ifc) else {
+                continue;
+            };
             if w.memberships[mid.index()].truth.is_remote() {
                 tp += 1;
             } else {
@@ -105,6 +109,9 @@ mod tests {
                 }
             }
         }
-        assert!(escaped > 0, "expected ≥Cmin reseller ports to escape step 1");
+        assert!(
+            escaped > 0,
+            "expected ≥Cmin reseller ports to escape step 1"
+        );
     }
 }

@@ -80,7 +80,9 @@ pub fn apply_with_rounding(
             .iter()
             .copied()
             .filter(|&f| {
-                let d = input.observed.facilities[f].location.distance_km(&o.vp_location);
+                let d = input.observed.facilities[f]
+                    .location
+                    .distance_km(&o.vp_location);
                 annulus.contains(d)
             })
             .collect();
@@ -185,8 +187,12 @@ mod tests {
         let (w, _details, ledger) = run(89);
         let (mut ok, mut bad) = (0usize, 0usize);
         for inf in ledger.all() {
-            let Some(ifc) = w.iface_by_addr(inf.addr) else { continue };
-            let Some(mid) = w.membership_of_iface(ifc) else { continue };
+            let Some(ifc) = w.iface_by_addr(inf.addr) else {
+                continue;
+            };
+            let Some(mid) = w.membership_of_iface(ifc) else {
+                continue;
+            };
             let truth_remote = w.memberships[mid.index()].truth.is_remote();
             if truth_remote == inf.verdict.is_remote() {
                 ok += 1;
@@ -207,8 +213,12 @@ mod tests {
         let (w, details, ledger) = run(89);
         let mut checked = 0;
         for d in &details {
-            let Some(ifc) = w.iface_by_addr(d.addr) else { continue };
-            let Some(mid) = w.membership_of_iface(ifc) else { continue };
+            let Some(ifc) = w.iface_by_addr(d.addr) else {
+                continue;
+            };
+            let Some(mid) = w.membership_of_iface(ifc) else {
+                continue;
+            };
             let m = &w.memberships[mid.index()];
             if m.truth.is_remote() || d.min_rtt_ms < 5.0 {
                 continue;

@@ -89,7 +89,13 @@ pub fn classify_all(
 ) -> (Vec<MultiIxpFinding>, Vec<Inference>) {
     let mut scratch = priors.clone();
     let mut collected = Vec::new();
-    let findings = run(input, details, alias_cfg, &mut scratch, Some(&mut collected));
+    let findings = run(
+        input,
+        details,
+        alias_cfg,
+        &mut scratch,
+        Some(&mut collected),
+    );
     (findings, collected)
 }
 
@@ -120,8 +126,14 @@ fn run(
                 .insert(p.ixp as usize);
         }
         for c in opeer_traix::detect_crossings(&hops, &data, &input.ip2as) {
-            crossing_evidence.entry(c.from).or_default().insert(c.ixp as usize);
-            crossing_evidence.entry(c.to).or_default().insert(c.ixp as usize);
+            crossing_evidence
+                .entry(c.from)
+                .or_default()
+                .insert(c.ixp as usize);
+            crossing_evidence
+                .entry(c.to)
+                .or_default()
+                .insert(c.ixp as usize);
         }
     }
 
@@ -295,7 +307,7 @@ fn classify(
     // Rule 2: remote multi-IXP router.
     if let Some((&r_ixp, (_, det))) = prior.iter().find(|(_, (v, _))| *v == Verdict::Remote) {
         let cond_a = all_share();
-        let cond_b = det.map_or(false, |d| {
+        let cond_b = det.is_some_and(|d| {
             involved.iter().all(|&x| {
                 x == r_ixp
                     || ixp_pair_dist(x, r_ixp, true).is_some_and(|max_d| max_d < d.annulus.min_km)
@@ -321,7 +333,7 @@ fn classify(
                 verdicts.push((x, Verdict::Local));
                 continue;
             }
-            let cond_b = det.map_or(false, |d| {
+            let cond_b = det.is_some_and(|d| {
                 ixp_pair_dist(l_ixp, x, false).is_some_and(|min_d| min_d > d.annulus.max_km)
             });
             // Condition (a): no common facility at all — already true here.
@@ -378,8 +390,12 @@ mod tests {
             if inf.step != Step::MultiIxp {
                 continue;
             }
-            let Some(ifc) = w.iface_by_addr(inf.addr) else { continue };
-            let Some(mid) = w.membership_of_iface(ifc) else { continue };
+            let Some(ifc) = w.iface_by_addr(inf.addr) else {
+                continue;
+            };
+            let Some(mid) = w.membership_of_iface(ifc) else {
+                continue;
+            };
             if w.memberships[mid.index()].truth.is_remote() == inf.verdict.is_remote() {
                 ok += 1;
             } else {
@@ -388,7 +404,11 @@ mod tests {
         }
         if ok + bad >= 10 {
             let acc = ok as f64 / (ok + bad) as f64;
-            assert!(acc > 0.75, "step-4 accuracy {acc} over {} inferences", ok + bad);
+            assert!(
+                acc > 0.75,
+                "step-4 accuracy {acc} over {} inferences",
+                ok + bad
+            );
         }
     }
 
@@ -406,7 +426,12 @@ mod tests {
                 .filter_map(|&a| w.iface_by_addr(a))
                 .map(|i| w.interfaces[i.index()].router)
                 .collect();
-            assert_eq!(routers.len(), 1, "alias group spans routers: {:?}", f.ifaces);
+            assert_eq!(
+                routers.len(),
+                1,
+                "alias group spans routers: {:?}",
+                f.ifaces
+            );
         }
     }
 }

@@ -52,8 +52,14 @@ pub fn harvest(input: &InferenceInput<'_>) -> PrivateEvidence {
         let hops: Vec<Option<Ipv4Addr>> = tr.hops.iter().map(|h| h.map(|s| s.addr)).collect();
         for link in private_as_links(&hops, &data, &input.ip2as) {
             // Both directions: each side's interface witnesses the link.
-            neighbor_addrs.entry(link.a).or_default().push((link.a_addr, link.b));
-            neighbor_addrs.entry(link.b).or_default().push((link.b_addr, link.a));
+            neighbor_addrs
+                .entry(link.a)
+                .or_default()
+                .push((link.a_addr, link.b));
+            neighbor_addrs
+                .entry(link.b)
+                .or_default()
+                .push((link.b_addr, link.a));
         }
     }
     PrivateEvidence { neighbor_addrs }
@@ -238,8 +244,12 @@ mod tests {
                 if inf.step != Step::PrivateLinks {
                     continue;
                 }
-                let Some(ifc) = w.iface_by_addr(inf.addr) else { continue };
-                let Some(mid) = w.membership_of_iface(ifc) else { continue };
+                let Some(ifc) = w.iface_by_addr(inf.addr) else {
+                    continue;
+                };
+                let Some(mid) = w.membership_of_iface(ifc) else {
+                    continue;
+                };
                 if w.memberships[mid.index()].truth.is_remote() == inf.verdict.is_remote() {
                     ok += 1;
                 } else {
@@ -247,7 +257,11 @@ mod tests {
                 }
             }
             let acc = ok as f64 / (ok + bad).max(1) as f64;
-            assert!(acc > 0.6, "step-5 accuracy {acc} over {} inferences", ok + bad);
+            assert!(
+                acc > 0.6,
+                "step-5 accuracy {acc} over {} inferences",
+                ok + bad
+            );
         }
     }
 
@@ -257,10 +271,8 @@ mod tests {
         let input = InferenceInput::assemble(&w, 7);
         let mut ledger = Ledger::new();
         step1::apply(&input, &mut ledger);
-        let snapshot: Vec<(Ipv4Addr, Verdict)> = ledger
-            .all()
-            .map(|i| (i.addr, i.verdict))
-            .collect();
+        let snapshot: Vec<(Ipv4Addr, Verdict)> =
+            ledger.all().map(|i| (i.addr, i.verdict)).collect();
         apply(&input, &AliasConfig::default(), &mut ledger);
         for (addr, v) in snapshot {
             assert_eq!(ledger.verdict(addr), Some(v), "step 5 overrode {addr}");

@@ -75,7 +75,8 @@ pub fn vincenty_inverse_m(p1: GeoPoint, p2: GeoPoint) -> Option<f64> {
                 * sin_alpha
                 * (sigma
                     + c * sin_sigma
-                        * (cos_2sigma_m + c * cos_sigma * (-1.0 + 2.0 * cos_2sigma_m * cos_2sigma_m)));
+                        * (cos_2sigma_m
+                            + c * cos_sigma * (-1.0 + 2.0 * cos_2sigma_m * cos_2sigma_m)));
         if (lambda - lambda_prev).abs() < 1e-12 {
             break (sin_sigma, cos_sigma, sigma, cos_sq_alpha, cos_2sigma_m);
         }

@@ -145,8 +145,7 @@ pub fn run_campaign(world: &World, vps: &[VantagePoint], cfg: CampaignConfig) ->
                 rs_min = Some(rs_min.map_or(r.rtt_ms, |m: f64| m.min(r.rtt_ms)));
             }
         }
-        let discarded_rs = vp.is_atlas()
-            && rs_min.map_or(true, |m| m >= cfg.rs_filter_ms);
+        let discarded_rs = vp.is_atlas() && rs_min.is_none_or(|m| m >= cfg.rs_filter_ms);
         let mut stats = VpStats {
             vp: vp.id,
             ixp: vp.ixp,
@@ -248,7 +247,11 @@ mod tests {
         let res = run_campaign(&w, &vps, CampaignConfig::study(2));
         let rate = |atlas: bool| -> Option<f64> {
             let (mut t, mut r) = (0usize, 0usize);
-            for s in res.vp_stats.iter().filter(|s| s.atlas == atlas && !s.discarded) {
+            for s in res
+                .vp_stats
+                .iter()
+                .filter(|s| s.atlas == atlas && !s.discarded)
+            {
                 t += s.targets;
                 r += s.responsive;
             }
@@ -257,7 +260,10 @@ mod tests {
         let lg = rate(false).expect("LG stats");
         assert!(lg > 0.85, "LG response rate {lg}");
         if let Some(atlas) = rate(true) {
-            assert!(atlas < lg, "Atlas {atlas} should respond less than LGs {lg}");
+            assert!(
+                atlas < lg,
+                "Atlas {atlas} should respond less than LGs {lg}"
+            );
         }
     }
 
@@ -337,8 +343,7 @@ mod tests {
             assert!(seen.insert(o.target), "duplicate target in best_per_target");
         }
         // Every observation's target is covered.
-        let all: std::collections::HashSet<_> =
-            res.observations.iter().map(|o| o.target).collect();
+        let all: std::collections::HashSet<_> = res.observations.iter().map(|o| o.target).collect();
         assert_eq!(seen, all);
     }
 

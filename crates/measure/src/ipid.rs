@@ -74,7 +74,9 @@ mod tests {
             if !matches!(r.ip_id, IpIdMode::SharedCounter { .. }) {
                 continue;
             }
-            let Some(&ifc) = r.interfaces.first() else { continue };
+            let Some(&ifc) = r.interfaces.first() else {
+                continue;
+            };
             if !w.interfaces[ifc.index()].responds_to_ping {
                 continue;
             }
@@ -88,7 +90,10 @@ mod tests {
                     wraps += 1;
                 }
             }
-            assert!(wraps <= 2, "router {ri}: too many wraps for monotone counter");
+            assert!(
+                wraps <= 2,
+                "router {ri}: too many wraps for monotone counter"
+            );
             return;
         }
         panic!("no shared-counter router found");
@@ -102,14 +107,19 @@ mod tests {
                 continue;
             }
             let (a, b) = (r.interfaces[0], r.interfaces[1]);
-            if !w.interfaces[a.index()].responds_to_ping || !w.interfaces[b.index()].responds_to_ping {
+            if !w.interfaces[a.index()].responds_to_ping
+                || !w.interfaces[b.index()].responds_to_ping
+            {
                 continue;
             }
             let sa = probe_ipid(&w, 1, a, 10.0).expect("responds");
             let sb = probe_ipid(&w, 1, b, 10.0).expect("responds");
             // Same router, same instant ⇒ nearly identical counter values.
             let diff = (i32::from(sa.ip_id) - i32::from(sb.ip_id)).rem_euclid(65536);
-            assert!(diff.min(65536 - diff) < 16, "shared counter diverged: {diff}");
+            assert!(
+                diff.min(65536 - diff) < 16,
+                "shared counter diverged: {diff}"
+            );
             return;
         }
         panic!("no multi-interface shared-counter router found");
@@ -121,7 +131,9 @@ mod tests {
         let mut saw_zero = false;
         let mut saw_random_variation = false;
         for r in &w.routers {
-            let Some(&ifc) = r.interfaces.first() else { continue };
+            let Some(&ifc) = r.interfaces.first() else {
+                continue;
+            };
             if !w.interfaces[ifc.index()].responds_to_ping {
                 continue;
             }

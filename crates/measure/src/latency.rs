@@ -67,7 +67,13 @@ impl LatencyModel {
 
     /// Uniform [0,1) derived from the hash of `words` (stable across runs).
     fn unit(&self, words: &[u64]) -> f64 {
-        let h = stable_hash(&[self.seed, words.len() as u64].iter().chain(words).copied().collect::<Vec<_>>());
+        let h = stable_hash(
+            &[self.seed, words.len() as u64]
+                .iter()
+                .chain(words)
+                .copied()
+                .collect::<Vec<_>>(),
+        );
         (h >> 11) as f64 / (1u64 << 53) as f64
     }
 
@@ -180,7 +186,13 @@ mod tests {
         let m = LatencyModel::new(42);
         let a = p(52.37, 4.9);
         let mut checked = 0;
-        for (lat, lon) in [(48.85, 2.35), (51.51, -0.13), (40.71, -74.01), (1.35, 103.82), (44.43, 26.1)] {
+        for (lat, lon) in [
+            (48.85, 2.35),
+            (51.51, -0.13),
+            (40.71, -74.01),
+            (1.35, 103.82),
+            (44.43, 26.1),
+        ] {
             let b = p(lat, lon);
             for k in 0..40u64 {
                 let key = [k, k + 1000];

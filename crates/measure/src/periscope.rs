@@ -172,7 +172,10 @@ mod tests {
         let vp = vps[0].clone();
         let mut p = Periscope::new(
             PingEngine::new(&w, LatencyModel::new(2)),
-            RateLimit { burst: 3, per_second: 1.0 },
+            RateLimit {
+                burst: 3,
+                per_second: 1.0,
+            },
         );
         let target = w.ixps[vp.ixp.index()].route_server_ip;
         // Three burst tokens at t=0, the fourth query throttles.
@@ -204,7 +207,10 @@ mod tests {
         let vp = vps[0].clone();
         let mut p = Periscope::new(
             PingEngine::new(&w, LatencyModel::new(2)),
-            RateLimit { burst: 2, per_second: 2.0 },
+            RateLimit {
+                burst: 2,
+                per_second: 2.0,
+            },
         );
         let targets: Vec<_> = w
             .memberships_of_ixp(vp.ixp)
@@ -215,7 +221,10 @@ mod tests {
         let (results, elapsed) = p.run_batch(&vp, &targets, 0.0);
         assert_eq!(results.len(), targets.len());
         // 10 queries, 2 burst + 2/s refill ⇒ at least ~4s of virtual time.
-        assert!(elapsed >= (targets.len() as f64 - 2.0) / 2.0 - 1e-6, "elapsed {elapsed}");
+        assert!(
+            elapsed >= (targets.len() as f64 - 2.0) / 2.0 - 1e-6,
+            "elapsed {elapsed}"
+        );
     }
 
     #[test]
@@ -230,13 +239,22 @@ mod tests {
         assert_eq!(lgs.len(), 2);
         let mut p = Periscope::new(
             PingEngine::new(&w, LatencyModel::new(2)),
-            RateLimit { burst: 1, per_second: 0.1 },
+            RateLimit {
+                burst: 1,
+                per_second: 0.1,
+            },
         );
         let t0 = w.ixps[lgs[0].ixp.index()].route_server_ip;
         let t1 = w.ixps[lgs[1].ixp.index()].route_server_ip;
-        assert!(matches!(p.query(&lgs[0], t0, 0.0, 0), QueryOutcome::Completed(_)));
+        assert!(matches!(
+            p.query(&lgs[0], t0, 0.0, 0),
+            QueryOutcome::Completed(_)
+        ));
         // The second LG has its own untouched bucket.
-        assert!(matches!(p.query(&lgs[1], t1, 0.0, 0), QueryOutcome::Completed(_)));
+        assert!(matches!(
+            p.query(&lgs[1], t1, 0.0, 0),
+            QueryOutcome::Completed(_)
+        ));
         // But the first LG is now dry.
         assert!(matches!(
             p.query(&lgs[0], t0, 0.0, 1),

@@ -82,8 +82,7 @@ impl<'w> PingEngine<'w> {
             VpKind::LookingGlass { .. } | VpKind::OperatorInternal => 0u16,
             VpKind::Atlas { .. } => 1,
         };
-        let off_subnet =
-            stable_hash(&[self.model.seed, pair_key[0], sample_idx, 32]) % 100 < 2;
+        let off_subnet = stable_hash(&[self.model.seed, pair_key[0], sample_idx, 32]) % 100 < 2;
         let extra = if off_subnet {
             1 + (stable_hash(&[self.model.seed, pair_key[0], sample_idx, 33]) % 3) as u16
         } else {
@@ -91,7 +90,11 @@ impl<'w> PingEngine<'w> {
         };
         let ttl = initial.saturating_sub(base_hops + extra).max(1) as u8;
 
-        let rtt = if vp.rounds_up() { rtt.ceil().max(1.0) } else { rtt };
+        let rtt = if vp.rounds_up() {
+            rtt.ceil().max(1.0)
+        } else {
+            rtt
+        };
         Some(PingReply { rtt_ms: rtt, ttl })
     }
 
@@ -121,7 +124,10 @@ mod tests {
         let engine = PingEngine::new(&w, LatencyModel::new(3));
         // Find an LG and a local member of its IXP at the anchor facility.
         let mut checked = 0;
-        for vp in vps.iter().filter(|v| matches!(v.kind, VpKind::LookingGlass { rounds_up: false })) {
+        for vp in vps
+            .iter()
+            .filter(|v| matches!(v.kind, VpKind::LookingGlass { rounds_up: false }))
+        {
             for &mid in w.memberships_of_ixp(vp.ixp) {
                 let m = &w.memberships[mid.index()];
                 let anchor = w.ixps[vp.ixp.index()].anchor_facility;
@@ -176,7 +182,9 @@ mod tests {
         let (w, vps) = setup();
         let engine = PingEngine::new(&w, LatencyModel::new(3));
         let vp = &vps[0];
-        assert!(engine.ping(vp, "203.0.113.199".parse().unwrap(), 0).is_none());
+        assert!(engine
+            .ping(vp, "203.0.113.199".parse().unwrap(), 0)
+            .is_none());
     }
 
     #[test]
@@ -206,7 +214,11 @@ mod tests {
                 if let Some(r) = engine.ping(vp, addr, 7) {
                     let hops = opeer_net::ttl::hops_from_ttl(r.ttl).expect("valid ttl");
                     // Allow the off-subnet artifact (up to 3 extra hops).
-                    assert!(hops <= vp.ttl_max_hops() + 3, "{hops} hops from {}", vp.name);
+                    assert!(
+                        hops <= vp.ttl_max_hops() + 3,
+                        "{hops} hops from {}",
+                        vp.name
+                    );
                 }
             }
         }
@@ -249,7 +261,11 @@ mod tests {
             .expect("control IXPs exist");
         let vp = operator_vp(&w, IxpId::from_index(control), 5000);
         let mut got = 0;
-        for &mid in w.memberships_of_ixp(IxpId::from_index(control)).iter().take(30) {
+        for &mid in w
+            .memberships_of_ixp(IxpId::from_index(control))
+            .iter()
+            .take(30)
+        {
             let m = &w.memberships[mid.index()];
             let addr = w.interfaces[m.iface.index()].addr;
             if engine.ping(&vp, addr, 0).is_some() {

@@ -223,7 +223,8 @@ pub fn build_corpus(world: &World, cfg: CorpusConfig) -> Vec<Traceroute> {
         }
         let dst_addr = deep_host(world, m.member, cfg.seed);
         for k in 0..cfg.sources_per_membership {
-            let pick = peers[(stable_hash(&[cfg.seed, mi as u64, 2, k as u64]) as usize) % peers.len()];
+            let pick =
+                peers[(stable_hash(&[cfg.seed, mi as u64, 2, k as u64]) as usize) % peers.len()];
             let other = world.memberships[pick.index()].member;
             if other == m.member || !world.memberships[pick.index()].active_at(month) {
                 continue;

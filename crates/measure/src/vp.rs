@@ -170,14 +170,20 @@ mod tests {
         let b = discover_vps(&w, 5);
         assert_eq!(a.len(), b.len());
         assert!(!a.is_empty());
-        let lgs = a.iter().filter(|v| matches!(v.kind, VpKind::LookingGlass { .. })).count();
+        let lgs = a
+            .iter()
+            .filter(|v| matches!(v.kind, VpKind::LookingGlass { .. }))
+            .count();
         let atlas = a.iter().filter(|v| v.is_atlas()).count();
         assert!(lgs >= 20, "expected LGs on named IXPs, got {lgs}");
         assert!(atlas > 5, "expected Atlas probes, got {atlas}");
         // Different seeds move probes around (counts or placements differ).
         let c = discover_vps(&w, 6);
         let placements = |vs: &[VantagePoint]| -> Vec<String> {
-            vs.iter().filter(|v| v.is_atlas()).map(|v| format!("{:?}", v.location)).collect()
+            vs.iter()
+                .filter(|v| v.is_atlas())
+                .map(|v| format!("{:?}", v.location))
+                .collect()
         };
         assert_ne!(placements(&a), placements(&c), "seed had no effect");
     }

@@ -130,7 +130,11 @@ mod tests {
     #[test]
     fn metro_ixp_matrix_is_sub_ms() {
         let w = WorldConfig::small(29).generate();
-        let ams = w.ixps.iter().position(|x| x.name == "AMS-IX").expect("AMS-IX");
+        let ams = w
+            .ixps
+            .iter()
+            .position(|x| x.name == "AMS-IX")
+            .expect("AMS-IX");
         let m = facility_delay_matrix(&w, IxpId::from_index(ams), &LatencyModel::new(4), 9);
         assert!(m.fraction_above_ms(10.0) < 0.05);
     }
@@ -138,7 +142,11 @@ mod tests {
     #[test]
     fn matrix_is_symmetric_with_zero_diagonal() {
         let w = WorldConfig::small(29).generate();
-        let nlix = w.ixps.iter().position(|x| x.name == "NL-IX").expect("NL-IX");
+        let nlix = w
+            .ixps
+            .iter()
+            .position(|x| x.name == "NL-IX")
+            .expect("NL-IX");
         let m = facility_delay_matrix(&w, IxpId::from_index(nlix), &LatencyModel::new(4), 5);
         let n = m.facilities.len();
         for i in 0..n {
@@ -152,7 +160,11 @@ mod tests {
     #[test]
     fn rtt_grows_with_distance_on_average() {
         let w = WorldConfig::small(29).generate();
-        let nlix = w.ixps.iter().position(|x| x.name == "NL-IX").expect("NL-IX");
+        let nlix = w
+            .ixps
+            .iter()
+            .position(|x| x.name == "NL-IX")
+            .expect("NL-IX");
         let m = facility_delay_matrix(&w, IxpId::from_index(nlix), &LatencyModel::new(4), 9);
         let (mut near_sum, mut near_n, mut far_sum, mut far_n) = (0.0, 0, 0.0, 0);
         for (_, _, d, rtt) in m.pairs() {

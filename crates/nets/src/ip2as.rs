@@ -141,7 +141,7 @@ impl IpToAsMap {
         let prefix = Ipv4Prefix::new(addr, len)?;
         let origins: Vec<Asn> = fields
             .next()?
-            .split(|c| c == ',' || c == '_')
+            .split([',', '_'])
             .filter_map(|s| s.parse().ok())
             .collect();
         if origins.is_empty() {
@@ -177,7 +177,11 @@ impl IpToAsMap {
     pub fn to_prefix2as(&self) -> String {
         let mut out = String::new();
         for (prefix, set) in self.iter() {
-            let origins: Vec<String> = set.origins().iter().map(|a| a.value().to_string()).collect();
+            let origins: Vec<String> = set
+                .origins()
+                .iter()
+                .map(|a| a.value().to_string())
+                .collect();
             out.push_str(&format!(
                 "{}\t{}\t{}\n",
                 prefix.network(),
@@ -202,8 +206,14 @@ mod tests {
         let mut m = IpToAsMap::new();
         m.insert(p("10.0.0.0/8"), Asn::new(100));
         m.insert(p("10.1.0.0/16"), Asn::new(200));
-        assert_eq!(m.unique_origin("10.1.2.3".parse().unwrap()), Some(Asn::new(200)));
-        assert_eq!(m.unique_origin("10.2.2.3".parse().unwrap()), Some(Asn::new(100)));
+        assert_eq!(
+            m.unique_origin("10.1.2.3".parse().unwrap()),
+            Some(Asn::new(200))
+        );
+        assert_eq!(
+            m.unique_origin("10.2.2.3".parse().unwrap()),
+            Some(Asn::new(100))
+        );
         assert_eq!(m.unique_origin("11.0.0.1".parse().unwrap()), None);
     }
 
@@ -230,7 +240,10 @@ mod tests {
         let (back, skipped) = IpToAsMap::from_prefix2as(&text);
         assert_eq!(skipped, 0);
         assert_eq!(back.num_prefixes(), 2);
-        assert!(back.lookup("203.0.113.5".parse().unwrap()).unwrap().is_moas());
+        assert!(back
+            .lookup("203.0.113.5".parse().unwrap())
+            .unwrap()
+            .is_moas());
     }
 
     #[test]

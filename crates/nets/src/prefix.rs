@@ -26,6 +26,9 @@ pub struct Ipv4Prefix {
     len: u8,
 }
 
+// `len` is the mask length, not a container size — `is_empty` would be
+// meaningless (a prefix always covers ≥ 1 address).
+#[allow(clippy::len_without_is_empty)]
 impl Ipv4Prefix {
     /// `0.0.0.0/0`, the default route.
     pub const DEFAULT: Ipv4Prefix = Ipv4Prefix {
@@ -248,7 +251,10 @@ mod tests {
 
     #[test]
     fn parse_bare_address_is_host_route() {
-        assert_eq!(p("192.0.2.1"), Ipv4Prefix::host(Ipv4Addr::new(192, 0, 2, 1)));
+        assert_eq!(
+            p("192.0.2.1"),
+            Ipv4Prefix::host(Ipv4Addr::new(192, 0, 2, 1))
+        );
     }
 
     #[test]
@@ -301,7 +307,12 @@ mod tests {
         let subs: Vec<_> = p("10.0.0.0/22").subnets(24).collect();
         assert_eq!(
             subs,
-            vec![p("10.0.0.0/24"), p("10.0.1.0/24"), p("10.0.2.0/24"), p("10.0.3.0/24")]
+            vec![
+                p("10.0.0.0/24"),
+                p("10.0.1.0/24"),
+                p("10.0.2.0/24"),
+                p("10.0.3.0/24")
+            ]
         );
         assert_eq!(p("10.0.0.0/24").subnets(22).count(), 0);
         assert_eq!(p("10.0.0.0/24").subnets(24).count(), 1);

@@ -297,7 +297,12 @@ mod tests {
     #[test]
     fn iter_yields_all_entries() {
         let mut t = PrefixTrie::new();
-        let prefixes = [p("10.0.0.0/8"), p("10.9.0.0/16"), p("172.16.0.0/12"), p("0.0.0.0/0")];
+        let prefixes = [
+            p("10.0.0.0/8"),
+            p("10.9.0.0/16"),
+            p("172.16.0.0/12"),
+            p("0.0.0.0/0"),
+        ];
         for (i, pre) in prefixes.iter().enumerate() {
             t.insert(*pre, i);
         }

@@ -1,0 +1,204 @@
+//! Focused `opeer-net` checks: `PrefixTrie` longest-prefix-match
+//! against a linear-scan oracle, and `Ipv4Prefix` boundary behaviour
+//! (`/0`, `/32`, host-bit masking).
+//!
+//! These complement the property suite in the workspace root's
+//! `tests/properties.rs`: deterministic, corner-case-heavy, and
+//! runnable with `cargo test -p opeer-net`.
+
+use opeer_net::{Ipv4Prefix, PrefixTrie};
+use std::net::Ipv4Addr;
+
+/// Deterministic pseudo-random u32s (SplitMix64-derived) with no RNG
+/// dependency, so the oracle sweep covers scattered addresses.
+fn mixed(i: u64) -> u32 {
+    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as u32
+}
+
+/// The oracle: scan every stored prefix, keep the longest that
+/// contains the address.
+fn oracle_lookup(entries: &[(Ipv4Prefix, u32)], addr: Ipv4Addr) -> Option<(Ipv4Prefix, u32)> {
+    entries
+        .iter()
+        .filter(|(p, _)| p.contains(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|&(p, v)| (p, v))
+}
+
+#[test]
+fn trie_lpm_matches_linear_oracle_on_structured_table() {
+    // A routing-table-shaped set: nested prefixes, siblings, a default
+    // route, and host routes.
+    let table: Vec<(Ipv4Prefix, u32)> = [
+        ("0.0.0.0/0", 1),
+        ("10.0.0.0/8", 2),
+        ("10.64.0.0/10", 3),
+        ("10.64.0.0/16", 4),
+        ("10.64.128.0/17", 5),
+        ("10.64.128.77/32", 6),
+        ("10.128.0.0/9", 7),
+        ("192.168.0.0/16", 8),
+        ("192.168.1.0/24", 9),
+        ("192.168.1.128/25", 10),
+        ("203.0.113.0/24", 11),
+    ]
+    .into_iter()
+    .map(|(s, v)| (s.parse().expect("valid CIDR"), v))
+    .collect();
+
+    let mut trie = PrefixTrie::new();
+    for (p, v) in &table {
+        assert_eq!(trie.insert(*p, *v), None, "duplicate insert of {p}");
+    }
+    assert_eq!(trie.len(), table.len());
+
+    // Every network/broadcast/±1 boundary of every prefix, plus a
+    // scattered sweep.
+    let mut probes: Vec<Ipv4Addr> = Vec::new();
+    for (p, _) in &table {
+        let lo = u32::from(p.network());
+        let hi = u32::from(p.broadcast());
+        for a in [
+            lo.wrapping_sub(1),
+            lo,
+            lo.wrapping_add(1),
+            hi.wrapping_sub(1),
+            hi,
+            hi.wrapping_add(1),
+        ] {
+            probes.push(Ipv4Addr::from(a));
+        }
+    }
+    probes.extend((0..4096u64).map(|i| Ipv4Addr::from(mixed(i))));
+
+    for addr in probes {
+        let got = trie.longest_match(addr).map(|(p, v)| (p, *v));
+        let want = oracle_lookup(&table, addr);
+        assert_eq!(got, want, "LPM mismatch for {addr}");
+    }
+}
+
+#[test]
+fn trie_lpm_matches_oracle_under_inserts_and_removes() {
+    // Grow a table from scattered bits, checking after every mutation
+    // batch; then shrink it back down.
+    let mut trie: PrefixTrie<u32> = PrefixTrie::new();
+    let mut entries: Vec<(Ipv4Prefix, u32)> = Vec::new();
+    for i in 0..160u64 {
+        let len = (mixed(i.wrapping_mul(31)) % 33) as u8;
+        let p = Ipv4Prefix::new(Ipv4Addr::from(mixed(i)), len).expect("len ≤ 32");
+        let v = mixed(i ^ 0xFFFF) % 1000;
+        let prev = trie.insert(p, v);
+        if let Some(slot) = entries.iter_mut().find(|(q, _)| *q == p) {
+            assert_eq!(prev, Some(slot.1), "insert must return the shadowed value");
+            slot.1 = v;
+        } else {
+            assert_eq!(prev, None);
+            entries.push((p, v));
+        }
+        if i % 16 == 15 {
+            for j in 0..64u64 {
+                let addr = Ipv4Addr::from(mixed(i.wrapping_mul(1000).wrapping_add(j)));
+                let got = trie.longest_match(addr).map(|(p, v)| (p, *v));
+                assert_eq!(got, oracle_lookup(&entries, addr), "grow phase, {addr}");
+            }
+        }
+    }
+    // Remove half, verify shadowed routes resurface.
+    let removed: Vec<(Ipv4Prefix, u32)> = entries.iter().step_by(2).copied().collect();
+    for (p, v) in &removed {
+        assert_eq!(trie.remove(p), Some(*v));
+        entries.retain(|(q, _)| q != p);
+    }
+    assert_eq!(trie.len(), entries.len());
+    for i in 0..2048u64 {
+        let addr = Ipv4Addr::from(mixed(i.wrapping_add(7_000_000)));
+        let got = trie.longest_match(addr).map(|(p, v)| (p, *v));
+        assert_eq!(got, oracle_lookup(&entries, addr), "shrink phase, {addr}");
+    }
+}
+
+#[test]
+fn default_route_matches_everything_and_only_as_fallback() {
+    let mut trie = PrefixTrie::new();
+    trie.insert(Ipv4Prefix::DEFAULT, 0u32);
+    trie.insert("198.51.100.0/24".parse().expect("valid"), 1);
+    for addr in [
+        Ipv4Addr::UNSPECIFIED,
+        Ipv4Addr::new(255, 255, 255, 255),
+        Ipv4Addr::new(8, 8, 8, 8),
+    ] {
+        assert_eq!(trie.longest_match(addr).map(|(_, v)| *v), Some(0));
+    }
+    assert_eq!(
+        trie.longest_match(Ipv4Addr::new(198, 51, 100, 200))
+            .map(|(_, v)| *v),
+        Some(1),
+        "more-specific must win over the default route"
+    );
+}
+
+#[test]
+fn prefix_len_0_boundaries() {
+    let all: Ipv4Prefix = "0.0.0.0/0".parse().expect("valid");
+    assert_eq!(all, Ipv4Prefix::DEFAULT);
+    assert_eq!(all.len(), 0);
+    assert!(all.is_default());
+    assert_eq!(all.num_addresses(), 1u64 << 32);
+    assert_eq!(all.network(), Ipv4Addr::UNSPECIFIED);
+    assert_eq!(all.broadcast(), Ipv4Addr::new(255, 255, 255, 255));
+    assert_eq!(all.netmask(), Ipv4Addr::UNSPECIFIED);
+    assert!(all.contains(Ipv4Addr::UNSPECIFIED));
+    assert!(all.contains(Ipv4Addr::new(255, 255, 255, 255)));
+    // /0 with nonzero host bits canonicalises to 0.0.0.0/0.
+    let messy = Ipv4Prefix::new(Ipv4Addr::new(203, 0, 113, 9), 0).expect("valid");
+    assert_eq!(messy, all);
+    assert_eq!(all.to_string(), "0.0.0.0/0");
+}
+
+#[test]
+fn prefix_len_32_boundaries() {
+    let host: Ipv4Prefix = "203.0.113.7/32".parse().expect("valid");
+    assert_eq!(host.len(), 32);
+    assert_eq!(host.num_addresses(), 1);
+    assert_eq!(host.network(), host.broadcast());
+    assert_eq!(host.netmask(), Ipv4Addr::new(255, 255, 255, 255));
+    assert!(host.contains(Ipv4Addr::new(203, 0, 113, 7)));
+    assert!(!host.contains(Ipv4Addr::new(203, 0, 113, 8)));
+    assert_eq!(host.split(), None, "a /32 cannot split");
+    assert_eq!(host.addr_at(0), Some(Ipv4Addr::new(203, 0, 113, 7)));
+    assert_eq!(host.addr_at(1), None);
+    // A bare address parses as its host route.
+    assert_eq!("203.0.113.7".parse::<Ipv4Prefix>().expect("valid"), host);
+    // 33 is out of range everywhere.
+    assert!(Ipv4Prefix::new(Ipv4Addr::UNSPECIFIED, 33).is_none());
+    assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+}
+
+#[test]
+fn host_bits_are_masked_on_every_construction_path() {
+    for (messy, canonical) in [
+        ("10.1.2.3/16", "10.1.0.0/16"),
+        ("10.1.2.3/24", "10.1.2.0/24"),
+        ("255.255.255.255/1", "128.0.0.0/1"),
+        ("203.0.113.129/25", "203.0.113.128/25"),
+    ] {
+        let parsed: Ipv4Prefix = messy.parse().expect("valid");
+        let direct = {
+            let (addr, len) = messy.split_once('/').expect("has /");
+            Ipv4Prefix::new(addr.parse().expect("addr"), len.parse().expect("len")).expect("valid")
+        };
+        let want: Ipv4Prefix = canonical.parse().expect("valid");
+        assert_eq!(parsed, want, "FromStr must canonicalise {messy}");
+        assert_eq!(direct, want, "new() must canonicalise {messy}");
+        assert_eq!(parsed.to_string(), canonical, "Display shows masked form");
+        assert!(parsed.contains(parsed.network()));
+    }
+    // Masking is idempotent: reconstructing from the canonical network
+    // address changes nothing.
+    let p: Ipv4Prefix = "172.16.99.0/20".parse().expect("valid");
+    assert_eq!(Ipv4Prefix::new(p.network(), p.len()), Some(p));
+}

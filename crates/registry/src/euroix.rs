@@ -124,14 +124,21 @@ mod tests {
     #[test]
     fn export_roundtrips_through_json() {
         let w = WorldConfig::small(37).generate();
-        let ams = w.ixps.iter().position(|x| x.name == "AMS-IX").expect("AMS-IX");
+        let ams = w
+            .ixps
+            .iter()
+            .position(|x| x.name == "AMS-IX")
+            .expect("AMS-IX");
         let export = export_ixp(&w, IxpId::from_index(ams));
         assert_eq!(export.ixp_list[0].shortname, "AMS-IX");
         assert!(!export.member_list.is_empty());
         let js = to_json(&export);
         let back = from_json(&js).expect("roundtrip parses");
         assert_eq!(back.member_list.len(), export.member_list.len());
-        assert_eq!(back.ixp_list[0].peering_lans, export.ixp_list[0].peering_lans);
+        assert_eq!(
+            back.ixp_list[0].peering_lans,
+            export.ixp_list[0].peering_lans
+        );
     }
 
     #[test]

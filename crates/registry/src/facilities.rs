@@ -90,7 +90,8 @@ pub fn build_colocation(world: &World, noise: FacilityNoise, seed: u64) -> Coloc
             location,
             corrected: fixed,
         });
-        data.truth_to_observed.insert(FacilityId::from_index(i), idx);
+        data.truth_to_observed
+            .insert(FacilityId::from_index(i), idx);
     }
 
     // IXP facility lists: top-N complete (website augmentation), the rest
@@ -185,7 +186,10 @@ mod tests {
         let fac_rate = d.facilities.len() as f64 / w.facilities.len() as f64;
         assert!(fac_rate > 0.93, "facility coverage {fac_rate}");
         let rec_rate = d.as_facilities.len() as f64 / w.ases.len() as f64;
-        assert!((0.75..0.90).contains(&rec_rate), "AS record coverage {rec_rate}");
+        assert!(
+            (0.75..0.90).contains(&rec_rate),
+            "AS record coverage {rec_rate}"
+        );
     }
 
     #[test]

@@ -176,7 +176,7 @@ pub fn build_observed_world(world: &World, cfg: &RegistryConfig) -> (ObservedWor
                     None => winner_prefixes = Some((kind, p.clone())),
                     Some((_, w)) => {
                         if w != p {
-                            stat.prefix_conflicts += p.len().max(1).min(1);
+                            stat.prefix_conflicts += 1;
                         }
                     }
                 }
@@ -234,7 +234,10 @@ pub fn build_observed_world(world: &World, cfg: &RegistryConfig) -> (ObservedWor
                     .ifaces_unique += 1;
             }
         }
-        fused.interfaces = iface_rows.into_iter().map(|(a, (_, asn))| (a, asn)).collect();
+        fused.interfaces = iface_rows
+            .into_iter()
+            .map(|(a, (_, asn))| (a, asn))
+            .collect();
 
         // --- capacities: first source in preference order wins ---
         for v in &views {
@@ -335,7 +338,9 @@ mod tests {
         let mut total = 0usize;
         for ixp in &ow.ixps {
             for (&addr, &asn) in &ixp.interfaces {
-                let Some(ifc) = w.iface_by_addr(addr) else { continue };
+                let Some(ifc) = w.iface_by_addr(addr) else {
+                    continue;
+                };
                 let owner = w.routers[w.interfaces[ifc.index()].router.index()].owner;
                 total += 1;
                 if w.ases[owner.index()].asn != asn {

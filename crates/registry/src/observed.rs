@@ -143,16 +143,22 @@ mod tests {
             ow.member_of_addr("185.1.0.10".parse().expect("valid")),
             Some((0, Asn::new(65001)))
         );
-        assert_eq!(ow.member_of_addr("185.1.0.11".parse().expect("valid")), None);
+        assert_eq!(
+            ow.member_of_addr("185.1.0.11".parse().expect("valid")),
+            None
+        );
         assert_eq!(ow.ixp_of_addr("10.0.0.1".parse().expect("valid")), None);
     }
 
     #[test]
     fn member_count_dedups_asns() {
         let mut ixp = ObservedIxp::default();
-        ixp.interfaces.insert("185.1.0.10".parse().expect("valid"), Asn::new(1));
-        ixp.interfaces.insert("185.1.0.11".parse().expect("valid"), Asn::new(1));
-        ixp.interfaces.insert("185.1.0.12".parse().expect("valid"), Asn::new(2));
+        ixp.interfaces
+            .insert("185.1.0.10".parse().expect("valid"), Asn::new(1));
+        ixp.interfaces
+            .insert("185.1.0.11".parse().expect("valid"), Asn::new(1));
+        ixp.interfaces
+            .insert("185.1.0.12".parse().expect("valid"), Asn::new(2));
         assert_eq!(ixp.member_count(), 2);
     }
 

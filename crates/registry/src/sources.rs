@@ -29,8 +29,12 @@ pub enum SourceKind {
 
 impl SourceKind {
     /// All sources in preference order.
-    pub const ORDERED: [SourceKind; 4] =
-        [SourceKind::Websites, SourceKind::He, SourceKind::Pdb, SourceKind::Pch];
+    pub const ORDERED: [SourceKind; 4] = [
+        SourceKind::Websites,
+        SourceKind::He,
+        SourceKind::Pdb,
+        SourceKind::Pch,
+    ];
 }
 
 /// Per-source noise parameters.
@@ -158,8 +162,7 @@ pub fn generate_source(world: &World, kind: SourceKind, seed: u64) -> SourceView
             };
             ifaces.insert(addr, asn);
 
-            if noise.capacity_coverage > 0.0
-                && unit(seed, &[tag, key, 6]) < noise.capacity_coverage
+            if noise.capacity_coverage > 0.0 && unit(seed, &[tag, key, 6]) < noise.capacity_coverage
             {
                 let cap = if unit(seed, &[tag, key, 7]) < noise.capacity_stale {
                     stale_capacity(m.port_mbps, stable_hash(&[seed, tag, key, 8]))
@@ -215,7 +218,12 @@ mod tests {
         assert!(pdb.prefixes.len() > he.prefixes.len());
         assert!(pdb.prefixes.len() > pch.prefixes.len());
         let total = |v: &SourceView| -> usize { v.interfaces.values().map(BTreeMap::len).sum() };
-        assert!(total(&he) > total(&pch), "HE {} vs PCH {}", total(&he), total(&pch));
+        assert!(
+            total(&he) > total(&pch),
+            "HE {} vs PCH {}",
+            total(&he),
+            total(&pch)
+        );
     }
 
     #[test]
@@ -224,7 +232,7 @@ mod tests {
         let pdb = generate_source(&w, SourceKind::Pdb, 1);
         let mut errors = 0usize;
         let mut total = 0usize;
-        for (_ixp, ifaces) in &pdb.interfaces {
+        for ifaces in pdb.interfaces.values() {
             for (&addr, &asn) in ifaces {
                 total += 1;
                 let ifc = w.iface_by_addr(addr).expect("addr from world");

@@ -189,9 +189,15 @@ mod tests {
         for win in series.windows(2) {
             let (a, b) = (win[0], win[1]);
             let delta_local = b.local as i64 - a.local as i64;
-            assert_eq!(delta_local, b.local_joins as i64 - b.local_departures as i64);
+            assert_eq!(
+                delta_local,
+                b.local_joins as i64 - b.local_departures as i64
+            );
             let delta_remote = b.remote as i64 - a.remote as i64;
-            assert_eq!(delta_remote, b.remote_joins as i64 - b.remote_departures as i64);
+            assert_eq!(
+                delta_remote,
+                b.remote_joins as i64 - b.remote_departures as i64
+            );
         }
     }
 

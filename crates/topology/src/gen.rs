@@ -263,7 +263,9 @@ impl Gen {
         self.city_dist = vec![vec![0.0; n]; n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let d = self.w.cities[i].location.distance_km(&self.w.cities[j].location);
+                let d = self.w.cities[i]
+                    .location
+                    .distance_km(&self.w.cities[j].location);
                 self.city_dist[i][j] = d;
                 self.city_dist[j][i] = d;
             }
@@ -296,8 +298,20 @@ impl Gen {
 
     fn make_background_ases(&mut self) {
         // Global transit clique.
-        let majors = ["Frankfurt", "London", "New York", "Tokyo", "Amsterdam", "Paris",
-                      "Singapore", "Los Angeles", "Ashburn", "Hong Kong", "Stockholm", "Madrid"];
+        let majors = [
+            "Frankfurt",
+            "London",
+            "New York",
+            "Tokyo",
+            "Amsterdam",
+            "Paris",
+            "Singapore",
+            "Los Angeles",
+            "Ashburn",
+            "Hong Kong",
+            "Stockholm",
+            "Madrid",
+        ];
         for (i, home) in majors.iter().enumerate() {
             let home = self.city_id(home);
             let asid = self.new_as(&format!("GlobalBackbone{i}"), AsKind::TransitGlobal, home);
@@ -309,7 +323,11 @@ impl Gen {
         let n_regional = (self.cfg.n_background_ases / 12).max(8);
         for i in 0..n_regional {
             let home = self.random_city_weighted();
-            let asid = self.new_as(&format!("RegionalTransit{i}"), AsKind::TransitRegional, home);
+            let asid = self.new_as(
+                &format!("RegionalTransit{i}"),
+                AsKind::TransitRegional,
+                home,
+            );
             let n_fac = self.rng.gen_range(2..8);
             self.add_random_facilities(asid, n_fac, Some(self.w.cities[home.index()].region));
         }
@@ -329,15 +347,24 @@ impl Gen {
             self.add_random_facilities(asid, n_fac, None);
         }
         // The rest: eyeballs & enterprises, mostly single-facility or none.
-        let remaining = self.cfg.n_background_ases.saturating_sub(
-            majors.len() + n_regional + 40 + n_content,
-        );
+        let remaining = self
+            .cfg
+            .n_background_ases
+            .saturating_sub(majors.len() + n_regional + 40 + n_content);
         for i in 0..remaining {
             let home = self.random_city_weighted();
-            let kind = if self.rng.gen_bool(0.6) { AsKind::Eyeball } else { AsKind::Enterprise };
+            let kind = if self.rng.gen_bool(0.6) {
+                AsKind::Eyeball
+            } else {
+                AsKind::Enterprise
+            };
             let asid = self.new_as(&format!("Net{i}"), kind, home);
             if self.rng.gen_bool(0.5) {
-                let n_fac = if self.rng.gen_bool(0.75) { 1 } else { self.rng.gen_range(2..4) };
+                let n_fac = if self.rng.gen_bool(0.75) {
+                    1
+                } else {
+                    self.rng.gen_range(2..4)
+                };
                 self.add_random_facilities(asid, n_fac, Some(self.w.cities[home.index()].region));
             }
         }
@@ -381,11 +408,8 @@ impl Gen {
         let mut prefixes = vec![base];
         for _ in 0..n_subs {
             let third = self.rng.gen_range(0..256) as u32;
-            let sub = Ipv4Prefix::new(
-                Ipv4Addr::from(u32::from(base.network()) + third * 256),
-                24,
-            )
-            .expect("within /16");
+            let sub = Ipv4Prefix::new(Ipv4Addr::from(u32::from(base.network()) + third * 256), 24)
+                .expect("within /16");
             if !prefixes.contains(&sub) {
                 prefixes.push(sub);
             }
@@ -601,7 +625,11 @@ impl Gen {
                 .collect();
             let n_prov = self.rng.gen_range(1..=2);
             let mut picked = 0;
-            let mut pool = if candidates.is_empty() { regionals.clone() } else { candidates };
+            let mut pool = if candidates.is_empty() {
+                regionals.clone()
+            } else {
+                candidates
+            };
             pool.shuffle(&mut self.rng);
             for &p in pool.iter() {
                 if picked == n_prov {
@@ -790,9 +818,14 @@ impl Gen {
                     }
                     let submin = self.rng.gen_bool(self.cfg.p_submin_given_reseller);
                     let cap = if submin {
-                        *[capacity::FE, 2 * capacity::FE, 3 * capacity::FE, 5 * capacity::FE]
-                            .choose(&mut self.rng)
-                            .expect("non-empty")
+                        *[
+                            capacity::FE,
+                            2 * capacity::FE,
+                            3 * capacity::FE,
+                            5 * capacity::FE,
+                        ]
+                        .choose(&mut self.rng)
+                        .expect("non-empty")
                     } else {
                         *[capacity::GE, 2 * capacity::GE]
                             .choose(&mut self.rng)
@@ -822,7 +855,11 @@ impl Gen {
         } else {
             let facs = self.w.ixps[ixp.index()].facilities.clone();
             let landing = *facs.choose(&mut self.rng).expect("IXP has facilities");
-            let cap = if self.rng.gen_bool(0.7) { capacity::GE } else { capacity::TEN_GE };
+            let cap = if self.rng.gen_bool(0.7) {
+                capacity::GE
+            } else {
+                capacity::TEN_GE
+            };
             (
                 AccessTruth::RemoteLongCable {
                     landing_facility: landing,
@@ -932,7 +969,10 @@ impl Gen {
         let host = self.next_host_addr(owner);
         self.new_iface(id, host, IfaceKind::Internal, true);
         if let RouterLoc::Facility(f) = loc {
-            self.facility_routers.entry((owner, f)).or_default().push(id);
+            self.facility_routers
+                .entry((owner, f))
+                .or_default()
+                .push(id);
         }
         id
     }
@@ -946,7 +986,13 @@ impl Gen {
             .unwrap_or_else(|| panic!("AS {asid} exhausted its /16"))
     }
 
-    fn new_iface(&mut self, router: RouterId, addr: Ipv4Addr, kind: IfaceKind, responds: bool) -> IfaceId {
+    fn new_iface(
+        &mut self,
+        router: RouterId,
+        addr: Ipv4Addr,
+        kind: IfaceKind,
+        responds: bool,
+    ) -> IfaceId {
         let id = IfaceId::from_index(self.w.interfaces.len());
         self.w.interfaces.push(Interface {
             addr,
@@ -1011,7 +1057,15 @@ impl Gen {
             .unwrap_or_else(|| panic!("IXP {ixp} LAN exhausted"));
         let mid = MembershipId::from_index(self.w.memberships.len());
         let responds = self.rng.gen_bool(self.cfg.p_iface_responds);
-        let iface = self.new_iface(router, addr, IfaceKind::IxpLan { ixp, membership: mid }, responds);
+        let iface = self.new_iface(
+            router,
+            addr,
+            IfaceKind::IxpLan {
+                ixp,
+                membership: mid,
+            },
+            responds,
+        );
         self.w.memberships.push(Membership {
             ixp,
             member,
@@ -1036,7 +1090,9 @@ impl Gen {
             if !matches!(m.truth, AccessTruth::Local { .. }) {
                 continue;
             }
-            let AccessTruth::Local { facility } = m.truth else { continue };
+            let AccessTruth::Local { facility } = m.truth else {
+                continue;
+            };
             let n_pnis = poisson_like(&mut self.rng, self.cfg.mean_pnis_per_local);
             for _ in 0..n_pnis {
                 let tenants: Vec<AsId> = self
@@ -1087,8 +1143,24 @@ impl Gen {
         let rb = self.pni_router(b, facility);
         let addr_a = self.next_host_addr(a);
         let addr_b = self.next_host_addr(b);
-        let ia = self.new_iface(ra, addr_a, IfaceKind::PrivatePeering { facility, peer_as: b }, true);
-        let ib = self.new_iface(rb, addr_b, IfaceKind::PrivatePeering { facility, peer_as: a }, true);
+        let ia = self.new_iface(
+            ra,
+            addr_a,
+            IfaceKind::PrivatePeering {
+                facility,
+                peer_as: b,
+            },
+            true,
+        );
+        let ib = self.new_iface(
+            rb,
+            addr_b,
+            IfaceKind::PrivatePeering {
+                facility,
+                peer_as: a,
+            },
+            true,
+        );
         self.w.private_links.push(PrivateLink {
             a,
             b,
@@ -1143,8 +1215,8 @@ impl Gen {
         for r in &self.w.routers {
             has_router[r.owner.index()] = true;
         }
-        for i in 0..has_router.len() {
-            if !has_router[i] {
+        for (i, has) in has_router.into_iter().enumerate() {
+            if !has {
                 let asid = AsId::from_index(i);
                 let home = self.w.ases[i].home_city;
                 let r = self.new_router(asid, RouterLoc::Premises(home));
@@ -1349,10 +1421,18 @@ mod tests {
     #[test]
     fn named_ixps_present_with_roles() {
         let w = small_world();
-        let ams = w.ixps.iter().find(|x| x.name == "AMS-IX").expect("AMS-IX exists");
+        let ams = w
+            .ixps
+            .iter()
+            .find(|x| x.name == "AMS-IX")
+            .expect("AMS-IX exists");
         assert_eq!(ams.validation, ValidationRole::Test);
         assert!(ams.has_looking_glass);
-        let nyc = w.ixps.iter().find(|x| x.name == "DE-CIX NYC").expect("DE-CIX NYC exists");
+        let nyc = w
+            .ixps
+            .iter()
+            .find(|x| x.name == "DE-CIX NYC")
+            .expect("DE-CIX NYC exists");
         assert_eq!(nyc.validation, ValidationRole::Control);
         assert!(!nyc.has_looking_glass);
         assert_eq!(w.ixps.iter().filter(|x| x.studied).count(), 30);
@@ -1507,7 +1587,9 @@ mod tests {
             iface: IfaceId(0),
             port_mbps: 1000,
             port: PortKind::Physical,
-            truth: AccessTruth::Local { facility: FacilityId(0) },
+            truth: AccessTruth::Local {
+                facility: FacilityId(0),
+            },
             joined_month: 3,
             left_month: Some(7),
         };

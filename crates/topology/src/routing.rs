@@ -245,8 +245,7 @@ impl<'w> RoutingOracle<'w> {
             let db = self.edge_point(eb).distance_km(&xp);
             da.partial_cmp(&db).expect("distances are finite")
         });
-        let quirky = stable_hash(&[x.0 as u64, y.0 as u64, 0xC0FFEE]) % 100
-            < self.policy_quirk_pct;
+        let quirky = stable_hash(&[x.0 as u64, y.0 as u64, 0xC0FFEE]) % 100 < self.policy_quirk_pct;
         if quirky && opts.len() > 1 {
             // Deterministically pick a non-nearest option.
             let pick = 1 + (stable_hash(&[y.0 as u64, x.0 as u64]) as usize) % (opts.len() - 1);
@@ -301,7 +300,10 @@ impl<'w> RoutingOracle<'w> {
         cone.sort_by_key(|&(a, l)| (l, a));
         for (y, ylen) in cone {
             for x in self.peers_of(y).iter().copied() {
-                if entries.get(&x).is_some_and(|e| e.kind == RouteKind::Customer) {
+                if entries
+                    .get(&x)
+                    .is_some_and(|e| e.kind == RouteKind::Customer)
+                {
                     continue; // customer route wins
                 }
                 // The interconnect is picked lazily after the table settles:
@@ -316,8 +318,7 @@ impl<'w> RoutingOracle<'w> {
                     None => true,
                     Some(e) => {
                         cand.len < e.len
-                            || (cand.len == e.len
-                                && cand.next.map(|n| n.0) < e.next.map(|n| n.0))
+                            || (cand.len == e.len && cand.next.map(|n| n.0) < e.next.map(|n| n.0))
                     }
                 };
                 if replace {
@@ -544,7 +545,11 @@ impl<'w> RoutingOracle<'w> {
             }
             EdgeKind::Private(l) => {
                 let link = &w.private_links[l];
-                let ifc = if link.a == cur { link.a_iface } else { link.b_iface };
+                let ifc = if link.a == cur {
+                    link.a_iface
+                } else {
+                    link.b_iface
+                };
                 w.interfaces[ifc.index()].router
             }
             EdgeKind::Transit => w.representative_router(cur)?,
@@ -561,20 +566,20 @@ impl<'w> RoutingOracle<'w> {
         match edge {
             EdgeKind::Ixp(ixp) => {
                 let month = w.observation_month;
-                let mid = w
-                    .memberships_of_as(next_as)
-                    .iter()
-                    .copied()
-                    .find(|&m| {
-                        let mm = &w.memberships[m.index()];
-                        mm.ixp == ixp && mm.active_at(month)
-                    })?;
+                let mid = w.memberships_of_as(next_as).iter().copied().find(|&m| {
+                    let mm = &w.memberships[m.index()];
+                    mm.ixp == ixp && mm.active_at(month)
+                })?;
                 let m = &w.memberships[mid.index()];
                 Some((m.router, m.iface))
             }
             EdgeKind::Private(l) => {
                 let link = &w.private_links[l];
-                let ifc = if link.a == next_as { link.a_iface } else { link.b_iface };
+                let ifc = if link.a == next_as {
+                    link.a_iface
+                } else {
+                    link.b_iface
+                };
                 Some((w.interfaces[ifc.index()].router, ifc))
             }
             EdgeKind::Transit => {
@@ -667,7 +672,9 @@ mod tests {
         let mut checked = 0;
         for src_idx in (0..w.ases.len()).step_by(7) {
             let src = AsId::from_index(src_idx);
-            let Some(path) = table.as_path(src) else { continue };
+            let Some(path) = table.as_path(src) else {
+                continue;
+            };
             // Reconstruct phases: while entries are Provider we are going up;
             // a Peer step may occur once; then Customer steps go down.
             let mut phase = 0; // 0 = up, 1 = after peer, 2 = down

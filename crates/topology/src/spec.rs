@@ -45,50 +45,522 @@ const WEB: Option<ValidationSource> = Some(ValidationSource::Websites);
 /// The named IXP table.
 pub const NAMED_IXPS: &[IxpSpec] = &[
     // ---- Test subset (colocated VPs; Table 2 superscript T) ----
-    IxpSpec { name: "AMS-IX", cities: &["Amsterdam"], facilities: 14, members: 878, remote_fraction: 0.40, allows_resellers: true, has_looking_glass: true, lg_rounds_up: true, studied: true, validation: ValidationRole::Test, validation_source: OP },
-    IxpSpec { name: "DE-CIX FRA", cities: &["Frankfurt"], facilities: 28, members: 795, remote_fraction: 0.40, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::Test, validation_source: OP },
-    IxpSpec { name: "LINX LON", cities: &["London"], facilities: 15, members: 770, remote_fraction: 0.36, allows_resellers: true, has_looking_glass: true, lg_rounds_up: true, studied: true, validation: ValidationRole::Test, validation_source: OP },
-    IxpSpec { name: "LINX MAN", cities: &["Manchester"], facilities: 3, members: 99, remote_fraction: 0.45, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::Test, validation_source: OP },
-    IxpSpec { name: "LINX NoVA", cities: &["Ashburn"], facilities: 4, members: 48, remote_fraction: 0.42, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::Test, validation_source: OP },
-    IxpSpec { name: "France-IX PAR", cities: &["Paris"], facilities: 9, members: 402, remote_fraction: 0.41, allows_resellers: true, has_looking_glass: true, lg_rounds_up: true, studied: true, validation: ValidationRole::Test, validation_source: WEB },
+    IxpSpec {
+        name: "AMS-IX",
+        cities: &["Amsterdam"],
+        facilities: 14,
+        members: 878,
+        remote_fraction: 0.40,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: true,
+        studied: true,
+        validation: ValidationRole::Test,
+        validation_source: OP,
+    },
+    IxpSpec {
+        name: "DE-CIX FRA",
+        cities: &["Frankfurt"],
+        facilities: 28,
+        members: 795,
+        remote_fraction: 0.40,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::Test,
+        validation_source: OP,
+    },
+    IxpSpec {
+        name: "LINX LON",
+        cities: &["London"],
+        facilities: 15,
+        members: 770,
+        remote_fraction: 0.36,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: true,
+        studied: true,
+        validation: ValidationRole::Test,
+        validation_source: OP,
+    },
+    IxpSpec {
+        name: "LINX MAN",
+        cities: &["Manchester"],
+        facilities: 3,
+        members: 99,
+        remote_fraction: 0.45,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::Test,
+        validation_source: OP,
+    },
+    IxpSpec {
+        name: "LINX NoVA",
+        cities: &["Ashburn"],
+        facilities: 4,
+        members: 48,
+        remote_fraction: 0.42,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::Test,
+        validation_source: OP,
+    },
+    IxpSpec {
+        name: "France-IX PAR",
+        cities: &["Paris"],
+        facilities: 9,
+        members: 402,
+        remote_fraction: 0.41,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: true,
+        studied: true,
+        validation: ValidationRole::Test,
+        validation_source: WEB,
+    },
     // Seattle IX extends to Portland through remote switches: wide-area.
-    IxpSpec { name: "Seattle IX", cities: &["Seattle", "Portland"], facilities: 11, members: 296, remote_fraction: 0.27, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::Test, validation_source: WEB },
+    IxpSpec {
+        name: "Seattle IX",
+        cities: &["Seattle", "Portland"],
+        facilities: 11,
+        members: 296,
+        remote_fraction: 0.27,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::Test,
+        validation_source: WEB,
+    },
     // Any2 spans Los Angeles and the Bay Area: wide-area.
-    IxpSpec { name: "Any2 LA", cities: &["Los Angeles", "San Jose"], facilities: 4, members: 299, remote_fraction: 0.22, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::Test, validation_source: WEB },
+    IxpSpec {
+        name: "Any2 LA",
+        cities: &["Los Angeles", "San Jose"],
+        facilities: 4,
+        members: 299,
+        remote_fraction: 0.22,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::Test,
+        validation_source: WEB,
+    },
     // ---- Control subset (validation lists, no public VP; superscript C) ----
-    IxpSpec { name: "DE-CIX NYC", cities: &["New York"], facilities: 25, members: 162, remote_fraction: 0.26, allows_resellers: true, has_looking_glass: false, lg_rounds_up: false, studied: false, validation: ValidationRole::Control, validation_source: OP },
-    IxpSpec { name: "EPIX KAT", cities: &["Katowice"], facilities: 3, members: 465, remote_fraction: 0.42, allows_resellers: true, has_looking_glass: false, lg_rounds_up: false, studied: false, validation: ValidationRole::Control, validation_source: WEB },
-    IxpSpec { name: "EPIX WAR", cities: &["Warsaw"], facilities: 6, members: 308, remote_fraction: 0.45, allows_resellers: true, has_looking_glass: false, lg_rounds_up: false, studied: false, validation: ValidationRole::Control, validation_source: WEB },
-    IxpSpec { name: "D.Realty ATL", cities: &["Atlanta"], facilities: 3, members: 142, remote_fraction: 0.50, allows_resellers: true, has_looking_glass: false, lg_rounds_up: false, studied: false, validation: ValidationRole::Control, validation_source: WEB },
-    IxpSpec { name: "France-IX MRS", cities: &["Marseille"], facilities: 2, members: 77, remote_fraction: 0.39, allows_resellers: true, has_looking_glass: false, lg_rounds_up: false, studied: false, validation: ValidationRole::Control, validation_source: WEB },
-    IxpSpec { name: "AMS-IX HK", cities: &["Hong Kong"], facilities: 2, members: 46, remote_fraction: 0.42, allows_resellers: true, has_looking_glass: false, lg_rounds_up: false, studied: false, validation: ValidationRole::Control, validation_source: WEB },
-    IxpSpec { name: "AMS-IX SF", cities: &["San Francisco"], facilities: 4, members: 36, remote_fraction: 0.30, allows_resellers: true, has_looking_glass: false, lg_rounds_up: false, studied: false, validation: ValidationRole::Control, validation_source: WEB },
+    IxpSpec {
+        name: "DE-CIX NYC",
+        cities: &["New York"],
+        facilities: 25,
+        members: 162,
+        remote_fraction: 0.26,
+        allows_resellers: true,
+        has_looking_glass: false,
+        lg_rounds_up: false,
+        studied: false,
+        validation: ValidationRole::Control,
+        validation_source: OP,
+    },
+    IxpSpec {
+        name: "EPIX KAT",
+        cities: &["Katowice"],
+        facilities: 3,
+        members: 465,
+        remote_fraction: 0.42,
+        allows_resellers: true,
+        has_looking_glass: false,
+        lg_rounds_up: false,
+        studied: false,
+        validation: ValidationRole::Control,
+        validation_source: WEB,
+    },
+    IxpSpec {
+        name: "EPIX WAR",
+        cities: &["Warsaw"],
+        facilities: 6,
+        members: 308,
+        remote_fraction: 0.45,
+        allows_resellers: true,
+        has_looking_glass: false,
+        lg_rounds_up: false,
+        studied: false,
+        validation: ValidationRole::Control,
+        validation_source: WEB,
+    },
+    IxpSpec {
+        name: "D.Realty ATL",
+        cities: &["Atlanta"],
+        facilities: 3,
+        members: 142,
+        remote_fraction: 0.50,
+        allows_resellers: true,
+        has_looking_glass: false,
+        lg_rounds_up: false,
+        studied: false,
+        validation: ValidationRole::Control,
+        validation_source: WEB,
+    },
+    IxpSpec {
+        name: "France-IX MRS",
+        cities: &["Marseille"],
+        facilities: 2,
+        members: 77,
+        remote_fraction: 0.39,
+        allows_resellers: true,
+        has_looking_glass: false,
+        lg_rounds_up: false,
+        studied: false,
+        validation: ValidationRole::Control,
+        validation_source: WEB,
+    },
+    IxpSpec {
+        name: "AMS-IX HK",
+        cities: &["Hong Kong"],
+        facilities: 2,
+        members: 46,
+        remote_fraction: 0.42,
+        allows_resellers: true,
+        has_looking_glass: false,
+        lg_rounds_up: false,
+        studied: false,
+        validation: ValidationRole::Control,
+        validation_source: WEB,
+    },
+    IxpSpec {
+        name: "AMS-IX SF",
+        cities: &["San Francisco"],
+        facilities: 4,
+        members: 36,
+        remote_fraction: 0.30,
+        allows_resellers: true,
+        has_looking_glass: false,
+        lg_rounds_up: false,
+        studied: false,
+        validation: ValidationRole::Control,
+        validation_source: WEB,
+    },
     // ---- Other studied IXPs (complete the 30 with usable VPs) ----
-    IxpSpec { name: "MSK-IX", cities: &["Moscow"], facilities: 9, members: 420, remote_fraction: 0.25, allows_resellers: true, has_looking_glass: true, lg_rounds_up: true, studied: true, validation: ValidationRole::None, validation_source: None },
+    IxpSpec {
+        name: "MSK-IX",
+        cities: &["Moscow"],
+        facilities: 9,
+        members: 420,
+        remote_fraction: 0.25,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: true,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
     // DATA-IX federates fabric across Russia/Ukraine: wide-area.
-    IxpSpec { name: "DATA-IX", cities: &["Moscow", "St Petersburg", "Kyiv"], facilities: 8, members: 480, remote_fraction: 0.35, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "IX.br SP", cities: &["Sao Paulo"], facilities: 12, members: 850, remote_fraction: 0.18, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "HKIX", cities: &["Hong Kong"], facilities: 3, members: 290, remote_fraction: 0.12, allows_resellers: false, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "LONAP", cities: &["London"], facilities: 5, members: 190, remote_fraction: 0.30, allows_resellers: true, has_looking_glass: true, lg_rounds_up: true, studied: true, validation: ValidationRole::None, validation_source: None },
+    IxpSpec {
+        name: "DATA-IX",
+        cities: &["Moscow", "St Petersburg", "Kyiv"],
+        facilities: 8,
+        members: 480,
+        remote_fraction: 0.35,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "IX.br SP",
+        cities: &["Sao Paulo"],
+        facilities: 12,
+        members: 850,
+        remote_fraction: 0.18,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "HKIX",
+        cities: &["Hong Kong"],
+        facilities: 3,
+        members: 290,
+        remote_fraction: 0.12,
+        allows_resellers: false,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "LONAP",
+        cities: &["London"],
+        facilities: 5,
+        members: 190,
+        remote_fraction: 0.30,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: true,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
     // NL-IX: the canonical wide-area IXP, fabric across Europe (§4.2).
-    IxpSpec { name: "NL-IX", cities: &["The Hague", "Amsterdam", "Rotterdam", "Brussels", "London", "Frankfurt", "Paris", "Vienna", "Copenhagen", "Bucharest"], facilities: 17, members: 520, remote_fraction: 0.30, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
+    IxpSpec {
+        name: "NL-IX",
+        cities: &[
+            "The Hague",
+            "Amsterdam",
+            "Rotterdam",
+            "Brussels",
+            "London",
+            "Frankfurt",
+            "Paris",
+            "Vienna",
+            "Copenhagen",
+            "Bucharest",
+        ],
+        facilities: 17,
+        members: 520,
+        remote_fraction: 0.30,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
     // NET-IX: Sofia-anchored fabric in many countries (§4.2, Fig. 2a).
-    IxpSpec { name: "NET-IX", cities: &["Sofia", "Frankfurt", "Amsterdam", "London", "Prague", "Bucharest", "Istanbul", "Moscow", "Vienna", "Warsaw", "Belgrade", "Athens", "Budapest", "Zagreb", "Milan", "Madrid"], facilities: 16, members: 130, remote_fraction: 0.55, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "THINX", cities: &["Warsaw"], facilities: 3, members: 140, remote_fraction: 0.33, allows_resellers: true, has_looking_glass: true, lg_rounds_up: true, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "UA-IX", cities: &["Kyiv"], facilities: 2, members: 150, remote_fraction: 0.20, allows_resellers: true, has_looking_glass: true, lg_rounds_up: true, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "JPNAP", cities: &["Tokyo"], facilities: 4, members: 130, remote_fraction: 0.17, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "ESPANIX", cities: &["Madrid"], facilities: 3, members: 110, remote_fraction: 0.24, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "SwissIX", cities: &["Zurich"], facilities: 6, members: 170, remote_fraction: 0.26, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "VIX", cities: &["Vienna"], facilities: 4, members: 150, remote_fraction: 0.28, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "PLIX", cities: &["Warsaw"], facilities: 5, members: 260, remote_fraction: 0.38, allows_resellers: true, has_looking_glass: true, lg_rounds_up: true, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "Netnod STH", cities: &["Stockholm"], facilities: 4, members: 170, remote_fraction: 0.22, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "BCIX", cities: &["Berlin"], facilities: 4, members: 95, remote_fraction: 0.23, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "TorIX", cities: &["Toronto"], facilities: 3, members: 240, remote_fraction: 0.16, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "DE-CIX MUC", cities: &["Munich"], facilities: 4, members: 90, remote_fraction: 0.30, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "DE-CIX HAM", cities: &["Hamburg"], facilities: 3, members: 70, remote_fraction: 0.31, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "MIX Milan", cities: &["Milan"], facilities: 3, members: 230, remote_fraction: 0.27, allows_resellers: true, has_looking_glass: true, lg_rounds_up: true, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "ECIX DUS", cities: &["Dusseldorf"], facilities: 3, members: 85, remote_fraction: 0.29, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
-    IxpSpec { name: "InterLAN", cities: &["Bucharest"], facilities: 2, members: 105, remote_fraction: 0.21, allows_resellers: true, has_looking_glass: true, lg_rounds_up: false, studied: true, validation: ValidationRole::None, validation_source: None },
+    IxpSpec {
+        name: "NET-IX",
+        cities: &[
+            "Sofia",
+            "Frankfurt",
+            "Amsterdam",
+            "London",
+            "Prague",
+            "Bucharest",
+            "Istanbul",
+            "Moscow",
+            "Vienna",
+            "Warsaw",
+            "Belgrade",
+            "Athens",
+            "Budapest",
+            "Zagreb",
+            "Milan",
+            "Madrid",
+        ],
+        facilities: 16,
+        members: 130,
+        remote_fraction: 0.55,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "THINX",
+        cities: &["Warsaw"],
+        facilities: 3,
+        members: 140,
+        remote_fraction: 0.33,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: true,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "UA-IX",
+        cities: &["Kyiv"],
+        facilities: 2,
+        members: 150,
+        remote_fraction: 0.20,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: true,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "JPNAP",
+        cities: &["Tokyo"],
+        facilities: 4,
+        members: 130,
+        remote_fraction: 0.17,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "ESPANIX",
+        cities: &["Madrid"],
+        facilities: 3,
+        members: 110,
+        remote_fraction: 0.24,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "SwissIX",
+        cities: &["Zurich"],
+        facilities: 6,
+        members: 170,
+        remote_fraction: 0.26,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "VIX",
+        cities: &["Vienna"],
+        facilities: 4,
+        members: 150,
+        remote_fraction: 0.28,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "PLIX",
+        cities: &["Warsaw"],
+        facilities: 5,
+        members: 260,
+        remote_fraction: 0.38,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: true,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "Netnod STH",
+        cities: &["Stockholm"],
+        facilities: 4,
+        members: 170,
+        remote_fraction: 0.22,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "BCIX",
+        cities: &["Berlin"],
+        facilities: 4,
+        members: 95,
+        remote_fraction: 0.23,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "TorIX",
+        cities: &["Toronto"],
+        facilities: 3,
+        members: 240,
+        remote_fraction: 0.16,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "DE-CIX MUC",
+        cities: &["Munich"],
+        facilities: 4,
+        members: 90,
+        remote_fraction: 0.30,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "DE-CIX HAM",
+        cities: &["Hamburg"],
+        facilities: 3,
+        members: 70,
+        remote_fraction: 0.31,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "MIX Milan",
+        cities: &["Milan"],
+        facilities: 3,
+        members: 230,
+        remote_fraction: 0.27,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: true,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "ECIX DUS",
+        cities: &["Dusseldorf"],
+        facilities: 3,
+        members: 85,
+        remote_fraction: 0.29,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
+    IxpSpec {
+        name: "InterLAN",
+        cities: &["Bucharest"],
+        facilities: 2,
+        members: 105,
+        remote_fraction: 0.21,
+        allows_resellers: true,
+        has_looking_glass: true,
+        lg_rounds_up: false,
+        studied: true,
+        validation: ValidationRole::None,
+        validation_source: None,
+    },
 ];
 
 #[cfg(test)]
@@ -101,8 +573,14 @@ mod tests {
         assert_eq!(NAMED_IXPS.len(), 37);
         let studied = NAMED_IXPS.iter().filter(|s| s.studied).count();
         assert_eq!(studied, 30, "the paper studies 30 IXPs with usable VPs");
-        let test = NAMED_IXPS.iter().filter(|s| s.validation == ValidationRole::Test).count();
-        let control = NAMED_IXPS.iter().filter(|s| s.validation == ValidationRole::Control).count();
+        let test = NAMED_IXPS
+            .iter()
+            .filter(|s| s.validation == ValidationRole::Test)
+            .count();
+        let control = NAMED_IXPS
+            .iter()
+            .filter(|s| s.validation == ValidationRole::Control)
+            .count();
         assert_eq!(test, 8);
         assert_eq!(control, 7);
         assert_eq!(test + control, 15, "Table 2 has 15 validation IXPs");
@@ -125,7 +603,11 @@ mod tests {
                 let _ = city_index(c); // panics if absent
             }
             assert!(!s.cities.is_empty());
-            assert!(s.facilities >= s.cities.len(), "{}: fewer facilities than cities", s.name);
+            assert!(
+                s.facilities >= s.cities.len(),
+                "{}: fewer facilities than cities",
+                s.name
+            );
         }
     }
 
@@ -133,9 +615,15 @@ mod tests {
     fn test_subset_has_vps_control_has_none() {
         for s in NAMED_IXPS {
             match s.validation {
-                ValidationRole::Test => assert!(s.has_looking_glass, "{}: test IXPs need a VP", s.name),
+                ValidationRole::Test => {
+                    assert!(s.has_looking_glass, "{}: test IXPs need a VP", s.name)
+                }
                 ValidationRole::Control => {
-                    assert!(!s.has_looking_glass, "{}: control IXPs must lack VPs", s.name)
+                    assert!(
+                        !s.has_looking_glass,
+                        "{}: control IXPs must lack VPs",
+                        s.name
+                    )
                 }
                 ValidationRole::None => {}
             }

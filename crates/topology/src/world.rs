@@ -315,7 +315,7 @@ pub struct Membership {
 impl Membership {
     /// Whether the membership is active at `month`.
     pub fn active_at(&self, month: u32) -> bool {
-        self.joined_month <= month && self.left_month.map_or(true, |l| l > month)
+        self.joined_month <= month && self.left_month.is_none_or(|l| l > month)
     }
 }
 
@@ -397,7 +397,8 @@ impl World {
 
         self.ixp_lan_trie = PrefixTrie::new();
         for (i, ixp) in self.ixps.iter().enumerate() {
-            self.ixp_lan_trie.insert(ixp.peering_lan, IxpId::from_index(i));
+            self.ixp_lan_trie
+                .insert(ixp.peering_lan, IxpId::from_index(i));
         }
 
         self.memberships_by_ixp = vec![Vec::new(); self.ixps.len()];
@@ -584,7 +585,8 @@ impl World {
         let facs = &self.ixps[ixp.index()].facilities;
         for (i, &fa) in facs.iter().enumerate() {
             for &fb in &facs[i + 1..] {
-                if self.facility_distance_km(fa, fb) > opeer_geo::metro::DEFAULT_METRO_THRESHOLD_KM {
+                if self.facility_distance_km(fa, fb) > opeer_geo::metro::DEFAULT_METRO_THRESHOLD_KM
+                {
                     return true;
                 }
             }
@@ -659,7 +661,10 @@ impl World {
         let mut seen = HashMap::new();
         for (i, ifc) in self.interfaces.iter().enumerate() {
             if let Some(prev) = seen.insert(ifc.addr, i) {
-                problems.push(format!("duplicate interface address {} ({} and {})", ifc.addr, prev, i));
+                problems.push(format!(
+                    "duplicate interface address {} ({} and {})",
+                    ifc.addr, prev, i
+                ));
             }
         }
         problems

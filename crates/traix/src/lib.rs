@@ -259,7 +259,11 @@ mod tests {
     fn detects_classic_triplet() {
         let (data, ip2as) = setup();
         // AS200 internal → AS100's LAN iface → AS100 internal.
-        let hops = vec![Some(ip("20.1.0.1")), Some(ip("185.1.0.10")), Some(ip("20.0.0.5"))];
+        let hops = vec![
+            Some(ip("20.1.0.1")),
+            Some(ip("185.1.0.10")),
+            Some(ip("20.0.0.5")),
+        ];
         let xs = detect_crossings(&hops, &data, &ip2as);
         assert_eq!(xs.len(), 1);
         assert_eq!(xs[0].from, Asn::new(200));
@@ -271,7 +275,11 @@ mod tests {
     fn rejects_when_third_hop_is_foreign() {
         let (data, ip2as) = setup();
         // Third hop in AS300 ≠ assignee AS100: condition (i) fails.
-        let hops = vec![Some(ip("20.1.0.1")), Some(ip("185.1.0.10")), Some(ip("20.2.0.5"))];
+        let hops = vec![
+            Some(ip("20.1.0.1")),
+            Some(ip("185.1.0.10")),
+            Some(ip("20.2.0.5")),
+        ];
         assert!(detect_crossings(&hops, &data, &ip2as).is_empty());
     }
 
@@ -279,21 +287,34 @@ mod tests {
     fn rejects_non_member_first_hop() {
         let (data, ip2as) = setup();
         // AS300 is not an IXP member: condition (iii) fails.
-        let hops = vec![Some(ip("20.2.0.1")), Some(ip("185.1.0.10")), Some(ip("20.0.0.5"))];
+        let hops = vec![
+            Some(ip("20.2.0.1")),
+            Some(ip("185.1.0.10")),
+            Some(ip("20.0.0.5")),
+        ];
         assert!(detect_crossings(&hops, &data, &ip2as).is_empty());
     }
 
     #[test]
     fn rejects_same_as_on_both_sides() {
         let (data, ip2as) = setup();
-        let hops = vec![Some(ip("20.0.0.1")), Some(ip("185.1.0.10")), Some(ip("20.0.0.5"))];
+        let hops = vec![
+            Some(ip("20.0.0.1")),
+            Some(ip("185.1.0.10")),
+            Some(ip("20.0.0.5")),
+        ];
         assert!(detect_crossings(&hops, &data, &ip2as).is_empty());
     }
 
     #[test]
     fn gaps_break_triplets() {
         let (data, ip2as) = setup();
-        let hops = vec![Some(ip("20.1.0.1")), None, Some(ip("185.1.0.10")), Some(ip("20.0.0.5"))];
+        let hops = vec![
+            Some(ip("20.1.0.1")),
+            None,
+            Some(ip("185.1.0.10")),
+            Some(ip("20.0.0.5")),
+        ];
         assert!(detect_crossings(&hops, &data, &ip2as).is_empty());
     }
 
@@ -301,7 +322,11 @@ mod tests {
     fn unassigned_lan_addr_not_a_crossing() {
         let (data, ip2as) = setup();
         // 185.1.0.99 is on the LAN but not in the interface dataset.
-        let hops = vec![Some(ip("20.1.0.1")), Some(ip("185.1.0.99")), Some(ip("20.0.0.5"))];
+        let hops = vec![
+            Some(ip("20.1.0.1")),
+            Some(ip("185.1.0.99")),
+            Some(ip("20.0.0.5")),
+        ];
         assert!(detect_crossings(&hops, &data, &ip2as).is_empty());
     }
 
@@ -350,9 +375,15 @@ mod tests {
     fn addr_to_as_prefers_interface_assignment() {
         let (data, ip2as) = setup();
         // LAN addresses resolve through the assignment dataset...
-        assert_eq!(addr_to_as(ip("185.1.0.11"), &data, &ip2as), Some(Asn::new(200)));
+        assert_eq!(
+            addr_to_as(ip("185.1.0.11"), &data, &ip2as),
+            Some(Asn::new(200))
+        );
         // ...and ordinary addresses through longest-prefix match.
-        assert_eq!(addr_to_as(ip("20.2.0.1"), &data, &ip2as), Some(Asn::new(300)));
+        assert_eq!(
+            addr_to_as(ip("20.2.0.1"), &data, &ip2as),
+            Some(Asn::new(300))
+        );
         assert_eq!(addr_to_as(ip("9.9.9.9"), &data, &ip2as), None);
     }
 }

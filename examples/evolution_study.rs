@@ -26,15 +26,24 @@ fn main() {
     for c in &report.series {
         println!(
             "{:>5} {:>7} {:>7}   {:>4} /{:>4}   {:>4} /{:>4}",
-            c.month, c.local, c.remote, c.local_joins, c.remote_joins,
-            c.local_departures, c.remote_departures
+            c.month,
+            c.local,
+            c.remote,
+            c.local_joins,
+            c.remote_joins,
+            c.local_departures,
+            c.remote_departures
         );
     }
 
     println!("\ngrowth indexed to month 0 (Fig. 12a):");
     for (m, l, r) in growth_index(&report.series) {
         let bar = |v: f64| "#".repeat(((v - 0.8).max(0.0) * 40.0) as usize);
-        println!("{m:>5}  local {l:>5.2} {:<12} remote {r:>5.2} {}", bar(l), bar(r));
+        println!(
+            "{m:>5}  local {l:>5.2} {:<12} remote {r:>5.2} {}",
+            bar(l),
+            bar(r)
+        );
     }
 
     println!(
@@ -45,7 +54,10 @@ fn main() {
         "remote/local departure-rate ratio: {:?}   (paper ≈1.25: reseller customers leave easier)",
         report.stats.departure_rate_ratio
     );
-    println!("remote→local switchers: {}   (paper: 18)", report.switchers.len());
+    println!(
+        "remote→local switchers: {}   (paper: 18)",
+        report.switchers.len()
+    );
     for s in report.switchers.iter().take(6) {
         println!(
             "  AS {} went local at {} in month {}",

@@ -70,5 +70,7 @@ fn main() {
         "  plain 10 ms rule says: {}",
         if rtt_ms > 10.0 { "remote" } else { "local" }
     );
-    println!("  the annulus rule depends on *where the IXP's fabric actually is* — that's §5.2 step 3.");
+    println!(
+        "  the annulus rule depends on *where the IXP's fabric actually is* — that's §5.2 step 3."
+    );
 }

@@ -13,7 +13,9 @@
 use opeer::prelude::*;
 
 fn main() {
-    let ixp_name = std::env::args().nth(1).unwrap_or_else(|| "AMS-IX".to_string());
+    let ixp_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "AMS-IX".to_string());
     let seed: u64 = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())
@@ -63,7 +65,10 @@ fn main() {
             .get(asn)
             .map(|c| format!("{c} Mbps"))
             .unwrap_or_else(|| "?".to_string());
-        println!("  {asn} @ {addr} (port {cap}) [{}] {}", inf.step, inf.evidence);
+        println!(
+            "  {asn} @ {addr} (port {cap}) [{}] {}",
+            inf.step, inf.evidence
+        );
     }
     if remotes.len() > 20 {
         println!("  … and {} more", remotes.len() - 20);

@@ -46,8 +46,16 @@ fn main() {
 
     // Compare against the RTT-threshold baseline on the validation data.
     let baseline = run_baseline(&input, DEFAULT_THRESHOLD_MS);
-    let m_base = score(&baseline, &input.observed.validation, Some(ValidationRole::Test));
-    let m_ours = score(&result.inferences, &input.observed.validation, Some(ValidationRole::Test));
+    let m_base = score(
+        &baseline,
+        &input.observed.validation,
+        Some(ValidationRole::Test),
+    );
+    let m_ours = score(
+        &result.inferences,
+        &input.observed.validation,
+        Some(ValidationRole::Test),
+    );
     println!("validation (test subset):");
     println!("  {}", m_base.row("RTT ≤ 10 ms baseline"));
     println!("  {}", m_ours.row("5-step methodology"));
@@ -57,11 +65,7 @@ fn main() {
     for inf in result.inferences.iter().take(8) {
         println!(
             "  {} at {}: {} [{}] — {}",
-            inf.asn,
-            input.observed.ixps[inf.ixp].name,
-            inf.verdict,
-            inf.step,
-            inf.evidence
+            inf.asn, input.observed.ixps[inf.ixp].name, inf.verdict, inf.step, inf.evidence
         );
     }
 }

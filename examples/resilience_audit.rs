@@ -56,7 +56,10 @@ fn main() {
         );
     }
 
-    let over10 = findings.iter().filter(|f| f.next_hop_ixps.len() > 10).count();
+    let over10 = findings
+        .iter()
+        .filter(|f| f.next_hop_ixps.len() > 10)
+        .count();
     let share = over10 as f64 / findings.len().max(1) as f64;
     println!(
         "\nrouters facing >10 IXPs: {over10} ({:.1}% — paper: 25% of multi-IXP routers)",
@@ -72,5 +75,7 @@ fn main() {
         }
     }
     println!("\nremote inferences by evidence type: {by_step:?}");
-    println!("(port-capacity remotes are reseller customers: fractions of one shared physical port)");
+    println!(
+        "(port-capacity remotes are reseller customers: fractions of one shared physical port)"
+    );
 }

@@ -1,0 +1,74 @@
+//! Pipeline determinism snapshot (Fig. 10a-style per-step ledger).
+//!
+//! Pins the exact number of inferences each methodology step produces
+//! on one fixed-seed world, split by verdict. Unlike the tolerance
+//! bands in `end_to_end.rs`, these are exact equalities: any refactor
+//! that silently shifts work between steps (or changes a verdict)
+//! trips this test even if aggregate accuracy stays identical.
+//!
+//! If a change intentionally alters step attribution, regenerate the
+//! ledger by running the test and copying the printed actual counts —
+//! and say so in the commit message.
+
+use opeer::prelude::*;
+
+const SEED: u64 = 42;
+
+/// (step, local count, remote count) — regenerate via test output.
+const EXPECTED_LEDGER: &[(Step, usize, usize)] = &[
+    (Step::PortCapacity, 0, 56),
+    (Step::RttColo, 261, 69),
+    (Step::MultiIxp, 0, 3),
+    (Step::PrivateLinks, 17, 13),
+];
+
+const EXPECTED_UNCLASSIFIED: usize = 211;
+
+fn ledger(result: &PipelineResult) -> Vec<(Step, usize, usize)> {
+    [
+        Step::PortCapacity,
+        Step::RttColo,
+        Step::MultiIxp,
+        Step::PrivateLinks,
+    ]
+    .into_iter()
+    .map(|step| {
+        let local = result
+            .by_step(step)
+            .filter(|i| !i.verdict.is_remote())
+            .count();
+        let remote = result
+            .by_step(step)
+            .filter(|i| i.verdict.is_remote())
+            .count();
+        (step, local, remote)
+    })
+    .collect()
+}
+
+#[test]
+fn per_step_inference_counts_are_pinned() {
+    let world = WorldConfig::small(SEED).generate();
+    let input = InferenceInput::assemble(&world, SEED);
+    let result = run_pipeline(&input, &PipelineConfig::default());
+
+    let actual = ledger(&result);
+    assert_eq!(
+        (actual.as_slice(), result.unclassified.len()),
+        (EXPECTED_LEDGER, EXPECTED_UNCLASSIFIED),
+        "per-step ledger drifted; actual (step, local, remote): {actual:?}, \
+         unclassified: {}",
+        result.unclassified.len()
+    );
+}
+
+#[test]
+fn ledger_is_stable_across_reruns() {
+    let run = || {
+        let world = WorldConfig::small(SEED).generate();
+        let input = InferenceInput::assemble(&world, SEED);
+        let result = run_pipeline(&input, &PipelineConfig::default());
+        (ledger(&result), result.unclassified.len())
+    };
+    assert_eq!(run(), run());
+}

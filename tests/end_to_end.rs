@@ -3,7 +3,12 @@
 
 use opeer::prelude::*;
 
-fn build() -> (World, PipelineResult, Vec<Inference>, opeer::registry::ObservedWorld) {
+fn build() -> (
+    World,
+    PipelineResult,
+    Vec<Inference>,
+    opeer::registry::ObservedWorld,
+) {
     let world = WorldConfig::small(2024).generate();
     let input = InferenceInput::assemble(&world, 2024);
     let result = run_pipeline(&input, &PipelineConfig::default());
@@ -16,7 +21,11 @@ fn build() -> (World, PipelineResult, Vec<Inference>, opeer::registry::ObservedW
 fn methodology_beats_baseline_and_hits_quality_bars() {
     let (_world, result, baseline, observed) = build();
 
-    let ours = score(&result.inferences, &observed.validation, Some(ValidationRole::Test));
+    let ours = score(
+        &result.inferences,
+        &observed.validation,
+        Some(ValidationRole::Test),
+    );
     let base = score(&baseline, &observed.validation, Some(ValidationRole::Test));
 
     // The paper's headline: ~95% ACC / 93% COV vs 77% / 84% for the
@@ -32,7 +41,12 @@ fn methodology_beats_baseline_and_hits_quality_bars() {
     assert!(ours.pre() > 0.80, "precision {:.3}", ours.pre());
     // The baseline's characteristic failure is a high FNR (remote peers
     // within 10 ms of the IXP).
-    assert!(base.fnr() > ours.fnr(), "baseline FNR {:.3} vs ours {:.3}", base.fnr(), ours.fnr());
+    assert!(
+        base.fnr() > ours.fnr(),
+        "baseline FNR {:.3} vs ours {:.3}",
+        base.fnr(),
+        ours.fnr()
+    );
 }
 
 #[test]
@@ -95,8 +109,12 @@ fn truth_agreement_is_high_overall() {
     let result = run_pipeline(&input, &PipelineConfig::default());
     let (mut ok, mut bad) = (0usize, 0usize);
     for inf in &result.inferences {
-        let Some(ifc) = world.iface_by_addr(inf.addr) else { continue };
-        let Some(mid) = world.membership_of_iface(ifc) else { continue };
+        let Some(ifc) = world.iface_by_addr(inf.addr) else {
+            continue;
+        };
+        let Some(mid) = world.membership_of_iface(ifc) else {
+            continue;
+        };
         if world.memberships[mid.index()].truth.is_remote() == inf.verdict.is_remote() {
             ok += 1;
         } else {
@@ -104,5 +122,9 @@ fn truth_agreement_is_high_overall() {
         }
     }
     let acc = ok as f64 / (ok + bad).max(1) as f64;
-    assert!(acc > 0.80, "global truth agreement {acc:.3} ({ok}/{})", ok + bad);
+    assert!(
+        acc > 0.80,
+        "global truth agreement {acc:.3} ({ok}/{})",
+        ok + bad
+    );
 }

@@ -7,9 +7,8 @@ use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
-    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| {
-        Ipv4Prefix::new(Ipv4Addr::from(addr), len).expect("len in range")
-    })
+    (any::<u32>(), 0u8..=32)
+        .prop_map(|(addr, len)| Ipv4Prefix::new(Ipv4Addr::from(addr), len).expect("len in range"))
 }
 
 fn arb_point() -> impl Strategy<Value = GeoPoint> {

@@ -122,7 +122,8 @@ fn alias_resolution_respects_measurement_plane() {
         if responding.len() < 2 {
             continue;
         }
-        let sets = opeer::alias::resolve(&world, &responding, &opeer::alias::AliasConfig::default());
+        let sets =
+            opeer::alias::resolve(&world, &responding, &opeer::alias::AliasConfig::default());
         // Either resolved together or unresolved (random/zero IP-ID) —
         // but never split across different groups with other routers.
         for g in &sets.groups {

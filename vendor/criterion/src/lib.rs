@@ -1,0 +1,192 @@
+//! Offline vendored substitute for the `criterion` crate.
+//!
+//! Same macro/API surface as the subset the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups, `black_box`), with a deliberately small runner:
+//! one warm-up call, then `sample_size` timed iterations, reporting
+//! min/mean/max to stdout. No statistics, plots, or baselines — the
+//! point is that `cargo bench` compiles and produces sane timings
+//! offline.
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            timings_ns: Vec::new(),
+        };
+        routine(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size.unwrap_or(self.parent.sample_size),
+            timings_ns: Vec::new(),
+        };
+        routine(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to benchmark closures; `iter` times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    timings_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, untimed
+        self.timings_ns = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(routine());
+                t0.elapsed().as_nanos()
+            })
+            .collect();
+    }
+
+    fn report(&self, name: &str) {
+        if self.timings_ns.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let min = *self.timings_ns.iter().min().expect("non-empty");
+        let max = *self.timings_ns.iter().max().expect("non-empty");
+        let mean = self.timings_ns.iter().sum::<u128>() / self.timings_ns.len() as u128;
+        println!(
+            "{name:<40} [{} {} {}] ({} samples)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            self.timings_ns.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a group function running each target against one
+/// `Criterion` instance. Both invocation forms of the real macro are
+/// accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0usize;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("t", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 4, "warm-up + 3 samples");
+    }
+
+    #[test]
+    fn group_inherits_and_overrides() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        let mut calls = 0usize;
+        g.bench_function("x", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 6);
+    }
+}

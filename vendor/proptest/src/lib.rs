@@ -1,0 +1,89 @@
+//! Offline vendored substitute for the `proptest` crate.
+//!
+//! Implements the strategy combinators and the `proptest!` macro the
+//! workspace's property suites use: numeric ranges, `any::<T>()`,
+//! tuples, `collection::vec`, `option::of`, `prop_map`, and a
+//! character-class string strategy. Failing inputs are printed before
+//! the panic propagates; there is **no shrinking** — rerun with the
+//! printed input if a case fails.
+//!
+//! Case count: `PROPTEST_CASES` env var, else `cases = N` from a
+//! `proptest.toml` next to the running crate's manifest (or the
+//! workspace root), else 64.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The imports property tests actually use.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs one named property over `cases()` random inputs.
+///
+/// Support entry point for the [`proptest!`] macro; not public API.
+#[doc(hidden)]
+pub fn __run_cases(test_name: &str, mut case: impl FnMut(&mut test_runner::TestRng)) {
+    let cases = test_runner::cases();
+    for i in 0..cases {
+        let mut rng = test_runner::TestRng::for_case(test_name, i);
+        case(&mut rng);
+    }
+}
+
+/// The `proptest! { #[test] fn name(arg in strategy, ...) { body } }`
+/// block macro. Each contained function becomes a `#[test]` running the
+/// body over generated inputs; a failing case prints its inputs first.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::__run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || $body),
+                    );
+                    if let Err(panic) = __outcome {
+                        eprintln!(
+                            "proptest case failed for {}: {}",
+                            stringify!($name),
+                            __inputs
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                },
+            );
+        }
+    )*};
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,223 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking —
+/// `generate` draws one concrete value.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The full-domain strategy for a type, `any::<T>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Output of [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uniform {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+arbitrary_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, broad magnitude spread.
+        let unit: f64 = rng.gen();
+        let mag: f64 = rng.gen();
+        (unit - 0.5) * 2.0 * 10f64.powf(mag * 9.0 - 3.0)
+    }
+}
+
+macro_rules! strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! strategy_for_tuple {
+    ($(($($n:tt $s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+strategy_for_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+}
+
+/// String literals act as character-class patterns.
+///
+/// Supports the shape the workspace's suites use — `[class]{lo,hi}`
+/// where the class holds literal characters and `a-z` ranges. Any
+/// other literal generates itself verbatim.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_char_class(self) {
+            Some((chars, lo, hi)) if !chars.is_empty() => {
+                let len = rng.gen_range(lo..=hi);
+                (0..len)
+                    .map(|_| chars[rng.gen_range(0..chars.len())])
+                    .collect()
+            }
+            _ => (*self).to_string(),
+        }
+    }
+}
+
+/// Parses `[chars]{lo,hi}` into (alphabet, lo, hi).
+fn parse_char_class(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    let mut chars = Vec::new();
+    let mut it = class.chars().peekable();
+    while let Some(c) = it.next() {
+        if it.peek() == Some(&'-') {
+            // `a-z` range — unless the `-` is the trailing literal.
+            let mut ahead = it.clone();
+            ahead.next();
+            if let Some(&end) = ahead.peek() {
+                it.next();
+                it.next();
+                for v in (c as u32)..=(end as u32) {
+                    chars.extend(char::from_u32(v));
+                }
+                continue;
+            }
+        }
+        chars.push(c);
+    }
+    Some((chars, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn char_class_parses() {
+        let (chars, lo, hi) = parse_char_class("[a-c9 _.-]{0,24}").expect("parses");
+        assert_eq!(lo, 0);
+        assert_eq!(hi, 24);
+        for c in ['a', 'b', 'c', '9', ' ', '_', '.', '-'] {
+            assert!(chars.contains(&c), "missing {c:?}");
+        }
+        assert!(!chars.contains(&'d'));
+    }
+
+    #[test]
+    fn string_strategy_respects_class() {
+        let mut rng = TestRng::for_case("string_strategy", 0);
+        let pat = "[a-zA-Z0-9 _.-]{0,24}";
+        for _ in 0..200 {
+            let s = pat.generate(&mut rng);
+            assert!(s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = TestRng::for_case("map_tuple", 0);
+        let strat = (0u8..=32, 1u32..10).prop_map(|(a, b)| u32::from(a) + b);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v < 42);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Deterministic per-test RNG and case-count configuration.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::sync::OnceLock;
+
+/// The RNG handed to strategies: a [`StdRng`] seeded from the test
+/// name and case index, so every run of a given binary generates the
+/// same inputs (rerunning a failed case reproduces it exactly).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for case `index` of `test_name`.
+    pub fn for_case(test_name: &str, index: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ (u64::from(index) << 32)),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// How many cases each property runs.
+///
+/// Priority: `PROPTEST_CASES` env var → `cases = N` in a
+/// `proptest.toml` found in `CARGO_MANIFEST_DIR`, its ancestors, or
+/// the working directory → 64.
+pub fn cases() -> u32 {
+    static CASES: OnceLock<u32> = OnceLock::new();
+    *CASES.get_or_init(|| {
+        if let Ok(v) = std::env::var("PROPTEST_CASES") {
+            if let Ok(n) = v.trim().parse() {
+                return n;
+            }
+        }
+        for dir in candidate_dirs() {
+            let path = dir.join("proptest.toml");
+            if let Ok(text) = std::fs::read_to_string(path) {
+                if let Some(n) = parse_cases(&text) {
+                    return n;
+                }
+            }
+        }
+        64
+    })
+}
+
+fn candidate_dirs() -> Vec<std::path::PathBuf> {
+    let mut dirs = Vec::new();
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let mut dir = Some(std::path::PathBuf::from(manifest));
+        while let Some(d) = dir {
+            dirs.push(d.clone());
+            dir = d.parent().map(Into::into);
+        }
+    }
+    if let Ok(cwd) = std::env::current_dir() {
+        dirs.push(cwd);
+    }
+    dirs
+}
+
+/// Extracts `cases = N` from minimal TOML.
+fn parse_cases(text: &str) -> Option<u32> {
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if let Some(rest) = line.strip_prefix("cases") {
+            let rest = rest.trim_start();
+            if let Some(value) = rest.strip_prefix('=') {
+                if let Ok(n) = value.trim().parse() {
+                    return Some(n);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = TestRng::for_case("x::y", 3);
+        let mut b = TestRng::for_case("x::y", 3);
+        let mut c = TestRng::for_case("x::y", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn toml_cases_line_parses() {
+        assert_eq!(parse_cases("cases = 48\n"), Some(48));
+        assert_eq!(parse_cases("# cases = 48\ncases=12"), Some(12));
+        assert_eq!(parse_cases("max_shrink_iters = 2"), None);
+    }
+}

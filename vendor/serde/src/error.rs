@@ -1,0 +1,40 @@
+//! Deserialization errors.
+
+use std::fmt;
+
+/// Why a value failed to deserialize (or JSON text failed to parse).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a caller-provided message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// "Expected a <kind> while deserializing <what>".
+    pub fn expected(kind: &str, what: &str) -> Self {
+        Error {
+            msg: format!("expected {kind} while deserializing {what}"),
+        }
+    }
+
+    /// A required object field was absent.
+    pub fn missing_field(name: &str) -> Self {
+        Error {
+            msg: format!("missing field `{name}`"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,55 @@
+//! Offline vendored substitute for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the subset of the serde API this workspace actually uses:
+//! the [`Serialize`]/[`Deserialize`] traits (re-exported alongside the
+//! derive macros of the same names), a JSON-shaped [`Value`] tree, and
+//! impls for the std types that appear in the workspace's data model.
+//!
+//! The trait surface is intentionally simpler than real serde — a
+//! self-describing value tree instead of the visitor architecture —
+//! because nothing in this workspace implements `Serializer` or writes
+//! manual `impl Serialize` blocks. Swapping the real crates back in is
+//! a one-line change per `Cargo.toml` (see `vendor/README.md`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod error;
+mod impls;
+pub mod value;
+
+pub use error::Error;
+pub use value::Value;
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a JSON-shaped value.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON-shaped value.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// What to produce when an object field is absent entirely.
+    ///
+    /// `None` means "absence is an error" (the default); `Option<T>`
+    /// overrides this to mean a missing field is `None`, matching how
+    /// this workspace's own exports always omit nothing else.
+    fn from_missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Looks up `name` in a serialized object and deserializes it.
+///
+/// Support function for the derive macro; not part of the public API
+/// contract.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(obj: &[(String, Value)], name: &'static str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => T::from_missing().ok_or_else(|| Error::missing_field(name)),
+    }
+}

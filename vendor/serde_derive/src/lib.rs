@@ -1,0 +1,564 @@
+//! Offline vendored substitute for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the item shapes this workspace uses — structs (named, tuple, unit)
+//! and enums (unit, tuple, and struct variants) without generics — by
+//! parsing the raw `TokenStream` directly; `syn`/`quote` are not
+//! available offline. Generated impls target the vendored `serde`
+//! crate's value-tree traits.
+//!
+//! Container attributes understood: `#[serde(transparent)]`,
+//! `#[serde(try_from = "T", into = "T")]`, `#[serde(crate = "...")]`
+//! (ignored). Field attribute understood: `#[serde(skip)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// input model
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with field count and per-field skip flags.
+    TupleStruct(Vec<bool>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------
+
+/// Collects `#[...]` attributes from the front of `toks`, returning the
+/// container-level serde attributes found and per-field `skip` flags.
+fn take_attrs(
+    toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> (ContainerAttrs, bool) {
+    let mut out = ContainerAttrs::default();
+    let mut skip = false;
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                let Some(TokenTree::Group(g)) = toks.next() else {
+                    panic!("expected [...] after #");
+                };
+                parse_attr_group(g.stream(), &mut out, &mut skip);
+            }
+            _ => return (out, skip),
+        }
+    }
+}
+
+/// Parses the inside of one `#[...]`; only `serde(...)` matters.
+fn parse_attr_group(stream: TokenStream, out: &mut ContainerAttrs, skip: &mut bool) {
+    let mut it = stream.into_iter();
+    let Some(TokenTree::Ident(name)) = it.next() else {
+        return;
+    };
+    if name.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = it.next() else {
+        return;
+    };
+    let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let TokenTree::Ident(key) = &toks[i] else {
+            i += 1;
+            continue;
+        };
+        let key = key.to_string();
+        let value = match toks.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => match toks.get(i + 2) {
+                Some(TokenTree::Literal(l)) => {
+                    i += 3;
+                    Some(unquote(&l.to_string()))
+                }
+                _ => {
+                    i += 3;
+                    None
+                }
+            },
+            _ => {
+                i += 1;
+                None
+            }
+        };
+        match (key.as_str(), value) {
+            ("transparent", _) => out.transparent = true,
+            ("skip", _) => *skip = true,
+            ("try_from", Some(t)) => out.try_from = Some(t),
+            ("into", Some(t)) => out.into = Some(t),
+            // `crate`, `rename`, defaults, … — accepted and ignored.
+            _ => {}
+        }
+        // Step over a separating comma if present.
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+    let (attrs, _) = take_attrs(&mut toks);
+
+    // Visibility.
+    if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+
+    // Generics are not supported (nothing in this workspace derives
+    // serde on a generic type).
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (deriving on `{name}`)");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}`"),
+    };
+
+    Input { name, attrs, shape }
+}
+
+/// Named fields: `[attrs] [vis] name: Type, ...`
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        if toks.peek().is_none() {
+            return fields;
+        }
+        let (_, skip) = take_attrs(&mut toks);
+        if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            toks.next();
+            if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                toks.next();
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut toks);
+        fields.push(Field { name, skip });
+    }
+}
+
+/// Consumes one type, stopping at a top-level `,` (consumed) or the end.
+fn skip_type(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth = 0i32;
+    for tok in toks.by_ref() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+/// Tuple fields: `[attrs] [vis] Type, ...` — returns skip flags.
+fn parse_tuple_fields(stream: TokenStream) -> Vec<bool> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        if toks.peek().is_none() {
+            return fields;
+        }
+        let (_, skip) = take_attrs(&mut toks);
+        if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            toks.next();
+            if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                toks.next();
+            }
+        }
+        skip_type(&mut toks);
+        fields.push(skip);
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        if toks.peek().is_none() {
+            return variants;
+        }
+        let _ = take_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                toks.next();
+                VariantFields::Named(named)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = parse_tuple_fields(g.stream()).len();
+                toks.next();
+                VariantFields::Tuple(n)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Optional explicit discriminant: `= expr` up to the comma.
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            toks.next();
+            skip_type(&mut toks);
+        } else if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+}
+
+// ---------------------------------------------------------------------
+// code generation
+// ---------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = if let Some(into) = &input.attrs.into {
+        format!(
+            "let __conv: {into} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__conv)"
+        )
+    } else {
+        match &input.shape {
+            Shape::NamedStruct(fields) if input.attrs.transparent => {
+                let f = fields.iter().find(|f| !f.skip).expect("transparent field");
+                format!("::serde::Serialize::to_value(&self.{})", f.name)
+            }
+            Shape::TupleStruct(skips) if input.attrs.transparent => {
+                let idx = skips.iter().position(|s| !s).expect("transparent field");
+                format!("::serde::Serialize::to_value(&self.{idx})")
+            }
+            Shape::NamedStruct(fields) => {
+                let mut s = String::from(
+                    "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in fields.iter().filter(|f| !f.skip) {
+                    s.push_str(&format!(
+                        "__obj.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__obj)");
+                s
+            }
+            Shape::TupleStruct(skips) => {
+                let parts: Vec<String> = skips
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, skip)| !**skip)
+                    .map(|(i, _)| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                if parts.len() == 1 {
+                    parts.into_iter().next().expect("one part")
+                } else {
+                    format!("::serde::Value::Array(vec![{}])", parts.join(", "))
+                }
+            }
+            Shape::UnitStruct => "::serde::Value::Null".to_string(),
+            Shape::Enum(variants) => {
+                let mut s = String::from("match self {\n");
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => s.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        )),
+                        VariantFields::Tuple(1) => s.push_str(&format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Serialize::to_value(__f0))]),\n"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            s.push_str(&format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                                 ::serde::Value::Array(vec![{}]))]),\n",
+                                binds.join(", "),
+                                vals.join(", ")
+                            ));
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let vals: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            s.push_str(&format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                                 ::serde::Value::Object(vec![{}]))]),\n",
+                                binds.join(", "),
+                                vals.join(", ")
+                            ));
+                        }
+                    }
+                }
+                s.push('}');
+                s
+            }
+        }
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = if let Some(try_from) = &input.attrs.try_from {
+        format!(
+            "let __raw: {try_from} = ::serde::Deserialize::from_value(__v)?;\n\
+             <{name} as ::core::convert::TryFrom<{try_from}>>::try_from(__raw)\
+             .map_err(::serde::Error::custom)"
+        )
+    } else {
+        match &input.shape {
+            Shape::NamedStruct(fields) if input.attrs.transparent => {
+                let f = fields.iter().find(|f| !f.skip).expect("transparent field");
+                let mut init = format!("{}: ::serde::Deserialize::from_value(__v)?,\n", f.name);
+                for skipped in fields.iter().filter(|f| f.skip) {
+                    init.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        skipped.name
+                    ));
+                }
+                format!("Ok({name} {{ {init} }})")
+            }
+            Shape::TupleStruct(skips) if input.attrs.transparent || skips.len() == 1 => {
+                let parts: Vec<String> = skips
+                    .iter()
+                    .map(|skip| {
+                        if *skip {
+                            "::core::default::Default::default()".to_string()
+                        } else {
+                            "::serde::Deserialize::from_value(__v)?".to_string()
+                        }
+                    })
+                    .collect();
+                format!("Ok({name}({}))", parts.join(", "))
+            }
+            Shape::NamedStruct(fields) => {
+                let mut s = format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::Error::expected(\"object\", \"{name}\"))?;\nOk({name} {{\n"
+                );
+                for f in fields {
+                    if f.skip {
+                        s.push_str(&format!(
+                            "{}: ::core::default::Default::default(),\n",
+                            f.name
+                        ));
+                    } else {
+                        s.push_str(&format!(
+                            "{0}: ::serde::__field(__obj, \"{0}\")?,\n",
+                            f.name
+                        ));
+                    }
+                }
+                s.push_str("})");
+                s
+            }
+            Shape::TupleStruct(skips) => {
+                let mut s = format!(
+                    "let __arr = __v.as_array().ok_or_else(|| \
+                     ::serde::Error::expected(\"array\", \"{name}\"))?;\nOk({name}(\n"
+                );
+                let mut live = 0usize;
+                for skip in skips {
+                    if *skip {
+                        s.push_str("::core::default::Default::default(),\n");
+                    } else {
+                        s.push_str(&format!(
+                            "::serde::Deserialize::from_value(__arr.get({live}).unwrap_or(&::serde::Value::Null))?,\n"
+                        ));
+                        live += 1;
+                    }
+                }
+                s.push_str("))");
+                s
+            }
+            Shape::UnitStruct => format!("Ok({name})"),
+            Shape::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut data_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        }
+                        VariantFields::Tuple(1) => data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let parts: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__a.get({i}).unwrap_or(&::serde::Value::Null))?"
+                                    )
+                                })
+                                .collect();
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let __a = __inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::expected(\"array\", \"{name}::{vn}\"))?;\n\
+                                 Ok({name}::{vn}({}))\n}}\n",
+                                parts.join(", ")
+                            ));
+                        }
+                        VariantFields::Named(fields) => {
+                            let mut init = String::new();
+                            for f in fields {
+                                if f.skip {
+                                    init.push_str(&format!(
+                                        "{}: ::core::default::Default::default(),\n",
+                                        f.name
+                                    ));
+                                } else {
+                                    init.push_str(&format!(
+                                        "{0}: ::serde::__field(__o, \"{0}\")?,\n",
+                                        f.name
+                                    ));
+                                }
+                            }
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let __o = __inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::expected(\"object\", \"{name}::{vn}\"))?;\n\
+                                 Ok({name}::{vn} {{ {init} }})\n}}\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => Err(::serde::Error::custom(format!(\
+                     \"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                     let (__tag, __inner) = &__o[0];\n\
+                     match __tag.as_str() {{\n\
+                     {data_arms}\
+                     __other => Err(::serde::Error::custom(format!(\
+                     \"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }}\n\
+                     }}\n\
+                     _ => Err(::serde::Error::expected(\"variant string or single-key object\", \"{name}\")),\n\
+                     }}"
+                )
+            }
+        }
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic, unused_variables)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
