@@ -1,0 +1,49 @@
+//! Thread-scaling benchmark for the sharded parallel inference engine:
+//! the five-step pipeline at 1/2/4/8 worker threads against the
+//! sequential reference, on the small world (fast smoke numbers) and on
+//! `WorldConfig::large` (the scenario sized so fan-out is measurable).
+//!
+//! For the machine-readable report (speedups + identity check) use
+//! `run_experiments --bench-pipeline`, which writes `BENCH_pipeline.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use opeer_core::engine::{run_pipeline_parallel, ParallelConfig};
+use opeer_core::pipeline::{run_pipeline, PipelineConfig};
+use opeer_core::InferenceInput;
+use opeer_topology::{World, WorldConfig};
+
+const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
+
+fn sweep(c: &mut Criterion, label: &str, world: &World, seed: u64, samples: usize) {
+    let input = InferenceInput::assemble(world, seed);
+    let cfg = PipelineConfig::default();
+    let mut group = c.benchmark_group(label);
+    group.sample_size(samples);
+    group.bench_function("sequential", |b| {
+        b.iter(|| run_pipeline(black_box(&input), &cfg))
+    });
+    for &threads in THREAD_SWEEP {
+        let par = ParallelConfig::new(threads);
+        group.bench_function(&format!("threads/{threads}"), |b| {
+            b.iter(|| run_pipeline_parallel(black_box(&input), &cfg, &par))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_small(c: &mut Criterion) {
+    let world = WorldConfig::small(42).generate();
+    sweep(c, "pipeline_scaling_small", &world, 42, 10);
+}
+
+fn bench_scaling_large(c: &mut Criterion) {
+    let world = WorldConfig::large(42).generate();
+    sweep(c, "pipeline_scaling_large", &world, 42, 5);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scaling_small, bench_scaling_large
+}
+criterion_main!(benches);

@@ -1,34 +1,49 @@
-//! Regenerates every table and figure of the paper.
+//! Regenerates every table and figure of the paper — or, with
+//! `--bench-pipeline`, runs the engine scaling study instead.
 //!
 //! ```text
-//! run_experiments [--scale paper|small] [--seed N] [--out DIR]
+//! run_experiments [--scale paper|large|small] [--seed N] [--out DIR]
+//!                 [--bench-pipeline] [--bench-samples N]
 //! ```
 //!
-//! Writes one `<id>.txt` and one `<id>.json` per experiment into the
-//! output directory and prints the text reports to stdout. The default
-//! output directory is `target/experiments`.
+//! Experiment mode writes one `<id>.txt` and one `<id>.json` per
+//! experiment into the output directory and prints the text reports to
+//! stdout. The default output directory is `target/experiments`.
+//!
+//! Bench mode sweeps the sharded parallel engine over 1/2/4/8 worker
+//! threads against the sequential reference, writes the machine-readable
+//! report to `<out>/BENCH_pipeline.json`, and **exits non-zero if any
+//! parallel run is not byte-identical to the sequential one** (this is
+//! the check CI's bench-smoke job enforces). Bench mode defaults to
+//! `--scale large`; experiment mode defaults to `--scale paper`.
 
-use opeer_bench::{run_all, Session};
+use opeer_bench::{run_all, run_scaling_study, Session, DEFAULT_THREAD_SWEEP};
 use opeer_topology::WorldConfig;
 use std::io::Write;
 use std::path::PathBuf;
 
 struct Args {
-    scale: String,
+    scale: Option<String>,
     seed: u64,
     out: PathBuf,
+    bench_pipeline: bool,
+    bench_samples: usize,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
-        scale: "paper".to_string(),
+        scale: None,
         seed: 42,
         out: PathBuf::from("target/experiments"),
+        bench_pipeline: false,
+        bench_samples: 5,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--scale" => args.scale = it.next().unwrap_or_else(|| usage("missing --scale value")),
+            "--scale" => {
+                args.scale = Some(it.next().unwrap_or_else(|| usage("missing --scale value")))
+            }
             "--seed" => {
                 args.seed = it
                     .next()
@@ -37,6 +52,14 @@ fn parse_args() -> Args {
             }
             "--out" => {
                 args.out = PathBuf::from(it.next().unwrap_or_else(|| usage("missing --out value")))
+            }
+            "--bench-pipeline" => args.bench_pipeline = true,
+            "--bench-samples" => {
+                args.bench_samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("bad --bench-samples value"))
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
@@ -49,22 +72,76 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: run_experiments [--scale paper|small] [--seed N] [--out DIR]");
+    eprintln!(
+        "usage: run_experiments [--scale paper|large|small] [--seed N] [--out DIR] \
+                       [--bench-pipeline] [--bench-samples N]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn world_config(scale: &str, seed: u64) -> WorldConfig {
+    match scale {
+        "paper" => WorldConfig::paper(seed),
+        "large" => WorldConfig::large(seed),
+        "small" => WorldConfig::small(seed),
+        other => usage(&format!("unknown scale {other}")),
+    }
+}
+
+/// Bench mode: the engine scaling study plus the determinism gate.
+fn run_bench_pipeline(args: &Args) -> ! {
+    let scale = args.scale.as_deref().unwrap_or("large");
+    let cfg = world_config(scale, args.seed);
+    eprintln!("generating world (scale={scale}, seed={})...", args.seed);
+    let t0 = std::time::Instant::now();
+    let world = cfg.generate();
+    eprintln!("  {} [{:?}]", world.summary(), t0.elapsed());
+
+    eprintln!(
+        "scaling study: {} samples per point, threads {:?}...",
+        args.bench_samples, DEFAULT_THREAD_SWEEP
+    );
+    let report = run_scaling_study(
+        scale,
+        &world,
+        args.seed,
+        DEFAULT_THREAD_SWEEP,
+        args.bench_samples,
+    );
+
+    println!(
+        "sequential        [{:8.3} {:8.3} {:8.3}] ms",
+        report.sequential_ms.min, report.sequential_ms.mean, report.sequential_ms.max
+    );
+    for p in &report.points {
+        println!(
+            "threads={:<2}        [{:8.3} {:8.3} {:8.3}] ms  speedup {:.2}x  identical={}",
+            p.threads, p.timing_ms.min, p.timing_ms.mean, p.timing_ms.max, p.speedup, p.identical
+        );
+    }
+
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    let path = args.out.join("BENCH_pipeline.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&path, json).expect("write BENCH_pipeline.json");
+    println!("wrote {}", path.display());
+
+    if !report.all_identical {
+        eprintln!("error: parallel results diverged from the sequential reference");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 fn main() {
     let args = parse_args();
-    let cfg = match args.scale.as_str() {
-        "paper" => WorldConfig::paper(args.seed),
-        "small" => WorldConfig::small(args.seed),
-        other => usage(&format!("unknown scale {other}")),
-    };
+    if args.bench_pipeline {
+        run_bench_pipeline(&args);
+    }
+    let scale = args.scale.as_deref().unwrap_or("paper").to_string();
+    let cfg = world_config(&scale, args.seed);
 
-    eprintln!(
-        "generating world (scale={}, seed={})...",
-        args.scale, args.seed
-    );
+    eprintln!("generating world (scale={scale}, seed={})...", args.seed);
     let t0 = std::time::Instant::now();
     let world = cfg.generate();
     eprintln!("  {} [{:?}]", world.summary(), t0.elapsed());

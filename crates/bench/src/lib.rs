@@ -13,7 +13,9 @@
 //! hot paths, the pipeline stages, and every experiment at test scale.
 
 pub mod experiments;
+pub mod scaling;
 pub mod session;
 
 pub use experiments::{run_all, Rendered};
+pub use scaling::{run_scaling_study, ScalingReport, DEFAULT_THREAD_SWEEP};
 pub use session::Session;

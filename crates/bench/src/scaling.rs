@@ -1,0 +1,167 @@
+//! The pipeline scaling study: sequential vs the sharded parallel
+//! engine at several thread counts, with a byte-identity check and a
+//! machine-readable report (`BENCH_pipeline.json`).
+//!
+//! Used by the `pipeline_scaling` criterion bench and by
+//! `run_experiments --bench-pipeline` (which is what CI's bench-smoke
+//! job runs and archives).
+
+use opeer_core::engine::{run_pipeline_parallel, ParallelConfig};
+use opeer_core::pipeline::{run_pipeline, PipelineConfig};
+use opeer_core::InferenceInput;
+use opeer_topology::World;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Thread counts the study sweeps by default.
+pub const DEFAULT_THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
+
+/// Wall-clock statistics over the timed samples, milliseconds.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TimingMs {
+    /// Fastest sample.
+    pub min: f64,
+    /// Mean of all samples.
+    pub mean: f64,
+    /// Slowest sample.
+    pub max: f64,
+}
+
+impl TimingMs {
+    fn from_samples(samples: &[f64]) -> TimingMs {
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+        TimingMs { min, mean, max }
+    }
+}
+
+/// One thread count's measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThreadPoint {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock stats of `run_pipeline_parallel`.
+    pub timing_ms: TimingMs,
+    /// `min(sequential) / min(parallel)` — the conventional best-vs-best
+    /// scaling ratio.
+    pub speedup: f64,
+    /// Whether the parallel result was byte-identical to sequential.
+    pub identical: bool,
+}
+
+/// The full study report, serialised as `BENCH_pipeline.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingReport {
+    /// Report schema tag, bumped on layout changes.
+    pub schema: &'static str,
+    /// World scale label (`small` / `large` / `paper`).
+    pub world: String,
+    /// Seed the world and input were built from.
+    pub seed: u64,
+    /// Observed IXPs in the assembled input.
+    pub ixps: usize,
+    /// Member interfaces across them.
+    pub interfaces: usize,
+    /// Inferences the pipeline produced.
+    pub inferences: usize,
+    /// Timed samples per configuration.
+    pub samples: usize,
+    /// The machine's available parallelism when the study ran.
+    pub host_parallelism: usize,
+    /// Sequential `run_pipeline` stats.
+    pub sequential_ms: TimingMs,
+    /// One point per swept thread count.
+    pub points: Vec<ThreadPoint>,
+    /// Whether every parallel run matched sequential byte-for-byte.
+    pub all_identical: bool,
+}
+
+impl ScalingReport {
+    /// Speedup at a given thread count, if it was swept.
+    pub fn speedup_at(&self, threads: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.threads == threads)
+            .map(|p| p.speedup)
+    }
+}
+
+/// Runs the study: `samples` timed runs of sequential `run_pipeline`,
+/// then `samples` runs of the parallel engine per thread count, each
+/// checked byte-for-byte against the sequential result.
+pub fn run_scaling_study(
+    world_label: &str,
+    world: &World,
+    seed: u64,
+    thread_sweep: &[usize],
+    samples: usize,
+) -> ScalingReport {
+    let samples = samples.max(1);
+    let input = InferenceInput::assemble(world, seed);
+    let cfg = PipelineConfig::default();
+
+    let mut seq_samples = Vec::with_capacity(samples);
+    let mut sequential = None;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let r = run_pipeline(&input, &cfg);
+        seq_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        sequential = Some(r);
+    }
+    let sequential = sequential.expect("samples >= 1");
+    let sequential_ms = TimingMs::from_samples(&seq_samples);
+
+    let mut points = Vec::with_capacity(thread_sweep.len());
+    for &threads in thread_sweep {
+        let par_cfg = ParallelConfig::new(threads);
+        let mut par_samples = Vec::with_capacity(samples);
+        let mut identical = true;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            let r = run_pipeline_parallel(&input, &cfg, &par_cfg);
+            par_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+            identical &= r == sequential;
+        }
+        let timing_ms = TimingMs::from_samples(&par_samples);
+        points.push(ThreadPoint {
+            threads,
+            timing_ms,
+            speedup: sequential_ms.min / timing_ms.min.max(f64::EPSILON),
+            identical,
+        });
+    }
+
+    let all_identical = points.iter().all(|p| p.identical);
+    ScalingReport {
+        schema: "opeer-bench-pipeline/1",
+        world: world_label.to_string(),
+        seed,
+        ixps: input.observed.ixps.len(),
+        interfaces: input.observed.total_interfaces(),
+        inferences: sequential.inferences.len(),
+        samples,
+        host_parallelism: ParallelConfig::available_parallelism(),
+        sequential_ms,
+        points,
+        all_identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn study_reports_identical_results_on_small_world() {
+        let world = WorldConfig::small(7).generate();
+        let report = run_scaling_study("small", &world, 7, &[1, 2], 1);
+        assert!(report.all_identical, "parallel diverged from sequential");
+        assert_eq!(report.points.len(), 2);
+        assert!(report.speedup_at(2).is_some());
+        assert!(report.sequential_ms.min > 0.0);
+        let json = serde_json::to_string(&report).expect("report serialises");
+        assert!(json.contains("\"schema\":"));
+    }
+}

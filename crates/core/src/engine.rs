@@ -1,0 +1,365 @@
+//! The sharded parallel execution engine.
+//!
+//! [`run_pipeline_parallel`] runs the five-step methodology of
+//! [`crate::pipeline::run_pipeline`] with the per-IXP / per-target /
+//! per-candidate work fanned out over a [`std::thread::scope`] worker
+//! pool, and merges the per-shard results **deterministically** so the
+//! output is bit-identical to the sequential pass for every thread
+//! count. No work queue survives the call; the pool is scoped to one
+//! pipeline run.
+//!
+//! ## Why the merge is exact
+//!
+//! Each phase shards along the axis where its work is provably
+//! independent, then commits in a fixed order:
+//!
+//! * **Step 1** shards by observed IXP: port-capacity evidence never
+//!   leaves its IXP. Shard ledgers are absorbed in IXP order, and
+//!   [`crate::steps::Ledger::absorb`] keeps the first writer on
+//!   address collisions — the same winner a sequential scan picks.
+//! * **Step 2** shards by campaign chunk: the best-observation
+//!   preference only replaces an incumbent with a strictly better
+//!   candidate, so folding chunk maps in campaign order reproduces the
+//!   sequential scan's winners, ties included.
+//! * **Step 3** shards by *target* over the merged observation map:
+//!   [`crate::steps::step3::evaluate_observation`] is pure per target,
+//!   and chunking a sorted map preserves the sequential detail order.
+//! * **Step 4** shards its corpus scan by traceroute chunk (set-union
+//!   merge is order-independent) and its classification by candidate
+//!   ASN: propagation only ever touches the candidate's own LAN
+//!   interfaces, so verdicts of other candidates can never feed back.
+//!   Outcomes commit in ascending ASN order — the sequential order.
+//! * **Step 5** shards by observed IXP against the frozen steps-1–4
+//!   ledger: the facility vote never reads the ledger, and each LAN
+//!   address is visited once.
+//!
+//! The worker pool itself is free to schedule shards in any order —
+//! results land in per-shard slots and are merged by index, never by
+//! completion time.
+
+use crate::input::InferenceInput;
+use crate::pipeline::{PipelineConfig, PipelineResult, StepCounts};
+use crate::steps::step2::RttObservation;
+use crate::steps::step3::Step3Detail;
+use crate::steps::{step1, step2, step3, step4, step5, Ledger};
+use crate::types::Unclassified;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "OPEER_THREADS";
+
+/// Execution configuration of the parallel engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads to run shard tasks on. `1` degenerates to an
+    /// in-place sequential pass over the same shard structure.
+    pub threads: usize,
+}
+
+impl ParallelConfig {
+    /// A configuration with an explicit thread count (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Reads `OPEER_THREADS`; absent or unparsable values fall back to
+    /// the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(Self::available_parallelism);
+        ParallelConfig { threads }
+    }
+
+    /// The machine's available parallelism (≥ 1).
+    pub fn available_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: Self::available_parallelism(),
+        }
+    }
+}
+
+/// Splits `0..n` into at most `k` contiguous, nearly equal, non-empty
+/// ranges (fewer when `n < k`; none when `n == 0`).
+fn shard_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    let k = k.max(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let base = n / k;
+    let extra = n % k;
+    let mut ranges = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Runs `f(0), …, f(n-1)` on up to `threads` scoped worker threads and
+/// returns the results **in index order**, regardless of which worker
+/// finished first. Workers pull task indices from a shared atomic
+/// counter (dynamic load balancing) and deposit each result into its
+/// own slot, so scheduling cannot perturb the output.
+fn map_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+/// One shard's step-3 output.
+struct Step3Shard {
+    ledger: Ledger,
+    details: Vec<Step3Detail>,
+}
+
+/// Runs the full §5.2 methodology on a scoped worker pool. The result
+/// is bit-identical to [`crate::pipeline::run_pipeline`] on the same
+/// input for **any** `par.threads ≥ 1`.
+pub fn run_pipeline_parallel(
+    input: &InferenceInput<'_>,
+    cfg: &PipelineConfig,
+    par: &ParallelConfig,
+) -> PipelineResult {
+    let threads = par.threads.max(1);
+    // Over-shard relative to the pool so one slow shard does not
+    // serialise the tail; any partition merges identically. Each axis
+    // (IXPs, campaign, targets, corpus) shards against its own length —
+    // `shard_ranges` clamps to the item count — so an IXP-poor input
+    // with a huge campaign or corpus still saturates the pool.
+    let n_shards = threads * 4;
+    let ixp_shards = shard_ranges(input.observed.ixps.len(), n_shards);
+
+    // ---- step 1: per-IXP shards ----
+    let step1_out: Vec<Ledger> = map_indexed(ixp_shards.len(), threads, |i| {
+        let mut ledger = Ledger::new();
+        step1::apply_to_ixps(input, ixp_shards[i].clone(), &mut ledger);
+        ledger
+    });
+    let mut ledger = Ledger::new();
+    let mut n1 = 0;
+    for shard in step1_out {
+        n1 += ledger.absorb(shard);
+    }
+
+    // ---- step 2: per-campaign-chunk shards, folded in campaign order ----
+    let campaign_shards = shard_ranges(input.campaign.observations.len(), n_shards);
+    let consolidated = map_indexed(campaign_shards.len(), threads, |i| {
+        step2::consolidate_chunk(input, campaign_shards[i].clone())
+    });
+    let mut observations: BTreeMap<Ipv4Addr, RttObservation> = BTreeMap::new();
+    for chunk in consolidated {
+        step2::merge_consolidated(&mut observations, chunk);
+    }
+
+    // ---- step 3: per-target shards over the merged observations ----
+    let targets: Vec<&RttObservation> = observations.values().collect();
+    let target_shards = shard_ranges(targets.len(), n_shards);
+    let honor = cfg.honor_lg_rounding;
+    let step3_out: Vec<Step3Shard> = map_indexed(target_shards.len(), threads, |i| {
+        let mut shard = Step3Shard {
+            ledger: Ledger::new(),
+            details: Vec::with_capacity(target_shards[i].len()),
+        };
+        for &o in &targets[target_shards[i].clone()] {
+            let (detail, inference) = step3::evaluate_observation(input, o, &cfg.speed, honor);
+            if let Some(inf) = inference {
+                shard.ledger.record(inf);
+            }
+            shard.details.push(detail);
+        }
+        shard
+    });
+    let mut step3_details = Vec::with_capacity(targets.len());
+    let mut n3 = 0;
+    for shard in step3_out {
+        n3 += ledger.absorb(shard.ledger);
+        step3_details.extend(shard.details);
+    }
+
+    // ---- step 4: corpus scan by chunk, classification by candidate ----
+    let details_map: BTreeMap<Ipv4Addr, Step3Detail> =
+        step3_details.iter().map(|d| (d.addr, *d)).collect();
+    let data = step4::ixp_data(input);
+    let corpus_shards = shard_ranges(input.corpus.len(), n_shards);
+    let chunks = map_indexed(corpus_shards.len(), threads, |i| {
+        step4::scan_corpus(input, &data, corpus_shards[i].clone())
+    });
+    let evidence = step4::evidence_from_chunks(input, data, chunks);
+    let cands = step4::candidates(&evidence);
+    let outcomes = {
+        // The frozen steps-1–3 ledger is the only cross-candidate state.
+        let priors = &ledger;
+        map_indexed(cands.len(), threads, |i| {
+            step4::classify_candidate(input, &evidence, cands[i], &details_map, &cfg.alias, priors)
+        })
+    };
+    let mut multi_ixp_routers = Vec::new();
+    let mut n4 = 0;
+    for outcome in outcomes {
+        for inf in outcome.recorded {
+            if ledger.record(inf) {
+                n4 += 1;
+            }
+        }
+        multi_ixp_routers.extend(outcome.findings);
+    }
+
+    // ---- step 5: corpus harvest by chunk, vote by IXP shard ----
+    let ev5_chunks = map_indexed(corpus_shards.len(), threads, |i| {
+        step5::harvest_chunk(input, &evidence.data, corpus_shards[i].clone())
+    });
+    let mut ev5 = step5::PrivateEvidence::default();
+    for chunk in ev5_chunks {
+        ev5.absorb(chunk);
+    }
+    let proposals = {
+        let priors = &ledger;
+        map_indexed(ixp_shards.len(), threads, |i| {
+            step5::propose_for_ixps(input, &ev5, &cfg.alias, ixp_shards[i].clone(), priors)
+        })
+    };
+    let mut n5 = 0;
+    for shard in proposals {
+        for inf in shard {
+            if ledger.record(inf) {
+                n5 += 1;
+            }
+        }
+    }
+
+    // ---- residual unknowns (cheap; sequential scan keeps the exact
+    // sequential emission order) ----
+    let mut unclassified = Vec::new();
+    for (ixp_idx, ixp) in input.observed.ixps.iter().enumerate() {
+        for (&addr, &asn) in &ixp.interfaces {
+            if !ledger.known(addr) {
+                unclassified.push(Unclassified {
+                    addr,
+                    ixp: ixp_idx,
+                    asn,
+                });
+            }
+        }
+    }
+
+    PipelineResult {
+        inferences: ledger.all().cloned().collect(),
+        unclassified,
+        observations,
+        step3_details,
+        multi_ixp_routers,
+        counts: StepCounts {
+            port_capacity: n1,
+            rtt_colo: n3,
+            multi_ixp: n4,
+            private_links: n5,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_pipeline;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn shard_ranges_partition() {
+        for n in [0usize, 1, 2, 7, 16, 100] {
+            for k in [1usize, 2, 3, 8, 64] {
+                let ranges = shard_ranges(n, k);
+                if n == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert_eq!(ranges.first().map(|r| r.start), Some(0));
+                let mut covered = 0;
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "gap in shard ranges");
+                }
+                for r in &ranges {
+                    covered += r.len();
+                    assert!(!r.is_empty(), "empty shard range");
+                }
+                assert_eq!(covered, n, "shards must cover 0..{n}");
+                assert_eq!(ranges.last().map(|r| r.end), Some(n));
+            }
+        }
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let out = map_indexed(100, 8, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_equals_sequential_small_world() {
+        let world = WorldConfig::small(109).generate();
+        let input = InferenceInput::assemble(&world, 109);
+        let cfg = PipelineConfig::default();
+        let sequential = run_pipeline(&input, &cfg);
+        for threads in [1, 2, 3, 8] {
+            let parallel = run_pipeline_parallel(&input, &cfg, &ParallelConfig::new(threads));
+            assert_eq!(
+                parallel, sequential,
+                "parallel ({threads} threads) diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn env_config_parses() {
+        // Only exercises the parsing fallback paths; the variable itself
+        // is owned by the test harness environment.
+        let cfg = ParallelConfig::from_env();
+        assert!(cfg.threads >= 1);
+        assert_eq!(ParallelConfig::new(0).threads, 1);
+    }
+}

@@ -47,6 +47,7 @@
 
 pub mod baseline;
 pub mod beyond_pings;
+pub mod engine;
 pub mod evolution;
 pub mod features;
 pub mod input;
@@ -57,6 +58,7 @@ pub mod steps;
 pub mod types;
 
 pub use baseline::run_baseline;
+pub use engine::{run_pipeline_parallel, ParallelConfig};
 pub use input::InferenceInput;
 pub use metrics::{score, Metrics};
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineResult};

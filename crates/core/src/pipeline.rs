@@ -37,7 +37,7 @@ impl Default for PipelineConfig {
 }
 
 /// Per-step inference counts (Fig. 10a's data).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StepCounts {
     /// Step 1.
     pub port_capacity: usize,
@@ -57,7 +57,7 @@ impl StepCounts {
 }
 
 /// Everything the pipeline produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineResult {
     /// All inferences, sorted by interface address.
     pub inferences: Vec<Inference>,
@@ -122,7 +122,13 @@ pub fn run_pipeline(input: &InferenceInput<'_>, cfg: &PipelineConfig) -> Pipelin
 
     // Step 2: ping material; Step 3: RTT + colocation.
     let observations = step2::consolidate(input);
-    let step3_details = step3::apply(input, &observations, &cfg.speed, &mut ledger);
+    let step3_details = step3::apply_with_rounding(
+        input,
+        &observations,
+        &cfg.speed,
+        &mut ledger,
+        cfg.honor_lg_rounding,
+    );
     let n3 = ledger.len() - n1;
 
     // Step 4: multi-IXP routers.

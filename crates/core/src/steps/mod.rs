@@ -16,13 +16,20 @@ pub mod step5;
 
 use crate::types::{Inference, Verdict};
 use opeer_net::Asn;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// The running record of inferences, keyed by interface address.
+///
+/// A secondary per-ASN index (`by_asn`) is maintained on every record so
+/// that [`Ledger::verdicts_of_asn`] answers in O(k) for a member with k
+/// classified interfaces instead of rescanning every entry. The index
+/// stores addresses in a `BTreeSet`, so per-ASN iteration order stays
+/// the address order a full scan would have produced.
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
     entries: BTreeMap<Ipv4Addr, Inference>,
+    by_asn: BTreeMap<Asn, BTreeSet<Ipv4Addr>>,
 }
 
 impl Ledger {
@@ -53,10 +60,27 @@ impl Ledger {
         match self.entries.entry(inf.addr) {
             Entry::Occupied(_) => false,
             Entry::Vacant(v) => {
+                self.by_asn.entry(inf.asn).or_default().insert(inf.addr);
                 v.insert(inf);
                 true
             }
         }
+    }
+
+    /// Merges another ledger into this one, preserving the
+    /// earlier-steps-win rule: on an address collision the entry already
+    /// present in `self` survives. Absorbing per-shard ledgers in shard
+    /// order therefore reproduces exactly what a sequential pass over
+    /// the same work would have recorded. Returns how many entries were
+    /// actually taken from `other`.
+    pub fn absorb(&mut self, other: Ledger) -> usize {
+        let mut taken = 0;
+        for (_, inf) in other.entries {
+            if self.record(inf) {
+                taken += 1;
+            }
+        }
+        taken
     }
 
     /// All inferences, sorted by address.
@@ -74,11 +98,16 @@ impl Ledger {
         self.entries.is_empty()
     }
 
-    /// Verdicts already made for one member ASN, with their IXPs.
+    /// Verdicts already made for one member ASN, with their IXPs, in
+    /// interface-address order. Served from the per-ASN index — no full
+    /// ledger scan.
     pub fn verdicts_of_asn(&self, asn: Asn) -> Vec<(usize, Verdict)> {
-        self.entries
-            .values()
-            .filter(|i| i.asn == asn)
+        let Some(addrs) = self.by_asn.get(&asn) else {
+            return Vec::new();
+        };
+        addrs
+            .iter()
+            .filter_map(|a| self.entries.get(a))
             .map(|i| (i.ixp, i.verdict))
             .collect()
     }
@@ -119,5 +148,54 @@ mod tests {
         ledger.record(inf("185.0.0.11", Verdict::Local));
         assert_eq!(ledger.verdicts_of_asn(Asn::new(1)).len(), 2);
         assert!(ledger.verdicts_of_asn(Asn::new(2)).is_empty());
+    }
+
+    #[test]
+    fn asn_index_matches_full_scan_order() {
+        let mut ledger = Ledger::new();
+        // Inserted out of address order; the index must return address
+        // order, exactly like the old full-scan implementation.
+        ledger.record(inf("185.0.0.30", Verdict::Remote));
+        ledger.record(inf("185.0.0.10", Verdict::Local));
+        ledger.record(inf("185.0.0.20", Verdict::Remote));
+        let scan: Vec<(usize, Verdict)> = ledger
+            .all()
+            .filter(|i| i.asn == Asn::new(1))
+            .map(|i| (i.ixp, i.verdict))
+            .collect();
+        assert_eq!(ledger.verdicts_of_asn(Asn::new(1)), scan);
+    }
+
+    #[test]
+    fn absorb_keeps_existing_on_conflict() {
+        // Two shards classified the same address: the shard absorbed
+        // first (lower shard index) must win, mirroring the order a
+        // sequential pass would have reached that address in.
+        let mut shard0 = Ledger::new();
+        shard0.record(inf("185.0.0.10", Verdict::Remote));
+        let mut shard1 = Ledger::new();
+        shard1.record(inf("185.0.0.10", Verdict::Local));
+        shard1.record(inf("185.0.0.11", Verdict::Local));
+
+        let mut merged = Ledger::new();
+        assert_eq!(merged.absorb(shard0.clone()), 1);
+        assert_eq!(merged.absorb(shard1.clone()), 1, "conflict must be dropped");
+        assert_eq!(
+            merged.verdict("185.0.0.10".parse().expect("valid")),
+            Some(Verdict::Remote),
+            "first-absorbed shard wins"
+        );
+
+        // Reversed order flips the winner — merge order, not content,
+        // decides, so the engine must always absorb in shard order.
+        let mut reversed = Ledger::new();
+        reversed.absorb(shard1);
+        reversed.absorb(shard0);
+        assert_eq!(
+            reversed.verdict("185.0.0.10".parse().expect("valid")),
+            Some(Verdict::Local)
+        );
+        // The per-ASN index survives the merge.
+        assert_eq!(reversed.verdicts_of_asn(Asn::new(1)).len(), 2);
     }
 }

@@ -18,8 +18,21 @@ use crate::types::{Inference, Step, Verdict};
 /// Applies step 1 over every observed IXP with pricing data. Returns the
 /// number of new inferences.
 pub fn apply(input: &InferenceInput<'_>, ledger: &mut Ledger) -> usize {
+    apply_to_ixps(input, 0..input.observed.ixps.len(), ledger)
+}
+
+/// Applies step 1 to a contiguous range of observed IXP indices — the
+/// per-shard task of the parallel engine. Port-capacity evidence is
+/// strictly per-IXP, so any partition of the IXP set produces the same
+/// merged ledger as a full pass.
+pub fn apply_to_ixps(
+    input: &InferenceInput<'_>,
+    ixps: std::ops::Range<usize>,
+    ledger: &mut Ledger,
+) -> usize {
     let mut new = 0;
-    for (ixp_idx, ixp) in input.observed.ixps.iter().enumerate() {
+    for ixp_idx in ixps {
+        let ixp = &input.observed.ixps[ixp_idx];
         let Some(cmin) = ixp.cmin_mbps else { continue };
         for (&addr, &asn) in &ixp.interfaces {
             let Some(&cap) = ixp.port_capacity.get(&asn) else {

@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// One target's consolidated RTT observation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RttObservation {
     /// Target interface.
     pub addr: Ipv4Addr,
@@ -31,12 +31,33 @@ pub struct RttObservation {
     pub vp_location: GeoPoint,
 }
 
+/// Whether `cand` should replace `cur` as a target's best observation:
+/// strictly lower RTT, or the same RTT from a non-rounding VP. On exact
+/// ties the incumbent (earlier in campaign order) wins — which is what
+/// makes chunked consolidation merge back to the sequential result.
+fn better(cand: &RttObservation, cur: &RttObservation) -> bool {
+    cand.min_rtt_ms < cur.min_rtt_ms
+        || (cand.min_rtt_ms == cur.min_rtt_ms && !cand.rounded && cur.rounded)
+}
+
 /// Consolidates the campaign into per-target observations. Targets whose
 /// address cannot be resolved through the fused interface dataset are
 /// dropped (the paper can only reason about known member interfaces).
 pub fn consolidate(input: &InferenceInput<'_>) -> BTreeMap<Ipv4Addr, RttObservation> {
+    consolidate_chunk(input, 0..input.campaign.observations.len())
+}
+
+/// Consolidates one contiguous chunk of the campaign — the per-shard
+/// task of the parallel engine. Merging chunk maps in campaign order
+/// with [`merge_consolidated`] reproduces the full sequential
+/// consolidation exactly, because the preference predicate only ever
+/// replaces an incumbent with a strictly better candidate.
+pub fn consolidate_chunk(
+    input: &InferenceInput<'_>,
+    range: std::ops::Range<usize>,
+) -> BTreeMap<Ipv4Addr, RttObservation> {
     let mut best: BTreeMap<Ipv4Addr, RttObservation> = BTreeMap::new();
-    for o in &input.campaign.observations {
+    for o in &input.campaign.observations[range] {
         let Some((ixp, asn)) = input.observed.member_of_addr(o.target) else {
             continue;
         };
@@ -51,15 +72,33 @@ pub fn consolidate(input: &InferenceInput<'_>) -> BTreeMap<Ipv4Addr, RttObservat
         };
         best.entry(o.target)
             .and_modify(|cur| {
-                let better = cand.min_rtt_ms < cur.min_rtt_ms
-                    || (cand.min_rtt_ms == cur.min_rtt_ms && !cand.rounded && cur.rounded);
-                if better {
+                if better(&cand, cur) {
                     *cur = cand;
                 }
             })
             .or_insert(cand);
     }
     best
+}
+
+/// Folds a later chunk's consolidation into an earlier one, with the
+/// same preference order as the sequential scan.
+pub fn merge_consolidated(
+    into: &mut BTreeMap<Ipv4Addr, RttObservation>,
+    from: BTreeMap<Ipv4Addr, RttObservation>,
+) {
+    for (addr, cand) in from {
+        match into.entry(addr) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(cand);
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                if better(&cand, o.get()) {
+                    o.insert(cand);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

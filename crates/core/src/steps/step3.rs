@@ -29,7 +29,7 @@ use std::net::Ipv4Addr;
 
 /// Per-target diagnostics kept for Fig. 9c and step 4's distance
 /// conditions.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Step3Detail {
     /// Target interface.
     pub addr: Ipv4Addr,
@@ -67,93 +67,109 @@ pub fn apply_with_rounding(
 ) -> Vec<Step3Detail> {
     let mut details = Vec::with_capacity(observations.len());
     for o in observations.values() {
-        let annulus = if o.rounded && honor_rounding {
-            speed.feasible_annulus_rounded_ms(o.min_rtt_ms)
-        } else {
-            speed.feasible_annulus_ms(o.min_rtt_ms)
-        };
+        let (detail, inference) = evaluate_observation(input, o, speed, honor_rounding);
+        if let Some(inf) = inference {
+            ledger.record(inf);
+        }
+        details.push(detail);
+    }
+    details
+}
 
-        // Distances from the VP to every facility of the IXP.
-        let ixp = &input.observed.ixps[o.ixp];
-        let feasible_ixp: Vec<usize> = ixp
-            .facility_idxs
-            .iter()
-            .copied()
-            .filter(|&f| {
-                let d = input.observed.facilities[f]
-                    .location
-                    .distance_km(&o.vp_location);
-                annulus.contains(d)
-            })
-            .collect();
+/// Evaluates one consolidated observation: the per-target unit of work.
+/// Pure — reads only the input and the observation, never the ledger —
+/// which is what lets the parallel engine shard step 3 by target and
+/// still merge to a byte-identical result.
+pub fn evaluate_observation(
+    input: &InferenceInput<'_>,
+    o: &RttObservation,
+    speed: &SpeedModel,
+    honor_rounding: bool,
+) -> (Step3Detail, Option<Inference>) {
+    let annulus = if o.rounded && honor_rounding {
+        speed.feasible_annulus_rounded_ms(o.min_rtt_ms)
+    } else {
+        speed.feasible_annulus_ms(o.min_rtt_ms)
+    };
 
-        let member_facs = input.observed.facilities_of_as(o.asn);
-        let verdict: Option<(Verdict, String)> = if feasible_ixp.is_empty() {
-            Some((
-                Verdict::Remote,
-                format!(
-                    "no {} facility inside [{:.0}, {:.0}] km of VP (RTTmin {:.2} ms)",
-                    ixp.name, annulus.min_km, annulus.max_km, o.min_rtt_ms
-                ),
-            ))
-        } else {
-            match member_facs {
-                Some(facs) => {
-                    let in_feasible_ixp = facs.iter().any(|f| feasible_ixp.contains(f));
-                    if in_feasible_ixp {
+    // Distances from the VP to every facility of the IXP.
+    let ixp = &input.observed.ixps[o.ixp];
+    let feasible_ixp: Vec<usize> = ixp
+        .facility_idxs
+        .iter()
+        .copied()
+        .filter(|&f| {
+            let d = input.observed.facilities[f]
+                .location
+                .distance_km(&o.vp_location);
+            annulus.contains(d)
+        })
+        .collect();
+
+    let member_facs = input.observed.facilities_of_as(o.asn);
+    let verdict: Option<(Verdict, String)> = if feasible_ixp.is_empty() {
+        Some((
+            Verdict::Remote,
+            format!(
+                "no {} facility inside [{:.0}, {:.0}] km of VP (RTTmin {:.2} ms)",
+                ixp.name, annulus.min_km, annulus.max_km, o.min_rtt_ms
+            ),
+        ))
+    } else {
+        match member_facs {
+            Some(facs) => {
+                let in_feasible_ixp = facs.iter().any(|f| feasible_ixp.contains(f));
+                if in_feasible_ixp {
+                    Some((
+                        Verdict::Local,
+                        format!(
+                            "colocated in a feasible {} facility (RTTmin {:.2} ms)",
+                            ixp.name, o.min_rtt_ms
+                        ),
+                    ))
+                } else {
+                    // Present in another *feasible* facility where the
+                    // IXP is not present?
+                    let other_feasible = facs.iter().any(|&f| {
+                        let d = input.observed.facilities[f]
+                            .location
+                            .distance_km(&o.vp_location);
+                        annulus.contains(d) && !ixp.facility_idxs.contains(&f)
+                    });
+                    if other_feasible {
                         Some((
-                            Verdict::Local,
+                            Verdict::Remote,
                             format!(
-                                "colocated in a feasible {} facility (RTTmin {:.2} ms)",
+                                "member in a feasible non-{} facility (RTTmin {:.2} ms)",
                                 ixp.name, o.min_rtt_ms
                             ),
                         ))
                     } else {
-                        // Present in another *feasible* facility where the
-                        // IXP is not present?
-                        let other_feasible = facs.iter().any(|&f| {
-                            let d = input.observed.facilities[f]
-                                .location
-                                .distance_km(&o.vp_location);
-                            annulus.contains(d) && !ixp.facility_idxs.contains(&f)
-                        });
-                        if other_feasible {
-                            Some((
-                                Verdict::Remote,
-                                format!(
-                                    "member in a feasible non-{} facility (RTTmin {:.2} ms)",
-                                    ixp.name, o.min_rtt_ms
-                                ),
-                            ))
-                        } else {
-                            None // colocation record matches nothing feasible
-                        }
+                        None // colocation record matches nothing feasible
                     }
                 }
-                None => None, // no colocation record at all
             }
-        };
-
-        if let Some((v, evidence)) = &verdict {
-            ledger.record(Inference {
-                addr: o.addr,
-                ixp: o.ixp,
-                asn: o.asn,
-                verdict: *v,
-                step: Step::RttColo,
-                evidence: evidence.clone(),
-            });
+            None => None, // no colocation record at all
         }
-        details.push(Step3Detail {
-            addr: o.addr,
-            ixp: o.ixp,
-            min_rtt_ms: o.min_rtt_ms,
-            annulus,
-            feasible_ixp_facilities: feasible_ixp.len(),
-            verdict: verdict.map(|(v, _)| v),
-        });
-    }
-    details
+    };
+
+    let inference = verdict.as_ref().map(|(v, evidence)| Inference {
+        addr: o.addr,
+        ixp: o.ixp,
+        asn: o.asn,
+        verdict: *v,
+        step: Step::RttColo,
+        evidence: evidence.clone(),
+    });
+    let detail = Step3Detail {
+        addr: o.addr,
+        ixp: o.ixp,
+        min_rtt_ms: o.min_rtt_ms,
+        annulus,
+        feasible_ixp_facilities: feasible_ixp.len(),
+        verdict: verdict.map(|(v, _)| v),
+    };
+    (detail, inference)
 }
 
 #[cfg(test)]

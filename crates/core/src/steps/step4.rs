@@ -42,7 +42,7 @@ pub enum RouterClass {
 }
 
 /// One discovered router (alias group) and its classification.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MultiIxpFinding {
     /// Owning member ASN.
     pub asn: Asn,
@@ -66,6 +66,264 @@ pub fn ixp_data(input: &InferenceInput<'_>) -> IxpData {
     data
 }
 
+/// Pre-harvested step-4 evidence: the traIXroute lookup data plus
+/// everything the corpus scan and registry produce. Building it is a
+/// pure function of the input, so the parallel engine can harvest
+/// corpus chunks on worker threads and merge them (sets union
+/// order-independently) before the per-candidate classification.
+pub struct Step4Evidence {
+    /// traIXroute lookup structures over the observed IXPs.
+    pub data: IxpData,
+    /// `{IPx, IXP}` pairs per member AS from the corpus.
+    pub as_pairs: BTreeMap<Asn, BTreeSet<(Ipv4Addr, usize)>>,
+    /// IXPs each AS appears to cross (either side of a crossing).
+    pub crossings: BTreeMap<Asn, BTreeSet<usize>>,
+    /// LAN interfaces per ASN across the observed IXPs.
+    pub lan_ifaces: BTreeMap<Asn, Vec<(Ipv4Addr, usize)>>,
+}
+
+/// The corpus-derived half of [`Step4Evidence`], for one chunk of the
+/// traceroute corpus.
+#[derive(Default)]
+pub struct CorpusChunk {
+    /// `{IPx, IXP}` pairs per member AS.
+    pub as_pairs: BTreeMap<Asn, BTreeSet<(Ipv4Addr, usize)>>,
+    /// IXPs each AS appears to cross.
+    pub crossings: BTreeMap<Asn, BTreeSet<usize>>,
+}
+
+impl CorpusChunk {
+    /// Set-unions another chunk into this one. Union of sets is
+    /// order-independent, so any chunking of the corpus merges to the
+    /// same evidence as one sequential scan.
+    pub fn absorb(&mut self, other: CorpusChunk) {
+        for (asn, pairs) in other.as_pairs {
+            self.as_pairs.entry(asn).or_default().extend(pairs);
+        }
+        for (asn, ixps) in other.crossings {
+            self.crossings.entry(asn).or_default().extend(ixps);
+        }
+    }
+}
+
+/// Scans a contiguous range of the traceroute corpus for `{IPx, IPixp}`
+/// pairs and crossing evidence — a member "appears to peer at" an IXP
+/// whether it is the near or far side of the crossing.
+pub fn scan_corpus(
+    input: &InferenceInput<'_>,
+    data: &IxpData,
+    range: std::ops::Range<usize>,
+) -> CorpusChunk {
+    let mut chunk = CorpusChunk::default();
+    for tr in &input.corpus[range] {
+        let hops: Vec<Option<Ipv4Addr>> = tr.hops.iter().map(|h| h.map(|s| s.addr)).collect();
+        for p in member_ixp_pairs(&hops, data, &input.ip2as) {
+            chunk
+                .as_pairs
+                .entry(p.member)
+                .or_default()
+                .insert((p.member_addr, p.ixp as usize));
+            chunk
+                .crossings
+                .entry(p.member)
+                .or_default()
+                .insert(p.ixp as usize);
+        }
+        for c in opeer_traix::detect_crossings(&hops, data, &input.ip2as) {
+            chunk
+                .crossings
+                .entry(c.from)
+                .or_default()
+                .insert(c.ixp as usize);
+            chunk
+                .crossings
+                .entry(c.to)
+                .or_default()
+                .insert(c.ixp as usize);
+        }
+    }
+    chunk
+}
+
+/// Assembles full evidence from pre-scanned corpus chunks.
+pub fn evidence_from_chunks(
+    input: &InferenceInput<'_>,
+    data: IxpData,
+    chunks: Vec<CorpusChunk>,
+) -> Step4Evidence {
+    let mut merged = CorpusChunk::default();
+    for c in chunks {
+        merged.absorb(c);
+    }
+    let mut lan_ifaces: BTreeMap<Asn, Vec<(Ipv4Addr, usize)>> = BTreeMap::new();
+    for (i, ixp) in input.observed.ixps.iter().enumerate() {
+        for (&addr, &asn) in &ixp.interfaces {
+            lan_ifaces.entry(asn).or_default().push((addr, i));
+        }
+    }
+    Step4Evidence {
+        data,
+        as_pairs: merged.as_pairs,
+        crossings: merged.crossings,
+        lan_ifaces,
+    }
+}
+
+/// Harvests the full evidence set with one sequential corpus scan.
+pub fn harvest(input: &InferenceInput<'_>) -> Step4Evidence {
+    let data = ixp_data(input);
+    let chunk = scan_corpus(input, &data, 0..input.corpus.len());
+    evidence_from_chunks(input, data, vec![chunk])
+}
+
+/// Multi-IXP candidate ASNs in ascending order: ASes whose crossing
+/// evidence spans ≥ 2 distinct IXPs.
+pub fn candidates(evidence: &Step4Evidence) -> Vec<Asn> {
+    evidence
+        .crossings
+        .iter()
+        .filter(|(_, ixps)| ixps.len() >= 2)
+        .map(|(&asn, _)| asn)
+        .collect()
+}
+
+/// Everything one candidate AS produced: the router findings plus the
+/// inferences to commit. `recorded` holds the pipeline-mode inferences
+/// (those that passed the not-already-known check against `priors` and
+/// this candidate's own earlier groups); `all` holds every constructed
+/// inference (standalone / Table 4 semantics).
+pub struct CandidateOutcome {
+    /// Router findings of this AS, in group order.
+    pub findings: Vec<MultiIxpFinding>,
+    /// Pipeline-mode inferences, in the order they were made.
+    pub recorded: Vec<Inference>,
+    /// Every constructed inference, including already-known addresses.
+    pub all: Vec<Inference>,
+}
+
+/// Classifies one candidate AS — the per-shard task of the parallel
+/// engine. Pure with respect to `priors`: step-4 verdicts of *other*
+/// ASes can never influence this AS (classification only reads the
+/// candidate's own LAN interfaces, and those are written only while
+/// processing the candidate itself), so candidates may run in any order
+/// or concurrently, as long as outcomes are committed in ascending ASN
+/// order afterwards.
+pub fn classify_candidate(
+    input: &InferenceInput<'_>,
+    evidence: &Step4Evidence,
+    asn: Asn,
+    details: &BTreeMap<Ipv4Addr, Step3Detail>,
+    alias_cfg: &AliasConfig,
+    priors: &Ledger,
+) -> CandidateOutcome {
+    let empty: BTreeSet<(Ipv4Addr, usize)> = BTreeSet::new();
+    let pairs = evidence.as_pairs.get(&asn).unwrap_or(&empty);
+    // Same-candidate writes: earlier groups of this AS seed later ones,
+    // exactly as the sequential ledger did mid-loop.
+    let mut local: BTreeMap<Ipv4Addr, Inference> = BTreeMap::new();
+    let mut outcome = CandidateOutcome {
+        findings: Vec::new(),
+        recorded: Vec::new(),
+        all: Vec::new(),
+    };
+
+    // Alias-resolve all the candidate's observed interfaces.
+    let mut addrs: BTreeSet<Ipv4Addr> = pairs.iter().map(|&(a, _)| a).collect();
+    for &(a, _) in evidence
+        .lan_ifaces
+        .get(&asn)
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+    {
+        addrs.insert(a);
+    }
+    let iface_ids: Vec<opeer_topology::IfaceId> = addrs
+        .iter()
+        .filter_map(|&a| input.world.iface_by_addr(a))
+        .collect();
+    let sets = resolve(input.world, &iface_ids, alias_cfg);
+
+    // Group interfaces per resolved router; singletons stay alone.
+    let mut groups: BTreeMap<usize, Vec<Ipv4Addr>> = BTreeMap::new();
+    let mut singles: Vec<Ipv4Addr> = Vec::new();
+    for &a in &addrs {
+        match input.world.iface_by_addr(a).and_then(|i| sets.group_of(i)) {
+            Some(g) => groups.entry(g).or_default().push(a),
+            None => singles.push(a),
+        }
+    }
+    let mut all_groups: Vec<Vec<Ipv4Addr>> = groups.into_values().collect();
+    all_groups.extend(singles.into_iter().map(|a| vec![a]));
+
+    for group in all_groups {
+        // IXPs this group faces: pair-derived next hops + the IXPs of
+        // its own LAN addresses.
+        let mut next_hop: BTreeSet<usize> = BTreeSet::new();
+        for &a in &group {
+            for &(pa, ixp) in pairs {
+                if pa == a {
+                    next_hop.insert(ixp);
+                }
+            }
+            if let Some((ixp, owner)) = input.observed.member_of_addr(a) {
+                if owner == asn {
+                    next_hop.insert(ixp);
+                }
+            }
+        }
+        if next_hop.len() < 2 {
+            continue;
+        }
+
+        let class = classify(
+            input,
+            asn,
+            &next_hop,
+            details,
+            priors,
+            &local,
+            &evidence.lan_ifaces,
+        );
+        // Propagate: in pipeline mode only to unknown memberships; in
+        // standalone mode every involved interface gets the step's own
+        // verdict (Table 4 semantics).
+        if let Some((class, verdicts)) = &class {
+            for (ixp, verdict) in verdicts {
+                if let Some(lans) = evidence.lan_ifaces.get(&asn) {
+                    for &(addr, lan_ixp) in lans {
+                        if lan_ixp != *ixp {
+                            continue;
+                        }
+                        let inf = Inference {
+                            addr,
+                            ixp: *ixp,
+                            asn,
+                            verdict: *verdict,
+                            step: Step::MultiIxp,
+                            evidence: format!(
+                                "{class:?} multi-IXP router facing {} IXPs",
+                                next_hop.len()
+                            ),
+                        };
+                        outcome.all.push(inf.clone());
+                        if !priors.known(addr) && !local.contains_key(&addr) {
+                            local.insert(addr, inf.clone());
+                            outcome.recorded.push(inf);
+                        }
+                    }
+                }
+            }
+        }
+        outcome.findings.push(MultiIxpFinding {
+            asn,
+            ifaces: group,
+            next_hop_ixps: next_hop,
+            class: class.map(|(c, _)| c),
+        });
+    }
+    outcome
+}
+
 /// Applies step 4. Returns the router findings (Fig. 9d's data) and
 /// records propagated inferences in the ledger.
 pub fn apply(
@@ -74,7 +332,16 @@ pub fn apply(
     alias_cfg: &AliasConfig,
     ledger: &mut Ledger,
 ) -> Vec<MultiIxpFinding> {
-    run(input, details, alias_cfg, ledger, None)
+    let evidence = harvest(input);
+    let mut findings = Vec::new();
+    for asn in candidates(&evidence) {
+        let outcome = classify_candidate(input, &evidence, asn, details, alias_cfg, ledger);
+        for inf in outcome.recorded {
+            ledger.record(inf);
+        }
+        findings.extend(outcome.findings);
+    }
+    findings
 }
 
 /// Standalone mode (Table 4 semantics): classifies every interface the
@@ -87,169 +354,39 @@ pub fn classify_all(
     alias_cfg: &AliasConfig,
     priors: &Ledger,
 ) -> (Vec<MultiIxpFinding>, Vec<Inference>) {
+    let evidence = harvest(input);
     let mut scratch = priors.clone();
+    let mut findings = Vec::new();
     let mut collected = Vec::new();
-    let findings = run(
-        input,
-        details,
-        alias_cfg,
-        &mut scratch,
-        Some(&mut collected),
-    );
+    for asn in candidates(&evidence) {
+        let outcome = classify_candidate(input, &evidence, asn, details, alias_cfg, &scratch);
+        for inf in outcome.recorded {
+            scratch.record(inf);
+        }
+        collected.extend(outcome.all);
+        findings.extend(outcome.findings);
+    }
     (findings, collected)
 }
 
-fn run(
-    input: &InferenceInput<'_>,
-    details: &BTreeMap<Ipv4Addr, Step3Detail>,
-    alias_cfg: &AliasConfig,
-    ledger: &mut Ledger,
-    mut collect_all: Option<&mut Vec<Inference>>,
-) -> Vec<MultiIxpFinding> {
-    let data = ixp_data(input);
-
-    // 1. Harvest {IPx, IPixp} pairs per member AS, and per-AS crossing
-    //    evidence from both sides of every detected crossing — a member
-    //    "appears to peer at" an IXP whether it is the near or far side.
-    let mut as_pairs: BTreeMap<Asn, BTreeSet<(Ipv4Addr, usize)>> = BTreeMap::new();
-    let mut crossing_evidence: BTreeMap<Asn, BTreeSet<usize>> = BTreeMap::new();
-    for tr in &input.corpus {
-        let hops: Vec<Option<Ipv4Addr>> = tr.hops.iter().map(|h| h.map(|s| s.addr)).collect();
-        for p in member_ixp_pairs(&hops, &data, &input.ip2as) {
-            as_pairs
-                .entry(p.member)
-                .or_default()
-                .insert((p.member_addr, p.ixp as usize));
-            crossing_evidence
-                .entry(p.member)
-                .or_default()
-                .insert(p.ixp as usize);
-        }
-        for c in opeer_traix::detect_crossings(&hops, &data, &input.ip2as) {
-            crossing_evidence
-                .entry(c.from)
-                .or_default()
-                .insert(c.ixp as usize);
-            crossing_evidence
-                .entry(c.to)
-                .or_default()
-                .insert(c.ixp as usize);
-        }
-    }
-
-    // LAN interfaces per ASN across the observed IXPs.
-    let mut lan_ifaces: BTreeMap<Asn, Vec<(Ipv4Addr, usize)>> = BTreeMap::new();
-    for (i, ixp) in input.observed.ixps.iter().enumerate() {
-        for (&addr, &asn) in &ixp.interfaces {
-            lan_ifaces.entry(asn).or_default().push((addr, i));
-        }
-    }
-
-    let empty: BTreeSet<(Ipv4Addr, usize)> = BTreeSet::new();
-    let mut findings = Vec::new();
-    for (&asn, crossings) in &crossing_evidence {
-        // Candidate: the AS appears in crossings at ≥2 distinct IXPs.
-        if crossings.len() < 2 {
-            continue;
-        }
-        let pairs = as_pairs.get(&asn).unwrap_or(&empty);
-        // 2. Alias-resolve all its observed interfaces.
-        let mut addrs: BTreeSet<Ipv4Addr> = pairs.iter().map(|&(a, _)| a).collect();
-        for &(a, _) in lan_ifaces.get(&asn).map(Vec::as_slice).unwrap_or(&[]) {
-            addrs.insert(a);
-        }
-        let iface_ids: Vec<opeer_topology::IfaceId> = addrs
-            .iter()
-            .filter_map(|&a| input.world.iface_by_addr(a))
-            .collect();
-        let sets = resolve(input.world, &iface_ids, alias_cfg);
-
-        // 3. Group interfaces per resolved router; singletons stay alone.
-        let mut groups: BTreeMap<usize, Vec<Ipv4Addr>> = BTreeMap::new();
-        let mut singles: Vec<Ipv4Addr> = Vec::new();
-        for &a in &addrs {
-            match input.world.iface_by_addr(a).and_then(|i| sets.group_of(i)) {
-                Some(g) => groups.entry(g).or_default().push(a),
-                None => singles.push(a),
-            }
-        }
-        let mut all_groups: Vec<Vec<Ipv4Addr>> = groups.into_values().collect();
-        all_groups.extend(singles.into_iter().map(|a| vec![a]));
-
-        for group in all_groups {
-            // IXPs this group faces: pair-derived next hops + the IXPs of
-            // its own LAN addresses.
-            let mut next_hop: BTreeSet<usize> = BTreeSet::new();
-            for &a in &group {
-                for &(pa, ixp) in pairs {
-                    if pa == a {
-                        next_hop.insert(ixp);
-                    }
-                }
-                if let Some((ixp, owner)) = input.observed.member_of_addr(a) {
-                    if owner == asn {
-                        next_hop.insert(ixp);
-                    }
-                }
-            }
-            if next_hop.len() < 2 {
-                continue;
-            }
-
-            let class = classify(input, asn, &next_hop, details, ledger, &lan_ifaces);
-            // 4. Propagate: in pipeline mode only to unknown memberships;
-            //    in standalone mode every involved interface gets the
-            //    step's own verdict (Table 4 semantics).
-            if let Some((class, verdicts)) = &class {
-                for (ixp, verdict) in verdicts {
-                    if let Some(lans) = lan_ifaces.get(&asn) {
-                        for &(addr, lan_ixp) in lans {
-                            if lan_ixp != *ixp {
-                                continue;
-                            }
-                            let inf = Inference {
-                                addr,
-                                ixp: *ixp,
-                                asn,
-                                verdict: *verdict,
-                                step: Step::MultiIxp,
-                                evidence: format!(
-                                    "{class:?} multi-IXP router facing {} IXPs",
-                                    next_hop.len()
-                                ),
-                            };
-                            if let Some(sink) = collect_all.as_deref_mut() {
-                                sink.push(inf.clone());
-                            }
-                            if !ledger.known(addr) {
-                                ledger.record(inf);
-                            }
-                        }
-                    }
-                }
-            }
-            findings.push(MultiIxpFinding {
-                asn,
-                ifaces: group,
-                next_hop_ixps: next_hop,
-                class: class.map(|(c, _)| c),
-            });
-        }
-    }
-    findings
-}
-
 /// Applies the three classification rules. Returns the class and the
-/// per-IXP verdicts to propagate.
+/// per-IXP verdicts to propagate. `local` overlays the candidate's own
+/// not-yet-committed verdicts on top of `priors`.
 #[allow(clippy::type_complexity)]
 fn classify(
     input: &InferenceInput<'_>,
     asn: Asn,
     involved: &BTreeSet<usize>,
     details: &BTreeMap<Ipv4Addr, Step3Detail>,
-    ledger: &Ledger,
+    priors: &Ledger,
+    local: &BTreeMap<Ipv4Addr, Inference>,
     lan_ifaces: &BTreeMap<Asn, Vec<(Ipv4Addr, usize)>>,
 ) -> Option<(RouterClass, Vec<(usize, Verdict)>)> {
+    let verdict_of = |addr: Ipv4Addr| -> Option<Verdict> {
+        priors
+            .verdict(addr)
+            .or_else(|| local.get(&addr).map(|i| i.verdict))
+    };
     // Prior verdicts of this AS at the involved IXPs, with their annuli.
     let mut prior: BTreeMap<usize, (Verdict, Option<Step3Detail>)> = BTreeMap::new();
     if let Some(lans) = lan_ifaces.get(&asn) {
@@ -257,7 +394,7 @@ fn classify(
             if !involved.contains(&ixp) {
                 continue;
             }
-            if let Some(v) = ledger.verdict(addr) {
+            if let Some(v) = verdict_of(addr) {
                 prior.insert(ixp, (v, details.get(&addr).copied()));
             }
         }

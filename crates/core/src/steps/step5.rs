@@ -39,18 +39,37 @@ const LOCAL_SCORE_FLOOR: f64 = 0.30;
 const REMOTE_DOMINANCE: f64 = 2.0;
 
 /// The private-adjacency evidence harvested from the corpus.
+#[derive(Default)]
 pub struct PrivateEvidence {
     neighbor_addrs: BTreeMap<Asn, Vec<(Ipv4Addr, Asn)>>,
 }
 
+impl PrivateEvidence {
+    /// Appends another chunk's adjacencies. Per-ASN witness lists are
+    /// kept in corpus order, so absorbing chunks in corpus-chunk order
+    /// reproduces exactly what one sequential scan builds.
+    pub fn absorb(&mut self, other: PrivateEvidence) {
+        for (asn, mut addrs) in other.neighbor_addrs {
+            self.neighbor_addrs
+                .entry(asn)
+                .or_default()
+                .append(&mut addrs);
+        }
+    }
+}
+
 /// Harvests private AS adjacencies (with their witnessing interface
-/// addresses) from the traceroute corpus.
-pub fn harvest(input: &InferenceInput<'_>) -> PrivateEvidence {
-    let data = ixp_data(input);
+/// addresses) from a contiguous range of the traceroute corpus — the
+/// corpus-scan task of the parallel engine.
+pub fn harvest_chunk(
+    input: &InferenceInput<'_>,
+    data: &opeer_traix::IxpData,
+    range: std::ops::Range<usize>,
+) -> PrivateEvidence {
     let mut neighbor_addrs: BTreeMap<Asn, Vec<(Ipv4Addr, Asn)>> = BTreeMap::new();
-    for tr in &input.corpus {
+    for tr in &input.corpus[range] {
         let hops: Vec<Option<Ipv4Addr>> = tr.hops.iter().map(|h| h.map(|s| s.addr)).collect();
-        for link in private_as_links(&hops, &data, &input.ip2as) {
+        for link in private_as_links(&hops, data, &input.ip2as) {
             // Both directions: each side's interface witnesses the link.
             neighbor_addrs
                 .entry(link.a)
@@ -63,6 +82,12 @@ pub fn harvest(input: &InferenceInput<'_>) -> PrivateEvidence {
         }
     }
     PrivateEvidence { neighbor_addrs }
+}
+
+/// Harvests the full corpus with one sequential scan.
+pub fn harvest(input: &InferenceInput<'_>) -> PrivateEvidence {
+    let data = ixp_data(input);
+    harvest_chunk(input, &data, 0..input.corpus.len())
 }
 
 /// Classifies one member interface through the facility vote. Returns
@@ -161,31 +186,59 @@ pub fn classify_interface(
     None // ambiguous vote: leave to no-inference
 }
 
-/// Applies step 5 to every observed member interface still unknown.
-/// Returns the number of new inferences.
-pub fn apply(input: &InferenceInput<'_>, alias_cfg: &AliasConfig, ledger: &mut Ledger) -> usize {
-    let evidence = harvest(input);
-    let mut new = 0;
-    for (ixp_idx, ixp) in input.observed.ixps.iter().enumerate() {
+/// Proposes step-5 inferences for a contiguous range of observed IXP
+/// indices, against a frozen view of the ledger — the per-shard task of
+/// the parallel engine. `classify_interface` never reads the ledger and
+/// every LAN address is visited exactly once, so the known-check only
+/// depends on steps 1–4 state: proposing per shard and committing in
+/// shard order is identical to one sequential pass.
+pub fn propose_for_ixps(
+    input: &InferenceInput<'_>,
+    evidence: &PrivateEvidence,
+    alias_cfg: &AliasConfig,
+    ixps: std::ops::Range<usize>,
+    ledger: &Ledger,
+) -> Vec<Inference> {
+    let mut proposals = Vec::new();
+    for ixp_idx in ixps {
+        let ixp = &input.observed.ixps[ixp_idx];
         for (&lan_addr, &asn) in &ixp.interfaces {
             if ledger.known(lan_addr) {
                 continue;
             }
             let Some((verdict, why)) =
-                classify_interface(input, &evidence, alias_cfg, ixp_idx, lan_addr, asn)
+                classify_interface(input, evidence, alias_cfg, ixp_idx, lan_addr, asn)
             else {
                 continue;
             };
-            if ledger.record(Inference {
+            proposals.push(Inference {
                 addr: lan_addr,
                 ixp: ixp_idx,
                 asn,
                 verdict,
                 step: Step::PrivateLinks,
                 evidence: why,
-            }) {
-                new += 1;
-            }
+            });
+        }
+    }
+    proposals
+}
+
+/// Applies step 5 to every observed member interface still unknown.
+/// Returns the number of new inferences.
+pub fn apply(input: &InferenceInput<'_>, alias_cfg: &AliasConfig, ledger: &mut Ledger) -> usize {
+    let evidence = harvest(input);
+    let proposals = propose_for_ixps(
+        input,
+        &evidence,
+        alias_cfg,
+        0..input.observed.ixps.len(),
+        ledger,
+    );
+    let mut new = 0;
+    for inf in proposals {
+        if ledger.record(inf) {
+            new += 1;
         }
     }
     new

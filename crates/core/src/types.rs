@@ -60,7 +60,7 @@ impl fmt::Display for Step {
 }
 
 /// One inference record: an interface of a member at an IXP, classified.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Inference {
     /// The member's peering-LAN interface address.
     pub addr: Ipv4Addr,
@@ -77,7 +77,7 @@ pub struct Inference {
 }
 
 /// A member interface that no step could classify.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Unclassified {
     /// The interface address.
     pub addr: Ipv4Addr,

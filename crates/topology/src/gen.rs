@@ -167,6 +167,20 @@ impl WorldConfig {
         }
     }
 
+    /// A large world for scaling studies: ~half paper scale — big enough
+    /// that the parallel engine's fan-out is measurable, small enough to
+    /// assemble in seconds rather than the paper world's half minute.
+    pub fn large(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            scale: 0.5,
+            n_small_ixps: 300,
+            n_background_ases: 800,
+            n_switchers: 12,
+            ..Default::default()
+        }
+    }
+
     /// Generates the world.
     pub fn generate(&self) -> World {
         Gen::new(self.clone()).run()

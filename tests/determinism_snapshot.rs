@@ -72,3 +72,30 @@ fn ledger_is_stable_across_reruns() {
     };
     assert_eq!(run(), run());
 }
+
+/// The parallel engine, at whatever thread count `OPEER_THREADS`
+/// selects (CI runs this under a 1/2/8 matrix), must reproduce both the
+/// pinned ledger and the sequential result byte for byte.
+#[test]
+fn parallel_engine_matches_pinned_ledger_under_env_threads() {
+    let world = WorldConfig::small(SEED).generate();
+    let input = InferenceInput::assemble(&world, SEED);
+    let sequential = run_pipeline(&input, &PipelineConfig::default());
+
+    let par = ParallelConfig::from_env();
+    let result = run_pipeline_parallel(&input, &PipelineConfig::default(), &par);
+
+    let actual = ledger(&result);
+    assert_eq!(
+        (actual.as_slice(), result.unclassified.len()),
+        (EXPECTED_LEDGER, EXPECTED_UNCLASSIFIED),
+        "parallel ledger drifted at {} threads; actual: {actual:?}, unclassified: {}",
+        par.threads,
+        result.unclassified.len()
+    );
+    assert_eq!(
+        result, sequential,
+        "parallel result diverged from sequential at {} threads",
+        par.threads
+    );
+}

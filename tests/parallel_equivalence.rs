@@ -1,0 +1,104 @@
+//! Parallel/sequential equivalence of the sharded inference engine.
+//!
+//! The engine's contract is exact: for any world, any seed, and any
+//! thread count, `run_pipeline_parallel` must produce a byte-identical
+//! `PipelineResult` to the sequential `run_pipeline` — same inferences
+//! in the same order, same diagnostics, same per-step counts. The
+//! proptest below drives that over generated worlds; the merge tests
+//! pin the deterministic shard-merge ordering the engine relies on.
+
+use opeer::core::steps::Ledger;
+use opeer::prelude::*;
+use proptest::prelude::*;
+
+/// A deliberately tiny world so the 64-case budget (proptest.toml)
+/// stays cheap: world generation and input assembly dominate each case,
+/// not the pipeline itself. The structure (37 named IXPs, resellers,
+/// multi-IXP routers, PNIs) is the same as `WorldConfig::small`.
+fn tiny_world(seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::small(seed);
+    cfg.scale = 0.02;
+    cfg.n_small_ixps = 6;
+    cfg.n_background_ases = 50;
+    cfg.n_switchers = 2;
+    cfg
+}
+
+proptest! {
+    // Case count comes from proptest.toml (PROPTEST_CASES overrides);
+    // each case covers world generation, assembly, the sequential
+    // reference and two engine configurations.
+    #[test]
+    fn parallel_equals_sequential_for_any_seed(
+        seed in 0u64..10_000,
+        threads in 2usize..=8,
+    ) {
+        let world = tiny_world(seed).generate();
+        let input = InferenceInput::assemble(&world, seed);
+        let cfg = PipelineConfig::default();
+        let sequential = run_pipeline(&input, &cfg);
+        for n in [1, threads] {
+            let parallel = run_pipeline_parallel(&input, &cfg, &ParallelConfig::new(n));
+            prop_assert_eq!(
+                &parallel,
+                &sequential,
+                "engine with {} threads diverged on seed {}",
+                n,
+                seed
+            );
+        }
+    }
+}
+
+#[test]
+fn shard_merge_order_decides_address_conflicts() {
+    // Two shards claiming the same address: the shard absorbed first
+    // must win, and the merged ledger must match what a sequential pass
+    // over shard-0-then-shard-1 work would record.
+    let inf = |addr: &str, ixp: usize, verdict: Verdict| Inference {
+        addr: addr.parse().expect("valid address"),
+        ixp,
+        asn: opeer::net::Asn::new(64_000),
+        verdict,
+        step: Step::PortCapacity,
+        evidence: String::new(),
+    };
+    let mut shard0 = Ledger::new();
+    shard0.record(inf("185.0.0.10", 0, Verdict::Remote));
+    shard0.record(inf("185.0.0.11", 0, Verdict::Local));
+    let mut shard1 = Ledger::new();
+    shard1.record(inf("185.0.0.10", 1, Verdict::Local));
+
+    let mut merged = Ledger::new();
+    assert_eq!(merged.absorb(shard0), 2);
+    assert_eq!(
+        merged.absorb(shard1),
+        0,
+        "conflicting entry must be dropped"
+    );
+
+    let winner = merged
+        .get("185.0.0.10".parse().expect("valid address"))
+        .expect("address classified");
+    assert_eq!(winner.verdict, Verdict::Remote);
+    assert_eq!(winner.ixp, 0, "shard 0 (lower IXP range) must win");
+    // Output iteration stays address-sorted after the merge.
+    let addrs: Vec<_> = merged.all().map(|i| i.addr).collect();
+    let mut sorted = addrs.clone();
+    sorted.sort();
+    assert_eq!(addrs, sorted);
+}
+
+#[test]
+fn engine_thread_count_does_not_leak_into_result() {
+    // Same input, sweep of pool sizes (including more threads than
+    // shards): every result must be identical to every other.
+    let world = WorldConfig::small(4242).generate();
+    let input = InferenceInput::assemble(&world, 4242);
+    let cfg = PipelineConfig::default();
+    let reference = run_pipeline_parallel(&input, &cfg, &ParallelConfig::new(1));
+    for threads in [2, 3, 5, 16, 64] {
+        let r = run_pipeline_parallel(&input, &cfg, &ParallelConfig::new(threads));
+        assert_eq!(r, reference, "thread count {threads} changed the result");
+    }
+}
