@@ -1,6 +1,6 @@
 //! # opeer-alias — MIDAR-style alias resolution
 //!
-//! §5.2 step 4 maps interfaces to routers with MIDAR [55] (IP-ID based)
+//! §5.2 step 4 maps interfaces to routers with MIDAR \[55\] (IP-ID based)
 //! plus iffinder, deliberately choosing the conservative dataset "to
 //! favor accuracy over completeness" over the kapar-extended one
 //! (footnote 8). This crate implements the same trade-off:

@@ -1,0 +1,56 @@
+//! Thread-scaling benchmark for parallel measurement assembly:
+//! `InferenceInput::assemble` (sequential) vs `assemble_parallel` at
+//! 1/2/4/8 worker threads, plus the overlapped
+//! `assemble_and_run_parallel` end-to-end path, on the small world
+//! (fast smoke numbers) and on `WorldConfig::large` (full paper member
+//! scale, where corpus tracing dominates and the fan-out pays off).
+//!
+//! For the machine-readable report (speedups + identity gates) use
+//! `run_experiments --bench-pipeline`, which writes
+//! `BENCH_pipeline.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use opeer_bench::DEFAULT_THREAD_SWEEP;
+use opeer_core::engine::{assemble_and_run_parallel, ParallelConfig};
+use opeer_core::pipeline::PipelineConfig;
+use opeer_core::InferenceInput;
+use opeer_topology::{World, WorldConfig};
+
+fn sweep(c: &mut Criterion, label: &str, world: &World, seed: u64, samples: usize) {
+    let cfg = PipelineConfig::default();
+    let mut group = c.benchmark_group(label);
+    group.sample_size(samples);
+    group.bench_function("sequential", |b| {
+        b.iter(|| InferenceInput::assemble(black_box(world), seed))
+    });
+    for &threads in DEFAULT_THREAD_SWEEP {
+        let par = ParallelConfig::new(threads);
+        group.bench_function(&format!("threads/{threads}"), |b| {
+            b.iter(|| InferenceInput::assemble_parallel(black_box(world), seed, &par))
+        });
+    }
+    // The overlapped path folds inference in; bench it at the sweep's
+    // widest pool so the corpus/steps-1–3 overlap is visible.
+    let par = ParallelConfig::new(*DEFAULT_THREAD_SWEEP.last().expect("non-empty sweep"));
+    group.bench_function("overlapped_e2e/8", |b| {
+        b.iter(|| assemble_and_run_parallel(black_box(world), seed, &cfg, &par))
+    });
+    group.finish();
+}
+
+fn bench_assembly_small(c: &mut Criterion) {
+    let world = WorldConfig::small(42).generate();
+    sweep(c, "assembly_scaling_small", &world, 42, 10);
+}
+
+fn bench_assembly_large(c: &mut Criterion) {
+    let world = WorldConfig::large(42).generate();
+    sweep(c, "assembly_scaling_large", &world, 42, 5);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_assembly_small, bench_assembly_large
+}
+criterion_main!(benches);

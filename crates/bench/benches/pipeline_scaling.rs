@@ -7,12 +7,11 @@
 //! `run_experiments --bench-pipeline`, which writes `BENCH_pipeline.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use opeer_bench::DEFAULT_THREAD_SWEEP;
 use opeer_core::engine::{run_pipeline_parallel, ParallelConfig};
 use opeer_core::pipeline::{run_pipeline, PipelineConfig};
 use opeer_core::InferenceInput;
 use opeer_topology::{World, WorldConfig};
-
-const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
 
 fn sweep(c: &mut Criterion, label: &str, world: &World, seed: u64, samples: usize) {
     let input = InferenceInput::assemble(world, seed);
@@ -22,7 +21,7 @@ fn sweep(c: &mut Criterion, label: &str, world: &World, seed: u64, samples: usiz
     group.bench_function("sequential", |b| {
         b.iter(|| run_pipeline(black_box(&input), &cfg))
     });
-    for &threads in THREAD_SWEEP {
+    for &threads in DEFAULT_THREAD_SWEEP {
         let par = ParallelConfig::new(threads);
         group.bench_function(&format!("threads/{threads}"), |b| {
             b.iter(|| run_pipeline_parallel(black_box(&input), &cfg, &par))

@@ -11,11 +11,15 @@
 //! stdout. The default output directory is `target/experiments`.
 //!
 //! Bench mode sweeps the sharded parallel engine over 1/2/4/8 worker
-//! threads against the sequential reference, writes the machine-readable
-//! report to `<out>/BENCH_pipeline.json`, and **exits non-zero if any
-//! parallel run is not byte-identical to the sequential one** (this is
-//! the check CI's bench-smoke job enforces). Bench mode defaults to
-//! `--scale large`; experiment mode defaults to `--scale paper`.
+//! threads against the sequential reference — three phases: measurement
+//! assembly (`assemble_parallel`), inference (`run_pipeline_parallel`),
+//! and the overlapped end-to-end path (`assemble_and_run_parallel`) —
+//! writes the machine-readable report to `<out>/BENCH_pipeline.json`
+//! (schema `opeer-bench-pipeline/2`, documented in the README), and
+//! **exits non-zero if any parallel run is not byte-identical to its
+//! sequential reference** (this is the check CI's bench-smoke job
+//! enforces). Bench mode defaults to `--scale large`; experiment mode
+//! defaults to `--scale paper`.
 
 use opeer_bench::{run_all, run_scaling_study, Session, DEFAULT_THREAD_SWEEP};
 use opeer_topology::WorldConfig;
@@ -109,15 +113,27 @@ fn run_bench_pipeline(args: &Args) -> ! {
         args.bench_samples,
     );
 
-    println!(
-        "sequential        [{:8.3} {:8.3} {:8.3}] ms",
-        report.sequential_ms.min, report.sequential_ms.mean, report.sequential_ms.max
-    );
-    for p in &report.points {
+    for (phase, scaling) in [
+        ("assembly", &report.assembly),
+        ("pipeline", &report.pipeline),
+        ("end-to-end", &report.end_to_end),
+    ] {
+        println!("[{phase}]");
         println!(
-            "threads={:<2}        [{:8.3} {:8.3} {:8.3}] ms  speedup {:.2}x  identical={}",
-            p.threads, p.timing_ms.min, p.timing_ms.mean, p.timing_ms.max, p.speedup, p.identical
+            "  sequential      [{:8.3} {:8.3} {:8.3}] ms",
+            scaling.sequential_ms.min, scaling.sequential_ms.mean, scaling.sequential_ms.max
         );
+        for p in &scaling.points {
+            println!(
+                "  threads={:<2}      [{:8.3} {:8.3} {:8.3}] ms  speedup {:.2}x  identical={}",
+                p.threads,
+                p.timing_ms.min,
+                p.timing_ms.mean,
+                p.timing_ms.max,
+                p.speedup,
+                p.identical
+            );
+        }
     }
 
     std::fs::create_dir_all(&args.out).expect("create output directory");

@@ -10,12 +10,25 @@
 //! ```
 //!
 //! Criterion benchmarks (`cargo bench -p opeer-bench`) time the substrate
-//! hot paths, the pipeline stages, and every experiment at test scale.
+//! hot paths, the pipeline stages, measurement assembly, and every
+//! experiment at test scale.
+//!
+//! ## Key types and entry points
+//!
+//! * [`Session`] — one world's assembled inputs, control campaign,
+//!   pipeline result, and baseline, shared by every experiment.
+//! * [`run_all`] — renders each experiment into a [`Rendered`]
+//!   (`.txt` + `.json` pair) for the `run_experiments` binary.
+//! * [`run_scaling_study`] / [`ScalingReport`] — the engine scaling
+//!   study behind `run_experiments --bench-pipeline`: assembly,
+//!   pipeline, and overlapped end-to-end sweeps with byte-identity
+//!   gates, serialised as `BENCH_pipeline.json` (schema documented in
+//!   the README).
 
 pub mod experiments;
 pub mod scaling;
 pub mod session;
 
 pub use experiments::{run_all, Rendered};
-pub use scaling::{run_scaling_study, ScalingReport, DEFAULT_THREAD_SWEEP};
+pub use scaling::{run_scaling_study, PhaseScaling, ScalingReport, DEFAULT_THREAD_SWEEP};
 pub use session::Session;

@@ -1,12 +1,15 @@
-//! The pipeline scaling study: sequential vs the sharded parallel
-//! engine at several thread counts, with a byte-identity check and a
-//! machine-readable report (`BENCH_pipeline.json`).
+//! The engine scaling study: sequential vs the sharded parallel engine
+//! at several thread counts — for the inference pipeline, for
+//! measurement assembly, and for the overlapped end-to-end path — with
+//! byte-identity checks and a machine-readable report
+//! (`BENCH_pipeline.json`, schema `opeer-bench-pipeline/2`).
 //!
-//! Used by the `pipeline_scaling` criterion bench and by
-//! `run_experiments --bench-pipeline` (which is what CI's bench-smoke
-//! job runs and archives).
+//! Used by the `pipeline_scaling` / `assembly_scaling` criterion
+//! benches and by `run_experiments --bench-pipeline` (which is what
+//! CI's bench-smoke job runs and archives). The README documents the
+//! report schema field by field.
 
-use opeer_core::engine::{run_pipeline_parallel, ParallelConfig};
+use opeer_core::engine::{assemble_and_run_parallel, run_pipeline_parallel, ParallelConfig};
 use opeer_core::pipeline::{run_pipeline, PipelineConfig};
 use opeer_core::InferenceInput;
 use opeer_topology::World;
@@ -36,18 +39,39 @@ impl TimingMs {
     }
 }
 
-/// One thread count's measurements.
+/// One thread count's measurements for one studied phase.
 #[derive(Debug, Clone, Serialize)]
 pub struct ThreadPoint {
     /// Worker threads used.
     pub threads: usize,
-    /// Wall-clock stats of `run_pipeline_parallel`.
+    /// Wall-clock stats of the parallel run.
     pub timing_ms: TimingMs,
     /// `min(sequential) / min(parallel)` — the conventional best-vs-best
     /// scaling ratio.
     pub speedup: f64,
     /// Whether the parallel result was byte-identical to sequential.
     pub identical: bool,
+}
+
+/// One studied phase: its sequential reference and the thread sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseScaling {
+    /// Sequential reference stats.
+    pub sequential_ms: TimingMs,
+    /// One point per swept thread count.
+    pub points: Vec<ThreadPoint>,
+    /// Whether every parallel run of this phase matched sequential.
+    pub all_identical: bool,
+}
+
+impl PhaseScaling {
+    /// Speedup at a given thread count, if it was swept.
+    pub fn speedup_at(&self, threads: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.threads == threads)
+            .map(|p| p.speedup)
+    }
 }
 
 /// The full study report, serialised as `BENCH_pipeline.json`.
@@ -69,27 +93,69 @@ pub struct ScalingReport {
     pub samples: usize,
     /// The machine's available parallelism when the study ran.
     pub host_parallelism: usize,
-    /// Sequential `run_pipeline` stats.
-    pub sequential_ms: TimingMs,
-    /// One point per swept thread count.
-    pub points: Vec<ThreadPoint>,
-    /// Whether every parallel run matched sequential byte-for-byte.
+    /// Measurement assembly: `InferenceInput::assemble` vs
+    /// `assemble_parallel` (registry fusion + campaign + corpus +
+    /// `prefix2as` sharded over the pool).
+    pub assembly: PhaseScaling,
+    /// The five-step inference: `run_pipeline` vs
+    /// `run_pipeline_parallel`.
+    pub pipeline: PhaseScaling,
+    /// End to end: sequential `assemble` + `run_pipeline` vs the
+    /// overlapped `assemble_and_run_parallel` (corpus tracing runs
+    /// under steps 1–3).
+    pub end_to_end: PhaseScaling,
+    /// Whether every parallel run in every phase matched its sequential
+    /// reference byte for byte — the gate `run_experiments
+    /// --bench-pipeline` enforces with its exit code.
     pub all_identical: bool,
 }
 
 impl ScalingReport {
-    /// Speedup at a given thread count, if it was swept.
+    /// Pipeline speedup at a given thread count, if it was swept.
     pub fn speedup_at(&self, threads: usize) -> Option<f64> {
-        self.points
-            .iter()
-            .find(|p| p.threads == threads)
-            .map(|p| p.speedup)
+        self.pipeline.speedup_at(threads)
     }
 }
 
-/// Runs the study: `samples` timed runs of sequential `run_pipeline`,
-/// then `samples` runs of the parallel engine per thread count, each
-/// checked byte-for-byte against the sequential result.
+/// Times `samples` runs of `f`, keeping the last result. `audit` runs
+/// on every sample's result **outside** the timed window — identity
+/// checks (a deep walk of the whole artifact set) must not be charged
+/// to the parallel runs they audit, or every reported speedup would be
+/// biased downward. The previous sample is likewise dropped before the
+/// clock starts.
+fn timed_audited<R>(
+    samples: usize,
+    mut f: impl FnMut() -> R,
+    mut audit: impl FnMut(&R) -> bool,
+) -> (TimingMs, bool, R) {
+    let mut times = Vec::with_capacity(samples);
+    let mut ok = true;
+    let mut last = None;
+    for _ in 0..samples {
+        drop(last.take());
+        let t0 = Instant::now();
+        let r = f();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        ok &= audit(&r);
+        last = Some(r);
+    }
+    (
+        TimingMs::from_samples(&times),
+        ok,
+        last.expect("samples >= 1"),
+    )
+}
+
+/// Times `samples` runs of `f` with no audit.
+fn timed<R>(samples: usize, f: impl FnMut() -> R) -> (TimingMs, R) {
+    let (timing, _, last) = timed_audited(samples, f, |_| true);
+    (timing, last)
+}
+
+/// Runs the study: for each of the three phases (assembly, pipeline,
+/// end-to-end), `samples` timed sequential runs, then `samples` timed
+/// parallel runs per thread count, each checked byte-for-byte against
+/// the sequential reference.
 pub fn run_scaling_study(
     world_label: &str,
     world: &World,
@@ -98,43 +164,87 @@ pub fn run_scaling_study(
     samples: usize,
 ) -> ScalingReport {
     let samples = samples.max(1);
-    let input = InferenceInput::assemble(world, seed);
     let cfg = PipelineConfig::default();
 
-    let mut seq_samples = Vec::with_capacity(samples);
-    let mut sequential = None;
-    for _ in 0..samples {
-        let t0 = Instant::now();
-        let r = run_pipeline(&input, &cfg);
-        seq_samples.push(t0.elapsed().as_secs_f64() * 1e3);
-        sequential = Some(r);
-    }
-    let sequential = sequential.expect("samples >= 1");
-    let sequential_ms = TimingMs::from_samples(&seq_samples);
-
-    let mut points = Vec::with_capacity(thread_sweep.len());
+    // ---- assembly ----
+    let (assembly_seq_ms, input) = timed(samples, || InferenceInput::assemble(world, seed));
+    let mut assembly_points = Vec::with_capacity(thread_sweep.len());
     for &threads in thread_sweep {
-        let par_cfg = ParallelConfig::new(threads);
-        let mut par_samples = Vec::with_capacity(samples);
-        let mut identical = true;
-        for _ in 0..samples {
-            let t0 = Instant::now();
-            let r = run_pipeline_parallel(&input, &cfg, &par_cfg);
-            par_samples.push(t0.elapsed().as_secs_f64() * 1e3);
-            identical &= r == sequential;
-        }
-        let timing_ms = TimingMs::from_samples(&par_samples);
-        points.push(ThreadPoint {
+        let par = ParallelConfig::new(threads);
+        let (timing_ms, identical, _) = timed_audited(
+            samples,
+            || InferenceInput::assemble_parallel(world, seed, &par),
+            |r| r.content_eq(&input),
+        );
+        assembly_points.push(ThreadPoint {
             threads,
             timing_ms,
-            speedup: sequential_ms.min / timing_ms.min.max(f64::EPSILON),
+            speedup: assembly_seq_ms.min / timing_ms.min.max(f64::EPSILON),
             identical,
         });
     }
+    let assembly = PhaseScaling {
+        sequential_ms: assembly_seq_ms,
+        all_identical: assembly_points.iter().all(|p| p.identical),
+        points: assembly_points,
+    };
 
-    let all_identical = points.iter().all(|p| p.identical);
+    // ---- pipeline ----
+    let (pipeline_seq_ms, sequential) = timed(samples, || run_pipeline(&input, &cfg));
+    let mut pipeline_points = Vec::with_capacity(thread_sweep.len());
+    for &threads in thread_sweep {
+        let par = ParallelConfig::new(threads);
+        let (timing_ms, identical, _) = timed_audited(
+            samples,
+            || run_pipeline_parallel(&input, &cfg, &par),
+            |r| *r == sequential,
+        );
+        pipeline_points.push(ThreadPoint {
+            threads,
+            timing_ms,
+            speedup: pipeline_seq_ms.min / timing_ms.min.max(f64::EPSILON),
+            identical,
+        });
+    }
+    let pipeline = PhaseScaling {
+        sequential_ms: pipeline_seq_ms,
+        all_identical: pipeline_points.iter().all(|p| p.identical),
+        points: pipeline_points,
+    };
+
+    // ---- end to end (overlapped) ----
+    // Sequential reference = assemble + infer back to back; its timing
+    // is the sum of the phases already measured.
+    let e2e_seq_ms = TimingMs {
+        min: assembly.sequential_ms.min + pipeline.sequential_ms.min,
+        mean: assembly.sequential_ms.mean + pipeline.sequential_ms.mean,
+        max: assembly.sequential_ms.max + pipeline.sequential_ms.max,
+    };
+    let mut e2e_points = Vec::with_capacity(thread_sweep.len());
+    for &threads in thread_sweep {
+        let par = ParallelConfig::new(threads);
+        let (timing_ms, identical, _) = timed_audited(
+            samples,
+            || assemble_and_run_parallel(world, seed, &cfg, &par),
+            |(i, r)| i.content_eq(&input) && *r == sequential,
+        );
+        e2e_points.push(ThreadPoint {
+            threads,
+            timing_ms,
+            speedup: e2e_seq_ms.min / timing_ms.min.max(f64::EPSILON),
+            identical,
+        });
+    }
+    let end_to_end = PhaseScaling {
+        sequential_ms: e2e_seq_ms,
+        all_identical: e2e_points.iter().all(|p| p.identical),
+        points: e2e_points,
+    };
+
+    let all_identical =
+        assembly.all_identical && pipeline.all_identical && end_to_end.all_identical;
     ScalingReport {
-        schema: "opeer-bench-pipeline/1",
+        schema: "opeer-bench-pipeline/2",
         world: world_label.to_string(),
         seed,
         ixps: input.observed.ixps.len(),
@@ -142,8 +252,9 @@ pub fn run_scaling_study(
         inferences: sequential.inferences.len(),
         samples,
         host_parallelism: ParallelConfig::available_parallelism(),
-        sequential_ms,
-        points,
+        assembly,
+        pipeline,
+        end_to_end,
         all_identical,
     }
 }
@@ -157,11 +268,21 @@ mod tests {
     fn study_reports_identical_results_on_small_world() {
         let world = WorldConfig::small(7).generate();
         let report = run_scaling_study("small", &world, 7, &[1, 2], 1);
-        assert!(report.all_identical, "parallel diverged from sequential");
-        assert_eq!(report.points.len(), 2);
+        assert!(report.all_identical, "a parallel phase diverged");
+        assert!(report.assembly.all_identical);
+        assert!(report.pipeline.all_identical);
+        assert!(report.end_to_end.all_identical);
+        assert_eq!(report.pipeline.points.len(), 2);
+        assert_eq!(report.assembly.points.len(), 2);
+        assert_eq!(report.end_to_end.points.len(), 2);
         assert!(report.speedup_at(2).is_some());
-        assert!(report.sequential_ms.min > 0.0);
+        assert!(report.assembly.speedup_at(2).is_some());
+        assert!(report.pipeline.sequential_ms.min > 0.0);
+        assert!(report.assembly.sequential_ms.min > 0.0);
         let json = serde_json::to_string(&report).expect("report serialises");
         assert!(json.contains("\"schema\":"));
+        assert!(json.contains("opeer-bench-pipeline/2"));
+        assert!(json.contains("\"assembly\":"));
+        assert!(json.contains("\"end_to_end\":"));
     }
 }

@@ -5,7 +5,8 @@
 //! experiments share one [`Session`] instead of rebuilding per figure.
 
 use opeer_core::baseline::{run_baseline, DEFAULT_THRESHOLD_MS};
-use opeer_core::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
+use opeer_core::engine::{assemble_and_run_parallel, ParallelConfig};
+use opeer_core::pipeline::{PipelineConfig, PipelineResult};
 use opeer_core::types::Inference;
 use opeer_core::InferenceInput;
 use opeer_measure::campaign::{run_control_campaign, CampaignConfig, CampaignResult};
@@ -29,12 +30,19 @@ pub struct Session<'w> {
 }
 
 impl<'w> Session<'w> {
-    /// Builds the session: assembles inputs, runs the control campaign,
-    /// the pipeline and the baseline.
+    /// Builds the session: assembles inputs and runs the pipeline on the
+    /// engine's worker pool (`OPEER_THREADS` sizes it; the overlapped
+    /// path is byte-identical to the sequential one, so every experiment
+    /// sees the exact artifacts a sequential session would), then the
+    /// control campaign and the baseline.
     pub fn new(world: &'w World, seed: u64) -> Self {
-        let input = InferenceInput::assemble(world, seed);
+        let (input, result) = assemble_and_run_parallel(
+            world,
+            seed,
+            &PipelineConfig::default(),
+            &ParallelConfig::from_env(),
+        );
         let control = run_control_campaign(world, CampaignConfig::control(seed));
-        let result = run_pipeline(&input, &PipelineConfig::default());
         let baseline = run_baseline(&input, DEFAULT_THRESHOLD_MS);
         Session {
             world,

@@ -43,6 +43,11 @@ use crate::steps::step2::RttObservation;
 use crate::steps::step3::Step3Detail;
 use crate::steps::{step1, step2, step3, step4, step5, Ledger};
 use crate::types::Unclassified;
+use opeer_measure::campaign::CampaignConfig;
+use opeer_measure::latency::LatencyModel;
+use opeer_measure::traceroute::{plan_corpus, CorpusConfig, TracerouteEngine};
+use opeer_registry::RegistryConfig;
+use opeer_topology::World;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -96,7 +101,15 @@ impl Default for ParallelConfig {
 
 /// Splits `0..n` into at most `k` contiguous, nearly equal, non-empty
 /// ranges (fewer when `n < k`; none when `n == 0`).
-fn shard_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+///
+/// This and [`map_indexed`] are the engine's generic shard-scheduling
+/// primitives: any workload whose items are independent along some axis
+/// can cut that axis into ranges here, run them via [`map_indexed`],
+/// and merge the per-range results in range order for a
+/// schedule-independent total. The pipeline phases, the parallel
+/// measurement assembly ([`crate::input::InferenceInput::assemble_parallel`]),
+/// and future parameter sweeps all shard through this one function.
+pub fn shard_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
     let k = k.max(1);
     if n == 0 {
         return Vec::new();
@@ -118,8 +131,14 @@ fn shard_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
 /// returns the results **in index order**, regardless of which worker
 /// finished first. Workers pull task indices from a shared atomic
 /// counter (dynamic load balancing) and deposit each result into its
-/// own slot, so scheduling cannot perturb the output.
-fn map_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+/// own slot, so scheduling cannot perturb the output. With `threads <=
+/// 1` it degenerates to a plain in-place map — no threads are spawned.
+///
+/// `f` must be pure with respect to shared state (reads are fine;
+/// results must depend only on the index). Tasks need not be
+/// homogeneous: heterogeneous workloads dispatch on the index (see the
+/// parallel assembly fan-out in `crate::input`).
+pub fn map_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
@@ -158,6 +177,18 @@ struct Step3Shard {
     details: Vec<Step3Detail>,
 }
 
+/// Steps 1–3 output, handed from [`phase_steps123`] to
+/// [`phase_steps45`]. Splitting the pipeline here lets the overlapped
+/// entry point ([`assemble_and_run_parallel`]) trace the corpus — which
+/// steps 1–3 never read — while the early steps run.
+struct EarlySteps {
+    ledger: Ledger,
+    n1: usize,
+    n3: usize,
+    observations: BTreeMap<Ipv4Addr, RttObservation>,
+    step3_details: Vec<Step3Detail>,
+}
+
 /// Runs the full §5.2 methodology on a scoped worker pool. The result
 /// is bit-identical to [`crate::pipeline::run_pipeline`] on the same
 /// input for **any** `par.threads ≥ 1`.
@@ -167,6 +198,14 @@ pub fn run_pipeline_parallel(
     par: &ParallelConfig,
 ) -> PipelineResult {
     let threads = par.threads.max(1);
+    let early = phase_steps123(input, cfg, threads);
+    phase_steps45(input, early, cfg, threads)
+}
+
+/// Steps 1–3 on the pool: port capacities, campaign consolidation, and
+/// the RTT/colocation pass. Reads `input.observed` and `input.campaign`
+/// only — never the corpus or `ip2as`.
+fn phase_steps123(input: &InferenceInput<'_>, cfg: &PipelineConfig, threads: usize) -> EarlySteps {
     // Over-shard relative to the pool so one slow shard does not
     // serialise the tail; any partition merges identically. Each axis
     // (IXPs, campaign, targets, corpus) shards against its own length —
@@ -221,6 +260,34 @@ pub fn run_pipeline_parallel(
         n3 += ledger.absorb(shard.ledger);
         step3_details.extend(shard.details);
     }
+
+    EarlySteps {
+        ledger,
+        n1,
+        n3,
+        observations,
+        step3_details,
+    }
+}
+
+/// Steps 4–5 plus the residual scan, picking up from [`phase_steps123`]'s
+/// frozen ledger. This is the first point that reads `input.corpus` and
+/// `input.ip2as`.
+fn phase_steps45(
+    input: &InferenceInput<'_>,
+    early: EarlySteps,
+    cfg: &PipelineConfig,
+    threads: usize,
+) -> PipelineResult {
+    let EarlySteps {
+        mut ledger,
+        n1,
+        n3,
+        observations,
+        step3_details,
+    } = early;
+    let n_shards = threads * 4;
+    let ixp_shards = shard_ranges(input.observed.ixps.len(), n_shards);
 
     // ---- step 4: corpus scan by chunk, classification by candidate ----
     let details_map: BTreeMap<Ipv4Addr, Step3Detail> =
@@ -303,6 +370,64 @@ pub fn run_pipeline_parallel(
     }
 }
 
+/// Assembles the measurement inputs **and** runs the inference on one
+/// pool, overlapping the two: the traceroute corpus — the dominant
+/// assembly cost — is traced on background workers while registry
+/// fusion, the ping campaign, the `prefix2as` build, and inference
+/// steps 1–3 (which never read the corpus) execute. The corpus joins
+/// right before step 4, the first consumer.
+///
+/// The returned pair is byte-identical to
+/// `(InferenceInput::assemble(world, seed), run_pipeline(&input, cfg))`
+/// for any `par.threads ≥ 1`: every artifact still merges in its fixed
+/// shard order, and the phase split does not change what each step
+/// reads.
+///
+/// Worker accounting: the corpus tracer and the foreground phases each
+/// get `par.threads` workers, so the process briefly holds up to
+/// `2 × threads` — the corpus pool drains the machine once the (much
+/// shorter) foreground phases finish. Scheduling never affects results.
+pub fn assemble_and_run_parallel<'w>(
+    world: &'w World,
+    seed: u64,
+    cfg: &PipelineConfig,
+    par: &ParallelConfig,
+) -> (InferenceInput<'w>, PipelineResult) {
+    let (registry, campaign_cfg, corpus_cfg) = crate::input::default_configs(seed);
+    assemble_and_run_parallel_with(world, seed, &registry, &campaign_cfg, &corpus_cfg, cfg, par)
+}
+
+/// [`assemble_and_run_parallel`] with explicit sub-configurations (the
+/// same knobs [`InferenceInput::assemble_with`] takes).
+pub fn assemble_and_run_parallel_with<'w>(
+    world: &'w World,
+    seed: u64,
+    registry: &RegistryConfig,
+    campaign_cfg: &CampaignConfig,
+    corpus_cfg: &CorpusConfig,
+    cfg: &PipelineConfig,
+    par: &ParallelConfig,
+) -> (InferenceInput<'w>, PipelineResult) {
+    let threads = par.threads.max(1);
+    let plan = plan_corpus(world, corpus_cfg);
+    let engine = TracerouteEngine::new(world, LatencyModel::new(corpus_cfg.seed));
+
+    let (mut input, early, corpus) = std::thread::scope(|s| {
+        let plan = &plan;
+        let engine = &engine;
+        let corpus_handle =
+            s.spawn(move || InferenceInput::trace_corpus_sharded(plan, engine, threads));
+        let input =
+            InferenceInput::assemble_parallel_sans_corpus(world, seed, registry, campaign_cfg, par);
+        let early = phase_steps123(&input, cfg, threads);
+        let corpus = corpus_handle.join().expect("corpus tracer panicked");
+        (input, early, corpus)
+    });
+    input.corpus = corpus;
+    let result = phase_steps45(&input, early, cfg, threads);
+    (input, result)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,11 +480,60 @@ mod tests {
     }
 
     #[test]
-    fn env_config_parses() {
-        // Only exercises the parsing fallback paths; the variable itself
-        // is owned by the test harness environment.
+    fn env_config_parses_and_edge_cases() {
+        // One test owns OPEER_THREADS for this whole binary: `set_var`
+        // concurrent with `getenv` from another test thread would be a
+        // libc-level data race, so no other test here may call
+        // `from_env` (the cross-binary readers in tests/ run in their
+        // own processes).
         let cfg = ParallelConfig::from_env();
         assert!(cfg.threads >= 1);
         assert_eq!(ParallelConfig::new(0).threads, 1);
+
+        let auto = ParallelConfig::available_parallelism();
+        let cases: &[(&str, usize)] = &[
+            // 0 means "auto": fall back to available parallelism.
+            ("0", auto),
+            // Garbage and empties fall back too.
+            ("banana", auto),
+            ("", auto),
+            ("-3", auto),
+            ("1.5", auto),
+            ("0x8", auto),
+            // Whitespace around a valid number is tolerated.
+            (" 6 ", 6),
+            ("2", 2),
+            ("64", 64),
+        ];
+        for &(raw, want) in cases {
+            std::env::set_var(THREADS_ENV, raw);
+            assert_eq!(
+                ParallelConfig::from_env().threads,
+                want,
+                "OPEER_THREADS={raw:?}"
+            );
+        }
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(ParallelConfig::from_env().threads, auto, "unset");
+    }
+
+    #[test]
+    fn overlapped_run_matches_sequential_end_to_end() {
+        let world = WorldConfig::small(7).generate();
+        let seq_input = InferenceInput::assemble(&world, 7);
+        let cfg = PipelineConfig::default();
+        let seq_result = run_pipeline(&seq_input, &cfg);
+        for threads in [1, 3] {
+            let (input, result) =
+                assemble_and_run_parallel(&world, 7, &cfg, &ParallelConfig::new(threads));
+            assert!(
+                input.content_eq(&seq_input),
+                "overlapped assembly diverged at {threads} threads"
+            );
+            assert_eq!(
+                result, seq_result,
+                "overlapped inference diverged at {threads} threads"
+            );
+        }
     }
 }

@@ -12,9 +12,13 @@
 //! alias resolution must send IP-ID probes somewhere. The pipeline never
 //! reads ground-truth fields from it.
 
+use crate::engine::{map_indexed, shard_ranges, ParallelConfig};
 use opeer_bgp::Collector;
 use opeer_measure::campaign::{run_campaign, CampaignConfig, CampaignResult};
-use opeer_measure::traceroute::{build_corpus, CorpusConfig, Traceroute};
+use opeer_measure::latency::LatencyModel;
+use opeer_measure::traceroute::{
+    build_corpus, plan_corpus, CorpusConfig, CorpusPlan, Traceroute, TracerouteEngine,
+};
 use opeer_measure::vp::{discover_vps, VantagePoint};
 use opeer_net::IpToAsMap;
 use opeer_registry::{build_observed_world, ObservedWorld, RegistryConfig, Table1Stats};
@@ -38,23 +42,41 @@ pub struct InferenceInput<'w> {
     pub ip2as: IpToAsMap,
 }
 
+/// The default sub-configurations every assembly entry point derives
+/// from one master seed. Shared by [`InferenceInput::assemble`],
+/// [`InferenceInput::assemble_parallel`], and the engine's overlapped
+/// path, so the recipe cannot drift between them.
+pub fn default_configs(seed: u64) -> (RegistryConfig, CampaignConfig, CorpusConfig) {
+    (
+        RegistryConfig {
+            seed,
+            ..RegistryConfig::default()
+        },
+        CampaignConfig::study(seed),
+        CorpusConfig {
+            seed,
+            ..CorpusConfig::default()
+        },
+    )
+}
+
+/// The AS whose route collector feeds `prefix2as`: the best-connected
+/// transit AS (shared by the sequential and parallel assembly paths).
+fn collector_peer(world: &World) -> AsId {
+    let peer = world
+        .ases
+        .iter()
+        .position(|a| matches!(a.kind, opeer_topology::AsKind::TransitGlobal))
+        .unwrap_or(0);
+    AsId::from_index(peer)
+}
+
 impl<'w> InferenceInput<'w> {
     /// Builds the full input set from a world with default configurations
     /// derived from `seed`.
     pub fn assemble(world: &'w World, seed: u64) -> Self {
-        Self::assemble_with(
-            world,
-            seed,
-            &RegistryConfig {
-                seed,
-                ..RegistryConfig::default()
-            },
-            &CampaignConfig::study(seed),
-            &CorpusConfig {
-                seed,
-                ..CorpusConfig::default()
-            },
-        )
+        let (registry, campaign_cfg, corpus_cfg) = default_configs(seed);
+        Self::assemble_with(world, seed, &registry, &campaign_cfg, &corpus_cfg)
     }
 
     /// Builds the input set with explicit sub-configurations.
@@ -69,13 +91,7 @@ impl<'w> InferenceInput<'w> {
         let vps = discover_vps(world, seed);
         let campaign = run_campaign(world, &vps, *campaign_cfg);
         let corpus = build_corpus(world, *corpus_cfg);
-        // Collector fed by the best-connected transit AS.
-        let peer = world
-            .ases
-            .iter()
-            .position(|a| matches!(a.kind, opeer_topology::AsKind::TransitGlobal))
-            .unwrap_or(0);
-        let ip2as = Collector::build(world, AsId::from_index(peer)).prefix2as();
+        let ip2as = Collector::build(world, collector_peer(world)).prefix2as();
         InferenceInput {
             world,
             observed,
@@ -85,6 +101,187 @@ impl<'w> InferenceInput<'w> {
             corpus,
             ip2as,
         }
+    }
+
+    /// Builds the full input set on the engine's worker pool with default
+    /// configurations derived from `seed`.
+    ///
+    /// Byte-identical to [`InferenceInput::assemble`] for any
+    /// `par.threads ≥ 1`: the same artifacts, in the same order (see
+    /// [`InferenceInput::assemble_parallel_with`] for the shard/merge
+    /// contract).
+    pub fn assemble_parallel(world: &'w World, seed: u64, par: &ParallelConfig) -> Self {
+        let (registry, campaign_cfg, corpus_cfg) = default_configs(seed);
+        Self::assemble_parallel_with(world, seed, &registry, &campaign_cfg, &corpus_cfg, par)
+    }
+
+    /// Builds the input set with explicit sub-configurations, fanning the
+    /// measurement work out over the engine's worker pool.
+    ///
+    /// Shard axes and merge order (each axis mirrors the sequential
+    /// loop it replaces, so the merged artifacts are byte-identical to
+    /// [`InferenceInput::assemble_with`]):
+    ///
+    /// * registry fusion and the route-collector `prefix2as` build are
+    ///   single shard tasks (internally sequential, overlapped with the
+    ///   measurement shards);
+    /// * the ping campaign shards by **vantage-point chunk** — per-VP
+    ///   probing is pure, and partials absorb in VP order;
+    /// * the traceroute corpus shards by **destination range** of the
+    ///   sorted [`CorpusPlan`] — per-destination tracing is pure, and
+    ///   partials concatenate in range order.
+    pub fn assemble_parallel_with(
+        world: &'w World,
+        seed: u64,
+        registry: &RegistryConfig,
+        campaign_cfg: &CampaignConfig,
+        corpus_cfg: &CorpusConfig,
+        par: &ParallelConfig,
+    ) -> Self {
+        let plan = plan_corpus(world, corpus_cfg);
+        // One shared engine for every corpus shard: the routing oracle
+        // precomputes its indexes once and is `Sync`, so shards pay
+        // zero per-shard setup.
+        let engine = TracerouteEngine::new(world, LatencyModel::new(corpus_cfg.seed));
+        Self::fan_out(
+            world,
+            seed,
+            registry,
+            campaign_cfg,
+            Some((&engine, &plan)),
+            par,
+        )
+    }
+
+    /// Parallel assembly of everything **except** the traceroute corpus
+    /// (left empty). The engine's overlapped entry point runs corpus
+    /// shards concurrently with inference steps 1–3 and splices the
+    /// result in before step 4.
+    pub(crate) fn assemble_parallel_sans_corpus(
+        world: &'w World,
+        seed: u64,
+        registry: &RegistryConfig,
+        campaign_cfg: &CampaignConfig,
+        par: &ParallelConfig,
+    ) -> Self {
+        Self::fan_out(world, seed, registry, campaign_cfg, None, par)
+    }
+
+    /// The shared fan-out: one heterogeneous task list over the worker
+    /// pool, merged by task index (never by completion time).
+    fn fan_out(
+        world: &'w World,
+        seed: u64,
+        registry: &RegistryConfig,
+        campaign_cfg: &CampaignConfig,
+        corpus: Option<(&TracerouteEngine<'w>, &CorpusPlan)>,
+        par: &ParallelConfig,
+    ) -> Self {
+        /// One task's output; the variant is determined by the task
+        /// index, so the merge below can destructure unconditionally.
+        enum Partial {
+            Observed(Box<(ObservedWorld, Table1Stats)>),
+            Ip2As(Box<IpToAsMap>),
+            Campaign(CampaignResult),
+            Corpus(Vec<Traceroute>),
+        }
+
+        let threads = par.threads.max(1);
+        // VP discovery is trivially cheap and its output shapes the
+        // campaign shard plan, so it stays on the calling thread.
+        let vps = discover_vps(world, seed);
+        // Over-shard the measurement axes (cf. the engine's pipeline
+        // phases) so the big corpus shards cannot serialise the tail.
+        let campaign_shards = shard_ranges(vps.len(), threads * 4);
+        let corpus_shards = match corpus {
+            Some((_, plan)) => shard_ranges(plan.len(), threads * 4),
+            None => Vec::new(),
+        };
+
+        // Task layout, by index: the two coarse substrate builds first
+        // (they are the longest indivisible tasks, so the dynamic
+        // scheduler starts them before the fine-grained shards), then
+        // campaign chunks, then corpus ranges.
+        let campaign_base = 2;
+        let corpus_base = campaign_base + campaign_shards.len();
+        let n_tasks = corpus_base + corpus_shards.len();
+
+        let partials = map_indexed(n_tasks, threads, |i| match i {
+            0 => Partial::Observed(Box::new(build_observed_world(world, registry))),
+            1 => Partial::Ip2As(Box::new(
+                Collector::build(world, collector_peer(world)).prefix2as(),
+            )),
+            i if i < corpus_base => {
+                let range = campaign_shards[i - campaign_base].clone();
+                Partial::Campaign(run_campaign(world, &vps[range], *campaign_cfg))
+            }
+            i => {
+                let (engine, plan) = corpus.expect("corpus tasks exist only with a plan");
+                Partial::Corpus(plan.trace_shard_on(engine, corpus_shards[i - corpus_base].clone()))
+            }
+        });
+
+        // Merge in task-index order — the fixed order that makes the
+        // result thread-count independent.
+        let mut observed_out = None;
+        let mut ip2as_out = None;
+        let mut campaign = CampaignResult::default();
+        let mut corpus_out: Vec<Traceroute> = Vec::new();
+        for p in partials {
+            match p {
+                Partial::Observed(b) => observed_out = Some(*b),
+                Partial::Ip2As(b) => ip2as_out = Some(*b),
+                Partial::Campaign(part) => campaign.absorb(part),
+                Partial::Corpus(part) => corpus_out.extend(part),
+            }
+        }
+        let (observed, table1) = observed_out.expect("registry task ran");
+        let ip2as = ip2as_out.expect("ip2as task ran");
+
+        InferenceInput {
+            world,
+            observed,
+            table1,
+            vps,
+            campaign,
+            corpus: corpus_out,
+            ip2as,
+        }
+    }
+
+    /// Traces a whole corpus plan on the pool: the destination range cut
+    /// into `threads * 4` shards, traced via [`map_indexed`], partials
+    /// concatenated in range order — the same recipe as the corpus arm
+    /// of the assembly fan-out, shared with the engine's overlapped
+    /// entry point.
+    pub(crate) fn trace_corpus_sharded(
+        plan: &CorpusPlan,
+        engine: &TracerouteEngine<'_>,
+        threads: usize,
+    ) -> Vec<Traceroute> {
+        let shards = shard_ranges(plan.len(), threads * 4);
+        map_indexed(shards.len(), threads, |i| {
+            plan.trace_shard_on(engine, shards[i].clone())
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Whether two inputs hold identical artifacts (the `world` is
+    /// compared by reference — it is the measurement plane, not data).
+    ///
+    /// This is the byte-identity check behind the
+    /// `assemble_parallel == assemble` contract: every field type
+    /// compares structurally, including IEEE-exact RTTs.
+    pub fn content_eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.world, other.world)
+            && self.observed == other.observed
+            && self.table1 == other.table1
+            && self.vps == other.vps
+            && self.campaign == other.campaign
+            && self.corpus == other.corpus
+            && self.ip2as == other.ip2as
     }
 
     /// The vantage point record for a VP id.
@@ -97,6 +294,35 @@ impl<'w> InferenceInput<'w> {
 mod tests {
     use super::*;
     use opeer_topology::WorldConfig;
+
+    #[test]
+    fn parallel_assembly_matches_sequential() {
+        let w = WorldConfig::small(91).generate();
+        let sequential = InferenceInput::assemble(&w, 91);
+        for threads in [1, 2, 5] {
+            let parallel = InferenceInput::assemble_parallel(&w, 91, &ParallelConfig::new(threads));
+            assert_eq!(parallel.observed, sequential.observed, "{threads} threads");
+            assert_eq!(parallel.table1, sequential.table1, "{threads} threads");
+            assert_eq!(parallel.vps, sequential.vps, "{threads} threads");
+            assert_eq!(parallel.campaign, sequential.campaign, "{threads} threads");
+            assert_eq!(parallel.corpus, sequential.corpus, "{threads} threads");
+            assert_eq!(parallel.ip2as, sequential.ip2as, "{threads} threads");
+            assert!(parallel.content_eq(&sequential));
+        }
+    }
+
+    #[test]
+    fn content_eq_detects_differences() {
+        let w = WorldConfig::small(91).generate();
+        let a = InferenceInput::assemble(&w, 91);
+        let mut b = InferenceInput::assemble(&w, 91);
+        assert!(a.content_eq(&b));
+        b.campaign.observations.swap(0, 1);
+        assert!(
+            !a.content_eq(&b),
+            "reordered campaign must not compare equal"
+        );
+    }
 
     #[test]
     fn assemble_produces_consistent_input() {

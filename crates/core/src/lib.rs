@@ -32,6 +32,20 @@
 //! against (Castro et al.: `RTTmin ≤ 10 ms ⇒ local`), and
 //! [`pipeline::run_pipeline`] wires everything together.
 //!
+//! ## Entry points
+//!
+//! * [`InferenceInput::assemble`] / [`InferenceInput::assemble_parallel`]
+//!   — build the observable inputs (registry fusion, ping campaign,
+//!   traceroute corpus, `prefix2as`), sequentially or sharded over the
+//!   worker pool; byte-identical either way.
+//! * [`pipeline::run_pipeline`] — the sequential five-step reference.
+//! * [`engine::run_pipeline_parallel`] — the same methodology fanned
+//!   out over a scoped worker pool with deterministic merges.
+//! * [`engine::assemble_and_run_parallel`] — assembly and inference
+//!   overlapped: corpus tracing runs under steps 1–3.
+//! * [`engine::shard_ranges`] / [`engine::map_indexed`] — the generic
+//!   shard-scheduling primitives behind all of the above.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
@@ -44,6 +58,8 @@
 //! let result = run_pipeline(&input, &PipelineConfig::default());
 //! println!("{} interfaces inferred", result.inferences.len());
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod baseline;
 pub mod beyond_pings;
@@ -58,7 +74,7 @@ pub mod steps;
 pub mod types;
 
 pub use baseline::run_baseline;
-pub use engine::{run_pipeline_parallel, ParallelConfig};
+pub use engine::{assemble_and_run_parallel, run_pipeline_parallel, ParallelConfig};
 pub use input::InferenceInput;
 pub use metrics::{score, Metrics};
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineResult};

@@ -1,6 +1,6 @@
 //! Step 5 — localisation via private connectivity (§5.1.4, §5.2).
 //!
-//! The last resort, a Constrained-Facility-Search-style vote [48]:
+//! The last resort, a Constrained-Facility-Search-style vote \[48\]:
 //! private interconnections are overwhelmingly patched inside one
 //! facility, so the facilities shared by a router's private AS neighbors
 //! reveal where the router is. If exactly one such facility belongs to

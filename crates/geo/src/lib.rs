@@ -8,7 +8,7 @@
 //! * [`GeoPoint`] — validated WGS-84 coordinates.
 //! * [`geodesic`] — ellipsoidal inverse geodesic (Vincenty's formula with a
 //!   spherical fallback near the antipodal singularity) and the haversine
-//!   great-circle distance. The paper applies Karney's method [53] to
+//!   great-circle distance. The paper applies Karney's method \[53\] to
 //!   facility coordinates; Vincenty agrees with Karney to well under a
 //!   millimetre over the facility/VP distances in this workload (< 20 Mm,
 //!   non-antipodal), and is verifiable against published test vectors.
@@ -16,7 +16,7 @@
 //!   area as a 100 km disk and calls facilities more than 50 km apart
 //!   "different metropolitan areas" (§2 fn. 2, §4.2).
 //! * [`speed`] — the RTT⇄distance feasibility model: packets travel at most
-//!   at `vmax = (4/9)·c` (Katz-Bassett et al. [54]) and, per the paper's fit
+//!   at `vmax = (4/9)·c` (Katz-Bassett et al. \[54\]) and, per the paper's fit
 //!   to Y.1731 inter-facility delays, at least at `vmin(d) = A·(ln d − 3)`
 //!   (Fig. 6), giving the `[dmin, dmax]` annulus of Fig. 7.
 //!

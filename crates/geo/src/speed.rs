@@ -3,7 +3,7 @@
 //! Two empirical speed bounds convert a minimum RTT into a feasible
 //! distance annulus around the vantage point:
 //!
-//! * **Upper bound** — Katz-Bassett et al. [54]: end-to-end probe packets
+//! * **Upper bound** — Katz-Bassett et al. \[54\]: end-to-end probe packets
 //!   cover at most `vmax = (4/9)·c` of ground distance per unit of RTT.
 //!   The paper applies this to the *full* RTT (its Fig. 7 worked example:
 //!   4 ms → dmax ≈ 533 km), so `dmax = vmax · rtt`.

@@ -53,7 +53,7 @@ impl CampaignConfig {
 }
 
 /// The minimum-RTT observation for one (VP, interface) pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PingObservation {
     /// The vantage point.
     pub vp: VpId,
@@ -74,7 +74,7 @@ pub struct PingObservation {
 }
 
 /// Per-VP campaign statistics (Fig. 9a, Table 5).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VpStats {
     /// The VP.
     pub vp: VpId,
@@ -94,7 +94,7 @@ pub struct VpStats {
 }
 
 /// Full result of a campaign.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CampaignResult {
     /// One record per (usable VP, responsive target) with a consistent
     /// TTL series.
@@ -104,6 +104,19 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
+    /// Appends another campaign partial **in shard order**.
+    ///
+    /// [`run_campaign`] is the in-order concatenation of independent
+    /// per-VP units (see [`probe_vp`]), so absorbing per-chunk partials
+    /// built over consecutive VP ranges reproduces the sequential
+    /// campaign byte for byte. Callers must absorb partials in ascending
+    /// range order — the order, not the thread schedule, decides the
+    /// result.
+    pub fn absorb(&mut self, other: CampaignResult) {
+        self.observations.extend(other.observations);
+        self.vp_stats.extend(other.vp_stats);
+    }
+
     /// Observations for one IXP.
     pub fn for_ixp(&self, ixp: IxpId) -> impl Iterator<Item = &PingObservation> {
         self.observations.iter().filter(move |o| o.ixp == ixp)
@@ -131,69 +144,94 @@ impl CampaignResult {
     }
 }
 
+/// Probes everything one VP measures: the route-server hygiene check,
+/// then every active member interface of the VP's IXP.
+///
+/// This is the campaign's unit of parallelism — **pure** per VP. It
+/// reads only the immutable world through the stateless [`PingEngine`]
+/// (every RTT/TTL draw is keyed by `(vp, interface, sample)`, so the
+/// per-VP RNG sub-stream is independent of which thread, shard, or call
+/// order produced it) and returns this VP's observations and stats
+/// without touching shared state.
+pub fn probe_vp(
+    engine: &PingEngine<'_>,
+    world: &World,
+    vp: &VantagePoint,
+    cfg: CampaignConfig,
+) -> (Vec<PingObservation>, VpStats) {
+    // Route-server hygiene for Atlas probes.
+    let mut rs_min: Option<f64> = None;
+    for i in 0..cfg.samples {
+        if let Some(r) = engine.ping_route_server(vp, i) {
+            rs_min = Some(rs_min.map_or(r.rtt_ms, |m: f64| m.min(r.rtt_ms)));
+        }
+    }
+    let discarded_rs = vp.is_atlas() && rs_min.is_none_or(|m| m >= cfg.rs_filter_ms);
+    let mut stats = VpStats {
+        vp: vp.id,
+        ixp: vp.ixp,
+        atlas: vp.is_atlas(),
+        targets: 0,
+        responsive: 0,
+        discarded: discarded_rs,
+        rs_rtt_ms: rs_min,
+    };
+    let mut observations = Vec::new();
+    if discarded_rs {
+        return (observations, stats);
+    }
+
+    let month = world.observation_month;
+    for &mid in world.memberships_of_ixp(vp.ixp) {
+        let m = &world.memberships[mid.index()];
+        if !m.active_at(month) {
+            continue;
+        }
+        let target = world.interfaces[m.iface.index()].addr;
+        stats.targets += 1;
+        let mut filter = TtlFilter::new(vp.ttl_max_hops());
+        let mut min_rtt = f64::INFINITY;
+        let mut sent = 0usize;
+        for i in 0..cfg.samples {
+            sent += 1;
+            if let Some(reply) = engine.ping(vp, target, i) {
+                if filter.accept(reply.ttl) {
+                    min_rtt = min_rtt.min(reply.rtt_ms);
+                }
+            }
+        }
+        // TTL-switch rule: a series answered by different devices is
+        // discarded wholesale.
+        if filter.accepted() > 0 && filter.is_consistent() {
+            stats.responsive += 1;
+            observations.push(PingObservation {
+                vp: vp.id,
+                ixp: vp.ixp,
+                target,
+                min_rtt_ms: min_rtt,
+                vp_rounds_up: vp.rounds_up(),
+                accepted: filter.accepted(),
+                sent,
+            });
+        }
+    }
+    (observations, stats)
+}
+
 /// Runs a campaign from the given VPs against the member interfaces of
 /// their own IXPs.
+///
+/// The result is the in-order concatenation of [`probe_vp`] outputs, so
+/// any consecutive partition of `vps` — `run_campaign(&vps[a..b])` per
+/// chunk, merged with [`CampaignResult::absorb`] in range order —
+/// reproduces this exact byte sequence. The parallel assembly in
+/// `opeer-core` relies on that contract.
 pub fn run_campaign(world: &World, vps: &[VantagePoint], cfg: CampaignConfig) -> CampaignResult {
     let engine = PingEngine::new(world, LatencyModel::new(cfg.seed));
     let mut result = CampaignResult::default();
-
     for vp in vps {
-        // Route-server hygiene for Atlas probes.
-        let mut rs_min: Option<f64> = None;
-        for i in 0..cfg.samples {
-            if let Some(r) = engine.ping_route_server(vp, i) {
-                rs_min = Some(rs_min.map_or(r.rtt_ms, |m: f64| m.min(r.rtt_ms)));
-            }
-        }
-        let discarded_rs = vp.is_atlas() && rs_min.is_none_or(|m| m >= cfg.rs_filter_ms);
-        let mut stats = VpStats {
-            vp: vp.id,
-            ixp: vp.ixp,
-            atlas: vp.is_atlas(),
-            targets: 0,
-            responsive: 0,
-            discarded: discarded_rs,
-            rs_rtt_ms: rs_min,
-        };
-        if discarded_rs {
-            result.vp_stats.push(stats);
-            continue;
-        }
-
-        let month = world.observation_month;
-        for &mid in world.memberships_of_ixp(vp.ixp) {
-            let m = &world.memberships[mid.index()];
-            if !m.active_at(month) {
-                continue;
-            }
-            let target = world.interfaces[m.iface.index()].addr;
-            stats.targets += 1;
-            let mut filter = TtlFilter::new(vp.ttl_max_hops());
-            let mut min_rtt = f64::INFINITY;
-            let mut sent = 0usize;
-            for i in 0..cfg.samples {
-                sent += 1;
-                if let Some(reply) = engine.ping(vp, target, i) {
-                    if filter.accept(reply.ttl) {
-                        min_rtt = min_rtt.min(reply.rtt_ms);
-                    }
-                }
-            }
-            // TTL-switch rule: a series answered by different devices is
-            // discarded wholesale.
-            if filter.accepted() > 0 && filter.is_consistent() {
-                stats.responsive += 1;
-                result.observations.push(PingObservation {
-                    vp: vp.id,
-                    ixp: vp.ixp,
-                    target,
-                    min_rtt_ms: min_rtt,
-                    vp_rounds_up: vp.rounds_up(),
-                    accepted: filter.accepted(),
-                    sent,
-                });
-            }
-        }
+        let (observations, stats) = probe_vp(&engine, world, vp, cfg);
+        result.observations.extend(observations);
         result.vp_stats.push(stats);
     }
     result

@@ -4,7 +4,7 @@
 //! counter shared by all interfaces; sampling the counter through two
 //! interfaces yields interleaved, jointly-monotonic sequences if and only
 //! if the interfaces share a router (the Monotonic Bound Test of MIDAR
-//! [55]). Modern stacks use per-packet random IDs or constant zero, which
+//! \[55\]). Modern stacks use per-packet random IDs or constant zero, which
 //! is why alias resolution never reaches full coverage — the paper
 //! deliberately picked the conservative MIDAR+iffinder dataset "to favor
 //! accuracy over completeness" (§5.2 fn. 8).

@@ -30,8 +30,41 @@
 //!   (Fig. 2a, Fig. 6).
 //! * [`ipid`] — IP-ID probing of interfaces, the raw signal for
 //!   MIDAR-style alias resolution in `opeer-alias`.
+//! * [`periscope`] — Periscope-style LG query scheduling (token buckets
+//!   over deterministic virtual time).
 //!
-//! Everything is deterministic given the world and a measurement seed.
+//! ## Key types and entry points
+//!
+//! [`vp::discover_vps`] finds the vantage points;
+//! [`campaign::run_campaign`] runs the §5.2 protocol over them;
+//! [`traceroute::build_corpus`] stands in for the public Atlas archive.
+//! [`CampaignResult`], [`Traceroute`], and the per-VP [`VpStats`] are
+//! what the inference pipeline consumes.
+//!
+//! ## Shard-task structure
+//!
+//! Every campaign and corpus is a deterministic function of `(world,
+//! seed)` decomposed into **pure shard units** so `opeer-core`'s worker
+//! pool can execute them in any schedule:
+//!
+//! * [`campaign::probe_vp`] is the campaign's unit — one VP's probes,
+//!   no shared state; [`run_campaign`][campaign::run_campaign] is the
+//!   in-order concatenation over a VP slice, and
+//!   [`CampaignResult::absorb`] merges consecutive-chunk partials back
+//!   into that exact byte sequence.
+//! * [`traceroute::plan_corpus`] separates the cheap probe schedule
+//!   from tracing; [`traceroute::CorpusPlan::trace_shard`] traces any
+//!   destination range independently, and range-order concatenation
+//!   equals [`traceroute::build_corpus`].
+//! * [`ipid::probe_ipid`] / [`ipid::probe_train`] are pure per
+//!   `(interface, time)` — alias resolution's probe trains parallelise
+//!   per target for free.
+//!
+//! There is no mutable RNG anywhere in the plane: every draw is a
+//! stable hash keyed by `(seed, entity ids, sample index)`, i.e. each
+//! VP, target, and hop owns an implicit RNG sub-stream that no other
+//! shard can perturb. That is what makes the parallel assembly in
+//! `opeer-core` byte-identical to the sequential one.
 
 pub mod campaign;
 pub mod ipid;

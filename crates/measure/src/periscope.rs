@@ -1,4 +1,4 @@
-//! Periscope-style looking-glass query automation (§3.1, [45]).
+//! Periscope-style looking-glass query automation (§3.1, \[45\]).
 //!
 //! Public looking glasses are web forms with informal etiquette: they
 //! throttle, they time out, and hammering them gets your prober

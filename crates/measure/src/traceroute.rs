@@ -29,7 +29,7 @@ pub struct TraceSample {
 
 /// A traceroute: source address, destination, and per-TTL results
 /// (`None` = no answer at that TTL).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Traceroute {
     /// Source address (the probing host).
     pub src: Ipv4Addr,
@@ -196,14 +196,91 @@ pub fn deep_host(world: &World, asid: AsId, salt: u64) -> Ipv4Addr {
     prefix.addr_at(idx).expect("index below span")
 }
 
-/// Builds the public traceroute corpus: for (most) memberships, paths from
+/// The deterministic probe schedule behind [`build_corpus`]: every
+/// planned `(source AS, destination address)` pair, grouped by
+/// destination AS so one route table serves all traceroutes towards it.
+///
+/// Destinations are sorted, which makes a contiguous destination range
+/// an independent unit of work: [`CorpusPlan::trace_shard`] over
+/// consecutive ranges, concatenated in range order, is byte-identical
+/// to tracing the whole plan sequentially.
+#[derive(Debug, Clone)]
+pub struct CorpusPlan {
+    /// Destination ASes in ascending order (the shard axis).
+    dsts: Vec<AsId>,
+    /// Per-destination `(source, target address)` pairs, in planning
+    /// order.
+    plans: std::collections::HashMap<AsId, Vec<(AsId, Ipv4Addr)>>,
+}
+
+impl CorpusPlan {
+    /// Number of destination ASes (the shardable length).
+    pub fn len(&self) -> usize {
+        self.dsts.len()
+    }
+
+    /// Whether the plan schedules no traceroutes at all.
+    pub fn is_empty(&self) -> bool {
+        self.dsts.is_empty()
+    }
+
+    /// Total `(source, destination)` pairs scheduled.
+    pub fn num_pairs(&self) -> usize {
+        self.plans.values().map(Vec::len).sum()
+    }
+
+    /// Traces the destinations in `range` (indices into the sorted
+    /// destination list) with a fresh engine.
+    ///
+    /// Pure per shard: the engine holds only immutable derived indexes,
+    /// and the latency model keys every draw by `(hop, target, ttl)`,
+    /// so a shard's output is independent of what other shards (or a
+    /// previous whole-plan pass) computed. Parallel callers should
+    /// prefer [`CorpusPlan::trace_shard_on`] with one shared engine —
+    /// it skips the per-shard index build.
+    pub fn trace_shard(
+        &self,
+        world: &World,
+        cfg: &CorpusConfig,
+        range: std::ops::Range<usize>,
+    ) -> Vec<Traceroute> {
+        let engine = TracerouteEngine::new(world, LatencyModel::new(cfg.seed));
+        self.trace_shard_on(&engine, range)
+    }
+
+    /// Traces the destinations in `range` on an existing engine. The
+    /// engine is `Sync` (its routing oracle precomputes all indexes and
+    /// holds no interior mutability), so worker threads share one
+    /// instance; the engine must have been built with the plan's
+    /// corpus seed for the output to match [`build_corpus`].
+    pub fn trace_shard_on(
+        &self,
+        engine: &TracerouteEngine<'_>,
+        range: std::ops::Range<usize>,
+    ) -> Vec<Traceroute> {
+        let mut out = Vec::new();
+        for &dst in &self.dsts[range] {
+            let table = engine.oracle().routes_to(dst);
+            for (src, dst_addr) in &self.plans[&dst] {
+                if let Some(tr) = engine.trace(&table, *src, *dst_addr) {
+                    out.push(tr);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Plans the public corpus: for (most) memberships, paths from
 /// co-members of the same IXP towards the member's originated space —
 /// these are the paths that cross IXP LANs — plus random background
 /// traffic that also exercises transit and private links.
-pub fn build_corpus(world: &World, cfg: CorpusConfig) -> Vec<Traceroute> {
-    let engine = TracerouteEngine::new(world, LatencyModel::new(cfg.seed));
+///
+/// Planning is cheap (hashing over memberships); the expensive part —
+/// route tables and hop-by-hop tracing — happens in
+/// [`CorpusPlan::trace_shard`].
+pub fn plan_corpus(world: &World, cfg: &CorpusConfig) -> CorpusPlan {
     let month = world.observation_month;
-    let mut out = Vec::new();
 
     // Plan (src, dst_as, dst_addr) grouped by dst_as for table reuse.
     use std::collections::HashMap;
@@ -266,15 +343,18 @@ pub fn build_corpus(world: &World, cfg: CorpusConfig) -> Vec<Traceroute> {
 
     let mut dsts: Vec<AsId> = plans.keys().copied().collect();
     dsts.sort();
-    for dst in dsts {
-        let table = engine.oracle().routes_to(dst);
-        for (src, dst_addr) in &plans[&dst] {
-            if let Some(tr) = engine.trace(&table, *src, *dst_addr) {
-                out.push(tr);
-            }
-        }
-    }
-    out
+    CorpusPlan { dsts, plans }
+}
+
+/// Builds the public traceroute corpus: [`plan_corpus`] followed by a
+/// full sequential trace of the plan (one engine, destinations in
+/// sorted order). `CorpusPlan::trace_shard` over a partition of the
+/// destination range produces the same corpus — that is the parallel
+/// assembly path.
+pub fn build_corpus(world: &World, cfg: CorpusConfig) -> Vec<Traceroute> {
+    let plan = plan_corpus(world, &cfg);
+    let engine = TracerouteEngine::new(world, LatencyModel::new(cfg.seed));
+    plan.trace_shard_on(&engine, 0..plan.len())
 }
 
 #[cfg(test)]

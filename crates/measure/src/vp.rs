@@ -49,7 +49,7 @@ pub enum VpKind {
 }
 
 /// A vantage point bound to one IXP.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VantagePoint {
     /// Dense id.
     pub id: VpId,

@@ -1,7 +1,7 @@
 //! IP-to-AS mapping in the style of the CAIDA Routeviews `prefix2as` dataset.
 //!
 //! The paper performs IP-to-AS mapping on every traceroute hop (§5.2 step 5,
-//! citing the Routeviews prefix2as dataset [34]). This module provides the
+//! citing the Routeviews prefix2as dataset \[34\]). This module provides the
 //! same abstraction: a longest-prefix-match table from prefixes to origin
 //! ASes, including multi-origin (MOAS) prefixes that are announced by more
 //! than one AS.
@@ -77,7 +77,7 @@ impl OriginSet {
 /// let set = map.lookup(Ipv4Addr::new(203, 0, 113, 9)).unwrap();
 /// assert!(set.is_moas());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IpToAsMap {
     trie: PrefixTrie<OriginSet>,
 }

@@ -182,6 +182,22 @@ impl<V> PrefixTrie<V> {
     }
 }
 
+/// Two tries are equal when they hold the same `(prefix, value)` set —
+/// iteration order is canonical (bit-path order), so a zipped walk
+/// decides it. Structural leftovers (interior nodes kept by `remove`)
+/// do not participate.
+impl<V: PartialEq> PartialEq for PrefixTrie<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self
+                .iter()
+                .zip(other.iter())
+                .all(|((pa, va), (pb, vb))| pa == pb && va == vb)
+    }
+}
+
+impl<V: Eq> Eq for PrefixTrie<V> {}
+
 /// Iterator over trie entries; see [`PrefixTrie::iter`].
 pub struct Iter<'a, V> {
     stack: Vec<(&'a Node<V>, Ipv4Prefix)>,

@@ -1,7 +1,7 @@
 //! Euro-IX-style machine-readable IXP export (the "IX-F Member Export").
 //!
 //! The paper's highest-preference source is the IXP websites, which
-//! publish member lists in the Euro-IX JSON schema (§3.2 [52]). This
+//! publish member lists in the Euro-IX JSON schema (§3.2 \[52\]). This
 //! module implements a faithful subset of that schema with serde so the
 //! website ingestion path runs through genuine JSON serialisation and
 //! parsing — the same code would ingest a real `member-export.json`.

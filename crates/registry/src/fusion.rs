@@ -35,7 +35,7 @@ impl Default for RegistryConfig {
 }
 
 /// Per-source Table 1 row.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SourceStat {
     /// Prefix rows contributed.
     pub prefixes_total: usize,
@@ -52,7 +52,7 @@ pub struct SourceStat {
 }
 
 /// Table 1: the per-source dataset accounting.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Table1Stats {
     /// Rows in source-preference order.
     pub per_source: BTreeMap<SourceKind, SourceStat>,

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// A facility row in the fused colocation dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ObservedFacility {
     /// Facility name (the cross-source join key, as in PDB/Inflect).
     pub name: String,
@@ -23,7 +23,7 @@ pub struct ObservedFacility {
 }
 
 /// One IXP as the registries describe it.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ObservedIxp {
     /// IXP name.
     pub name: String,
@@ -69,6 +69,18 @@ pub struct ObservedWorld {
     pub validation: ValidationDataset,
     #[serde(skip)]
     lan_trie: PrefixTrie<usize>,
+}
+
+/// Equality over the fused *data* only: the LAN trie is a derived index
+/// (rebuilt from `ixps[i].prefixes` by [`ObservedWorld::rebuild_indexes`])
+/// and cannot disagree when the prefixes agree.
+impl PartialEq for ObservedWorld {
+    fn eq(&self, other: &Self) -> bool {
+        self.ixps == other.ixps
+            && self.facilities == other.facilities
+            && self.as_facilities == other.as_facilities
+            && self.validation == other.validation
+    }
 }
 
 impl ObservedWorld {

@@ -27,7 +27,7 @@ pub struct ValidationEntry {
 }
 
 /// Validation data for one IXP.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ValidationIxp {
     /// IXP name.
     pub name: String,
@@ -51,7 +51,7 @@ impl ValidationIxp {
 }
 
 /// The whole Table 2 dataset.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ValidationDataset {
     /// Per-IXP lists.
     pub ixps: Vec<ValidationIxp>,

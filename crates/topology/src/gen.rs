@@ -167,16 +167,21 @@ impl WorldConfig {
         }
     }
 
-    /// A large world for scaling studies: ~half paper scale — big enough
-    /// that the parallel engine's fan-out is measurable, small enough to
-    /// assemble in seconds rather than the paper world's half minute.
+    /// A large world for scaling studies: full paper scale on the named
+    /// IXPs' member targets, with a trimmed long tail of generated small
+    /// IXPs and background ASes so world *generation* stays a fraction
+    /// of measurement time. Sized for the parallel engine era — both
+    /// measurement assembly and inference now shard across the worker
+    /// pool, so the scaling study runs at the member scale the paper
+    /// measured instead of the half-scale world the sequential
+    /// assembler could afford.
     pub fn large(seed: u64) -> Self {
         WorldConfig {
             seed,
-            scale: 0.5,
-            n_small_ixps: 300,
-            n_background_ases: 800,
-            n_switchers: 12,
+            scale: 1.0,
+            n_small_ixps: 400,
+            n_background_ases: 1000,
+            n_switchers: 14,
             ..Default::default()
         }
     }

@@ -123,9 +123,12 @@ pub struct RoutingOracle<'w> {
     /// Fraction (percent) of peer-edge decisions that ignore hot-potato
     /// and pick a farther interconnect (policy quirk).
     policy_quirk_pct: u64,
-    /// Memoised peer lists — recomputing them per destination dominates
-    /// corpus-building time otherwise.
-    peers_memo: std::cell::RefCell<HashMap<AsId, std::rc::Rc<Vec<AsId>>>>,
+    /// Peer lists per AS (open-peering co-members + private-link peers),
+    /// sorted and deduplicated. Built **eagerly** so the oracle holds no
+    /// interior mutability and is `Sync` — corpus shards on different
+    /// worker threads share one oracle (and its one-time index cost)
+    /// instead of re-memoising per shard.
+    peers: Vec<Vec<AsId>>,
     /// Active IXPs per AS, sorted (intersection gives common IXPs fast).
     ixps_of: Vec<Vec<IxpId>>,
     /// Private links per unordered AS pair.
@@ -163,10 +166,35 @@ impl<'w> RoutingOracle<'w> {
                 }
             })
             .collect();
+        // Eager peer index, IXP-major: every pair of active open-peering
+        // co-members peers, plus private links. Produces exactly the
+        // sorted/deduplicated lists the old per-AS lazy memo computed,
+        // at a fraction of the lookups.
+        let mut peers: Vec<Vec<AsId>> = (0..world.ases.len())
+            .map(|i| world.private_peers_of(AsId::from_index(i)).to_vec())
+            .collect();
+        for xi in 0..world.ixps.len() {
+            let mut open_members: Vec<AsId> = world
+                .memberships_of_ixp(IxpId::from_index(xi))
+                .iter()
+                .map(|&mid| &world.memberships[mid.index()])
+                .filter(|m| m.active_at(month) && world.ases[m.member.index()].open_peering)
+                .map(|m| m.member)
+                .collect();
+            open_members.sort();
+            open_members.dedup();
+            for &y in &open_members {
+                peers[y.index()].extend(open_members.iter().copied().filter(|&o| o != y));
+            }
+        }
+        for p in &mut peers {
+            p.sort();
+            p.dedup();
+        }
         RoutingOracle {
             world,
             policy_quirk_pct: 34,
-            peers_memo: std::cell::RefCell::new(HashMap::new()),
+            peers,
             ixps_of,
             pni_index,
             as_points,
@@ -379,39 +407,10 @@ impl<'w> RoutingOracle<'w> {
     }
 
     /// Peers of `y`: private-link neighbors plus open co-members at its
-    /// IXPs (active memberships only). Memoised.
-    pub fn peers_of(&self, y: AsId) -> std::rc::Rc<Vec<AsId>> {
-        if let Some(hit) = self.peers_memo.borrow().get(&y) {
-            return hit.clone();
-        }
-        let computed = std::rc::Rc::new(self.peers_of_uncached(y));
-        self.peers_memo.borrow_mut().insert(y, computed.clone());
-        computed
-    }
-
-    fn peers_of_uncached(&self, y: AsId) -> Vec<AsId> {
-        let mut out: Vec<AsId> = self.world.private_peers_of(y).to_vec();
-        let month = self.world.observation_month;
-        if self.world.ases[y.index()].open_peering {
-            for &mid in self.world.memberships_of_as(y) {
-                let m = &self.world.memberships[mid.index()];
-                if !m.active_at(month) {
-                    continue;
-                }
-                for &omid in self.world.memberships_of_ixp(m.ixp) {
-                    let om = &self.world.memberships[omid.index()];
-                    if om.member != y
-                        && om.active_at(month)
-                        && self.world.ases[om.member.index()].open_peering
-                    {
-                        out.push(om.member);
-                    }
-                }
-            }
-        }
-        out.sort();
-        out.dedup();
-        out
+    /// IXPs (active memberships only), sorted. Precomputed at oracle
+    /// construction.
+    pub fn peers_of(&self, y: AsId) -> &[AsId] {
+        &self.peers[y.index()]
     }
 
     /// AS-level path from `src` to `dst`.

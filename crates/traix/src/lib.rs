@@ -1,6 +1,6 @@
 //! # opeer-traix — IXP crossing detection in traceroute paths
 //!
-//! A reimplementation of the traIXroute methodology ([65], configured as
+//! A reimplementation of the traIXroute methodology (\[65\], configured as
 //! in §3.3 of the paper): an IXP crossing is announced when a traceroute
 //! contains an IP triplet `(IP1, IP2, IP3)` such that
 //!

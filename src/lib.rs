@@ -47,7 +47,9 @@ pub use opeer_traix as traix;
 /// The most common imports in one place.
 pub mod prelude {
     pub use opeer_core::baseline::{run_baseline, DEFAULT_THRESHOLD_MS};
-    pub use opeer_core::engine::{run_pipeline_parallel, ParallelConfig};
+    pub use opeer_core::engine::{
+        assemble_and_run_parallel, run_pipeline_parallel, ParallelConfig,
+    };
     pub use opeer_core::metrics::{score, score_per_ixp, Metrics};
     pub use opeer_core::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
     pub use opeer_core::types::{Inference, Step, Verdict};

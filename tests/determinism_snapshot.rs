@@ -99,3 +99,42 @@ fn parallel_engine_matches_pinned_ledger_under_env_threads() {
         par.threads
     );
 }
+
+/// Parallel assembly and the overlapped assemble+infer path, at the
+/// `OPEER_THREADS`-selected pool size, must reproduce the sequential
+/// artifacts and the pinned ledger byte for byte.
+#[test]
+fn parallel_assembly_matches_pinned_ledger_under_env_threads() {
+    let world = WorldConfig::small(SEED).generate();
+    let input = InferenceInput::assemble(&world, SEED);
+    let sequential = run_pipeline(&input, &PipelineConfig::default());
+
+    let par = ParallelConfig::from_env();
+    let assembled = InferenceInput::assemble_parallel(&world, SEED, &par);
+    assert!(
+        assembled.content_eq(&input),
+        "parallel assembly diverged at {} threads",
+        par.threads
+    );
+    let result = run_pipeline_parallel(&assembled, &PipelineConfig::default(), &par);
+    let actual = ledger(&result);
+    assert_eq!(
+        (actual.as_slice(), result.unclassified.len()),
+        (EXPECTED_LEDGER, EXPECTED_UNCLASSIFIED),
+        "ledger over parallel-assembled input drifted at {} threads; actual: {actual:?}",
+        par.threads
+    );
+
+    let (e2e_input, e2e_result) =
+        assemble_and_run_parallel(&world, SEED, &PipelineConfig::default(), &par);
+    assert!(
+        e2e_input.content_eq(&input),
+        "overlapped assembly diverged at {} threads",
+        par.threads
+    );
+    assert_eq!(
+        e2e_result, sequential,
+        "overlapped result diverged from sequential at {} threads",
+        par.threads
+    );
+}

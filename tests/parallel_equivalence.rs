@@ -26,8 +26,8 @@ fn tiny_world(seed: u64) -> WorldConfig {
 
 proptest! {
     // Case count comes from proptest.toml (PROPTEST_CASES overrides);
-    // each case covers world generation, assembly, the sequential
-    // reference and two engine configurations.
+    // each case covers world generation, sequential and parallel
+    // assembly, the sequential reference and two engine configurations.
     #[test]
     fn parallel_equals_sequential_for_any_seed(
         seed in 0u64..10_000,
@@ -38,7 +38,15 @@ proptest! {
         let cfg = PipelineConfig::default();
         let sequential = run_pipeline(&input, &cfg);
         for n in [1, threads] {
-            let parallel = run_pipeline_parallel(&input, &cfg, &ParallelConfig::new(n));
+            let par = ParallelConfig::new(n);
+            let assembled = InferenceInput::assemble_parallel(&world, seed, &par);
+            prop_assert!(
+                assembled.content_eq(&input),
+                "parallel assembly with {} threads diverged on seed {}",
+                n,
+                seed
+            );
+            let parallel = run_pipeline_parallel(&input, &cfg, &par);
             prop_assert_eq!(
                 &parallel,
                 &sequential,
@@ -47,6 +55,21 @@ proptest! {
                 seed
             );
         }
+        // The overlapped path (assembly interleaved with steps 1–3)
+        // must land on the same bytes as both sequential passes.
+        let (e2e_input, e2e_result) =
+            assemble_and_run_parallel(&world, seed, &cfg, &ParallelConfig::new(threads));
+        prop_assert!(
+            e2e_input.content_eq(&input),
+            "overlapped assembly diverged on seed {}",
+            seed
+        );
+        prop_assert_eq!(
+            &e2e_result,
+            &sequential,
+            "overlapped inference diverged on seed {}",
+            seed
+        );
     }
 }
 
@@ -87,6 +110,79 @@ fn shard_merge_order_decides_address_conflicts() {
     let mut sorted = addrs.clone();
     sorted.sort();
     assert_eq!(addrs, sorted);
+}
+
+#[test]
+fn campaign_partials_merge_in_shard_order_on_overlapping_targets() {
+    // Assembly shards the campaign by VP chunk. VPs of one IXP probe
+    // the *same* member interfaces, so a chunk boundary through an
+    // IXP's VP set makes two partials carry observations for
+    // overlapping targets. The merge contract: absorb in range order ==
+    // the sequential per-VP concatenation, byte for byte — order
+    // matters downstream because step 2 breaks RTT ties by first
+    // appearance.
+    use opeer::measure::campaign::{run_campaign, CampaignConfig};
+    use opeer::measure::discover_vps;
+
+    let world = WorldConfig::small(77).generate();
+    let vps = discover_vps(&world, 77);
+    let cfg = CampaignConfig::study(77);
+    let sequential = run_campaign(&world, &vps, cfg);
+
+    // Splits through the middle of an IXP's VP group put observations
+    // of the same targets into both partials (plus a few generic
+    // splits for coverage).
+    let mut splits: Vec<usize> = vec![1, vps.len() / 2, vps.len() - 1];
+    splits.extend(
+        (1..vps.len())
+            .filter(|&s| vps[s - 1].ixp == vps[s].ixp)
+            .take(4),
+    );
+
+    let mut max_overlap = 0usize;
+    for &split in &splits {
+        let (a, b) = vps.split_at(split);
+        let ra = run_campaign(&world, a, cfg);
+        let rb = run_campaign(&world, b, cfg);
+        let ta: std::collections::HashSet<_> = ra.observations.iter().map(|o| o.target).collect();
+        max_overlap = max_overlap.max(
+            rb.observations
+                .iter()
+                .filter(|o| ta.contains(&o.target))
+                .count(),
+        );
+        let mut merged = ra;
+        merged.absorb(rb);
+        assert_eq!(
+            merged, sequential,
+            "split at {split} changed the merged campaign"
+        );
+    }
+    // Sanity: at least one tested split produced overlapping targets,
+    // so the equality above exercised the interesting case.
+    assert!(max_overlap > 0, "no split produced overlapping targets");
+}
+
+#[test]
+fn corpus_shards_concatenate_to_sequential_corpus() {
+    use opeer::measure::traceroute::{build_corpus, plan_corpus, CorpusConfig};
+
+    let world = WorldConfig::small(77).generate();
+    let cfg = CorpusConfig {
+        seed: 77,
+        n_random: 200,
+        ..CorpusConfig::default()
+    };
+    let sequential = build_corpus(&world, cfg);
+    let plan = plan_corpus(&world, &cfg);
+    // Uneven three-way partition of the destination range.
+    let n = plan.len();
+    let cuts = [0, n / 4, (2 * n) / 3, n];
+    let mut merged = Vec::new();
+    for w in cuts.windows(2) {
+        merged.extend(plan.trace_shard(&world, &cfg, w[0]..w[1]));
+    }
+    assert_eq!(merged, sequential, "sharded corpus diverged");
 }
 
 #[test]

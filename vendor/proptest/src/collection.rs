@@ -45,7 +45,7 @@ pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S>
     }
 }
 
-/// Output of [`vec`].
+/// Output of [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

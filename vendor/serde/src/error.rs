@@ -16,7 +16,7 @@ impl Error {
         }
     }
 
-    /// "Expected a <kind> while deserializing <what>".
+    /// "Expected a `<kind>` while deserializing `<what>`".
     pub fn expected(kind: &str, what: &str) -> Self {
         Error {
             msg: format!("expected {kind} while deserializing {what}"),
