@@ -1,9 +1,11 @@
 //! Regenerates every table and figure of the paper — or, with
-//! `--bench-pipeline`, runs the engine scaling study instead.
+//! `--bench-pipeline`, runs the engine scaling study, or, with
+//! `--epochs N`, replays the measurements through the incremental
+//! pipeline in N epoch batches.
 //!
 //! ```text
 //! run_experiments [--scale paper|large|small] [--seed N] [--out DIR]
-//!                 [--bench-pipeline] [--bench-samples N]
+//!                 [--bench-pipeline] [--bench-samples N] [--epochs N]
 //! ```
 //!
 //! Experiment mode writes one `<id>.txt` and one `<id>.json` per
@@ -14,14 +16,27 @@
 //! threads against the sequential reference — three phases: measurement
 //! assembly (`assemble_parallel`), inference (`run_pipeline_parallel`),
 //! and the overlapped end-to-end path (`assemble_and_run_parallel`) —
+//! plus a streaming epoch replay through the incremental pipeline,
 //! writes the machine-readable report to `<out>/BENCH_pipeline.json`
-//! (schema `opeer-bench-pipeline/2`, documented in the README), and
-//! **exits non-zero if any parallel run is not byte-identical to its
-//! sequential reference** (this is the check CI's bench-smoke job
-//! enforces). Bench mode defaults to `--scale large`; experiment mode
-//! defaults to `--scale paper`.
+//! (schema `opeer-bench-pipeline/3`, documented in the README), and
+//! **exits non-zero if any run is not byte-identical to its sequential
+//! reference** (this is the check CI's bench-smoke job enforces).
+//!
+//! Streaming mode (`--epochs N` without `--bench-pipeline`) drives the
+//! incremental pipeline alone: measurements are delivered in N epoch
+//! batches, per-epoch wall-clock and dirty-shard counts are printed,
+//! and the process **exits non-zero if the incremental result diverges
+//! from the one-shot pipeline** — the same contract as
+//! `--bench-pipeline` (CI's determinism job replays this under its
+//! `OPEER_THREADS` matrix). Bench and streaming modes default to
+//! `--scale large`; experiment mode defaults to `--scale paper`.
 
-use opeer_bench::{run_all, run_scaling_study, Session, DEFAULT_THREAD_SWEEP};
+use opeer_bench::{
+    run_all, run_scaling_study, run_streaming_session, Session, DEFAULT_STREAMING_EPOCHS,
+    DEFAULT_THREAD_SWEEP,
+};
+use opeer_core::engine::ParallelConfig;
+use opeer_core::pipeline::PipelineConfig;
 use opeer_topology::WorldConfig;
 use std::io::Write;
 use std::path::PathBuf;
@@ -32,6 +47,7 @@ struct Args {
     out: PathBuf,
     bench_pipeline: bool,
     bench_samples: usize,
+    epochs: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +57,7 @@ fn parse_args() -> Args {
         out: PathBuf::from("target/experiments"),
         bench_pipeline: false,
         bench_samples: 5,
+        epochs: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -65,6 +82,14 @@ fn parse_args() -> Args {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage("bad --bench-samples value"))
             }
+            "--epochs" => {
+                args.epochs = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("bad --epochs value")),
+                )
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -78,7 +103,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: run_experiments [--scale paper|large|small] [--seed N] [--out DIR] \
-                       [--bench-pipeline] [--bench-samples N]"
+                       [--bench-pipeline] [--bench-samples N] [--epochs N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -101,9 +126,10 @@ fn run_bench_pipeline(args: &Args) -> ! {
     let world = cfg.generate();
     eprintln!("  {} [{:?}]", world.summary(), t0.elapsed());
 
+    let epochs = args.epochs.unwrap_or(DEFAULT_STREAMING_EPOCHS);
     eprintln!(
-        "scaling study: {} samples per point, threads {:?}...",
-        args.bench_samples, DEFAULT_THREAD_SWEEP
+        "scaling study: {} samples per point, threads {:?}, {} streaming epochs...",
+        args.bench_samples, DEFAULT_THREAD_SWEEP, epochs
     );
     let report = run_scaling_study(
         scale,
@@ -111,6 +137,7 @@ fn run_bench_pipeline(args: &Args) -> ! {
         args.seed,
         DEFAULT_THREAD_SWEEP,
         args.bench_samples,
+        epochs,
     );
 
     for (phase, scaling) in [
@@ -135,6 +162,7 @@ fn run_bench_pipeline(args: &Args) -> ! {
             );
         }
     }
+    print_streaming(&report.streaming);
 
     std::fs::create_dir_all(&args.out).expect("create output directory");
     let path = args.out.join("BENCH_pipeline.json");
@@ -149,10 +177,61 @@ fn run_bench_pipeline(args: &Args) -> ! {
     std::process::exit(0);
 }
 
+/// Streaming mode: the incremental epoch replay plus the identity gate.
+fn run_streaming(args: &Args, epochs: usize) -> ! {
+    let scale = args.scale.as_deref().unwrap_or("large");
+    let cfg = world_config(scale, args.seed);
+    eprintln!("generating world (scale={scale}, seed={})...", args.seed);
+    let t0 = std::time::Instant::now();
+    let world = cfg.generate();
+    eprintln!("  {} [{:?}]", world.summary(), t0.elapsed());
+
+    let par = ParallelConfig::from_env();
+    eprintln!(
+        "streaming replay: {} epochs, {} worker threads...",
+        epochs, par.threads
+    );
+    let report = run_streaming_session(&world, args.seed, epochs, &PipelineConfig::default(), &par);
+    print_streaming(&report);
+
+    if !report.identical {
+        eprintln!("error: incremental replay diverged from the one-shot pipeline");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+fn print_streaming(s: &opeer_bench::StreamingReport) {
+    println!("[streaming: {} epochs]", s.epochs);
+    println!("  base (registry + vps + prefix2as)  {:8.3} ms", s.base_ms);
+    for e in &s.per_epoch {
+        println!(
+            "  epoch {:<2} +{:>6} obs +{:>6} traces  {:8.3} ms  dirty: s1={} s2={} s3={} corpus={} s4={} s5={}",
+            e.epoch,
+            e.campaign_observations,
+            e.corpus_traces,
+            e.wall_ms,
+            e.dirty.step1_ixps,
+            e.dirty.step2_observations,
+            e.dirty.step3_targets,
+            e.dirty.corpus_traces,
+            e.dirty.step4_candidates,
+            e.dirty.step5_ixps,
+        );
+    }
+    println!(
+        "  last epoch: {} of {} shard units dirty; {:.3} ms vs {:.3} ms full re-run; identical={}",
+        s.last_epoch_dirty, s.total_shards, s.last_epoch_ms, s.full_rerun_ms, s.identical
+    );
+}
+
 fn main() {
     let args = parse_args();
     if args.bench_pipeline {
         run_bench_pipeline(&args);
+    }
+    if let Some(epochs) = args.epochs {
+        run_streaming(&args, epochs);
     }
     let scale = args.scale.as_deref().unwrap_or("paper").to_string();
     let cfg = world_config(&scale, args.seed);

@@ -21,14 +21,22 @@
 //!   (`.txt` + `.json` pair) for the `run_experiments` binary.
 //! * [`run_scaling_study`] / [`ScalingReport`] — the engine scaling
 //!   study behind `run_experiments --bench-pipeline`: assembly,
-//!   pipeline, and overlapped end-to-end sweeps with byte-identity
-//!   gates, serialised as `BENCH_pipeline.json` (schema documented in
-//!   the README).
+//!   pipeline, overlapped end-to-end, and streaming epoch-replay sweeps
+//!   with byte-identity gates, serialised as `BENCH_pipeline.json`
+//!   (schema documented in the README).
+//! * [`run_streaming_session`] / [`StreamingReport`] — the epoch replay
+//!   behind `run_experiments --epochs N`: measurements delivered in
+//!   batches through the incremental pipeline, per-epoch dirty-shard
+//!   accounting, byte-identity audit against the one-shot run.
 
 pub mod experiments;
 pub mod scaling;
 pub mod session;
+pub mod streaming;
 
 pub use experiments::{run_all, Rendered};
-pub use scaling::{run_scaling_study, PhaseScaling, ScalingReport, DEFAULT_THREAD_SWEEP};
+pub use scaling::{
+    run_scaling_study, PhaseScaling, ScalingReport, DEFAULT_STREAMING_EPOCHS, DEFAULT_THREAD_SWEEP,
+};
 pub use session::Session;
+pub use streaming::{run_streaming_session, EpochCost, StreamingReport};

@@ -1,14 +1,16 @@
 //! The engine scaling study: sequential vs the sharded parallel engine
 //! at several thread counts — for the inference pipeline, for
-//! measurement assembly, and for the overlapped end-to-end path — with
-//! byte-identity checks and a machine-readable report
-//! (`BENCH_pipeline.json`, schema `opeer-bench-pipeline/2`).
+//! measurement assembly, and for the overlapped end-to-end path — plus
+//! the streaming epoch replay, with byte-identity checks and a
+//! machine-readable report (`BENCH_pipeline.json`, schema
+//! `opeer-bench-pipeline/3`).
 //!
 //! Used by the `pipeline_scaling` / `assembly_scaling` criterion
 //! benches and by `run_experiments --bench-pipeline` (which is what
 //! CI's bench-smoke job runs and archives). The README documents the
 //! report schema field by field.
 
+use crate::streaming::{run_streaming_session, StreamingReport};
 use opeer_core::engine::{assemble_and_run_parallel, run_pipeline_parallel, ParallelConfig};
 use opeer_core::pipeline::{run_pipeline, PipelineConfig};
 use opeer_core::InferenceInput;
@@ -104,9 +106,14 @@ pub struct ScalingReport {
     /// overlapped `assemble_and_run_parallel` (corpus tracing runs
     /// under steps 1–3).
     pub end_to_end: PhaseScaling,
-    /// Whether every parallel run in every phase matched its sequential
-    /// reference byte for byte — the gate `run_experiments
-    /// --bench-pipeline` enforces with its exit code.
+    /// Streaming epoch replay through the incremental pipeline:
+    /// per-epoch wall-clock and dirty-shard counts, plus the cost of the
+    /// full re-run the last epoch's delta replaces.
+    pub streaming: StreamingReport,
+    /// Whether every parallel run in every phase — and the final state
+    /// of the streaming replay — matched its sequential reference byte
+    /// for byte: the gate `run_experiments --bench-pipeline` enforces
+    /// with its exit code.
     pub all_identical: bool,
 }
 
@@ -152,16 +159,21 @@ fn timed<R>(samples: usize, f: impl FnMut() -> R) -> (TimingMs, R) {
     (timing, last)
 }
 
+/// Epoch count the streaming section of the study replays by default.
+pub const DEFAULT_STREAMING_EPOCHS: usize = 4;
+
 /// Runs the study: for each of the three phases (assembly, pipeline,
 /// end-to-end), `samples` timed sequential runs, then `samples` timed
 /// parallel runs per thread count, each checked byte-for-byte against
-/// the sequential reference.
+/// the sequential reference — plus one streaming replay of the same
+/// world in `epochs` batches through the incremental pipeline.
 pub fn run_scaling_study(
     world_label: &str,
     world: &World,
     seed: u64,
     thread_sweep: &[usize],
     samples: usize,
+    epochs: usize,
 ) -> ScalingReport {
     let samples = samples.max(1);
     let cfg = PipelineConfig::default();
@@ -241,10 +253,24 @@ pub fn run_scaling_study(
         points: e2e_points,
     };
 
-    let all_identical =
-        assembly.all_identical && pipeline.all_identical && end_to_end.all_identical;
+    // ---- streaming epoch replay (incremental pipeline) ----
+    // One replay, not a thread sweep: the per-epoch dirty counts are
+    // schedule-independent, and the determinism CI matrix already
+    // re-runs the replay at 1/2/8 threads.
+    let streaming = run_streaming_session(
+        world,
+        seed,
+        epochs,
+        &cfg,
+        &ParallelConfig::new(thread_sweep.last().copied().unwrap_or(1)),
+    );
+
+    let all_identical = assembly.all_identical
+        && pipeline.all_identical
+        && end_to_end.all_identical
+        && streaming.identical;
     ScalingReport {
-        schema: "opeer-bench-pipeline/2",
+        schema: "opeer-bench-pipeline/3",
         world: world_label.to_string(),
         seed,
         ixps: input.observed.ixps.len(),
@@ -255,6 +281,7 @@ pub fn run_scaling_study(
         assembly,
         pipeline,
         end_to_end,
+        streaming,
         all_identical,
     }
 }
@@ -267,22 +294,29 @@ mod tests {
     #[test]
     fn study_reports_identical_results_on_small_world() {
         let world = WorldConfig::small(7).generate();
-        let report = run_scaling_study("small", &world, 7, &[1, 2], 1);
+        let report = run_scaling_study("small", &world, 7, &[1, 2], 1, 3);
         assert!(report.all_identical, "a parallel phase diverged");
         assert!(report.assembly.all_identical);
         assert!(report.pipeline.all_identical);
         assert!(report.end_to_end.all_identical);
+        assert!(report.streaming.identical);
         assert_eq!(report.pipeline.points.len(), 2);
         assert_eq!(report.assembly.points.len(), 2);
         assert_eq!(report.end_to_end.points.len(), 2);
+        assert_eq!(report.streaming.per_epoch.len(), 3);
+        assert!(
+            report.streaming.last_epoch_dirty < report.streaming.total_shards,
+            "streaming replay is not incremental"
+        );
         assert!(report.speedup_at(2).is_some());
         assert!(report.assembly.speedup_at(2).is_some());
         assert!(report.pipeline.sequential_ms.min > 0.0);
         assert!(report.assembly.sequential_ms.min > 0.0);
         let json = serde_json::to_string(&report).expect("report serialises");
         assert!(json.contains("\"schema\":"));
-        assert!(json.contains("opeer-bench-pipeline/2"));
+        assert!(json.contains("opeer-bench-pipeline/3"));
         assert!(json.contains("\"assembly\":"));
         assert!(json.contains("\"end_to_end\":"));
+        assert!(json.contains("\"streaming\":"));
     }
 }

@@ -1,0 +1,174 @@
+//! The streaming ingestion study: replay a world's measurements in N
+//! epoch batches through the incremental pipeline
+//! ([`opeer_core::incremental`]) and record what each epoch cost —
+//! wall-clock plus the dirty-shard counts along every step axis — next
+//! to the cost of a full re-run over the same final input.
+//!
+//! This is the schema-v3 `streaming` section of `BENCH_pipeline.json`
+//! and the engine behind `run_experiments --epochs N` (which exits
+//! non-zero if the incremental replay diverges from the one-shot
+//! pipeline, the same contract as `--bench-pipeline`).
+
+use opeer_core::engine::ParallelConfig;
+use opeer_core::incremental::{DirtyCounts, IncrementalPipeline, InputDelta, ShardTotals};
+use opeer_core::input::default_configs;
+use opeer_core::pipeline::{run_pipeline, PipelineConfig};
+use opeer_core::InferenceInput;
+use opeer_measure::campaign::campaign_batches;
+use opeer_measure::traceroute::corpus_batches;
+use opeer_topology::World;
+use serde::Serialize;
+use std::time::Instant;
+
+/// What one epoch's delta application cost.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct EpochCost {
+    /// Epoch index (1-based; epoch 0 is the measurement-free base).
+    pub epoch: usize,
+    /// New campaign observations delivered this epoch.
+    pub campaign_observations: usize,
+    /// New corpus traceroutes delivered this epoch.
+    pub corpus_traces: usize,
+    /// Wall-clock of the `apply` call, ms (inference only — batch
+    /// generation happens outside the clock).
+    pub wall_ms: f64,
+    /// Shard units the apply actually recomputed, per step axis.
+    pub dirty: DirtyCounts,
+}
+
+/// The full streaming study, serialised into `BENCH_pipeline.json`'s
+/// `streaming` section (schema v3).
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamingReport {
+    /// Epoch batches actually replayed (may be fewer than requested on
+    /// worlds with fewer VPs / corpus destinations than epochs).
+    pub epochs: usize,
+    /// Wall-clock of the epoch-0 base build (registry fusion, VP
+    /// discovery, `prefix2as`, first — empty — pipeline pass), ms.
+    pub base_ms: f64,
+    /// Per-epoch application costs, in replay order.
+    pub per_epoch: Vec<EpochCost>,
+    /// The final shard population along every axis — the denominator
+    /// for the dirty counts above.
+    pub totals: ShardTotals,
+    /// Total dirty shard units of the **last** epoch (what a one-epoch
+    /// delta re-run costs on a warm state).
+    pub last_epoch_dirty: usize,
+    /// Total shard units of a from-scratch run over the final input.
+    pub total_shards: usize,
+    /// Wall-clock of the last epoch's apply, ms.
+    pub last_epoch_ms: f64,
+    /// Wall-clock of a one-shot `run_pipeline` over the final input, ms
+    /// — the full re-run the last epoch's delta replaces.
+    pub full_rerun_ms: f64,
+    /// Whether the accumulated input and the final incremental result
+    /// were byte-identical to the one-shot assembly + pipeline. This is
+    /// the gate `run_experiments --epochs` enforces with its exit code.
+    pub identical: bool,
+}
+
+/// Replays `(world, seed)`'s measurements in `epochs` batches through a
+/// retained [`IncrementalPipeline`] and audits the final state against
+/// the one-shot path byte for byte.
+///
+/// The epoch batches come from the `opeer-measure` emitters
+/// ([`campaign_batches`] / [`corpus_batches`]), so the accumulated
+/// input is — by their contract — the same bytes
+/// [`InferenceInput::assemble`] produces; the audit verifies it anyway.
+pub fn run_streaming_session(
+    world: &World,
+    seed: u64,
+    epochs: usize,
+    cfg: &PipelineConfig,
+    par: &ParallelConfig,
+) -> StreamingReport {
+    let epochs = epochs.max(1);
+    let (_registry, campaign_cfg, corpus_cfg) = default_configs(seed);
+
+    // Epoch 0: the measurement-free substrate.
+    let t0 = Instant::now();
+    let base = InferenceInput::assemble_base(world, seed);
+    let mut pipe = IncrementalPipeline::new(base, cfg, par);
+    let base_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Batch generation happens outside the timed windows: the study
+    // measures incremental *inference*, not measurement emission.
+    let camp = campaign_batches(world, &pipe.input().vps, campaign_cfg, epochs);
+    let corp = corpus_batches(world, corpus_cfg, epochs);
+
+    // The emitters cap at the item counts, so tiny worlds may yield
+    // fewer batches than requested; an empty delta keeps the replay
+    // non-degenerate either way.
+    let mut deltas = InputDelta::zip_batches(camp, corp);
+    if deltas.is_empty() {
+        deltas.push(InputDelta::default());
+    }
+    let mut per_epoch = Vec::with_capacity(deltas.len());
+    for (e, delta) in deltas.into_iter().enumerate() {
+        let campaign_observations = delta.campaign.as_ref().map_or(0, |c| c.observations.len());
+        let corpus_traces = delta.corpus.len();
+        let t = Instant::now();
+        pipe.apply(delta);
+        per_epoch.push(EpochCost {
+            epoch: e + 1,
+            campaign_observations,
+            corpus_traces,
+            wall_ms: t.elapsed().as_secs_f64() * 1e3,
+            dirty: pipe.last_dirty(),
+        });
+    }
+
+    // The one-shot reference and the byte-identity audit.
+    let full = InferenceInput::assemble(world, seed);
+    let t = Instant::now();
+    let one_shot = run_pipeline(&full, cfg);
+    let full_rerun_ms = t.elapsed().as_secs_f64() * 1e3;
+    let identical = pipe.input().content_eq(&full) && *pipe.result() == one_shot;
+
+    let totals = pipe.totals();
+    let last = per_epoch.last().expect("at least one epoch ran");
+    StreamingReport {
+        epochs: per_epoch.len(),
+        base_ms,
+        last_epoch_dirty: last.dirty.total(),
+        total_shards: totals.total(),
+        last_epoch_ms: last.wall_ms,
+        full_rerun_ms,
+        per_epoch,
+        totals,
+        identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn streaming_replay_is_identical_and_incremental() {
+        let world = WorldConfig::small(7).generate();
+        let report = run_streaming_session(
+            &world,
+            7,
+            3,
+            &PipelineConfig::default(),
+            &ParallelConfig::new(2),
+        );
+        assert!(report.identical, "incremental replay diverged");
+        assert_eq!(report.per_epoch.len(), 3);
+        assert!(
+            report.last_epoch_dirty < report.total_shards,
+            "last epoch ({}) recomputed no less than a full run ({})",
+            report.last_epoch_dirty,
+            report.total_shards
+        );
+        // Without registry revisions, step 1 never re-runs after epoch 0.
+        for cost in &report.per_epoch {
+            assert_eq!(cost.dirty.step1_ixps, 0, "epoch {}", cost.epoch);
+        }
+        let json = serde_json::to_string(&report).expect("report serialises");
+        assert!(json.contains("\"per_epoch\":"));
+        assert!(json.contains("\"identical\":true"));
+    }
+}

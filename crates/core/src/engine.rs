@@ -109,22 +109,12 @@ impl Default for ParallelConfig {
 /// schedule-independent total. The pipeline phases, the parallel
 /// measurement assembly ([`crate::input::InferenceInput::assemble_parallel`]),
 /// and future parameter sweeps all shard through this one function.
+///
+/// Delegates to [`opeer_measure::batch_ranges`] — the same cut points
+/// the streaming epoch emitters use — so the partition logic cannot
+/// drift between the shard scheduler and the batch layer.
 pub fn shard_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
-    let k = k.max(1);
-    if n == 0 {
-        return Vec::new();
-    }
-    let k = k.min(n);
-    let base = n / k;
-    let extra = n % k;
-    let mut ranges = Vec::with_capacity(k);
-    let mut start = 0;
-    for i in 0..k {
-        let len = base + usize::from(i < extra);
-        ranges.push(start..start + len);
-        start += len;
-    }
-    ranges
+    opeer_measure::batch_ranges(n, k)
 }
 
 /// Runs `f(0), …, f(n-1)` on up to `threads` scoped worker threads and
@@ -138,6 +128,17 @@ pub fn shard_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
 /// results must depend only on the index). Tasks need not be
 /// homogeneous: heterogeneous workloads dispatch on the index (see the
 /// parallel assembly fan-out in `crate::input`).
+///
+/// # Panics
+///
+/// If a shard task panics, the run aborts: no further task indices are
+/// handed out (in-flight shards finish), and once the pool drains the
+/// **original panic payload** of the lowest panicking index is re-raised
+/// on the calling thread via [`std::panic::resume_unwind`]. Without
+/// this, `std::thread::scope`'s implicit join would discard the payload
+/// and double-panic with an opaque "a scoped thread panicked". Picking
+/// the lowest index keeps the surfaced payload deterministic when
+/// several shards fail at once.
 pub fn map_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -149,6 +150,7 @@ where
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let panicked: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -156,11 +158,25 @@ where
                 if i >= n {
                     break;
                 }
-                let r = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                    Ok(r) => *slots[i].lock().expect("result slot poisoned") = Some(r),
+                    Err(payload) => {
+                        let mut first = panicked.lock().expect("panic slot poisoned");
+                        if first.as_ref().is_none_or(|&(j, _)| i < j) {
+                            *first = Some((i, payload));
+                        }
+                        drop(first);
+                        // Stop dispatching: queued shards never start.
+                        next.store(n, Ordering::Relaxed);
+                        break;
+                    }
+                }
             });
         }
     });
+    if let Some((_, payload)) = panicked.into_inner().expect("panic slot poisoned") {
+        std::panic::resume_unwind(payload);
+    }
     slots
         .into_iter()
         .map(|m| {
@@ -462,6 +478,75 @@ mod tests {
     fn map_indexed_preserves_order() {
         let out = map_indexed(100, 8, |i| i * 3);
         assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_shard_surfaces_original_payload() {
+        // A shard panic must abort the run and re-raise the *original*
+        // payload on the caller — not std's opaque "a scoped thread
+        // panicked" join failure.
+        let caught = std::panic::catch_unwind(|| {
+            map_indexed(64, 4, |i| {
+                if i == 7 {
+                    std::panic::panic_any("shard 7 exploded");
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("panic must propagate to the caller");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("shard 7 exploded")
+        );
+
+        // `panic!` with formatting surfaces as the formatted String.
+        let caught = std::panic::catch_unwind(|| {
+            map_indexed(16, 3, |i| {
+                if i == 5 {
+                    panic!("task {i} failed");
+                }
+                i * 2
+            })
+        });
+        let payload = caught.expect_err("panic must propagate to the caller");
+        assert_eq!(
+            payload.downcast_ref::<String>().map(String::as_str),
+            Some("task 5 failed")
+        );
+
+        // The sequential degenerate path (threads <= 1) propagates too.
+        let caught = std::panic::catch_unwind(|| {
+            map_indexed(4, 1, |i| {
+                if i == 2 {
+                    std::panic::panic_any(1234usize);
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("sequential panic must propagate");
+        assert_eq!(payload.downcast_ref::<usize>().copied(), Some(1234));
+
+        // When several shards panic, the lowest index's payload wins —
+        // deterministic regardless of which worker hit its panic first.
+        for _ in 0..8 {
+            let caught = std::panic::catch_unwind(|| {
+                map_indexed(32, 4, |i| {
+                    if i % 2 == 1 {
+                        std::panic::panic_any(i);
+                    }
+                    i
+                })
+            });
+            let payload = caught.expect_err("panic must propagate");
+            let idx = *payload.downcast_ref::<usize>().expect("usize payload");
+            assert!(idx % 2 == 1, "payload from a non-panicking shard: {idx}");
+            // Index 1 is dispatched before any worker can park the
+            // counter, so the winning payload is always shard 1's.
+            assert_eq!(idx, 1, "lowest panicking index must win");
+        }
+
+        // And the pool still works after all that.
+        assert_eq!(map_indexed(10, 4, |i| i + 1), (1..=10).collect::<Vec<_>>());
     }
 
     #[test]

@@ -89,6 +89,57 @@ mod tests {
     }
 
     #[test]
+    fn report_is_pinned_on_seed_42() {
+        // Exact per-field pin (same spirit as tests/determinism_snapshot.rs):
+        // a refactor that re-rolls the timeline or re-derives the stats
+        // differently trips this even when the growth *shape* survives.
+        // Regenerate by printing the actual report on a change that
+        // intentionally re-rolls worlds.
+        let w = WorldConfig::small(42).generate();
+        let report = evolution_report(&w, 14);
+        assert_eq!(report.ixps, ["LINX LON", "HKIX", "LONAP", "THINX", "UA-IX"]);
+        assert_eq!(report.switchers.len(), 4);
+        assert_eq!(report.stats.local_joins, 10);
+        assert_eq!(report.stats.remote_joins, 7);
+        assert_eq!(report.stats.local_departures, 3);
+        assert_eq!(report.stats.remote_departures, 5);
+        assert_eq!(report.stats.join_ratio, Some(0.7));
+        assert_eq!(report.stats.departure_rate_ratio, Some(6.875));
+        let first = report.series.first().expect("month 0 exists");
+        assert_eq!((first.local, first.remote), (66, 16));
+        let last = report.series.last().expect("month 14 exists");
+        assert_eq!((last.month, last.local, last.remote), (14, 73, 18));
+        let idx = growth_index(&report.series);
+        let (m, l, r) = *idx.last().expect("index non-empty");
+        assert_eq!(m, 14);
+        assert!((l - 73.0 / 66.0).abs() < 1e-12, "local index {l}");
+        assert!((r - 18.0 / 16.0).abs() < 1e-12, "remote index {r}");
+    }
+
+    #[test]
+    fn monthly_reports_are_prefix_consistent_like_epochs() {
+        // The longitudinal window is the archive analogue of streaming
+        // epochs: extending the window by a month must extend the series
+        // without rewriting history, so an incremental consumer that
+        // keeps the previous months' rows stays byte-identical to a
+        // from-scratch report.
+        let w = WorldConfig::small(42).generate();
+        let full = evolution_report(&w, 14);
+        for months in [0u32, 1, 7, 13] {
+            let partial = evolution_report(&w, months);
+            assert_eq!(partial.ixps, full.ixps);
+            assert_eq!(
+                partial.series.as_slice(),
+                &full.series[..=months as usize],
+                "window of {months} months is not a prefix"
+            );
+            let idx_partial = growth_index(&partial.series);
+            let idx_full = growth_index(&full.series);
+            assert_eq!(idx_partial.as_slice(), &idx_full[..=months as usize]);
+        }
+    }
+
+    #[test]
     fn growth_index_starts_at_one() {
         let w = WorldConfig::small(113).generate();
         let report = evolution_report(&w, 14);

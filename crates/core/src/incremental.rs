@@ -1,0 +1,812 @@
+//! Incremental, delta-driven execution of the five-step pipeline.
+//!
+//! [`crate::pipeline::run_pipeline`] is a pure function of a frozen
+//! [`InferenceInput`]; this module re-expresses it as an **incremental
+//! dataflow** for streaming ingestion: campaign observations and public
+//! traceroutes arrive in epoch batches ([`InputDelta`]), and a retained
+//! [`IncrementalPipeline`] recomputes only the shards each delta
+//! touches — along exactly the axes the parallel engine already shards
+//! on (step 1/5 by IXP, step 2 by campaign chunk, step 3 by target,
+//! step 4 by corpus chunk + candidate ASN) — then re-merges into the
+//! ledger with the same fixed order and first-writer-wins semantics.
+//!
+//! ## The dirty-shard model
+//!
+//! The cache holds **per-shard outputs**, not the merged result: per-IXP
+//! step-1 ledgers, the step-2 consolidation map, per-target step-3
+//! evaluations, the set-union step-4 evidence and per-candidate
+//! outcomes, the append-only step-5 evidence and per-IXP proposal
+//! lists. Each [`IncrementalPipeline::apply`] recomputes the dirty
+//! shards on the engine's [`map_indexed`] pool and then replays the
+//! cheap deterministic merge over *all* cached shard outputs, so the
+//! merge order — the part that decides address collisions — is always
+//! the full sequential order, never an incremental approximation.
+//!
+//! Dirtiness propagates along real data dependencies:
+//!
+//! * a **campaign batch** consolidates only its own observation range
+//!   (step 2); targets whose best observation changed re-evaluate
+//!   (step 3); candidates whose own LAN priors or annuli changed
+//!   re-classify (step 4); IXPs whose unknown set changed re-vote
+//!   (step 5);
+//! * a **corpus batch** is scanned once for step-4 pairs/crossings and
+//!   once for step-5 private adjacencies; only candidate ASNs whose
+//!   evidence actually **grew** re-classify, and only IXPs hosting an
+//!   ASN with new witnesses (or whose unknown set changed) re-vote;
+//! * a **registry revision** invalidates everything — the fused dataset
+//!   is the substrate every step resolves through, so it triggers a
+//!   full re-run (equivalent to a fresh [`IncrementalPipeline::new`]).
+//!
+//! Evidence is monotone within a registry epoch (campaign and corpus
+//! only append), which is what makes the per-candidate and per-IXP
+//! caches sound: a clean shard's inputs are byte-identical to the ones
+//! it was computed from.
+//!
+//! ## The contract
+//!
+//! For **any** consecutive partition of the measurements into epoch
+//! batches, at **any** thread count, the [`PipelineResult`] after the
+//! last epoch is byte-identical to the one-shot
+//! [`run_pipeline`][crate::pipeline::run_pipeline] over the fully
+//! assembled input — `tests/incremental_equivalence.rs` proptests this
+//! over random partitions, and the pinned snapshot re-checks it under
+//! CI's `OPEER_THREADS` matrix.
+
+use crate::engine::{map_indexed, shard_ranges, ParallelConfig};
+use crate::input::InferenceInput;
+use crate::pipeline::{PipelineConfig, PipelineResult, StepCounts};
+use crate::steps::step2::RttObservation;
+use crate::steps::step3::Step3Detail;
+use crate::steps::step4::{self, CandidateOutcome, CorpusChunk, Step4Evidence};
+use crate::steps::step5::{self, PrivateEvidence};
+use crate::steps::{step1, step2, step3, Ledger};
+use crate::types::{Inference, Unclassified};
+use opeer_measure::campaign::CampaignResult;
+use opeer_measure::traceroute::Traceroute;
+use opeer_net::Asn;
+use opeer_registry::{ObservedWorld, Table1Stats};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// One cached step-3 evaluation: the per-target detail plus the
+/// inference it produced, if any.
+type Step3Eval = (Step3Detail, Option<Inference>);
+
+/// One epoch's worth of new input: any combination of a campaign
+/// partial, a traceroute batch, and a registry revision.
+///
+/// Campaign partials must be [`CampaignResult::absorb`]-compatible —
+/// produced over VP ranges that continue where the retained campaign
+/// left off (e.g. the epoch slices of
+/// [`opeer_measure::campaign::campaign_batches`]), because step 2
+/// breaks RTT ties by first appearance. Corpus batches concatenate in
+/// arrival order (e.g.
+/// [`opeer_measure::traceroute::corpus_batches`]); any consecutive
+/// slicing works since step 4/5 evidence merges are order-independent
+/// sets and in-order appends respectively.
+#[derive(Default)]
+pub struct InputDelta {
+    /// New campaign observations (appended via [`CampaignResult::absorb`]).
+    pub campaign: Option<CampaignResult>,
+    /// New public traceroutes (appended to the corpus).
+    pub corpus: Vec<Traceroute>,
+    /// A registry revision replacing the fused dataset (full re-run).
+    pub registry: Option<Box<(ObservedWorld, Table1Stats)>>,
+}
+
+impl InputDelta {
+    /// A delta carrying one campaign partial.
+    pub fn campaign(partial: CampaignResult) -> Self {
+        InputDelta {
+            campaign: Some(partial),
+            ..InputDelta::default()
+        }
+    }
+
+    /// A delta carrying one traceroute batch.
+    pub fn corpus(batch: Vec<Traceroute>) -> Self {
+        InputDelta {
+            corpus: batch,
+            ..InputDelta::default()
+        }
+    }
+
+    /// A delta carrying a registry revision.
+    pub fn registry(observed: ObservedWorld, table1: Table1Stats) -> Self {
+        InputDelta {
+            registry: Some(Box::new((observed, table1))),
+            ..InputDelta::default()
+        }
+    }
+
+    /// Adds a campaign partial to this delta.
+    pub fn with_campaign(mut self, partial: CampaignResult) -> Self {
+        self.campaign = Some(partial);
+        self
+    }
+
+    /// Adds a traceroute batch to this delta.
+    pub fn with_corpus(mut self, batch: Vec<Traceroute>) -> Self {
+        self.corpus = batch;
+        self
+    }
+
+    /// Whether the delta carries nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.campaign.is_none() && self.corpus.is_empty() && self.registry.is_none()
+    }
+
+    /// Zips parallel campaign and corpus batch lists — the outputs of
+    /// [`opeer_measure::campaign::campaign_batches`] and
+    /// [`opeer_measure::traceroute::corpus_batches`] — into one delta
+    /// per epoch, padding the shorter list with an empty half.
+    pub fn zip_batches(
+        campaign: Vec<CampaignResult>,
+        corpus: Vec<Vec<Traceroute>>,
+    ) -> Vec<InputDelta> {
+        let epochs = campaign.len().max(corpus.len());
+        let mut campaign = campaign.into_iter();
+        let mut corpus = corpus.into_iter();
+        (0..epochs)
+            .map(|_| InputDelta {
+                campaign: campaign.next(),
+                corpus: corpus.next().unwrap_or_default(),
+                registry: None,
+            })
+            .collect()
+    }
+}
+
+/// How much work one [`IncrementalPipeline::apply`] actually did, in
+/// shard units along each step's axis. Recorded into the
+/// `BENCH_pipeline.json` schema-v3 `streaming` section so the saving of
+/// a delta re-run over a full re-run is visible per push.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirtyCounts {
+    /// Step-1 IXP shards recomputed (registry revisions only).
+    pub step1_ixps: usize,
+    /// New campaign observations consolidated by step 2.
+    pub step2_observations: usize,
+    /// Step-3 targets re-evaluated (new or improved best observation).
+    pub step3_targets: usize,
+    /// New traceroutes scanned for step-4 and step-5 evidence.
+    pub corpus_traces: usize,
+    /// Step-4 candidate ASNs re-classified (alias resolution and rule
+    /// application — the expensive per-candidate work).
+    pub step4_candidates: usize,
+    /// Step-5 IXP shards whose facility vote re-ran.
+    pub step5_ixps: usize,
+}
+
+impl DirtyCounts {
+    /// Total dirty shard units across all axes.
+    pub fn total(&self) -> usize {
+        self.step1_ixps
+            + self.step2_observations
+            + self.step3_targets
+            + self.corpus_traces
+            + self.step4_candidates
+            + self.step5_ixps
+    }
+}
+
+/// The full shard population along each axis — what a from-scratch run
+/// recomputes. The denominator for [`DirtyCounts`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardTotals {
+    /// Observed IXPs (the step-1 and step-5 axis).
+    pub ixps: usize,
+    /// Campaign observations held (the step-2 axis).
+    pub campaign_observations: usize,
+    /// Consolidated targets (the step-3 axis).
+    pub targets: usize,
+    /// Corpus traceroutes held (the evidence-scan axis).
+    pub corpus_traces: usize,
+    /// Multi-IXP candidate ASNs (the step-4 classification axis).
+    pub step4_candidates: usize,
+}
+
+impl ShardTotals {
+    /// Total shard units across all axes.
+    pub fn total(&self) -> usize {
+        self.ixps * 2
+            + self.campaign_observations
+            + self.targets
+            + self.corpus_traces
+            + self.step4_candidates
+    }
+}
+
+/// Retained state of the incremental pipeline: the accumulated input
+/// plus every per-shard output of the last run, so the next
+/// [`IncrementalPipeline::apply`] can recompute only what a delta
+/// touches. See the [module docs](self) for the dirty-shard model.
+pub struct IncrementalPipeline<'w> {
+    input: InferenceInput<'w>,
+    cfg: PipelineConfig,
+    par: ParallelConfig,
+
+    // ---- registry-derived lookup tables (rebuilt on revisions) ----
+    /// `ASN → observed IXP indices` it holds interfaces at.
+    asn_ixps: BTreeMap<Asn, BTreeSet<usize>>,
+
+    // ---- per-shard caches ----
+    /// Step 1: one ledger per observed IXP.
+    step1: Vec<Ledger>,
+    /// Step 2: the merged best-observation map.
+    observations: BTreeMap<Ipv4Addr, RttObservation>,
+    /// Step 3: per-target evaluation (detail + optional inference).
+    step3: BTreeMap<Ipv4Addr, Step3Eval>,
+    /// Merged steps-1–3 ledger of the last run (step 4's frozen priors).
+    ledger123: Ledger,
+    /// Step 4: lookup data + set-union corpus evidence (grows in place).
+    evidence: Step4Evidence,
+    /// Step 4: cached outcome per candidate ASN.
+    outcomes: BTreeMap<Asn, CandidateOutcome>,
+    /// Step 5: append-only private-adjacency evidence.
+    ev5: PrivateEvidence,
+    /// Step 5: cached proposals per observed IXP.
+    step5_proposals: Vec<Vec<Inference>>,
+    /// Step 5: each IXP shard's input fingerprint — the addresses still
+    /// unknown after steps 1–4 when its proposals were computed.
+    step5_unknown: Vec<Vec<Ipv4Addr>>,
+
+    result: PipelineResult,
+    last_dirty: DirtyCounts,
+    epochs_applied: usize,
+}
+
+impl<'w> IncrementalPipeline<'w> {
+    /// Builds the retained pipeline over an initial input (epoch 0) and
+    /// runs it once. The input may be measurement-free
+    /// ([`InferenceInput::assemble_base`]) with batches streamed in via
+    /// [`IncrementalPipeline::apply`], or fully assembled for a warm
+    /// start.
+    pub fn new(input: InferenceInput<'w>, cfg: &PipelineConfig, par: &ParallelConfig) -> Self {
+        let mut pipe = IncrementalPipeline {
+            input,
+            cfg: *cfg,
+            par: *par,
+            asn_ixps: BTreeMap::new(),
+            step1: Vec::new(),
+            observations: BTreeMap::new(),
+            step3: BTreeMap::new(),
+            ledger123: Ledger::new(),
+            evidence: Step4Evidence {
+                data: opeer_traix::IxpData::new(),
+                as_pairs: BTreeMap::new(),
+                crossings: BTreeMap::new(),
+                lan_ifaces: BTreeMap::new(),
+            },
+            outcomes: BTreeMap::new(),
+            ev5: PrivateEvidence::default(),
+            step5_proposals: Vec::new(),
+            step5_unknown: Vec::new(),
+            result: PipelineResult {
+                inferences: Vec::new(),
+                unclassified: Vec::new(),
+                observations: BTreeMap::new(),
+                step3_details: Vec::new(),
+                multi_ixp_routers: Vec::new(),
+                counts: StepCounts::default(),
+            },
+            last_dirty: DirtyCounts::default(),
+            epochs_applied: 0,
+        };
+        pipe.recompute(true, 0, 0);
+        pipe
+    }
+
+    /// Absorbs one delta and brings the result up to date, recomputing
+    /// only the dirty shards. Returns the refreshed result — always
+    /// byte-identical to a one-shot [`crate::pipeline::run_pipeline`]
+    /// over the accumulated input.
+    pub fn apply(&mut self, delta: InputDelta) -> &PipelineResult {
+        let registry_changed = delta.registry.is_some();
+        if let Some(rev) = delta.registry {
+            let (observed, table1) = *rev;
+            self.input.observed = observed;
+            self.input.table1 = table1;
+        }
+        let campaign_start = self.input.campaign.observations.len();
+        if let Some(partial) = delta.campaign {
+            self.input.campaign.absorb(partial);
+        }
+        let corpus_start = self.input.corpus.len();
+        self.input.corpus.extend(delta.corpus);
+
+        self.epochs_applied += 1;
+        self.recompute(registry_changed, campaign_start, corpus_start);
+        &self.result
+    }
+
+    /// The accumulated input (what a one-shot run would consume).
+    pub fn input(&self) -> &InferenceInput<'w> {
+        &self.input
+    }
+
+    /// The current result (after the last applied delta).
+    pub fn result(&self) -> &PipelineResult {
+        &self.result
+    }
+
+    /// Shard units the last [`IncrementalPipeline::apply`] (or
+    /// [`IncrementalPipeline::new`]) recomputed.
+    pub fn last_dirty(&self) -> DirtyCounts {
+        self.last_dirty
+    }
+
+    /// The full shard population a from-scratch run would compute.
+    pub fn totals(&self) -> ShardTotals {
+        ShardTotals {
+            ixps: self.input.observed.ixps.len(),
+            campaign_observations: self.input.campaign.observations.len(),
+            targets: self.observations.len(),
+            corpus_traces: self.input.corpus.len(),
+            step4_candidates: step4::candidates(&self.evidence).len(),
+        }
+    }
+
+    /// Number of deltas applied since construction.
+    pub fn epochs_applied(&self) -> usize {
+        self.epochs_applied
+    }
+
+    /// Recomputes dirty shards and replays the merge. `full` rebuilds
+    /// everything (construction, registry revisions); otherwise only the
+    /// campaign observations from `campaign_start` and corpus traces
+    /// from `corpus_start` are new.
+    fn recompute(&mut self, full: bool, campaign_start: usize, corpus_start: usize) {
+        let threads = self.par.threads.max(1);
+        let n_shards = threads * 4;
+        let mut dirty = DirtyCounts::default();
+
+        // ---- registry-derived tables + full-reset bookkeeping ----
+        let (campaign_start, corpus_start) = if full {
+            let input = &self.input;
+            self.asn_ixps.clear();
+            let mut lan_ifaces: BTreeMap<Asn, Vec<(Ipv4Addr, usize)>> = BTreeMap::new();
+            for (i, ixp) in input.observed.ixps.iter().enumerate() {
+                for (&addr, &asn) in &ixp.interfaces {
+                    self.asn_ixps.entry(asn).or_default().insert(i);
+                    lan_ifaces.entry(asn).or_default().push((addr, i));
+                }
+            }
+            self.evidence = Step4Evidence {
+                data: step4::ixp_data(input),
+                as_pairs: BTreeMap::new(),
+                crossings: BTreeMap::new(),
+                lan_ifaces,
+            };
+            self.ev5 = PrivateEvidence::default();
+            self.observations.clear();
+            self.step3.clear();
+            self.ledger123 = Ledger::new();
+            self.outcomes.clear();
+            let n_ixps = input.observed.ixps.len();
+            self.step5_proposals = vec![Vec::new(); n_ixps];
+            self.step5_unknown = vec![Vec::new(); n_ixps];
+
+            // Step 1 is a pure function of the registry: recompute every
+            // per-IXP ledger (campaign/corpus deltas never dirty it).
+            let step1_input = &self.input;
+            self.step1 = map_indexed(n_ixps, threads, |i| {
+                let mut ledger = Ledger::new();
+                step1::apply_to_ixps(step1_input, i..i + 1, &mut ledger);
+                ledger
+            });
+            dirty.step1_ixps = n_ixps;
+            (0, 0)
+        } else {
+            (campaign_start, corpus_start)
+        };
+
+        // ---- step 2: consolidate the new campaign range by chunk ----
+        let new_obs = self.input.campaign.observations.len() - campaign_start;
+        let step3_dirty: Vec<Ipv4Addr> = {
+            let input = &self.input;
+            let chunk_ranges: Vec<std::ops::Range<usize>> = shard_ranges(new_obs, n_shards)
+                .into_iter()
+                .map(|r| campaign_start + r.start..campaign_start + r.end)
+                .collect();
+            let chunks = map_indexed(chunk_ranges.len(), threads, |i| {
+                step2::consolidate_chunk(input, chunk_ranges[i].clone())
+            });
+            let touched: BTreeSet<Ipv4Addr> =
+                chunks.iter().flat_map(|c| c.keys().copied()).collect();
+            let before: BTreeMap<Ipv4Addr, Option<RttObservation>> = touched
+                .iter()
+                .map(|a| (*a, self.observations.get(a).copied()))
+                .collect();
+            for chunk in chunks {
+                step2::merge_consolidated(&mut self.observations, chunk);
+            }
+            touched
+                .into_iter()
+                .filter(|a| self.observations.get(a).copied() != before[a])
+                .collect()
+        };
+        dirty.step2_observations = new_obs;
+
+        // ---- step 3: re-evaluate only the changed targets ----
+        let step3_changed: BTreeSet<Ipv4Addr> = {
+            let input = &self.input;
+            let observations = &self.observations;
+            let speed = self.cfg.speed;
+            let honor = self.cfg.honor_lg_rounding;
+            let targets = &step3_dirty;
+            let target_ranges = shard_ranges(targets.len(), n_shards);
+            let evaluated: Vec<Vec<(Ipv4Addr, Step3Eval)>> =
+                map_indexed(target_ranges.len(), threads, |i| {
+                    target_ranges[i]
+                        .clone()
+                        .map(|k| {
+                            let addr = targets[k];
+                            let o = &observations[&addr];
+                            (addr, step3::evaluate_observation(input, o, &speed, honor))
+                        })
+                        .collect()
+                });
+            let mut changed = BTreeSet::new();
+            for (addr, eval) in evaluated.into_iter().flatten() {
+                if self.step3.get(&addr) != Some(&eval) {
+                    changed.insert(addr);
+                    self.step3.insert(addr, eval);
+                }
+            }
+            changed
+        };
+        dirty.step3_targets = step3_dirty.len();
+
+        // ---- merged steps-1–3 ledger (step 4/5's frozen priors) ----
+        let mut ledger123 = Ledger::new();
+        let mut n1 = 0;
+        for shard in &self.step1 {
+            n1 += ledger123.absorb(shard.clone());
+        }
+        let mut n3 = 0;
+        for (_, inference) in self.step3.values() {
+            if let Some(inf) = inference {
+                if ledger123.record(inf.clone()) {
+                    n3 += 1;
+                }
+            }
+        }
+        self.ledger123 = ledger123;
+
+        // ---- evidence scans over the new corpus range ----
+        let new_traces = self.input.corpus.len() - corpus_start;
+        let trace_ranges: Vec<std::ops::Range<usize>> = shard_ranges(new_traces, n_shards)
+            .into_iter()
+            .map(|r| corpus_start + r.start..corpus_start + r.end)
+            .collect();
+        let mut ev4_dirty: BTreeSet<Asn> = BTreeSet::new();
+        {
+            let input = &self.input;
+            let data = &self.evidence.data;
+            let chunks = map_indexed(trace_ranges.len(), threads, |i| {
+                step4::scan_corpus(input, data, trace_ranges[i].clone())
+            });
+            for chunk in chunks {
+                absorb_chunk_tracking(&mut self.evidence, chunk, &mut ev4_dirty);
+            }
+        }
+        let mut ev5_dirty: BTreeSet<Asn> = BTreeSet::new();
+        {
+            let input = &self.input;
+            let data = &self.evidence.data;
+            let chunks = map_indexed(trace_ranges.len(), threads, |i| {
+                step5::harvest_chunk(input, data, trace_ranges[i].clone())
+            });
+            for chunk in chunks {
+                ev5_dirty.extend(chunk.asns());
+                self.ev5.absorb(chunk);
+            }
+        }
+        dirty.corpus_traces = new_traces;
+
+        // ---- step 4: re-classify dirty candidates against the frozen
+        // priors (new candidates, grown evidence, or changed own-LAN
+        // priors/annuli). The "own LAN" an outcome reads is exactly
+        // `evidence.lan_ifaces[asn]`, so the changed-prior set is
+        // derived from the same table — an ASN is dirty iff one of the
+        // addresses it would read changed. ----
+        let prior_changed_asns: BTreeSet<Asn> = if step3_changed.is_empty() {
+            BTreeSet::new()
+        } else {
+            self.evidence
+                .lan_ifaces
+                .iter()
+                .filter(|(_, lans)| lans.iter().any(|(a, _)| step3_changed.contains(a)))
+                .map(|(&asn, _)| asn)
+                .collect()
+        };
+        let candidates = step4::candidates(&self.evidence);
+        let details_map: BTreeMap<Ipv4Addr, Step3Detail> =
+            self.step3.iter().map(|(a, (d, _))| (*a, *d)).collect();
+        {
+            let dirty_cands: Vec<Asn> = candidates
+                .iter()
+                .copied()
+                .filter(|asn| {
+                    !self.outcomes.contains_key(asn)
+                        || ev4_dirty.contains(asn)
+                        || prior_changed_asns.contains(asn)
+                })
+                .collect();
+            let input = &self.input;
+            let evidence = &self.evidence;
+            let priors = &self.ledger123;
+            let alias = &self.cfg.alias;
+            let details = &details_map;
+            let fresh = map_indexed(dirty_cands.len(), threads, |i| {
+                step4::classify_candidate(input, evidence, dirty_cands[i], details, alias, priors)
+            });
+            for (asn, outcome) in dirty_cands.iter().zip(fresh) {
+                self.outcomes.insert(*asn, outcome);
+            }
+            dirty.step4_candidates = dirty_cands.len();
+        }
+
+        // ---- commit step 4 in ascending-ASN order ----
+        let mut ledger = self.ledger123.clone();
+        let mut n4 = 0;
+        for outcome in self.outcomes.values() {
+            for inf in &outcome.recorded {
+                if ledger.record(inf.clone()) {
+                    n4 += 1;
+                }
+            }
+        }
+
+        // ---- step 5: re-vote IXPs whose unknown set or witness
+        // evidence changed, against the frozen post-step-4 ledger ----
+        let n_ixps = self.input.observed.ixps.len();
+        let unknown: Vec<Vec<Ipv4Addr>> = self
+            .input
+            .observed
+            .ixps
+            .iter()
+            .map(|ixp| {
+                ixp.interfaces
+                    .keys()
+                    .copied()
+                    .filter(|&a| !ledger.known(a))
+                    .collect()
+            })
+            .collect();
+        let mut ev5_dirty_ixps: BTreeSet<usize> = BTreeSet::new();
+        for asn in &ev5_dirty {
+            if let Some(ixps) = self.asn_ixps.get(asn) {
+                ev5_dirty_ixps.extend(ixps.iter().copied());
+            }
+        }
+        {
+            let dirty_ixps: Vec<usize> = (0..n_ixps)
+                .filter(|&i| {
+                    full || unknown[i] != self.step5_unknown[i] || ev5_dirty_ixps.contains(&i)
+                })
+                .collect();
+            let input = &self.input;
+            let ev5 = &self.ev5;
+            let alias = &self.cfg.alias;
+            let priors = &ledger;
+            let fresh = map_indexed(dirty_ixps.len(), threads, |k| {
+                let i = dirty_ixps[k];
+                step5::propose_for_ixps(input, ev5, alias, i..i + 1, priors)
+            });
+            for (&i, proposals) in dirty_ixps.iter().zip(fresh) {
+                self.step5_proposals[i] = proposals;
+            }
+            dirty.step5_ixps = dirty_ixps.len();
+        }
+        self.step5_unknown = unknown;
+
+        // ---- commit step 5 in IXP order ----
+        let mut n5 = 0;
+        for proposals in &self.step5_proposals {
+            for inf in proposals {
+                if ledger.record(inf.clone()) {
+                    n5 += 1;
+                }
+            }
+        }
+
+        // ---- residual unknowns + result assembly ----
+        let mut unclassified = Vec::new();
+        for (ixp_idx, ixp) in self.input.observed.ixps.iter().enumerate() {
+            for (&addr, &asn) in &ixp.interfaces {
+                if !ledger.known(addr) {
+                    unclassified.push(Unclassified {
+                        addr,
+                        ixp: ixp_idx,
+                        asn,
+                    });
+                }
+            }
+        }
+        self.result = PipelineResult {
+            inferences: ledger.all().cloned().collect(),
+            unclassified,
+            observations: self.observations.clone(),
+            step3_details: self.step3.values().map(|(d, _)| *d).collect(),
+            multi_ixp_routers: self
+                .outcomes
+                .values()
+                .flat_map(|o| o.findings.iter().cloned())
+                .collect(),
+            counts: StepCounts {
+                port_capacity: n1,
+                rtt_colo: n3,
+                multi_ixp: n4,
+                private_links: n5,
+            },
+        };
+        self.last_dirty = dirty;
+    }
+}
+
+/// Set-unions a freshly scanned chunk into the retained step-4 evidence,
+/// recording which ASNs actually gained a pair or crossing — the ASNs
+/// whose classification inputs changed.
+fn absorb_chunk_tracking(
+    evidence: &mut Step4Evidence,
+    chunk: CorpusChunk,
+    grew: &mut BTreeSet<Asn>,
+) {
+    for (asn, pairs) in chunk.as_pairs {
+        let entry = evidence.as_pairs.entry(asn).or_default();
+        for p in pairs {
+            if entry.insert(p) {
+                grew.insert(asn);
+            }
+        }
+    }
+    for (asn, ixps) in chunk.crossings {
+        let entry = evidence.crossings.entry(asn).or_default();
+        for i in ixps {
+            if entry.insert(i) {
+                grew.insert(asn);
+            }
+        }
+    }
+}
+
+/// Runs the pipeline incrementally: builds the retained state over
+/// `base` (typically [`InferenceInput::assemble_base`]), applies every
+/// delta in order, and returns the pipeline plus the final result —
+/// byte-identical to [`crate::pipeline::run_pipeline`] over the fully
+/// accumulated input, for any partition and any thread count.
+pub fn run_pipeline_incremental<'w>(
+    base: InferenceInput<'w>,
+    deltas: impl IntoIterator<Item = InputDelta>,
+    cfg: &PipelineConfig,
+    par: &ParallelConfig,
+) -> (IncrementalPipeline<'w>, PipelineResult) {
+    let mut pipe = IncrementalPipeline::new(base, cfg, par);
+    for delta in deltas {
+        pipe.apply(delta);
+    }
+    let result = pipe.result().clone();
+    (pipe, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_pipeline;
+    use opeer_measure::campaign::campaign_batches;
+    use opeer_measure::traceroute::corpus_batches;
+    use opeer_topology::WorldConfig;
+
+    fn epoch_deltas(full: &InferenceInput<'_>, epochs: usize, seed: u64) -> Vec<InputDelta> {
+        let (_, campaign_cfg, corpus_cfg) = crate::input::default_configs(seed);
+        let camp = campaign_batches(full.world, &full.vps, campaign_cfg, epochs);
+        let corp = corpus_batches(full.world, corpus_cfg, epochs);
+        InputDelta::zip_batches(camp, corp)
+    }
+
+    #[test]
+    fn epoch_replay_matches_one_shot() {
+        let world = WorldConfig::small(109).generate();
+        let full = InferenceInput::assemble(&world, 109);
+        let one_shot = run_pipeline(&full, &PipelineConfig::default());
+        for epochs in [1, 3] {
+            let deltas = epoch_deltas(&full, epochs, 109);
+            let (pipe, result) = run_pipeline_incremental(
+                InferenceInput::assemble_base(&world, 109),
+                deltas,
+                &PipelineConfig::default(),
+                &ParallelConfig::new(2),
+            );
+            assert!(
+                pipe.input().content_eq(&full),
+                "{epochs}-epoch accumulated input diverged"
+            );
+            assert_eq!(result, one_shot, "{epochs}-epoch result diverged");
+        }
+    }
+
+    #[test]
+    fn warm_start_over_full_input_matches_one_shot() {
+        let world = WorldConfig::small(7).generate();
+        let full = InferenceInput::assemble(&world, 7);
+        let one_shot = run_pipeline(&full, &PipelineConfig::default());
+        let pipe =
+            IncrementalPipeline::new(full, &PipelineConfig::default(), &ParallelConfig::new(3));
+        assert_eq!(*pipe.result(), one_shot);
+    }
+
+    #[test]
+    fn empty_delta_is_cheap_and_stable() {
+        let world = WorldConfig::small(7).generate();
+        let full = InferenceInput::assemble(&world, 7);
+        let mut pipe =
+            IncrementalPipeline::new(full, &PipelineConfig::default(), &ParallelConfig::new(1));
+        let before = pipe.result().clone();
+        pipe.apply(InputDelta::default());
+        assert_eq!(*pipe.result(), before);
+        let dirty = pipe.last_dirty();
+        assert_eq!(dirty.step1_ixps, 0);
+        assert_eq!(dirty.step2_observations, 0);
+        assert_eq!(dirty.step3_targets, 0);
+        assert_eq!(dirty.corpus_traces, 0);
+        assert_eq!(dirty.step4_candidates, 0);
+        assert_eq!(dirty.step5_ixps, 0);
+    }
+
+    #[test]
+    fn single_epoch_delta_does_less_work_than_full_rerun() {
+        let world = WorldConfig::small(109).generate();
+        let full = InferenceInput::assemble(&world, 109);
+        let deltas = epoch_deltas(&full, 4, 109);
+        let mut pipe = IncrementalPipeline::new(
+            InferenceInput::assemble_base(&world, 109),
+            &PipelineConfig::default(),
+            &ParallelConfig::new(2),
+        );
+        let mut last = DirtyCounts::default();
+        for delta in deltas {
+            pipe.apply(delta);
+            last = pipe.last_dirty();
+        }
+        let totals = pipe.totals();
+        assert!(
+            last.total() < totals.total() / 2,
+            "last epoch recomputed {last:?} of {totals:?} — not incremental"
+        );
+        assert!(
+            last.step1_ixps == 0,
+            "step 1 must stay clean without registry deltas"
+        );
+        assert!(
+            last.step3_targets < totals.targets,
+            "every target re-evaluated on the last epoch"
+        );
+    }
+
+    #[test]
+    fn registry_revision_triggers_full_rerun_and_stays_identical() {
+        let world = WorldConfig::small(31).generate();
+        let full = InferenceInput::assemble(&world, 31);
+        let one_shot = run_pipeline(&full, &PipelineConfig::default());
+        let mut pipe = IncrementalPipeline::new(
+            InferenceInput::assemble(&world, 31),
+            &PipelineConfig::default(),
+            &ParallelConfig::new(2),
+        );
+        // Re-deliver the same registry as a revision: the result must be
+        // unchanged, and the whole shard population must have been
+        // recomputed (the revision invalidates everything).
+        let observed = pipe.input().observed.clone();
+        let table1 = pipe.input().table1.clone();
+        pipe.apply(InputDelta::registry(observed, table1));
+        assert_eq!(*pipe.result(), one_shot);
+        let dirty = pipe.last_dirty();
+        let totals = pipe.totals();
+        assert_eq!(dirty.step1_ixps, totals.ixps);
+        assert_eq!(dirty.step5_ixps, totals.ixps);
+        assert_eq!(dirty.corpus_traces, totals.corpus_traces);
+    }
+}

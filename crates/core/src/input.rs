@@ -103,6 +103,31 @@ impl<'w> InferenceInput<'w> {
         }
     }
 
+    /// Assembles the measurement-free substrate: registry fusion, VP
+    /// discovery, and the route-collector `prefix2as` build, with the
+    /// campaign and corpus left **empty**. This is epoch 0 of the
+    /// incremental pipeline ([`crate::incremental::IncrementalPipeline`]):
+    /// measurement batches stream in afterwards as
+    /// [`crate::incremental::InputDelta`]s. Absorbing every epoch batch
+    /// of [`opeer_measure::campaign::campaign_batches`] /
+    /// [`opeer_measure::traceroute::corpus_batches`] reproduces
+    /// [`InferenceInput::assemble`] byte for byte.
+    pub fn assemble_base(world: &'w World, seed: u64) -> Self {
+        let (registry, _campaign_cfg, _corpus_cfg) = default_configs(seed);
+        let (observed, table1) = build_observed_world(world, &registry);
+        let vps = discover_vps(world, seed);
+        let ip2as = Collector::build(world, collector_peer(world)).prefix2as();
+        InferenceInput {
+            world,
+            observed,
+            table1,
+            vps,
+            campaign: CampaignResult::default(),
+            corpus: Vec::new(),
+            ip2as,
+        }
+    }
+
     /// Builds the full input set on the engine's worker pool with default
     /// configurations derived from `seed`.
     ///

@@ -45,6 +45,11 @@
 //!   overlapped: corpus tracing runs under steps 1–3.
 //! * [`engine::shard_ranges`] / [`engine::map_indexed`] — the generic
 //!   shard-scheduling primitives behind all of the above.
+//! * [`incremental::IncrementalPipeline`] /
+//!   [`incremental::run_pipeline_incremental`] — the same methodology as
+//!   an incremental dataflow: measurement batches stream in as
+//!   [`incremental::InputDelta`]s and only the dirty shards recompute,
+//!   byte-identical to the one-shot run after every epoch.
 //!
 //! ## Quickstart
 //!
@@ -66,6 +71,7 @@ pub mod beyond_pings;
 pub mod engine;
 pub mod evolution;
 pub mod features;
+pub mod incremental;
 pub mod input;
 pub mod metrics;
 pub mod pipeline;
@@ -75,6 +81,7 @@ pub mod types;
 
 pub use baseline::run_baseline;
 pub use engine::{assemble_and_run_parallel, run_pipeline_parallel, ParallelConfig};
+pub use incremental::{run_pipeline_incremental, IncrementalPipeline, InputDelta};
 pub use input::InferenceInput;
 pub use metrics::{score, Metrics};
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineResult};

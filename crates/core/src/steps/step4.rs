@@ -192,6 +192,7 @@ pub fn candidates(evidence: &Step4Evidence) -> Vec<Asn> {
 /// (those that passed the not-already-known check against `priors` and
 /// this candidate's own earlier groups); `all` holds every constructed
 /// inference (standalone / Table 4 semantics).
+#[derive(Debug, Clone)]
 pub struct CandidateOutcome {
     /// Router findings of this AS, in group order.
     pub findings: Vec<MultiIxpFinding>,

@@ -45,6 +45,13 @@ pub struct PrivateEvidence {
 }
 
 impl PrivateEvidence {
+    /// ASNs with at least one private-adjacency witness. The incremental
+    /// pipeline uses this on a freshly harvested chunk to find the ASNs
+    /// whose witness lists grow — any of their interfaces may re-vote.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbor_addrs.keys().copied()
+    }
+
     /// Appends another chunk's adjacencies. Per-ASN witness lists are
     /// kept in corpus order, so absorbing chunks in corpus-chunk order
     /// reproduces exactly what one sequential scan builds.

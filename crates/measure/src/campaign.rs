@@ -237,6 +237,25 @@ pub fn run_campaign(world: &World, vps: &[VantagePoint], cfg: CampaignConfig) ->
     result
 }
 
+/// Runs the campaign in at most `epochs` consecutive vantage-point
+/// batches — the epoch emitter of the streaming ingestion path. Each
+/// batch is `run_campaign` over one VP slice, so absorbing the batches
+/// **in order** with [`CampaignResult::absorb`] reproduces
+/// `run_campaign(world, vps, cfg)` byte for byte; feeding them to the
+/// incremental pipeline one epoch at a time is therefore equivalent to
+/// the one-shot campaign.
+pub fn campaign_batches(
+    world: &World,
+    vps: &[VantagePoint],
+    cfg: CampaignConfig,
+    epochs: usize,
+) -> Vec<CampaignResult> {
+    crate::batch_ranges(vps.len(), epochs)
+        .into_iter()
+        .map(|r| run_campaign(world, &vps[r], cfg))
+        .collect()
+}
+
 /// Runs the §4.1 control-subset campaign: operator-internal VPs at every
 /// control-validation IXP.
 pub fn run_control_campaign(world: &World, cfg: CampaignConfig) -> CampaignResult {
@@ -383,6 +402,23 @@ mod tests {
         // Every observation's target is covered.
         let all: std::collections::HashSet<_> = res.observations.iter().map(|o| o.target).collect();
         assert_eq!(seen, all);
+    }
+
+    #[test]
+    fn epoch_batches_absorb_to_one_shot_campaign() {
+        let w = world();
+        let vps = discover_vps(&w, 2);
+        let cfg = CampaignConfig::study(2);
+        let sequential = run_campaign(&w, &vps, cfg);
+        for epochs in [1, 2, 3, vps.len(), vps.len() + 5] {
+            let batches = campaign_batches(&w, &vps, cfg, epochs);
+            assert!(batches.len() <= epochs.max(1));
+            let mut merged = CampaignResult::default();
+            for b in batches {
+                merged.absorb(b);
+            }
+            assert_eq!(merged, sequential, "{epochs} epochs diverged");
+        }
     }
 
     #[test]

@@ -66,6 +66,8 @@
 //! shard can perturb. That is what makes the parallel assembly in
 //! `opeer-core` byte-identical to the sequential one.
 
+#![warn(missing_docs)]
+
 pub mod campaign;
 pub mod ipid;
 pub mod latency;
@@ -76,6 +78,35 @@ pub mod vp;
 pub mod y1731;
 
 pub use campaign::{CampaignConfig, CampaignResult, PingObservation, VpStats};
+pub use traceroute::CorpusPlan;
+
+/// Splits `0..n` into at most `k` contiguous, nearly equal, non-empty
+/// batches (fewer when `n < k`; none when `n == 0`) — the epoch axis of
+/// the streaming emitters ([`campaign::campaign_batches`],
+/// [`traceroute::corpus_batches`]) **and** the shard axis of
+/// `opeer-core`'s engine (`shard_ranges` delegates here, so scheduler
+/// and batch layer can never disagree on cut points).
+///
+/// The *choice* of cut points never matters for results: both emitters
+/// produce batches whose in-order merge is byte-identical to the
+/// one-shot artifact for **any** consecutive partition.
+pub fn batch_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    let k = k.max(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let base = n / k;
+    let extra = n % k;
+    let mut ranges = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
 pub use latency::LatencyModel;
 pub use ping::{PingEngine, PingReply};
 pub use traceroute::{CorpusConfig, TraceSample, Traceroute, TracerouteEngine};

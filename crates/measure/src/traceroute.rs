@@ -357,6 +357,22 @@ pub fn build_corpus(world: &World, cfg: CorpusConfig) -> Vec<Traceroute> {
     plan.trace_shard_on(&engine, 0..plan.len())
 }
 
+/// Builds the corpus in at most `epochs` consecutive destination-range
+/// batches on one shared engine — the epoch emitter of the streaming
+/// ingestion path. Concatenating the batches **in order** reproduces
+/// [`build_corpus`] byte for byte (the same contract
+/// [`CorpusPlan::trace_shard_on`] gives the parallel assembly), so
+/// feeding them to the incremental pipeline one epoch at a time is
+/// equivalent to the one-shot corpus.
+pub fn corpus_batches(world: &World, cfg: CorpusConfig, epochs: usize) -> Vec<Vec<Traceroute>> {
+    let plan = plan_corpus(world, &cfg);
+    let engine = TracerouteEngine::new(world, LatencyModel::new(cfg.seed));
+    crate::batch_ranges(plan.len(), epochs)
+        .into_iter()
+        .map(|r| plan.trace_shard_on(&engine, r))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +432,22 @@ mod tests {
         let total: usize = corpus.iter().map(|t| t.hops.len()).sum();
         let rate = stars as f64 / total.max(1) as f64;
         assert!(rate > 0.0 && rate < 0.10, "star rate {rate}");
+    }
+
+    #[test]
+    fn epoch_batches_concatenate_to_one_shot_corpus() {
+        let w = world();
+        let cfg = CorpusConfig {
+            n_random: 150,
+            ..CorpusConfig::default()
+        };
+        let sequential = build_corpus(&w, cfg);
+        for epochs in [1, 2, 5] {
+            let batches = corpus_batches(&w, cfg, epochs);
+            assert!(batches.len() <= epochs);
+            let merged: Vec<Traceroute> = batches.into_iter().flatten().collect();
+            assert_eq!(merged, sequential, "{epochs} epochs diverged");
+        }
     }
 
     #[test]

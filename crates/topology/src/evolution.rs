@@ -10,7 +10,7 @@ use crate::world::World;
 use serde::{Deserialize, Serialize};
 
 /// Counts for one month of the timeline.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MonthlyCounts {
     /// Month index (0 = start of the window).
     pub month: u32,

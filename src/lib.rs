@@ -50,6 +50,9 @@ pub mod prelude {
     pub use opeer_core::engine::{
         assemble_and_run_parallel, run_pipeline_parallel, ParallelConfig,
     };
+    pub use opeer_core::incremental::{
+        run_pipeline_incremental, DirtyCounts, IncrementalPipeline, InputDelta, ShardTotals,
+    };
     pub use opeer_core::metrics::{score, score_per_ixp, Metrics};
     pub use opeer_core::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
     pub use opeer_core::types::{Inference, Step, Verdict};

@@ -100,6 +100,51 @@ fn parallel_engine_matches_pinned_ledger_under_env_threads() {
     );
 }
 
+/// The incremental pipeline, replaying the measurements in epoch
+/// batches at the `OPEER_THREADS`-selected pool size, must land on the
+/// same pinned ledger and the same sequential result byte for byte —
+/// CI's determinism matrix re-runs this at 1/2/8 threads.
+#[test]
+fn incremental_epoch_replay_matches_pinned_ledger_under_env_threads() {
+    use opeer::measure::campaign::campaign_batches;
+    use opeer::measure::traceroute::corpus_batches;
+
+    let world = WorldConfig::small(SEED).generate();
+    let input = InferenceInput::assemble(&world, SEED);
+    let sequential = run_pipeline(&input, &PipelineConfig::default());
+
+    let (_, campaign_cfg, corpus_cfg) = opeer::core::input::default_configs(SEED);
+    let camp = campaign_batches(&world, &input.vps, campaign_cfg, 3);
+    let corp = corpus_batches(&world, corpus_cfg, 3);
+    let deltas = InputDelta::zip_batches(camp, corp);
+
+    let par = ParallelConfig::from_env();
+    let (pipe, result) = run_pipeline_incremental(
+        InferenceInput::assemble_base(&world, SEED),
+        deltas,
+        &PipelineConfig::default(),
+        &par,
+    );
+    assert!(
+        pipe.input().content_eq(&input),
+        "epoch replay reassembled different input at {} threads",
+        par.threads
+    );
+    let actual = ledger(&result);
+    assert_eq!(
+        (actual.as_slice(), result.unclassified.len()),
+        (EXPECTED_LEDGER, EXPECTED_UNCLASSIFIED),
+        "incremental ledger drifted at {} threads; actual: {actual:?}, unclassified: {}",
+        par.threads,
+        result.unclassified.len()
+    );
+    assert_eq!(
+        result, sequential,
+        "incremental result diverged from sequential at {} threads",
+        par.threads
+    );
+}
+
 /// Parallel assembly and the overlapped assemble+infer path, at the
 /// `OPEER_THREADS`-selected pool size, must reproduce the sequential
 /// artifacts and the pinned ledger byte for byte.
