@@ -16,11 +16,14 @@
 //! threads against the sequential reference — three phases: measurement
 //! assembly (`assemble_parallel`), inference (`run_pipeline_parallel`),
 //! and the overlapped end-to-end path (`assemble_and_run_parallel`) —
-//! plus a streaming epoch replay through the incremental pipeline,
-//! writes the machine-readable report to `<out>/BENCH_pipeline.json`
-//! (schema `opeer-bench-pipeline/3`, documented in the README), and
-//! **exits non-zero if any run is not byte-identical to its sequential
-//! reference** (this is the check CI's bench-smoke job enforces).
+//! plus a streaming epoch replay through the incremental pipeline and a
+//! serving-throughput sweep (reader threads querying the
+//! `PeeringService` while a writer streams epochs), writes the
+//! machine-readable report to `<out>/BENCH_pipeline.json` (schema
+//! `opeer-bench-pipeline/4`, documented in the README), and **exits
+//! non-zero if any run is not byte-identical to its sequential
+//! reference, or if any serving reader observed a non-monotonic epoch**
+//! (this is the check CI's bench-smoke job enforces).
 //!
 //! Streaming mode (`--epochs N` without `--bench-pipeline`) drives the
 //! incremental pipeline alone: measurements are delivered in N epoch
@@ -163,6 +166,7 @@ fn run_bench_pipeline(args: &Args) -> ! {
         }
     }
     print_streaming(&report.streaming);
+    print_serving(&report.serving);
 
     std::fs::create_dir_all(&args.out).expect("create output directory");
     let path = args.out.join("BENCH_pipeline.json");
@@ -225,6 +229,26 @@ fn print_streaming(s: &opeer_bench::StreamingReport) {
     );
 }
 
+fn print_serving(s: &opeer_bench::ServingReport) {
+    println!("[serving: {} epochs streamed per point]", s.epochs);
+    for p in &s.points {
+        println!(
+            "  readers={:<2} {:>9} queries in {:8.3} ms  {:>12.0} q/s  epochs seen [{}..{}] monotonic={}",
+            p.readers,
+            p.queries,
+            p.wall_ms,
+            p.qps,
+            p.min_epoch_seen,
+            p.max_epoch_seen,
+            p.epochs_monotonic,
+        );
+    }
+    println!(
+        "  identical={} epochs_monotonic={} tags_consistent={}",
+        s.identical, s.epochs_monotonic, s.tags_consistent
+    );
+}
+
 fn main() {
     let args = parse_args();
     if args.bench_pipeline {
@@ -244,13 +268,16 @@ fn main() {
     eprintln!("building measurement/inference session...");
     let t1 = std::time::Instant::now();
     let session = Session::new(&world, args.seed);
-    eprintln!(
-        "  campaign: {} observations; corpus: {} traceroutes; inferences: {} [{:?}]",
-        session.input.campaign.observations.len(),
-        session.input.corpus.len(),
-        session.result.inferences.len(),
-        t1.elapsed()
-    );
+    {
+        let input = session.input();
+        eprintln!(
+            "  campaign: {} observations; corpus: {} traceroutes; inferences: {} [{:?}]",
+            input.campaign.observations.len(),
+            input.corpus.len(),
+            session.result().inferences.len(),
+            t1.elapsed()
+        );
+    }
 
     std::fs::create_dir_all(&args.out).expect("create output directory");
     let t2 = std::time::Instant::now();

@@ -20,6 +20,7 @@ use opeer_core::pipeline::PipelineConfig;
 use opeer_core::steps::{step1, step2, step3, step4, step5, Ledger};
 use opeer_core::types::Inference;
 use opeer_geo::SpeedModel;
+use opeer_registry::ValidationDataset;
 use opeer_topology::ValidationRole;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -35,12 +36,8 @@ struct AblationRow {
     fnr: f64,
 }
 
-fn row(label: &str, inferences: &[Inference], s: &Session<'_>) -> AblationRow {
-    let m = score(
-        inferences,
-        &s.input.observed.validation,
-        Some(ValidationRole::Test),
-    );
+fn row(label: &str, inferences: &[Inference], validation: &ValidationDataset) -> AblationRow {
+    let m = score(inferences, validation, Some(ValidationRole::Test));
     AblationRow {
         variant: label.to_string(),
         acc: m.acc(),
@@ -53,67 +50,68 @@ fn row(label: &str, inferences: &[Inference], s: &Session<'_>) -> AblationRow {
 
 /// The ablation suite (one experiment, several variant tables).
 pub fn ablations(s: &Session<'_>) -> Rendered {
+    let input = s.input();
+    let validation = &input.observed.validation;
     let cfg = PipelineConfig::default();
     let mut rows: Vec<AblationRow> = Vec::new();
 
     // --- 1. cumulative steps ---
-    let observations = step2::consolidate(&s.input);
+    let observations = step2::consolidate(&input);
     {
         let mut ledger = Ledger::new();
-        step1::apply(&s.input, &mut ledger);
+        step1::apply(&input, &mut ledger);
         rows.push(row(
             "steps 1",
             &ledger.all().cloned().collect::<Vec<_>>(),
-            s,
+            validation,
         ));
 
-        let details_vec = step3::apply(&s.input, &observations, &cfg.speed, &mut ledger);
+        let details_vec = step3::apply(&input, &observations, &cfg.speed, &mut ledger);
         rows.push(row(
             "steps 1–3",
             &ledger.all().cloned().collect::<Vec<_>>(),
-            s,
+            validation,
         ));
 
         let details: BTreeMap<Ipv4Addr, step3::Step3Detail> =
             details_vec.iter().map(|d| (d.addr, *d)).collect();
-        step4::apply(&s.input, &details, &cfg.alias, &mut ledger);
+        step4::apply(&input, &details, &cfg.alias, &mut ledger);
         rows.push(row(
             "steps 1–4",
             &ledger.all().cloned().collect::<Vec<_>>(),
-            s,
+            validation,
         ));
 
-        step5::apply(&s.input, &cfg.alias, &mut ledger);
+        step5::apply(&input, &cfg.alias, &mut ledger);
         rows.push(row(
             "steps 1–5",
             &ledger.all().cloned().collect::<Vec<_>>(),
-            s,
+            validation,
         ));
     }
 
     // --- 2. baseline threshold sweep ---
     for threshold in [2.0, 5.0, 10.0, 20.0] {
-        let b = run_baseline(&s.input, threshold);
-        rows.push(row(&format!("baseline {threshold} ms"), &b, s));
+        let b = run_baseline(&input, threshold);
+        rows.push(row(&format!("baseline {threshold} ms"), &b, validation));
     }
 
     // --- 3. rounding correction off ---
     {
         let mut ledger = Ledger::new();
-        step1::apply(&s.input, &mut ledger);
-        step3::apply_with_rounding(&s.input, &observations, &cfg.speed, &mut ledger, false);
+        step1::apply(&input, &mut ledger);
+        step3::apply_with_rounding(&input, &observations, &cfg.speed, &mut ledger, false);
         rows.push(row(
             "steps 1–3, no RTT′ correction",
             &ledger.all().cloned().collect::<Vec<_>>(),
-            s,
+            validation,
         ));
     }
 
     // --- 4. beyond pings: traceroute-derived steps 2+3 ---
     {
-        let pingless =
-            opeer_core::beyond_pings::pingless_rtt_colo(&s.input, &SpeedModel::default());
-        rows.push(row("traceroute-RTT steps 2+3 (§8)", &pingless, s));
+        let pingless = opeer_core::beyond_pings::pingless_rtt_colo(&input, &SpeedModel::default());
+        rows.push(row("traceroute-RTT steps 2+3 (§8)", &pingless, validation));
     }
 
     let mut text = format!(

@@ -32,7 +32,7 @@ fn fig11_data(s: &Session<'_>) -> Fig11Data {
     let rels = AsRelationships::from_world(s.world);
     let cones = customer_cones(&rels);
     let info = member_info_from_world(s.world, &cones);
-    let classes = classify_members(&s.result);
+    let classes = classify_members(s.result());
     let rows = feature_table(&classes, &info);
     let sums = summarize(&rows);
     let get = |c: MemberClass| sums.iter().find(|x| x.class == c).expect("class present");
@@ -144,7 +144,7 @@ struct Fig12bData {
 /// IXP (paper: the two patterns are close, motivating traceroute-based
 /// scaling of the methodology).
 pub fn fig12b(s: &Session<'_>) -> Rendered {
-    let Some(linx_obs) = s.input.observed.ixp_by_name("LINX LON") else {
+    let Some(linx_obs) = s.input().observed.ixp_by_name("LINX LON") else {
         return Rendered::new(
             "fig12b",
             "Fig 12b: ping vs traceroute RTTs",
@@ -172,7 +172,7 @@ pub fn fig12b(s: &Session<'_>) -> Rendered {
 
     let mut diffs: Vec<f64> = Vec::new();
     let mut compared = 0usize;
-    for o in s.result.observations.values() {
+    for o in s.result().observations.values() {
         if o.ixp != linx_obs || compared >= 150 {
             continue;
         }
@@ -221,9 +221,10 @@ struct Sec64Data {
 /// hot-potato, 18 % remote-used-though-closer-exists, 16 %
 /// closer-DE-CIX-unused).
 pub fn sec64(s: &Session<'_>) -> Rendered {
+    let input = s.input();
     let report = analyze(
-        &s.input,
-        &s.result,
+        &input,
+        s.result(),
         &RoutingImplConfig {
             max_pairs: 600,
             ..Default::default()

@@ -21,16 +21,15 @@ struct Fig1aData {
 /// Fig. 1a — distribution of the number of facilities per AS and per IXP
 /// (the paper: ~60 % in one facility, ~5 % in more than ten).
 pub fn fig1a(s: &Session<'_>) -> Rendered {
-    let as_counts: Vec<usize> = s
-        .input
+    let input = s.input();
+    let as_counts: Vec<usize> = input
         .observed
         .as_facilities
         .values()
         .filter(|v| !v.is_empty())
         .map(Vec::len)
         .collect();
-    let ixp_counts: Vec<usize> = s
-        .input
+    let ixp_counts: Vec<usize> = input
         .observed
         .ixps
         .iter()
@@ -70,10 +69,11 @@ struct Fig1bData {
 /// the control subset (paper: 99 % of locals < 1 ms; 18 % of remotes
 /// < 1 ms; 40 % of remotes < 10 ms).
 pub fn fig1b(s: &Session<'_>) -> Rendered {
+    let input = s.input();
     let mut local = Vec::new();
     let mut remote = Vec::new();
     for o in s.control.best_per_target() {
-        match s.input.observed.validation.verdict(o.target) {
+        match input.observed.validation.verdict(o.target) {
             Some(true) => remote.push(o.min_rtt_ms),
             Some(false) => local.push(o.min_rtt_ms),
             None => {}
@@ -167,8 +167,9 @@ struct Fig2bData {
 /// wide-area census (paper: 64/446 = 14.4 % of multi-member IXPs, 10 of
 /// the 50 largest).
 pub fn fig2b(s: &Session<'_>) -> Rendered {
+    let input = s.input();
     let mut rows: Vec<(String, f64, usize)> = Vec::new();
-    for x in &s.input.observed.ixps {
+    for x in &input.observed.ixps {
         let members = x.member_count();
         if members < 2 {
             continue;
@@ -176,7 +177,7 @@ pub fn fig2b(s: &Session<'_>) -> Rendered {
         let pts: Vec<opeer_geo::GeoPoint> = x
             .facility_idxs
             .iter()
-            .map(|&f| s.input.observed.facilities[f].location)
+            .map(|&f| input.observed.facilities[f].location)
             .collect();
         let max_km = opeer_geo::max_pairwise_distance_km(&pts);
         rows.push((x.name.clone(), max_km, members));
@@ -232,18 +233,19 @@ fn tier(mbps: u32) -> String {
 /// control subset (paper: 27 % of remotes below 1 GE; no local below
 /// 1 GE; 100 GE only local).
 pub fn fig4(s: &Session<'_>) -> Rendered {
+    let input = s.input();
     let mut local: BTreeMap<String, usize> = BTreeMap::new();
     let mut remote: BTreeMap<String, usize> = BTreeMap::new();
     let (mut l_sub, mut l_all, mut r_sub, mut r_all) = (0usize, 0usize, 0usize, 0usize);
-    for v in &s.input.observed.validation.ixps {
+    for v in &input.observed.validation.ixps {
         if v.role != opeer_topology::ValidationRole::Control {
             continue;
         }
-        let Some(ixp) = s.input.observed.ixp_by_name(&v.name) else {
+        let Some(ixp) = input.observed.ixp_by_name(&v.name) else {
             continue;
         };
         for e in &v.entries {
-            let Some(&cap) = s.input.observed.ixps[ixp].port_capacity.get(&e.asn) else {
+            let Some(&cap) = input.observed.ixps[ixp].port_capacity.get(&e.asn) else {
                 continue;
             };
             let t = tier(cap);
@@ -307,18 +309,19 @@ struct Fig5Data {
 /// remote and local peers (paper: all locals ≥ 1; 95 % of remotes none;
 /// ~18 % of remotes with no data at all; ~5 % apparently colocated).
 pub fn fig5(s: &Session<'_>) -> Rendered {
+    let input = s.input();
     let (mut r_none, mut r_zero, mut r_some, mut r_all) = (0usize, 0usize, 0usize, 0usize);
     let (mut l_some, mut l_all) = (0usize, 0usize);
-    for v in &s.input.observed.validation.ixps {
+    for v in &input.observed.validation.ixps {
         if v.role != opeer_topology::ValidationRole::Control {
             continue;
         }
-        let Some(ixp) = s.input.observed.ixp_by_name(&v.name) else {
+        let Some(ixp) = input.observed.ixp_by_name(&v.name) else {
             continue;
         };
         for e in &v.entries {
-            let record = s.input.observed.facilities_of_as(e.asn);
-            let common = s.input.observed.common_facilities(e.asn, ixp);
+            let record = input.observed.facilities_of_as(e.asn);
+            let common = input.observed.common_facilities(e.asn, ixp);
             if e.remote {
                 r_all += 1;
                 match record {

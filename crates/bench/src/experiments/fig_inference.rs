@@ -20,9 +20,10 @@ struct Fig8Row {
 
 /// Fig. 8 — per-IXP precision and accuracy on the test subset.
 pub fn fig8(s: &Session<'_>) -> Rendered {
+    let input = s.input();
     let per = score_per_ixp(
-        &s.result.inferences,
-        &s.input.observed.validation,
+        &s.result().inferences,
+        &input.observed.validation,
         Some(ValidationRole::Test),
     );
     let rows: Vec<Fig8Row> = per
@@ -67,14 +68,13 @@ struct Fig9aRow {
 /// Fig. 9a — response rates per vantage point (LGs answer nearly always,
 /// Atlas probes far less).
 pub fn fig9a(s: &Session<'_>) -> Rendered {
-    let rows: Vec<Fig9aRow> = s
-        .input
+    let input = s.input();
+    let rows: Vec<Fig9aRow> = input
         .campaign
         .vp_stats
         .iter()
         .map(|v| Fig9aRow {
-            vp: s
-                .input
+            vp: input
                 .vp(v.vp)
                 .map(|x| x.name.clone())
                 .unwrap_or_else(|| format!("{:?}", v.vp)),
@@ -116,7 +116,7 @@ struct Fig9bData {
 /// IXPs (paper: 75 % within 2 ms; >20 % above 10 ms).
 pub fn fig9b(s: &Session<'_>) -> Rendered {
     let rtts: Vec<f64> = s
-        .result
+        .result()
         .observations
         .values()
         .map(|o| o.min_rtt_ms)
@@ -154,7 +154,7 @@ struct Fig9cData {
 pub fn fig9c(s: &Session<'_>) -> Rendered {
     let mut scatter = Vec::new();
     let (mut r_none, mut r_some) = (0usize, 0usize);
-    for d in &s.result.step3_details {
+    for d in &s.result().step3_details {
         let verdict = match d.verdict {
             Some(Verdict::Remote) => {
                 if d.feasible_ixp_facilities == 0 {
@@ -202,7 +202,7 @@ struct Fig9dData {
 /// (paper: ~80 % of the relevant routers are multi-IXP, 25 % of them face
 /// more than 10 IXPs; remote routers outnumber hybrids).
 pub fn fig9d(s: &Session<'_>) -> Rendered {
-    let findings = &s.result.multi_ixp_routers;
+    let findings = &s.result().multi_ixp_routers;
     let mut by_class: BTreeMap<String, usize> = BTreeMap::new();
     let mut hist: BTreeMap<usize, usize> = BTreeMap::new();
     let mut over10 = 0usize;
@@ -251,10 +251,13 @@ struct Fig10aRow {
 /// (paper: steps 2+3 and 4 dominate; step 1 ≈ 10 % on average; step 5
 /// needed at 11 of the 30).
 pub fn fig10a(s: &Session<'_>) -> Rendered {
-    let contributions = s.result.step_contributions();
+    // Snapshot-served: the per-IXP StepCounts rollups were built once
+    // at publish time, not rescanned here.
+    let contributions = s.snapshot().step_contributions();
+    let input = s.input();
     let mut rows = Vec::new();
     for (ixp_idx, counts) in &contributions {
-        let ixp = &s.input.observed.ixps[*ixp_idx];
+        let ixp = &input.observed.ixps[*ixp_idx];
         if !ixp.studied {
             continue;
         }
@@ -311,29 +314,27 @@ struct Fig10bData {
 /// inferred interfaces remote; >90 % of IXPs have >10 % remote members;
 /// ~40 % at the two giants).
 pub fn fig10b(s: &Session<'_>) -> Rendered {
+    // Snapshot-served: per-IXP verdict tallies come from the publish-time
+    // rollups instead of one O(n) inference scan per IXP.
+    let snapshot = s.snapshot();
+    let input = s.input();
     let mut rows = Vec::new();
     let (mut total_r, mut total) = (0usize, 0usize);
-    for (ixp_idx, ixp) in s.input.observed.ixps.iter().enumerate() {
-        if !ixp.studied {
+    for rollup in snapshot.ixp_rollups() {
+        if !input.observed.ixps[rollup.ixp].studied {
             continue;
         }
-        let (mut l, mut r) = (0usize, 0usize);
-        for inf in s.result.for_ixp(ixp_idx) {
-            match inf.verdict {
-                Verdict::Local => l += 1,
-                Verdict::Remote => r += 1,
-            }
-        }
+        let (l, r) = (rollup.local, rollup.remote);
         if l + r == 0 {
             continue;
         }
         total += l + r;
         total_r += r;
         rows.push(Fig10bRow {
-            ixp: ixp.name.clone(),
+            ixp: rollup.name.clone(),
             local: l,
             remote: r,
-            remote_share: r as f64 / (l + r) as f64,
+            remote_share: rollup.remote_share,
         });
     }
     rows.sort_by_key(|r| std::cmp::Reverse(r.local + r.remote));

@@ -10,7 +10,8 @@ use serde::Serialize;
 /// Table 1 — overview of the fused IXP dataset and per-source
 /// contributions (totals, uniques, conflicts).
 pub fn table1(s: &Session<'_>) -> Rendered {
-    let stats = &s.input.table1;
+    let input = s.input();
+    let stats = &input.table1;
     Rendered::new(
         "table1",
         "Table 1: IXP dataset and contribution of each data source",
@@ -32,14 +33,15 @@ struct Table2Row {
 
 /// Table 2 — the validation dataset (15 IXPs, control/test split).
 pub fn table2(s: &Session<'_>) -> Rendered {
+    let input = s.input();
     let mut rows = Vec::new();
-    for v in &s.input.observed.validation.ixps {
-        let obs_idx = s.input.observed.ixp_by_name(&v.name);
+    for v in &input.observed.validation.ixps {
+        let obs_idx = input.observed.ixp_by_name(&v.name);
         let (facilities, total) = obs_idx
             .map(|i| {
                 (
-                    s.input.observed.ixps[i].facility_idxs.len(),
-                    s.input.observed.ixps[i].member_count(),
+                    input.observed.ixps[i].facility_idxs.len(),
+                    input.observed.ixps[i].member_count(),
                 )
             })
             .unwrap_or((0, 0));
@@ -95,11 +97,12 @@ struct Table4Row {
 /// step independently) and combined validation against the test subset,
 /// with the RTT-threshold baseline.
 pub fn table4(s: &Session<'_>) -> Rendered {
-    let validation = &s.input.observed.validation;
+    let input = s.input();
+    let validation = &input.observed.validation;
     let role = Some(ValidationRole::Test);
 
     let standalone = opeer_core::pipeline::run_standalone_steps(
-        &s.input,
+        &input,
         &opeer_core::pipeline::PipelineConfig::default(),
     );
     let empty: Vec<Inference> = Vec::new();
@@ -128,7 +131,7 @@ pub fn table4(s: &Session<'_>) -> Rendered {
         ),
         (
             "Combined".into(),
-            score(&s.result.inferences, validation, role),
+            score(&s.result().inferences, validation, role),
         ),
     ];
 
@@ -154,7 +157,7 @@ pub fn table4(s: &Session<'_>) -> Rendered {
     // studied IXPs instead (experiments may consult the truth).
     let (mut wa_fp, mut wa_locals) = (0usize, 0usize);
     for b in &s.baseline {
-        let ixp = &s.input.observed.ixps[b.ixp];
+        let ixp = &input.observed.ixps[b.ixp];
         let Some(world_idx) = s.world.ixps.iter().position(|x| x.name == ixp.name) else {
             continue;
         };
@@ -206,10 +209,10 @@ struct Table5Row {
 
 /// Table 5 — ping-campaign interface statistics, split by VP type.
 pub fn table5(s: &Session<'_>) -> Rendered {
+    let input = s.input();
     let mut rows = Vec::new();
     for atlas in [false, true] {
-        let stats: Vec<_> = s
-            .input
+        let stats: Vec<_> = input
             .campaign
             .vp_stats
             .iter()
@@ -220,10 +223,10 @@ pub fn table5(s: &Session<'_>) -> Rendered {
         let ixps: std::collections::BTreeSet<_> = stats.iter().map(|v| v.ixp).collect();
         // Distinct member ASNs behind the queried interfaces.
         let mut members = std::collections::BTreeSet::new();
-        for o in &s.input.campaign.observations {
-            if let Some(vp) = s.input.vp(o.vp) {
+        for o in &input.campaign.observations {
+            if let Some(vp) = input.vp(o.vp) {
                 if vp.is_atlas() == atlas {
-                    if let Some((_, asn)) = s.input.observed.member_of_addr(o.target) {
+                    if let Some((_, asn)) = input.observed.member_of_addr(o.target) {
                         members.insert(asn);
                     }
                 }
@@ -245,8 +248,7 @@ pub fn table5(s: &Session<'_>) -> Rendered {
         responsive: rows.iter().map(|r| r.responsive).sum(),
         members: rows.iter().map(|r| r.members).sum(),
         ixps: {
-            let all: std::collections::BTreeSet<_> = s
-                .input
+            let all: std::collections::BTreeSet<_> = input
                 .campaign
                 .vp_stats
                 .iter()

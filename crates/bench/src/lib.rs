@@ -28,9 +28,16 @@
 //!   behind `run_experiments --epochs N`: measurements delivered in
 //!   batches through the incremental pipeline, per-epoch dirty-shard
 //!   accounting, byte-identity audit against the one-shot run.
+//! * [`run_serving_study`] / [`ServingReport`] — the serving-throughput
+//!   sweep of the schema-v4 `serving` section: reader threads issuing
+//!   batched snapshot queries while a writer streams epoch deltas into
+//!   the [`opeer_core::service::PeeringService`].
+
+#![warn(missing_docs)]
 
 pub mod experiments;
 pub mod scaling;
+pub mod serving;
 pub mod session;
 pub mod streaming;
 
@@ -38,5 +45,6 @@ pub use experiments::{run_all, Rendered};
 pub use scaling::{
     run_scaling_study, PhaseScaling, ScalingReport, DEFAULT_STREAMING_EPOCHS, DEFAULT_THREAD_SWEEP,
 };
+pub use serving::{run_serving_study, ServingPoint, ServingReport, DEFAULT_READER_SWEEP};
 pub use session::Session;
 pub use streaming::{run_streaming_session, EpochCost, StreamingReport};

@@ -1,15 +1,16 @@
 //! The engine scaling study: sequential vs the sharded parallel engine
 //! at several thread counts — for the inference pipeline, for
 //! measurement assembly, and for the overlapped end-to-end path — plus
-//! the streaming epoch replay, with byte-identity checks and a
-//! machine-readable report (`BENCH_pipeline.json`, schema
-//! `opeer-bench-pipeline/3`).
+//! the streaming epoch replay and the serving-throughput sweep, with
+//! byte-identity checks and a machine-readable report
+//! (`BENCH_pipeline.json`, schema `opeer-bench-pipeline/4`).
 //!
 //! Used by the `pipeline_scaling` / `assembly_scaling` criterion
 //! benches and by `run_experiments --bench-pipeline` (which is what
 //! CI's bench-smoke job runs and archives). The README documents the
 //! report schema field by field.
 
+use crate::serving::{run_serving_study, ServingReport, DEFAULT_READER_SWEEP};
 use crate::streaming::{run_streaming_session, StreamingReport};
 use opeer_core::engine::{assemble_and_run_parallel, run_pipeline_parallel, ParallelConfig};
 use opeer_core::pipeline::{run_pipeline, PipelineConfig};
@@ -110,10 +111,15 @@ pub struct ScalingReport {
     /// per-epoch wall-clock and dirty-shard counts, plus the cost of the
     /// full re-run the last epoch's delta replaces.
     pub streaming: StreamingReport,
-    /// Whether every parallel run in every phase — and the final state
-    /// of the streaming replay — matched its sequential reference byte
-    /// for byte: the gate `run_experiments --bench-pipeline` enforces
-    /// with its exit code.
+    /// Serving throughput: queries/sec against the `PeeringService`
+    /// under N reader threads racing the streaming writer, with epoch
+    /// monotonicity and final byte-identity audits.
+    pub serving: ServingReport,
+    /// Whether every parallel run in every phase — and the final states
+    /// of the streaming replay and the serving sweep — matched their
+    /// sequential references byte for byte (plus the serving epoch
+    /// monotonicity audit): the gate `run_experiments --bench-pipeline`
+    /// enforces with its exit code.
     pub all_identical: bool,
 }
 
@@ -265,12 +271,25 @@ pub fn run_scaling_study(
         &ParallelConfig::new(thread_sweep.last().copied().unwrap_or(1)),
     );
 
+    // ---- serving throughput (readers racing the streaming writer) ----
+    let serving = run_serving_study(
+        world,
+        seed,
+        epochs,
+        DEFAULT_READER_SWEEP,
+        &cfg,
+        &ParallelConfig::new(thread_sweep.last().copied().unwrap_or(1)),
+    );
+
     let all_identical = assembly.all_identical
         && pipeline.all_identical
         && end_to_end.all_identical
-        && streaming.identical;
+        && streaming.identical
+        && serving.identical
+        && serving.epochs_monotonic
+        && serving.tags_consistent;
     ScalingReport {
-        schema: "opeer-bench-pipeline/3",
+        schema: "opeer-bench-pipeline/4",
         world: world_label.to_string(),
         seed,
         ixps: input.observed.ixps.len(),
@@ -282,6 +301,7 @@ pub fn run_scaling_study(
         pipeline,
         end_to_end,
         streaming,
+        serving,
         all_identical,
     }
 }
@@ -300,6 +320,10 @@ mod tests {
         assert!(report.pipeline.all_identical);
         assert!(report.end_to_end.all_identical);
         assert!(report.streaming.identical);
+        assert!(report.serving.identical);
+        assert!(report.serving.epochs_monotonic);
+        assert!(report.serving.tags_consistent);
+        assert!(!report.serving.points.is_empty());
         assert_eq!(report.pipeline.points.len(), 2);
         assert_eq!(report.assembly.points.len(), 2);
         assert_eq!(report.end_to_end.points.len(), 2);
@@ -314,9 +338,10 @@ mod tests {
         assert!(report.assembly.sequential_ms.min > 0.0);
         let json = serde_json::to_string(&report).expect("report serialises");
         assert!(json.contains("\"schema\":"));
-        assert!(json.contains("opeer-bench-pipeline/3"));
+        assert!(json.contains("opeer-bench-pipeline/4"));
         assert!(json.contains("\"assembly\":"));
         assert!(json.contains("\"end_to_end\":"));
         assert!(json.contains("\"streaming\":"));
+        assert!(json.contains("\"serving\":"));
     }
 }

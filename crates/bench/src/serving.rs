@@ -1,0 +1,272 @@
+//! The serving-throughput study: queries/sec against a live
+//! [`PeeringService`] under N reader threads racing a streaming writer.
+//!
+//! The write side replays the world's measurements in epoch batches
+//! (the same emitters as the streaming study) while reader threads
+//! hammer the published snapshot with batched point/report/explain
+//! queries. Each reader records how many queries it answered and the
+//! epoch range it observed; the study audits that every reader saw
+//! **monotonically non-decreasing** epochs and that the final snapshot
+//! equals the one-shot pipeline over the fully accumulated input.
+//!
+//! This is the schema-v4 `serving` section of `BENCH_pipeline.json`.
+//! Throughput numbers are host-dependent (they are a CI artifact, not a
+//! determinism gate); the `identical`, `epochs_monotonic`, and
+//! `tags_consistent` flags are gates and feed
+//! `run_experiments --bench-pipeline`'s exit code.
+
+use opeer_core::engine::ParallelConfig;
+use opeer_core::incremental::InputDelta;
+use opeer_core::input::default_configs;
+use opeer_core::pipeline::{run_pipeline, PipelineConfig};
+use opeer_core::service::{PeeringService, QueryRequest, QueryResponse};
+use opeer_core::InferenceInput;
+use opeer_measure::campaign::campaign_batches;
+use opeer_measure::traceroute::corpus_batches;
+use opeer_topology::World;
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Reader-thread counts the serving study sweeps by default.
+pub const DEFAULT_READER_SWEEP: &[usize] = &[1, 2, 4];
+
+/// How many requests each reader packs into one batched `query` call.
+const BATCH_SIZE: usize = 64;
+
+/// One reader-count's measurements.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ServingPoint {
+    /// Concurrent reader threads.
+    pub readers: usize,
+    /// Total queries answered across all readers (batch items, not
+    /// batch calls).
+    pub queries: u64,
+    /// Wall-clock of the run, ms (readers start with the writer and
+    /// stop when the replay ends).
+    pub wall_ms: f64,
+    /// Queries per second across all readers.
+    pub qps: f64,
+    /// Epochs the writer published during the run.
+    pub epochs_published: u64,
+    /// Lowest epoch tag any reader observed.
+    pub min_epoch_seen: u64,
+    /// Highest epoch tag any reader observed.
+    pub max_epoch_seen: u64,
+    /// Whether every reader observed non-decreasing epoch tags.
+    pub epochs_monotonic: bool,
+    /// Whether every answer carried the epoch of the snapshot that
+    /// produced it (the tag audit, distinct from ordering).
+    pub tags_consistent: bool,
+}
+
+/// The serving study, serialised into `BENCH_pipeline.json`'s
+/// `serving` section (schema v4).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServingReport {
+    /// Epoch batches the writer replays per point.
+    pub epochs: usize,
+    /// One point per swept reader count.
+    pub points: Vec<ServingPoint>,
+    /// Whether every point's readers saw monotonic epochs.
+    pub epochs_monotonic: bool,
+    /// Whether every point's answers were tagged with their own
+    /// snapshot's epoch.
+    pub tags_consistent: bool,
+    /// Whether the final snapshot (after the last point's replay)
+    /// matched the one-shot pipeline over the fully accumulated input
+    /// byte for byte.
+    pub identical: bool,
+}
+
+/// What one reader thread saw while racing the writer.
+struct ReaderTally {
+    queries: u64,
+    min_epoch: u64,
+    max_epoch: u64,
+    monotonic: bool,
+    tags_consistent: bool,
+}
+
+/// Runs one reader loop until `done` flips: grabs the current snapshot,
+/// answers one batch of mixed queries from it, and checks the epoch tag
+/// never goes backwards.
+fn reader_loop(service: &PeeringService<'_>, done: &AtomicBool, salt: usize) -> ReaderTally {
+    let mut tally = ReaderTally {
+        queries: 0,
+        min_epoch: u64::MAX,
+        max_epoch: 0,
+        monotonic: true,
+        tags_consistent: true,
+    };
+    let mut last_epoch = 0u64;
+    let mut cursor = salt;
+    loop {
+        // Sample the stop flag *before* grabbing the snapshot: when the
+        // writer raises it (after its final publish, Release), the
+        // snapshot read below (Acquire) is guaranteed to observe the
+        // final epoch, so the exit iteration still counts it.
+        let stop_after_this = done.load(Ordering::Acquire);
+        let snapshot = service.snapshot();
+        let epoch = snapshot.epoch();
+        if epoch < last_epoch {
+            tally.monotonic = false;
+        }
+        last_epoch = epoch;
+        tally.min_epoch = tally.min_epoch.min(epoch);
+        tally.max_epoch = tally.max_epoch.max(epoch);
+
+        // A mixed batch over real keys of this snapshot: point verdicts
+        // and explains over the inference set, rollups over the IXPs.
+        let result = snapshot.result();
+        let n_inf = result.inferences.len();
+        let n_ixp = snapshot.ixp_count();
+        let mut batch = Vec::with_capacity(BATCH_SIZE);
+        for k in 0..BATCH_SIZE {
+            let pick = cursor.wrapping_add(k.wrapping_mul(7919));
+            match k % 4 {
+                0 | 1 if n_inf > 0 => {
+                    let inf = &result.inferences[pick % n_inf];
+                    batch.push(QueryRequest::Verdict {
+                        ixp: inf.ixp,
+                        iface: inf.addr,
+                    });
+                }
+                2 if n_inf > 0 => {
+                    let inf = &result.inferences[pick % n_inf];
+                    batch.push(QueryRequest::Explain { iface: inf.addr });
+                }
+                _ if n_ixp > 0 => batch.push(QueryRequest::IxpReport { ixp: pick % n_ixp }),
+                _ => {}
+            }
+        }
+        cursor = cursor.wrapping_add(BATCH_SIZE);
+        if !batch.is_empty() {
+            let responses = snapshot.query(&batch).expect("valid batch shape");
+            // Answers must come from the snapshot they were asked of.
+            if responses.iter().any(|r| match r {
+                QueryResponse::Verdict(a) => a.epoch != epoch,
+                QueryResponse::Explain(e) => e.epoch != epoch,
+                QueryResponse::Ixp(i) => i.epoch != epoch,
+                QueryResponse::Asn(a) => a.epoch != epoch,
+                QueryResponse::Error(_) => false,
+            }) {
+                tally.tags_consistent = false;
+            }
+            tally.queries += responses.len() as u64;
+        }
+        if stop_after_this {
+            return tally;
+        }
+    }
+}
+
+/// Runs the serving study: for each reader count, a fresh service over
+/// the measurement-free base, a writer replaying `epochs` batches, and
+/// N readers querying throughout. Ends with the byte-identity audit of
+/// the final state against the one-shot pipeline.
+pub fn run_serving_study(
+    world: &World,
+    seed: u64,
+    epochs: usize,
+    reader_sweep: &[usize],
+    cfg: &PipelineConfig,
+    par: &ParallelConfig,
+) -> ServingReport {
+    let epochs = epochs.max(1);
+    let (_registry, campaign_cfg, corpus_cfg) = default_configs(seed);
+    // The one-shot reference is shared by every point's audit.
+    let full = InferenceInput::assemble(world, seed);
+    let one_shot = run_pipeline(&full, cfg);
+
+    let mut points = Vec::with_capacity(reader_sweep.len());
+    let mut identical = true;
+    for &readers in reader_sweep {
+        let service = PeeringService::build(InferenceInput::assemble_base(world, seed), cfg, par);
+        // Batch generation stays outside the timed window: the study
+        // measures the serving plane, not measurement emission.
+        let camp = campaign_batches(world, &service.input().vps, campaign_cfg, epochs);
+        let corp = corpus_batches(world, corpus_cfg, epochs);
+        let deltas = InputDelta::zip_batches(camp, corp);
+        let epochs_published = deltas.len() as u64;
+
+        let done = AtomicBool::new(false);
+        let t0 = Instant::now();
+        let tallies = std::thread::scope(|scope| {
+            let service = &service;
+            let done = &done;
+            let handles: Vec<_> = (0..readers.max(1))
+                .map(|r| scope.spawn(move || reader_loop(service, done, r * 104729)))
+                .collect();
+            for delta in deltas {
+                service.apply(delta);
+            }
+            done.store(true, Ordering::Release);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reader panicked"))
+                .collect::<Vec<_>>()
+        });
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let queries: u64 = tallies.iter().map(|t| t.queries).sum();
+        let point = ServingPoint {
+            readers: readers.max(1),
+            queries,
+            wall_ms,
+            qps: queries as f64 / (wall_ms / 1e3).max(f64::EPSILON),
+            epochs_published,
+            min_epoch_seen: tallies.iter().map(|t| t.min_epoch).min().unwrap_or(0),
+            max_epoch_seen: tallies.iter().map(|t| t.max_epoch).max().unwrap_or(0),
+            epochs_monotonic: tallies.iter().all(|t| t.monotonic),
+            tags_consistent: tallies.iter().all(|t| t.tags_consistent),
+        };
+        points.push(point);
+
+        // Audit the final state of this point's service.
+        identical &= service.input().content_eq(&full);
+        identical &= *service.snapshot().result() == one_shot;
+    }
+
+    ServingReport {
+        epochs,
+        epochs_monotonic: points.iter().all(|p| p.epochs_monotonic),
+        tags_consistent: points.iter().all(|p| p.tags_consistent),
+        identical,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn serving_study_is_identical_and_monotonic() {
+        let world = WorldConfig::small(7).generate();
+        let report = run_serving_study(
+            &world,
+            7,
+            3,
+            &[1, 2],
+            &PipelineConfig::default(),
+            &ParallelConfig::new(2),
+        );
+        assert!(report.identical, "serving replay diverged from one-shot");
+        assert!(report.epochs_monotonic, "a reader saw epochs go backwards");
+        assert!(
+            report.tags_consistent,
+            "an answer carried a foreign epoch tag"
+        );
+        assert_eq!(report.points.len(), 2);
+        for p in &report.points {
+            assert!(p.queries > 0, "{} readers answered nothing", p.readers);
+            assert!(p.qps > 0.0);
+            assert_eq!(p.max_epoch_seen, p.epochs_published);
+        }
+        let json = serde_json::to_string(&report).expect("report serialises");
+        assert!(json.contains("\"points\":"));
+        assert!(json.contains("\"epochs_monotonic\":true"));
+    }
+}

@@ -378,6 +378,7 @@ fn phase_steps45(
         step3_details,
         multi_ixp_routers,
         counts: StepCounts {
+            baseline: 0,
             port_capacity: n1,
             rtt_colo: n3,
             multi_ixp: n4,

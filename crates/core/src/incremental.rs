@@ -637,6 +637,7 @@ impl<'w> IncrementalPipeline<'w> {
                 .flat_map(|o| o.findings.iter().cloned())
                 .collect(),
             counts: StepCounts {
+                baseline: 0,
                 port_capacity: n1,
                 rtt_colo: n3,
                 multi_ixp: n4,

@@ -50,6 +50,11 @@
 //!   an incremental dataflow: measurement batches stream in as
 //!   [`incremental::InputDelta`]s and only the dirty shards recompute,
 //!   byte-identical to the one-shot run after every epoch.
+//! * [`service::PeeringService`] — the serving layer over the
+//!   incremental pipeline: writers `apply` epoch deltas while any
+//!   number of readers query immutable, epoch-versioned
+//!   [`service::Snapshot`]s through typed point/report/explain lookups
+//!   and a batched, serde-serializable request/response API.
 //!
 //! ## Quickstart
 //!
@@ -76,6 +81,7 @@ pub mod input;
 pub mod metrics;
 pub mod pipeline;
 pub mod routing_impl;
+pub mod service;
 pub mod steps;
 pub mod types;
 
@@ -84,5 +90,6 @@ pub use engine::{assemble_and_run_parallel, run_pipeline_parallel, ParallelConfi
 pub use incremental::{run_pipeline_incremental, IncrementalPipeline, InputDelta};
 pub use input::InferenceInput;
 pub use metrics::{score, Metrics};
-pub use pipeline::{run_pipeline, PipelineConfig, PipelineResult};
+pub use pipeline::{run_pipeline, ConfigError, PipelineConfig, PipelineResult};
+pub use service::{PeeringService, QueryRequest, QueryResponse, ServiceError, Snapshot};
 pub use types::{Inference, Step, Verdict};

@@ -10,10 +10,17 @@ use opeer_alias::AliasConfig;
 use opeer_geo::SpeedModel;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::net::Ipv4Addr;
 
 /// Pipeline configuration.
+///
+/// The struct is `#[non_exhaustive]`: new knobs can be added without a
+/// breaking change, so downstream code builds one via
+/// [`PipelineConfig::default`] or the validating
+/// [`PipelineConfig::builder`] rather than struct literals.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct PipelineConfig {
     /// Speed bounds for step 3 (shared with Fig. 6/7 analyses).
     pub speed: SpeedModel,
@@ -36,9 +43,171 @@ impl Default for PipelineConfig {
     }
 }
 
+impl PipelineConfig {
+    /// Starts a validating builder seeded with the default knobs.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            cfg: PipelineConfig::default(),
+        }
+    }
+}
+
+/// A knob rejected by [`PipelineConfigBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum ConfigError {
+    /// A speed/RTT threshold was NaN or infinite.
+    NonFinite {
+        /// The offending knob, e.g. `"speed.v_max_m_s"`.
+        knob: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A speed/RTT threshold that must be strictly positive was ≤ 0.
+    NonPositive {
+        /// The offending knob.
+        knob: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A knob that may be zero but not negative was < 0.
+    Negative {
+        /// The offending knob.
+        knob: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A probability knob fell outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// The offending knob.
+        knob: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The speed model's lower bound can overtake its upper bound
+    /// (`v_min_saturation_m_s > v_max_m_s` inverts the annulus).
+    InvertedSpeedBounds {
+        /// The saturation value of the lower bound, m/s.
+        v_min_saturation_m_s: f64,
+        /// The upper bound, m/s.
+        v_max_m_s: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonFinite { knob, value } => {
+                write!(f, "{knob} must be finite, got {value}")
+            }
+            ConfigError::NonPositive { knob, value } => {
+                write!(f, "{knob} must be > 0, got {value}")
+            }
+            ConfigError::Negative { knob, value } => {
+                write!(f, "{knob} must be >= 0, got {value}")
+            }
+            ConfigError::ProbabilityOutOfRange { knob, value } => {
+                write!(f, "{knob} must be within [0, 1], got {value}")
+            }
+            ConfigError::InvertedSpeedBounds {
+                v_min_saturation_m_s,
+                v_max_m_s,
+            } => write!(
+                f,
+                "v_min_saturation_m_s ({v_min_saturation_m_s}) exceeds v_max_m_s \
+                 ({v_max_m_s}): the feasibility annulus would invert"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`PipelineConfig`] that validates the knobs on
+/// [`PipelineConfigBuilder::build`] instead of letting a NaN threshold
+/// silently wipe out step 3 (every annulus check against NaN is false).
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfigBuilder {
+    cfg: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Sets the step-3 speed bounds.
+    pub fn speed(mut self, speed: SpeedModel) -> Self {
+        self.cfg.speed = speed;
+        self
+    }
+
+    /// Sets the alias-resolution configuration for steps 4 and 5.
+    pub fn alias(mut self, alias: AliasConfig) -> Self {
+        self.cfg.alias = alias;
+        self
+    }
+
+    /// Enables or disables the §6.1 rounding correction.
+    pub fn honor_lg_rounding(mut self, honor: bool) -> Self {
+        self.cfg.honor_lg_rounding = honor;
+        self
+    }
+
+    /// Validates every knob and returns the config, or the first
+    /// rejection in a fixed field order.
+    pub fn build(self) -> Result<PipelineConfig, ConfigError> {
+        let s = &self.cfg.speed;
+        let finite_positive: &[(&'static str, f64)] = &[
+            ("speed.v_max_m_s", s.v_max_m_s),
+            ("speed.v_min_saturation_m_s", s.v_min_saturation_m_s),
+            ("alias.interval_s", self.cfg.alias.interval_s),
+            ("alias.max_velocity", self.cfg.alias.max_velocity),
+        ];
+        for &(knob, value) in finite_positive {
+            if !value.is_finite() {
+                return Err(ConfigError::NonFinite { knob, value });
+            }
+            if value <= 0.0 {
+                return Err(ConfigError::NonPositive { knob, value });
+            }
+        }
+        let finite_only: &[(&'static str, f64)] = &[
+            ("speed.v_min_coeff_m_s", s.v_min_coeff_m_s),
+            ("speed.v_min_ln_offset", s.v_min_ln_offset),
+        ];
+        for &(knob, value) in finite_only {
+            if !value.is_finite() {
+                return Err(ConfigError::NonFinite { knob, value });
+            }
+        }
+        if s.v_min_coeff_m_s < 0.0 {
+            return Err(ConfigError::Negative {
+                knob: "speed.v_min_coeff_m_s",
+                value: s.v_min_coeff_m_s,
+            });
+        }
+        if s.v_min_saturation_m_s > s.v_max_m_s {
+            return Err(ConfigError::InvertedSpeedBounds {
+                v_min_saturation_m_s: s.v_min_saturation_m_s,
+                v_max_m_s: s.v_max_m_s,
+            });
+        }
+        let p = self.cfg.alias.p_iffinder;
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(ConfigError::ProbabilityOutOfRange {
+                knob: "alias.p_iffinder",
+                value: p,
+            });
+        }
+        Ok(self.cfg)
+    }
+}
+
 /// Per-step inference counts (Fig. 10a's data).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StepCounts {
+    /// The Castro et al. RTT-threshold baseline ([`Step::Baseline`]).
+    /// Always zero for pipeline-produced results — the combined §5.2 run
+    /// never emits baseline verdicts — but mixed ledgers (e.g. a
+    /// baseline comparison folded into one inference set) tally here
+    /// instead of being dropped.
+    pub baseline: usize,
     /// Step 1.
     pub port_capacity: usize,
     /// Steps 2+3.
@@ -50,9 +219,20 @@ pub struct StepCounts {
 }
 
 impl StepCounts {
-    /// Total inferences across steps.
+    /// Total inferences across steps (baseline included).
     pub fn total(&self) -> usize {
-        self.port_capacity + self.rtt_colo + self.multi_ixp + self.private_links
+        self.baseline + self.port_capacity + self.rtt_colo + self.multi_ixp + self.private_links
+    }
+
+    /// Tallies one step into its counter.
+    pub fn record(&mut self, step: Step) {
+        match step {
+            Step::Baseline => self.baseline += 1,
+            Step::PortCapacity => self.port_capacity += 1,
+            Step::RttColo => self.rtt_colo += 1,
+            Step::MultiIxp => self.multi_ixp += 1,
+            Step::PrivateLinks => self.private_links += 1,
+        }
     }
 }
 
@@ -97,17 +277,13 @@ impl PipelineResult {
     }
 
     /// Per-IXP step-contribution counts (Fig. 10a): `ixp → StepCounts`.
+    /// Every step tallies — [`Step::Baseline`] entries land in
+    /// [`StepCounts::baseline`] rather than being dropped, so a mixed
+    /// ledger's contributions always sum to [`StepCounts::total`].
     pub fn step_contributions(&self) -> BTreeMap<usize, StepCounts> {
         let mut out: BTreeMap<usize, StepCounts> = BTreeMap::new();
         for i in &self.inferences {
-            let c = out.entry(i.ixp).or_default();
-            match i.step {
-                Step::PortCapacity => c.port_capacity += 1,
-                Step::RttColo => c.rtt_colo += 1,
-                Step::MultiIxp => c.multi_ixp += 1,
-                Step::PrivateLinks => c.private_links += 1,
-                Step::Baseline => {}
-            }
+            out.entry(i.ixp).or_default().record(i.step);
         }
         out
     }
@@ -161,6 +337,7 @@ pub fn run_pipeline(input: &InferenceInput<'_>, cfg: &PipelineConfig) -> Pipelin
         step3_details,
         multi_ixp_routers,
         counts: StepCounts {
+            baseline: 0,
             port_capacity: n1,
             rtt_colo: n3,
             multi_ixp: n4,
@@ -286,6 +463,133 @@ mod tests {
             (0.10..=0.50).contains(&share),
             "remote share {share} out of band (paper: 28%)"
         );
+    }
+
+    #[test]
+    fn step_contributions_tally_baseline_inferences() {
+        // A mixed ledger (pipeline output + baseline verdicts folded in)
+        // must tally to total(): Step::Baseline entries were silently
+        // dropped before the `baseline` counter existed.
+        use crate::types::{Inference, Verdict};
+        let mk = |addr: &str, ixp: usize, step: Step| Inference {
+            addr: addr.parse().expect("valid"),
+            ixp,
+            asn: opeer_net::Asn::new(64500),
+            verdict: Verdict::Remote,
+            step,
+            evidence: String::new(),
+        };
+        let result = PipelineResult {
+            inferences: vec![
+                mk("185.0.0.1", 0, Step::PortCapacity),
+                mk("185.0.0.2", 0, Step::Baseline),
+                mk("185.0.0.3", 0, Step::Baseline),
+                mk("185.0.1.1", 1, Step::RttColo),
+                mk("185.0.1.2", 1, Step::Baseline),
+            ],
+            unclassified: Vec::new(),
+            observations: BTreeMap::new(),
+            step3_details: Vec::new(),
+            multi_ixp_routers: Vec::new(),
+            counts: StepCounts::default(),
+        };
+        let contributions = result.step_contributions();
+        assert_eq!(contributions[&0].baseline, 2);
+        assert_eq!(contributions[&0].port_capacity, 1);
+        assert_eq!(contributions[&0].total(), 3, "IXP 0 dropped baseline");
+        assert_eq!(contributions[&1].baseline, 1);
+        assert_eq!(contributions[&1].rtt_colo, 1);
+        assert_eq!(contributions[&1].total(), 2, "IXP 1 dropped baseline");
+        let summed: usize = contributions.values().map(StepCounts::total).sum();
+        assert_eq!(summed, result.inferences.len());
+    }
+
+    #[test]
+    fn builder_accepts_defaults_and_rejects_nonsense() {
+        use opeer_geo::SpeedModel;
+
+        let built = PipelineConfig::builder()
+            .honor_lg_rounding(false)
+            .build()
+            .expect("default knobs are valid");
+        assert!(!built.honor_lg_rounding);
+
+        let nan_speed = SpeedModel {
+            v_max_m_s: f64::NAN,
+            ..SpeedModel::default()
+        };
+        assert!(matches!(
+            PipelineConfig::builder().speed(nan_speed).build(),
+            Err(ConfigError::NonFinite {
+                knob: "speed.v_max_m_s",
+                ..
+            })
+        ));
+
+        let negative = SpeedModel {
+            v_max_m_s: -1.0,
+            ..SpeedModel::default()
+        };
+        assert!(matches!(
+            PipelineConfig::builder().speed(negative).build(),
+            Err(ConfigError::NonPositive {
+                knob: "speed.v_max_m_s",
+                ..
+            })
+        ));
+
+        // v_min_coeff may be zero (disables the lower bound) but not
+        // negative — the error names the actual constraint.
+        let zero_coeff = SpeedModel {
+            v_min_coeff_m_s: 0.0,
+            ..SpeedModel::default()
+        };
+        assert!(PipelineConfig::builder().speed(zero_coeff).build().is_ok());
+        let neg_coeff = SpeedModel {
+            v_min_coeff_m_s: -2.0,
+            ..SpeedModel::default()
+        };
+        let err = PipelineConfig::builder()
+            .speed(neg_coeff)
+            .build()
+            .expect_err("negative coefficient rejected");
+        assert!(matches!(
+            err,
+            ConfigError::Negative {
+                knob: "speed.v_min_coeff_m_s",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains(">= 0"));
+
+        let inverted = SpeedModel {
+            v_min_saturation_m_s: 9.9e8,
+            ..SpeedModel::default()
+        };
+        assert!(matches!(
+            PipelineConfig::builder().speed(inverted).build(),
+            Err(ConfigError::InvertedSpeedBounds { .. })
+        ));
+
+        let bad_alias = AliasConfig {
+            p_iffinder: 1.5,
+            ..AliasConfig::default()
+        };
+        assert!(matches!(
+            PipelineConfig::builder().alias(bad_alias).build(),
+            Err(ConfigError::ProbabilityOutOfRange {
+                knob: "alias.p_iffinder",
+                ..
+            })
+        ));
+        let err = PipelineConfig::builder()
+            .alias(AliasConfig {
+                interval_s: f64::INFINITY,
+                ..AliasConfig::default()
+            })
+            .build()
+            .expect_err("infinite interval rejected");
+        assert!(err.to_string().contains("alias.interval_s"));
     }
 
     #[test]

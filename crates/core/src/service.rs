@@ -1,0 +1,1032 @@
+//! The snapshot-serving query layer: [`PeeringService`].
+//!
+//! The pipeline's consumers are overwhelmingly *readers* — "is this peer
+//! at this IXP remote, and why?" is the paper's operational product
+//! (§6, §7) — while the incremental pipeline
+//! ([`crate::incremental::IncrementalPipeline`]) is a *writer* that
+//! mutates retained state on every epoch. This module is the boundary
+//! between the two:
+//!
+//! * the **write side** owns the incremental pipeline behind a mutex;
+//!   [`PeeringService::apply`] absorbs an [`InputDelta`], recomputes the
+//!   dirty shards, and *publishes* the refreshed result;
+//! * the **read side** is an immutable, epoch-versioned [`Snapshot`]
+//!   behind an `Arc` swap: publication replaces the `Arc` pointer, so a
+//!   reader that grabbed the previous snapshot keeps a fully consistent
+//!   view for as long as it holds it, and a fresh
+//!   [`PeeringService::snapshot`] call observes the new epoch. Readers
+//!   hold a lock only for the duration of an `Arc` refcount bump —
+//!   query evaluation itself never takes any lock and never blocks the
+//!   writer.
+//!
+//! Every query answer is tagged with the [`Snapshot::epoch`] it was
+//! computed from, so a caller interleaving queries with a live writer
+//! can always tell which ingest state an answer reflects. Published
+//! epochs are strictly monotonic (the swap happens under the writer
+//! mutex).
+//!
+//! ## Indexes, built once per publish
+//!
+//! A [`Snapshot`] is not a bare [`PipelineResult`]: at publish time it
+//! builds the lookup structure each query family needs, so the typed
+//! queries are O(1)/O(log n)/O(k) instead of O(n) scans over the
+//! inference vector:
+//!
+//! * by interface address → inference / unclassified record
+//!   ([`Snapshot::verdict`], [`Snapshot::explain`]);
+//! * by member ASN → that member's interfaces, step-4 router findings,
+//!   and colocation facilities ([`Snapshot::asn_report`]);
+//! * per-IXP rollups — verdict tallies, per-step [`StepCounts`], remote
+//!   share — computed once ([`Snapshot::ixp_report`],
+//!   [`Snapshot::ixp_rollups`]).
+//!
+//! ## The contract
+//!
+//! Snapshot answers are a pure function of the retained
+//! [`PipelineResult`] plus the fused registry view, and the retained
+//! result is byte-identical to a one-shot
+//! [`run_pipeline`][crate::pipeline::run_pipeline] over the accumulated
+//! input at every epoch and every `OPEER_THREADS` (the incremental
+//! contract). Therefore every query answer equals a naive scan of the
+//! equivalent one-shot result — `tests/service_oracle.rs` proptests
+//! exactly that, across random worlds × epoch partitions × thread
+//! counts.
+
+use crate::engine::ParallelConfig;
+use crate::incremental::{IncrementalPipeline, InputDelta};
+use crate::input::InferenceInput;
+use crate::pipeline::{PipelineConfig, PipelineResult, StepCounts};
+use crate::steps::step2::RttObservation;
+use crate::steps::step3::Step3Detail;
+use crate::steps::step4::MultiIxpFinding;
+use crate::types::{Step, Verdict};
+use opeer_net::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Largest batch [`Snapshot::query`] accepts.
+pub const MAX_BATCH: usize = 4096;
+
+// ---------------------------------------------------------------------
+// error taxonomy
+// ---------------------------------------------------------------------
+
+/// Why a query could not be answered. Serde-serializable, so a wire
+/// layer can ship the rejection as-is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceError {
+    /// The observed IXP index is out of range for this snapshot.
+    UnknownIxp {
+        /// The requested index.
+        ixp: usize,
+        /// How many observed IXPs the snapshot holds.
+        ixps: usize,
+    },
+    /// The interface address is not an observed member interface (at
+    /// the given IXP, when the query names one).
+    UnknownInterface {
+        /// The IXP the query scoped the lookup to, if any.
+        ixp: Option<usize>,
+        /// The requested address.
+        addr: Ipv4Addr,
+    },
+    /// No observed member interface belongs to this ASN.
+    UnknownAsn {
+        /// The requested ASN.
+        asn: Asn,
+    },
+    /// The batch shape is invalid: empty, or larger than [`MAX_BATCH`].
+    InvalidBatch {
+        /// The rejected batch length.
+        len: usize,
+        /// The maximum accepted length.
+        max: usize,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownIxp { ixp, ixps } => {
+                write!(f, "unknown IXP index {ixp} (snapshot holds {ixps})")
+            }
+            ServiceError::UnknownInterface { ixp: Some(i), addr } => {
+                write!(f, "{addr} is not an observed member interface of IXP {i}")
+            }
+            ServiceError::UnknownInterface { ixp: None, addr } => {
+                write!(f, "{addr} is not an observed member interface")
+            }
+            ServiceError::UnknownAsn { asn } => {
+                write!(f, "no observed member interface belongs to {asn}")
+            }
+            ServiceError::InvalidBatch { len, max } => {
+                write!(f, "invalid batch of {len} requests (accepted: 1..={max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+// ---------------------------------------------------------------------
+// wire types
+// ---------------------------------------------------------------------
+
+/// The answer to a point verdict lookup.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictAnswer {
+    /// Epoch of the snapshot that produced this answer.
+    pub epoch: u64,
+    /// The interface address.
+    pub addr: Ipv4Addr,
+    /// Observed IXP index the interface belongs to.
+    pub ixp: usize,
+    /// Member ASN.
+    pub asn: Asn,
+    /// The verdict; `None` when the interface is observed but no step
+    /// classified it.
+    pub verdict: Option<Verdict>,
+    /// The step that produced the verdict, when there is one.
+    pub step: Option<Step>,
+}
+
+/// One observed IXP's precomputed verdict rollup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IxpRollup {
+    /// Observed IXP index.
+    pub ixp: usize,
+    /// The IXP's registry name.
+    pub name: String,
+    /// Observed member interfaces.
+    pub interfaces: usize,
+    /// Interfaces classified local.
+    pub local: usize,
+    /// Interfaces classified remote.
+    pub remote: usize,
+    /// Interfaces no step classified.
+    pub unclassified: usize,
+    /// Per-step contribution counts.
+    pub counts: StepCounts,
+    /// `remote / (local + remote)`; 0 when nothing was inferred.
+    pub remote_share: f64,
+}
+
+/// The answer to an IXP report query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IxpReport {
+    /// Epoch of the snapshot that produced this answer.
+    pub epoch: u64,
+    /// The rollup for the requested IXP.
+    pub rollup: IxpRollup,
+}
+
+/// The answer to a member (ASN) report query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsnReport {
+    /// Epoch of the snapshot that produced this answer.
+    pub epoch: u64,
+    /// The member ASN.
+    pub asn: Asn,
+    /// Every observed interface of the member, in address order, each
+    /// with its verdict (or `None` when unclassified).
+    pub interfaces: Vec<VerdictAnswer>,
+    /// Distinct observed IXPs the member holds interfaces at, ascending.
+    pub ixps: Vec<usize>,
+    /// Interfaces classified local.
+    pub local: usize,
+    /// Interfaces classified remote.
+    pub remote: usize,
+    /// Interfaces no step classified.
+    pub unclassified: usize,
+    /// Per-step contribution counts over the member's interfaces.
+    pub counts: StepCounts,
+}
+
+/// The full evidence chain behind one interface's verdict: what the
+/// inferring step said, the RTT material and feasibility annulus it
+/// read, the member's colocation record, and the alias/multi-IXP
+/// router witnesses that touch the interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Epoch of the snapshot that produced this answer.
+    pub epoch: u64,
+    /// The interface address.
+    pub addr: Ipv4Addr,
+    /// Observed IXP index the interface belongs to.
+    pub ixp: usize,
+    /// Member ASN.
+    pub asn: Asn,
+    /// The verdict; `None` when no step classified the interface.
+    pub verdict: Option<Verdict>,
+    /// The step that produced the verdict.
+    pub step: Option<Step>,
+    /// The inferring step's human-readable evidence line.
+    pub evidence: Option<String>,
+    /// The consolidated step-2 ping observation, if the campaign
+    /// reached the interface.
+    pub observation: Option<RttObservation>,
+    /// The step-3 feasibility evaluation: annulus bounds and feasible
+    /// IXP facility count.
+    pub annulus: Option<Step3Detail>,
+    /// Facility indices the fused registry colocates the member in.
+    pub colo_facilities: Vec<usize>,
+    /// Step-4 router findings of the member that involve this interface
+    /// (alias groups containing it, or routers facing its IXP).
+    pub multi_ixp_witnesses: Vec<MultiIxpFinding>,
+}
+
+/// One request of a [`Snapshot::query`] batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryRequest {
+    /// Point verdict lookup: is this interface at this IXP remote?
+    Verdict {
+        /// Observed IXP index.
+        ixp: usize,
+        /// Member interface address.
+        iface: Ipv4Addr,
+    },
+    /// Member report across all its observed interfaces.
+    AsnReport {
+        /// Member ASN.
+        asn: Asn,
+    },
+    /// Per-IXP rollup report.
+    IxpReport {
+        /// Observed IXP index.
+        ixp: usize,
+    },
+    /// Full evidence chain for one interface.
+    Explain {
+        /// Member interface address.
+        iface: Ipv4Addr,
+    },
+}
+
+/// One answer of a [`Snapshot::query`] batch, positionally matching the
+/// request. Per-item failures are embedded (the batch itself only fails
+/// on an invalid shape).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryResponse {
+    /// Answer to [`QueryRequest::Verdict`].
+    Verdict(VerdictAnswer),
+    /// Answer to [`QueryRequest::AsnReport`].
+    Asn(AsnReport),
+    /// Answer to [`QueryRequest::IxpReport`].
+    Ixp(IxpReport),
+    /// Answer to [`QueryRequest::Explain`].
+    Explain(Explanation),
+    /// The request could not be answered.
+    Error(ServiceError),
+}
+
+// ---------------------------------------------------------------------
+// snapshot
+// ---------------------------------------------------------------------
+
+/// A member ASN's interface index entries.
+#[derive(Default)]
+struct AsnIndex {
+    /// Indices into `result.inferences`, address order.
+    inferred: Vec<usize>,
+    /// Indices into `result.unclassified`.
+    unclassified: Vec<usize>,
+}
+
+/// An immutable, epoch-versioned view of the pipeline output with the
+/// query indexes built once at publish time. Cheap to share
+/// (`Arc<Snapshot>`); all methods take `&self` and never lock.
+pub struct Snapshot {
+    epoch: u64,
+    result: PipelineResult,
+    /// Interface address → index into `result.inferences`.
+    by_addr: BTreeMap<Ipv4Addr, usize>,
+    /// Interface address → index into `result.unclassified`.
+    unclassified_by_addr: BTreeMap<Ipv4Addr, usize>,
+    /// Member ASN → its interface entries.
+    by_asn: BTreeMap<Asn, AsnIndex>,
+    /// Interface address → index into `result.step3_details`.
+    details_by_addr: BTreeMap<Ipv4Addr, usize>,
+    /// Member ASN → indices into `result.multi_ixp_routers`.
+    findings_by_asn: BTreeMap<Asn, Vec<usize>>,
+    /// Member ASN → colocation facility indices (fused registry view).
+    colo: BTreeMap<Asn, Vec<usize>>,
+    /// One rollup per observed IXP.
+    ixps: Vec<IxpRollup>,
+    /// Overall `remote / inferred` share.
+    remote_share: f64,
+}
+
+impl Snapshot {
+    /// Builds a snapshot (the publish-time index pass) from the
+    /// accumulated input's registry view and the retained result.
+    fn build(epoch: u64, input: &InferenceInput<'_>, result: PipelineResult) -> Snapshot {
+        let mut by_addr = BTreeMap::new();
+        let mut by_asn: BTreeMap<Asn, AsnIndex> = BTreeMap::new();
+        let mut details_by_addr = BTreeMap::new();
+        let mut findings_by_asn: BTreeMap<Asn, Vec<usize>> = BTreeMap::new();
+
+        let mut ixps: Vec<IxpRollup> = input
+            .observed
+            .ixps
+            .iter()
+            .enumerate()
+            .map(|(i, ixp)| IxpRollup {
+                ixp: i,
+                name: ixp.name.clone(),
+                interfaces: ixp.interfaces.len(),
+                local: 0,
+                remote: 0,
+                unclassified: 0,
+                counts: StepCounts::default(),
+                remote_share: 0.0,
+            })
+            .collect();
+
+        for (idx, inf) in result.inferences.iter().enumerate() {
+            by_addr.insert(inf.addr, idx);
+            by_asn.entry(inf.asn).or_default().inferred.push(idx);
+            if let Some(rollup) = ixps.get_mut(inf.ixp) {
+                match inf.verdict {
+                    Verdict::Local => rollup.local += 1,
+                    Verdict::Remote => rollup.remote += 1,
+                }
+                rollup.counts.record(inf.step);
+            }
+        }
+        let mut unclassified_by_addr = BTreeMap::new();
+        for (idx, u) in result.unclassified.iter().enumerate() {
+            unclassified_by_addr.insert(u.addr, idx);
+            by_asn.entry(u.asn).or_default().unclassified.push(idx);
+            if let Some(rollup) = ixps.get_mut(u.ixp) {
+                rollup.unclassified += 1;
+            }
+        }
+        for rollup in &mut ixps {
+            let inferred = rollup.local + rollup.remote;
+            if inferred > 0 {
+                rollup.remote_share = rollup.remote as f64 / inferred as f64;
+            }
+        }
+        for (idx, d) in result.step3_details.iter().enumerate() {
+            details_by_addr.insert(d.addr, idx);
+        }
+        for (idx, finding) in result.multi_ixp_routers.iter().enumerate() {
+            findings_by_asn.entry(finding.asn).or_default().push(idx);
+        }
+        // Colocation records only for member ASNs the snapshot can be
+        // asked about (the fused per-AS table also covers non-members).
+        let colo = by_asn
+            .keys()
+            .map(|&asn| {
+                (
+                    asn,
+                    input
+                        .observed
+                        .facilities_of_as(asn)
+                        .map(<[usize]>::to_vec)
+                        .unwrap_or_default(),
+                )
+            })
+            .collect();
+        let remote_share = result.remote_share();
+
+        Snapshot {
+            epoch,
+            result,
+            by_addr,
+            unclassified_by_addr,
+            by_asn,
+            details_by_addr,
+            findings_by_asn,
+            colo,
+            ixps,
+            remote_share,
+        }
+    }
+
+    /// The ingest epoch this snapshot reflects: the number of deltas the
+    /// write side had applied when it was published.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The full retained [`PipelineResult`] — for bulk consumers
+    /// (experiments, figure regeneration) that genuinely need every
+    /// record. Point and report queries should use the typed methods,
+    /// which hit the indexes instead.
+    pub fn result(&self) -> &PipelineResult {
+        &self.result
+    }
+
+    /// Number of observed IXPs.
+    pub fn ixp_count(&self) -> usize {
+        self.ixps.len()
+    }
+
+    /// Overall fraction of inferred interfaces classified remote.
+    pub fn remote_share(&self) -> f64 {
+        self.remote_share
+    }
+
+    /// Every observed IXP's precomputed rollup, by IXP index.
+    pub fn ixp_rollups(&self) -> &[IxpRollup] {
+        &self.ixps
+    }
+
+    /// Per-IXP step-contribution counts (Fig. 10a), served from the
+    /// rollups: only IXPs with at least one inference appear, exactly
+    /// like [`PipelineResult::step_contributions`].
+    pub fn step_contributions(&self) -> BTreeMap<usize, StepCounts> {
+        self.ixps
+            .iter()
+            .filter(|r| r.counts.total() > 0)
+            .map(|r| (r.ixp, r.counts))
+            .collect()
+    }
+
+    /// Point lookup: the verdict for one member interface at one IXP.
+    /// O(log n) in the interface count; no scan.
+    pub fn verdict(&self, ixp: usize, iface: Ipv4Addr) -> Result<VerdictAnswer, ServiceError> {
+        if ixp >= self.ixps.len() {
+            return Err(ServiceError::UnknownIxp {
+                ixp,
+                ixps: self.ixps.len(),
+            });
+        }
+        let answer = self
+            .answer_for_addr(iface)
+            .ok_or(ServiceError::UnknownInterface {
+                ixp: Some(ixp),
+                addr: iface,
+            })?;
+        if answer.ixp != ixp {
+            // Observed, but at a different exchange than the caller
+            // scoped the lookup to.
+            return Err(ServiceError::UnknownInterface {
+                ixp: Some(ixp),
+                addr: iface,
+            });
+        }
+        Ok(answer)
+    }
+
+    /// The verdict entry for an address regardless of IXP, if observed.
+    fn answer_for_addr(&self, addr: Ipv4Addr) -> Option<VerdictAnswer> {
+        if let Some(&idx) = self.by_addr.get(&addr) {
+            let inf = &self.result.inferences[idx];
+            return Some(VerdictAnswer {
+                epoch: self.epoch,
+                addr: inf.addr,
+                ixp: inf.ixp,
+                asn: inf.asn,
+                verdict: Some(inf.verdict),
+                step: Some(inf.step),
+            });
+        }
+        let &idx = self.unclassified_by_addr.get(&addr)?;
+        let u = &self.result.unclassified[idx];
+        Some(VerdictAnswer {
+            epoch: self.epoch,
+            addr: u.addr,
+            ixp: u.ixp,
+            asn: u.asn,
+            verdict: None,
+            step: None,
+        })
+    }
+
+    /// Member report: every observed interface of an ASN with its
+    /// verdict, plus tallies. O(k) in the member's interface count.
+    pub fn asn_report(&self, asn: Asn) -> Result<AsnReport, ServiceError> {
+        let index = self
+            .by_asn
+            .get(&asn)
+            .ok_or(ServiceError::UnknownAsn { asn })?;
+        let mut interfaces: Vec<VerdictAnswer> =
+            Vec::with_capacity(index.inferred.len() + index.unclassified.len());
+        let mut counts = StepCounts::default();
+        let (mut local, mut remote) = (0, 0);
+        for &idx in &index.inferred {
+            let inf = &self.result.inferences[idx];
+            match inf.verdict {
+                Verdict::Local => local += 1,
+                Verdict::Remote => remote += 1,
+            }
+            counts.record(inf.step);
+            interfaces.push(VerdictAnswer {
+                epoch: self.epoch,
+                addr: inf.addr,
+                ixp: inf.ixp,
+                asn: inf.asn,
+                verdict: Some(inf.verdict),
+                step: Some(inf.step),
+            });
+        }
+        for &idx in &index.unclassified {
+            let u = &self.result.unclassified[idx];
+            interfaces.push(VerdictAnswer {
+                epoch: self.epoch,
+                addr: u.addr,
+                ixp: u.ixp,
+                asn: u.asn,
+                verdict: None,
+                step: None,
+            });
+        }
+        let unclassified = index.unclassified.len();
+        interfaces.sort_by_key(|a| a.addr);
+        let mut ixps: Vec<usize> = interfaces.iter().map(|a| a.ixp).collect();
+        ixps.sort_unstable();
+        ixps.dedup();
+        Ok(AsnReport {
+            epoch: self.epoch,
+            asn,
+            interfaces,
+            ixps,
+            local,
+            remote,
+            unclassified,
+            counts,
+        })
+    }
+
+    /// Per-IXP report, served from the precomputed rollup. O(1) plus
+    /// the rollup clone.
+    pub fn ixp_report(&self, ixp: usize) -> Result<IxpReport, ServiceError> {
+        let rollup = self.ixps.get(ixp).ok_or(ServiceError::UnknownIxp {
+            ixp,
+            ixps: self.ixps.len(),
+        })?;
+        Ok(IxpReport {
+            epoch: self.epoch,
+            rollup: rollup.clone(),
+        })
+    }
+
+    /// The evidence chain for one interface: verdict and inferring step,
+    /// the step-2 observation and step-3 annulus it read, the member's
+    /// colocation facilities, and the multi-IXP router witnesses that
+    /// involve the interface (alias groups containing it, or routers of
+    /// the member facing its IXP).
+    pub fn explain(&self, iface: Ipv4Addr) -> Result<Explanation, ServiceError> {
+        let base = self
+            .answer_for_addr(iface)
+            .ok_or(ServiceError::UnknownInterface {
+                ixp: None,
+                addr: iface,
+            })?;
+        let evidence = self
+            .by_addr
+            .get(&iface)
+            .map(|&idx| self.result.inferences[idx].evidence.clone());
+        let observation = self.result.observations.get(&iface).copied();
+        let annulus = self
+            .details_by_addr
+            .get(&iface)
+            .map(|&idx| self.result.step3_details[idx]);
+        let colo_facilities = self.colo.get(&base.asn).cloned().unwrap_or_default();
+        let multi_ixp_witnesses = self
+            .findings_by_asn
+            .get(&base.asn)
+            .map(|indices| {
+                indices
+                    .iter()
+                    .map(|&idx| &self.result.multi_ixp_routers[idx])
+                    .filter(|f| f.ifaces.contains(&iface) || f.next_hop_ixps.contains(&base.ixp))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(Explanation {
+            epoch: self.epoch,
+            addr: base.addr,
+            ixp: base.ixp,
+            asn: base.asn,
+            verdict: base.verdict,
+            step: base.step,
+            evidence,
+            observation,
+            annulus,
+            colo_facilities,
+            multi_ixp_witnesses,
+        })
+    }
+
+    /// Answers a batch of requests positionally. The batch itself is
+    /// rejected ([`ServiceError::InvalidBatch`]) when empty or larger
+    /// than [`MAX_BATCH`]; per-item failures come back embedded as
+    /// [`QueryResponse::Error`], so one bad request cannot void its
+    /// neighbours.
+    pub fn query(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, ServiceError> {
+        if requests.is_empty() || requests.len() > MAX_BATCH {
+            return Err(ServiceError::InvalidBatch {
+                len: requests.len(),
+                max: MAX_BATCH,
+            });
+        }
+        Ok(requests.iter().map(|r| self.answer(r)).collect())
+    }
+
+    fn answer(&self, request: &QueryRequest) -> QueryResponse {
+        match *request {
+            QueryRequest::Verdict { ixp, iface } => match self.verdict(ixp, iface) {
+                Ok(a) => QueryResponse::Verdict(a),
+                Err(e) => QueryResponse::Error(e),
+            },
+            QueryRequest::AsnReport { asn } => match self.asn_report(asn) {
+                Ok(a) => QueryResponse::Asn(a),
+                Err(e) => QueryResponse::Error(e),
+            },
+            QueryRequest::IxpReport { ixp } => match self.ixp_report(ixp) {
+                Ok(a) => QueryResponse::Ixp(a),
+                Err(e) => QueryResponse::Error(e),
+            },
+            QueryRequest::Explain { iface } => match self.explain(iface) {
+                Ok(a) => QueryResponse::Explain(a),
+                Err(e) => QueryResponse::Error(e),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// service
+// ---------------------------------------------------------------------
+
+/// Read access to the write side's accumulated input. Holds the writer
+/// mutex for its lifetime — drop it before calling
+/// [`PeeringService::apply`] from the same thread.
+pub struct InputGuard<'a, 'w> {
+    guard: MutexGuard<'a, IncrementalPipeline<'w>>,
+}
+
+impl<'w> std::ops::Deref for InputGuard<'_, 'w> {
+    type Target = InferenceInput<'w>;
+
+    fn deref(&self) -> &InferenceInput<'w> {
+        self.guard.input()
+    }
+}
+
+/// The concurrently-readable peering lookup service: an
+/// [`IncrementalPipeline`] on the write side, an `Arc`-swapped
+/// [`Snapshot`] on the read side. See the [module docs](self).
+pub struct PeeringService<'w> {
+    write: Mutex<IncrementalPipeline<'w>>,
+    current: RwLock<Arc<Snapshot>>,
+}
+
+impl<'w> PeeringService<'w> {
+    /// Wraps an already-built incremental pipeline (warm or
+    /// measurement-free base) and publishes its current state as the
+    /// initial snapshot.
+    pub fn new(pipeline: IncrementalPipeline<'w>) -> Self {
+        let snapshot = Arc::new(Snapshot::build(
+            pipeline.epochs_applied() as u64,
+            pipeline.input(),
+            pipeline.result().clone(),
+        ));
+        PeeringService {
+            write: Mutex::new(pipeline),
+            current: RwLock::new(snapshot),
+        }
+    }
+
+    /// Builds the service over an input: runs the pipeline once (on the
+    /// engine's worker pool) and publishes epoch 0. Pass
+    /// [`InferenceInput::assemble_base`] output to start measurement-free
+    /// and stream batches in via [`PeeringService::apply`], or a fully
+    /// assembled input for a warm start.
+    pub fn build(input: InferenceInput<'w>, cfg: &PipelineConfig, par: &ParallelConfig) -> Self {
+        Self::new(IncrementalPipeline::new(input, cfg, par))
+    }
+
+    /// Absorbs one delta on the write side (recomputing only the dirty
+    /// shards) and publishes the refreshed snapshot. Returns the newly
+    /// published epoch. Writers serialize on the internal mutex; the
+    /// publish is an `Arc` pointer swap, so in-flight readers keep
+    /// their old snapshot and new [`PeeringService::snapshot`] calls see
+    /// this epoch. Published epochs are strictly monotonic.
+    pub fn apply(&self, delta: InputDelta) -> u64 {
+        let mut pipe = self.write.lock().expect("service writer poisoned");
+        pipe.apply(delta);
+        let epoch = pipe.epochs_applied() as u64;
+        let snapshot = Arc::new(Snapshot::build(epoch, pipe.input(), pipe.result().clone()));
+        // Swap while still holding the writer mutex: concurrent apply()
+        // calls cannot publish out of order.
+        *self.current.write().expect("snapshot slot poisoned") = snapshot;
+        epoch
+    }
+
+    /// The current snapshot. The lock is held only for the `Arc`
+    /// refcount bump; the returned snapshot stays fully consistent (and
+    /// keeps answering at its epoch) however long the caller holds it.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.current.read().expect("snapshot slot poisoned").clone()
+    }
+
+    /// The currently published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// Read access to the accumulated input (the write side's view —
+    /// what a one-shot run at the current epoch would consume). Holds
+    /// the writer mutex until dropped.
+    pub fn input(&self) -> InputGuard<'_, 'w> {
+        InputGuard {
+            guard: self.write.lock().expect("service writer poisoned"),
+        }
+    }
+
+    /// [`Snapshot::verdict`] on the current snapshot.
+    pub fn verdict(&self, ixp: usize, iface: Ipv4Addr) -> Result<VerdictAnswer, ServiceError> {
+        self.snapshot().verdict(ixp, iface)
+    }
+
+    /// [`Snapshot::asn_report`] on the current snapshot.
+    pub fn asn_report(&self, asn: Asn) -> Result<AsnReport, ServiceError> {
+        self.snapshot().asn_report(asn)
+    }
+
+    /// [`Snapshot::ixp_report`] on the current snapshot.
+    pub fn ixp_report(&self, ixp: usize) -> Result<IxpReport, ServiceError> {
+        self.snapshot().ixp_report(ixp)
+    }
+
+    /// [`Snapshot::explain`] on the current snapshot.
+    pub fn explain(&self, iface: Ipv4Addr) -> Result<Explanation, ServiceError> {
+        self.snapshot().explain(iface)
+    }
+
+    /// [`Snapshot::query`] on the current snapshot: the whole batch is
+    /// answered from one snapshot, so every response carries the same
+    /// epoch tag.
+    pub fn query(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, ServiceError> {
+        self.snapshot().query(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_pipeline;
+    use opeer_topology::WorldConfig;
+
+    fn service(seed: u64) -> (opeer_topology::World, PipelineResult) {
+        let world = WorldConfig::small(seed).generate();
+        let input = InferenceInput::assemble(&world, seed);
+        let result = run_pipeline(&input, &PipelineConfig::default());
+        (world, result)
+    }
+
+    #[test]
+    fn point_queries_match_naive_scans() {
+        let (world, one_shot) = service(42);
+        let input = InferenceInput::assemble(&world, 42);
+        let svc = PeeringService::build(
+            InferenceInput::assemble(&world, 42),
+            &PipelineConfig::default(),
+            &ParallelConfig::new(2),
+        );
+        let snap = svc.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(*snap.result(), one_shot, "warm start must equal one-shot");
+
+        // Every inference answers with its own verdict.
+        for inf in &one_shot.inferences {
+            let a = snap.verdict(inf.ixp, inf.addr).expect("inferred iface");
+            assert_eq!(a.verdict, Some(inf.verdict));
+            assert_eq!(a.step, Some(inf.step));
+            assert_eq!(a.asn, inf.asn);
+            assert_eq!(a.epoch, 0);
+        }
+        // Every unclassified interface answers verdict: None.
+        for u in &one_shot.unclassified {
+            let a = snap.verdict(u.ixp, u.addr).expect("observed iface");
+            assert_eq!(a.verdict, None);
+            assert_eq!(a.step, None);
+        }
+        // Rollups agree with a naive per-IXP scan.
+        for rollup in snap.ixp_rollups() {
+            let local = one_shot
+                .for_ixp(rollup.ixp)
+                .filter(|i| !i.verdict.is_remote())
+                .count();
+            let remote = one_shot
+                .for_ixp(rollup.ixp)
+                .filter(|i| i.verdict.is_remote())
+                .count();
+            let unclassified = one_shot
+                .unclassified
+                .iter()
+                .filter(|u| u.ixp == rollup.ixp)
+                .count();
+            assert_eq!(
+                (rollup.local, rollup.remote),
+                (local, remote),
+                "ixp {}",
+                rollup.ixp
+            );
+            assert_eq!(rollup.unclassified, unclassified);
+            assert_eq!(
+                rollup.interfaces,
+                input.observed.ixps[rollup.ixp].interfaces.len()
+            );
+            assert_eq!(rollup.name, input.observed.ixps[rollup.ixp].name);
+        }
+        assert_eq!(snap.step_contributions(), one_shot.step_contributions());
+        assert_eq!(snap.remote_share(), one_shot.remote_share());
+    }
+
+    #[test]
+    fn error_taxonomy() {
+        let world = WorldConfig::small(7).generate();
+        let svc = PeeringService::build(
+            InferenceInput::assemble(&world, 7),
+            &PipelineConfig::default(),
+            &ParallelConfig::new(1),
+        );
+        let snap = svc.snapshot();
+        let n = snap.ixp_count();
+        assert!(n > 0);
+
+        let bogus: Ipv4Addr = "203.0.113.77".parse().expect("valid");
+        assert_eq!(
+            snap.verdict(n, bogus),
+            Err(ServiceError::UnknownIxp { ixp: n, ixps: n })
+        );
+        assert_eq!(
+            snap.verdict(0, bogus),
+            Err(ServiceError::UnknownInterface {
+                ixp: Some(0),
+                addr: bogus
+            })
+        );
+        assert_eq!(
+            snap.explain(bogus),
+            Err(ServiceError::UnknownInterface {
+                ixp: None,
+                addr: bogus
+            })
+        );
+        assert_eq!(
+            snap.asn_report(Asn::new(64_999)),
+            Err(ServiceError::UnknownAsn {
+                asn: Asn::new(64_999)
+            })
+        );
+        assert!(matches!(
+            snap.ixp_report(n),
+            Err(ServiceError::UnknownIxp { .. })
+        ));
+        // A verdict scoped to the wrong IXP is an unknown interface
+        // there, not a silent cross-IXP answer.
+        let inf = &snap.result().inferences[0];
+        let wrong = (inf.ixp + 1) % n;
+        if wrong != inf.ixp {
+            assert_eq!(
+                snap.verdict(wrong, inf.addr),
+                Err(ServiceError::UnknownInterface {
+                    ixp: Some(wrong),
+                    addr: inf.addr
+                })
+            );
+        }
+
+        assert_eq!(
+            snap.query(&[]),
+            Err(ServiceError::InvalidBatch {
+                len: 0,
+                max: MAX_BATCH
+            })
+        );
+        let oversized = vec![QueryRequest::IxpReport { ixp: 0 }; MAX_BATCH + 1];
+        assert!(matches!(
+            snap.query(&oversized),
+            Err(ServiceError::InvalidBatch { .. })
+        ));
+        // Per-item failures embed; neighbours still answer.
+        let mixed = snap
+            .query(&[
+                QueryRequest::IxpReport { ixp: 0 },
+                QueryRequest::Explain { iface: bogus },
+            ])
+            .expect("valid batch shape");
+        assert!(matches!(mixed[0], QueryResponse::Ixp(_)));
+        assert!(matches!(
+            mixed[1],
+            QueryResponse::Error(ServiceError::UnknownInterface { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_bumps_epoch_and_swaps_snapshot() {
+        let world = WorldConfig::small(7).generate();
+        let svc = PeeringService::build(
+            InferenceInput::assemble(&world, 7),
+            &PipelineConfig::default(),
+            &ParallelConfig::new(1),
+        );
+        let old = svc.snapshot();
+        assert_eq!(old.epoch(), 0);
+        let e1 = svc.apply(InputDelta::default());
+        assert_eq!(e1, 1);
+        let new = svc.snapshot();
+        assert_eq!(new.epoch(), 1);
+        // The reader that grabbed the old snapshot still sees epoch 0,
+        // and its answers stay tagged with it.
+        assert_eq!(old.epoch(), 0);
+        let addr = old.result().inferences[0].addr;
+        let ixp = old.result().inferences[0].ixp;
+        assert_eq!(old.verdict(ixp, addr).expect("known").epoch, 0);
+        assert_eq!(new.verdict(ixp, addr).expect("known").epoch, 1);
+        // An empty delta changes nothing but the tag.
+        assert_eq!(*new.result(), *old.result());
+    }
+
+    #[test]
+    fn explain_assembles_the_evidence_chain() {
+        let (world, one_shot) = service(42);
+        let svc = PeeringService::build(
+            InferenceInput::assemble(&world, 42),
+            &PipelineConfig::default(),
+            &ParallelConfig::new(2),
+        );
+        let snap = svc.snapshot();
+        let mut with_observation = 0;
+        let mut with_witnesses = 0;
+        for inf in &one_shot.inferences {
+            let e = snap.explain(inf.addr).expect("inferred iface");
+            assert_eq!(e.verdict, Some(inf.verdict));
+            assert_eq!(e.evidence.as_deref(), Some(inf.evidence.as_str()));
+            assert_eq!(e.observation, one_shot.observations.get(&inf.addr).copied());
+            assert_eq!(
+                e.annulus,
+                one_shot
+                    .step3_details
+                    .iter()
+                    .find(|d| d.addr == inf.addr)
+                    .copied()
+            );
+            let naive: Vec<&MultiIxpFinding> = one_shot
+                .multi_ixp_routers
+                .iter()
+                .filter(|f| {
+                    f.asn == inf.asn
+                        && (f.ifaces.contains(&inf.addr) || f.next_hop_ixps.contains(&inf.ixp))
+                })
+                .collect();
+            assert_eq!(e.multi_ixp_witnesses.len(), naive.len());
+            with_observation += usize::from(e.observation.is_some());
+            with_witnesses += usize::from(!e.multi_ixp_witnesses.is_empty());
+        }
+        assert!(with_observation > 0, "no explanation carried RTT material");
+        assert!(
+            with_witnesses > 0,
+            "no explanation carried router witnesses"
+        );
+    }
+
+    #[test]
+    fn wire_types_round_trip_through_serde() {
+        let req = vec![
+            QueryRequest::Verdict {
+                ixp: 3,
+                iface: "185.1.2.3".parse().expect("valid"),
+            },
+            QueryRequest::AsnReport {
+                asn: Asn::new(64512),
+            },
+            QueryRequest::Explain {
+                iface: "185.9.9.9".parse().expect("valid"),
+            },
+        ];
+        let json = serde_json::to_string(&req).expect("requests serialise");
+        let back: Vec<QueryRequest> = serde_json::from_str(&json).expect("requests parse");
+        assert_eq!(back, req);
+
+        let resp = QueryResponse::Error(ServiceError::InvalidBatch {
+            len: 0,
+            max: MAX_BATCH,
+        });
+        let json = serde_json::to_string(&resp).expect("response serialises");
+        let back: QueryResponse = serde_json::from_str(&json).expect("response parses");
+        assert_eq!(back, resp);
+
+        let answer = QueryResponse::Verdict(VerdictAnswer {
+            epoch: 9,
+            addr: "185.1.2.3".parse().expect("valid"),
+            ixp: 3,
+            asn: Asn::new(64512),
+            verdict: Some(Verdict::Remote),
+            step: Some(Step::RttColo),
+        });
+        let json = serde_json::to_string(&answer).expect("answer serialises");
+        let back: QueryResponse = serde_json::from_str(&json).expect("answer parses");
+        assert_eq!(back, answer);
+    }
+}

@@ -11,11 +11,12 @@
 use crate::input::InferenceInput;
 use opeer_geo::GeoPoint;
 use opeer_net::Asn;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// One target's consolidated RTT observation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RttObservation {
     /// Target interface.
     pub addr: Ipv4Addr,

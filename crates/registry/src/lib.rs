@@ -25,6 +25,8 @@
 //! * [`euroix`] — a real serde schema for the Euro-IX-style JSON export,
 //!   so the website ingestion path exercises actual parsing.
 
+#![warn(missing_docs)]
+
 pub mod euroix;
 pub mod facilities;
 pub mod fusion;

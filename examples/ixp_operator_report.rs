@@ -3,8 +3,11 @@
 //!
 //! The paper's motivating use case (§7, "The IXP's point of view"): an
 //! operator knows its *virtual* (reseller) ports but not what happens
-//! beyond the cable. This example runs the methodology and prints a
-//! member-base report for one exchange.
+//! beyond the cable. This example runs the methodology behind a
+//! `PeeringService` and reads the member-base report through the query
+//! API — the rollup comes from the snapshot's publish-time indexes and
+//! each member row from a point `explain` lookup, not from scanning the
+//! inference vector.
 //!
 //! ```text
 //! cargo run --release --example ixp_operator_report [IXP-NAME] [seed]
@@ -23,52 +26,82 @@ fn main() {
 
     let world = WorldConfig::small(seed).generate();
     let input = InferenceInput::assemble(&world, seed);
-    let result = run_pipeline(&input, &PipelineConfig::default());
+    let service = PeeringService::build(
+        input,
+        &PipelineConfig::default(),
+        &ParallelConfig::from_env(),
+    );
+    let snapshot = service.snapshot();
 
-    let Some(ixp_idx) = input.observed.ixp_by_name(&ixp_name) else {
-        eprintln!("IXP {ixp_name:?} not in the observed dataset; try AMS-IX, LINX LON, NL-IX…");
-        std::process::exit(2);
+    let (ixp_idx, interfaces, port_capacity) = {
+        let input = service.input();
+        let Some(ixp_idx) = input.observed.ixp_by_name(&ixp_name) else {
+            eprintln!("IXP {ixp_name:?} not in the observed dataset; try AMS-IX, LINX LON, NL-IX…");
+            std::process::exit(2);
+        };
+        let ixp = &input.observed.ixps[ixp_idx];
+        println!("━━ member-base report: {} ━━", ixp.name);
+        println!(
+            "peering LAN {:?}, {} member interfaces, Cmin {:?} Mbps, {} observed facilities\n",
+            ixp.prefixes,
+            ixp.interfaces.len(),
+            ixp.cmin_mbps,
+            ixp.facility_idxs.len()
+        );
+        (ixp_idx, ixp.interfaces.clone(), ixp.port_capacity.clone())
     };
-    let ixp = &input.observed.ixps[ixp_idx];
 
-    println!("━━ member-base report: {} ━━", ixp.name);
+    // The rollup is precomputed at publish time: no inference scan.
+    let report = snapshot.ixp_report(ixp_idx).expect("observed IXP");
     println!(
-        "peering LAN {:?}, {} member interfaces, Cmin {:?} Mbps, {} observed facilities\n",
-        ixp.prefixes,
-        ixp.interfaces.len(),
-        ixp.cmin_mbps,
-        ixp.facility_idxs.len()
+        "verdicts (epoch {}): {} local, {} remote ({:.1}%), {} unknown\n",
+        report.epoch,
+        report.rollup.local,
+        report.rollup.remote,
+        report.rollup.remote_share * 100.0,
+        report.rollup.unclassified
     );
 
-    let mut locals = Vec::new();
+    // Point lookups per member interface — O(log n) each.
     let mut remotes = Vec::new();
-    let mut unknown = 0usize;
-    for (&addr, &asn) in &ixp.interfaces {
-        match result.inferences.iter().find(|i| i.addr == addr) {
-            Some(inf) if inf.verdict == Verdict::Remote => remotes.push((asn, addr, inf)),
-            Some(inf) => locals.push((asn, addr, inf)),
-            None => unknown += 1,
+    for (&addr, &asn) in &interfaces {
+        let answer = snapshot.verdict(ixp_idx, addr).expect("observed iface");
+        if answer.verdict == Some(Verdict::Remote) {
+            remotes.push((asn, addr));
         }
     }
-    println!(
-        "verdicts: {} local, {} remote ({:.1}%), {} unknown\n",
-        locals.len(),
-        remotes.len(),
-        100.0 * remotes.len() as f64 / (locals.len() + remotes.len()).max(1) as f64,
-        unknown
-    );
 
     println!("remote members and how we know:");
-    for (asn, addr, inf) in remotes.iter().take(20) {
-        let cap = ixp
-            .port_capacity
+    for (asn, addr) in remotes.iter().take(20) {
+        let explain = snapshot.explain(*addr).expect("observed iface");
+        let cap = port_capacity
             .get(asn)
             .map(|c| format!("{c} Mbps"))
             .unwrap_or_else(|| "?".to_string());
+        let step = explain
+            .step
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "?".into());
         println!(
-            "  {asn} @ {addr} (port {cap}) [{}] {}",
-            inf.step, inf.evidence
+            "  {asn} @ {addr} (port {cap}) [{step}] {}",
+            explain.evidence.as_deref().unwrap_or("")
         );
+        if let Some(annulus) = &explain.annulus {
+            println!(
+                "      feasibility annulus [{:.0}, {:.0}] km, {} feasible {} facilities, colo record: {} facilities",
+                annulus.annulus.min_km,
+                annulus.annulus.max_km,
+                annulus.feasible_ixp_facilities,
+                ixp_name,
+                explain.colo_facilities.len()
+            );
+        }
+        if !explain.multi_ixp_witnesses.is_empty() {
+            println!(
+                "      {} multi-IXP router witness(es)",
+                explain.multi_ixp_witnesses.len()
+            );
+        }
     }
     if remotes.len() > 20 {
         println!("  … and {} more", remotes.len() - 20);
@@ -84,14 +117,20 @@ fn main() {
         }
     };
     let mut dist: std::collections::BTreeMap<(&str, &str), usize> = Default::default();
-    for (asn, _, _) in &locals {
-        if let Some(&c) = ixp.port_capacity.get(asn) {
-            *dist.entry(("local", tier(c))).or_insert(0) += 1;
-        }
-    }
-    for (asn, _, _) in &remotes {
-        if let Some(&c) = ixp.port_capacity.get(asn) {
-            *dist.entry(("remote", tier(c))).or_insert(0) += 1;
+    for (&addr, &asn) in &interfaces {
+        let Ok(answer) = snapshot.verdict(ixp_idx, addr) else {
+            continue;
+        };
+        let Some(verdict) = answer.verdict else {
+            continue;
+        };
+        if let Some(&c) = port_capacity.get(&asn) {
+            let kind = if verdict.is_remote() {
+                "remote"
+            } else {
+                "local"
+            };
+            *dist.entry((kind, tier(c))).or_insert(0) += 1;
         }
     }
     println!("\nport capacity distribution:");

@@ -1,0 +1,154 @@
+//! The serving layer, live: reader threads racing a streaming writer.
+//!
+//! A `PeeringService` starts from the measurement-free epoch-0 base;
+//! the writer replays the world's ping campaign and traceroute corpus
+//! in epoch batches while reader threads continuously issue batched
+//! queries against whatever snapshot is currently published. Readers
+//! never block the writer and never see a torn state: each answer is
+//! tagged with the epoch it reflects, tags never move backwards within
+//! a reader, and the final state is byte-identical to the one-shot
+//! pipeline over the same measurements.
+//!
+//! ```text
+//! cargo run --release --example query_service [seed] [epochs] [readers]
+//! ```
+//!
+//! Exits non-zero if any invariant fails — CI's determinism matrix runs
+//! this example at several `OPEER_THREADS` values.
+
+use opeer::measure::campaign::campaign_batches;
+use opeer::measure::traceroute::corpus_batches;
+use opeer::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let epochs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let readers: usize = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    let world = WorldConfig::small(seed).generate();
+    let par = ParallelConfig::from_env();
+    let cfg = PipelineConfig::builder()
+        .build()
+        .expect("default knobs are valid");
+
+    // Epoch 0: registry + VPs + prefix2as, no measurements yet.
+    let service = PeeringService::build(InferenceInput::assemble_base(&world, seed), &cfg, &par);
+    println!(
+        "epoch 0 published: {} IXPs observed, {} inferences (measurement-free)",
+        service.snapshot().ixp_count(),
+        service.snapshot().result().inferences.len()
+    );
+
+    let (_, campaign_cfg, corpus_cfg) = opeer::core::input::default_configs(seed);
+    let camp = campaign_batches(&world, &service.input().vps, campaign_cfg, epochs);
+    let corp = corpus_batches(&world, corpus_cfg, epochs);
+    let deltas = InputDelta::zip_batches(camp, corp);
+    let planned = deltas.len() as u64;
+
+    let done = AtomicBool::new(false);
+    let tallies = std::thread::scope(|scope| {
+        let service = &service;
+        let done = &done;
+        let handles: Vec<_> = (0..readers.max(1))
+            .map(|r| {
+                scope.spawn(move || {
+                    let (mut queries, mut last_epoch, mut epoch_bumps) = (0u64, 0u64, 0u64);
+                    loop {
+                        let stop_after_this = done.load(Ordering::Acquire);
+                        let snapshot = service.snapshot();
+                        let epoch = snapshot.epoch();
+                        assert!(
+                            epoch >= last_epoch,
+                            "reader {r}: epoch went backwards ({epoch} < {last_epoch})"
+                        );
+                        epoch_bumps += u64::from(epoch > last_epoch);
+                        last_epoch = epoch;
+
+                        // One batched call over live keys of this snapshot.
+                        let result = snapshot.result();
+                        let mut batch: Vec<QueryRequest> = vec![QueryRequest::IxpReport {
+                            ixp: queries as usize % snapshot.ixp_count(),
+                        }];
+                        if let Some(inf) = result
+                            .inferences
+                            .get(queries as usize % result.inferences.len().max(1))
+                        {
+                            batch.push(QueryRequest::Verdict {
+                                ixp: inf.ixp,
+                                iface: inf.addr,
+                            });
+                            batch.push(QueryRequest::Explain { iface: inf.addr });
+                        }
+                        let responses = snapshot.query(&batch).expect("valid batch");
+                        for resp in &responses {
+                            let tag = match resp {
+                                QueryResponse::Verdict(a) => a.epoch,
+                                QueryResponse::Ixp(i) => i.epoch,
+                                QueryResponse::Explain(e) => e.epoch,
+                                QueryResponse::Asn(a) => a.epoch,
+                                QueryResponse::Error(e) => panic!("reader {r}: {e}"),
+                            };
+                            assert_eq!(tag, epoch, "answer tagged with a foreign epoch");
+                        }
+                        queries += responses.len() as u64;
+                        if stop_after_this {
+                            return (queries, last_epoch, epoch_bumps);
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // The writer: one apply per epoch batch, dirty shards only.
+        for (e, delta) in deltas.into_iter().enumerate() {
+            let published = service.apply(delta);
+            println!(
+                "epoch {published} published ({} planned batches, batch {e} applied)",
+                planned
+            );
+        }
+        done.store(true, Ordering::Release);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    for (r, (queries, last_epoch, bumps)) in tallies.iter().enumerate() {
+        println!("reader {r}: {queries} answers, final epoch {last_epoch}, {bumps} epoch changes observed");
+        assert_eq!(
+            *last_epoch, planned,
+            "reader {r} exited before observing the final epoch"
+        );
+    }
+
+    // The invariant that makes the race above safe to rely on: the final
+    // snapshot equals a one-shot pipeline over the same measurements.
+    let full = InferenceInput::assemble(&world, seed);
+    let one_shot = run_pipeline(&full, &cfg);
+    assert!(
+        service.input().content_eq(&full),
+        "accumulated input diverged from one-shot assembly"
+    );
+    assert_eq!(
+        *service.snapshot().result(),
+        one_shot,
+        "final snapshot diverged from the one-shot pipeline"
+    );
+    println!(
+        "final epoch {} byte-identical to one-shot ({} inferences, remote share {:.1}%)",
+        service.epoch(),
+        one_shot.inferences.len(),
+        service.snapshot().remote_share() * 100.0
+    );
+}

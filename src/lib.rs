@@ -23,16 +23,36 @@
 //! //    traceroute corpus, IP-to-AS data.
 //! let input = InferenceInput::assemble(&world, 42);
 //!
-//! // 3. The paper's methodology.
-//! let result = run_pipeline(&input, &PipelineConfig::default());
+//! // 3. The paper's methodology, published as a query service.
+//! let service = PeeringService::build(
+//!     input,
+//!     &PipelineConfig::default(),
+//!     &ParallelConfig::from_env(),
+//! );
 //!
-//! // 4. Score against the Table-2-style validation lists.
-//! let metrics = score(&result.inferences, &input.observed.validation, None);
+//! // 4. Ask it things — every answer is tagged with the epoch it
+//! //    reflects, and point lookups hit snapshot indexes, not scans.
+//! let snapshot = service.snapshot();
+//! let report = snapshot.ixp_report(0).expect("IXP 0 is observed");
+//! println!(
+//!     "{}: {:.0}% of inferred peers are remote",
+//!     report.rollup.name,
+//!     report.rollup.remote_share * 100.0
+//! );
+//!
+//! // 5. Score the underlying result against the Table-2-style lists.
+//! let input = service.input();
+//! let metrics = score(
+//!     &snapshot.result().inferences,
+//!     &input.observed.validation,
+//!     None,
+//! );
 //! assert!(metrics.acc() > 0.8);
 //! ```
 //!
-//! See `examples/` for operator-facing workflows and
-//! `opeer-bench::run_experiments` for the full evaluation.
+//! See `examples/` for operator-facing workflows (including
+//! `query_service`, which races reader threads against a streaming
+//! writer) and `opeer-bench::run_experiments` for the full evaluation.
 
 pub use opeer_alias as alias;
 pub use opeer_bgp as bgp;
@@ -44,8 +64,16 @@ pub use opeer_registry as registry;
 pub use opeer_topology as topology;
 pub use opeer_traix as traix;
 
-/// The most common imports in one place.
+/// The most common imports in one place, organized around the serving
+/// surface: the query service and its wire types first, the pipeline
+/// entry points it wraps second, substrate types last.
 pub mod prelude {
+    // --- the serving layer (the primary public surface) ---
+    pub use opeer_core::service::{
+        AsnReport, Explanation, InputGuard, IxpReport, IxpRollup, PeeringService, QueryRequest,
+        QueryResponse, ServiceError, Snapshot, VerdictAnswer, MAX_BATCH,
+    };
+    // --- producer-side entry points the service wraps ---
     pub use opeer_core::baseline::{run_baseline, DEFAULT_THRESHOLD_MS};
     pub use opeer_core::engine::{
         assemble_and_run_parallel, run_pipeline_parallel, ParallelConfig,
@@ -53,10 +81,15 @@ pub mod prelude {
     pub use opeer_core::incremental::{
         run_pipeline_incremental, DirtyCounts, IncrementalPipeline, InputDelta, ShardTotals,
     };
+    pub use opeer_core::pipeline::{
+        run_pipeline, ConfigError, PipelineConfig, PipelineConfigBuilder, PipelineResult,
+        StepCounts,
+    };
+    // --- scoring and core record types ---
     pub use opeer_core::metrics::{score, score_per_ixp, Metrics};
-    pub use opeer_core::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
     pub use opeer_core::types::{Inference, Step, Verdict};
     pub use opeer_core::InferenceInput;
+    // --- substrates ---
     pub use opeer_geo::{GeoPoint, SpeedModel};
     pub use opeer_net::{Asn, Ipv4Prefix};
     pub use opeer_topology::{ValidationRole, World, WorldConfig};

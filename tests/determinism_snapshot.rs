@@ -145,6 +145,48 @@ fn incremental_epoch_replay_matches_pinned_ledger_under_env_threads() {
     );
 }
 
+/// The serving layer, at the `OPEER_THREADS`-selected pool size, must
+/// publish a snapshot whose retained result matches the pinned ledger
+/// and the sequential pipeline byte for byte — and its indexed rollups
+/// must agree with the ledger tally this file pins.
+#[test]
+fn service_snapshot_matches_pinned_ledger_under_env_threads() {
+    let world = WorldConfig::small(SEED).generate();
+    let input = InferenceInput::assemble(&world, SEED);
+    let sequential = run_pipeline(&input, &PipelineConfig::default());
+
+    let par = ParallelConfig::from_env();
+    let service = PeeringService::build(
+        InferenceInput::assemble(&world, SEED),
+        &PipelineConfig::default(),
+        &par,
+    );
+    let snapshot = service.snapshot();
+    assert_eq!(snapshot.epoch(), 0);
+    let actual = ledger(snapshot.result());
+    assert_eq!(
+        (actual.as_slice(), snapshot.result().unclassified.len()),
+        (EXPECTED_LEDGER, EXPECTED_UNCLASSIFIED),
+        "service snapshot ledger drifted at {} threads; actual: {actual:?}",
+        par.threads
+    );
+    assert_eq!(
+        *snapshot.result(),
+        sequential,
+        "service snapshot diverged from sequential at {} threads",
+        par.threads
+    );
+    // The indexed rollups must tally to the same pinned totals.
+    let inferred: usize = snapshot
+        .ixp_rollups()
+        .iter()
+        .map(|r| r.local + r.remote)
+        .sum();
+    let unclassified: usize = snapshot.ixp_rollups().iter().map(|r| r.unclassified).sum();
+    assert_eq!(inferred, sequential.inferences.len());
+    assert_eq!(unclassified, EXPECTED_UNCLASSIFIED);
+}
+
 /// Parallel assembly and the overlapped assemble+infer path, at the
 /// `OPEER_THREADS`-selected pool size, must reproduce the sequential
 /// artifacts and the pinned ledger byte for byte.

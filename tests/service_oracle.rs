@@ -1,0 +1,364 @@
+//! Oracle tests for the serving layer: every answer a
+//! [`PeeringService`] snapshot gives must equal what a naive scan of
+//! the equivalent one-shot `PipelineResult` (at the same epoch) would
+//! compute — across random worlds, random epoch partitions of the
+//! measurements, and worker-pool sizes — and epoch tags must be
+//! strictly monotonic for a writer and non-decreasing for every reader
+//! racing it.
+
+use opeer::measure::campaign::CampaignResult;
+use opeer::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Same tiny world as the other equivalence suites: world generation
+/// and assembly dominate each case, not the pipeline.
+fn tiny_world(seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::small(seed);
+    cfg.scale = 0.02;
+    cfg.n_small_ixps = 6;
+    cfg.n_background_ases = 50;
+    cfg.n_switchers = 2;
+    cfg
+}
+
+/// Cuts `0..n` at the given per-mille fractions into consecutive,
+/// possibly empty ranges covering the whole span.
+fn cut(n: usize, permille: &[usize]) -> Vec<std::ops::Range<usize>> {
+    let mut cuts: Vec<usize> = permille.iter().map(|&p| n * p.min(1000) / 1000).collect();
+    cuts.sort_unstable();
+    let mut ranges = Vec::with_capacity(cuts.len() + 1);
+    let mut start = 0;
+    for c in cuts {
+        ranges.push(start..c.max(start));
+        start = c.max(start);
+    }
+    ranges.push(start..n);
+    ranges
+}
+
+/// Builds epoch deltas by slicing a fully assembled input's campaign
+/// and corpus at independent cut points.
+fn deltas_from_cuts(
+    full: &InferenceInput<'_>,
+    campaign_permille: &[usize],
+    corpus_permille: &[usize],
+) -> Vec<InputDelta> {
+    let obs_ranges = cut(full.campaign.observations.len(), campaign_permille);
+    let stat_ranges = cut(full.campaign.vp_stats.len(), campaign_permille);
+    let corpus_ranges = cut(full.corpus.len(), corpus_permille);
+    (0..obs_ranges.len().max(corpus_ranges.len()))
+        .map(|e| InputDelta {
+            campaign: obs_ranges.get(e).map(|r| CampaignResult {
+                observations: full.campaign.observations[r.clone()].to_vec(),
+                vp_stats: full.campaign.vp_stats[stat_ranges[e].clone()].to_vec(),
+            }),
+            corpus: corpus_ranges
+                .get(e)
+                .map(|r| full.corpus[r.clone()].to_vec())
+                .unwrap_or_default(),
+            registry: None,
+        })
+        .collect()
+}
+
+/// The oracle: checks every query family of `snapshot` against naive
+/// scans of `reference` (the one-shot result over the same input) and
+/// the observed registry view in `input`.
+fn assert_snapshot_matches_naive(
+    snapshot: &Snapshot,
+    reference: &PipelineResult,
+    input: &InferenceInput<'_>,
+    epoch: u64,
+) {
+    assert_eq!(snapshot.epoch(), epoch);
+    assert_eq!(snapshot.result(), reference, "retained result diverged");
+    assert_eq!(snapshot.remote_share(), reference.remote_share());
+    assert_eq!(
+        snapshot.step_contributions(),
+        reference.step_contributions()
+    );
+
+    // --- verdict(): every observed interface, classified or not ---
+    for (ixp_idx, ixp) in input.observed.ixps.iter().enumerate() {
+        for (&addr, &asn) in &ixp.interfaces {
+            let answer = snapshot.verdict(ixp_idx, addr).expect("observed iface");
+            let naive = reference.inferences.iter().find(|i| i.addr == addr);
+            assert_eq!(answer.epoch, epoch);
+            assert_eq!(answer.asn, asn);
+            assert_eq!(answer.ixp, ixp_idx);
+            match naive {
+                Some(inf) => {
+                    assert_eq!(answer.verdict, Some(inf.verdict), "{addr}");
+                    assert_eq!(answer.step, Some(inf.step), "{addr}");
+                }
+                None => {
+                    assert!(
+                        reference.unclassified.iter().any(|u| u.addr == addr),
+                        "{addr} neither inferred nor unclassified"
+                    );
+                    assert_eq!(answer.verdict, None, "{addr}");
+                }
+            }
+        }
+    }
+
+    // --- ixp_report(): per-IXP tallies vs naive filters ---
+    for (ixp_idx, ixp) in input.observed.ixps.iter().enumerate() {
+        let report = snapshot.ixp_report(ixp_idx).expect("observed IXP");
+        let local = reference
+            .for_ixp(ixp_idx)
+            .filter(|i| !i.verdict.is_remote())
+            .count();
+        let remote = reference
+            .for_ixp(ixp_idx)
+            .filter(|i| i.verdict.is_remote())
+            .count();
+        let unclassified = reference
+            .unclassified
+            .iter()
+            .filter(|u| u.ixp == ixp_idx)
+            .count();
+        assert_eq!(report.rollup.local, local, "ixp {ixp_idx}");
+        assert_eq!(report.rollup.remote, remote, "ixp {ixp_idx}");
+        assert_eq!(report.rollup.unclassified, unclassified, "ixp {ixp_idx}");
+        assert_eq!(report.rollup.interfaces, ixp.interfaces.len());
+        assert_eq!(report.rollup.name, ixp.name);
+        assert_eq!(
+            report.rollup.counts,
+            reference
+                .step_contributions()
+                .get(&ixp_idx)
+                .copied()
+                .unwrap_or_default()
+        );
+    }
+
+    // --- asn_report(): every member ASN vs naive filters ---
+    let member_asns: BTreeSet<Asn> = input
+        .observed
+        .ixps
+        .iter()
+        .flat_map(|x| x.interfaces.values().copied())
+        .collect();
+    for &asn in &member_asns {
+        let report = snapshot.asn_report(asn).expect("member ASN");
+        let naive_inferred: Vec<_> = reference
+            .inferences
+            .iter()
+            .filter(|i| i.asn == asn)
+            .collect();
+        let naive_unclassified: Vec<_> = reference
+            .unclassified
+            .iter()
+            .filter(|u| u.asn == asn)
+            .collect();
+        assert_eq!(
+            report.interfaces.len(),
+            naive_inferred.len() + naive_unclassified.len(),
+            "{asn}"
+        );
+        assert_eq!(
+            report.local,
+            naive_inferred
+                .iter()
+                .filter(|i| !i.verdict.is_remote())
+                .count()
+        );
+        assert_eq!(
+            report.remote,
+            naive_inferred
+                .iter()
+                .filter(|i| i.verdict.is_remote())
+                .count()
+        );
+        assert_eq!(report.unclassified, naive_unclassified.len());
+        let mut naive_addrs: Vec<Ipv4Addr> = naive_inferred
+            .iter()
+            .map(|i| i.addr)
+            .chain(naive_unclassified.iter().map(|u| u.addr))
+            .collect();
+        naive_addrs.sort();
+        let got: Vec<Ipv4Addr> = report.interfaces.iter().map(|a| a.addr).collect();
+        assert_eq!(got, naive_addrs, "{asn} interface order");
+        let mut naive_ixps: Vec<usize> = naive_inferred
+            .iter()
+            .map(|i| i.ixp)
+            .chain(naive_unclassified.iter().map(|u| u.ixp))
+            .collect();
+        naive_ixps.sort_unstable();
+        naive_ixps.dedup();
+        assert_eq!(report.ixps, naive_ixps, "{asn} IXP list");
+    }
+
+    // --- explain(): evidence chain vs naive assembly ---
+    for inf in &reference.inferences {
+        let explanation = snapshot.explain(inf.addr).expect("inferred iface");
+        assert_eq!(explanation.epoch, epoch);
+        assert_eq!(explanation.verdict, Some(inf.verdict));
+        assert_eq!(explanation.step, Some(inf.step));
+        assert_eq!(explanation.evidence.as_deref(), Some(inf.evidence.as_str()));
+        assert_eq!(
+            explanation.observation,
+            reference.observations.get(&inf.addr).copied()
+        );
+        assert_eq!(
+            explanation.annulus,
+            reference
+                .step3_details
+                .iter()
+                .find(|d| d.addr == inf.addr)
+                .copied()
+        );
+        assert_eq!(
+            explanation.colo_facilities,
+            input
+                .observed
+                .facilities_of_as(inf.asn)
+                .map(<[usize]>::to_vec)
+                .unwrap_or_default()
+        );
+        let naive_witnesses: Vec<_> = reference
+            .multi_ixp_routers
+            .iter()
+            .filter(|f| {
+                f.asn == inf.asn
+                    && (f.ifaces.contains(&inf.addr) || f.next_hop_ixps.contains(&inf.ixp))
+            })
+            .cloned()
+            .collect();
+        assert_eq!(explanation.multi_ixp_witnesses, naive_witnesses);
+    }
+
+    // --- error taxonomy stays stable ---
+    let n = snapshot.ixp_count();
+    let bogus: Ipv4Addr = "203.0.113.99".parse().expect("valid");
+    assert!(matches!(
+        snapshot.verdict(n, bogus),
+        Err(ServiceError::UnknownIxp { .. })
+    ));
+    assert!(matches!(
+        snapshot.explain(bogus),
+        Err(ServiceError::UnknownInterface { .. })
+    ));
+    assert!(matches!(
+        snapshot.query(&[]),
+        Err(ServiceError::InvalidBatch { .. })
+    ));
+}
+
+proptest! {
+    // Case count comes from proptest.toml (PROPTEST_CASES overrides).
+    // Each case: one world, a random 3-way epoch partition, a random
+    // pool size; after *every* epoch the snapshot is audited against a
+    // one-shot pipeline over the accumulated prefix.
+    #[test]
+    fn every_query_equals_a_naive_scan_at_every_epoch(
+        seed in 0u64..10_000,
+        threads in 1usize..=6,
+        camp_cuts in proptest::collection::vec(0usize..=1000, 2),
+        corp_cuts in proptest::collection::vec(0usize..=1000, 2),
+    ) {
+        let world = tiny_world(seed).generate();
+        let full = InferenceInput::assemble(&world, seed);
+        let cfg = PipelineConfig::default();
+        let deltas = deltas_from_cuts(&full, &camp_cuts, &corp_cuts);
+
+        let service = PeeringService::build(
+            InferenceInput::assemble_base(&world, seed),
+            &cfg,
+            &ParallelConfig::new(threads),
+        );
+        let mut prefix = InferenceInput::assemble_base(&world, seed);
+        for (e, delta) in deltas.into_iter().enumerate() {
+            if let Some(c) = &delta.campaign {
+                prefix.campaign.absorb(c.clone());
+            }
+            prefix.corpus.extend(delta.corpus.iter().cloned());
+            let epoch = service.apply(delta);
+            prop_assert_eq!(epoch, e as u64 + 1, "epochs must be sequential");
+            let reference = run_pipeline(&prefix, &cfg);
+            assert_snapshot_matches_naive(&service.snapshot(), &reference, &prefix, epoch);
+        }
+        prop_assert!(
+            service.input().content_eq(&full),
+            "accumulated input diverged on seed {seed}"
+        );
+    }
+}
+
+/// The reader/writer race: N readers continuously snapshotting while
+/// the writer replays epochs. Pins that (a) each reader's observed
+/// epoch tags never decrease, (b) answers are tagged with the epoch of
+/// the snapshot that produced them, and (c) every reader observes the
+/// final epoch before exiting.
+#[test]
+fn racing_readers_observe_monotonic_epochs() {
+    use opeer::measure::campaign::campaign_batches;
+    use opeer::measure::traceroute::corpus_batches;
+
+    let seed = 1109;
+    let world = WorldConfig::small(seed).generate();
+    let cfg = PipelineConfig::default();
+    let service = PeeringService::build(
+        InferenceInput::assemble_base(&world, seed),
+        &cfg,
+        &ParallelConfig::new(2),
+    );
+    let (_, campaign_cfg, corpus_cfg) = opeer::core::input::default_configs(seed);
+    let camp = campaign_batches(&world, &service.input().vps, campaign_cfg, 5);
+    let corp = corpus_batches(&world, corpus_cfg, 5);
+    let deltas = InputDelta::zip_batches(camp, corp);
+    let final_epoch = deltas.len() as u64;
+    assert!(final_epoch >= 2, "need a real replay to race against");
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let service = &service;
+        let done = &done;
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    loop {
+                        let stop_after_this = done.load(Ordering::Acquire);
+                        let snap = service.snapshot();
+                        let epoch = snap.epoch();
+                        assert!(epoch >= last, "epoch went backwards: {epoch} < {last}");
+                        last = epoch;
+                        // Any answer must carry this snapshot's tag.
+                        if let Some(inf) = snap.result().inferences.first() {
+                            let a = snap.verdict(inf.ixp, inf.addr).expect("known iface");
+                            assert_eq!(a.epoch, epoch, "answer tagged with foreign epoch");
+                        }
+                        if stop_after_this {
+                            return last;
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let mut published = 0u64;
+        for delta in deltas {
+            let epoch = service.apply(delta);
+            assert_eq!(epoch, published + 1, "writer epochs must be sequential");
+            published = epoch;
+        }
+        done.store(true, Ordering::Release);
+        for r in readers {
+            let last_seen = r.join().expect("reader panicked");
+            assert_eq!(
+                last_seen, final_epoch,
+                "a reader exited without observing the final epoch"
+            );
+        }
+    });
+
+    // And the racy replay still landed byte-identical to the one-shot.
+    let full = InferenceInput::assemble(&world, seed);
+    assert!(service.input().content_eq(&full));
+    assert_eq!(*service.snapshot().result(), run_pipeline(&full, &cfg));
+}
