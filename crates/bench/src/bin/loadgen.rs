@@ -1,0 +1,178 @@
+//! Standalone gateway load generator: runs the wire-level gateway
+//! study ([`opeer_bench::run_gateway_study`]) on its own, without the
+//! rest of the scaling suite.
+//!
+//! ```text
+//! loadgen [--scale paper|large|small] [--seed N] [--epochs N]
+//!         [--connections a,b,c] [--out FILE]
+//! ```
+//!
+//! For each swept connection count the study binds a fresh gateway on
+//! an ephemeral loopback port, streams `--epochs` measurement batches
+//! into the service behind it, and races N persistent HTTP client
+//! connections against the writer — mixed good traffic plus deliberate
+//! malformed requests. It prints per-route p50/p99/max latency and the
+//! error-taxonomy counts, optionally writes the JSON report, and
+//! **exits non-zero unless every response carried its expected status,
+//! every client saw monotonic epochs, the taxonomy recorded the
+//! deliberate errors, and the panic bulkhead stayed at zero**.
+
+use opeer_bench::{run_gateway_study, DEFAULT_CONNECTION_SWEEP, DEFAULT_STREAMING_EPOCHS};
+use opeer_core::engine::ParallelConfig;
+use opeer_core::pipeline::PipelineConfig;
+use opeer_topology::WorldConfig;
+use std::path::PathBuf;
+
+struct Args {
+    scale: String,
+    seed: u64,
+    epochs: usize,
+    connections: Vec<usize>,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: "small".to_string(),
+        seed: 42,
+        epochs: DEFAULT_STREAMING_EPOCHS,
+        connections: DEFAULT_CONNECTION_SWEEP.to_vec(),
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => args.scale = it.next().unwrap_or_else(|| usage("missing --scale value")),
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("bad --seed value"))
+            }
+            "--epochs" => {
+                args.epochs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("bad --epochs value"))
+            }
+            "--connections" => {
+                let list = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing --connections value"));
+                args.connections = list
+                    .split(',')
+                    .map(|v| {
+                        v.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .unwrap_or_else(|| usage("bad --connections value"))
+                    })
+                    .collect();
+                if args.connections.is_empty() {
+                    usage("empty --connections list");
+                }
+            }
+            "--out" => {
+                args.out = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| usage("missing --out value")),
+                ))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: loadgen [--scale paper|large|small] [--seed N] [--epochs N] \
+         [--connections a,b,c] [--out FILE]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = match args.scale.as_str() {
+        "paper" => WorldConfig::paper(args.seed),
+        "large" => WorldConfig::large(args.seed),
+        "small" => WorldConfig::small(args.seed),
+        other => usage(&format!("unknown scale {other}")),
+    };
+
+    eprintln!(
+        "generating world (scale={}, seed={})...",
+        args.scale, args.seed
+    );
+    let t0 = std::time::Instant::now();
+    let world = cfg.generate();
+    eprintln!("  {} [{:?}]", world.summary(), t0.elapsed());
+
+    let par = ParallelConfig::from_env();
+    eprintln!(
+        "gateway load study: connections {:?}, {} epochs, {} pipeline threads...",
+        args.connections, args.epochs, par.threads
+    );
+    let report = run_gateway_study(
+        &world,
+        args.seed,
+        args.epochs,
+        &args.connections,
+        &PipelineConfig::default(),
+        &par,
+    );
+
+    println!("[gateway: {} epochs streamed per point]", report.epochs);
+    for p in &report.points {
+        println!(
+            "  conns={:<2} {:>9} requests ({} errors, all deliberate) in {:8.3} ms  {:>10.0} req/s",
+            p.connections, p.requests, p.errors, p.wall_ms, p.rps
+        );
+        println!(
+            "    epochs seen ..{} of {} published  monotonic={} statuses_expected={}",
+            p.max_epoch_seen, p.epochs_published, p.epochs_monotonic, p.statuses_expected
+        );
+        for r in &p.routes {
+            println!(
+                "    {:<9} {:>8} req {:>6} err  p50 {:>7} µs  p99 {:>7} µs  max {:>7} µs",
+                r.route, r.requests, r.errors, r.p50_us, r.p99_us, r.max_us
+            );
+        }
+        let t = &p.taxonomy;
+        println!(
+            "    taxonomy: framing={} unauthorized={} rate_limited={} not_found={} \
+             bad_method={} bad_json={} batch_too_large={} internal_panic={}",
+            t.framing,
+            t.unauthorized,
+            t.rate_limited,
+            t.not_found,
+            t.bad_method,
+            t.bad_json,
+            t.batch_too_large,
+            t.internal_panic
+        );
+    }
+    println!(
+        "  ok={} epochs_monotonic={} statuses_expected={} panics={}",
+        report.ok, report.epochs_monotonic, report.statuses_expected, report.panics
+    );
+
+    if let Some(path) = &args.out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        let json = serde_json::to_string_pretty(&report).expect("report serialises");
+        std::fs::write(path, json).expect("write report");
+        println!("wrote {}", path.display());
+    }
+
+    if !report.ok {
+        eprintln!("error: gateway load study gate failed");
+        std::process::exit(1);
+    }
+}

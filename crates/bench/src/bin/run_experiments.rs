@@ -16,14 +16,17 @@
 //! threads against the sequential reference — three phases: measurement
 //! assembly (`assemble_parallel`), inference (`run_pipeline_parallel`),
 //! and the overlapped end-to-end path (`assemble_and_run_parallel`) —
-//! plus a streaming epoch replay through the incremental pipeline and a
+//! plus a streaming epoch replay through the incremental pipeline, a
 //! serving-throughput sweep (reader threads querying the
-//! `PeeringService` while a writer streams epochs), writes the
+//! `PeeringService` while a writer streams epochs), and the wire-level
+//! gateway load study (HTTP clients over loopback sockets against an
+//! `opeer-gateway` fronting the same service), writes the
 //! machine-readable report to `<out>/BENCH_pipeline.json` (schema
-//! `opeer-bench-pipeline/4`, documented in the README), and **exits
+//! `opeer-bench-pipeline/5`, documented in the README), and **exits
 //! non-zero if any run is not byte-identical to its sequential
-//! reference, or if any serving reader observed a non-monotonic epoch**
-//! (this is the check CI's bench-smoke job enforces).
+//! reference, if any serving reader observed a non-monotonic epoch, or
+//! if the gateway study's expected-status / taxonomy / zero-panic gate
+//! failed** (this is the check CI's bench-smoke job enforces).
 //!
 //! Streaming mode (`--epochs N` without `--bench-pipeline`) drives the
 //! incremental pipeline alone: measurements are delivered in N epoch
@@ -167,6 +170,7 @@ fn run_bench_pipeline(args: &Args) -> ! {
     }
     print_streaming(&report.streaming);
     print_serving(&report.serving);
+    print_gateway(&report.gateway);
 
     std::fs::create_dir_all(&args.out).expect("create output directory");
     let path = args.out.join("BENCH_pipeline.json");
@@ -226,6 +230,32 @@ fn print_streaming(s: &opeer_bench::StreamingReport) {
     println!(
         "  last epoch: {} of {} shard units dirty; {:.3} ms vs {:.3} ms full re-run; identical={}",
         s.last_epoch_dirty, s.total_shards, s.last_epoch_ms, s.full_rerun_ms, s.identical
+    );
+}
+
+fn print_gateway(g: &opeer_bench::GatewayReport) {
+    println!("[gateway: {} epochs streamed per point]", g.epochs);
+    for p in &g.points {
+        println!(
+            "  conns={:<2} {:>9} requests in {:8.3} ms  {:>10.0} req/s  epochs seen ..{} monotonic={} statuses_expected={}",
+            p.connections,
+            p.requests,
+            p.wall_ms,
+            p.rps,
+            p.max_epoch_seen,
+            p.epochs_monotonic,
+            p.statuses_expected,
+        );
+        for r in &p.routes {
+            println!(
+                "    {:<9} {:>8} req {:>6} err  p50 {:>7} µs  p99 {:>7} µs  max {:>7} µs",
+                r.route, r.requests, r.errors, r.p50_us, r.p99_us, r.max_us
+            );
+        }
+    }
+    println!(
+        "  ok={} epochs_monotonic={} statuses_expected={} panics={}",
+        g.ok, g.epochs_monotonic, g.statuses_expected, g.panics
     );
 }
 

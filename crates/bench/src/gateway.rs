@@ -1,0 +1,442 @@
+//! The gateway load study: real HTTP clients over real sockets against
+//! a live [`opeer_gateway::Gateway`] while a writer streams measurement
+//! epochs into the service it fronts.
+//!
+//! For each swept connection count the study binds a fresh gateway on
+//! an ephemeral loopback port over a measurement-free base service,
+//! then races N persistent keep-alive client connections against the
+//! delta writer. Each client mixes `/healthz` polls (auditing that the
+//! advertised epoch never goes backwards), batched `POST /query`
+//! calls, point `GET /ixp` lookups, periodic `GET /metrics` reads, and
+//! *deliberately malformed* traffic (unknown routes, unparsable JSON)
+//! whose rejection statuses are part of the expected-status audit and
+//! whose counts must show up in the gateway's error taxonomy.
+//!
+//! This is the schema-v5 `gateway` section of `BENCH_pipeline.json`.
+//! Latency and throughput numbers are host-dependent CI artifacts; the
+//! gates — every response carried its expected status, every client
+//! saw monotonic epochs, the taxonomy recorded the deliberate errors,
+//! and the panic bulkhead stayed at zero — feed
+//! `run_experiments --bench-pipeline`'s exit code via `ok`.
+
+use opeer_core::engine::ParallelConfig;
+use opeer_core::incremental::InputDelta;
+use opeer_core::input::default_configs;
+use opeer_core::pipeline::PipelineConfig;
+use opeer_core::service::{PeeringService, QueryRequest};
+use opeer_core::InferenceInput;
+use opeer_gateway::http::ClientConn;
+use opeer_gateway::metrics::MetricsRegistry;
+use opeer_gateway::{Gateway, GatewayConfig};
+use opeer_measure::campaign::campaign_batches;
+use opeer_measure::traceroute::corpus_batches;
+use opeer_topology::World;
+use serde::{Serialize, Value};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Connection counts the gateway study sweeps by default.
+pub const DEFAULT_CONNECTION_SWEEP: &[usize] = &[1, 2, 4];
+
+/// Requests per batched `POST /query` call.
+const BATCH_SIZE: usize = 64;
+
+/// Client-side socket read timeout. Generous: a stalled server is a
+/// bug the expected-status audit should report, not a hang.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One route's server-side latency figures, copied out of the
+/// gateway's metrics registry after the run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RouteLatency {
+    /// Route label (`/query`, `/healthz`, ... or `other`).
+    pub route: String,
+    /// Requests completed on this route.
+    pub requests: u64,
+    /// Error responses (status >= 400) on this route.
+    pub errors: u64,
+    /// Conservative p50 latency bound, µs.
+    pub p50_us: u64,
+    /// Conservative p99 latency bound, µs.
+    pub p99_us: u64,
+    /// Largest single request latency, µs.
+    pub max_us: u64,
+}
+
+/// The gateway's error-taxonomy counters after one point's run.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct TaxonomyCounts {
+    /// HTTP framing failures.
+    pub framing: u64,
+    /// `401` auth rejections.
+    pub unauthorized: u64,
+    /// `429` rate-limit rejections.
+    pub rate_limited: u64,
+    /// `404`s (unknown routes / unknown entities).
+    pub not_found: u64,
+    /// `405` method mismatches.
+    pub bad_method: u64,
+    /// `400` JSON parse failures.
+    pub bad_json: u64,
+    /// `413` oversized batches.
+    pub batch_too_large: u64,
+    /// Panic-bulkhead trips. Must stay zero.
+    pub internal_panic: u64,
+}
+
+impl TaxonomyCounts {
+    fn snapshot(metrics: &MetricsRegistry) -> TaxonomyCounts {
+        let t = &metrics.taxonomy;
+        TaxonomyCounts {
+            framing: t.framing.load(Ordering::Relaxed),
+            unauthorized: t.unauthorized.load(Ordering::Relaxed),
+            rate_limited: t.rate_limited.load(Ordering::Relaxed),
+            not_found: t.not_found.load(Ordering::Relaxed),
+            bad_method: t.bad_method.load(Ordering::Relaxed),
+            bad_json: t.bad_json.load(Ordering::Relaxed),
+            batch_too_large: t.batch_too_large.load(Ordering::Relaxed),
+            internal_panic: t.internal_panic.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One connection-count's measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct GatewayPoint {
+    /// Concurrent client connections (and gateway worker threads).
+    pub connections: usize,
+    /// Requests the clients completed (responses read), including the
+    /// deliberate bad ones.
+    pub requests: u64,
+    /// Error-status responses among them (all expected: the deliberate
+    /// bad traffic).
+    pub errors: u64,
+    /// Wall-clock of the run, ms.
+    pub wall_ms: f64,
+    /// Requests per second across all clients.
+    pub rps: f64,
+    /// Epochs the writer published during the run.
+    pub epochs_published: u64,
+    /// Highest epoch any client saw on `/healthz`.
+    pub max_epoch_seen: u64,
+    /// Whether every client saw non-decreasing `/healthz` epochs.
+    pub epochs_monotonic: bool,
+    /// Whether every response carried exactly the status the client
+    /// expected for what it sent.
+    pub statuses_expected: bool,
+    /// Whether the taxonomy recorded every deliberate bad request.
+    pub taxonomy_populated: bool,
+    /// The error-taxonomy counters after the run.
+    pub taxonomy: TaxonomyCounts,
+    /// Per-route server-side latency figures.
+    pub routes: Vec<RouteLatency>,
+}
+
+/// The gateway study, serialised into `BENCH_pipeline.json`'s
+/// `gateway` section (schema v5).
+#[derive(Debug, Clone, Serialize)]
+pub struct GatewayReport {
+    /// Epoch batches the writer replays per point.
+    pub epochs: usize,
+    /// One point per swept connection count.
+    pub points: Vec<GatewayPoint>,
+    /// Whether every point's clients saw monotonic epochs.
+    pub epochs_monotonic: bool,
+    /// Whether every point's responses carried expected statuses.
+    pub statuses_expected: bool,
+    /// Panic-bulkhead trips summed over all points. Must be zero.
+    pub panics: u64,
+    /// The gate: monotonic epochs, expected statuses, populated
+    /// taxonomy, zero panics.
+    pub ok: bool,
+}
+
+/// What one client connection saw.
+struct ClientTally {
+    requests: u64,
+    errors: u64,
+    max_epoch: u64,
+    monotonic: bool,
+    statuses_expected: bool,
+}
+
+/// Sends one request and audits the response status. `None` on socket
+/// errors (which also fail the status audit — the server must answer
+/// everything these clients send).
+fn exchange(
+    conn: &mut ClientConn,
+    tally: &mut ClientTally,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    expect: u16,
+) -> Option<Vec<u8>> {
+    let sent = conn.send(method, target, &[], body);
+    let response = sent.and_then(|()| conn.read_response());
+    let Ok(response) = response else {
+        tally.statuses_expected = false;
+        return None;
+    };
+    tally.requests += 1;
+    if response.status >= 400 {
+        tally.errors += 1;
+    }
+    if response.status != expect {
+        tally.statuses_expected = false;
+    }
+    Some(response.body)
+}
+
+/// Pulls a `u64` field out of a parsed JSON object.
+fn field_u64(value: &Value, name: &str) -> Option<u64> {
+    let Value::Object(members) = value else {
+        return None;
+    };
+    members
+        .iter()
+        .find(|(k, _)| k == name)
+        .and_then(|(_, v)| match v {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        })
+}
+
+/// One client connection's request loop, running until `done` flips
+/// (sampled before each iteration, so the final epoch published before
+/// the flip is still observed).
+fn client_loop(addr: SocketAddr, n_ixp: usize, done: &AtomicBool, salt: usize) -> ClientTally {
+    let mut tally = ClientTally {
+        requests: 0,
+        errors: 0,
+        max_epoch: 0,
+        monotonic: true,
+        statuses_expected: true,
+    };
+    let Ok(mut conn) = ClientConn::connect(addr, CLIENT_TIMEOUT) else {
+        tally.statuses_expected = false;
+        return tally;
+    };
+    let mut last_epoch = 0u64;
+    let mut cursor = salt;
+    let mut iteration = 0usize;
+    loop {
+        let stop_after_this = done.load(Ordering::Acquire);
+
+        // Liveness poll; the advertised epoch must never go backwards.
+        if let Some(body) = exchange(&mut conn, &mut tally, "GET", "/healthz", b"", 200) {
+            match serde_json::from_slice(&body)
+                .ok()
+                .as_ref()
+                .and_then(|v| field_u64(v, "epoch"))
+            {
+                Some(epoch) => {
+                    if epoch < last_epoch {
+                        tally.monotonic = false;
+                    }
+                    last_epoch = epoch;
+                    tally.max_epoch = tally.max_epoch.max(epoch);
+                }
+                None => tally.statuses_expected = false,
+            }
+        }
+
+        // A batched query over real IXP ids of this world.
+        if n_ixp > 0 {
+            let batch: Vec<QueryRequest> = (0..BATCH_SIZE)
+                .map(|k| QueryRequest::IxpReport {
+                    ixp: cursor.wrapping_add(k.wrapping_mul(7919)) % n_ixp,
+                })
+                .collect();
+            let body = serde_json::to_string(&batch).expect("query batch serialises");
+            exchange(
+                &mut conn,
+                &mut tally,
+                "POST",
+                "/query",
+                body.as_bytes(),
+                200,
+            );
+
+            // A point lookup on the same keyspace.
+            let target = format!("/ixp?ixp={}", cursor % n_ixp);
+            exchange(&mut conn, &mut tally, "GET", &target, b"", 200);
+        }
+        cursor = cursor.wrapping_add(BATCH_SIZE);
+
+        // Deliberate bad traffic (first iteration and every 4th after):
+        // the rejects must carry their mapped statuses and land in the
+        // taxonomy.
+        if iteration.is_multiple_of(4) {
+            exchange(&mut conn, &mut tally, "GET", "/nope", b"", 404);
+            exchange(&mut conn, &mut tally, "POST", "/query", b"{not json", 400);
+        }
+        // Periodic metrics scrape, to keep that route in the sweep.
+        if iteration.is_multiple_of(8) {
+            exchange(&mut conn, &mut tally, "GET", "/metrics", b"", 200);
+        }
+
+        iteration += 1;
+        if stop_after_this {
+            return tally;
+        }
+    }
+}
+
+/// Runs the gateway study: for each connection count, a fresh service
+/// over the measurement-free base fronted by a fresh gateway on an
+/// ephemeral port, a writer replaying `epochs` delta batches, and N
+/// keep-alive clients hammering the wire throughout.
+pub fn run_gateway_study(
+    world: &World,
+    seed: u64,
+    epochs: usize,
+    connection_sweep: &[usize],
+    cfg: &PipelineConfig,
+    par: &ParallelConfig,
+) -> GatewayReport {
+    let epochs = epochs.max(1);
+    let (_registry, campaign_cfg, corpus_cfg) = default_configs(seed);
+
+    let mut points = Vec::with_capacity(connection_sweep.len());
+    let mut panics = 0u64;
+    for &connections in connection_sweep {
+        let connections = connections.max(1);
+        let service = PeeringService::build(InferenceInput::assemble_base(world, seed), cfg, par);
+        let n_ixp = service.snapshot().ixp_count();
+        // Batch generation stays outside the timed window, like the
+        // serving study: this measures the wire plane.
+        let camp = campaign_batches(world, &service.input().vps, campaign_cfg, epochs);
+        let corp = corpus_batches(world, corpus_cfg, epochs);
+        let deltas = InputDelta::zip_batches(camp, corp);
+        let epochs_published = deltas.len() as u64;
+
+        let gateway = Gateway::bind(GatewayConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: connections,
+            ..GatewayConfig::default()
+        })
+        .expect("bind ephemeral loopback port");
+        let addr = gateway.local_addr();
+        let metrics = gateway.metrics();
+        let control = gateway.control();
+
+        let done = AtomicBool::new(false);
+        let t0 = Instant::now();
+        let tallies = std::thread::scope(|scope| {
+            let service = &service;
+            let gateway = &gateway;
+            let done = &done;
+            scope.spawn(move || gateway.serve(service));
+            let clients: Vec<_> = (0..connections)
+                .map(|c| scope.spawn(move || client_loop(addr, n_ixp, done, c * 104729)))
+                .collect();
+            for delta in deltas {
+                service.apply(delta);
+            }
+            done.store(true, Ordering::Release);
+            let tallies: Vec<ClientTally> = clients
+                .into_iter()
+                .map(|h| h.join().expect("client panicked"))
+                .collect();
+            control.stop();
+            tallies
+        });
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let requests: u64 = tallies.iter().map(|t| t.requests).sum();
+        let taxonomy = TaxonomyCounts::snapshot(&metrics);
+        panics += taxonomy.internal_panic;
+        // Every client sends one unknown-route and one bad-JSON request
+        // on its first iteration, so both counters must reach at least
+        // the connection count.
+        let floor = connections as u64;
+        let taxonomy_populated = taxonomy.not_found >= floor && taxonomy.bad_json >= floor;
+        let routes = metrics
+            .route_stats()
+            .into_iter()
+            .filter(|s| s.requests > 0)
+            .map(|s| RouteLatency {
+                route: s.route.to_string(),
+                requests: s.requests,
+                errors: s.errors,
+                p50_us: s.p50_us,
+                p99_us: s.p99_us,
+                max_us: s.max_us,
+            })
+            .collect();
+
+        points.push(GatewayPoint {
+            connections,
+            requests,
+            errors: tallies.iter().map(|t| t.errors).sum(),
+            wall_ms,
+            rps: requests as f64 / (wall_ms / 1e3).max(f64::EPSILON),
+            epochs_published,
+            max_epoch_seen: tallies.iter().map(|t| t.max_epoch).max().unwrap_or(0),
+            epochs_monotonic: tallies.iter().all(|t| t.monotonic),
+            statuses_expected: tallies.iter().all(|t| t.statuses_expected),
+            taxonomy_populated,
+            taxonomy,
+            routes,
+        });
+    }
+
+    let epochs_monotonic = points.iter().all(|p| p.epochs_monotonic);
+    let statuses_expected = points.iter().all(|p| p.statuses_expected);
+    let taxonomy_populated = points.iter().all(|p| p.taxonomy_populated);
+    GatewayReport {
+        epochs,
+        ok: epochs_monotonic && statuses_expected && taxonomy_populated && panics == 0,
+        epochs_monotonic,
+        statuses_expected,
+        panics,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn gateway_study_serves_expected_statuses_under_load() {
+        let world = WorldConfig::small(7).generate();
+        let report = run_gateway_study(
+            &world,
+            7,
+            3,
+            &[1, 2],
+            &PipelineConfig::default(),
+            &ParallelConfig::new(2),
+        );
+        assert!(report.ok, "gateway study gate failed: {report:?}");
+        assert_eq!(report.panics, 0);
+        assert_eq!(report.points.len(), 2);
+        for p in &report.points {
+            assert!(p.requests > 0, "{} connections sent nothing", p.connections);
+            assert!(p.rps > 0.0);
+            assert!(p.statuses_expected);
+            assert!(p.epochs_monotonic);
+            // The final epoch published before the stop flag flipped
+            // must have been visible to the clients.
+            assert_eq!(p.max_epoch_seen, p.epochs_published);
+            // The deliberate bad traffic landed in the taxonomy...
+            assert!(p.taxonomy.not_found >= p.connections as u64);
+            assert!(p.taxonomy.bad_json >= p.connections as u64);
+            // ...and the query route carried real latency samples.
+            let query = p
+                .routes
+                .iter()
+                .find(|r| r.route == "/query")
+                .expect("query route present");
+            assert!(query.requests > 0);
+            assert!(query.p99_us >= query.p50_us);
+        }
+        let json = serde_json::to_string(&report).expect("report serialises");
+        assert!(json.contains("\"points\":"));
+        assert!(json.contains("\"taxonomy\":"));
+    }
+}

@@ -29,19 +29,26 @@
 //!   batches through the incremental pipeline, per-epoch dirty-shard
 //!   accounting, byte-identity audit against the one-shot run.
 //! * [`run_serving_study`] / [`ServingReport`] — the serving-throughput
-//!   sweep of the schema-v4 `serving` section: reader threads issuing
-//!   batched snapshot queries while a writer streams epoch deltas into
-//!   the [`opeer_core::service::PeeringService`].
+//!   sweep of the `serving` section: reader threads issuing batched
+//!   snapshot queries while a writer streams epoch deltas into the
+//!   [`opeer_core::service::PeeringService`].
+//! * [`run_gateway_study`] / [`GatewayReport`] — the wire-level load
+//!   study of the schema-v5 `gateway` section (and the `loadgen`
+//!   binary): real HTTP clients over loopback sockets against an
+//!   [`opeer_gateway::Gateway`], with expected-status, epoch-monotonic,
+//!   taxonomy, and zero-panic gates.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod gateway;
 pub mod scaling;
 pub mod serving;
 pub mod session;
 pub mod streaming;
 
 pub use experiments::{run_all, Rendered};
+pub use gateway::{run_gateway_study, GatewayPoint, GatewayReport, DEFAULT_CONNECTION_SWEEP};
 pub use scaling::{
     run_scaling_study, PhaseScaling, ScalingReport, DEFAULT_STREAMING_EPOCHS, DEFAULT_THREAD_SWEEP,
 };

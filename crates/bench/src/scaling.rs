@@ -1,15 +1,17 @@
 //! The engine scaling study: sequential vs the sharded parallel engine
 //! at several thread counts — for the inference pipeline, for
 //! measurement assembly, and for the overlapped end-to-end path — plus
-//! the streaming epoch replay and the serving-throughput sweep, with
-//! byte-identity checks and a machine-readable report
-//! (`BENCH_pipeline.json`, schema `opeer-bench-pipeline/4`).
+//! the streaming epoch replay, the serving-throughput sweep, and the
+//! wire-level gateway load study, with byte-identity checks and a
+//! machine-readable report (`BENCH_pipeline.json`, schema
+//! `opeer-bench-pipeline/5`).
 //!
 //! Used by the `pipeline_scaling` / `assembly_scaling` criterion
 //! benches and by `run_experiments --bench-pipeline` (which is what
 //! CI's bench-smoke job runs and archives). The README documents the
 //! report schema field by field.
 
+use crate::gateway::{run_gateway_study, GatewayReport, DEFAULT_CONNECTION_SWEEP};
 use crate::serving::{run_serving_study, ServingReport, DEFAULT_READER_SWEEP};
 use crate::streaming::{run_streaming_session, StreamingReport};
 use opeer_core::engine::{assemble_and_run_parallel, run_pipeline_parallel, ParallelConfig};
@@ -115,11 +117,16 @@ pub struct ScalingReport {
     /// under N reader threads racing the streaming writer, with epoch
     /// monotonicity and final byte-identity audits.
     pub serving: ServingReport,
+    /// The wire-level gateway load study: real HTTP clients over
+    /// loopback sockets against the gateway fronting a live service,
+    /// with expected-status, epoch-monotonic, error-taxonomy, and
+    /// zero-panic audits.
+    pub gateway: GatewayReport,
     /// Whether every parallel run in every phase — and the final states
     /// of the streaming replay and the serving sweep — matched their
-    /// sequential references byte for byte (plus the serving epoch
-    /// monotonicity audit): the gate `run_experiments --bench-pipeline`
-    /// enforces with its exit code.
+    /// sequential references byte for byte, plus the serving epoch
+    /// monotonicity audit and the gateway study's `ok` gate: the gate
+    /// `run_experiments --bench-pipeline` enforces with its exit code.
     pub all_identical: bool,
 }
 
@@ -281,15 +288,26 @@ pub fn run_scaling_study(
         &ParallelConfig::new(thread_sweep.last().copied().unwrap_or(1)),
     );
 
+    // ---- gateway wire-level load (HTTP clients racing the writer) ----
+    let gateway = run_gateway_study(
+        world,
+        seed,
+        epochs,
+        DEFAULT_CONNECTION_SWEEP,
+        &cfg,
+        &ParallelConfig::new(thread_sweep.last().copied().unwrap_or(1)),
+    );
+
     let all_identical = assembly.all_identical
         && pipeline.all_identical
         && end_to_end.all_identical
         && streaming.identical
         && serving.identical
         && serving.epochs_monotonic
-        && serving.tags_consistent;
+        && serving.tags_consistent
+        && gateway.ok;
     ScalingReport {
-        schema: "opeer-bench-pipeline/4",
+        schema: "opeer-bench-pipeline/5",
         world: world_label.to_string(),
         seed,
         ixps: input.observed.ixps.len(),
@@ -302,6 +320,7 @@ pub fn run_scaling_study(
         end_to_end,
         streaming,
         serving,
+        gateway,
         all_identical,
     }
 }
@@ -324,6 +343,9 @@ mod tests {
         assert!(report.serving.epochs_monotonic);
         assert!(report.serving.tags_consistent);
         assert!(!report.serving.points.is_empty());
+        assert!(report.gateway.ok, "gateway study gate failed");
+        assert_eq!(report.gateway.panics, 0);
+        assert!(!report.gateway.points.is_empty());
         assert_eq!(report.pipeline.points.len(), 2);
         assert_eq!(report.assembly.points.len(), 2);
         assert_eq!(report.end_to_end.points.len(), 2);
@@ -338,10 +360,11 @@ mod tests {
         assert!(report.assembly.sequential_ms.min > 0.0);
         let json = serde_json::to_string(&report).expect("report serialises");
         assert!(json.contains("\"schema\":"));
-        assert!(json.contains("opeer-bench-pipeline/4"));
+        assert!(json.contains("opeer-bench-pipeline/5"));
         assert!(json.contains("\"assembly\":"));
         assert!(json.contains("\"end_to_end\":"));
         assert!(json.contains("\"streaming\":"));
         assert!(json.contains("\"serving\":"));
+        assert!(json.contains("\"gateway\":"));
     }
 }

@@ -16,7 +16,6 @@ use opeer_core::engine::{assemble_and_run_parallel, ParallelConfig};
 use opeer_core::pipeline::{PipelineConfig, PipelineResult};
 use opeer_core::service::{InputGuard, PeeringService, Snapshot};
 use opeer_core::types::Inference;
-use opeer_core::InferenceInput;
 use opeer_measure::campaign::{run_control_campaign, CampaignConfig, CampaignResult};
 use opeer_topology::World;
 use std::sync::Arc;
@@ -110,6 +109,7 @@ impl<'w> Session<'w> {
 mod tests {
     use super::*;
     use opeer_core::pipeline::run_pipeline;
+    use opeer_core::InferenceInput;
     use opeer_topology::WorldConfig;
 
     #[test]

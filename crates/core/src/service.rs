@@ -98,7 +98,9 @@ pub enum ServiceError {
         /// The requested ASN.
         asn: Asn,
     },
-    /// The batch shape is invalid: empty, or larger than [`MAX_BATCH`].
+    /// The batch is larger than [`MAX_BATCH`]. (An empty batch is a
+    /// valid no-op — a wire gateway probes liveness with one — and
+    /// answers `Ok(vec![])`, so emptiness is not an error.)
     InvalidBatch {
         /// The rejected batch length.
         len: usize,
@@ -123,7 +125,7 @@ impl fmt::Display for ServiceError {
                 write!(f, "no observed member interface belongs to {asn}")
             }
             ServiceError::InvalidBatch { len, max } => {
-                write!(f, "invalid batch of {len} requests (accepted: 1..={max})")
+                write!(f, "invalid batch of {len} requests (accepted: 0..={max})")
             }
         }
     }
@@ -616,12 +618,14 @@ impl Snapshot {
     }
 
     /// Answers a batch of requests positionally. The batch itself is
-    /// rejected ([`ServiceError::InvalidBatch`]) when empty or larger
-    /// than [`MAX_BATCH`]; per-item failures come back embedded as
+    /// rejected ([`ServiceError::InvalidBatch`]) only when larger than
+    /// [`MAX_BATCH`]; an **empty batch is a valid no-op** answering an
+    /// empty `Vec` (a wire gateway's health probe is exactly that).
+    /// Per-item failures come back embedded as
     /// [`QueryResponse::Error`], so one bad request cannot void its
     /// neighbours.
     pub fn query(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, ServiceError> {
-        if requests.is_empty() || requests.len() > MAX_BATCH {
+        if requests.len() > MAX_BATCH {
             return Err(ServiceError::InvalidBatch {
                 len: requests.len(),
                 max: MAX_BATCH,
@@ -897,13 +901,11 @@ mod tests {
             );
         }
 
-        assert_eq!(
-            snap.query(&[]),
-            Err(ServiceError::InvalidBatch {
-                len: 0,
-                max: MAX_BATCH
-            })
-        );
+        // An empty batch is a valid no-op (gateway health probes send
+        // one), not an InvalidBatch rejection.
+        assert_eq!(snap.query(&[]), Ok(Vec::new()));
+        let full = vec![QueryRequest::IxpReport { ixp: 0 }; MAX_BATCH];
+        assert_eq!(snap.query(&full).expect("at the limit").len(), MAX_BATCH);
         let oversized = vec![QueryRequest::IxpReport { ixp: 0 }; MAX_BATCH + 1];
         assert!(matches!(
             snap.query(&oversized),
@@ -989,6 +991,57 @@ mod tests {
             with_witnesses > 0,
             "no explanation carried router witnesses"
         );
+    }
+
+    #[test]
+    fn zero_inferred_ixps_serialize_finite_shares() {
+        // A measurement-free base service: no campaign, no corpus, so
+        // most (often all) IXPs have zero inferred interfaces. Every
+        // rollup's remote_share must be exactly 0.0 there — never the
+        // NaN a naive remote/(local+remote) would produce — and the
+        // whole rollup set must survive the strict wire serializer,
+        // which rejects non-finite floats outright.
+        let world = WorldConfig::small(11).generate();
+        let svc = PeeringService::build(
+            InferenceInput::assemble_base(&world, 11),
+            &PipelineConfig::default(),
+            &ParallelConfig::new(1),
+        );
+        let snap = svc.snapshot();
+        let zero_inferred: Vec<_> = snap
+            .ixp_rollups()
+            .iter()
+            .filter(|r| r.local + r.remote == 0)
+            .collect();
+        assert!(
+            !zero_inferred.is_empty(),
+            "base snapshot unexpectedly inferred something at every IXP"
+        );
+        for rollup in zero_inferred {
+            assert_eq!(rollup.remote_share, 0.0, "ixp {}", rollup.ixp);
+        }
+        for rollup in snap.ixp_rollups() {
+            assert!(rollup.remote_share.is_finite());
+        }
+        assert!(snap.remote_share().is_finite());
+
+        // The full wire path: every rollup report serialises (the
+        // strict serializer would error on NaN/∞) and round-trips.
+        for ixp in 0..snap.ixp_count() {
+            let report = snap.ixp_report(ixp).expect("observed IXP");
+            let json = serde_json::to_string(QueryResponse::Ixp(report.clone()))
+                .expect("zero-inferred rollup must serialize finitely");
+            let back: QueryResponse = serde_json::from_str(&json).expect("reparses");
+            assert_eq!(back, QueryResponse::Ixp(report));
+        }
+
+        // And the serializer really is strict: a non-finite share is a
+        // loud error, not a silent `null` on the wire.
+        let mut poisoned = snap.ixp_rollups()[0].clone();
+        poisoned.remote_share = f64::NAN;
+        assert!(serde_json::to_string(&poisoned).is_err());
+        poisoned.remote_share = f64::INFINITY;
+        assert!(serde_json::to_string(&poisoned).is_err());
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! In-process gateway smoke check, run by CI's gateway-smoke job.
+//!
+//! Binds an ephemeral port, serves a small world, and drives the full
+//! client path over a real socket: `/healthz`, a `POST /query` batch,
+//! a point `GET /verdict`, and `/metrics`. Asserts statuses and
+//! response shapes, asserts the panic bulkhead never fired, and exits
+//! non-zero on any failure (every check is an `assert!`).
+
+use opeer_core::engine::ParallelConfig;
+use opeer_core::pipeline::PipelineConfig;
+use opeer_core::service::{PeeringService, QueryResponse};
+use opeer_core::InferenceInput;
+use opeer_gateway::http::ClientConn;
+use opeer_gateway::{Gateway, GatewayConfig};
+use opeer_topology::WorldConfig;
+use serde::Value;
+use std::time::Duration;
+
+fn main() {
+    let world = WorldConfig::small(42).generate();
+    let service = PeeringService::build(
+        InferenceInput::assemble(&world, 42),
+        &PipelineConfig::default(),
+        &ParallelConfig::from_env(),
+    );
+    let cfg = GatewayConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::bind(cfg).expect("bind ephemeral port");
+    let addr = gateway.local_addr();
+    let control = gateway.control();
+    let metrics = gateway.metrics();
+
+    std::thread::scope(|scope| {
+        let service_ref = &service;
+        let gateway_ref = &gateway;
+        scope.spawn(move || gateway_ref.serve(service_ref));
+
+        let mut client =
+            ClientConn::connect(addr, Duration::from_secs(10)).expect("connect to gateway");
+
+        // Liveness.
+        client
+            .send("GET", "/healthz", &[], b"")
+            .expect("send healthz");
+        let health = client.read_response().expect("healthz answers");
+        assert_eq!(health.status, 200, "healthz status");
+        let doc: Value = serde_json::from_slice(&health.body).expect("healthz body is JSON");
+        assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(doc.get("epoch").and_then(Value::as_u64), Some(0));
+
+        // A batch over real keys of the snapshot.
+        let snapshot = service.snapshot();
+        let inf = &snapshot.result().inferences[0];
+        let batch = format!(
+            "[{{\"Verdict\":{{\"ixp\":{},\"iface\":\"{}\"}}}},{{\"IxpReport\":{{\"ixp\":0}}}}]",
+            inf.ixp, inf.addr
+        );
+        client
+            .send(
+                "POST",
+                "/query",
+                &[("content-type", "application/json")],
+                batch.as_bytes(),
+            )
+            .expect("send query");
+        let reply = client.read_response().expect("query answers");
+        assert_eq!(
+            reply.status,
+            200,
+            "query status; body: {}",
+            String::from_utf8_lossy(&reply.body)
+        );
+        let responses: Vec<QueryResponse> =
+            serde_json::from_slice(&reply.body).expect("query body parses");
+        assert_eq!(responses.len(), 2, "positional batch answers");
+        assert!(matches!(responses[0], QueryResponse::Verdict(_)));
+        assert!(matches!(responses[1], QueryResponse::Ixp(_)));
+
+        // Point route on the same keep-alive connection.
+        client
+            .send(
+                "GET",
+                &format!("/verdict?ixp={}&iface={}", inf.ixp, inf.addr),
+                &[],
+                b"",
+            )
+            .expect("send verdict");
+        let verdict = client.read_response().expect("verdict answers");
+        assert_eq!(verdict.status, 200, "verdict status");
+
+        // Metrics reflect the traffic.
+        client
+            .send("GET", "/metrics", &[], b"")
+            .expect("send metrics");
+        let m = client.read_response().expect("metrics answers");
+        assert_eq!(m.status, 200, "metrics status");
+        let doc: Value = serde_json::from_slice(&m.body).expect("metrics body is JSON");
+        assert!(doc.get("requests").and_then(Value::as_u64).unwrap_or(0) >= 3);
+
+        control.stop();
+    });
+
+    assert_eq!(metrics.panics(), 0, "panic bulkhead fired");
+    println!("gateway smoke OK: healthz, query batch, verdict, metrics all answered");
+}

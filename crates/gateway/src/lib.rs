@@ -1,0 +1,60 @@
+//! The wire-level query gateway: hand-rolled HTTP/1.1 over
+//! [`std::net::TcpListener`], serving the snapshot query service
+//! ([`opeer_core::service::PeeringService`]) to untrusted network
+//! clients.
+//!
+//! The crate is the repo's network edge, and it is built around one
+//! discipline: **every byte off the socket is hostile until parsed**.
+//! Concretely,
+//!
+//! * the HTTP parser ([`http`]) enforces head/body/timeout limits
+//!   *while reading* and returns a typed [`http::HttpError`] for every
+//!   malformed frame — truncations, oversized heads, smuggled
+//!   double `Content-Length`s, chunked encoding, bad versions;
+//! * request bodies go through the hardened vendored `serde_json`
+//!   (depth-limited, overflow-checked, UTF-8-validated), so a hostile
+//!   body is a `400`, never a stack overflow;
+//! * responses go through the strict wire serializer, which refuses
+//!   non-finite floats instead of emitting lossy `null`s;
+//! * middleware ([`middleware`]) — static API-key auth and per-caller
+//!   token-bucket rate limiting — runs before any route handler, and
+//!   the route layer ([`routes`]) maps every
+//!   [`opeer_core::service::ServiceError`] and parse failure *totally*
+//!   onto an HTTP status with a JSON error body;
+//! * the server ([`server`]) wraps each connection in a
+//!   `catch_unwind` bulkhead and counts any escapee in the
+//!   `internal_panic` metric, which the test suite pins to zero.
+//!
+//! ## Routes
+//!
+//! | Route | Method | Meaning |
+//! |---|---|---|
+//! | `/query` | POST | JSON batch of [`QueryRequest`]s → batch of answers |
+//! | `/verdict?ixp=N&iface=A.B.C.D` | GET | point verdict lookup |
+//! | `/asn?asn=N` | GET | member report |
+//! | `/ixp?ixp=N` | GET | per-IXP rollup |
+//! | `/explain?iface=A.B.C.D` | GET | full evidence chain |
+//! | `/healthz` | GET | liveness: epoch + snapshot age |
+//! | `/metrics` | GET | counters, taxonomy, per-route latency |
+//!
+//! ## Runtime knobs
+//!
+//! `OPEER_GATEWAY_ADDR`, `OPEER_GATEWAY_THREADS` (same conventions as
+//! `OPEER_THREADS`), `OPEER_GATEWAY_KEYS`, `OPEER_GATEWAY_RATE`,
+//! `OPEER_GATEWAY_BURST`, `OPEER_GATEWAY_MAX_BODY`,
+//! `OPEER_GATEWAY_READ_TIMEOUT_MS` — see [`config::GatewayConfig`].
+//!
+//! [`QueryRequest`]: opeer_core::service::QueryRequest
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod http;
+pub mod metrics;
+pub mod middleware;
+pub mod routes;
+pub mod server;
+
+pub use config::GatewayConfig;
+pub use metrics::MetricsRegistry;
+pub use server::{Gateway, GatewayControl};

@@ -1,0 +1,161 @@
+//! The gateway binary: generates a world, builds the snapshot-serving
+//! query service over it, and serves the HTTP gateway — optionally
+//! with a background writer streaming measurement epochs into the
+//! service while it serves, so clients can watch `/healthz`'s epoch
+//! climb.
+//!
+//! ```text
+//! opeer-gateway [--scale paper|large|small] [--seed N] [--addr HOST:PORT]
+//!               [--epochs N] [--epoch-interval-ms N]
+//! ```
+//!
+//! `--addr` overrides `OPEER_GATEWAY_ADDR`; every other runtime knob
+//! (`OPEER_GATEWAY_THREADS`, `OPEER_GATEWAY_KEYS`, rate limits, body
+//! caps, timeouts) comes from the environment — see
+//! [`opeer_gateway::config::GatewayConfig`].
+
+use opeer_core::engine::ParallelConfig;
+use opeer_core::incremental::InputDelta;
+use opeer_core::input::default_configs;
+use opeer_core::pipeline::PipelineConfig;
+use opeer_core::service::PeeringService;
+use opeer_core::InferenceInput;
+use opeer_gateway::{Gateway, GatewayConfig};
+use opeer_measure::campaign::campaign_batches;
+use opeer_measure::traceroute::corpus_batches;
+use opeer_topology::WorldConfig;
+use std::time::Duration;
+
+struct Args {
+    scale: String,
+    seed: u64,
+    addr: Option<String>,
+    epochs: usize,
+    epoch_interval: Duration,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: "small".to_string(),
+        seed: 42,
+        addr: None,
+        epochs: 0,
+        epoch_interval: Duration::from_millis(500),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => args.scale = it.next().unwrap_or_else(|| usage("missing --scale value")),
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("bad --seed value"))
+            }
+            "--addr" => {
+                args.addr = Some(it.next().unwrap_or_else(|| usage("missing --addr value")))
+            }
+            "--epochs" => {
+                args.epochs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("bad --epochs value"))
+            }
+            "--epoch-interval-ms" => {
+                args.epoch_interval = it
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(Duration::from_millis)
+                    .unwrap_or_else(|| usage("bad --epoch-interval-ms value"))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: opeer-gateway [--scale paper|large|small] [--seed N] [--addr HOST:PORT] \
+         [--epochs N] [--epoch-interval-ms N]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn main() {
+    let args = parse_args();
+    let world_cfg = match args.scale.as_str() {
+        "paper" => WorldConfig::paper(args.seed),
+        "large" => WorldConfig::large(args.seed),
+        "small" => WorldConfig::small(args.seed),
+        other => usage(&format!("unknown scale {other}")),
+    };
+
+    let mut gw_cfg = GatewayConfig::from_env();
+    if let Some(addr) = args.addr {
+        gw_cfg.addr = addr;
+    }
+
+    eprintln!("generating {} world (seed {})...", args.scale, args.seed);
+    let world = world_cfg.generate();
+    let pipeline_cfg = PipelineConfig::default();
+    let par = ParallelConfig::from_env();
+
+    // With a streaming writer the service starts from the
+    // measurement-free base and the deltas arrive live; without one it
+    // warm-starts fully assembled.
+    let (service, deltas) = if args.epochs > 0 {
+        let service = PeeringService::build(
+            InferenceInput::assemble_base(&world, args.seed),
+            &pipeline_cfg,
+            &par,
+        );
+        let (_registry, campaign_cfg, corpus_cfg) = default_configs(args.seed);
+        let camp = campaign_batches(&world, &service.input().vps, campaign_cfg, args.epochs);
+        let corp = corpus_batches(&world, corpus_cfg, args.epochs);
+        (service, InputDelta::zip_batches(camp, corp))
+    } else {
+        let service = PeeringService::build(
+            InferenceInput::assemble(&world, args.seed),
+            &pipeline_cfg,
+            &par,
+        );
+        (service, Vec::new())
+    };
+
+    let gateway = match Gateway::bind(gw_cfg) {
+        Ok(gw) => gw,
+        Err(e) => {
+            eprintln!("error: cannot bind gateway: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "gateway listening on http://{} (epoch {}, {} deltas queued)",
+        gateway.local_addr(),
+        service.epoch(),
+        deltas.len()
+    );
+
+    std::thread::scope(|scope| {
+        if !deltas.is_empty() {
+            let service = &service;
+            let interval = args.epoch_interval;
+            scope.spawn(move || {
+                for delta in deltas {
+                    std::thread::sleep(interval);
+                    let epoch = service.apply(delta);
+                    eprintln!("published epoch {epoch}");
+                }
+                eprintln!("writer done; serving final snapshot");
+            });
+        }
+        // Blocks until ctrl-C kills the process (the binary has no
+        // remote stop; GatewayControl is for in-process embedders).
+        gateway.serve(&service);
+    });
+}

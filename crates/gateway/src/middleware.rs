@@ -1,0 +1,310 @@
+//! Composable request middleware: the checks every request passes
+//! before reaching a route handler.
+//!
+//! Each layer implements [`Layer`]: given the parsed request and the
+//! caller's identity, it either passes (`None`) or short-circuits with
+//! a typed [`Reject`] that the server maps to an HTTP status + JSON
+//! error body. Layers are checked in a fixed order — auth before rate
+//! limiting, so an unauthenticated flood cannot exhaust a legitimate
+//! key's bucket — and `/healthz` bypasses both (liveness probes carry
+//! no credentials).
+//!
+//! The third "layer" of the stack — request-size, header, and timeout
+//! limits — lives structurally in the HTTP parser
+//! ([`crate::http::Conn::read_request`]): those bounds must hold
+//! *while* reading untrusted bytes, not after.
+
+use crate::http::Request;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A middleware rejection: the status and machine-readable kind the
+/// server turns into a JSON error body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reject {
+    /// HTTP status to answer.
+    pub status: u16,
+    /// Stable kind for the error body and metrics taxonomy.
+    pub kind: &'static str,
+    /// Human-readable detail line.
+    pub detail: String,
+}
+
+/// The caller's identity, as far as the gateway can tell: the API key
+/// when one was presented and valid, otherwise the peer address. Rate
+/// limiting keys its buckets on this.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CallerKey {
+    /// A presented (and, post-auth, validated) `x-api-key` value.
+    ApiKey(String),
+    /// The remote peer's IP, for anonymous deployments.
+    Peer(std::net::IpAddr),
+}
+
+/// One middleware check. Layers are `Sync` — a single instance is
+/// shared across all worker threads.
+pub trait Layer: Sync {
+    /// `None` to pass the request through, `Some` to short-circuit.
+    fn check(&self, request: &Request, caller: &CallerKey) -> Option<Reject>;
+}
+
+/// Routes exempt from auth and rate limiting: liveness must stay
+/// observable even when credentials are wrong or a key is saturated.
+fn exempt(path: &str) -> bool {
+    path == "/healthz"
+}
+
+// ---------------------------------------------------------------------
+// static API-key auth
+// ---------------------------------------------------------------------
+
+/// Static API-key auth: the request's `x-api-key` header must match
+/// one of the configured keys. An empty key set disables the layer.
+pub struct ApiKeyAuth {
+    keys: Vec<String>,
+}
+
+impl ApiKeyAuth {
+    /// Builds the layer over the configured key set.
+    pub fn new(keys: Vec<String>) -> ApiKeyAuth {
+        ApiKeyAuth { keys }
+    }
+
+    /// Whether any key is configured (auth enabled).
+    pub fn enabled(&self) -> bool {
+        !self.keys.is_empty()
+    }
+
+    /// Whether a presented key is valid.
+    pub fn valid(&self, key: &str) -> bool {
+        self.keys.iter().any(|k| k == key)
+    }
+}
+
+impl Layer for ApiKeyAuth {
+    fn check(&self, request: &Request, _caller: &CallerKey) -> Option<Reject> {
+        if !self.enabled() || exempt(&request.path) {
+            return None;
+        }
+        match request.header("x-api-key") {
+            Some(key) if self.valid(key) => None,
+            Some(_) => Some(Reject {
+                status: 401,
+                kind: "unauthorized",
+                detail: "invalid api key".to_string(),
+            }),
+            None => Some(Reject {
+                status: 401,
+                kind: "unauthorized",
+                detail: "missing x-api-key header".to_string(),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// per-key token-bucket rate limiting
+// ---------------------------------------------------------------------
+
+/// One caller's bucket: tokens remaining and the last refill instant.
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// Per-caller token-bucket rate limiting. Buckets refill continuously
+/// at `rate_per_sec` up to `burst`; each request spends one token. The
+/// bucket map is bounded: at [`RateLimit::MAX_KEYS`] distinct callers,
+/// fully-refilled stale buckets are evicted, so an attacker rotating
+/// spoofed identities cannot grow the map without bound.
+pub struct RateLimit {
+    rate_per_sec: f64,
+    burst: f64,
+    buckets: Mutex<HashMap<CallerKey, Bucket>>,
+}
+
+impl RateLimit {
+    /// Bound on distinct tracked callers before stale buckets are
+    /// evicted.
+    pub const MAX_KEYS: usize = 4096;
+
+    /// Builds the layer. `rate_per_sec <= 0` disables it.
+    pub fn new(rate_per_sec: f64, burst: f64) -> RateLimit {
+        RateLimit {
+            rate_per_sec,
+            burst: burst.max(1.0),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether the layer is active.
+    pub fn enabled(&self) -> bool {
+        self.rate_per_sec > 0.0
+    }
+
+    /// Spends one token for `caller` at time `now`; `false` means the
+    /// bucket is empty and the request must be rejected. Public (rather
+    /// than test-only) so the unit tests can drive time explicitly.
+    pub fn admit_at(&self, caller: &CallerKey, now: Instant) -> bool {
+        let mut buckets = self.buckets.lock().expect("rate-limit buckets poisoned");
+        if buckets.len() >= Self::MAX_KEYS && !buckets.contains_key(caller) {
+            // Evict buckets that have fully refilled: they carry no
+            // state an honest caller would miss.
+            let rate = self.rate_per_sec;
+            let burst = self.burst;
+            buckets.retain(|_, b| {
+                let refilled = b.tokens + now.duration_since(b.refilled).as_secs_f64() * rate;
+                refilled < burst
+            });
+            if buckets.len() >= Self::MAX_KEYS {
+                // Map still saturated with active callers: shed the new
+                // one rather than grow without bound.
+                return false;
+            }
+        }
+        let bucket = buckets.entry(caller.clone()).or_insert(Bucket {
+            tokens: self.burst,
+            refilled: now,
+        });
+        let elapsed = now.duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.rate_per_sec).min(self.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Layer for RateLimit {
+    fn check(&self, request: &Request, caller: &CallerKey) -> Option<Reject> {
+        if !self.enabled() || exempt(&request.path) {
+            return None;
+        }
+        if self.admit_at(caller, Instant::now()) {
+            None
+        } else {
+            Some(Reject {
+                status: 429,
+                kind: "rate_limited",
+                detail: format!(
+                    "rate limit exceeded ({} req/s, burst {})",
+                    self.rate_per_sec, self.burst
+                ),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    fn request(path: &str, headers: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: BTreeMap::new(),
+            headers: headers
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body: Vec::new(),
+            close: false,
+        }
+    }
+
+    fn peer() -> CallerKey {
+        CallerKey::Peer("127.0.0.1".parse().expect("valid"))
+    }
+
+    #[test]
+    fn auth_layer_semantics() {
+        let auth = ApiKeyAuth::new(vec!["alpha".to_string(), "beta".to_string()]);
+        let ok = request("/query", &[("x-api-key", "beta")]);
+        assert_eq!(auth.check(&ok, &peer()), None);
+
+        let wrong = request("/query", &[("x-api-key", "gamma")]);
+        let reject = auth.check(&wrong, &peer()).expect("rejected");
+        assert_eq!((reject.status, reject.kind), (401, "unauthorized"));
+
+        let missing = request("/query", &[]);
+        assert!(auth.check(&missing, &peer()).is_some());
+
+        // Health probes pass without credentials; disabled auth passes
+        // everything.
+        assert_eq!(auth.check(&request("/healthz", &[]), &peer()), None);
+        let off = ApiKeyAuth::new(Vec::new());
+        assert_eq!(off.check(&missing, &peer()), None);
+    }
+
+    #[test]
+    fn token_bucket_spends_and_refills() {
+        let limiter = RateLimit::new(10.0, 3.0);
+        let caller = peer();
+        let t0 = Instant::now();
+        // Burst of 3 admitted, 4th rejected.
+        assert!(limiter.admit_at(&caller, t0));
+        assert!(limiter.admit_at(&caller, t0));
+        assert!(limiter.admit_at(&caller, t0));
+        assert!(!limiter.admit_at(&caller, t0));
+        // 100ms at 10 req/s refills one token.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(limiter.admit_at(&caller, t1));
+        assert!(!limiter.admit_at(&caller, t1));
+        // A different caller has its own bucket.
+        let other = CallerKey::ApiKey("alpha".to_string());
+        assert!(limiter.admit_at(&other, t1));
+        // Refill never exceeds the burst cap.
+        let t2 = t1 + Duration::from_secs(3600);
+        assert!(limiter.admit_at(&caller, t2));
+        assert!(limiter.admit_at(&caller, t2));
+        assert!(limiter.admit_at(&caller, t2));
+        assert!(!limiter.admit_at(&caller, t2));
+    }
+
+    #[test]
+    fn bucket_map_stays_bounded() {
+        let limiter = RateLimit::new(1000.0, 1.0);
+        let t0 = Instant::now();
+        // Saturate the map with distinct callers whose buckets are
+        // empty (each spends its single burst token).
+        for i in 0..RateLimit::MAX_KEYS {
+            let caller = CallerKey::ApiKey(format!("k{i}"));
+            assert!(limiter.admit_at(&caller, t0));
+        }
+        // A brand-new caller at the same instant: every bucket is
+        // drained (not refilled), so the map is saturated with active
+        // callers and the newcomer is shed.
+        let newcomer = CallerKey::ApiKey("newcomer".to_string());
+        assert!(!limiter.admit_at(&newcomer, t0));
+        // After the buckets refill, stale ones are evicted and the
+        // newcomer gets a bucket.
+        let t1 = t0 + Duration::from_secs(10);
+        assert!(limiter.admit_at(&newcomer, t1));
+        let tracked = limiter.buckets.lock().expect("buckets poisoned").len();
+        assert!(tracked <= RateLimit::MAX_KEYS);
+    }
+
+    #[test]
+    fn rate_limit_layer_exempts_health() {
+        let limiter = RateLimit::new(1.0, 1.0);
+        let caller = peer();
+        let q = request("/query", &[]);
+        assert_eq!(limiter.check(&q, &caller), None);
+        let reject = limiter.check(&q, &caller).expect("bucket empty");
+        assert_eq!((reject.status, reject.kind), (429, "rate_limited"));
+        // Health stays reachable with the bucket empty.
+        assert_eq!(limiter.check(&request("/healthz", &[]), &caller), None);
+        // Disabled limiter passes everything.
+        let off = RateLimit::new(0.0, 0.0);
+        for _ in 0..100 {
+            assert_eq!(off.check(&q, &caller), None);
+        }
+    }
+}

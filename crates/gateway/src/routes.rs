@@ -1,0 +1,404 @@
+//! Route dispatch: parsed [`Request`] → HTTP status + JSON body.
+//!
+//! Every outcome — success or failure — is a value; no handler can
+//! panic on untrusted input. Service errors map *totally* onto HTTP
+//! statuses: unknown entities ([`ServiceError::UnknownIxp`] /
+//! [`ServiceError::UnknownInterface`] / [`ServiceError::UnknownAsn`])
+//! are `404`, an oversized batch ([`ServiceError::InvalidBatch`]) is
+//! `413`, a body that is not valid JSON for `Vec<QueryRequest>` is
+//! `400`. Error bodies are uniform:
+//! `{"error": <kind>, "status": <n>, "detail": <text>}`, with the full
+//! serialized [`ServiceError`] attached under `"service_error"` when
+//! there is one.
+
+use crate::http::Request;
+use crate::metrics::{MetricsRegistry, Route};
+use opeer_core::service::{QueryRequest, ServiceError, Snapshot};
+use serde::{Serialize, Value};
+use std::net::Ipv4Addr;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// A fully-formed response: the status and the JSON body bytes.
+#[derive(Debug)]
+pub struct Outcome {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body (always present; errors have error bodies).
+    pub body: Vec<u8>,
+}
+
+impl Outcome {
+    fn ok(body: String) -> Outcome {
+        Outcome {
+            status: 200,
+            body: body.into_bytes(),
+        }
+    }
+}
+
+/// Builds the uniform JSON error body.
+pub fn error_body(
+    status: u16,
+    kind: &str,
+    detail: &str,
+    service: Option<&ServiceError>,
+) -> Vec<u8> {
+    let mut members = vec![
+        ("error".to_string(), Value::Str(kind.to_string())),
+        ("status".to_string(), Value::U64(u64::from(status))),
+        ("detail".to_string(), Value::Str(detail.to_string())),
+    ];
+    if let Some(err) = service {
+        members.push(("service_error".to_string(), err.to_value()));
+    }
+    // The error tree is strings and integers only, so the strict
+    // serializer cannot fail on it.
+    serde_json::to_string(Value::Object(members))
+        .expect("error body has no floats")
+        .into_bytes()
+}
+
+fn error(status: u16, kind: &'static str, detail: String) -> Outcome {
+    Outcome {
+        status,
+        body: error_body(status, kind, &detail, None),
+    }
+}
+
+/// Maps a per-lookup [`ServiceError`] to its response.
+fn service_error(err: ServiceError) -> Outcome {
+    let (status, kind) = match err {
+        ServiceError::UnknownIxp { .. }
+        | ServiceError::UnknownInterface { .. }
+        | ServiceError::UnknownAsn { .. } => (404, "not_found"),
+        ServiceError::InvalidBatch { .. } => (413, "batch_too_large"),
+    };
+    Outcome {
+        status,
+        body: error_body(status, kind, &err.to_string(), Some(&err)),
+    }
+}
+
+/// Serializes a successful answer, with the strict non-finite-float
+/// check folded into the total mapping: a value the wire serializer
+/// refuses becomes a `500` instead of a panic or a silent `null`.
+fn serialize_ok<T: Serialize>(answer: &T) -> Outcome {
+    match serde_json::to_string(answer) {
+        Ok(json) => Outcome::ok(json),
+        Err(e) => error(500, "serialization", e.to_string()),
+    }
+}
+
+fn param<'r>(request: &'r Request, name: &str) -> Result<&'r str, Outcome> {
+    request.query.get(name).map(String::as_str).ok_or_else(|| {
+        error(
+            400,
+            "missing_param",
+            format!("missing query parameter `{name}`"),
+        )
+    })
+}
+
+fn parse_param<T: std::str::FromStr>(request: &Request, name: &str) -> Result<T, Outcome> {
+    let raw = param(request, name)?;
+    raw.parse::<T>().map_err(|_| {
+        error(
+            400,
+            "bad_param",
+            format!("query parameter `{name}`=`{raw}` is malformed"),
+        )
+    })
+}
+
+/// Bumps the taxonomy counter matching an outcome's kind.
+fn record_taxonomy(metrics: &MetricsRegistry, outcome: &Outcome) {
+    let t = &metrics.taxonomy;
+    match outcome.status {
+        404 => t.not_found.fetch_add(1, Ordering::Relaxed),
+        405 => t.bad_method.fetch_add(1, Ordering::Relaxed),
+        413 => t.batch_too_large.fetch_add(1, Ordering::Relaxed),
+        400 => t.bad_json.fetch_add(1, Ordering::Relaxed),
+        _ => 0,
+    };
+}
+
+/// Dispatches one parsed request against one snapshot. `snapshot_age`
+/// is time since the current snapshot was published (for `/healthz`
+/// and `/metrics`).
+pub fn dispatch(
+    request: &Request,
+    snapshot: &Snapshot,
+    snapshot_age: Duration,
+    metrics: &MetricsRegistry,
+) -> Outcome {
+    let route = Route::of_path(&request.path);
+    let outcome = match (request.method.as_str(), route) {
+        ("POST", Route::Query) => query(request, snapshot),
+        ("GET", Route::Verdict) => verdict(request, snapshot),
+        ("GET", Route::Asn) => asn(request, snapshot),
+        ("GET", Route::Ixp) => ixp(request, snapshot),
+        ("GET", Route::Explain) => explain(request, snapshot),
+        ("GET", Route::Healthz) => healthz(snapshot, snapshot_age),
+        ("GET", Route::Metrics) => serialize_ok(&metrics.render(snapshot.epoch(), snapshot_age)),
+        (_, Route::Other) => error(404, "not_found", format!("no route `{}`", request.path)),
+        (method, _) => error(
+            405,
+            "bad_method",
+            format!("method {method} not allowed on `{}`", request.path),
+        ),
+    };
+    if outcome.status >= 400 {
+        record_taxonomy(metrics, &outcome);
+    }
+    outcome
+}
+
+fn query(request: &Request, snapshot: &Snapshot) -> Outcome {
+    let batch: Vec<QueryRequest> = match serde_json::from_slice(&request.body) {
+        Ok(batch) => batch,
+        Err(e) => {
+            return error(400, "bad_json", format!("query batch does not parse: {e}"));
+        }
+    };
+    match snapshot.query(&batch) {
+        Ok(responses) => serialize_ok(&responses),
+        Err(e) => service_error(e),
+    }
+}
+
+fn verdict(request: &Request, snapshot: &Snapshot) -> Outcome {
+    let ixp = match parse_param::<usize>(request, "ixp") {
+        Ok(v) => v,
+        Err(o) => return o,
+    };
+    let iface = match parse_param::<Ipv4Addr>(request, "iface") {
+        Ok(v) => v,
+        Err(o) => return o,
+    };
+    match snapshot.verdict(ixp, iface) {
+        Ok(answer) => serialize_ok(&answer),
+        Err(e) => service_error(e),
+    }
+}
+
+fn asn(request: &Request, snapshot: &Snapshot) -> Outcome {
+    let asn = match parse_param::<u32>(request, "asn") {
+        Ok(v) => opeer_net::Asn::new(v),
+        Err(o) => return o,
+    };
+    match snapshot.asn_report(asn) {
+        Ok(answer) => serialize_ok(&answer),
+        Err(e) => service_error(e),
+    }
+}
+
+fn ixp(request: &Request, snapshot: &Snapshot) -> Outcome {
+    let ixp = match parse_param::<usize>(request, "ixp") {
+        Ok(v) => v,
+        Err(o) => return o,
+    };
+    match snapshot.ixp_report(ixp) {
+        Ok(answer) => serialize_ok(&answer),
+        Err(e) => service_error(e),
+    }
+}
+
+fn explain(request: &Request, snapshot: &Snapshot) -> Outcome {
+    let iface = match parse_param::<Ipv4Addr>(request, "iface") {
+        Ok(v) => v,
+        Err(o) => return o,
+    };
+    match snapshot.explain(iface) {
+        Ok(answer) => serialize_ok(&answer),
+        Err(e) => service_error(e),
+    }
+}
+
+fn healthz(snapshot: &Snapshot, snapshot_age: Duration) -> Outcome {
+    let doc = Value::Object(vec![
+        ("status".to_string(), Value::Str("ok".to_string())),
+        ("epoch".to_string(), Value::U64(snapshot.epoch())),
+        (
+            "snapshot_age_ms".to_string(),
+            Value::U64(u64::try_from(snapshot_age.as_millis()).unwrap_or(u64::MAX)),
+        ),
+        ("ixps".to_string(), Value::U64(snapshot.ixp_count() as u64)),
+    ]);
+    serialize_ok(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_core::engine::ParallelConfig;
+    use opeer_core::input::InferenceInput;
+    use opeer_core::pipeline::PipelineConfig;
+    use opeer_core::service::{PeeringService, QueryResponse};
+    use opeer_topology::{World, WorldConfig};
+    use std::collections::BTreeMap;
+
+    fn world() -> World {
+        WorldConfig::small(42).generate()
+    }
+
+    fn get(path: &str, params: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+            close: false,
+        }
+    }
+
+    fn post(path: &str, body: &[u8]) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            query: BTreeMap::new(),
+            headers: BTreeMap::new(),
+            body: body.to_vec(),
+            close: false,
+        }
+    }
+
+    #[test]
+    fn dispatch_covers_every_route_and_error_class() {
+        let world = world();
+        let svc = PeeringService::build(
+            InferenceInput::assemble(&world, 42),
+            &PipelineConfig::default(),
+            &ParallelConfig::new(2),
+        );
+        let snap = svc.snapshot();
+        let metrics = MetricsRegistry::default();
+        let age = Duration::from_millis(10);
+        let inf = &snap.result().inferences[0];
+        let (ixp, iface, asn) = (inf.ixp, inf.addr, inf.asn);
+
+        // Happy paths.
+        let ok = dispatch(
+            &get(
+                "/verdict",
+                &[("ixp", &ixp.to_string()), ("iface", &iface.to_string())],
+            ),
+            &snap,
+            age,
+            &metrics,
+        );
+        assert_eq!(ok.status, 200);
+        let answer: opeer_core::service::VerdictAnswer =
+            serde_json::from_slice(&ok.body).expect("verdict body parses");
+        assert_eq!(answer.addr, iface);
+
+        let ok = dispatch(
+            &get("/asn", &[("asn", &asn.value().to_string())]),
+            &snap,
+            age,
+            &metrics,
+        );
+        assert_eq!(ok.status, 200);
+        let ok = dispatch(&get("/ixp", &[("ixp", "0")]), &snap, age, &metrics);
+        assert_eq!(ok.status, 200);
+        let ok = dispatch(
+            &get("/explain", &[("iface", &iface.to_string())]),
+            &snap,
+            age,
+            &metrics,
+        );
+        assert_eq!(ok.status, 200);
+        let ok = dispatch(&get("/healthz", &[]), &snap, age, &metrics);
+        assert_eq!(ok.status, 200);
+        let health: Value = serde_json::from_slice(&ok.body).expect("health parses");
+        assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(health.get("epoch").and_then(Value::as_u64), Some(0));
+        let ok = dispatch(&get("/metrics", &[]), &snap, age, &metrics);
+        assert_eq!(ok.status, 200);
+
+        // A query batch mixing all four families.
+        let batch = format!(
+            "[{{\"Verdict\":{{\"ixp\":{ixp},\"iface\":\"{iface}\"}}}},\
+             {{\"IxpReport\":{{\"ixp\":0}}}},\
+             {{\"AsnReport\":{{\"asn\":{}}}}},\
+             {{\"Explain\":{{\"iface\":\"{iface}\"}}}}]",
+            asn.value()
+        );
+        let ok = dispatch(&post("/query", batch.as_bytes()), &snap, age, &metrics);
+        assert_eq!(ok.status, 200, "{}", String::from_utf8_lossy(&ok.body));
+        let responses: Vec<QueryResponse> =
+            serde_json::from_slice(&ok.body).expect("query body parses");
+        assert_eq!(responses.len(), 4);
+        assert!(matches!(responses[0], QueryResponse::Verdict(_)));
+
+        // An empty batch is 200 [] (the fixed contract), not an error.
+        let ok = dispatch(&post("/query", b"[]"), &snap, age, &metrics);
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.body, b"[]");
+
+        // Error classes.
+        let e = dispatch(&post("/query", b"this is not json"), &snap, age, &metrics);
+        assert_eq!(e.status, 400);
+        let e = dispatch(
+            &post("/query", b"{\"not\":\"a batch\"}"),
+            &snap,
+            age,
+            &metrics,
+        );
+        assert_eq!(e.status, 400);
+        let huge = format!(
+            "[{}]",
+            vec!["{\"IxpReport\":{\"ixp\":0}}"; opeer_core::service::MAX_BATCH + 1].join(",")
+        );
+        let e = dispatch(&post("/query", huge.as_bytes()), &snap, age, &metrics);
+        assert_eq!(e.status, 413);
+        let body: Value = serde_json::from_slice(&e.body).expect("error body parses");
+        assert_eq!(
+            body.get("error").and_then(Value::as_str),
+            Some("batch_too_large")
+        );
+        assert!(body.get("service_error").is_some());
+
+        let e = dispatch(&get("/verdict", &[("ixp", "0")]), &snap, age, &metrics);
+        assert_eq!(e.status, 400); // missing iface
+        let e = dispatch(
+            &get(
+                "/verdict",
+                &[("ixp", "banana"), ("iface", &iface.to_string())],
+            ),
+            &snap,
+            age,
+            &metrics,
+        );
+        assert_eq!(e.status, 400);
+        let e = dispatch(
+            &get(
+                "/verdict",
+                &[("ixp", "999999"), ("iface", &iface.to_string())],
+            ),
+            &snap,
+            age,
+            &metrics,
+        );
+        assert_eq!(e.status, 404);
+        let e = dispatch(&get("/asn", &[("asn", "64999")]), &snap, age, &metrics);
+        assert_eq!(e.status, 404);
+        let e = dispatch(&get("/nope", &[]), &snap, age, &metrics);
+        assert_eq!(e.status, 404);
+        let e = dispatch(&post("/healthz", b"{}"), &snap, age, &metrics);
+        assert_eq!(e.status, 405);
+        let e = dispatch(&get("/query", &[]), &snap, age, &metrics);
+        assert_eq!(e.status, 405);
+
+        // Taxonomy counters moved.
+        assert!(metrics.taxonomy.not_found.load(Ordering::Relaxed) >= 3);
+        assert!(metrics.taxonomy.bad_method.load(Ordering::Relaxed) >= 2);
+        assert!(metrics.taxonomy.bad_json.load(Ordering::Relaxed) >= 2);
+        assert!(metrics.taxonomy.batch_too_large.load(Ordering::Relaxed) >= 1);
+        assert_eq!(metrics.panics(), 0);
+    }
+}

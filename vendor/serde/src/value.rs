@@ -160,8 +160,43 @@ fn write_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Renders a value as JSON text like [`write_value`], but **fails** on
+/// non-finite floats instead of silently printing `null`. NaN/∞ have no
+/// JSON representation, so a wire layer that emitted the lossy form
+/// would ship an answer the peer decodes into a different value; the
+/// strict writer is what `serde_json::to_string` uses. Used by
+/// `serde_json`.
+#[doc(hidden)]
+pub fn try_write_value(
+    out: &mut String,
+    v: &Value,
+    indent: Option<usize>,
+    level: usize,
+) -> Result<(), crate::Error> {
+    if let Some(bad) = first_non_finite(v) {
+        return Err(crate::Error::custom(format!(
+            "refusing to serialize non-finite float {bad} (no JSON representation)"
+        )));
+    }
+    write_value(out, v, indent, level);
+    Ok(())
+}
+
+/// The first non-finite `F64` anywhere in the tree, depth first.
+fn first_non_finite(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(n) if !n.is_finite() => Some(*n),
+        Value::Array(items) => items.iter().find_map(first_non_finite),
+        Value::Object(members) => members.iter().find_map(|(_, v)| first_non_finite(v)),
+        _ => None,
+    }
+}
+
 /// Renders a value as JSON text; `indent` of `Some(n)` pretty-prints
-/// with `n`-space indentation. Used by `serde_json`.
+/// with `n`-space indentation. Non-finite floats degrade to `null`
+/// (this writer backs the infallible `Display`); serialization that
+/// crosses a wire goes through [`try_write_value`] instead, which
+/// rejects them loudly. Used by `serde_json`.
 #[doc(hidden)]
 pub fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
     match v {

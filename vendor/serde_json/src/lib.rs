@@ -1,15 +1,50 @@
 //! Offline vendored substitute for the `serde_json` crate.
 //!
 //! Provides [`Value`], [`to_value`]/[`from_value`], [`to_string`]/
-//! [`to_string_pretty`], and a strict [`from_str`] text parser — the
-//! subset the workspace uses. Backed by the vendored `serde` crate's
-//! value tree, so derived `Serialize`/`Deserialize` impls round-trip
-//! through genuine JSON text.
+//! [`to_string_pretty`], and strict [`from_str`]/[`from_slice`] text
+//! parsers — the subset the workspace uses. Backed by the vendored
+//! `serde` crate's value tree, so derived `Serialize`/`Deserialize`
+//! impls round-trip through genuine JSON text.
+//!
+//! ## Hardened against untrusted input
+//!
+//! The gateway feeds this parser bytes straight off a socket, so the
+//! text path defends itself rather than trusting the caller:
+//!
+//! * **Bounded recursion** — nesting deeper than [`MAX_DEPTH`] is a
+//!   typed error, not a stack overflow (a process kill a remote peer
+//!   could trigger with `[[[[…`).
+//! * **Overflow-safe numbers** — integer literals that fit neither
+//!   `i64` nor `u64` are rejected instead of silently rounding through
+//!   `f64`, and float literals whose value is not finite (`1e999`) are
+//!   rejected instead of materialising `inf`.
+//! * **Strict number grammar** — a digit is required after `.` and
+//!   after `e`/`E` (with optional `±` sign), as per RFC 8259.
+//! * **Invalid UTF-8 and truncation** — [`from_slice`] rejects
+//!   non-UTF-8 bytes as a typed error; every truncation point of a
+//!   valid document is a parse error, never a panic
+//!   (`vendor/serde_json/tests/malformed.rs` proptests both).
+//!
+//! Symmetrically, [`to_string`]/[`to_string_pretty`] **refuse**
+//! non-finite floats: NaN/∞ have no JSON representation, and the old
+//! lossy `null` fallback would make a decoded answer differ from the
+//! encoded one. (`Value`'s infallible `Display` keeps the lossy form
+//! for debug printing.)
 
 pub use serde::Error;
 pub use serde::Value;
 
 use serde::{Deserialize, Serialize};
+
+/// Deepest array/object nesting [`from_str`]/[`from_slice`] accept.
+///
+/// Each level of nesting costs one native stack frame in the
+/// recursive-descent parser (and later in `Value`'s recursive `Drop`),
+/// so unbounded depth lets ~100 KiB of `[` bytes kill the process. 128
+/// is far beyond any legitimate wire payload of this workspace (the
+/// query types nest < 10 deep) while keeping worst-case stack use a few
+/// tens of KiB.
+pub const MAX_DEPTH: usize = 128;
 
 /// Converts any serializable value into a [`Value`] tree.
 ///
@@ -24,17 +59,20 @@ pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
     T::from_value(&value)
 }
 
-/// Compact JSON text.
+/// Compact JSON text. Fails on non-finite floats (NaN/∞ have no JSON
+/// representation; shipping `null` instead would decode to a different
+/// value on the other side).
 pub fn to_string<T: Serialize>(value: T) -> Result<String, Error> {
     let mut out = String::new();
-    serde::value::write_value(&mut out, &value.to_value(), None, 0);
+    serde::value::try_write_value(&mut out, &value.to_value(), None, 0)?;
     Ok(out)
 }
 
-/// Two-space-indented JSON text.
+/// Two-space-indented JSON text. Fails on non-finite floats, like
+/// [`to_string`].
 pub fn to_string_pretty<T: Serialize>(value: T) -> Result<String, Error> {
     let mut out = String::new();
-    serde::value::write_value(&mut out, &value.to_value(), Some(2), 0);
+    serde::value::try_write_value(&mut out, &value.to_value(), Some(2), 0)?;
     Ok(out)
 }
 
@@ -43,6 +81,7 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -56,9 +95,21 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     T::from_value(&v)
 }
 
+/// Parses JSON bytes into any deserializable type, rejecting invalid
+/// UTF-8 as a typed error. This is the entry point for wire input: a
+/// socket hands over bytes, not `str`, and the UTF-8 check must be a
+/// recoverable rejection rather than a caller-side panic.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|e| Error::custom(format!("invalid UTF-8 in JSON input: {e}")))?;
+    from_str(s)
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current array/object nesting depth; bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -96,6 +147,18 @@ impl Parser<'_> {
         }
     }
 
+    /// Enters one nesting level, rejecting depth beyond [`MAX_DEPTH`].
+    fn descend(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::custom(format!(
+                "nesting deeper than {MAX_DEPTH} levels at offset {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+
     fn value(&mut self) -> Result<Value, Error> {
         match self.peek() {
             Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
@@ -114,10 +177,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Value, Error> {
         self.eat(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -128,6 +193,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(Error::custom(format!("bad array at offset {}", self.pos))),
@@ -137,10 +203,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Value, Error> {
         self.eat(b'{')?;
+        self.descend()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(members));
         }
         loop {
@@ -156,6 +224,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(members));
                 }
                 _ => return Err(Error::custom(format!("bad object at offset {}", self.pos))),
@@ -222,21 +291,33 @@ impl Parser<'_> {
         }
     }
 
+    /// Consumes a run of ASCII digits, requiring at least one — RFC
+    /// 8259 demands a digit after `.` and after `e`/`E`[`±`].
+    fn digits(&mut self, after: &str) -> Result<(), Error> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(Error::custom(format!(
+                "expected digit after `{after}` at offset {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+
     fn number(&mut self) -> Result<Value, Error> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-            self.pos += 1;
-        }
+        self.digits("-")?;
         let mut is_float = false;
         if self.peek() == Some(b'.') {
             is_float = true;
             self.pos += 1;
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
-            }
+            self.digits(".")?;
         }
         if matches!(self.peek(), Some(b'e') | Some(b'E')) {
             is_float = true;
@@ -244,9 +325,7 @@ impl Parser<'_> {
             if matches!(self.peek(), Some(b'+') | Some(b'-')) {
                 self.pos += 1;
             }
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
-            }
+            self.digits("e")?;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| Error::custom("invalid number"))?;
@@ -257,10 +336,26 @@ impl Parser<'_> {
             if let Ok(u) = text.parse::<u64>() {
                 return Ok(Value::U64(u));
             }
+            // An integer literal outside both i64 and u64 silently
+            // rounded through f64 before; reject it instead — every
+            // integral field in this workspace is at most 64 bits, so
+            // the rounded value could only ever deserialize wrongly.
+            return Err(Error::custom(format!(
+                "integer literal `{text}` overflows 64 bits"
+            )));
         }
-        text.parse::<f64>()
-            .map(Value::F64)
-            .map_err(|_| Error::custom(format!("bad number `{text}`")))
+        let f = text
+            .parse::<f64>()
+            .map_err(|_| Error::custom(format!("bad number `{text}`")))?;
+        if !f.is_finite() {
+            // `1e999` parses to ∞; a non-finite float is unrepresentable
+            // in JSON, so accepting one here would create a value the
+            // serializer must refuse to ever write back.
+            return Err(Error::custom(format!(
+                "number `{text}` overflows f64 to a non-finite value"
+            )));
+        }
+        Ok(Value::F64(f))
     }
 }
 
@@ -301,5 +396,73 @@ mod tests {
         assert!(from_str::<Value>("{\"a\":}").is_err());
         assert!(from_str::<Value>("[1,]").is_err());
         assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn depth_limit_is_a_typed_error() {
+        // Exactly at the limit: fine.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(from_str::<Value>(&ok).is_ok());
+        // One deeper: typed error, not a stack overflow.
+        let deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = from_str::<Value>(&deep).expect_err("too deep");
+        assert!(err.to_string().contains("nesting deeper"), "{err}");
+        // Mixed array/object nesting counts every level.
+        let mixed = "{\"a\":".repeat(MAX_DEPTH) + "[0]" + &"}".repeat(MAX_DEPTH);
+        assert!(from_str::<Value>(&mixed).is_err());
+    }
+
+    #[test]
+    fn numbers_reject_overflow_and_bad_grammar() {
+        // 64-bit boundaries still parse exactly.
+        assert_eq!(
+            from_str::<Value>("9223372036854775807").expect("i64 max"),
+            Value::I64(i64::MAX)
+        );
+        assert_eq!(
+            from_str::<Value>("18446744073709551615").expect("u64 max"),
+            Value::U64(u64::MAX)
+        );
+        // Past 64 bits: error, not a rounded f64.
+        assert!(from_str::<Value>("18446744073709551616").is_err());
+        assert!(from_str::<Value>("-9223372036854775809").is_err());
+        // Exponent overflow to ∞: error, not a non-finite value.
+        assert!(from_str::<Value>("1e999").is_err());
+        assert!(from_str::<Value>("-1e999").is_err());
+        // Huge-but-finite float still fine.
+        assert!(from_str::<Value>("1e308").is_ok());
+        // RFC 8259 grammar: digits required after `.`, `e`, and `-`.
+        for bad in ["1.", ".5", "1e", "1e+", "-", "-.5", "01e"] {
+            assert!(from_str::<Value>(bad).is_err(), "`{bad}` must be rejected");
+        }
+        assert!(from_str::<Value>("1.5e+3").is_ok());
+    }
+
+    #[test]
+    fn from_slice_rejects_invalid_utf8() {
+        assert_eq!(
+            from_slice::<Value>(b"[1,2]").expect("valid bytes"),
+            Value::Array(vec![Value::I64(1), Value::I64(2)])
+        );
+        let err = from_slice::<Value>(b"\"\xff\xfe\"").expect_err("invalid UTF-8");
+        assert!(err.to_string().contains("UTF-8"), "{err}");
+        assert!(from_slice::<Value>(&[0x80]).is_err());
+    }
+
+    #[test]
+    fn serializer_refuses_non_finite_floats() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = to_string(bad).expect_err("non-finite must not serialize");
+            assert!(err.to_string().contains("non-finite"), "{err}");
+            // Nested occurrences are caught too.
+            let v = Value::Object(vec![("x".into(), Value::Array(vec![Value::F64(bad)]))]);
+            assert!(to_string(&v).is_err());
+            assert!(to_string_pretty(&v).is_err());
+        }
+        assert_eq!(to_string(0.0f64).expect("finite"), "0.0");
     }
 }

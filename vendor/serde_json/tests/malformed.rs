@@ -1,0 +1,175 @@
+//! Adversarial-input corpus for the hardened JSON parser.
+//!
+//! The gateway feeds this parser raw socket bytes, so every input here
+//! must come back as a typed [`serde_json::Error`] — never a panic, a
+//! stack overflow, or a silently-wrong value. The deterministic corpus
+//! pins each hardening fix; the proptests fuzz the same surfaces
+//! (random bytes, random truncation, structure-preserving mutation).
+
+use proptest::prelude::*;
+use serde_json::{from_slice, from_str, to_string, Value, MAX_DEPTH};
+
+/// A value with every scalar kind and some nesting, used as the
+/// mutation/truncation seed.
+fn seed_doc() -> String {
+    r#"{"epoch":42,"ok":true,"share":0.25,"name":"ix \"north\" ü","tags":[1,-2,3.5e2,null],"nested":{"a":[{"b":[]}]}}"#
+        .to_string()
+}
+
+#[test]
+fn deterministic_corpus_returns_typed_errors() {
+    let cases: &[&[u8]] = &[
+        b"",
+        b" ",
+        b"{",
+        b"}",
+        b"[",
+        b"]",
+        b"{]",
+        b"[}",
+        b"nul",
+        b"tru",
+        b"falsey",
+        b"\"unterminated",
+        b"\"bad escape \\q\"",
+        b"\"\\u12",
+        b"\"\\ud800\"", // lone surrogate
+        b"\"\\uZZZZ\"",
+        b"{\"a\"}",
+        b"{\"a\":}",
+        b"{\"a\":1,}",
+        b"{\"a\":1 \"b\":2}",
+        b"{1:2}",
+        b"[1,]",
+        b"[1 2]",
+        b"1 2",
+        b"--1",
+        b"+1",
+        b"1.",
+        b".5",
+        b"1e",
+        b"1e+",
+        b"-",
+        b"01e",
+        b"1e999", // overflows f64 to infinity
+        b"-1e999",
+        b"18446744073709551616", // > u64::MAX
+        b"-9223372036854775809", // < i64::MIN
+        b"999999999999999999999999999999",
+        b"\xff\xfe", // invalid UTF-8
+        b"\"\x80\"",
+        b"[\"\xc3\"]", // truncated multi-byte sequence
+    ];
+    for &bytes in cases {
+        let out = from_slice::<Value>(bytes);
+        assert!(
+            out.is_err(),
+            "malformed input {:?} parsed as {:?}",
+            String::from_utf8_lossy(bytes),
+            out
+        );
+    }
+}
+
+#[test]
+fn deep_nesting_is_rejected_not_fatal() {
+    // Far past the limit — would overflow the stack without the depth
+    // guard (this is the payload a remote peer can send for free).
+    for n in [MAX_DEPTH + 1, 10_000, 250_000] {
+        let deep_arrays = "[".repeat(n);
+        assert!(from_str::<Value>(&deep_arrays).is_err());
+        let deep_objects = "{\"x\":".repeat(n);
+        assert!(from_str::<Value>(&deep_objects).is_err());
+        let closed = format!("{}1{}", "[".repeat(n), "]".repeat(n));
+        assert!(from_str::<Value>(&closed).is_err());
+    }
+    // At the limit the parser still works.
+    let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+    assert!(from_str::<Value>(&ok).is_ok());
+}
+
+#[test]
+fn every_truncation_of_a_valid_doc_errors_cleanly() {
+    let doc = seed_doc();
+    assert!(from_str::<Value>(&doc).is_ok());
+    for cut in 0..doc.len() {
+        if !doc.is_char_boundary(cut) {
+            continue;
+        }
+        let prefix = &doc[..cut];
+        // Every proper prefix is either incomplete (the common case) or
+        // a complete scalar with the remainder missing; both must be
+        // typed errors for this document, never a panic.
+        assert!(
+            from_str::<Value>(prefix).is_err(),
+            "prefix {prefix:?} unexpectedly parsed"
+        );
+    }
+}
+
+proptest! {
+    // Arbitrary bytes through the wire entry point: any outcome is
+    // fine except a panic (the proptest! harness catches and reports).
+    #[test]
+    fn random_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = from_slice::<Value>(&bytes);
+    }
+
+    // Structural-token soup hits the parser's state machine much harder
+    // than raw bytes (real tokens appear); still must never panic.
+    #[test]
+    fn structural_soup_never_panics(
+        picks in proptest::collection::vec(0usize..27, 0..256),
+    ) {
+        const ALPHABET: &[u8; 27] = b"{}[]\"\\,.:eE+-0123456789ut n";
+        let text: String = picks
+            .iter()
+            .map(|&i| ALPHABET[i] as char)
+            .collect();
+        let _ = from_str::<Value>(&text);
+        let _ = from_slice::<Value>(text.as_bytes());
+    }
+
+    // Truncating and byte-flipping a valid document: parse must either
+    // succeed (the mutation kept it valid) or return a typed error.
+    #[test]
+    fn mutated_valid_doc_never_panics(
+        cut in 0usize..=120,
+        flip_at in 0usize..120,
+        flip_to in any::<u8>(),
+    ) {
+        let doc = seed_doc();
+        let mut bytes = doc.into_bytes();
+        let cut = cut.min(bytes.len());
+        bytes.truncate(cut);
+        if !bytes.is_empty() {
+            let at = flip_at % bytes.len();
+            bytes[at] = flip_to;
+        }
+        let _ = from_slice::<Value>(&bytes);
+    }
+
+    // Whatever the parser accepts, the strict serializer must be able
+    // to write back, and the round trip must be lossless — accepted
+    // input can never smuggle in a non-finite float or an overflowed
+    // integer.
+    #[test]
+    fn accepted_input_roundtrips_losslessly(
+        ints in proptest::collection::vec(any::<i64>(), 0..8),
+        floats in proptest::collection::vec(any::<f64>(), 0..8),
+        key in "[a-z]{1,12}",
+    ) {
+        let v = Value::Object(vec![
+            (key, Value::Array(
+                ints.into_iter().map(Value::I64)
+                    .chain(floats.into_iter().map(Value::F64))
+                    .collect(),
+            )),
+        ]);
+        let text = to_string(&v).expect("finite tree serialises");
+        let back: Value = from_str(&text).expect("own output reparses");
+        prop_assert_eq!(back, v);
+    }
+}
