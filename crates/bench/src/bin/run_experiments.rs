@@ -1,11 +1,14 @@
 //! Regenerates every table and figure of the paper — or, with
 //! `--bench-pipeline`, runs the engine scaling study, or, with
 //! `--epochs N`, replays the measurements through the incremental
-//! pipeline in N epoch batches.
+//! pipeline in N epoch batches, or, with `--compare-bench`, diffs two
+//! scaling reports as a regression gate.
 //!
 //! ```text
-//! run_experiments [--scale paper|large|small] [--seed N] [--out DIR]
+//! run_experiments [--scale paper|large|xlarge|small] [--seed N] [--out DIR]
 //!                 [--bench-pipeline] [--bench-samples N] [--epochs N]
+//!                 [--min-host-parallelism N] [--min-pipeline-speedup X]
+//! run_experiments --compare-bench OLD.json NEW.json [--tolerance X]
 //! ```
 //!
 //! Experiment mode writes one `<id>.txt` and one `<id>.json` per
@@ -22,11 +25,23 @@
 //! gateway load study (HTTP clients over loopback sockets against an
 //! `opeer-gateway` fronting the same service), writes the
 //! machine-readable report to `<out>/BENCH_pipeline.json` (schema
-//! `opeer-bench-pipeline/5`, documented in the README), and **exits
+//! `opeer-bench-pipeline/6`, documented in the README), and **exits
 //! non-zero if any run is not byte-identical to its sequential
 //! reference, if any serving reader observed a non-monotonic epoch, or
 //! if the gateway study's expected-status / taxonomy / zero-panic gate
-//! failed** (this is the check CI's bench-smoke job enforces).
+//! failed** (this is the check CI's bench-smoke job enforces). The
+//! optional perf-gate floors harden it further for CI's multicore perf
+//! job: `--min-host-parallelism N` fails the run on a runner with
+//! fewer than N available cores, and `--min-pipeline-speedup X` fails
+//! it when the best pipeline-phase speedup across the thread sweep
+//! lands below X.
+//!
+//! Compare mode (`--compare-bench OLD.json NEW.json`) reads two
+//! scaling reports — any schema version that carries the phase
+//! sections — and **exits non-zero if any phase at any shared thread
+//! count regressed by more than the tolerance** (20 % mean wall-clock
+//! by default, `--tolerance 0.2`-style override). CI's perf job runs
+//! it against the committed milestone report.
 //!
 //! Streaming mode (`--epochs N` without `--bench-pipeline`) drives the
 //! incremental pipeline alone: measurements are delivered in N epoch
@@ -54,6 +69,10 @@ struct Args {
     bench_pipeline: bool,
     bench_samples: usize,
     epochs: Option<usize>,
+    min_host_parallelism: Option<usize>,
+    min_pipeline_speedup: Option<f64>,
+    compare_bench: Option<(PathBuf, PathBuf)>,
+    tolerance: f64,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +83,10 @@ fn parse_args() -> Args {
         bench_pipeline: false,
         bench_samples: 5,
         epochs: None,
+        min_host_parallelism: None,
+        min_pipeline_speedup: None,
+        compare_bench: None,
+        tolerance: opeer_bench::DEFAULT_TOLERANCE,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -96,6 +119,38 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage("bad --epochs value")),
                 )
             }
+            "--min-host-parallelism" => {
+                args.min_host_parallelism = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("bad --min-host-parallelism value")),
+                )
+            }
+            "--min-pipeline-speedup" => {
+                args.min_pipeline_speedup = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&x: &f64| x.is_finite() && x > 0.0)
+                        .unwrap_or_else(|| usage("bad --min-pipeline-speedup value")),
+                )
+            }
+            "--compare-bench" => {
+                let old = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing --compare-bench OLD.json"));
+                let new = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing --compare-bench NEW.json"));
+                args.compare_bench = Some((PathBuf::from(old), PathBuf::from(new)));
+            }
+            "--tolerance" => {
+                args.tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&x: &f64| x.is_finite() && x >= 0.0)
+                    .unwrap_or_else(|| usage("bad --tolerance value"))
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -108,8 +163,10 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: run_experiments [--scale paper|large|small] [--seed N] [--out DIR] \
-                       [--bench-pipeline] [--bench-samples N] [--epochs N]"
+        "usage: run_experiments [--scale paper|large|xlarge|small] [--seed N] [--out DIR] \
+                       [--bench-pipeline] [--bench-samples N] [--epochs N] \
+                       [--min-host-parallelism N] [--min-pipeline-speedup X]\n\
+       run_experiments --compare-bench OLD.json NEW.json [--tolerance X]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -118,8 +175,53 @@ fn world_config(scale: &str, seed: u64) -> WorldConfig {
     match scale {
         "paper" => WorldConfig::paper(seed),
         "large" => WorldConfig::large(seed),
+        "xlarge" => WorldConfig::xlarge(seed),
         "small" => WorldConfig::small(seed),
         other => usage(&format!("unknown scale {other}")),
+    }
+}
+
+/// Compare mode: the regression gate between two scaling reports.
+fn run_compare_bench(old_path: &PathBuf, new_path: &PathBuf, tolerance: f64) -> ! {
+    let load = |path: &PathBuf| -> serde_json::Value {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("error: {} is not valid JSON: {e}", path.display());
+            std::process::exit(2);
+        })
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    match opeer_bench::compare_reports(&old, &new, tolerance) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        Ok(cmp) => {
+            println!(
+                "compared {} configurations ({} vs {}), tolerance {:.0} %",
+                cmp.compared,
+                old_path.display(),
+                new_path.display(),
+                tolerance * 100.0
+            );
+            for r in &cmp.regressions {
+                println!("  REGRESSION: {r}");
+            }
+            if cmp.passed() {
+                println!("  no regression past tolerance");
+                std::process::exit(0);
+            }
+            eprintln!(
+                "error: {} configuration(s) regressed past {:.0} %",
+                cmp.regressions.len(),
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
     }
 }
 
@@ -178,11 +280,31 @@ fn run_bench_pipeline(args: &Args) -> ! {
     std::fs::write(&path, json).expect("write BENCH_pipeline.json");
     println!("wrote {}", path.display());
 
+    let mut failed = false;
     if !report.all_identical {
         eprintln!("error: parallel results diverged from the sequential reference");
-        std::process::exit(1);
+        failed = true;
     }
-    std::process::exit(0);
+    if let Some(min) = args.min_host_parallelism {
+        if report.host_parallelism < min {
+            eprintln!(
+                "error: host parallelism {} below required floor {min} \
+                 (perf gate needs a multicore runner)",
+                report.host_parallelism
+            );
+            failed = true;
+        }
+    }
+    if let Some(min) = args.min_pipeline_speedup {
+        if report.best_pipeline_speedup < min {
+            eprintln!(
+                "error: best pipeline speedup {:.2}x below required floor {min}x",
+                report.best_pipeline_speedup
+            );
+            failed = true;
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
 }
 
 /// Streaming mode: the incremental epoch replay plus the identity gate.
@@ -281,6 +403,9 @@ fn print_serving(s: &opeer_bench::ServingReport) {
 
 fn main() {
     let args = parse_args();
+    if let Some((old, new)) = &args.compare_bench {
+        run_compare_bench(old, new, args.tolerance);
+    }
     if args.bench_pipeline {
         run_bench_pipeline(&args);
     }

@@ -62,14 +62,14 @@ pub fn ablations(s: &Session<'_>) -> Rendered {
         step1::apply(&input, &mut ledger);
         rows.push(row(
             "steps 1",
-            &ledger.all().cloned().collect::<Vec<_>>(),
+            &ledger.all().collect::<Vec<_>>(),
             validation,
         ));
 
         let details_vec = step3::apply(&input, &observations, &cfg.speed, &mut ledger);
         rows.push(row(
             "steps 1–3",
-            &ledger.all().cloned().collect::<Vec<_>>(),
+            &ledger.all().collect::<Vec<_>>(),
             validation,
         ));
 
@@ -78,14 +78,14 @@ pub fn ablations(s: &Session<'_>) -> Rendered {
         step4::apply(&input, &details, &cfg.alias, &mut ledger);
         rows.push(row(
             "steps 1–4",
-            &ledger.all().cloned().collect::<Vec<_>>(),
+            &ledger.all().collect::<Vec<_>>(),
             validation,
         ));
 
         step5::apply(&input, &cfg.alias, &mut ledger);
         rows.push(row(
             "steps 1–5",
-            &ledger.all().cloned().collect::<Vec<_>>(),
+            &ledger.all().collect::<Vec<_>>(),
             validation,
         ));
     }
@@ -103,7 +103,7 @@ pub fn ablations(s: &Session<'_>) -> Rendered {
         step3::apply_with_rounding(&input, &observations, &cfg.speed, &mut ledger, false);
         rows.push(row(
             "steps 1–3, no RTT′ correction",
-            &ledger.all().cloned().collect::<Vec<_>>(),
+            &ledger.all().collect::<Vec<_>>(),
             validation,
         ));
     }

@@ -253,10 +253,11 @@ struct Fig10aRow {
 pub fn fig10a(s: &Session<'_>) -> Rendered {
     // Snapshot-served: the per-IXP StepCounts rollups were built once
     // at publish time, not rescanned here.
-    let contributions = s.snapshot().step_contributions();
+    let snap = s.snapshot();
+    let contributions = snap.step_contributions();
     let input = s.input();
     let mut rows = Vec::new();
-    for (ixp_idx, counts) in &contributions {
+    for (ixp_idx, counts) in contributions {
         let ixp = &input.observed.ixps[*ixp_idx];
         if !ixp.studied {
             continue;

@@ -33,13 +33,18 @@
 //!   snapshot queries while a writer streams epoch deltas into the
 //!   [`opeer_core::service::PeeringService`].
 //! * [`run_gateway_study`] / [`GatewayReport`] — the wire-level load
-//!   study of the schema-v5 `gateway` section (and the `loadgen`
-//!   binary): real HTTP clients over loopback sockets against an
+//!   study of the `gateway` section (and the `loadgen` binary): real
+//!   HTTP clients over loopback sockets against an
 //!   [`opeer_gateway::Gateway`], with expected-status, epoch-monotonic,
 //!   taxonomy, and zero-panic gates.
+//! * [`compare_reports`] / [`Comparison`] — the schema-tolerant
+//!   regression diff behind `run_experiments --compare-bench`: two
+//!   `BENCH_pipeline.json` files compared phase by phase, failing on
+//!   any >20 % mean wall-clock regression (CI's perf gate).
 
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod experiments;
 pub mod gateway;
 pub mod scaling;
@@ -47,6 +52,7 @@ pub mod serving;
 pub mod session;
 pub mod streaming;
 
+pub use compare::{compare_reports, Comparison, Regression, DEFAULT_TOLERANCE};
 pub use experiments::{run_all, Rendered};
 pub use gateway::{run_gateway_study, GatewayPoint, GatewayReport, DEFAULT_CONNECTION_SWEEP};
 pub use scaling::{

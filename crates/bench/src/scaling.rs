@@ -4,7 +4,7 @@
 //! the streaming epoch replay, the serving-throughput sweep, and the
 //! wire-level gateway load study, with byte-identity checks and a
 //! machine-readable report (`BENCH_pipeline.json`, schema
-//! `opeer-bench-pipeline/5`).
+//! `opeer-bench-pipeline/6`).
 //!
 //! Used by the `pipeline_scaling` / `assembly_scaling` criterion
 //! benches and by `run_experiments --bench-pipeline` (which is what
@@ -98,6 +98,9 @@ pub struct ScalingReport {
     pub samples: usize,
     /// The machine's available parallelism when the study ran.
     pub host_parallelism: usize,
+    /// Best pipeline-phase speedup across the thread sweep — the number
+    /// CI's perf gate floors (new in schema 6).
+    pub best_pipeline_speedup: f64,
     /// Measurement assembly: `InferenceInput::assemble` vs
     /// `assemble_parallel` (registry fusion + campaign + corpus +
     /// `prefix2as` sharded over the pool).
@@ -306,8 +309,13 @@ pub fn run_scaling_study(
         && serving.epochs_monotonic
         && serving.tags_consistent
         && gateway.ok;
+    let best_pipeline_speedup = pipeline
+        .points
+        .iter()
+        .map(|p| p.speedup)
+        .fold(0.0, f64::max);
     ScalingReport {
-        schema: "opeer-bench-pipeline/5",
+        schema: "opeer-bench-pipeline/6",
         world: world_label.to_string(),
         seed,
         ixps: input.observed.ixps.len(),
@@ -315,6 +323,7 @@ pub fn run_scaling_study(
         inferences: sequential.inferences.len(),
         samples,
         host_parallelism: ParallelConfig::available_parallelism(),
+        best_pipeline_speedup,
         assembly,
         pipeline,
         end_to_end,
@@ -358,9 +367,21 @@ mod tests {
         assert!(report.assembly.speedup_at(2).is_some());
         assert!(report.pipeline.sequential_ms.min > 0.0);
         assert!(report.assembly.sequential_ms.min > 0.0);
+        assert!(
+            (report.best_pipeline_speedup
+                - report
+                    .pipeline
+                    .points
+                    .iter()
+                    .map(|p| p.speedup)
+                    .fold(0.0, f64::max))
+            .abs()
+                < 1e-12
+        );
         let json = serde_json::to_string(&report).expect("report serialises");
         assert!(json.contains("\"schema\":"));
-        assert!(json.contains("opeer-bench-pipeline/5"));
+        assert!(json.contains("opeer-bench-pipeline/6"));
+        assert!(json.contains("\"best_pipeline_speedup\":"));
         assert!(json.contains("\"assembly\":"));
         assert!(json.contains("\"end_to_end\":"));
         assert!(json.contains("\"streaming\":"));

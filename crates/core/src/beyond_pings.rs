@@ -122,7 +122,7 @@ pub fn pingless_rtt_colo(
     let observations = as_observations(input, &rtts);
     let mut ledger = crate::steps::Ledger::new();
     crate::steps::step3::apply(input, &observations, speed, &mut ledger);
-    ledger.all().cloned().collect()
+    ledger.all().collect()
 }
 
 #[cfg(test)]

@@ -253,7 +253,27 @@ fn phase_steps123(input: &InferenceInput<'_>, cfg: &PipelineConfig, threads: usi
     }
 
     // ---- step 3: per-target shards over the merged observations ----
-    let targets: Vec<&RttObservation> = observations.values().collect();
+    // The consolidated map is copied into a contiguous row array
+    // (observations are small `Copy` structs) so shards scan cache-line
+    // neighbours instead of chasing tree nodes; order is the map's
+    // address order either way.
+    let targets: Vec<RttObservation> = observations.values().copied().collect();
+
+    // The VP→facility distance rows, filled on the pool: one row per
+    // unique VP location, sharded over the location array. Row i only
+    // depends on location i, so any partition assembles identically.
+    let origins = step3::FacilityDistances::origins(input);
+    let vp_locs = step3::FacilityDistances::unique_vp_locations(targets.iter());
+    let row_shards = shard_ranges(vp_locs.len(), n_shards);
+    let row_chunks: Vec<Vec<Vec<f64>>> = map_indexed(row_shards.len(), threads, |i| {
+        vp_locs[row_shards[i].clone()]
+            .iter()
+            .map(|vp| opeer_geo::batch::distances_km(&origins, vp))
+            .collect()
+    });
+    let dists =
+        step3::FacilityDistances::from_rows(&vp_locs, row_chunks.into_iter().flatten().collect());
+
     let target_shards = shard_ranges(targets.len(), n_shards);
     let honor = cfg.honor_lg_rounding;
     let step3_out: Vec<Step3Shard> = map_indexed(target_shards.len(), threads, |i| {
@@ -261,8 +281,9 @@ fn phase_steps123(input: &InferenceInput<'_>, cfg: &PipelineConfig, threads: usi
             ledger: Ledger::new(),
             details: Vec::with_capacity(target_shards[i].len()),
         };
-        for &o in &targets[target_shards[i].clone()] {
-            let (detail, inference) = step3::evaluate_observation(input, o, &cfg.speed, honor);
+        for o in &targets[target_shards[i].clone()] {
+            let (detail, inference) =
+                step3::evaluate_observation_batched(input, o, &cfg.speed, honor, &dists);
             if let Some(inf) = inference {
                 shard.ledger.record(inf);
             }
@@ -372,7 +393,7 @@ fn phase_steps45(
     }
 
     PipelineResult {
-        inferences: ledger.all().cloned().collect(),
+        inferences: ledger.all().collect(),
         unclassified,
         observations,
         step3_details,

@@ -308,6 +308,10 @@ impl<'w> IncrementalPipeline<'w> {
             let (observed, table1) = *rev;
             self.input.observed = observed;
             self.input.table1 = table1;
+            // The dense-id universes are derived from the observed
+            // world, so a registry revision invalidates them; rebuilt
+            // here, once, exactly like assembly does.
+            self.input.interns = crate::intern::InternTables::from_observed(&self.input.observed);
         }
         let campaign_start = self.input.campaign.observations.len();
         if let Some(partial) = delta.campaign {
@@ -627,7 +631,7 @@ impl<'w> IncrementalPipeline<'w> {
             }
         }
         self.result = PipelineResult {
-            inferences: ledger.all().cloned().collect(),
+            inferences: ledger.all().collect(),
             unclassified,
             observations: self.observations.clone(),
             step3_details: self.step3.values().map(|(d, _)| *d).collect(),

@@ -13,6 +13,7 @@
 //! reads ground-truth fields from it.
 
 use crate::engine::{map_indexed, shard_ranges, ParallelConfig};
+use crate::intern::InternTables;
 use opeer_bgp::Collector;
 use opeer_measure::campaign::{run_campaign, CampaignConfig, CampaignResult};
 use opeer_measure::latency::LatencyModel;
@@ -40,6 +41,10 @@ pub struct InferenceInput<'w> {
     pub corpus: Vec<Traceroute>,
     /// Routeviews-style IP-to-AS mapping.
     pub ip2as: IpToAsMap,
+    /// Dense-id tables over the observed member interfaces and ASNs,
+    /// built once per observed world (derived from `observed`; rebuilt
+    /// whenever a registry revision replaces it).
+    pub interns: InternTables,
 }
 
 /// The default sub-configurations every assembly entry point derives
@@ -92,6 +97,7 @@ impl<'w> InferenceInput<'w> {
         let campaign = run_campaign(world, &vps, *campaign_cfg);
         let corpus = build_corpus(world, *corpus_cfg);
         let ip2as = Collector::build(world, collector_peer(world)).prefix2as();
+        let interns = InternTables::from_observed(&observed);
         InferenceInput {
             world,
             observed,
@@ -100,6 +106,7 @@ impl<'w> InferenceInput<'w> {
             campaign,
             corpus,
             ip2as,
+            interns,
         }
     }
 
@@ -117,6 +124,7 @@ impl<'w> InferenceInput<'w> {
         let (observed, table1) = build_observed_world(world, &registry);
         let vps = discover_vps(world, seed);
         let ip2as = Collector::build(world, collector_peer(world)).prefix2as();
+        let interns = InternTables::from_observed(&observed);
         InferenceInput {
             world,
             observed,
@@ -125,6 +133,7 @@ impl<'w> InferenceInput<'w> {
             campaign: CampaignResult::default(),
             corpus: Vec::new(),
             ip2as,
+            interns,
         }
     }
 
@@ -263,6 +272,10 @@ impl<'w> InferenceInput<'w> {
         let (observed, table1) = observed_out.expect("registry task ran");
         let ip2as = ip2as_out.expect("ip2as task ran");
 
+        // Interning happens once, after the registry-fusion merge, on
+        // the calling thread — id assignment can never depend on shard
+        // scheduling or thread count.
+        let interns = InternTables::from_observed(&observed);
         InferenceInput {
             world,
             observed,
@@ -271,6 +284,7 @@ impl<'w> InferenceInput<'w> {
             campaign,
             corpus: corpus_out,
             ip2as,
+            interns,
         }
     }
 
@@ -307,6 +321,7 @@ impl<'w> InferenceInput<'w> {
             && self.campaign == other.campaign
             && self.corpus == other.corpus
             && self.ip2as == other.ip2as
+            && self.interns == other.interns
     }
 
     /// The vantage point record for a VP id.

@@ -78,6 +78,7 @@ pub mod evolution;
 pub mod features;
 pub mod incremental;
 pub mod input;
+pub mod intern;
 pub mod metrics;
 pub mod pipeline;
 pub mod routing_impl;
@@ -89,6 +90,7 @@ pub use baseline::run_baseline;
 pub use engine::{assemble_and_run_parallel, run_pipeline_parallel, ParallelConfig};
 pub use incremental::{run_pipeline_incremental, IncrementalPipeline, InputDelta};
 pub use input::InferenceInput;
+pub use intern::{AddrId, AsnId, Intern, InternTables};
 pub use metrics::{score, Metrics};
 pub use pipeline::{run_pipeline, ConfigError, PipelineConfig, PipelineResult};
 pub use service::{PeeringService, QueryRequest, QueryResponse, ServiceError, Snapshot};

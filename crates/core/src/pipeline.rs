@@ -331,7 +331,7 @@ pub fn run_pipeline(input: &InferenceInput<'_>, cfg: &PipelineConfig) -> Pipelin
     }
 
     PipelineResult {
-        inferences: ledger.all().cloned().collect(),
+        inferences: ledger.all().collect(),
         unclassified,
         observations,
         step3_details,
@@ -358,16 +358,16 @@ pub fn run_standalone_steps(
 
     let mut l1 = Ledger::new();
     step1::apply(input, &mut l1);
-    out.insert(Step::PortCapacity, l1.all().cloned().collect());
+    out.insert(Step::PortCapacity, l1.all().collect());
 
     let observations = step2::consolidate(input);
     let mut l23 = Ledger::new();
     let details_vec = step3::apply(input, &observations, &cfg.speed, &mut l23);
-    out.insert(Step::RttColo, l23.all().cloned().collect());
+    out.insert(Step::RttColo, l23.all().collect());
 
     let mut priors = l1.clone();
     for inf in l23.all() {
-        priors.record(inf.clone());
+        priors.record(inf);
     }
     let details_map: BTreeMap<Ipv4Addr, Step3Detail> =
         details_vec.iter().map(|d| (d.addr, *d)).collect();

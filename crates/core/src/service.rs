@@ -30,15 +30,20 @@
 //! A [`Snapshot`] is not a bare [`PipelineResult`]: at publish time it
 //! builds the lookup structure each query family needs, so the typed
 //! queries are O(1)/O(log n)/O(k) instead of O(n) scans over the
-//! inference vector:
+//! inference vector. The indexes are dense-id flat arrays rather than
+//! per-key maps (ARCHITECTURE.md, "memory layout"):
 //!
 //! * by interface address → inference / unclassified record
-//!   ([`Snapshot::verdict`], [`Snapshot::explain`]);
+//!   ([`Snapshot::verdict`], [`Snapshot::explain`]) — binary search on
+//!   the address-sorted result vectors themselves plus one sorted side
+//!   index for the residual records;
 //! * by member ASN → that member's interfaces, step-4 router findings,
-//!   and colocation facilities ([`Snapshot::asn_report`]);
+//!   and colocation facilities ([`Snapshot::asn_report`]) — CSR rows
+//!   over the input's interned [`crate::intern::AsnId`] universe;
 //! * per-IXP rollups — verdict tallies, per-step [`StepCounts`], remote
-//!   share — computed once ([`Snapshot::ixp_report`],
-//!   [`Snapshot::ixp_rollups`]).
+//!   share, step contributions — computed once
+//!   ([`Snapshot::ixp_report`], [`Snapshot::ixp_rollups`],
+//!   [`Snapshot::step_contributions`]).
 //!
 //! ## The contract
 //!
@@ -55,6 +60,7 @@
 use crate::engine::ParallelConfig;
 use crate::incremental::{IncrementalPipeline, InputDelta};
 use crate::input::InferenceInput;
+use crate::intern::{AsnId, InternTables};
 use crate::pipeline::{PipelineConfig, PipelineResult, StepCounts};
 use crate::steps::step2::RttObservation;
 use crate::steps::step3::Step3Detail;
@@ -288,35 +294,81 @@ pub enum QueryResponse {
 // snapshot
 // ---------------------------------------------------------------------
 
-/// A member ASN's interface index entries.
-#[derive(Default)]
-struct AsnIndex {
-    /// Indices into `result.inferences`, address order.
-    inferred: Vec<usize>,
-    /// Indices into `result.unclassified`.
-    unclassified: Vec<usize>,
+/// A CSR (compressed sparse row) index over dense [`AsnId`]s: for ASN
+/// id `a`, `slots[offsets[a]..offsets[a+1]]` are row indices into some
+/// result vector, in that vector's iteration order. Flat arrays — one
+/// binary search on the interner, then a contiguous slice — replace the
+/// seed's `BTreeMap<Asn, Vec<usize>>` per-key allocations.
+#[derive(Debug, Clone, Default)]
+struct AsnCsr {
+    offsets: Vec<u32>,
+    slots: Vec<u32>,
+}
+
+impl AsnCsr {
+    /// Builds the index with a counting sort: one pass to size each
+    /// row, one to fill, preserving the input's iteration order within
+    /// every row. Items without an interned ASN are skipped (they can
+    /// never be queried — queries key on observed member ASNs).
+    fn build(n_asns: usize, items: impl Iterator<Item = Option<AsnId>> + Clone) -> AsnCsr {
+        let mut offsets = vec![0u32; n_asns + 1];
+        for id in items.clone().flatten() {
+            offsets[id.0 as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut slots = vec![0u32; *offsets.last().unwrap_or(&0) as usize];
+        let mut fill: Vec<u32> = offsets.clone();
+        for (row, id) in items.enumerate() {
+            if let Some(id) = id {
+                slots[fill[id.0 as usize] as usize] = row as u32;
+                fill[id.0 as usize] += 1;
+            }
+        }
+        AsnCsr { offsets, slots }
+    }
+
+    /// The row indices of one ASN id, in input iteration order.
+    fn row(&self, id: AsnId) -> &[u32] {
+        let a = id.0 as usize;
+        &self.slots[self.offsets[a] as usize..self.offsets[a + 1] as usize]
+    }
 }
 
 /// An immutable, epoch-versioned view of the pipeline output with the
 /// query indexes built once at publish time. Cheap to share
 /// (`Arc<Snapshot>`); all methods take `&self` and never lock.
+///
+/// The indexes are dense-id flat arrays, not maps (see the
+/// "memory layout" section of ARCHITECTURE.md): point lookups binary
+/// search the result vectors directly — `result.inferences` and
+/// `result.step3_details` are already address-sorted, so they *are*
+/// their own index — and the per-ASN families are CSR rows over the
+/// input's interned [`AsnId`] universe.
 pub struct Snapshot {
     epoch: u64,
     result: PipelineResult,
-    /// Interface address → index into `result.inferences`.
-    by_addr: BTreeMap<Ipv4Addr, usize>,
-    /// Interface address → index into `result.unclassified`.
-    unclassified_by_addr: BTreeMap<Ipv4Addr, usize>,
-    /// Member ASN → its interface entries.
-    by_asn: BTreeMap<Asn, AsnIndex>,
-    /// Interface address → index into `result.step3_details`.
-    details_by_addr: BTreeMap<Ipv4Addr, usize>,
-    /// Member ASN → indices into `result.multi_ixp_routers`.
-    findings_by_asn: BTreeMap<Asn, Vec<usize>>,
-    /// Member ASN → colocation facility indices (fused registry view).
-    colo: BTreeMap<Asn, Vec<usize>>,
+    /// The dense-id tables of the input this snapshot was published
+    /// from (cloned — the snapshot outlives the write side's epoch).
+    interns: InternTables,
+    /// `(addr, index into result.unclassified)`, sorted by address (the
+    /// residual scan emits (ixp, addr) order, so it needs this index;
+    /// `inferences`/`step3_details` do not).
+    unclassified_by_addr: Vec<(Ipv4Addr, u32)>,
+    /// ASN id → indices into `result.inferences`, address order.
+    asn_inferred: AsnCsr,
+    /// ASN id → indices into `result.unclassified`.
+    asn_unclassified: AsnCsr,
+    /// ASN id → indices into `result.multi_ixp_routers`.
+    findings_by_asn: AsnCsr,
+    /// ASN id → colocation facility indices (fused registry view).
+    colo: Vec<Vec<usize>>,
     /// One rollup per observed IXP.
     ixps: Vec<IxpRollup>,
+    /// Per-IXP step contributions, computed once at publish time
+    /// (the seed rebuilt this map on every call).
+    contributions: BTreeMap<usize, StepCounts>,
     /// Overall `remote / inferred` share.
     remote_share: f64,
 }
@@ -325,10 +377,16 @@ impl Snapshot {
     /// Builds a snapshot (the publish-time index pass) from the
     /// accumulated input's registry view and the retained result.
     fn build(epoch: u64, input: &InferenceInput<'_>, result: PipelineResult) -> Snapshot {
-        let mut by_addr = BTreeMap::new();
-        let mut by_asn: BTreeMap<Asn, AsnIndex> = BTreeMap::new();
-        let mut details_by_addr = BTreeMap::new();
-        let mut findings_by_asn: BTreeMap<Asn, Vec<usize>> = BTreeMap::new();
+        // The binary-searchable result vectors must be address-sorted;
+        // both come out of address-ordered ledger/consolidation merges.
+        debug_assert!(result.inferences.windows(2).all(|w| w[0].addr < w[1].addr));
+        debug_assert!(result
+            .step3_details
+            .windows(2)
+            .all(|w| w[0].addr < w[1].addr));
+
+        let interns = input.interns.clone();
+        let n_asns = interns.asns.len();
 
         let mut ixps: Vec<IxpRollup> = input
             .observed
@@ -347,9 +405,7 @@ impl Snapshot {
             })
             .collect();
 
-        for (idx, inf) in result.inferences.iter().enumerate() {
-            by_addr.insert(inf.addr, idx);
-            by_asn.entry(inf.asn).or_default().inferred.push(idx);
+        for inf in &result.inferences {
             if let Some(rollup) = ixps.get_mut(inf.ixp) {
                 match inf.verdict {
                     Verdict::Local => rollup.local += 1,
@@ -358,39 +414,66 @@ impl Snapshot {
                 rollup.counts.record(inf.step);
             }
         }
-        let mut unclassified_by_addr = BTreeMap::new();
-        for (idx, u) in result.unclassified.iter().enumerate() {
-            unclassified_by_addr.insert(u.addr, idx);
-            by_asn.entry(u.asn).or_default().unclassified.push(idx);
+        let mut unclassified_by_addr: Vec<(Ipv4Addr, u32)> = result
+            .unclassified
+            .iter()
+            .enumerate()
+            .map(|(idx, u)| (u.addr, idx as u32))
+            .collect();
+        for u in &result.unclassified {
             if let Some(rollup) = ixps.get_mut(u.ixp) {
                 rollup.unclassified += 1;
             }
         }
+        // Stable by-address sort, then keep the *last* record per
+        // address — the order a map insertion pass would have kept.
+        unclassified_by_addr.sort_by_key(|&(addr, _)| addr);
+        unclassified_by_addr.reverse();
+        unclassified_by_addr.dedup_by_key(|&mut (addr, _)| addr);
+        unclassified_by_addr.reverse();
+
         for rollup in &mut ixps {
             let inferred = rollup.local + rollup.remote;
             if inferred > 0 {
                 rollup.remote_share = rollup.remote as f64 / inferred as f64;
             }
         }
-        for (idx, d) in result.step3_details.iter().enumerate() {
-            details_by_addr.insert(d.addr, idx);
-        }
-        for (idx, finding) in result.multi_ixp_routers.iter().enumerate() {
-            findings_by_asn.entry(finding.asn).or_default().push(idx);
-        }
-        // Colocation records only for member ASNs the snapshot can be
-        // asked about (the fused per-AS table also covers non-members).
-        let colo = by_asn
+        // Per-IXP step contributions: computed once here, served by
+        // reference forever after (the seed rebuilt the map per call —
+        // once per rollup consumer, every publish).
+        let contributions = ixps
+            .iter()
+            .filter(|r| r.counts.total() > 0)
+            .map(|r| (r.ixp, r.counts))
+            .collect();
+
+        let asn_inferred = AsnCsr::build(
+            n_asns,
+            result.inferences.iter().map(|i| interns.asn_id(i.asn)),
+        );
+        let asn_unclassified = AsnCsr::build(
+            n_asns,
+            result.unclassified.iter().map(|u| interns.asn_id(u.asn)),
+        );
+        let findings_by_asn = AsnCsr::build(
+            n_asns,
+            result
+                .multi_ixp_routers
+                .iter()
+                .map(|f| interns.asn_id(f.asn)),
+        );
+        // Colocation rows for the whole interned universe (dense by
+        // ASN id; the fused per-AS table also covers non-members).
+        let colo = interns
+            .asns
             .keys()
+            .iter()
             .map(|&asn| {
-                (
-                    asn,
-                    input
-                        .observed
-                        .facilities_of_as(asn)
-                        .map(<[usize]>::to_vec)
-                        .unwrap_or_default(),
-                )
+                input
+                    .observed
+                    .facilities_of_as(asn)
+                    .map(<[usize]>::to_vec)
+                    .unwrap_or_default()
             })
             .collect();
         let remote_share = result.remote_share();
@@ -398,13 +481,14 @@ impl Snapshot {
         Snapshot {
             epoch,
             result,
-            by_addr,
+            interns,
             unclassified_by_addr,
-            by_asn,
-            details_by_addr,
+            asn_inferred,
+            asn_unclassified,
             findings_by_asn,
             colo,
             ixps,
+            contributions,
             remote_share,
         }
     }
@@ -438,15 +522,12 @@ impl Snapshot {
         &self.ixps
     }
 
-    /// Per-IXP step-contribution counts (Fig. 10a), served from the
-    /// rollups: only IXPs with at least one inference appear, exactly
-    /// like [`PipelineResult::step_contributions`].
-    pub fn step_contributions(&self) -> BTreeMap<usize, StepCounts> {
-        self.ixps
-            .iter()
-            .filter(|r| r.counts.total() > 0)
-            .map(|r| (r.ixp, r.counts))
-            .collect()
+    /// Per-IXP step-contribution counts (Fig. 10a), computed once at
+    /// publish time and served by reference: only IXPs with at least
+    /// one inference appear, exactly like
+    /// [`PipelineResult::step_contributions`].
+    pub fn step_contributions(&self) -> &BTreeMap<usize, StepCounts> {
+        &self.contributions
     }
 
     /// Point lookup: the verdict for one member interface at one IXP.
@@ -475,9 +556,27 @@ impl Snapshot {
         Ok(answer)
     }
 
+    /// Index into `result.inferences` for an address — the inference
+    /// vector is address-sorted, so it is its own index.
+    fn inference_idx(&self, addr: Ipv4Addr) -> Option<usize> {
+        self.result
+            .inferences
+            .binary_search_by(|i| i.addr.cmp(&addr))
+            .ok()
+    }
+
+    /// Index into `result.unclassified` for an address, via the sorted
+    /// side index.
+    fn unclassified_idx(&self, addr: Ipv4Addr) -> Option<usize> {
+        self.unclassified_by_addr
+            .binary_search_by(|&(a, _)| a.cmp(&addr))
+            .ok()
+            .map(|pos| self.unclassified_by_addr[pos].1 as usize)
+    }
+
     /// The verdict entry for an address regardless of IXP, if observed.
     fn answer_for_addr(&self, addr: Ipv4Addr) -> Option<VerdictAnswer> {
-        if let Some(&idx) = self.by_addr.get(&addr) {
+        if let Some(idx) = self.inference_idx(addr) {
             let inf = &self.result.inferences[idx];
             return Some(VerdictAnswer {
                 epoch: self.epoch,
@@ -488,7 +587,7 @@ impl Snapshot {
                 step: Some(inf.step),
             });
         }
-        let &idx = self.unclassified_by_addr.get(&addr)?;
+        let idx = self.unclassified_idx(addr)?;
         let u = &self.result.unclassified[idx];
         Some(VerdictAnswer {
             epoch: self.epoch,
@@ -503,16 +602,24 @@ impl Snapshot {
     /// Member report: every observed interface of an ASN with its
     /// verdict, plus tallies. O(k) in the member's interface count.
     pub fn asn_report(&self, asn: Asn) -> Result<AsnReport, ServiceError> {
-        let index = self
-            .by_asn
-            .get(&asn)
+        let id = self
+            .interns
+            .asn_id(asn)
             .ok_or(ServiceError::UnknownAsn { asn })?;
+        let (inferred, unclassified_rows) =
+            (self.asn_inferred.row(id), self.asn_unclassified.row(id));
+        if inferred.is_empty() && unclassified_rows.is_empty() {
+            // Interned (a member somewhere in the registry universe)
+            // but without a single interface record in this result —
+            // the same `UnknownAsn` the map-keyed index answered.
+            return Err(ServiceError::UnknownAsn { asn });
+        }
         let mut interfaces: Vec<VerdictAnswer> =
-            Vec::with_capacity(index.inferred.len() + index.unclassified.len());
+            Vec::with_capacity(inferred.len() + unclassified_rows.len());
         let mut counts = StepCounts::default();
         let (mut local, mut remote) = (0, 0);
-        for &idx in &index.inferred {
-            let inf = &self.result.inferences[idx];
+        for &idx in inferred {
+            let inf = &self.result.inferences[idx as usize];
             match inf.verdict {
                 Verdict::Local => local += 1,
                 Verdict::Remote => remote += 1,
@@ -527,8 +634,8 @@ impl Snapshot {
                 step: Some(inf.step),
             });
         }
-        for &idx in &index.unclassified {
-            let u = &self.result.unclassified[idx];
+        for &idx in unclassified_rows {
+            let u = &self.result.unclassified[idx as usize];
             interfaces.push(VerdictAnswer {
                 epoch: self.epoch,
                 addr: u.addr,
@@ -538,7 +645,7 @@ impl Snapshot {
                 step: None,
             });
         }
-        let unclassified = index.unclassified.len();
+        let unclassified = unclassified_rows.len();
         interfaces.sort_by_key(|a| a.addr);
         let mut ixps: Vec<usize> = interfaces.iter().map(|a| a.ixp).collect();
         ixps.sort_unstable();
@@ -581,22 +688,25 @@ impl Snapshot {
                 addr: iface,
             })?;
         let evidence = self
-            .by_addr
-            .get(&iface)
-            .map(|&idx| self.result.inferences[idx].evidence.clone());
+            .inference_idx(iface)
+            .map(|idx| self.result.inferences[idx].evidence.clone());
         let observation = self.result.observations.get(&iface).copied();
         let annulus = self
-            .details_by_addr
-            .get(&iface)
-            .map(|&idx| self.result.step3_details[idx]);
-        let colo_facilities = self.colo.get(&base.asn).cloned().unwrap_or_default();
-        let multi_ixp_witnesses = self
-            .findings_by_asn
-            .get(&base.asn)
-            .map(|indices| {
-                indices
+            .result
+            .step3_details
+            .binary_search_by(|d| d.addr.cmp(&iface))
+            .ok()
+            .map(|idx| self.result.step3_details[idx]);
+        let asn_id = self.interns.asn_id(base.asn);
+        let colo_facilities = asn_id
+            .map(|id| self.colo[id.0 as usize].clone())
+            .unwrap_or_default();
+        let multi_ixp_witnesses = asn_id
+            .map(|id| {
+                self.findings_by_asn
+                    .row(id)
                     .iter()
-                    .map(|&idx| &self.result.multi_ixp_routers[idx])
+                    .map(|&idx| &self.result.multi_ixp_routers[idx as usize])
                     .filter(|f| f.ifaces.contains(&iface) || f.next_hop_ixps.contains(&base.ixp))
                     .cloned()
                     .collect()
@@ -842,8 +952,30 @@ mod tests {
             );
             assert_eq!(rollup.name, input.observed.ixps[rollup.ixp].name);
         }
-        assert_eq!(snap.step_contributions(), one_shot.step_contributions());
+        assert_eq!(*snap.step_contributions(), one_shot.step_contributions());
         assert_eq!(snap.remote_share(), one_shot.remote_share());
+    }
+
+    #[test]
+    fn step_contributions_are_computed_once_per_publish() {
+        let world = WorldConfig::small(11).generate();
+        let svc = PeeringService::build(
+            InferenceInput::assemble(&world, 11),
+            &PipelineConfig::default(),
+            &ParallelConfig::new(1),
+        );
+        let snap = svc.snapshot();
+        // Two calls return the same allocation: the map is a publish-time
+        // field, not rebuilt per call (the seed's behavior).
+        assert!(std::ptr::eq(
+            snap.step_contributions(),
+            snap.step_contributions()
+        ));
+        // And the cached map still matches the naive recomputation.
+        assert_eq!(
+            *snap.step_contributions(),
+            snap.result().step_contributions()
+        );
     }
 
     #[test]

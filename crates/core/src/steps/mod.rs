@@ -14,22 +14,48 @@ pub mod step3;
 pub mod step4;
 pub mod step5;
 
-use crate::types::{Inference, Verdict};
+use crate::types::{Inference, Step, Verdict};
 use opeer_net::Asn;
-use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
+
+/// Tail length at which the sorted-index vectors are re-normalized.
+/// Lookups scan at most this many unsorted slots after the binary
+/// search, and each normalization is a linear merge, so inserts stay
+/// amortized O(log n) with no per-insert memmove.
+const TAIL_MAX: usize = 64;
 
 /// The running record of inferences, keyed by interface address.
 ///
-/// A secondary per-ASN index (`by_asn`) is maintained on every record so
-/// that [`Ledger::verdicts_of_asn`] answers in O(k) for a member with k
-/// classified interfaces instead of rescanning every entry. The index
-/// stores addresses in a `BTreeSet`, so per-ASN iteration order stays
-/// the address order a full scan would have produced.
+/// Struct-of-arrays layout: each recorded inference occupies one *slot*
+/// across the parallel columns (`addrs`/`ixps`/`asns`/`verdicts`/
+/// `steps`/`evidence`). Columns are append-only — a slot never moves —
+/// so ordering is carried entirely by two index vectors:
+///
+/// * `order`: slot ids sorted by interface address — a sorted prefix
+///   (`..sorted_len`) plus an unsorted tail of at most `TAIL_MAX`
+///   recent inserts;
+/// * `by_asn`: `(asn, slot)` pairs sorted by `(asn, address)`, same
+///   prefix+tail scheme, serving [`Ledger::verdicts_of_asn`] without a
+///   full scan.
+///
+/// Lookups binary-search the sorted prefix and linearly scan the short
+/// tail; both tails are merged back into their prefixes whenever they
+/// reach `TAIL_MAX`. Iteration ([`Ledger::all`]) and the per-ASN
+/// index always present **address order** — exactly the order the old
+/// `BTreeMap`-backed implementation produced — so every downstream
+/// merge and report is byte-identical to the seed layout.
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
-    entries: BTreeMap<Ipv4Addr, Inference>,
-    by_asn: BTreeMap<Asn, BTreeSet<Ipv4Addr>>,
+    addrs: Vec<Ipv4Addr>,
+    ixps: Vec<usize>,
+    asns: Vec<Asn>,
+    verdicts: Vec<Verdict>,
+    steps: Vec<Step>,
+    evidence: Vec<String>,
+    order: Vec<u32>,
+    sorted_len: usize,
+    by_asn: Vec<(Asn, u32)>,
+    by_asn_sorted_len: usize,
 }
 
 impl Ledger {
@@ -38,33 +64,106 @@ impl Ledger {
         Self::default()
     }
 
+    /// The slot holding `addr`, if recorded: binary search over the
+    /// sorted prefix, then a linear scan of the short insertion tail.
+    #[inline]
+    fn slot_of(&self, addr: Ipv4Addr) -> Option<u32> {
+        let prefix = &self.order[..self.sorted_len];
+        if let Ok(i) = prefix.binary_search_by(|&s| self.addrs[s as usize].cmp(&addr)) {
+            return Some(prefix[i]);
+        }
+        self.order[self.sorted_len..]
+            .iter()
+            .copied()
+            .find(|&s| self.addrs[s as usize] == addr)
+    }
+
+    /// Materializes one slot as an owned [`Inference`].
+    fn inference_at(&self, slot: u32) -> Inference {
+        let s = slot as usize;
+        Inference {
+            addr: self.addrs[s],
+            ixp: self.ixps[s],
+            asn: self.asns[s],
+            verdict: self.verdicts[s],
+            step: self.steps[s],
+            evidence: self.evidence[s].clone(),
+        }
+    }
+
+    /// Merges both index tails back into their sorted prefixes (linear,
+    /// out of place; slots themselves never move).
+    fn normalize(&mut self) {
+        if self.sorted_len < self.order.len() {
+            let addrs = &self.addrs;
+            self.order[self.sorted_len..].sort_unstable_by_key(|&s| addrs[s as usize]);
+            self.order = merge_sorted(
+                &self.order[..self.sorted_len],
+                &self.order[self.sorted_len..],
+                |&s| addrs[s as usize],
+            );
+            self.sorted_len = self.order.len();
+        }
+        if self.by_asn_sorted_len < self.by_asn.len() {
+            let addrs = &self.addrs;
+            self.by_asn[self.by_asn_sorted_len..]
+                .sort_unstable_by_key(|&(asn, s)| (asn, addrs[s as usize]));
+            self.by_asn = merge_sorted(
+                &self.by_asn[..self.by_asn_sorted_len],
+                &self.by_asn[self.by_asn_sorted_len..],
+                |&(asn, s)| (asn, addrs[s as usize]),
+            );
+            self.by_asn_sorted_len = self.by_asn.len();
+        }
+    }
+
+    /// All slots in address order, tolerating a pending tail.
+    fn sorted_order(&self) -> Vec<u32> {
+        if self.sorted_len == self.order.len() {
+            return self.order.clone();
+        }
+        let mut tail: Vec<u32> = self.order[self.sorted_len..].to_vec();
+        tail.sort_unstable_by_key(|&s| self.addrs[s as usize]);
+        merge_sorted(&self.order[..self.sorted_len], &tail, |&s| {
+            self.addrs[s as usize]
+        })
+    }
+
     /// Whether an interface already has a verdict.
     pub fn known(&self, addr: Ipv4Addr) -> bool {
-        self.entries.contains_key(&addr)
+        self.slot_of(addr).is_some()
     }
 
     /// The verdict for an interface, if any.
     pub fn verdict(&self, addr: Ipv4Addr) -> Option<Verdict> {
-        self.entries.get(&addr).map(|i| i.verdict)
+        self.slot_of(addr).map(|s| self.verdicts[s as usize])
     }
 
-    /// The full inference for an interface, if any.
-    pub fn get(&self, addr: Ipv4Addr) -> Option<&Inference> {
-        self.entries.get(&addr)
+    /// The full inference for an interface, if any (owned — the ledger
+    /// stores columns, not `Inference` structs).
+    pub fn get(&self, addr: Ipv4Addr) -> Option<Inference> {
+        self.slot_of(addr).map(|s| self.inference_at(s))
     }
 
     /// Records an inference unless the interface is already classified
     /// (earlier steps win). Returns whether it was recorded.
     pub fn record(&mut self, inf: Inference) -> bool {
-        use std::collections::btree_map::Entry;
-        match self.entries.entry(inf.addr) {
-            Entry::Occupied(_) => false,
-            Entry::Vacant(v) => {
-                self.by_asn.entry(inf.asn).or_default().insert(inf.addr);
-                v.insert(inf);
-                true
-            }
+        if self.slot_of(inf.addr).is_some() {
+            return false;
         }
+        let slot = self.addrs.len() as u32;
+        self.addrs.push(inf.addr);
+        self.ixps.push(inf.ixp);
+        self.asns.push(inf.asn);
+        self.verdicts.push(inf.verdict);
+        self.steps.push(inf.step);
+        self.evidence.push(inf.evidence);
+        self.order.push(slot);
+        self.by_asn.push((inf.asn, slot));
+        if self.order.len() - self.sorted_len >= TAIL_MAX {
+            self.normalize();
+        }
+        true
     }
 
     /// Merges another ledger into this one, preserving the
@@ -75,7 +174,7 @@ impl Ledger {
     /// actually taken from `other`.
     pub fn absorb(&mut self, other: Ledger) -> usize {
         let mut taken = 0;
-        for (_, inf) in other.entries {
+        for inf in other.into_sorted_vec() {
             if self.record(inf) {
                 taken += 1;
             }
@@ -83,34 +182,104 @@ impl Ledger {
         taken
     }
 
-    /// All inferences, sorted by address.
-    pub fn all(&self) -> impl Iterator<Item = &Inference> {
-        self.entries.values()
+    /// Consumes the ledger into owned inferences in address order,
+    /// moving the evidence strings out without cloning.
+    fn into_sorted_vec(self) -> Vec<Inference> {
+        let order = self.sorted_order();
+        let Ledger {
+            addrs,
+            ixps,
+            asns,
+            verdicts,
+            steps,
+            mut evidence,
+            ..
+        } = self;
+        order
+            .into_iter()
+            .map(|slot| {
+                let s = slot as usize;
+                Inference {
+                    addr: addrs[s],
+                    ixp: ixps[s],
+                    asn: asns[s],
+                    verdict: verdicts[s],
+                    step: steps[s],
+                    evidence: std::mem::take(&mut evidence[s]),
+                }
+            })
+            .collect()
+    }
+
+    /// All inferences, sorted by address (owned — see [`Ledger::get`]).
+    pub fn all(&self) -> impl Iterator<Item = Inference> + '_ {
+        self.sorted_order()
+            .into_iter()
+            .map(move |s| self.inference_at(s))
     }
 
     /// Number of inferences.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.addrs.len()
     }
 
     /// Whether no inference has been made.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.addrs.is_empty()
     }
 
     /// Verdicts already made for one member ASN, with their IXPs, in
-    /// interface-address order. Served from the per-ASN index — no full
-    /// ledger scan.
+    /// interface-address order. Served from the per-ASN index — a
+    /// binary-searched range of the sorted prefix merged with whatever
+    /// matches sit in the short insertion tail; never a full scan.
     pub fn verdicts_of_asn(&self, asn: Asn) -> Vec<(usize, Verdict)> {
-        let Some(addrs) = self.by_asn.get(&asn) else {
-            return Vec::new();
-        };
-        addrs
+        let prefix = &self.by_asn[..self.by_asn_sorted_len];
+        let start = prefix.partition_point(|&(a, _)| a < asn);
+        let end = prefix.partition_point(|&(a, _)| a <= asn);
+        let mut tail: Vec<u32> = self.by_asn[self.by_asn_sorted_len..]
             .iter()
-            .filter_map(|a| self.entries.get(a))
-            .map(|i| (i.ixp, i.verdict))
+            .filter(|&&(a, _)| a == asn)
+            .map(|&(_, s)| s)
+            .collect();
+        if tail.is_empty() {
+            return prefix[start..end]
+                .iter()
+                .map(|&(_, s)| (self.ixps[s as usize], self.verdicts[s as usize]))
+                .collect();
+        }
+        tail.sort_unstable_by_key(|&s| self.addrs[s as usize]);
+        let merged = merge_sorted(
+            // prefix range carries slots already sorted by address
+            &prefix[start..end]
+                .iter()
+                .map(|&(_, s)| s)
+                .collect::<Vec<u32>>(),
+            &tail,
+            |&s| self.addrs[s as usize],
+        );
+        merged
+            .into_iter()
+            .map(|s| (self.ixps[s as usize], self.verdicts[s as usize]))
             .collect()
     }
+}
+
+/// Merges two key-sorted slices (disjoint keys) into one sorted vec.
+fn merge_sorted<T: Copy, K: Ord>(a: &[T], b: &[T], key: impl Fn(&T) -> K) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if key(&a[i]) <= key(&b[j]) {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 #[cfg(test)]
@@ -197,5 +366,52 @@ mod tests {
         );
         // The per-ASN index survives the merge.
         assert_eq!(reversed.verdicts_of_asn(Asn::new(1)).len(), 2);
+    }
+
+    #[test]
+    fn lookups_and_order_survive_normalization() {
+        // Cross the TAIL_MAX boundary several times with adversarially
+        // interleaved addresses; every query must behave exactly like
+        // the old map-backed ledger.
+        let mut ledger = Ledger::new();
+        let n = TAIL_MAX * 3 + 7;
+        let mut expect: Vec<Ipv4Addr> = Vec::new();
+        for k in 0..n {
+            // Zig-zag so the insertion tail is never already sorted.
+            let octet = if k % 2 == 0 { k } else { n * 2 - k };
+            let addr: Ipv4Addr = format!("10.{}.{}.1", octet / 250, octet % 250)
+                .parse()
+                .expect("valid");
+            assert!(ledger.record(Inference {
+                addr,
+                ixp: k,
+                asn: Asn::new((k % 5) as u32),
+                verdict: if k % 3 == 0 {
+                    Verdict::Remote
+                } else {
+                    Verdict::Local
+                },
+                step: Step::PortCapacity,
+                evidence: format!("e{k}"),
+            }));
+            expect.push(addr);
+        }
+        expect.sort_unstable();
+        assert_eq!(ledger.len(), n);
+        let iterated: Vec<Ipv4Addr> = ledger.all().map(|i| i.addr).collect();
+        assert_eq!(iterated, expect, "iteration is address-sorted");
+        for (k, addr) in expect.iter().enumerate() {
+            let got = ledger.get(*addr).expect("recorded");
+            assert_eq!(got.addr, *addr);
+            assert!(ledger.known(*addr), "entry {k} known");
+        }
+        for asn in 0..5u32 {
+            let scan: Vec<(usize, Verdict)> = ledger
+                .all()
+                .filter(|i| i.asn == Asn::new(asn))
+                .map(|i| (i.ixp, i.verdict))
+                .collect();
+            assert_eq!(ledger.verdicts_of_asn(Asn::new(asn)), scan, "asn {asn}");
+        }
     }
 }

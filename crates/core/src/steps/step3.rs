@@ -22,9 +22,9 @@ use crate::input::InferenceInput;
 use crate::steps::step2::RttObservation;
 use crate::steps::Ledger;
 use crate::types::{Inference, Step, Verdict};
-use opeer_geo::{Annulus, SpeedModel};
+use opeer_geo::{Annulus, GeoPoint, SpeedModel};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// Per-target diagnostics kept for Fig. 9c and step 4's distance
@@ -43,6 +43,96 @@ pub struct Step3Detail {
     pub feasible_ixp_facilities: usize,
     /// Verdict (`None` = no inference at this step).
     pub verdict: Option<Verdict>,
+}
+
+/// Precomputed VP→facility distance rows for the batched step-3 path.
+///
+/// A ping campaign probes thousands of targets from a handful of
+/// vantage-point locations, but every feasibility check needs the
+/// distance from a *facility* to the observation's VP. Instead of
+/// recomputing the inverse geodesic per (observation, facility) probe,
+/// this table holds one dense row per **unique VP location**: distances
+/// to every observed facility, contiguous in facility order, filled by
+/// [`opeer_geo::batch::distances_km`].
+///
+/// Each row entry is produced by the exact
+/// `facilities[f].location.distance_km(&vp)` call the per-lookup code
+/// makes — same callee, same argument order — so evaluating against a
+/// row is bit-identical to evaluating unbatched (the equivalence suites
+/// enforce this).
+#[derive(Debug, Clone, Default)]
+pub struct FacilityDistances {
+    index: BTreeMap<(u64, u64), u32>,
+    rows: Vec<Vec<f64>>,
+}
+
+/// IEEE-bit key for a coordinate pair: exact, hashable location
+/// identity (the VP locations are generated values, compared exactly).
+fn location_key(p: &GeoPoint) -> (u64, u64) {
+    (p.lat().to_bits(), p.lon().to_bits())
+}
+
+impl FacilityDistances {
+    /// The contiguous facility-location array, in facility-index order —
+    /// the origin array every row is computed over.
+    pub fn origins(input: &InferenceInput<'_>) -> Vec<GeoPoint> {
+        input
+            .observed
+            .facilities
+            .iter()
+            .map(|f| f.location)
+            .collect()
+    }
+
+    /// The unique VP locations of an observation set, in first-seen
+    /// order (deterministic: callers iterate consolidated observations
+    /// in address order).
+    pub fn unique_vp_locations<'a>(
+        observations: impl IntoIterator<Item = &'a RttObservation>,
+    ) -> Vec<GeoPoint> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for o in observations {
+            if seen.insert(location_key(&o.vp_location)) {
+                out.push(o.vp_location);
+            }
+        }
+        out
+    }
+
+    /// Builds the table sequentially: one row per unique VP location.
+    pub fn build<'a>(
+        input: &InferenceInput<'_>,
+        observations: impl IntoIterator<Item = &'a RttObservation>,
+    ) -> Self {
+        let origins = Self::origins(input);
+        let vps = Self::unique_vp_locations(observations);
+        let rows = vps
+            .iter()
+            .map(|vp| opeer_geo::batch::distances_km(&origins, vp))
+            .collect();
+        Self::from_rows(&vps, rows)
+    }
+
+    /// Assembles the table from rows computed elsewhere (the engine
+    /// fills them on the worker pool, sharded over the VP-location
+    /// array). `rows[i]` must be the facility-distance row of `vps[i]`.
+    pub fn from_rows(vps: &[GeoPoint], rows: Vec<Vec<f64>>) -> Self {
+        debug_assert_eq!(vps.len(), rows.len());
+        let index = vps
+            .iter()
+            .enumerate()
+            .map(|(i, vp)| (location_key(vp), i as u32))
+            .collect();
+        Self { index, rows }
+    }
+
+    /// The distance row of a VP location, if precomputed.
+    pub fn row(&self, vp: &GeoPoint) -> Option<&[f64]> {
+        self.index
+            .get(&location_key(vp))
+            .map(|&i| self.rows[i as usize].as_slice())
+    }
 }
 
 /// Applies step 3 to all consolidated observations. Returns per-target
@@ -65,9 +155,11 @@ pub fn apply_with_rounding(
     ledger: &mut Ledger,
     honor_rounding: bool,
 ) -> Vec<Step3Detail> {
+    let dists = FacilityDistances::build(input, observations.values());
     let mut details = Vec::with_capacity(observations.len());
     for o in observations.values() {
-        let (detail, inference) = evaluate_observation(input, o, speed, honor_rounding);
+        let (detail, inference) =
+            evaluate_observation_batched(input, o, speed, honor_rounding, &dists);
         if let Some(inf) = inference {
             ledger.record(inf);
         }
@@ -86,6 +178,44 @@ pub fn evaluate_observation(
     speed: &SpeedModel,
     honor_rounding: bool,
 ) -> (Step3Detail, Option<Inference>) {
+    evaluate_inner(input, o, speed, honor_rounding, |f| {
+        input.observed.facilities[f]
+            .location
+            .distance_km(&o.vp_location)
+    })
+}
+
+/// Like [`evaluate_observation`], reading VP→facility distances from a
+/// precomputed [`FacilityDistances`] row instead of recomputing the
+/// inverse geodesic per probe. Bit-identical to the unbatched variant:
+/// the row holds the very values the per-lookup calls would produce.
+/// Falls back to per-lookup computation if the row is missing (it never
+/// is when the table was built over the same observation set).
+pub fn evaluate_observation_batched(
+    input: &InferenceInput<'_>,
+    o: &RttObservation,
+    speed: &SpeedModel,
+    honor_rounding: bool,
+    dists: &FacilityDistances,
+) -> (Step3Detail, Option<Inference>) {
+    match dists.row(&o.vp_location) {
+        Some(row) => evaluate_inner(input, o, speed, honor_rounding, |f| row[f]),
+        None => evaluate_observation(input, o, speed, honor_rounding),
+    }
+}
+
+/// The shared step-3 decision procedure, parameterized over how the
+/// facility→VP distance is obtained (`dist_of(f)` = distance in km from
+/// facility `f` to the observation's VP). Both providers call the same
+/// pure geodesic on the same operands, so the verdicts and evidence
+/// strings cannot differ between them.
+fn evaluate_inner(
+    input: &InferenceInput<'_>,
+    o: &RttObservation,
+    speed: &SpeedModel,
+    honor_rounding: bool,
+    dist_of: impl Fn(usize) -> f64,
+) -> (Step3Detail, Option<Inference>) {
     let annulus = if o.rounded && honor_rounding {
         speed.feasible_annulus_rounded_ms(o.min_rtt_ms)
     } else {
@@ -98,12 +228,7 @@ pub fn evaluate_observation(
         .facility_idxs
         .iter()
         .copied()
-        .filter(|&f| {
-            let d = input.observed.facilities[f]
-                .location
-                .distance_km(&o.vp_location);
-            annulus.contains(d)
-        })
+        .filter(|&f| annulus.contains(dist_of(f)))
         .collect();
 
     let member_facs = input.observed.facilities_of_as(o.asn);
@@ -130,12 +255,9 @@ pub fn evaluate_observation(
                 } else {
                     // Present in another *feasible* facility where the
                     // IXP is not present?
-                    let other_feasible = facs.iter().any(|&f| {
-                        let d = input.observed.facilities[f]
-                            .location
-                            .distance_km(&o.vp_location);
-                        annulus.contains(d) && !ixp.facility_idxs.contains(&f)
-                    });
+                    let other_feasible = facs
+                        .iter()
+                        .any(|&f| annulus.contains(dist_of(f)) && !ixp.facility_idxs.contains(&f));
                     if other_feasible {
                         Some((
                             Verdict::Remote,
@@ -245,7 +367,7 @@ mod tests {
                     // Tolerated only if the colocation record is broken
                     // (missing or moved facility) — verify it is.
                     let asn = w.ases[m.member.index()].asn;
-                    let input_facs = ledger.get(d.addr).map(|i| i.evidence.clone());
+                    let input_facs = ledger.get(d.addr).map(|i| i.evidence);
                     let _ = (asn, input_facs);
                     continue;
                 }

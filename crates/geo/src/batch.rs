@@ -1,0 +1,69 @@
+//! Bulk geodesic evaluation over contiguous point arrays.
+//!
+//! Step 3 of the methodology evaluates every consolidated observation
+//! against the *same* facility array: the per-observation work is "for
+//! each facility, is the VP→facility distance inside the annulus?".
+//! Done naively this recomputes an ellipsoidal inverse geodesic per
+//! (observation, facility) pair even though a handful of vantage-point
+//! locations serve thousands of observations.
+//!
+//! This module provides the flat building block: fill a dense `f64` row
+//! of distances from one reference point to a contiguous origin array,
+//! exactly one [`GeoPoint::distance_km`] call per origin, in origin
+//! order. Because each entry is produced by the *same* pure call the
+//! per-lookup code would have made, consumers that read the row instead
+//! of recomputing stay bit-identical — the row is a cache, not an
+//! approximation.
+
+use crate::coord::GeoPoint;
+use crate::speed::Annulus;
+
+/// Distances (km) from every point of `origins` to `to`, in origin
+/// order. Each entry is `origins[i].distance_km(to)` — the same call,
+/// same argument order, same IEEE result as an unbatched probe.
+pub fn distances_km(origins: &[GeoPoint], to: &GeoPoint) -> Vec<f64> {
+    origins.iter().map(|p| p.distance_km(to)).collect()
+}
+
+/// How many of `distances` fall inside the annulus (inclusive, matching
+/// [`Annulus::contains`]).
+pub fn count_in_annulus(distances: &[f64], annulus: &Annulus) -> usize {
+    distances.iter().filter(|&&d| annulus.contains(d)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).expect("valid")
+    }
+
+    #[test]
+    fn rows_match_unbatched_probes_bit_for_bit() {
+        let origins = [
+            p(52.37, 4.89),
+            p(50.11, 8.68),
+            p(51.51, -0.13),
+            p(40.71, -74.0),
+        ];
+        let vp = p(48.86, 2.35);
+        let row = distances_km(&origins, &vp);
+        assert_eq!(row.len(), origins.len());
+        for (i, o) in origins.iter().enumerate() {
+            // Bit equality, not approximate equality: the batch row must
+            // be substitutable for the per-lookup call.
+            assert_eq!(row[i].to_bits(), o.distance_km(&vp).to_bits(), "origin {i}");
+        }
+    }
+
+    #[test]
+    fn annulus_counting_is_inclusive() {
+        let distances = [10.0, 20.0, 30.0, 40.0];
+        let annulus = Annulus {
+            min_km: 20.0,
+            max_km: 30.0,
+        };
+        assert_eq!(count_in_annulus(&distances, &annulus), 2);
+    }
+}

@@ -186,6 +186,24 @@ impl WorldConfig {
         }
     }
 
+    /// An extra-large world for saturation studies: roughly double the
+    /// membership scale of [`WorldConfig::large`] with a deeper long
+    /// tail of small IXPs and background ASes. Sized to keep the
+    /// per-thread shards of the pipeline phase busy well past 8
+    /// workers, so the scaling curve measures the engine rather than
+    /// shard-scheduling overhead. Expensive — minutes of assembly on a
+    /// laptop-class core; the CI bench runs it only on schedule.
+    pub fn xlarge(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            scale: 2.0,
+            n_small_ixps: 900,
+            n_background_ases: 2500,
+            n_switchers: 24,
+            ..Default::default()
+        }
+    }
+
     /// Generates the world.
     pub fn generate(&self) -> World {
         Gen::new(self.clone()).run()

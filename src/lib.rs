@@ -86,6 +86,7 @@ pub mod prelude {
         StepCounts,
     };
     // --- scoring and core record types ---
+    pub use opeer_core::intern::{AddrId, AsnId, Intern, InternTables};
     pub use opeer_core::metrics::{score, score_per_ixp, Metrics};
     pub use opeer_core::types::{Inference, Step, Verdict};
     pub use opeer_core::InferenceInput;

@@ -1,0 +1,187 @@
+//! Model-based oracle for the struct-of-arrays [`Ledger`].
+//!
+//! The ledger used to be a pair of `BTreeMap`s; the SoA rewrite
+//! (append-only columns + prefix/tail sorted index vectors) must be
+//! observationally identical — same first-write-wins recording, same
+//! address-order iteration, same per-ASN projections — because every
+//! downstream shard merge and report relies on that order byte for
+//! byte. These proptests drive the real ledger and a trivial
+//! `BTreeMap` reference model through the same operation sequences and
+//! demand equal answers to every query, both on synthetic insertion
+//! patterns (sized to cross the internal tail-normalization boundary
+//! repeatedly) and on inference streams from generated worlds.
+
+use opeer::core::steps::Ledger;
+use opeer::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// The reference model: what the seed's map-backed ledger did.
+#[derive(Default)]
+struct ModelLedger {
+    map: BTreeMap<Ipv4Addr, Inference>,
+}
+
+impl ModelLedger {
+    /// First write wins, exactly like `Ledger::record`.
+    fn record(&mut self, inf: Inference) -> bool {
+        if self.map.contains_key(&inf.addr) {
+            return false;
+        }
+        self.map.insert(inf.addr, inf);
+        true
+    }
+
+    fn all(&self) -> Vec<Inference> {
+        self.map.values().cloned().collect()
+    }
+
+    fn verdicts_of_asn(&self, asn: Asn) -> Vec<(usize, Verdict)> {
+        self.map
+            .values()
+            .filter(|i| i.asn == asn)
+            .map(|i| (i.ixp, i.verdict))
+            .collect()
+    }
+}
+
+/// One synthetic insertion: a small address pool forces collisions.
+fn op_strategy() -> impl Strategy<Value = Inference> {
+    (0u16..400, 0usize..9, 0u32..6, any::<bool>(), 0usize..4).prop_map(
+        |(addr, ixp, asn, remote, step)| Inference {
+            addr: Ipv4Addr::new(10, (addr / 250) as u8, (addr % 250) as u8, 1),
+            ixp,
+            asn: Asn::new(64_000 + asn),
+            verdict: if remote {
+                Verdict::Remote
+            } else {
+                Verdict::Local
+            },
+            step: [
+                Step::PortCapacity,
+                Step::RttColo,
+                Step::MultiIxp,
+                Step::PrivateLinks,
+            ][step],
+            evidence: format!("ev-{addr}-{ixp}"),
+        },
+    )
+}
+
+/// Checks every observable of `ledger` against `model` (panics on the
+/// first divergence; the proptest harness reports the failing inputs).
+fn assert_matches_model(ledger: &Ledger, model: &ModelLedger) {
+    assert_eq!(ledger.len(), model.map.len());
+    assert_eq!(ledger.is_empty(), model.map.is_empty());
+    let all: Vec<Inference> = ledger.all().collect();
+    assert_eq!(&all, &model.all(), "iteration order/content diverged");
+    for inf in model.map.values() {
+        assert!(ledger.known(inf.addr));
+        assert_eq!(ledger.verdict(inf.addr), Some(inf.verdict));
+        assert_eq!(ledger.get(inf.addr).as_ref(), Some(inf));
+    }
+    // Probe addresses outside the recorded set too.
+    for miss in [
+        Ipv4Addr::new(192, 0, 2, 1),
+        Ipv4Addr::new(10, 200, 200, 200),
+    ] {
+        if !model.map.contains_key(&miss) {
+            assert!(!ledger.known(miss));
+            assert_eq!(ledger.verdict(miss), None);
+            assert_eq!(ledger.get(miss), None);
+        }
+    }
+    for asn in 0u32..6 {
+        let asn = Asn::new(64_000 + asn);
+        assert_eq!(
+            ledger.verdicts_of_asn(asn),
+            model.verdicts_of_asn(asn),
+            "per-ASN projection diverged for {asn:?}"
+        );
+    }
+}
+
+proptest! {
+    /// Synthetic sequences long enough to cross the ledger's internal
+    /// tail-normalization boundary (64) several times, with address
+    /// collisions exercising first-write-wins.
+    #[test]
+    fn ledger_matches_map_model_on_random_sequences(
+        ops in proptest::collection::vec(op_strategy(), 0..260),
+    ) {
+        let mut ledger = Ledger::new();
+        let mut model = ModelLedger::default();
+        for inf in ops {
+            prop_assert_eq!(
+                ledger.record(inf.clone()),
+                model.record(inf),
+                "record accept/reject diverged"
+            );
+        }
+        assert_matches_model(&ledger, &model);
+    }
+
+    /// Split a synthetic sequence into shards, absorb them in shard
+    /// order, and demand the same state a sequential replay (the model)
+    /// reaches — the engine's merge contract.
+    #[test]
+    fn absorb_in_shard_order_equals_sequential_replay(
+        ops in proptest::collection::vec(op_strategy(), 1..180),
+        shards in 2usize..5,
+    ) {
+        let mut model = ModelLedger::default();
+        // Shard round-robin, then replay shard by shard: within a
+        // shard, record order is op order; absorbing shard k after
+        // shards 0..k reproduces a sequential pass over shard 0's ops,
+        // then shard 1's, etc.
+        let mut shard_ledgers: Vec<Ledger> = (0..shards).map(|_| Ledger::new()).collect();
+        let mut shard_ops: Vec<Vec<Inference>> = vec![Vec::new(); shards];
+        for (k, inf) in ops.iter().enumerate() {
+            shard_ledgers[k % shards].record(inf.clone());
+            shard_ops[k % shards].push(inf.clone());
+        }
+        for shard in &shard_ops {
+            for inf in shard {
+                model.record(inf.clone());
+            }
+        }
+        let mut merged = Ledger::new();
+        for shard in shard_ledgers {
+            merged.absorb(shard);
+        }
+        assert_matches_model(&merged, &model);
+    }
+
+    /// Real inference streams: run the pipeline on a generated world,
+    /// then replay its inferences into both implementations in a
+    /// seed-rotated order (so insertion order differs from address
+    /// order) and compare every observable.
+    #[test]
+    fn ledger_matches_map_model_on_generated_worlds(seed in 0u64..5_000) {
+        let mut cfg = WorldConfig::small(seed);
+        cfg.scale = 0.02;
+        cfg.n_small_ixps = 6;
+        cfg.n_background_ases = 50;
+        cfg.n_switchers = 2;
+        let world = cfg.generate();
+        let input = InferenceInput::assemble(&world, seed);
+        let result = run_pipeline(&input, &PipelineConfig::default());
+
+        let mut stream = result.inferences.clone();
+        if !stream.is_empty() {
+            let rot = (seed as usize) % stream.len();
+            stream.rotate_left(rot);
+        }
+        let mut ledger = Ledger::new();
+        let mut model = ModelLedger::default();
+        for inf in stream {
+            prop_assert_eq!(ledger.record(inf.clone()), model.record(inf));
+        }
+        assert_matches_model(&ledger, &model);
+        // The rotated replay must land on the pipeline's own address
+        // order — the order every downstream consumer assumes.
+        let replayed: Vec<Inference> = ledger.all().collect();
+        prop_assert_eq!(&replayed, &result.inferences);
+    }
+}

@@ -77,7 +77,7 @@ fn assert_snapshot_matches_naive(
     assert_eq!(snapshot.result(), reference, "retained result diverged");
     assert_eq!(snapshot.remote_share(), reference.remote_share());
     assert_eq!(
-        snapshot.step_contributions(),
+        *snapshot.step_contributions(),
         reference.step_contributions()
     );
 
