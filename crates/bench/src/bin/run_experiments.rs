@@ -1,12 +1,15 @@
 //! Regenerates every table and figure of the paper — or, with
 //! `--bench-pipeline`, runs the engine scaling study, or, with
 //! `--epochs N`, replays the measurements through the incremental
-//! pipeline in N epoch batches, or, with `--compare-bench`, diffs two
-//! scaling reports as a regression gate.
+//! pipeline in N epoch batches, or, with `--archive-months N`, replays
+//! N monthly world revisions through the longitudinal snapshot
+//! archive, or, with `--compare-bench`, diffs two scaling reports as a
+//! regression gate.
 //!
 //! ```text
 //! run_experiments [--scale paper|large|xlarge|small] [--seed N] [--out DIR]
 //!                 [--bench-pipeline] [--bench-samples N] [--epochs N]
+//!                 [--archive-months N]
 //!                 [--min-host-parallelism N] [--min-pipeline-speedup X]
 //! run_experiments --compare-bench OLD.json NEW.json [--tolerance X]
 //! ```
@@ -21,15 +24,18 @@
 //! and the overlapped end-to-end path (`assemble_and_run_parallel`) —
 //! plus a streaming epoch replay through the incremental pipeline, a
 //! serving-throughput sweep (reader threads querying the
-//! `PeeringService` while a writer streams epochs), and the wire-level
+//! `PeeringService` while a writer streams epochs), the wire-level
 //! gateway load study (HTTP clients over loopback sockets against an
-//! `opeer-gateway` fronting the same service), writes the
+//! `opeer-gateway` fronting the same service), and the longitudinal
+//! archive replay (monthly world revisions retained as time-travel
+//! epochs, `--archive-months N` months of them), writes the
 //! machine-readable report to `<out>/BENCH_pipeline.json` (schema
-//! `opeer-bench-pipeline/6`, documented in the README), and **exits
+//! `opeer-bench-pipeline/7`, documented in the README), and **exits
 //! non-zero if any run is not byte-identical to its sequential
-//! reference, if any serving reader observed a non-monotonic epoch, or
-//! if the gateway study's expected-status / taxonomy / zero-panic gate
-//! failed** (this is the check CI's bench-smoke job enforces). The
+//! reference, if any serving reader observed a non-monotonic epoch, if
+//! the gateway study's expected-status / taxonomy / zero-panic gate
+//! failed, or if the archive replay diverged** (this is the check CI's
+//! bench-smoke job enforces). The
 //! optional perf-gate floors harden it further for CI's multicore perf
 //! job: `--min-host-parallelism N` fails the run on a runner with
 //! fewer than N available cores, and `--min-pipeline-speedup X` fails
@@ -49,12 +55,22 @@
 //! and the process **exits non-zero if the incremental result diverges
 //! from the one-shot pipeline** — the same contract as
 //! `--bench-pipeline` (CI's determinism job replays this under its
-//! `OPEER_THREADS` matrix). Bench and streaming modes default to
-//! `--scale large`; experiment mode defaults to `--scale paper`.
+//! `OPEER_THREADS` matrix).
+//!
+//! Archive mode (`--archive-months N` without `--bench-pipeline`)
+//! drives the longitudinal archive alone: N monthly world revisions
+//! stream through a `SnapshotArchive`, per-month wall-clock and
+//! dirty-shard counts, time-travel query throughput, and the
+//! retained-bytes estimate are printed, and the process **exits
+//! non-zero if the final archived state diverges from the one-shot
+//! pipeline over the accumulated input**. With `--bench-pipeline`, the
+//! flag sets how many months the report's `archive` section replays.
+//! Bench, streaming, and archive modes default to `--scale large`;
+//! experiment mode defaults to `--scale paper`.
 
 use opeer_bench::{
-    run_all, run_scaling_study, run_streaming_session, Session, DEFAULT_STREAMING_EPOCHS,
-    DEFAULT_THREAD_SWEEP,
+    run_all, run_archive_study, run_scaling_study, run_streaming_session, Session,
+    DEFAULT_ARCHIVE_MONTHS, DEFAULT_STREAMING_EPOCHS, DEFAULT_THREAD_SWEEP,
 };
 use opeer_core::engine::ParallelConfig;
 use opeer_core::pipeline::PipelineConfig;
@@ -69,6 +85,7 @@ struct Args {
     bench_pipeline: bool,
     bench_samples: usize,
     epochs: Option<usize>,
+    archive_months: Option<u32>,
     min_host_parallelism: Option<usize>,
     min_pipeline_speedup: Option<f64>,
     compare_bench: Option<(PathBuf, PathBuf)>,
@@ -83,6 +100,7 @@ fn parse_args() -> Args {
         bench_pipeline: false,
         bench_samples: 5,
         epochs: None,
+        archive_months: None,
         min_host_parallelism: None,
         min_pipeline_speedup: None,
         compare_bench: None,
@@ -117,6 +135,14 @@ fn parse_args() -> Args {
                         .and_then(|v| v.parse().ok())
                         .filter(|&n| n >= 1)
                         .unwrap_or_else(|| usage("bad --epochs value")),
+                )
+            }
+            "--archive-months" => {
+                args.archive_months = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("bad --archive-months value")),
                 )
             }
             "--min-host-parallelism" => {
@@ -165,6 +191,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: run_experiments [--scale paper|large|xlarge|small] [--seed N] [--out DIR] \
                        [--bench-pipeline] [--bench-samples N] [--epochs N] \
+                       [--archive-months N] \
                        [--min-host-parallelism N] [--min-pipeline-speedup X]\n\
        run_experiments --compare-bench OLD.json NEW.json [--tolerance X]"
     );
@@ -235,9 +262,10 @@ fn run_bench_pipeline(args: &Args) -> ! {
     eprintln!("  {} [{:?}]", world.summary(), t0.elapsed());
 
     let epochs = args.epochs.unwrap_or(DEFAULT_STREAMING_EPOCHS);
+    let archive_months = args.archive_months.unwrap_or(DEFAULT_ARCHIVE_MONTHS);
     eprintln!(
-        "scaling study: {} samples per point, threads {:?}, {} streaming epochs...",
-        args.bench_samples, DEFAULT_THREAD_SWEEP, epochs
+        "scaling study: {} samples per point, threads {:?}, {} streaming epochs, {} archive months...",
+        args.bench_samples, DEFAULT_THREAD_SWEEP, epochs, archive_months
     );
     let report = run_scaling_study(
         scale,
@@ -246,6 +274,7 @@ fn run_bench_pipeline(args: &Args) -> ! {
         DEFAULT_THREAD_SWEEP,
         args.bench_samples,
         epochs,
+        archive_months,
     );
 
     for (phase, scaling) in [
@@ -273,6 +302,7 @@ fn run_bench_pipeline(args: &Args) -> ! {
     print_streaming(&report.streaming);
     print_serving(&report.serving);
     print_gateway(&report.gateway);
+    print_archive(&report.archive);
 
     std::fs::create_dir_all(&args.out).expect("create output directory");
     let path = args.out.join("BENCH_pipeline.json");
@@ -326,6 +356,30 @@ fn run_streaming(args: &Args, epochs: usize) -> ! {
 
     if !report.identical {
         eprintln!("error: incremental replay diverged from the one-shot pipeline");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// Archive mode: the longitudinal monthly replay plus the identity gate.
+fn run_archive(args: &Args, months: u32) -> ! {
+    let scale = args.scale.as_deref().unwrap_or("large");
+    let cfg = world_config(scale, args.seed);
+    eprintln!("generating world (scale={scale}, seed={})...", args.seed);
+    let t0 = std::time::Instant::now();
+    let world = cfg.generate();
+    eprintln!("  {} [{:?}]", world.summary(), t0.elapsed());
+
+    let par = ParallelConfig::from_env();
+    eprintln!(
+        "archive replay: {} months, {} worker threads...",
+        months, par.threads
+    );
+    let report = run_archive_study(&world, args.seed, months, &PipelineConfig::default(), &par);
+    print_archive(&report);
+
+    if !report.identical {
+        eprintln!("error: archive replay diverged from the one-shot pipeline");
         std::process::exit(1);
     }
     std::process::exit(0);
@@ -401,6 +455,27 @@ fn print_serving(s: &opeer_bench::ServingReport) {
     );
 }
 
+fn print_archive(a: &opeer_bench::ArchiveReport) {
+    println!("[archive: {} months replayed]", a.months);
+    println!("  base epoch build                   {:8.3} ms", a.base_ms);
+    for m in &a.per_month {
+        println!(
+            "  month {:<2} epoch {:<2} registry={:<5} +{:>6} obs +{:>6} traces  {:8.3} ms  dirty={}",
+            m.month,
+            m.epoch,
+            m.registry_revision,
+            m.campaign_observations,
+            m.corpus_traces,
+            m.wall_ms,
+            m.dirty.total(),
+        );
+    }
+    println!(
+        "  {} epochs archived in {:.3} ms; {} time-travel queries at {:.0} q/s; ~{} retained bytes; identical={}",
+        a.epochs_archived, a.replay_ms, a.queries, a.query_qps, a.retained_bytes, a.identical
+    );
+}
+
 fn main() {
     let args = parse_args();
     if let Some((old, new)) = &args.compare_bench {
@@ -411,6 +486,9 @@ fn main() {
     }
     if let Some(epochs) = args.epochs {
         run_streaming(&args, epochs);
+    }
+    if let Some(months) = args.archive_months {
+        run_archive(&args, months);
     }
     let scale = args.scale.as_deref().unwrap_or("paper").to_string();
     let cfg = world_config(&scale, args.seed);

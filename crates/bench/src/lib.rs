@@ -37,6 +37,12 @@
 //!   HTTP clients over loopback sockets against an
 //!   [`opeer_gateway::Gateway`], with expected-status, epoch-monotonic,
 //!   taxonomy, and zero-panic gates.
+//! * [`run_archive_study`] / [`ArchiveReport`] — the longitudinal
+//!   archive replay of the `archive` section (and `run_experiments
+//!   --archive-months N`): monthly world revisions streamed through a
+//!   [`opeer_core::archive::SnapshotArchive`], per-month dirty
+//!   accounting, time-travel query throughput, retained-bytes
+//!   estimate, and a byte-identity gate against the one-shot pipeline.
 //! * [`compare_reports`] / [`Comparison`] — the schema-tolerant
 //!   regression diff behind `run_experiments --compare-bench`: two
 //!   `BENCH_pipeline.json` files compared phase by phase, failing on
@@ -44,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod compare;
 pub mod experiments;
 pub mod gateway;
@@ -52,6 +59,7 @@ pub mod serving;
 pub mod session;
 pub mod streaming;
 
+pub use archive::{run_archive_study, ArchiveReport, MonthCost, DEFAULT_ARCHIVE_MONTHS};
 pub use compare::{compare_reports, Comparison, Regression, DEFAULT_TOLERANCE};
 pub use experiments::{run_all, Rendered};
 pub use gateway::{run_gateway_study, GatewayPoint, GatewayReport, DEFAULT_CONNECTION_SWEEP};

@@ -1,16 +1,17 @@
 //! The engine scaling study: sequential vs the sharded parallel engine
 //! at several thread counts — for the inference pipeline, for
 //! measurement assembly, and for the overlapped end-to-end path — plus
-//! the streaming epoch replay, the serving-throughput sweep, and the
-//! wire-level gateway load study, with byte-identity checks and a
-//! machine-readable report (`BENCH_pipeline.json`, schema
-//! `opeer-bench-pipeline/6`).
+//! the streaming epoch replay, the serving-throughput sweep, the
+//! wire-level gateway load study, and the longitudinal archive replay,
+//! with byte-identity checks and a machine-readable report
+//! (`BENCH_pipeline.json`, schema `opeer-bench-pipeline/7`).
 //!
 //! Used by the `pipeline_scaling` / `assembly_scaling` criterion
 //! benches and by `run_experiments --bench-pipeline` (which is what
 //! CI's bench-smoke job runs and archives). The README documents the
 //! report schema field by field.
 
+use crate::archive::{run_archive_study, ArchiveReport};
 use crate::gateway::{run_gateway_study, GatewayReport, DEFAULT_CONNECTION_SWEEP};
 use crate::serving::{run_serving_study, ServingReport, DEFAULT_READER_SWEEP};
 use crate::streaming::{run_streaming_session, StreamingReport};
@@ -125,11 +126,17 @@ pub struct ScalingReport {
     /// with expected-status, epoch-monotonic, error-taxonomy, and
     /// zero-panic audits.
     pub gateway: GatewayReport,
+    /// The longitudinal archive replay: monthly world revisions
+    /// streamed through a `SnapshotArchive`, with per-month dirty
+    /// accounting, time-travel query throughput, the retained-bytes
+    /// estimate, and its own byte-identity gate (new in schema 7).
+    pub archive: ArchiveReport,
     /// Whether every parallel run in every phase — and the final states
-    /// of the streaming replay and the serving sweep — matched their
-    /// sequential references byte for byte, plus the serving epoch
-    /// monotonicity audit and the gateway study's `ok` gate: the gate
-    /// `run_experiments --bench-pipeline` enforces with its exit code.
+    /// of the streaming replay, the serving sweep, and the archive
+    /// replay — matched their sequential references byte for byte, plus
+    /// the serving epoch monotonicity audit and the gateway study's
+    /// `ok` gate: the gate `run_experiments --bench-pipeline` enforces
+    /// with its exit code.
     pub all_identical: bool,
 }
 
@@ -190,6 +197,7 @@ pub fn run_scaling_study(
     thread_sweep: &[usize],
     samples: usize,
     epochs: usize,
+    archive_months: u32,
 ) -> ScalingReport {
     let samples = samples.max(1);
     let cfg = PipelineConfig::default();
@@ -301,6 +309,15 @@ pub fn run_scaling_study(
         &ParallelConfig::new(thread_sweep.last().copied().unwrap_or(1)),
     );
 
+    // ---- longitudinal archive replay (monthly revisions, time travel) ----
+    let archive = run_archive_study(
+        world,
+        seed,
+        archive_months,
+        &cfg,
+        &ParallelConfig::new(thread_sweep.last().copied().unwrap_or(1)),
+    );
+
     let all_identical = assembly.all_identical
         && pipeline.all_identical
         && end_to_end.all_identical
@@ -308,14 +325,15 @@ pub fn run_scaling_study(
         && serving.identical
         && serving.epochs_monotonic
         && serving.tags_consistent
-        && gateway.ok;
+        && gateway.ok
+        && archive.identical;
     let best_pipeline_speedup = pipeline
         .points
         .iter()
         .map(|p| p.speedup)
         .fold(0.0, f64::max);
     ScalingReport {
-        schema: "opeer-bench-pipeline/6",
+        schema: "opeer-bench-pipeline/7",
         world: world_label.to_string(),
         seed,
         ixps: input.observed.ixps.len(),
@@ -330,6 +348,7 @@ pub fn run_scaling_study(
         streaming,
         serving,
         gateway,
+        archive,
         all_identical,
     }
 }
@@ -342,7 +361,7 @@ mod tests {
     #[test]
     fn study_reports_identical_results_on_small_world() {
         let world = WorldConfig::small(7).generate();
-        let report = run_scaling_study("small", &world, 7, &[1, 2], 1, 3);
+        let report = run_scaling_study("small", &world, 7, &[1, 2], 1, 3, 2);
         assert!(report.all_identical, "a parallel phase diverged");
         assert!(report.assembly.all_identical);
         assert!(report.pipeline.all_identical);
@@ -355,6 +374,10 @@ mod tests {
         assert!(report.gateway.ok, "gateway study gate failed");
         assert_eq!(report.gateway.panics, 0);
         assert!(!report.gateway.points.is_empty());
+        assert!(report.archive.identical, "archive replay diverged");
+        assert_eq!(report.archive.months, 2);
+        assert_eq!(report.archive.epochs_archived, 3);
+        assert!(report.archive.retained_bytes > 0);
         assert_eq!(report.pipeline.points.len(), 2);
         assert_eq!(report.assembly.points.len(), 2);
         assert_eq!(report.end_to_end.points.len(), 2);
@@ -380,12 +403,13 @@ mod tests {
         );
         let json = serde_json::to_string(&report).expect("report serialises");
         assert!(json.contains("\"schema\":"));
-        assert!(json.contains("opeer-bench-pipeline/6"));
+        assert!(json.contains("opeer-bench-pipeline/7"));
         assert!(json.contains("\"best_pipeline_speedup\":"));
         assert!(json.contains("\"assembly\":"));
         assert!(json.contains("\"end_to_end\":"));
         assert!(json.contains("\"streaming\":"));
         assert!(json.contains("\"serving\":"));
         assert!(json.contains("\"gateway\":"));
+        assert!(json.contains("\"archive\":"));
     }
 }

@@ -1,0 +1,727 @@
+//! The longitudinal archive: epoch-indexed time-travel over a
+//! [`PeeringService`]'s published snapshots.
+//!
+//! [`PeeringService::apply`] publishes an immutable, epoch-tagged
+//! [`Snapshot`] behind an `Arc` swap and then forgets the previous one.
+//! A [`SnapshotArchive`] layers on top of the service and *retains*
+//! every published epoch: each [`SnapshotArchive::apply`] goes through
+//! [`PeeringService::apply_reported`] — the exact same publish path —
+//! and then clones the already-published `Arc` into a sorted epoch
+//! index. Retention therefore costs one `Arc` refcount bump and one
+//! index insert per epoch; the snapshots themselves are shared with
+//! the service's read side, never copied.
+//!
+//! On that index the archive serves:
+//!
+//! * **time travel** — [`SnapshotArchive::at`] /
+//!   [`SnapshotArchive::as_of`] / [`SnapshotArchive::range`] resolve
+//!   epochs to retained snapshots, and
+//!   [`SnapshotArchive::verdict_at`] / [`SnapshotArchive::asn_report_at`]
+//!   / [`SnapshotArchive::explain_at`] /
+//!   [`SnapshotArchive::ixp_report_at`] answer the service's typed
+//!   queries *as of* any archived epoch;
+//! * **longitudinal aggregations** — per-IXP remote-share trend lines
+//!   ([`SnapshotArchive::trend`]), per-ASN verdict churn between
+//!   consecutive epochs ([`SnapshotArchive::churn`]), and per-epoch
+//!   dirty-shard accounting ([`SnapshotArchive::dirty_log`]).
+//!
+//! ## The contract
+//!
+//! Because every archived snapshot is the very `Arc` the service
+//! published, a time-travel answer at epoch `e` is byte-identical to
+//! what a [`PeeringService::snapshot`] reader at epoch `e` saw — which
+//! the serving contract in turn pins to a one-shot
+//! [`run_pipeline`][crate::pipeline::run_pipeline] over the input
+//! prefix through `e`. `tests/archive_oracle.rs` proptests exactly
+//! that, across random worlds × epoch partitions × thread counts, and
+//! checks the trend/churn aggregations against naive recomputes from
+//! the per-epoch results.
+//!
+//! The archive holds only an immutable borrow of the service plus its
+//! own `RwLock`-guarded index, so a writer thread can stream deltas
+//! through [`SnapshotArchive::apply`] while reader threads time-travel
+//! concurrently. Dropping the archive drops its `Arc` clones — every
+//! non-latest snapshot is released; the latest stays alive through the
+//! service (`archive_retention_releases_on_drop` pins this).
+
+use crate::incremental::{DirtyCounts, InputDelta};
+use crate::pipeline::StepCounts;
+use crate::service::{
+    AsnReport, Explanation, IxpReport, PeeringService, ServiceError, Snapshot, VerdictAnswer,
+};
+use crate::types::Verdict;
+use opeer_net::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::ops::RangeInclusive;
+use std::sync::{Arc, RwLock};
+
+// ---------------------------------------------------------------------
+// error taxonomy
+// ---------------------------------------------------------------------
+
+/// Why a time-travel query could not be answered. Serde-serializable,
+/// like [`ServiceError`], so the gateway ships rejections as-is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArchiveError {
+    /// The requested epoch has not been published yet.
+    FutureEpoch {
+        /// The requested epoch.
+        requested: u64,
+        /// The newest archived epoch.
+        latest: u64,
+    },
+    /// The epoch is within the archived span but no snapshot was
+    /// retained for it (the archive was attached after it, or a gap
+    /// was never published through this archive).
+    NotArchived {
+        /// The requested epoch.
+        requested: u64,
+        /// The oldest archived epoch.
+        first: u64,
+        /// The newest archived epoch.
+        latest: u64,
+    },
+    /// The archive holds no snapshots at all, so no epoch resolves.
+    Empty,
+    /// The epoch resolved, but the query failed on that snapshot.
+    Service(ServiceError),
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::FutureEpoch { requested, latest } => {
+                write!(
+                    f,
+                    "epoch {requested} has not been published (latest: {latest})"
+                )
+            }
+            ArchiveError::NotArchived {
+                requested,
+                first,
+                latest,
+            } => write!(
+                f,
+                "epoch {requested} is not archived (archive spans {first}..={latest})"
+            ),
+            ArchiveError::Empty => write!(f, "the archive holds no snapshots"),
+            ArchiveError::Service(err) => err.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+impl From<ServiceError> for ArchiveError {
+    fn from(err: ServiceError) -> ArchiveError {
+        ArchiveError::Service(err)
+    }
+}
+
+// ---------------------------------------------------------------------
+// longitudinal wire types
+// ---------------------------------------------------------------------
+
+/// One epoch's point on an IXP's trend line.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrendPoint {
+    /// The archived epoch this point reflects.
+    pub epoch: u64,
+    /// Observed member interfaces at the IXP.
+    pub interfaces: usize,
+    /// Interfaces classified local.
+    pub local: usize,
+    /// Interfaces classified remote.
+    pub remote: usize,
+    /// Interfaces no step classified.
+    pub unclassified: usize,
+    /// `remote / (local + remote)`; 0 when nothing was inferred.
+    pub remote_share: f64,
+}
+
+/// A per-IXP remote-share trend line across the archived epochs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendLine {
+    /// Observed IXP index.
+    pub ixp: usize,
+    /// The IXP's registry name (as of the newest epoch observing it).
+    pub name: String,
+    /// One point per archived epoch at which the IXP was observed,
+    /// ascending by epoch.
+    pub points: Vec<TrendPoint>,
+}
+
+/// Verdict churn between one consecutive pair of archived epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnPoint {
+    /// The later epoch of the pair.
+    pub epoch: u64,
+    /// Interfaces present at both epochs whose verdict changed
+    /// (including classified ↔ unclassified transitions).
+    pub flips: usize,
+    /// Interfaces observed at the later epoch but not the earlier.
+    pub appeared: usize,
+    /// Interfaces observed at the earlier epoch but not the later.
+    pub disappeared: usize,
+}
+
+/// A member ASN's verdict churn across the archived epochs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnReport {
+    /// The member ASN.
+    pub asn: Asn,
+    /// Total verdict flips across all consecutive epoch pairs.
+    pub flips: usize,
+    /// Total interface appearances.
+    pub appeared: usize,
+    /// Total interface disappearances.
+    pub disappeared: usize,
+    /// One record per consecutive archived-epoch pair, ascending.
+    pub per_epoch: Vec<ChurnPoint>,
+}
+
+/// One epoch's dirty-shard accounting, as retained by the archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirtyRecord {
+    /// The archived epoch.
+    pub epoch: u64,
+    /// Shard units the apply that published this epoch recomputed.
+    pub dirty: DirtyCounts,
+}
+
+// ---------------------------------------------------------------------
+// the archive
+// ---------------------------------------------------------------------
+
+/// One retained epoch: the published snapshot (Arc-shared with the
+/// service) and the dirty-shard counts of the apply that produced it.
+struct ArchivedEpoch {
+    epoch: u64,
+    snapshot: Arc<Snapshot>,
+    dirty: DirtyCounts,
+}
+
+/// The epoch-indexed snapshot archive. See the [module docs](self).
+pub struct SnapshotArchive<'s, 'w> {
+    service: &'s PeeringService<'w>,
+    /// Retained epochs, ascending by epoch. Insertion keeps the sort
+    /// even if concurrent [`SnapshotArchive::apply`] calls race past
+    /// the publish and reach the index out of order.
+    inner: RwLock<Vec<ArchivedEpoch>>,
+}
+
+impl<'s, 'w> SnapshotArchive<'s, 'w> {
+    /// Attaches an archive to a service, retaining the currently
+    /// published snapshot as the first archived epoch.
+    pub fn attach(service: &'s PeeringService<'w>) -> Self {
+        let snapshot = service.snapshot();
+        let first = ArchivedEpoch {
+            epoch: snapshot.epoch(),
+            snapshot,
+            dirty: service.last_dirty(),
+        };
+        SnapshotArchive {
+            service,
+            inner: RwLock::new(vec![first]),
+        }
+    }
+
+    /// The underlying service.
+    pub fn service(&self) -> &'s PeeringService<'w> {
+        self.service
+    }
+
+    /// Applies one delta through [`PeeringService::apply_reported`] and
+    /// retains the published snapshot. Returns the new epoch. The
+    /// service's own publish path is untouched — retention is an `Arc`
+    /// clone of the snapshot the service already swapped in.
+    pub fn apply(&self, delta: InputDelta) -> u64 {
+        let report = self.service.apply_reported(delta);
+        let mut inner = self.inner.write().expect("archive index poisoned");
+        match inner.binary_search_by_key(&report.epoch, |e| e.epoch) {
+            // Epochs are strictly monotonic per service, so a hit can
+            // only be a re-delivery; keep the newest snapshot for it.
+            Ok(pos) => {
+                inner[pos].snapshot = report.snapshot;
+                inner[pos].dirty = report.dirty;
+            }
+            Err(pos) => inner.insert(
+                pos,
+                ArchivedEpoch {
+                    epoch: report.epoch,
+                    snapshot: report.snapshot,
+                    dirty: report.dirty,
+                },
+            ),
+        }
+        report.epoch
+    }
+
+    /// The service's current snapshot — the same `Arc` pointer
+    /// [`PeeringService::snapshot`] returns, untouched by retention.
+    pub fn latest(&self) -> Arc<Snapshot> {
+        self.service.snapshot()
+    }
+
+    /// Number of archived epochs.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("archive index poisoned").len()
+    }
+
+    /// Whether the archive holds no epochs (only possible before
+    /// [`SnapshotArchive::attach`] returns — attach retains one).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The oldest archived epoch, if any.
+    pub fn first_epoch(&self) -> Option<u64> {
+        let inner = self.inner.read().expect("archive index poisoned");
+        inner.first().map(|e| e.epoch)
+    }
+
+    /// The newest archived epoch, if any.
+    pub fn latest_epoch(&self) -> Option<u64> {
+        let inner = self.inner.read().expect("archive index poisoned");
+        inner.last().map(|e| e.epoch)
+    }
+
+    /// The snapshot archived at exactly `epoch`.
+    pub fn at(&self, epoch: u64) -> Result<Arc<Snapshot>, ArchiveError> {
+        let inner = self.inner.read().expect("archive index poisoned");
+        Self::resolve(&inner, epoch).map(|pos| Arc::clone(&inner[pos].snapshot))
+    }
+
+    /// The newest archived snapshot at or before `epoch` (the as-of
+    /// lookup). Errors only when `epoch` precedes the whole archive or
+    /// lies in the future.
+    pub fn as_of(&self, epoch: u64) -> Result<Arc<Snapshot>, ArchiveError> {
+        let inner = self.inner.read().expect("archive index poisoned");
+        let (first, latest) = Self::bounds(&inner)?;
+        if epoch > latest {
+            return Err(ArchiveError::FutureEpoch {
+                requested: epoch,
+                latest,
+            });
+        }
+        match inner.binary_search_by_key(&epoch, |e| e.epoch) {
+            Ok(pos) => Ok(Arc::clone(&inner[pos].snapshot)),
+            Err(0) => Err(ArchiveError::NotArchived {
+                requested: epoch,
+                first,
+                latest,
+            }),
+            Err(pos) => Ok(Arc::clone(&inner[pos - 1].snapshot)),
+        }
+    }
+
+    /// Every archived `(epoch, snapshot)` within the inclusive range,
+    /// ascending by epoch. Epochs in the range that were never archived
+    /// are simply absent; an empty result is not an error.
+    pub fn range(&self, epochs: RangeInclusive<u64>) -> Vec<(u64, Arc<Snapshot>)> {
+        let inner = self.inner.read().expect("archive index poisoned");
+        inner
+            .iter()
+            .filter(|e| epochs.contains(&e.epoch))
+            .map(|e| (e.epoch, Arc::clone(&e.snapshot)))
+            .collect()
+    }
+
+    /// [`Snapshot::verdict`] as of an archived epoch.
+    pub fn verdict_at(
+        &self,
+        ixp: usize,
+        iface: Ipv4Addr,
+        epoch: u64,
+    ) -> Result<VerdictAnswer, ArchiveError> {
+        Ok(self.at(epoch)?.verdict(ixp, iface)?)
+    }
+
+    /// [`Snapshot::asn_report`] as of an archived epoch.
+    pub fn asn_report_at(&self, asn: Asn, epoch: u64) -> Result<AsnReport, ArchiveError> {
+        Ok(self.at(epoch)?.asn_report(asn)?)
+    }
+
+    /// [`Snapshot::explain`] as of an archived epoch.
+    pub fn explain_at(&self, iface: Ipv4Addr, epoch: u64) -> Result<Explanation, ArchiveError> {
+        Ok(self.at(epoch)?.explain(iface)?)
+    }
+
+    /// [`Snapshot::ixp_report`] as of an archived epoch.
+    pub fn ixp_report_at(&self, ixp: usize, epoch: u64) -> Result<IxpReport, ArchiveError> {
+        Ok(self.at(epoch)?.ixp_report(ixp)?)
+    }
+
+    /// The remote-share trend line of one IXP across every archived
+    /// epoch observing it, ascending. Registry revisions can change the
+    /// observed IXP population, so epochs where the index is out of
+    /// range contribute no point; the lookup errors only when **no**
+    /// archived epoch observes the IXP.
+    pub fn trend(&self, ixp: usize) -> Result<TrendLine, ArchiveError> {
+        let inner = self.inner.read().expect("archive index poisoned");
+        Self::bounds(&inner)?;
+        let mut name = None;
+        let points: Vec<TrendPoint> = inner
+            .iter()
+            .filter_map(|e| {
+                let rollup = e.snapshot.ixp_rollups().get(ixp)?;
+                name = Some(rollup.name.clone());
+                Some(TrendPoint {
+                    epoch: e.epoch,
+                    interfaces: rollup.interfaces,
+                    local: rollup.local,
+                    remote: rollup.remote,
+                    unclassified: rollup.unclassified,
+                    remote_share: rollup.remote_share,
+                })
+            })
+            .collect();
+        match name {
+            Some(name) => Ok(TrendLine { ixp, name, points }),
+            None => {
+                let latest = inner.last().expect("bounds checked non-empty");
+                Err(ArchiveError::Service(ServiceError::UnknownIxp {
+                    ixp,
+                    ixps: latest.snapshot.ixp_count(),
+                }))
+            }
+        }
+    }
+
+    /// One member ASN's verdict churn between every consecutive pair of
+    /// archived epochs: a **flip** is an interface present at both
+    /// epochs whose verdict changed (classified ↔ unclassified
+    /// included); appearances and disappearances count membership
+    /// churn. An ASN unknown at some epoch simply has no interfaces
+    /// there; the lookup errors only when it is unknown at **every**
+    /// archived epoch.
+    pub fn churn(&self, asn: Asn) -> Result<ChurnReport, ArchiveError> {
+        let inner = self.inner.read().expect("archive index poisoned");
+        Self::bounds(&inner)?;
+        let mut known_anywhere = false;
+        let verdicts: Vec<(u64, BTreeMap<Ipv4Addr, Option<Verdict>>)> = inner
+            .iter()
+            .map(|e| {
+                let map = match e.snapshot.asn_report(asn) {
+                    Ok(report) => {
+                        known_anywhere = true;
+                        report
+                            .interfaces
+                            .iter()
+                            .map(|a| (a.addr, a.verdict))
+                            .collect()
+                    }
+                    Err(_) => BTreeMap::new(),
+                };
+                (e.epoch, map)
+            })
+            .collect();
+        if !known_anywhere {
+            return Err(ArchiveError::Service(ServiceError::UnknownAsn { asn }));
+        }
+        let per_epoch: Vec<ChurnPoint> = verdicts
+            .windows(2)
+            .map(|pair| {
+                let (_, earlier) = &pair[0];
+                let (epoch, later) = &pair[1];
+                let flips = later
+                    .iter()
+                    .filter(|(addr, v)| earlier.get(*addr).is_some_and(|prev| prev != *v))
+                    .count();
+                let appeared = later.keys().filter(|a| !earlier.contains_key(a)).count();
+                let disappeared = earlier.keys().filter(|a| !later.contains_key(a)).count();
+                ChurnPoint {
+                    epoch: *epoch,
+                    flips,
+                    appeared,
+                    disappeared,
+                }
+            })
+            .collect();
+        Ok(ChurnReport {
+            asn,
+            flips: per_epoch.iter().map(|p| p.flips).sum(),
+            appeared: per_epoch.iter().map(|p| p.appeared).sum(),
+            disappeared: per_epoch.iter().map(|p| p.disappeared).sum(),
+            per_epoch,
+        })
+    }
+
+    /// Per-epoch dirty-shard accounting, ascending by epoch.
+    pub fn dirty_log(&self) -> Vec<DirtyRecord> {
+        let inner = self.inner.read().expect("archive index poisoned");
+        inner
+            .iter()
+            .map(|e| DirtyRecord {
+                epoch: e.epoch,
+                dirty: e.dirty,
+            })
+            .collect()
+    }
+
+    /// Per-IXP step contributions as of an archived epoch (for the
+    /// evolution-report figures).
+    pub fn step_contributions_at(
+        &self,
+        epoch: u64,
+    ) -> Result<BTreeMap<usize, StepCounts>, ArchiveError> {
+        Ok(self.at(epoch)?.step_contributions().clone())
+    }
+
+    /// A rough estimate of the heap retained by the archived snapshots,
+    /// in bytes ([`Snapshot::approx_retained_bytes`] summed over the
+    /// index). Snapshots are Arc-shared with the service, so the
+    /// marginal retention cost of the archive itself is the index plus
+    /// every epoch the service would otherwise have dropped.
+    pub fn retained_bytes_estimate(&self) -> usize {
+        let inner = self.inner.read().expect("archive index poisoned");
+        inner
+            .iter()
+            .map(|e| e.snapshot.approx_retained_bytes())
+            .sum()
+    }
+
+    /// Resolves an exact epoch to its index position, with the full
+    /// typed taxonomy.
+    fn resolve(inner: &[ArchivedEpoch], epoch: u64) -> Result<usize, ArchiveError> {
+        let (first, latest) = Self::bounds(inner)?;
+        match inner.binary_search_by_key(&epoch, |e| e.epoch) {
+            Ok(pos) => Ok(pos),
+            Err(_) if epoch > latest => Err(ArchiveError::FutureEpoch {
+                requested: epoch,
+                latest,
+            }),
+            Err(_) => Err(ArchiveError::NotArchived {
+                requested: epoch,
+                first,
+                latest,
+            }),
+        }
+    }
+
+    fn bounds(inner: &[ArchivedEpoch]) -> Result<(u64, u64), ArchiveError> {
+        match (inner.first(), inner.last()) {
+            (Some(first), Some(last)) => Ok((first.epoch, last.epoch)),
+            _ => Err(ArchiveError::Empty),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ParallelConfig;
+    use crate::input::InferenceInput;
+    use crate::pipeline::PipelineConfig;
+    use opeer_measure::campaign::campaign_batches;
+    use opeer_measure::traceroute::corpus_batches;
+    use opeer_topology::WorldConfig;
+
+    fn service_with_deltas(
+        world: &opeer_topology::World,
+        seed: u64,
+        epochs: usize,
+    ) -> (PeeringService<'_>, Vec<InputDelta>) {
+        let service = PeeringService::build(
+            InferenceInput::assemble_base(world, seed),
+            &PipelineConfig::default(),
+            &ParallelConfig::new(2),
+        );
+        let (_, campaign_cfg, corpus_cfg) = crate::input::default_configs(seed);
+        let camp = campaign_batches(world, &service.input().vps, campaign_cfg, epochs);
+        let corp = corpus_batches(world, corpus_cfg, epochs);
+        let deltas = InputDelta::zip_batches(camp, corp);
+        (service, deltas)
+    }
+
+    #[test]
+    fn archive_indexes_every_epoch_and_time_travels() {
+        let world = WorldConfig::small(42).generate();
+        let (service, deltas) = service_with_deltas(&world, 42, 3);
+        let archive = SnapshotArchive::attach(&service);
+        assert_eq!(archive.len(), 1);
+        assert_eq!(archive.first_epoch(), Some(0));
+
+        let mut snapshots = vec![archive.latest()];
+        for delta in deltas {
+            archive.apply(delta);
+            snapshots.push(archive.latest());
+        }
+        let n = snapshots.len() as u64;
+        assert_eq!(archive.len() as u64, n);
+        assert_eq!(archive.latest_epoch(), Some(n - 1));
+
+        // at(): every archived epoch resolves to the exact Arc the
+        // service published at that epoch.
+        for (e, snap) in snapshots.iter().enumerate() {
+            let archived = archive.at(e as u64).expect("archived epoch");
+            assert!(Arc::ptr_eq(&archived, snap), "epoch {e} is a copy");
+            assert_eq!(archived.epoch(), e as u64);
+        }
+
+        // as_of() is exact on archived epochs and floors in between /
+        // errors outside.
+        let as_of = archive.as_of(n - 1).expect("latest archived");
+        assert_eq!(as_of.epoch(), n - 1);
+        assert!(matches!(
+            archive.as_of(n + 5),
+            Err(ArchiveError::FutureEpoch { requested, latest })
+                if requested == n + 5 && latest == n - 1
+        ));
+
+        // range(): inclusive, ascending, clipped.
+        let mid = archive.range(1..=n - 2);
+        assert_eq!(mid.len() as u64, n - 2);
+        assert!(mid.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(archive.range(n + 1..=n + 9).is_empty());
+
+        // Typed errors on the exact lookup.
+        assert!(matches!(
+            archive.at(n + 1),
+            Err(ArchiveError::FutureEpoch { .. })
+        ));
+        let err = archive
+            .verdict_at(0, "203.0.113.1".parse().expect("valid"), n + 1)
+            .expect_err("future epoch");
+        assert!(matches!(err, ArchiveError::FutureEpoch { .. }));
+
+        // dirty_log covers every epoch; epoch 0 (the warm build) and
+        // each delta epoch carry their own counts.
+        let log = archive.dirty_log();
+        assert_eq!(log.len() as u64, n);
+        assert!(log.windows(2).all(|w| w[0].epoch < w[1].epoch));
+        assert!(log[1..].iter().any(|r| r.dirty.total() > 0));
+
+        assert!(archive.retained_bytes_estimate() > 0);
+    }
+
+    #[test]
+    fn archive_does_not_perturb_the_write_path() {
+        // Satellite pin: with an archive attached, latest() must stay
+        // pointer-identical to the service's own snapshot, epochs must
+        // stay strictly monotonic, and apply-through-archive must be
+        // observationally identical to apply-through-service.
+        let world = WorldConfig::small(7).generate();
+        let (service, deltas) = service_with_deltas(&world, 7, 4);
+        let archive = SnapshotArchive::attach(&service);
+        let mut last_epoch = service.epoch();
+        for delta in deltas {
+            let epoch = archive.apply(delta);
+            assert_eq!(epoch, last_epoch + 1, "epoch monotonicity broken");
+            last_epoch = epoch;
+            // The service's reader surface and the archive's latest()
+            // are the same Arc — retention added no publish step.
+            assert!(Arc::ptr_eq(&archive.latest(), &service.snapshot()));
+            assert_eq!(service.epoch(), epoch);
+        }
+        // And the archived tail equals the service's current state.
+        let at_last = archive.at(last_epoch).expect("archived");
+        assert!(Arc::ptr_eq(&at_last, &service.snapshot()));
+    }
+
+    #[test]
+    fn archive_retention_releases_on_drop() {
+        // Satellite pin: dropping the archive releases every non-latest
+        // snapshot (the service keeps only the latest alive).
+        let world = WorldConfig::small(11).generate();
+        let (service, deltas) = service_with_deltas(&world, 11, 2);
+        let archive = SnapshotArchive::attach(&service);
+        for delta in deltas {
+            archive.apply(delta);
+        }
+        let old = archive.at(0).expect("epoch 0 archived");
+        let latest = archive.latest();
+        let weak_old = Arc::downgrade(&old);
+        let weak_latest = Arc::downgrade(&latest);
+        // While archived: our probe + the archive's retained clone.
+        assert!(Arc::strong_count(&old) >= 2);
+        drop(old);
+        drop(latest);
+        drop(archive);
+        assert!(
+            weak_old.upgrade().is_none(),
+            "dropping the archive must release non-latest snapshots"
+        );
+        assert!(
+            weak_latest.upgrade().is_some(),
+            "the latest snapshot must stay alive through the service"
+        );
+    }
+
+    #[test]
+    fn trend_and_churn_aggregate_across_epochs() {
+        let world = WorldConfig::small(42).generate();
+        let (service, deltas) = service_with_deltas(&world, 42, 3);
+        let archive = SnapshotArchive::attach(&service);
+        for delta in deltas {
+            archive.apply(delta);
+        }
+        let latest = archive.latest();
+        let n_epochs = archive.len();
+
+        // Trend: one point per epoch, epoch-ascending, matching the
+        // per-epoch rollups.
+        let trend = archive.trend(0).expect("IXP 0 observed");
+        assert_eq!(trend.points.len(), n_epochs);
+        assert!(trend.points.windows(2).all(|w| w[0].epoch < w[1].epoch));
+        for point in &trend.points {
+            let snap = archive.at(point.epoch).expect("archived");
+            let rollup = &snap.ixp_rollups()[0];
+            assert_eq!(point.remote, rollup.remote);
+            assert_eq!(point.remote_share, rollup.remote_share);
+        }
+        assert!(matches!(
+            archive.trend(latest.ixp_count() + 10),
+            Err(ArchiveError::Service(ServiceError::UnknownIxp { .. }))
+        ));
+
+        // Churn: membership comes from the registry (static here), so
+        // appearances stay zero — but verdicts flip as measurement
+        // epochs accumulate (`None` at the measurement-free base epoch,
+        // classified by the end for any inferred interface).
+        let asn = latest.result().inferences[0].asn;
+        let churn = archive.churn(asn).expect("member ASN churn");
+        assert_eq!(churn.per_epoch.len(), n_epochs - 1);
+        assert_eq!(churn.appeared, 0, "static registry cannot churn members");
+        assert!(
+            churn.flips > 0,
+            "accumulating measurements must flip verdicts"
+        );
+        assert_eq!(
+            churn.flips,
+            churn.per_epoch.iter().map(|p| p.flips).sum::<usize>()
+        );
+        assert!(matches!(
+            archive.churn(Asn::new(64_999)),
+            Err(ArchiveError::Service(ServiceError::UnknownAsn { .. }))
+        ));
+    }
+
+    #[test]
+    fn archive_error_display_and_serde_round_trip() {
+        let errors = [
+            ArchiveError::FutureEpoch {
+                requested: 9,
+                latest: 3,
+            },
+            ArchiveError::NotArchived {
+                requested: 2,
+                first: 3,
+                latest: 7,
+            },
+            ArchiveError::Empty,
+            ArchiveError::Service(ServiceError::UnknownAsn {
+                asn: Asn::new(64512),
+            }),
+        ];
+        for err in errors {
+            assert!(!err.to_string().is_empty());
+            let json = serde_json::to_string(err).expect("serializes");
+            let back: ArchiveError = serde_json::from_str(&json).expect("parses");
+            assert_eq!(back, err);
+        }
+    }
+}

@@ -10,12 +10,19 @@
 //! months rather than from a single inference snapshot; the inference
 //! pipeline cross-validates the *current* month.
 
+use crate::incremental::InputDelta;
+use crate::input::default_configs;
+use opeer_measure::campaign::{run_campaign, CampaignConfig};
+use opeer_measure::traceroute::{build_corpus, CorpusConfig};
+use opeer_measure::vp::discover_vps;
+use opeer_registry::{build_observed_world, ObservedWorld, Table1Stats};
 use opeer_topology::evolution::{
     evolution_ixps, find_switchers, growth_stats, monthly_series, GrowthStats, MonthlyCounts,
     Switcher,
 };
 use opeer_topology::World;
 use serde::{Deserialize, Serialize};
+use std::ops::RangeInclusive;
 
 /// The Fig. 12a bundle.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -60,6 +67,117 @@ pub fn growth_index(series: &[MonthlyCounts]) -> Vec<(u32, f64, f64)> {
         .iter()
         .map(|c| (c.month, c.local as f64 / l0, c.remote as f64 / r0))
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// monthly world revisions → epoch deltas (the archive driver)
+// ---------------------------------------------------------------------
+
+/// The world as observed in `month`: the same topology with the
+/// observation window moved, so registry fusion, campaign targeting,
+/// and corpus planning all see the memberships active that month.
+fn world_at_month(world: &World, month: u32) -> World {
+    let mut w = world.clone();
+    w.observation_month = month;
+    w
+}
+
+/// Derives the per-month measurement seed from the master seed. Month
+/// campaigns must not share RNG streams (two identical campaigns would
+/// be a measurement artifact, not a new month), so each month gets a
+/// splitmix-style decorrelated seed; the registry keeps the *master*
+/// seed so fusion noise stays fixed and month-over-month registry diffs
+/// are membership-driven.
+fn month_seed(seed: u64, month: u32) -> u64 {
+    seed ^ (u64::from(month) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The fused registry dataset as observed in `month` (master-seed
+/// fusion noise — see [`month_seed`]).
+fn month_registry(world: &World, seed: u64, month: u32) -> (ObservedWorld, Table1Stats) {
+    let (registry_cfg, _, _) = default_configs(seed);
+    build_observed_world(&world_at_month(world, month), &registry_cfg)
+}
+
+/// One month of the longitudinal replay as an epoch delta: that month's
+/// ping campaign and traceroute corpus, plus a registry revision when
+/// the fused dataset changed since the previous month (month 0 always
+/// carries one, establishing the window's registry).
+///
+/// This is a **pure function of `(world, seed, month)`** — the registry
+/// diff compares against an internally derived previous month, never
+/// against emission history — which is what makes the stream
+/// prefix-consistent: replaying months `0..=k` and then `k+1..=n`
+/// produces exactly the deltas of one `0..=n` session
+/// (`tests/determinism_snapshot.rs` pins this along with the seed-42
+/// stream shape). Feed the deltas to a
+/// [`SnapshotArchive`](crate::archive::SnapshotArchive) over a service
+/// built from [`InferenceInput::assemble_base`](crate::input::InferenceInput::assemble_base)
+/// on the month-0 world to grow an epoch-per-month history.
+pub fn monthly_delta(world: &World, seed: u64, month: u32) -> InputDelta {
+    let (observed, table1) = month_registry(world, seed, month);
+    let registry_changed = month == 0 || {
+        let (prev_obs, prev_t1) = month_registry(world, seed, month - 1);
+        observed != prev_obs || table1 != prev_t1
+    };
+    let delta = monthly_measurements(world, seed, month);
+    if registry_changed {
+        InputDelta {
+            registry: Some(Box::new((observed, table1))),
+            ..delta
+        }
+    } else {
+        delta
+    }
+}
+
+/// The measurement half of [`monthly_delta`]: the month's campaign and
+/// corpus under the decorrelated [`month_seed`].
+fn monthly_measurements(world: &World, seed: u64, month: u32) -> InputDelta {
+    let mw = world_at_month(world, month);
+    let mseed = month_seed(seed, month);
+    let vps = discover_vps(&mw, mseed);
+    let campaign = run_campaign(&mw, &vps, CampaignConfig::study(mseed));
+    let corpus = build_corpus(
+        &mw,
+        CorpusConfig {
+            seed: mseed,
+            ..CorpusConfig::default()
+        },
+    );
+    InputDelta::campaign(campaign).with_corpus(corpus)
+}
+
+/// [`monthly_delta`] over an inclusive month range, one delta per
+/// month, ascending. The registry chain is computed once per month pair
+/// (not twice), but the emitted stream is byte-identical to calling
+/// [`monthly_delta`] month by month.
+pub fn monthly_deltas(world: &World, seed: u64, months: RangeInclusive<u32>) -> Vec<InputDelta> {
+    let mut prev: Option<(ObservedWorld, Table1Stats)> = None;
+    let mut deltas = Vec::new();
+    for month in months {
+        let (observed, table1) = month_registry(world, seed, month);
+        let previous = match (month, prev.take()) {
+            (0, _) => None,
+            (_, Some(cached)) => Some(cached),
+            (m, None) => Some(month_registry(world, seed, m - 1)),
+        };
+        let changed = match &previous {
+            None => true,
+            Some((prev_obs, prev_t1)) => observed != *prev_obs || table1 != *prev_t1,
+        };
+        let delta = monthly_measurements(world, seed, month);
+        if changed {
+            deltas.push(InputDelta {
+                registry: Some(Box::new((observed.clone(), table1.clone()))),
+                ..delta
+            });
+        } else {
+            deltas.push(delta);
+        }
+        prev = Some((observed, table1));
+    }
+    deltas
 }
 
 #[cfg(test)]
@@ -137,6 +255,33 @@ mod tests {
             let idx_full = growth_index(&full.series);
             assert_eq!(idx_partial.as_slice(), &idx_full[..=months as usize]);
         }
+    }
+
+    #[test]
+    fn monthly_deltas_match_the_pure_per_month_function() {
+        // The batched emitter caches the registry chain; the emitted
+        // stream must still be byte-identical to calling the pure
+        // per-month function — that equivalence is what prefix
+        // consistency rides on.
+        let w = WorldConfig::small(42).generate();
+        let stream = monthly_deltas(&w, 42, 0..=4);
+        assert_eq!(stream.len(), 5);
+        assert!(
+            stream[0].registry.is_some(),
+            "month 0 must establish the registry"
+        );
+        for (m, d) in stream.iter().enumerate() {
+            let single = monthly_delta(&w, 42, m as u32);
+            assert_eq!(single.campaign, d.campaign, "month {m} campaign");
+            assert_eq!(single.corpus, d.corpus, "month {m} corpus");
+            assert_eq!(
+                single.registry.as_deref(),
+                d.registry.as_deref(),
+                "month {m} registry"
+            );
+        }
+        // Months must not share measurement RNG streams.
+        assert_ne!(stream[0].campaign, stream[1].campaign);
     }
 
     #[test]

@@ -55,6 +55,13 @@
 //!   number of readers query immutable, epoch-versioned
 //!   [`service::Snapshot`]s through typed point/report/explain lookups
 //!   and a batched, serde-serializable request/response API.
+//! * [`archive::SnapshotArchive`] — the longitudinal layer over the
+//!   service: every published epoch's snapshot retained (Arc-shared)
+//!   behind an epoch index, serving time-travel queries
+//!   (`verdict_at`/`asn_report_at`/`explain_at`), as-of/range lookups,
+//!   per-IXP remote-share trend lines, per-ASN verdict churn, and
+//!   per-epoch dirty-shard accounting; driven by
+//!   [`evolution::monthly_deltas`]' monthly world revisions.
 //!
 //! ## Quickstart
 //!
@@ -71,6 +78,7 @@
 
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod baseline;
 pub mod beyond_pings;
 pub mod engine;
@@ -86,6 +94,7 @@ pub mod service;
 pub mod steps;
 pub mod types;
 
+pub use archive::{ArchiveError, ChurnReport, SnapshotArchive, TrendLine};
 pub use baseline::run_baseline;
 pub use engine::{assemble_and_run_parallel, run_pipeline_parallel, ParallelConfig};
 pub use incremental::{run_pipeline_incremental, IncrementalPipeline, InputDelta};

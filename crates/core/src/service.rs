@@ -58,7 +58,7 @@
 //! counts.
 
 use crate::engine::ParallelConfig;
-use crate::incremental::{IncrementalPipeline, InputDelta};
+use crate::incremental::{DirtyCounts, IncrementalPipeline, InputDelta};
 use crate::input::InferenceInput;
 use crate::intern::{AsnId, InternTables};
 use crate::pipeline::{PipelineConfig, PipelineResult, StepCounts};
@@ -727,6 +727,54 @@ impl Snapshot {
         })
     }
 
+    /// A rough retained-heap estimate for this snapshot, in bytes:
+    /// the major result vectors, the publish-time indexes, and the
+    /// interned id tables, counted by element size (strings by their
+    /// current length). Used by the longitudinal archive's
+    /// retention accounting — an estimate, not an allocator audit.
+    pub fn approx_retained_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let result = &self.result;
+        let mut bytes = size_of::<Snapshot>();
+        bytes += result.inferences.capacity() * size_of::<crate::types::Inference>();
+        bytes += result
+            .inferences
+            .iter()
+            .map(|i| i.evidence.len())
+            .sum::<usize>();
+        bytes += result.unclassified.capacity() * size_of::<crate::types::Unclassified>();
+        bytes += result.observations.len()
+            * (size_of::<Ipv4Addr>() + size_of::<RttObservation>() + 4 * size_of::<usize>());
+        bytes += result.step3_details.capacity() * size_of::<Step3Detail>();
+        bytes += result.multi_ixp_routers.capacity() * size_of::<MultiIxpFinding>();
+        bytes += result
+            .multi_ixp_routers
+            .iter()
+            .map(|f| {
+                f.ifaces.capacity() * size_of::<Ipv4Addr>()
+                    + f.next_hop_ixps.len() * size_of::<usize>()
+            })
+            .sum::<usize>();
+        bytes += self.unclassified_by_addr.capacity() * size_of::<(Ipv4Addr, u32)>();
+        for csr in [
+            &self.asn_inferred,
+            &self.asn_unclassified,
+            &self.findings_by_asn,
+        ] {
+            bytes += (csr.offsets.capacity() + csr.slots.capacity()) * size_of::<u32>();
+        }
+        bytes += self
+            .colo
+            .iter()
+            .map(|row| row.capacity() * size_of::<usize>())
+            .sum::<usize>();
+        bytes += self.ixps.capacity() * size_of::<IxpRollup>();
+        bytes += self.ixps.iter().map(|r| r.name.len()).sum::<usize>();
+        bytes += size_of_val(self.interns.addrs.keys());
+        bytes += size_of_val(self.interns.asns.keys());
+        bytes
+    }
+
     /// Answers a batch of requests positionally. The batch itself is
     /// rejected ([`ServiceError::InvalidBatch`]) only when larger than
     /// [`MAX_BATCH`]; an **empty batch is a valid no-op** answering an
@@ -785,6 +833,22 @@ impl<'w> std::ops::Deref for InputGuard<'_, 'w> {
     }
 }
 
+/// What one [`PeeringService::apply_reported`] call published: the new
+/// epoch, the snapshot it swapped in (the same `Arc` a concurrent
+/// [`PeeringService::snapshot`] call would now return), and the
+/// dirty-shard accounting of the recompute. This is the hook the
+/// longitudinal archive ([`crate::archive::SnapshotArchive`]) layers
+/// on — retention is a clone of the already-published `Arc`, so the
+/// write path does no extra work.
+pub struct ApplyReport {
+    /// The newly published epoch.
+    pub epoch: u64,
+    /// The published snapshot (shared with the service's read side).
+    pub snapshot: Arc<Snapshot>,
+    /// Shard units this apply recomputed.
+    pub dirty: DirtyCounts,
+}
+
 /// The concurrently-readable peering lookup service: an
 /// [`IncrementalPipeline`] on the write side, an `Arc`-swapped
 /// [`Snapshot`] on the read side. See the [module docs](self).
@@ -825,14 +889,37 @@ impl<'w> PeeringService<'w> {
     /// their old snapshot and new [`PeeringService::snapshot`] calls see
     /// this epoch. Published epochs are strictly monotonic.
     pub fn apply(&self, delta: InputDelta) -> u64 {
+        self.apply_reported(delta).epoch
+    }
+
+    /// [`PeeringService::apply`], reporting what was published: the
+    /// epoch, the snapshot `Arc` itself, and the dirty-shard counts of
+    /// the recompute. The publish path is identical — this is `apply`
+    /// (which delegates here) plus an `Arc` clone, so layering the
+    /// archive on it cannot perturb the write side.
+    pub fn apply_reported(&self, delta: InputDelta) -> ApplyReport {
         let mut pipe = self.write.lock().expect("service writer poisoned");
         pipe.apply(delta);
         let epoch = pipe.epochs_applied() as u64;
+        let dirty = pipe.last_dirty();
         let snapshot = Arc::new(Snapshot::build(epoch, pipe.input(), pipe.result().clone()));
         // Swap while still holding the writer mutex: concurrent apply()
         // calls cannot publish out of order.
-        *self.current.write().expect("snapshot slot poisoned") = snapshot;
-        epoch
+        *self.current.write().expect("snapshot slot poisoned") = Arc::clone(&snapshot);
+        ApplyReport {
+            epoch,
+            snapshot,
+            dirty,
+        }
+    }
+
+    /// Shard units the write side's last apply (or initial build)
+    /// recomputed. Takes the writer mutex for the read.
+    pub fn last_dirty(&self) -> DirtyCounts {
+        self.write
+            .lock()
+            .expect("service writer poisoned")
+            .last_dirty()
     }
 
     /// The current snapshot. The lock is held only for the `Arc`

@@ -34,8 +34,17 @@
 //! | `/asn?asn=N` | GET | member report |
 //! | `/ixp?ixp=N` | GET | per-IXP rollup |
 //! | `/explain?iface=A.B.C.D` | GET | full evidence chain |
+//! | `/trend?ixp=N[&from=E&to=E]` | GET | archive: remote-share trend line |
+//! | `/churn?asn=N` | GET | archive: per-ASN verdict churn |
 //! | `/healthz` | GET | liveness: epoch + snapshot age |
 //! | `/metrics` | GET | counters, taxonomy, per-route latency |
+//!
+//! When the gateway is started with [`Gateway::serve_with`] and a
+//! [`opeer_core::archive::SnapshotArchive`], the `/verdict`, `/asn`,
+//! `/ixp`, and `/explain` routes additionally accept an `epoch=N`
+//! parameter answering *as of* that archived epoch; out-of-range,
+//! future, and garbage epochs map to typed 4xx errors (`future_epoch`,
+//! `epoch_not_archived`, `bad_param`, `no_archive`), never a `500`.
 //!
 //! ## Runtime knobs
 //!

@@ -33,6 +33,10 @@ pub enum Route {
     Ixp,
     /// `GET /explain`.
     Explain,
+    /// `GET /trend` (archive time-travel aggregation).
+    Trend,
+    /// `GET /churn` (archive time-travel aggregation).
+    Churn,
     /// `GET /healthz`.
     Healthz,
     /// `GET /metrics`.
@@ -42,12 +46,14 @@ pub enum Route {
 }
 
 /// Every route, in slot order.
-pub const ROUTES: [Route; 8] = [
+pub const ROUTES: [Route; 10] = [
     Route::Query,
     Route::Verdict,
     Route::Asn,
     Route::Ixp,
     Route::Explain,
+    Route::Trend,
+    Route::Churn,
     Route::Healthz,
     Route::Metrics,
     Route::Other,
@@ -62,6 +68,8 @@ impl Route {
             Route::Asn => "/asn",
             Route::Ixp => "/ixp",
             Route::Explain => "/explain",
+            Route::Trend => "/trend",
+            Route::Churn => "/churn",
             Route::Healthz => "/healthz",
             Route::Metrics => "/metrics",
             Route::Other => "other",
@@ -75,9 +83,11 @@ impl Route {
             Route::Asn => 2,
             Route::Ixp => 3,
             Route::Explain => 4,
-            Route::Healthz => 5,
-            Route::Metrics => 6,
-            Route::Other => 7,
+            Route::Trend => 5,
+            Route::Churn => 6,
+            Route::Healthz => 7,
+            Route::Metrics => 8,
+            Route::Other => 9,
         }
     }
 
@@ -89,6 +99,8 @@ impl Route {
             "/asn" => Route::Asn,
             "/ixp" => Route::Ixp,
             "/explain" => Route::Explain,
+            "/trend" => Route::Trend,
+            "/churn" => Route::Churn,
             "/healthz" => Route::Healthz,
             "/metrics" => Route::Metrics,
             _ => Route::Other,

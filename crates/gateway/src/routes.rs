@@ -10,9 +10,19 @@
 //! `{"error": <kind>, "status": <n>, "detail": <text>}`, with the full
 //! serialized [`ServiceError`] attached under `"service_error"` when
 //! there is one.
+//!
+//! When a [`SnapshotArchive`] is attached
+//! ([`crate::Gateway::serve_with`]), the point-query routes accept an
+//! optional `epoch=` parameter for time travel, and `GET /trend` /
+//! `GET /churn` serve the longitudinal aggregations. Archive rejections
+//! stay total and typed: a not-yet-published epoch is `404
+//! future_epoch`, a never-retained one `404 epoch_not_archived`, an
+//! `epoch=` query against an archive-less gateway `404 no_archive`, and
+//! a garbage epoch value the usual `400 bad_param` — never a `500`.
 
 use crate::http::Request;
 use crate::metrics::{MetricsRegistry, Route};
+use opeer_core::archive::{ArchiveError, SnapshotArchive};
 use opeer_core::service::{QueryRequest, ServiceError, Snapshot};
 use serde::{Serialize, Value};
 use std::net::Ipv4Addr;
@@ -111,6 +121,39 @@ fn parse_param<T: std::str::FromStr>(request: &Request, name: &str) -> Result<T,
     })
 }
 
+/// An optional query parameter: absent is `None`, present-but-malformed
+/// is the usual `400 bad_param`.
+fn opt_param<T: std::str::FromStr>(request: &Request, name: &str) -> Result<Option<T>, Outcome> {
+    if request.query.contains_key(name) {
+        parse_param(request, name).map(Some)
+    } else {
+        Ok(None)
+    }
+}
+
+/// The rejection for time-travel parameters on a gateway that serves
+/// only the live snapshot.
+fn no_archive() -> Outcome {
+    error(
+        404,
+        "no_archive",
+        "this gateway serves only the live snapshot; no archive is attached".to_string(),
+    )
+}
+
+/// Maps an [`ArchiveError`] to its response: epoch-resolution failures
+/// get their own `404` kinds, a per-snapshot lookup failure maps like
+/// any live [`ServiceError`].
+fn archive_error(err: ArchiveError) -> Outcome {
+    match err {
+        ArchiveError::Service(e) => service_error(e),
+        ArchiveError::FutureEpoch { .. } => error(404, "future_epoch", err.to_string()),
+        ArchiveError::NotArchived { .. } | ArchiveError::Empty => {
+            error(404, "epoch_not_archived", err.to_string())
+        }
+    }
+}
+
 /// Bumps the taxonomy counter matching an outcome's kind.
 fn record_taxonomy(metrics: &MetricsRegistry, outcome: &Outcome) {
     let t = &metrics.taxonomy;
@@ -125,20 +168,25 @@ fn record_taxonomy(metrics: &MetricsRegistry, outcome: &Outcome) {
 
 /// Dispatches one parsed request against one snapshot. `snapshot_age`
 /// is time since the current snapshot was published (for `/healthz`
-/// and `/metrics`).
+/// and `/metrics`). `archive` enables the time-travel surface: the
+/// `epoch=` parameter on point queries and the `/trend` / `/churn`
+/// routes; without one those map to typed `404`s.
 pub fn dispatch(
     request: &Request,
     snapshot: &Snapshot,
     snapshot_age: Duration,
+    archive: Option<&SnapshotArchive<'_, '_>>,
     metrics: &MetricsRegistry,
 ) -> Outcome {
     let route = Route::of_path(&request.path);
     let outcome = match (request.method.as_str(), route) {
         ("POST", Route::Query) => query(request, snapshot),
-        ("GET", Route::Verdict) => verdict(request, snapshot),
-        ("GET", Route::Asn) => asn(request, snapshot),
-        ("GET", Route::Ixp) => ixp(request, snapshot),
-        ("GET", Route::Explain) => explain(request, snapshot),
+        ("GET", Route::Verdict) => verdict(request, snapshot, archive),
+        ("GET", Route::Asn) => asn(request, snapshot, archive),
+        ("GET", Route::Ixp) => ixp(request, snapshot, archive),
+        ("GET", Route::Explain) => explain(request, snapshot, archive),
+        ("GET", Route::Trend) => trend(request, archive),
+        ("GET", Route::Churn) => churn(request, archive),
         ("GET", Route::Healthz) => healthz(snapshot, snapshot_age),
         ("GET", Route::Metrics) => serialize_ok(&metrics.render(snapshot.epoch(), snapshot_age)),
         (_, Route::Other) => error(404, "not_found", format!("no route `{}`", request.path)),
@@ -167,7 +215,11 @@ fn query(request: &Request, snapshot: &Snapshot) -> Outcome {
     }
 }
 
-fn verdict(request: &Request, snapshot: &Snapshot) -> Outcome {
+fn verdict(
+    request: &Request,
+    snapshot: &Snapshot,
+    archive: Option<&SnapshotArchive<'_, '_>>,
+) -> Outcome {
     let ixp = match parse_param::<usize>(request, "ixp") {
         Ok(v) => v,
         Err(o) => return o,
@@ -176,42 +228,138 @@ fn verdict(request: &Request, snapshot: &Snapshot) -> Outcome {
         Ok(v) => v,
         Err(o) => return o,
     };
-    match snapshot.verdict(ixp, iface) {
-        Ok(answer) => serialize_ok(&answer),
-        Err(e) => service_error(e),
+    match opt_param::<u64>(request, "epoch") {
+        Err(o) => o,
+        Ok(None) => match snapshot.verdict(ixp, iface) {
+            Ok(answer) => serialize_ok(&answer),
+            Err(e) => service_error(e),
+        },
+        Ok(Some(epoch)) => match archive {
+            None => no_archive(),
+            Some(archive) => match archive.verdict_at(ixp, iface, epoch) {
+                Ok(answer) => serialize_ok(&answer),
+                Err(e) => archive_error(e),
+            },
+        },
     }
 }
 
-fn asn(request: &Request, snapshot: &Snapshot) -> Outcome {
+fn asn(
+    request: &Request,
+    snapshot: &Snapshot,
+    archive: Option<&SnapshotArchive<'_, '_>>,
+) -> Outcome {
     let asn = match parse_param::<u32>(request, "asn") {
         Ok(v) => opeer_net::Asn::new(v),
         Err(o) => return o,
     };
-    match snapshot.asn_report(asn) {
-        Ok(answer) => serialize_ok(&answer),
-        Err(e) => service_error(e),
+    match opt_param::<u64>(request, "epoch") {
+        Err(o) => o,
+        Ok(None) => match snapshot.asn_report(asn) {
+            Ok(answer) => serialize_ok(&answer),
+            Err(e) => service_error(e),
+        },
+        Ok(Some(epoch)) => match archive {
+            None => no_archive(),
+            Some(archive) => match archive.asn_report_at(asn, epoch) {
+                Ok(answer) => serialize_ok(&answer),
+                Err(e) => archive_error(e),
+            },
+        },
     }
 }
 
-fn ixp(request: &Request, snapshot: &Snapshot) -> Outcome {
+fn ixp(
+    request: &Request,
+    snapshot: &Snapshot,
+    archive: Option<&SnapshotArchive<'_, '_>>,
+) -> Outcome {
     let ixp = match parse_param::<usize>(request, "ixp") {
         Ok(v) => v,
         Err(o) => return o,
     };
-    match snapshot.ixp_report(ixp) {
-        Ok(answer) => serialize_ok(&answer),
-        Err(e) => service_error(e),
+    match opt_param::<u64>(request, "epoch") {
+        Err(o) => o,
+        Ok(None) => match snapshot.ixp_report(ixp) {
+            Ok(answer) => serialize_ok(&answer),
+            Err(e) => service_error(e),
+        },
+        Ok(Some(epoch)) => match archive {
+            None => no_archive(),
+            Some(archive) => match archive.ixp_report_at(ixp, epoch) {
+                Ok(answer) => serialize_ok(&answer),
+                Err(e) => archive_error(e),
+            },
+        },
     }
 }
 
-fn explain(request: &Request, snapshot: &Snapshot) -> Outcome {
+fn explain(
+    request: &Request,
+    snapshot: &Snapshot,
+    archive: Option<&SnapshotArchive<'_, '_>>,
+) -> Outcome {
     let iface = match parse_param::<Ipv4Addr>(request, "iface") {
         Ok(v) => v,
         Err(o) => return o,
     };
-    match snapshot.explain(iface) {
-        Ok(answer) => serialize_ok(&answer),
-        Err(e) => service_error(e),
+    match opt_param::<u64>(request, "epoch") {
+        Err(o) => o,
+        Ok(None) => match snapshot.explain(iface) {
+            Ok(answer) => serialize_ok(&answer),
+            Err(e) => service_error(e),
+        },
+        Ok(Some(epoch)) => match archive {
+            None => no_archive(),
+            Some(archive) => match archive.explain_at(iface, epoch) {
+                Ok(answer) => serialize_ok(&answer),
+                Err(e) => archive_error(e),
+            },
+        },
+    }
+}
+
+fn trend(request: &Request, archive: Option<&SnapshotArchive<'_, '_>>) -> Outcome {
+    let ixp = match parse_param::<usize>(request, "ixp") {
+        Ok(v) => v,
+        Err(o) => return o,
+    };
+    let from = match opt_param::<u64>(request, "from") {
+        Ok(v) => v,
+        Err(o) => return o,
+    };
+    let to = match opt_param::<u64>(request, "to") {
+        Ok(v) => v,
+        Err(o) => return o,
+    };
+    let Some(archive) = archive else {
+        return no_archive();
+    };
+    match archive.trend(ixp) {
+        Ok(mut line) => {
+            if let Some(from) = from {
+                line.points.retain(|p| p.epoch >= from);
+            }
+            if let Some(to) = to {
+                line.points.retain(|p| p.epoch <= to);
+            }
+            serialize_ok(&line)
+        }
+        Err(e) => archive_error(e),
+    }
+}
+
+fn churn(request: &Request, archive: Option<&SnapshotArchive<'_, '_>>) -> Outcome {
+    let asn = match parse_param::<u32>(request, "asn") {
+        Ok(v) => opeer_net::Asn::new(v),
+        Err(o) => return o,
+    };
+    let Some(archive) = archive else {
+        return no_archive();
+    };
+    match archive.churn(asn) {
+        Ok(report) => serialize_ok(&report),
+        Err(e) => archive_error(e),
     }
 }
 
@@ -289,6 +437,7 @@ mod tests {
             ),
             &snap,
             age,
+            None,
             &metrics,
         );
         assert_eq!(ok.status, 200);
@@ -300,24 +449,26 @@ mod tests {
             &get("/asn", &[("asn", &asn.value().to_string())]),
             &snap,
             age,
+            None,
             &metrics,
         );
         assert_eq!(ok.status, 200);
-        let ok = dispatch(&get("/ixp", &[("ixp", "0")]), &snap, age, &metrics);
+        let ok = dispatch(&get("/ixp", &[("ixp", "0")]), &snap, age, None, &metrics);
         assert_eq!(ok.status, 200);
         let ok = dispatch(
             &get("/explain", &[("iface", &iface.to_string())]),
             &snap,
             age,
+            None,
             &metrics,
         );
         assert_eq!(ok.status, 200);
-        let ok = dispatch(&get("/healthz", &[]), &snap, age, &metrics);
+        let ok = dispatch(&get("/healthz", &[]), &snap, age, None, &metrics);
         assert_eq!(ok.status, 200);
         let health: Value = serde_json::from_slice(&ok.body).expect("health parses");
         assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
         assert_eq!(health.get("epoch").and_then(Value::as_u64), Some(0));
-        let ok = dispatch(&get("/metrics", &[]), &snap, age, &metrics);
+        let ok = dispatch(&get("/metrics", &[]), &snap, age, None, &metrics);
         assert_eq!(ok.status, 200);
 
         // A query batch mixing all four families.
@@ -328,7 +479,13 @@ mod tests {
              {{\"Explain\":{{\"iface\":\"{iface}\"}}}}]",
             asn.value()
         );
-        let ok = dispatch(&post("/query", batch.as_bytes()), &snap, age, &metrics);
+        let ok = dispatch(
+            &post("/query", batch.as_bytes()),
+            &snap,
+            age,
+            None,
+            &metrics,
+        );
         assert_eq!(ok.status, 200, "{}", String::from_utf8_lossy(&ok.body));
         let responses: Vec<QueryResponse> =
             serde_json::from_slice(&ok.body).expect("query body parses");
@@ -336,17 +493,24 @@ mod tests {
         assert!(matches!(responses[0], QueryResponse::Verdict(_)));
 
         // An empty batch is 200 [] (the fixed contract), not an error.
-        let ok = dispatch(&post("/query", b"[]"), &snap, age, &metrics);
+        let ok = dispatch(&post("/query", b"[]"), &snap, age, None, &metrics);
         assert_eq!(ok.status, 200);
         assert_eq!(ok.body, b"[]");
 
         // Error classes.
-        let e = dispatch(&post("/query", b"this is not json"), &snap, age, &metrics);
+        let e = dispatch(
+            &post("/query", b"this is not json"),
+            &snap,
+            age,
+            None,
+            &metrics,
+        );
         assert_eq!(e.status, 400);
         let e = dispatch(
             &post("/query", b"{\"not\":\"a batch\"}"),
             &snap,
             age,
+            None,
             &metrics,
         );
         assert_eq!(e.status, 400);
@@ -354,7 +518,7 @@ mod tests {
             "[{}]",
             vec!["{\"IxpReport\":{\"ixp\":0}}"; opeer_core::service::MAX_BATCH + 1].join(",")
         );
-        let e = dispatch(&post("/query", huge.as_bytes()), &snap, age, &metrics);
+        let e = dispatch(&post("/query", huge.as_bytes()), &snap, age, None, &metrics);
         assert_eq!(e.status, 413);
         let body: Value = serde_json::from_slice(&e.body).expect("error body parses");
         assert_eq!(
@@ -363,7 +527,13 @@ mod tests {
         );
         assert!(body.get("service_error").is_some());
 
-        let e = dispatch(&get("/verdict", &[("ixp", "0")]), &snap, age, &metrics);
+        let e = dispatch(
+            &get("/verdict", &[("ixp", "0")]),
+            &snap,
+            age,
+            None,
+            &metrics,
+        );
         assert_eq!(e.status, 400); // missing iface
         let e = dispatch(
             &get(
@@ -372,6 +542,7 @@ mod tests {
             ),
             &snap,
             age,
+            None,
             &metrics,
         );
         assert_eq!(e.status, 400);
@@ -382,16 +553,23 @@ mod tests {
             ),
             &snap,
             age,
+            None,
             &metrics,
         );
         assert_eq!(e.status, 404);
-        let e = dispatch(&get("/asn", &[("asn", "64999")]), &snap, age, &metrics);
+        let e = dispatch(
+            &get("/asn", &[("asn", "64999")]),
+            &snap,
+            age,
+            None,
+            &metrics,
+        );
         assert_eq!(e.status, 404);
-        let e = dispatch(&get("/nope", &[]), &snap, age, &metrics);
+        let e = dispatch(&get("/nope", &[]), &snap, age, None, &metrics);
         assert_eq!(e.status, 404);
-        let e = dispatch(&post("/healthz", b"{}"), &snap, age, &metrics);
+        let e = dispatch(&post("/healthz", b"{}"), &snap, age, None, &metrics);
         assert_eq!(e.status, 405);
-        let e = dispatch(&get("/query", &[]), &snap, age, &metrics);
+        let e = dispatch(&get("/query", &[]), &snap, age, None, &metrics);
         assert_eq!(e.status, 405);
 
         // Taxonomy counters moved.
@@ -399,6 +577,186 @@ mod tests {
         assert!(metrics.taxonomy.bad_method.load(Ordering::Relaxed) >= 2);
         assert!(metrics.taxonomy.bad_json.load(Ordering::Relaxed) >= 2);
         assert!(metrics.taxonomy.batch_too_large.load(Ordering::Relaxed) >= 1);
+        assert_eq!(metrics.panics(), 0);
+    }
+
+    #[test]
+    fn dispatch_covers_the_time_travel_surface() {
+        use opeer_core::archive::SnapshotArchive;
+        use opeer_core::evolution::monthly_deltas;
+
+        let world = world();
+        let svc = PeeringService::build(
+            InferenceInput::assemble_base(&world, 42),
+            &PipelineConfig::default(),
+            &ParallelConfig::new(2),
+        );
+        let archive = SnapshotArchive::attach(&svc);
+        for delta in monthly_deltas(&world, 42, 0..=1) {
+            archive.apply(delta);
+        }
+        let snap = svc.snapshot();
+        let metrics = MetricsRegistry::default();
+        let age = Duration::from_millis(10);
+        let inf = &snap.result().inferences[0];
+        let (ixp, iface, asn) = (inf.ixp, inf.addr, inf.asn);
+        let ixp_s = ixp.to_string();
+        let iface_s = iface.to_string();
+        let asn_s = asn.value().to_string();
+        let latest = archive.latest_epoch().expect("archive non-empty");
+
+        // epoch= round-trips on every point route, at every epoch.
+        for epoch in 0..=latest {
+            let e = epoch.to_string();
+            let ok = dispatch(
+                &get(
+                    "/verdict",
+                    &[("ixp", &ixp_s), ("iface", &iface_s), ("epoch", &e)],
+                ),
+                &snap,
+                age,
+                Some(&archive),
+                &metrics,
+            );
+            assert_eq!(ok.status, 200, "{}", String::from_utf8_lossy(&ok.body));
+            let answer: opeer_core::service::VerdictAnswer =
+                serde_json::from_slice(&ok.body).expect("verdict body parses");
+            assert_eq!(answer.epoch, epoch, "answer must carry its epoch");
+            for (path, params) in [
+                ("/asn", vec![("asn", asn_s.as_str()), ("epoch", e.as_str())]),
+                ("/ixp", vec![("ixp", "0"), ("epoch", e.as_str())]),
+                (
+                    "/explain",
+                    vec![("iface", iface_s.as_str()), ("epoch", e.as_str())],
+                ),
+            ] {
+                let ok = dispatch(&get(path, &params), &snap, age, Some(&archive), &metrics);
+                assert_eq!(ok.status, 200, "{path} at epoch {e}");
+            }
+        }
+
+        // Aggregation happy paths.
+        let ok = dispatch(
+            &get("/trend", &[("ixp", "0")]),
+            &snap,
+            age,
+            Some(&archive),
+            &metrics,
+        );
+        assert_eq!(ok.status, 200);
+        let line: opeer_core::archive::TrendLine =
+            serde_json::from_slice(&ok.body).expect("trend parses");
+        assert_eq!(line.points.len() as u64, latest + 1);
+        let ok = dispatch(
+            &get("/trend", &[("ixp", "0"), ("from", "1"), ("to", "1")]),
+            &snap,
+            age,
+            Some(&archive),
+            &metrics,
+        );
+        let line: opeer_core::archive::TrendLine =
+            serde_json::from_slice(&ok.body).expect("trend parses");
+        assert_eq!(line.points.len(), 1, "from/to must clip the window");
+        let ok = dispatch(
+            &get("/churn", &[("asn", &asn_s)]),
+            &snap,
+            age,
+            Some(&archive),
+            &metrics,
+        );
+        assert_eq!(ok.status, 200);
+        let churn: opeer_core::archive::ChurnReport =
+            serde_json::from_slice(&ok.body).expect("churn parses");
+        assert_eq!(churn.per_epoch.len() as u64, latest);
+
+        // Typed rejections: future epoch, garbage epoch, no archive.
+        for (params, want_status, want_kind) in [
+            (
+                vec![
+                    ("ixp", ixp_s.as_str()),
+                    ("iface", iface_s.as_str()),
+                    ("epoch", "999"),
+                ],
+                404,
+                "future_epoch",
+            ),
+            (
+                vec![
+                    ("ixp", ixp_s.as_str()),
+                    ("iface", iface_s.as_str()),
+                    ("epoch", "banana"),
+                ],
+                400,
+                "bad_param",
+            ),
+            (
+                vec![
+                    ("ixp", ixp_s.as_str()),
+                    ("iface", iface_s.as_str()),
+                    ("epoch", "-1"),
+                ],
+                400,
+                "bad_param",
+            ),
+        ] {
+            let e = dispatch(
+                &get("/verdict", &params),
+                &snap,
+                age,
+                Some(&archive),
+                &metrics,
+            );
+            assert_eq!(e.status, want_status);
+            let body: Value = serde_json::from_slice(&e.body).expect("error body parses");
+            assert_eq!(body.get("error").and_then(Value::as_str), Some(want_kind));
+        }
+        let e = dispatch(
+            &get(
+                "/verdict",
+                &[("ixp", &ixp_s), ("iface", &iface_s), ("epoch", "0")],
+            ),
+            &snap,
+            age,
+            None,
+            &metrics,
+        );
+        assert_eq!(e.status, 404);
+        let body: Value = serde_json::from_slice(&e.body).expect("error body parses");
+        assert_eq!(
+            body.get("error").and_then(Value::as_str),
+            Some("no_archive")
+        );
+        let e = dispatch(&get("/trend", &[("ixp", "0")]), &snap, age, None, &metrics);
+        assert_eq!(e.status, 404);
+        let e = dispatch(
+            &get("/churn", &[("asn", &asn_s)]),
+            &snap,
+            age,
+            None,
+            &metrics,
+        );
+        assert_eq!(e.status, 404);
+        // Unknown entities through the archive stay 404, not 500.
+        let e = dispatch(
+            &get("/trend", &[("ixp", "999999")]),
+            &snap,
+            age,
+            Some(&archive),
+            &metrics,
+        );
+        assert_eq!(e.status, 404);
+        let e = dispatch(
+            &get("/churn", &[("asn", "64999")]),
+            &snap,
+            age,
+            Some(&archive),
+            &metrics,
+        );
+        assert_eq!(e.status, 404);
+        // Wrong method on the new routes is 405 like everywhere else.
+        let e = dispatch(&post("/trend", b"{}"), &snap, age, Some(&archive), &metrics);
+        assert_eq!(e.status, 405);
+
         assert_eq!(metrics.panics(), 0);
     }
 }

@@ -28,6 +28,7 @@ use crate::http::{write_response, Conn, HttpError};
 use crate::metrics::{MetricsRegistry, Route};
 use crate::middleware::{ApiKeyAuth, CallerKey, Layer, RateLimit};
 use crate::routes::{dispatch, error_body};
+use opeer_core::archive::SnapshotArchive;
 use opeer_core::service::PeeringService;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -122,6 +123,19 @@ impl Gateway {
     /// [`GatewayControl::stop`]. Workers are scoped threads, so the
     /// service only needs to outlive this call — not `'static`.
     pub fn serve(&self, service: &PeeringService<'_>) {
+        self.serve_with(service, None);
+    }
+
+    /// [`Gateway::serve`] with a [`SnapshotArchive`] attached, enabling
+    /// the time-travel surface: `epoch=` on the point-query routes and
+    /// `GET /trend` / `GET /churn`. The archive borrows the same
+    /// service; a writer thread can keep streaming deltas through
+    /// [`SnapshotArchive::apply`] while the gateway serves.
+    pub fn serve_with(
+        &self,
+        service: &PeeringService<'_>,
+        archive: Option<&SnapshotArchive<'_, '_>>,
+    ) {
         let auth = ApiKeyAuth::new(self.cfg.api_keys.clone());
         let limiter = RateLimit::new(self.cfg.rate_per_sec, self.cfg.rate_burst);
         let clock = EpochClock::new(service.epoch());
@@ -150,7 +164,7 @@ impl Gateway {
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 handle_connection(
-                                    stream, cfg, service, auth, limiter, clock, metrics,
+                                    stream, cfg, service, archive, auth, limiter, clock, metrics,
                                 )
                             }));
                         if outcome.is_err() {
@@ -219,10 +233,12 @@ fn caller_key(request: &crate::http::Request, stream: &TcpStream) -> CallerKey {
 }
 
 /// One connection's keep-alive loop.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
     cfg: &GatewayConfig,
     service: &PeeringService<'_>,
+    archive: Option<&SnapshotArchive<'_, '_>>,
     auth: &ApiKeyAuth,
     limiter: &RateLimit,
     clock: &EpochClock,
@@ -276,7 +292,7 @@ fn handle_connection(
         } else {
             let snapshot = service.snapshot();
             let age = clock.age(snapshot.epoch());
-            let outcome = dispatch(&request, &snapshot, age, metrics);
+            let outcome = dispatch(&request, &snapshot, age, archive, metrics);
             (outcome.status, outcome.body)
         };
 

@@ -271,6 +271,182 @@ fn auth_and_rate_limit_layers_enforce_on_the_wire() {
 }
 
 #[test]
+fn time_travel_surface_over_the_wire() {
+    use opeer_core::archive::SnapshotArchive;
+
+    // A service replayed through a SnapshotArchive, then served with
+    // `serve_with`: every archived epoch must round-trip over the wire,
+    // the longitudinal routes must answer, and every hostile epoch
+    // parameter must map to a typed 4xx — never a 500, never a panic.
+    let world = small_world();
+    let seed = 42;
+    let service = PeeringService::build(
+        InferenceInput::assemble_base(&world, seed),
+        &PipelineConfig::default(),
+        &ParallelConfig::new(2),
+    );
+    let archive = SnapshotArchive::attach(&service);
+    let (_registry, campaign_cfg, corpus_cfg) = default_configs(seed);
+    let camp = campaign_batches(&world, &service.input().vps, campaign_cfg, 3);
+    let corp = corpus_batches(&world, corpus_cfg, 3);
+    for delta in InputDelta::zip_batches(camp, corp) {
+        archive.apply(delta);
+    }
+    let latest = archive.latest_epoch().expect("epochs archived");
+    assert!(latest >= 2, "need a real history to time-travel");
+    let probe = archive.latest().result().inferences[0].clone();
+
+    let gateway = Gateway::bind(test_config()).expect("bind");
+    let addr = gateway.local_addr();
+    let control = gateway.control();
+    let metrics = gateway.metrics();
+
+    std::thread::scope(|scope| {
+        let gateway = &gateway;
+        let service_ref = &service;
+        let archive_ref = &archive;
+        scope.spawn(move || gateway.serve_with(service_ref, Some(archive_ref)));
+
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut client = ClientConn::connect(addr, Duration::from_secs(5)).expect("connect");
+
+            // Every archived epoch round-trips: the answer carries the
+            // requested epoch, not the latest one.
+            for epoch in 0..=latest {
+                client
+                    .send(
+                        "GET",
+                        &format!(
+                            "/verdict?ixp={}&iface={}&epoch={epoch}",
+                            probe.ixp, probe.addr
+                        ),
+                        &[],
+                        b"",
+                    )
+                    .expect("send verdict");
+                let reply = client.read_response().expect("verdict answers");
+                assert_eq!(reply.status, 200, "epoch {epoch}");
+                let doc: Value = serde_json::from_slice(&reply.body).expect("verdict JSON");
+                assert_eq!(
+                    doc.get("epoch").and_then(Value::as_u64),
+                    Some(epoch),
+                    "answer tagged with a foreign epoch"
+                );
+            }
+
+            // The longitudinal routes answer with full-history shapes.
+            client
+                .send("GET", &format!("/trend?ixp={}", probe.ixp), &[], b"")
+                .expect("send trend");
+            let reply = client.read_response().expect("trend answers");
+            assert_eq!(reply.status, 200);
+            let doc: Value = serde_json::from_slice(&reply.body).expect("trend JSON");
+            let points = doc
+                .get("points")
+                .and_then(Value::as_array)
+                .expect("points array");
+            assert_eq!(points.len() as u64, latest + 1, "one point per epoch");
+
+            client
+                .send(
+                    "GET",
+                    &format!("/churn?asn={}", probe.asn.value()),
+                    &[],
+                    b"",
+                )
+                .expect("send churn");
+            let reply = client.read_response().expect("churn answers");
+            assert_eq!(reply.status, 200);
+            let doc: Value = serde_json::from_slice(&reply.body).expect("churn JSON");
+            assert_eq!(
+                doc.get("per_epoch").and_then(Value::as_array).map(Vec::len),
+                Some(latest as usize),
+                "one churn point per epoch transition"
+            );
+
+            // Hostile epoch parameters: typed 4xx with a stable error
+            // kind, on every route that accepts them.
+            let verdict_path = format!("/verdict?ixp={}&iface={}", probe.ixp, probe.addr);
+            for (path, want_status, want_kind) in [
+                (format!("{verdict_path}&epoch=999"), 404, "future_epoch"),
+                (format!("{verdict_path}&epoch=banana"), 400, "bad_param"),
+                (format!("{verdict_path}&epoch=-1"), 400, "bad_param"),
+                (
+                    format!("/asn?asn={}&epoch=999", probe.asn.value()),
+                    404,
+                    "future_epoch",
+                ),
+                (
+                    format!("/explain?iface={}&epoch=banana", probe.addr),
+                    400,
+                    "bad_param",
+                ),
+                ("/trend?ixp=banana".to_string(), 400, "bad_param"),
+                ("/trend?ixp=99999".to_string(), 404, "not_found"),
+                ("/churn?asn=4294967295".to_string(), 404, "not_found"),
+            ] {
+                client.send("GET", &path, &[], b"").expect("send hostile");
+                let reply = client.read_response().expect("hostile answers");
+                assert_eq!(reply.status, want_status, "{path}");
+                let doc: Value = serde_json::from_slice(&reply.body).expect("error JSON");
+                assert_eq!(
+                    doc.get("error").and_then(Value::as_str),
+                    Some(want_kind),
+                    "{path}"
+                );
+            }
+
+            // Wrong method on the new routes: 405, not a parse attempt.
+            client
+                .send("POST", "/trend?ixp=0", &[], b"{}")
+                .expect("send");
+            assert_eq!(client.read_response().expect("answers").status, 405);
+        }));
+        control.stop();
+        if let Err(panic) = outcome {
+            std::panic::resume_unwind(panic);
+        }
+    });
+    assert_eq!(metrics.panics(), 0, "panic bulkhead fired");
+}
+
+#[test]
+fn archive_free_gateway_rejects_time_travel_with_typed_404() {
+    // `Gateway::serve` (no archive) must refuse the time-travel surface
+    // with the `no_archive` kind — not a 500, not a silent fallback to
+    // the live snapshot.
+    with_gateway(test_config(), |addr, service, _metrics| {
+        let inf = service.snapshot().result().inferences[0].clone();
+        let mut client = ClientConn::connect(addr, Duration::from_secs(5)).expect("connect");
+        for path in [
+            format!("/verdict?ixp={}&iface={}&epoch=0", inf.ixp, inf.addr),
+            "/trend?ixp=0".to_string(),
+            format!("/churn?asn={}", inf.asn.value()),
+        ] {
+            client.send("GET", &path, &[], b"").expect("send");
+            let reply = client.read_response().expect("answers");
+            assert_eq!(reply.status, 404, "{path}");
+            let doc: Value = serde_json::from_slice(&reply.body).expect("error JSON");
+            assert_eq!(
+                doc.get("error").and_then(Value::as_str),
+                Some("no_archive"),
+                "{path}"
+            );
+        }
+        // Without epoch= the same route still serves the live snapshot.
+        client
+            .send(
+                "GET",
+                &format!("/verdict?ixp={}&iface={}", inf.ixp, inf.addr),
+                &[],
+                b"",
+            )
+            .expect("send");
+        assert_eq!(client.read_response().expect("answers").status, 200);
+    });
+}
+
+#[test]
 fn end_to_end_against_a_streaming_writer() {
     // A gateway serving a *base* (measurement-free) service while a
     // writer streams epoch deltas into it: clients must see the epoch

@@ -73,6 +73,9 @@ pub mod prelude {
         AsnReport, Explanation, InputGuard, IxpReport, IxpRollup, PeeringService, QueryRequest,
         QueryResponse, ServiceError, Snapshot, VerdictAnswer, MAX_BATCH,
     };
+    // --- the longitudinal archive on top of it ---
+    pub use opeer_core::archive::{ArchiveError, ChurnReport, SnapshotArchive, TrendLine};
+    pub use opeer_core::evolution::monthly_deltas;
     // --- producer-side entry points the service wraps ---
     pub use opeer_core::baseline::{run_baseline, DEFAULT_THRESHOLD_MS};
     pub use opeer_core::engine::{

@@ -1,0 +1,290 @@
+//! Oracle tests for the longitudinal archive: every epoch a
+//! [`SnapshotArchive`] retains must stay byte-identical to a **fresh
+//! one-shot** [`run_pipeline`] over the input prefix through that
+//! epoch — across random worlds, random epoch partitions of the
+//! measurements, and worker-pool sizes — and the longitudinal
+//! aggregations (per-IXP trend lines, per-ASN verdict churn) must
+//! equal naive recomputes from those per-epoch reference results.
+//!
+//! The audit runs *after* the full replay, so it proves retention, not
+//! just publication: an archived epoch answered late must equal what a
+//! live reader saw the moment it was published.
+
+use opeer::measure::campaign::CampaignResult;
+use opeer::prelude::*;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// Same tiny world as the other equivalence suites: world generation
+/// and assembly dominate each case, not the pipeline.
+fn tiny_world(seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::small(seed);
+    cfg.scale = 0.02;
+    cfg.n_small_ixps = 6;
+    cfg.n_background_ases = 50;
+    cfg.n_switchers = 2;
+    cfg
+}
+
+/// Cuts `0..n` at the given per-mille fractions into consecutive,
+/// possibly empty ranges covering the whole span.
+fn cut(n: usize, permille: &[usize]) -> Vec<std::ops::Range<usize>> {
+    let mut cuts: Vec<usize> = permille.iter().map(|&p| n * p.min(1000) / 1000).collect();
+    cuts.sort_unstable();
+    let mut ranges = Vec::with_capacity(cuts.len() + 1);
+    let mut start = 0;
+    for c in cuts {
+        ranges.push(start..c.max(start));
+        start = c.max(start);
+    }
+    ranges.push(start..n);
+    ranges
+}
+
+/// Builds epoch deltas by slicing a fully assembled input's campaign
+/// and corpus at independent cut points.
+fn deltas_from_cuts(
+    full: &InferenceInput<'_>,
+    campaign_permille: &[usize],
+    corpus_permille: &[usize],
+) -> Vec<InputDelta> {
+    let obs_ranges = cut(full.campaign.observations.len(), campaign_permille);
+    let stat_ranges = cut(full.campaign.vp_stats.len(), campaign_permille);
+    let corpus_ranges = cut(full.corpus.len(), corpus_permille);
+    (0..obs_ranges.len().max(corpus_ranges.len()))
+        .map(|e| InputDelta {
+            campaign: obs_ranges.get(e).map(|r| CampaignResult {
+                observations: full.campaign.observations[r.clone()].to_vec(),
+                vp_stats: full.campaign.vp_stats[stat_ranges[e].clone()].to_vec(),
+            }),
+            corpus: corpus_ranges
+                .get(e)
+                .map(|r| full.corpus[r.clone()].to_vec())
+                .unwrap_or_default(),
+            registry: None,
+        })
+        .collect()
+}
+
+/// The per-ASN interface→verdict map a naive scan of one epoch's
+/// reference result produces (every observed interface is either
+/// inferred or unclassified, so this is total over the membership).
+fn naive_asn_map(reference: &PipelineResult, asn: Asn) -> BTreeMap<Ipv4Addr, Option<Verdict>> {
+    let mut map = BTreeMap::new();
+    for u in reference.unclassified.iter().filter(|u| u.asn == asn) {
+        map.insert(u.addr, None);
+    }
+    for i in reference.inferences.iter().filter(|i| i.asn == asn) {
+        map.insert(i.addr, Some(i.verdict));
+    }
+    map
+}
+
+/// Audits every archived epoch against its fresh one-shot reference,
+/// then the trend/churn aggregations against naive recomputes from
+/// those references. `refs[e]` must be the one-shot result over the
+/// input prefix through epoch `e`.
+fn assert_archive_matches_references(
+    archive: &SnapshotArchive<'_, '_>,
+    refs: &[PipelineResult],
+    input: &InferenceInput<'_>,
+) {
+    // --- retention: every epoch equals its fresh one-shot replay ---
+    assert_eq!(archive.len(), refs.len(), "one snapshot per epoch");
+    for (e, reference) in refs.iter().enumerate() {
+        let snap = archive.at(e as u64).expect("archived epoch resolves");
+        assert_eq!(snap.epoch(), e as u64);
+        assert_eq!(
+            snap.result(),
+            reference,
+            "archived epoch {e} diverged from a fresh one-shot replay"
+        );
+    }
+
+    // --- trend(): per-IXP counts vs naive per-epoch filters ---
+    for (ixp, observed) in input.observed.ixps.iter().enumerate() {
+        let trend = archive.trend(ixp).expect("observed IXP has a trend");
+        assert_eq!(trend.ixp, ixp);
+        assert_eq!(trend.name, observed.name);
+        assert_eq!(trend.points.len(), refs.len(), "one point per epoch");
+        for (e, (point, reference)) in trend.points.iter().zip(refs).enumerate() {
+            let local = reference
+                .for_ixp(ixp)
+                .filter(|i| !i.verdict.is_remote())
+                .count();
+            let remote = reference
+                .for_ixp(ixp)
+                .filter(|i| i.verdict.is_remote())
+                .count();
+            let unclassified = reference
+                .unclassified
+                .iter()
+                .filter(|u| u.ixp == ixp)
+                .count();
+            assert_eq!(point.epoch, e as u64);
+            assert_eq!(point.interfaces, observed.interfaces.len());
+            assert_eq!(point.local, local, "ixp {ixp} epoch {e}");
+            assert_eq!(point.remote, remote, "ixp {ixp} epoch {e}");
+            assert_eq!(point.unclassified, unclassified, "ixp {ixp} epoch {e}");
+            let naive_share = if local + remote > 0 {
+                remote as f64 / (local + remote) as f64
+            } else {
+                0.0
+            };
+            assert_eq!(point.remote_share, naive_share, "ixp {ixp} epoch {e}");
+        }
+    }
+
+    // --- churn(): per-ASN flip/membership counts vs naive diffs ---
+    let member_asns: BTreeSet<Asn> = input
+        .observed
+        .ixps
+        .iter()
+        .flat_map(|x| x.interfaces.values().copied())
+        .collect();
+    for &asn in &member_asns {
+        let churn = archive.churn(asn).expect("member ASN has churn");
+        assert_eq!(churn.asn, asn);
+        assert_eq!(churn.per_epoch.len(), refs.len() - 1, "one point per step");
+        let maps: Vec<BTreeMap<Ipv4Addr, Option<Verdict>>> =
+            refs.iter().map(|r| naive_asn_map(r, asn)).collect();
+        let (mut flips, mut appeared, mut disappeared) = (0, 0, 0);
+        for (point, pair) in churn.per_epoch.iter().zip(maps.windows(2)) {
+            let (earlier, later) = (&pair[0], &pair[1]);
+            let naive_flips = later
+                .iter()
+                .filter(|(addr, v)| earlier.get(*addr).is_some_and(|prev| prev != *v))
+                .count();
+            let naive_appeared = later.keys().filter(|a| !earlier.contains_key(a)).count();
+            let naive_disappeared = earlier.keys().filter(|a| !later.contains_key(a)).count();
+            assert_eq!(point.flips, naive_flips, "{asn} epoch {}", point.epoch);
+            assert_eq!(point.appeared, naive_appeared, "{asn}");
+            assert_eq!(point.disappeared, naive_disappeared, "{asn}");
+            flips += naive_flips;
+            appeared += naive_appeared;
+            disappeared += naive_disappeared;
+        }
+        assert_eq!(churn.flips, flips, "{asn} total flips");
+        assert_eq!(churn.appeared, appeared, "{asn} total appearances");
+        assert_eq!(churn.disappeared, disappeared, "{asn} total disappearances");
+    }
+}
+
+proptest! {
+    // Case count comes from proptest.toml (PROPTEST_CASES overrides).
+    // Each case: one world, a random 3-way epoch partition, a random
+    // pool size; after the *entire* replay, every archived epoch is
+    // audited against a fresh one-shot pipeline over its prefix, and
+    // trend/churn against naive recomputes from those references.
+    #[test]
+    fn every_archived_epoch_equals_a_fresh_one_shot_replay(
+        seed in 0u64..10_000,
+        threads in 1usize..=6,
+        camp_cuts in proptest::collection::vec(0usize..=1000, 2),
+        corp_cuts in proptest::collection::vec(0usize..=1000, 2),
+    ) {
+        let world = tiny_world(seed).generate();
+        let full = InferenceInput::assemble(&world, seed);
+        let cfg = PipelineConfig::default();
+        let deltas = deltas_from_cuts(&full, &camp_cuts, &corp_cuts);
+
+        let service = PeeringService::build(
+            InferenceInput::assemble_base(&world, seed),
+            &cfg,
+            &ParallelConfig::new(threads),
+        );
+        let archive = SnapshotArchive::attach(&service);
+
+        // refs[e] = one-shot over the input prefix through epoch e,
+        // computed fresh at publish time (the service input *is* the
+        // accumulated prefix).
+        let mut refs = vec![{
+            let input = service.input();
+            run_pipeline(&input, &cfg)
+        }];
+        for (e, delta) in deltas.into_iter().enumerate() {
+            let epoch = archive.apply(delta);
+            prop_assert_eq!(epoch, e as u64 + 1, "epochs must be sequential");
+            let input = service.input();
+            refs.push(run_pipeline(&input, &cfg));
+        }
+        prop_assert!(
+            service.input().content_eq(&full),
+            "accumulated input diverged on seed {}", seed
+        );
+
+        assert_archive_matches_references(&archive, &refs, &full);
+    }
+}
+
+/// The same oracle through the monthly evolution adapter, which
+/// exercises registry revisions (membership churn between epochs) —
+/// the path where `appeared`/`disappeared` and trend-length gaps are
+/// possible. Deterministic, not a proptest: the adapter is pinned on
+/// seed 42 elsewhere; here one replay is audited epoch by epoch.
+#[test]
+fn monthly_replay_stays_identical_under_registry_revisions() {
+    let seed = 42;
+    let world = WorldConfig::small(seed).generate();
+    let cfg = PipelineConfig::default();
+    let service = PeeringService::build(
+        InferenceInput::assemble_base(&world, seed),
+        &cfg,
+        &ParallelConfig::new(2),
+    );
+    let archive = SnapshotArchive::attach(&service);
+
+    let mut refs = vec![{
+        let input = service.input();
+        run_pipeline(&input, &cfg)
+    }];
+    for delta in monthly_deltas(&world, seed, 0..=2) {
+        archive.apply(delta);
+        let input = service.input();
+        refs.push(run_pipeline(&input, &cfg));
+    }
+
+    assert_eq!(archive.len(), refs.len());
+    for (e, reference) in refs.iter().enumerate() {
+        let snap = archive.at(e as u64).expect("archived");
+        assert_eq!(
+            snap.result(),
+            reference,
+            "epoch {e} diverged from a fresh one-shot over its prefix"
+        );
+    }
+
+    // Trend and churn still audit naively — membership comes from the
+    // epoch's own registry revision, so maps are built per epoch.
+    let latest = archive.latest();
+    let trend = archive.trend(0).expect("IXP 0 observed");
+    assert_eq!(trend.points.len(), refs.len());
+    for (point, reference) in trend.points.iter().zip(&refs) {
+        let remote = reference
+            .for_ixp(0)
+            .filter(|i| i.verdict.is_remote())
+            .count();
+        assert_eq!(point.remote, remote, "epoch {}", point.epoch);
+    }
+    let asn = latest.result().inferences[0].asn;
+    let churn = archive.churn(asn).expect("member ASN");
+    let maps: Vec<BTreeMap<Ipv4Addr, Option<Verdict>>> =
+        refs.iter().map(|r| naive_asn_map(r, asn)).collect();
+    for (point, pair) in churn.per_epoch.iter().zip(maps.windows(2)) {
+        let (earlier, later) = (&pair[0], &pair[1]);
+        let naive_flips = later
+            .iter()
+            .filter(|(addr, v)| earlier.get(*addr).is_some_and(|prev| prev != *v))
+            .count();
+        assert_eq!(point.flips, naive_flips, "epoch {}", point.epoch);
+        assert_eq!(
+            point.appeared,
+            later.keys().filter(|a| !earlier.contains_key(a)).count()
+        );
+        assert_eq!(
+            point.disappeared,
+            earlier.keys().filter(|a| !later.contains_key(a)).count()
+        );
+    }
+}

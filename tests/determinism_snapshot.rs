@@ -187,6 +187,86 @@ fn service_snapshot_matches_pinned_ledger_under_env_threads() {
     assert_eq!(unclassified, EXPECTED_UNCLASSIFIED);
 }
 
+/// (registry revision?, campaign observations, corpus traces) per
+/// observation month of the seed-42 monthly evolution stream —
+/// regenerate via test output.
+const EXPECTED_MONTHLY_STREAM: &[(bool, usize, usize)] = &[
+    (true, 908, 2791),
+    (true, 771, 2796),
+    (true, 778, 2811),
+    (true, 721, 2803),
+    (true, 939, 2814),
+];
+
+/// Inferences / unclassified after replaying the full seed-42 stream.
+const EXPECTED_MONTHLY_FINAL: (usize, usize) = (445, 138);
+
+/// The monthly evolution adapter is a pure function of
+/// `(world, seed, month)`: emitting months `0..=k` and then `k+1..=n`
+/// must produce exactly the stream of a single `0..=n` call, and the
+/// seed-42 stream itself is pinned — both its per-month shape and the
+/// state it replays to. Any drift in world evolution, registry fusion,
+/// or the measurement planes trips this before the archive oracle does.
+#[test]
+fn monthly_delta_stream_is_prefix_consistent_and_pinned() {
+    let world = WorldConfig::small(SEED).generate();
+    let full = monthly_deltas(&world, SEED, 0..=4);
+
+    // Prefix consistency: any split point yields the same stream.
+    let delta_eq = |a: &InputDelta, b: &InputDelta| {
+        a.campaign == b.campaign && a.corpus == b.corpus && a.registry == b.registry
+    };
+    for k in 0..4u32 {
+        let mut split = monthly_deltas(&world, SEED, 0..=k);
+        split.extend(monthly_deltas(&world, SEED, k + 1..=4));
+        assert_eq!(split.len(), full.len());
+        assert!(
+            split.iter().zip(&full).all(|(a, b)| delta_eq(a, b)),
+            "stream split at month {k} diverged from the one-shot stream"
+        );
+    }
+
+    // The seed-42 stream shape is pinned.
+    let actual: Vec<(bool, usize, usize)> = full
+        .iter()
+        .map(|d| {
+            (
+                d.registry.is_some(),
+                d.campaign.as_ref().map_or(0, |c| c.observations.len()),
+                d.corpus.len(),
+            )
+        })
+        .collect();
+    assert_eq!(
+        actual.as_slice(),
+        EXPECTED_MONTHLY_STREAM,
+        "monthly stream shape drifted; actual: {actual:?}"
+    );
+
+    // And so is the state it replays to, at the
+    // `OPEER_THREADS`-selected pool size.
+    let par = ParallelConfig::from_env();
+    let service = PeeringService::build(
+        InferenceInput::assemble_base(&world, SEED),
+        &PipelineConfig::default(),
+        &par,
+    );
+    for delta in full {
+        service.apply(delta);
+    }
+    let snap = service.snapshot();
+    assert_eq!(snap.epoch(), 5);
+    let final_counts = (
+        snap.result().inferences.len(),
+        snap.result().unclassified.len(),
+    );
+    assert_eq!(
+        final_counts, EXPECTED_MONTHLY_FINAL,
+        "replayed monthly state drifted at {} threads",
+        par.threads
+    );
+}
+
 /// Parallel assembly and the overlapped assemble+infer path, at the
 /// `OPEER_THREADS`-selected pool size, must reproduce the sequential
 /// artifacts and the pinned ledger byte for byte.
