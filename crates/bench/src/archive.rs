@@ -69,7 +69,8 @@ pub struct ArchiveReport {
     /// Archive point-query throughput: `verdict_at` calls/sec,
     /// round-robin over every archived epoch.
     pub query_qps: f64,
-    /// [`SnapshotArchive::retained_bytes_estimate`] after the replay.
+    /// [`SnapshotArchive::retained_bytes`] after the replay (deep
+    /// size, shared partitions counted once).
     pub retained_bytes: usize,
     /// Whether the final archived state was byte-identical to a
     /// one-shot [`run_pipeline`] over the accumulated input, the
@@ -170,7 +171,7 @@ pub fn run_archive_study(
         epochs_archived,
         queries,
         query_qps,
-        retained_bytes: archive.retained_bytes_estimate(),
+        retained_bytes: archive.retained_bytes(),
         identical,
     }
 }

@@ -65,12 +65,24 @@
 //! non-zero if the final archived state diverges from the one-shot
 //! pipeline over the accumulated input**. With `--bench-pipeline`, the
 //! flag sets how many months the report's `archive` section replays.
-//! Bench, streaming, and archive modes default to `--scale large`;
-//! experiment mode defaults to `--scale paper`.
+//!
+//! Memory mode (`--memory-study`) drives the structural-sharing study
+//! alone: an epoch stream (measurement fill, then a content-free
+//! steady-state tail) through a retention-capped archive (cap from
+//! `OPEER_ARCHIVE_RETAIN`, default 6), with per-epoch publish dirty
+//! sets, publish wall-clock, and deduplicated retained bytes. Writes
+//! `<out>/BENCH_memory.json` and **exits non-zero unless every gate
+//! holds**: byte-identity against the non-shared baseline, flat
+//! retained bytes after compaction, full pointer sharing on clean
+//! epochs, and a ≥10× zero-dirty publish speedup. `--epochs N`
+//! overrides the stream length (default 24).
+//! Bench, streaming, archive, and memory modes default to
+//! `--scale large`; experiment mode defaults to `--scale paper`.
 
 use opeer_bench::{
-    run_all, run_archive_study, run_scaling_study, run_streaming_session, Session,
-    DEFAULT_ARCHIVE_MONTHS, DEFAULT_STREAMING_EPOCHS, DEFAULT_THREAD_SWEEP,
+    memory_gates_hold, run_all, run_archive_study, run_memory_study, run_scaling_study,
+    run_streaming_session, Session, DEFAULT_ARCHIVE_MONTHS, DEFAULT_MEMORY_EPOCHS,
+    DEFAULT_MEMORY_RETAIN, DEFAULT_STREAMING_EPOCHS, DEFAULT_THREAD_SWEEP,
 };
 use opeer_core::engine::ParallelConfig;
 use opeer_core::pipeline::PipelineConfig;
@@ -86,6 +98,7 @@ struct Args {
     bench_samples: usize,
     epochs: Option<usize>,
     archive_months: Option<u32>,
+    memory_study: bool,
     min_host_parallelism: Option<usize>,
     min_pipeline_speedup: Option<f64>,
     compare_bench: Option<(PathBuf, PathBuf)>,
@@ -101,6 +114,7 @@ fn parse_args() -> Args {
         bench_samples: 5,
         epochs: None,
         archive_months: None,
+        memory_study: false,
         min_host_parallelism: None,
         min_pipeline_speedup: None,
         compare_bench: None,
@@ -145,6 +159,7 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage("bad --archive-months value")),
                 )
             }
+            "--memory-study" => args.memory_study = true,
             "--min-host-parallelism" => {
                 args.min_host_parallelism = Some(
                     it.next()
@@ -191,7 +206,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: run_experiments [--scale paper|large|xlarge|small] [--seed N] [--out DIR] \
                        [--bench-pipeline] [--bench-samples N] [--epochs N] \
-                       [--archive-months N] \
+                       [--archive-months N] [--memory-study] \
                        [--min-host-parallelism N] [--min-pipeline-speedup X]\n\
        run_experiments --compare-bench OLD.json NEW.json [--tolerance X]"
     );
@@ -303,6 +318,7 @@ fn run_bench_pipeline(args: &Args) -> ! {
     print_serving(&report.serving);
     print_gateway(&report.gateway);
     print_archive(&report.archive);
+    print_memory(&report.memory);
 
     std::fs::create_dir_all(&args.out).expect("create output directory");
     let path = args.out.join("BENCH_pipeline.json");
@@ -383,6 +399,95 @@ fn run_archive(args: &Args, months: u32) -> ! {
         std::process::exit(1);
     }
     std::process::exit(0);
+}
+
+/// Memory mode: the structural-sharing study plus its four gates.
+fn run_memory(args: &Args) -> ! {
+    let scale = args.scale.as_deref().unwrap_or("large");
+    let cfg = world_config(scale, args.seed);
+    eprintln!("generating world (scale={scale}, seed={})...", args.seed);
+    let t0 = std::time::Instant::now();
+    let world = cfg.generate();
+    eprintln!("  {} [{:?}]", world.summary(), t0.elapsed());
+
+    let par = ParallelConfig::from_env();
+    let epochs = args.epochs.unwrap_or(DEFAULT_MEMORY_EPOCHS);
+    let retain = std::env::var(opeer_core::archive::RETAIN_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_MEMORY_RETAIN);
+    eprintln!(
+        "memory study: {} epochs, retain {}, {} worker threads...",
+        epochs, retain, par.threads
+    );
+    let report = run_memory_study(
+        &world,
+        args.seed,
+        epochs,
+        retain,
+        &PipelineConfig::default(),
+        &par,
+    );
+    print_memory(&report);
+
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    let path = args.out.join("BENCH_memory.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&path, json).expect("write BENCH_memory.json");
+    println!("wrote {}", path.display());
+
+    if !report.identical {
+        eprintln!("error: shared snapshots diverged from the non-shared baseline");
+    }
+    if !report.flat_after_compaction {
+        eprintln!("error: retained bytes drifted past tolerance after compaction");
+    }
+    if !report.zero_dirty_shared_all {
+        eprintln!("error: a clean epoch rebuilt a partition instead of sharing it");
+    }
+    if report.publish_speedup < opeer_bench::memory::MIN_PUBLISH_SPEEDUP {
+        eprintln!(
+            "error: zero-dirty publish speedup {:.1}x below the {:.0}x floor",
+            report.publish_speedup,
+            opeer_bench::memory::MIN_PUBLISH_SPEEDUP
+        );
+    }
+    std::process::exit(if memory_gates_hold(&report) { 0 } else { 1 });
+}
+
+fn print_memory(m: &opeer_bench::MemoryReport) {
+    println!(
+        "[memory: {} epochs ({} fill), retain {}]",
+        m.epochs, m.fill_epochs, m.retain
+    );
+    for e in &m.per_epoch {
+        println!(
+            "  epoch {:<2} +{:>6} obs +{:>6} traces  dirty_ixps={:<3} dirty_asns={:<4} clean={:<5} publish {:8.3} ms  retained {} epochs / {:>9} bytes  shared/owned {}/{}",
+            e.epoch,
+            e.campaign_observations,
+            e.corpus_traces,
+            e.dirty_ixps,
+            e.dirty_asns,
+            e.clean,
+            e.publish_ms,
+            e.retained_epochs,
+            e.retained_bytes,
+            e.shared_partitions,
+            e.owned_partitions,
+        );
+    }
+    println!(
+        "  final: ~{} retained bytes; flat_after_compaction={}; \
+         full publish {:.3} ms vs zero-dirty {:.6} ms ({:.0}x); \
+         zero_dirty_shared_all={}; identical={}",
+        m.retained_bytes_final,
+        m.flat_after_compaction,
+        m.full_publish_ms,
+        m.zero_dirty_publish_ms,
+        m.publish_speedup,
+        m.zero_dirty_shared_all,
+        m.identical
+    );
 }
 
 fn print_streaming(s: &opeer_bench::StreamingReport) {
@@ -483,6 +588,9 @@ fn main() {
     }
     if args.bench_pipeline {
         run_bench_pipeline(&args);
+    }
+    if args.memory_study {
+        run_memory(&args);
     }
     if let Some(epochs) = args.epochs {
         run_streaming(&args, epochs);

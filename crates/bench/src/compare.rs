@@ -14,6 +14,12 @@
 //! phase/thread-count grid they share. Thread counts present on one
 //! side only are skipped, not failed — sweeps legitimately differ
 //! across runner shapes.
+//!
+//! Schema-8 reports additionally carry a `memory` section (the
+//! structural-sharing study). When **both** sides have it, its scalar
+//! costs — `full_publish_ms`, `zero_dirty_publish_ms`, and
+//! `retained_bytes_final` — are gated by the same tolerance; a
+//! schema-7 baseline simply skips the section.
 
 use serde_json::Value;
 
@@ -24,17 +30,28 @@ pub const DEFAULT_TOLERANCE: f64 = 0.20;
 /// The phases every report schema to date carries.
 const PHASES: &[&str] = &["assembly", "pipeline", "end_to_end"];
 
+/// Scalar costs of the schema-8 `memory` section, compared (with the
+/// same tolerance) only when both reports carry the section.
+const MEMORY_METRICS: &[&str] = &[
+    "full_publish_ms",
+    "zero_dirty_publish_ms",
+    "retained_bytes_final",
+];
+
 /// One regressed configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
-    /// Phase name (`assembly` / `pipeline` / `end_to_end`).
+    /// Phase name (`assembly` / `pipeline` / `end_to_end`), or
+    /// `memory/<metric>` for a schema-8 memory-section scalar.
     pub phase: String,
     /// Thread count of the regressed point, or `None` for the
-    /// sequential reference.
+    /// sequential reference (and for memory-section scalars).
     pub threads: Option<usize>,
-    /// Baseline mean wall-clock, milliseconds.
+    /// Baseline mean wall-clock, milliseconds (raw metric value for
+    /// memory-section scalars — bytes for `retained_bytes_final`).
     pub old_mean_ms: f64,
-    /// Candidate mean wall-clock, milliseconds.
+    /// Candidate mean wall-clock, milliseconds (raw metric value for
+    /// memory-section scalars).
     pub new_mean_ms: f64,
     /// `new / old` — always `> 1 + tolerance` for a reported entry.
     pub ratio: f64,
@@ -42,6 +59,17 @@ pub struct Regression {
 
 impl std::fmt::Display for Regression {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.phase.starts_with("memory/") {
+            // Memory scalars carry their unit in the metric name.
+            return write!(
+                f,
+                "{}: {:.3} -> {:.3} ({:+.1} %)",
+                self.phase,
+                self.old_mean_ms,
+                self.new_mean_ms,
+                (self.ratio - 1.0) * 100.0
+            );
+        }
         match self.threads {
             Some(t) => write!(
                 f,
@@ -152,6 +180,32 @@ fn compare_phase(
     compared
 }
 
+/// Compares the schema-8 `memory` section's scalar costs when both
+/// sides carry them. Returns how many metrics overlapped.
+fn compare_memory(old: &Value, new: &Value, tolerance: f64, out: &mut Vec<Regression>) -> usize {
+    let mut compared = 0;
+    for &metric in MEMORY_METRICS {
+        let finite = |v: &Value| v.as_f64().filter(|m| m.is_finite());
+        let (Some(o), Some(n)) = (
+            old.get(metric).and_then(finite),
+            new.get(metric).and_then(finite),
+        ) else {
+            continue;
+        };
+        compared += 1;
+        if n > o * (1.0 + tolerance) {
+            out.push(Regression {
+                phase: format!("memory/{metric}"),
+                threads: None,
+                old_mean_ms: o,
+                new_mean_ms: n,
+                ratio: n / o.max(f64::EPSILON),
+            });
+        }
+    }
+    compared
+}
+
 /// Diffs two parsed reports. Errors only on structurally unusable
 /// input (no recognizable phase on either side); missing individual
 /// fields are skipped.
@@ -165,6 +219,9 @@ pub fn compare_reports(old: &Value, new: &Value, tolerance: f64) -> Result<Compa
         if let (Some(o), Some(n)) = (old.get(phase), new.get(phase)) {
             compared += compare_phase(phase, o, n, tolerance, &mut regressions);
         }
+    }
+    if let (Some(o), Some(n)) = (old.get("memory"), new.get("memory")) {
+        compared += compare_memory(o, n, tolerance, &mut regressions);
     }
     if compared == 0 {
         return Err(format!(
@@ -304,6 +361,55 @@ mod tests {
         );
         let new = report(V6, 100.0, &[(1, 100.0), (8, 20.0)], &[]);
         let c = compare_reports(&old, &new, DEFAULT_TOLERANCE).expect("comparable");
+        assert!(c.passed());
+    }
+
+    /// Wraps a phase fixture with a schema-8 `memory` section.
+    fn with_memory(mut report: Value, full_ms: f64, zero_ms: f64, bytes: f64) -> Value {
+        let section = parse(&format!(
+            r#"{{"full_publish_ms": {full_ms}, "zero_dirty_publish_ms": {zero_ms}, "retained_bytes_final": {bytes}}}"#
+        ));
+        let Value::Object(members) = &mut report else {
+            panic!("object fixture");
+        };
+        members.push(("memory".to_string(), section));
+        report
+    }
+
+    #[test]
+    fn memory_section_within_tolerance_passes() {
+        let base = report(V6, 100.0, &[(1, 100.0)], &[]);
+        let old = with_memory(base.clone(), 50.0, 0.5, 1_000_000.0);
+        let new = with_memory(base, 55.0, 0.55, 1_050_000.0);
+        let c = compare_reports(&old, &new, DEFAULT_TOLERANCE).expect("comparable");
+        // 3 phases × 2 configurations + 3 memory scalars.
+        assert_eq!(c.compared, 9);
+        assert!(c.passed(), "{:?}", c.regressions);
+    }
+
+    #[test]
+    fn memory_regression_is_caught_and_named() {
+        let base = report(V6, 100.0, &[(1, 100.0)], &[]);
+        let old = with_memory(base.clone(), 50.0, 0.5, 1_000_000.0);
+        // Retained bytes balloon by 60 % — the flat ceiling slipped.
+        let new = with_memory(base, 50.0, 0.5, 1_600_000.0);
+        let c = compare_reports(&old, &new, DEFAULT_TOLERANCE).expect("comparable");
+        assert!(!c.passed());
+        assert_eq!(c.regressions.len(), 1);
+        let r = &c.regressions[0];
+        assert_eq!(r.phase, "memory/retained_bytes_final");
+        assert_eq!(r.threads, None);
+        assert!((r.ratio - 1.6).abs() < 1e-9);
+        assert!(r.to_string().contains("memory/retained_bytes_final"));
+        assert!(!r.to_string().contains("sequential"));
+    }
+
+    #[test]
+    fn schema_7_baseline_without_memory_skips_the_section() {
+        let old = report("opeer-bench-pipeline/7", 100.0, &[(1, 100.0)], &[]);
+        let new = with_memory(report(V6, 100.0, &[(1, 100.0)], &[]), 50.0, 0.5, 1e6);
+        let c = compare_reports(&old, &new, DEFAULT_TOLERANCE).expect("comparable");
+        assert_eq!(c.compared, 6);
         assert!(c.passed());
     }
 

@@ -23,8 +23,6 @@ use opeer_geo::SpeedModel;
 use opeer_registry::ValidationDataset;
 use opeer_topology::ValidationRole;
 use serde::Serialize;
-use std::collections::BTreeMap;
-use std::net::Ipv4Addr;
 
 #[derive(Serialize)]
 struct AblationRow {
@@ -73,8 +71,7 @@ pub fn ablations(s: &Session<'_>) -> Rendered {
             validation,
         ));
 
-        let details: BTreeMap<Ipv4Addr, step3::Step3Detail> =
-            details_vec.iter().map(|d| (d.addr, *d)).collect();
+        let details = step4::Step3Index::build(&input.interns, details_vec.iter().copied());
         step4::apply(&input, &details, &cfg.alias, &mut ledger);
         rows.push(row(
             "steps 1–4",

@@ -43,6 +43,12 @@
 //!   [`opeer_core::archive::SnapshotArchive`], per-month dirty
 //!   accounting, time-travel query throughput, retained-bytes
 //!   estimate, and a byte-identity gate against the one-shot pipeline.
+//! * [`run_memory_study`] / [`MemoryReport`] — the structural-sharing
+//!   memory study of the `memory` section (and `run_experiments
+//!   --memory-study`): epoch streams through a retention-capped
+//!   archive, per-epoch publish dirty sets and deduplicated retained
+//!   bytes, with flat-ceiling, zero-dirty-speedup, and byte-identity
+//!   gates.
 //! * [`compare_reports`] / [`Comparison`] — the schema-tolerant
 //!   regression diff behind `run_experiments --compare-bench`: two
 //!   `BENCH_pipeline.json` files compared phase by phase, failing on
@@ -54,6 +60,7 @@ pub mod archive;
 pub mod compare;
 pub mod experiments;
 pub mod gateway;
+pub mod memory;
 pub mod scaling;
 pub mod serving;
 pub mod session;
@@ -63,6 +70,10 @@ pub use archive::{run_archive_study, ArchiveReport, MonthCost, DEFAULT_ARCHIVE_M
 pub use compare::{compare_reports, Comparison, Regression, DEFAULT_TOLERANCE};
 pub use experiments::{run_all, Rendered};
 pub use gateway::{run_gateway_study, GatewayPoint, GatewayReport, DEFAULT_CONNECTION_SWEEP};
+pub use memory::{
+    memory_gates_hold, run_memory_study, MemoryEpoch, MemoryReport, DEFAULT_MEMORY_EPOCHS,
+    DEFAULT_MEMORY_RETAIN,
+};
 pub use scaling::{
     run_scaling_study, PhaseScaling, ScalingReport, DEFAULT_STREAMING_EPOCHS, DEFAULT_THREAD_SWEEP,
 };

@@ -1,0 +1,318 @@
+//! The memory study: structural-sharing snapshots under an unbounded
+//! epoch stream, with a bounded-retention archive.
+//!
+//! The scenario is the serving layer's steady state. Measurement
+//! batches stream in while an archive with a retention cap
+//! (`OPEER_ARCHIVE_RETAIN`-style, [`SnapshotArchive::attach_with_retention`])
+//! retains the newest snapshots: a **fill phase** delivers the world's
+//! campaign/corpus in batches (dirty publishes, partition rebuilds
+//! proportional to the dirty-IXP sets), then a **steady-state tail**
+//! keeps publishing epochs with no new measurement content (clean
+//! publishes — pure `Arc` shares). The study records, per epoch, the
+//! publish dirty sets, the publish wall-clock, and the archive's
+//! deduplicated retained bytes, then gates on three claims:
+//!
+//! * **flat memory ceiling** — once eviction is active and the
+//!   retention window has rotated past the fill phase, retained bytes
+//!   stay flat (max/min ≤ [`FLATNESS_TOLERANCE`]) however many more
+//!   epochs arrive;
+//! * **dirty-proportional publish** — a zero-dirty epoch publishes at
+//!   least [`MIN_PUBLISH_SPEEDUP`]× faster than a from-scratch
+//!   [`Snapshot::build_full`] over the same state, and shares every
+//!   partition pointer with its predecessor;
+//! * **byte-identity** — the final served state equals the one-shot
+//!   pipeline, and the final (delta-published, partition-sharing)
+//!   snapshot is content-equal to a non-shared `build_full` baseline.
+//!
+//! This is the schema-v8 `memory` section of `BENCH_pipeline.json` and
+//! the engine behind `run_experiments --memory-study`.
+
+use opeer_core::archive::SnapshotArchive;
+use opeer_core::engine::ParallelConfig;
+use opeer_core::incremental::InputDelta;
+use opeer_core::input::default_configs;
+use opeer_core::pipeline::{run_pipeline, PipelineConfig};
+use opeer_core::service::{PeeringService, Snapshot};
+use opeer_core::InferenceInput;
+use opeer_measure::campaign::campaign_batches;
+use opeer_measure::traceroute::corpus_batches;
+use opeer_topology::World;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Default epochs streamed by `run_experiments --memory-study`.
+pub const DEFAULT_MEMORY_EPOCHS: usize = 24;
+
+/// Default retention cap (snapshots kept by the archive).
+pub const DEFAULT_MEMORY_RETAIN: usize = 6;
+
+/// `max/min` retained-bytes ratio the steady-state window must stay
+/// within for [`MemoryReport::flat_after_compaction`].
+pub const FLATNESS_TOLERANCE: f64 = 1.10;
+
+/// Minimum `full_publish_ms / zero_dirty_publish_ms` ratio the study
+/// gates on: a clean epoch must publish at least this much faster than
+/// a from-scratch partition build.
+pub const MIN_PUBLISH_SPEEDUP: f64 = 10.0;
+
+/// One epoch's memory/publish accounting.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MemoryEpoch {
+    /// The published epoch.
+    pub epoch: u64,
+    /// New campaign observations delivered this epoch.
+    pub campaign_observations: usize,
+    /// New corpus traceroutes delivered this epoch.
+    pub corpus_traces: usize,
+    /// Whether this epoch's publish rebuilt every partition (registry
+    /// revision or initial build).
+    pub full_publish: bool,
+    /// Whether nothing changed — a pure `Arc`-share publish.
+    pub clean: bool,
+    /// IXPs whose rollup partitions this publish rebuilt.
+    pub dirty_ixps: usize,
+    /// ASNs in the publish dirty set (segment rebuild drivers).
+    pub dirty_asns: usize,
+    /// Wall-clock of the whole `apply` (recompute + publish), ms.
+    pub apply_ms: f64,
+    /// Wall-clock of just the snapshot publish, ms.
+    pub publish_ms: f64,
+    /// Snapshots the archive retains after this epoch (the cap holds).
+    pub retained_epochs: usize,
+    /// Deduplicated deep size of everything retained, bytes.
+    pub retained_bytes: usize,
+    /// Partitions of the newest snapshot shared with another holder.
+    pub shared_partitions: usize,
+    /// Partitions of the newest snapshot with a single holder.
+    pub owned_partitions: usize,
+}
+
+/// The full memory study, serialised into `BENCH_pipeline.json`'s
+/// `memory` section (schema v8).
+#[derive(Debug, Clone, Serialize)]
+pub struct MemoryReport {
+    /// Epochs streamed (fill phase + steady-state tail).
+    pub epochs: usize,
+    /// Epochs in the fill phase (measurement batches; the tail streams
+    /// content-free epochs).
+    pub fill_epochs: usize,
+    /// The archive's retention cap.
+    pub retain: usize,
+    /// Per-epoch accounting, in stream order.
+    pub per_epoch: Vec<MemoryEpoch>,
+    /// Deduplicated retained bytes after the final epoch.
+    pub retained_bytes_final: usize,
+    /// Whether retained bytes stayed within [`FLATNESS_TOLERANCE`]
+    /// (max/min) across the steady-state window — every epoch after
+    /// eviction became active **and** the retention window rotated past
+    /// the fill phase.
+    pub flat_after_compaction: bool,
+    /// Wall-clock of a from-scratch [`Snapshot::build_full`] over the
+    /// final state, ms.
+    pub full_publish_ms: f64,
+    /// Mean publish wall-clock of the clean steady-state epochs, ms.
+    pub zero_dirty_publish_ms: f64,
+    /// `full_publish_ms / zero_dirty_publish_ms` (the ≥10× gate).
+    pub publish_speedup: f64,
+    /// Whether every clean epoch's snapshot shared **all** partition
+    /// pointers with its predecessor.
+    pub zero_dirty_shared_all: bool,
+    /// Whether the final state was byte-identical to the one-shot
+    /// pipeline AND the final shared snapshot was content-equal to a
+    /// non-shared `build_full` baseline. `run_experiments
+    /// --memory-study` enforces this (with the three gates above) via
+    /// its exit code.
+    pub identical: bool,
+}
+
+/// Streams `epochs` epochs (measurement fill, then content-free tail)
+/// through a retention-capped archive and audits the memory ceiling,
+/// publish proportionality, and byte-identity claims.
+pub fn run_memory_study(
+    world: &World,
+    seed: u64,
+    epochs: usize,
+    retain: usize,
+    cfg: &PipelineConfig,
+    par: &ParallelConfig,
+) -> MemoryReport {
+    let retain = retain.max(2);
+    let fill_epochs = (epochs / 3).clamp(2, 8);
+    // The steady-state window needs room to rotate fully past the fill
+    // phase and still hold ≥2 samples.
+    let epochs = epochs.max(fill_epochs + retain + 2);
+
+    let service = PeeringService::build(InferenceInput::assemble_base(world, seed), cfg, par);
+    let archive = SnapshotArchive::attach_with_retention(&service, Some(retain));
+
+    // Fill phase batches (generated outside every timed window).
+    let (_registry, campaign_cfg, corpus_cfg) = default_configs(seed);
+    let camp = campaign_batches(world, &service.input().vps, campaign_cfg, fill_epochs);
+    let corp = corpus_batches(world, corpus_cfg, fill_epochs);
+    let mut deltas = InputDelta::zip_batches(camp, corp);
+    deltas.truncate(fill_epochs);
+    let fill_epochs = deltas.len().max(1);
+    // Steady-state tail: epochs keep arriving, no new measurement
+    // content — the regime an unbounded stream spends its life in.
+    while deltas.len() < epochs {
+        deltas.push(InputDelta::default());
+    }
+
+    let mut per_epoch = Vec::with_capacity(deltas.len());
+    let mut prev_ptrs = service.snapshot().partition_ptrs();
+    let mut zero_dirty_shared_all = true;
+    let (mut clean_ms_sum, mut clean_publishes) = (0.0, 0usize);
+    for delta in deltas {
+        let campaign_observations = delta.campaign.as_ref().map_or(0, |c| c.observations.len());
+        let corpus_traces = delta.corpus.len();
+        let t = Instant::now();
+        let report = archive.apply_reported(delta);
+        let apply_ms = t.elapsed().as_secs_f64() * 1e3;
+        let ptrs = report.snapshot.partition_ptrs();
+        let clean = report.publish.is_clean();
+        if clean {
+            zero_dirty_shared_all &= ptrs == prev_ptrs;
+            clean_ms_sum += report.publish_ms;
+            clean_publishes += 1;
+        }
+        prev_ptrs = ptrs;
+        let (shared_partitions, owned_partitions) = report.snapshot.partition_counts();
+        per_epoch.push(MemoryEpoch {
+            epoch: report.epoch,
+            campaign_observations,
+            corpus_traces,
+            full_publish: report.publish.full,
+            clean,
+            dirty_ixps: if report.publish.full {
+                report.snapshot.ixp_count()
+            } else {
+                report.publish.ixps.len()
+            },
+            dirty_asns: report.publish.asns.len(),
+            apply_ms,
+            publish_ms: report.publish_ms,
+            retained_epochs: archive.len(),
+            retained_bytes: archive.retained_bytes(),
+            shared_partitions,
+            owned_partitions,
+        });
+    }
+
+    // Flatness: once eviction is active and the retention window holds
+    // only steady-state snapshots, retained bytes must not drift.
+    let window: Vec<usize> = per_epoch
+        .iter()
+        .filter(|e| e.epoch as usize > fill_epochs + retain && e.retained_epochs == retain)
+        .map(|e| e.retained_bytes)
+        .collect();
+    let flat_after_compaction = window.len() >= 2 && {
+        let max = *window.iter().max().expect("non-empty window") as f64;
+        let min = *window.iter().min().expect("non-empty window") as f64;
+        max / min.max(1.0) <= FLATNESS_TOLERANCE
+    };
+
+    // The publish-cost comparison: a from-scratch partition build over
+    // the final state versus the clean epochs' measured publishes.
+    let latest = archive.latest();
+    let final_result = latest.result().clone();
+    let full_publish_ms = {
+        let input = service.input();
+        let t = Instant::now();
+        let rebuilt = Snapshot::build_full(latest.epoch(), &input, final_result, par);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(rebuilt.epoch() == latest.epoch());
+        ms
+    };
+    let zero_dirty_publish_ms = clean_ms_sum / clean_publishes.max(1) as f64;
+    let publish_speedup = full_publish_ms / zero_dirty_publish_ms.max(f64::EPSILON);
+
+    // Byte-identity: accumulated input and result equal the one-shot
+    // path, and the shared snapshot equals a non-shared baseline.
+    let full_input = InferenceInput::assemble(world, seed);
+    let one_shot = run_pipeline(&full_input, cfg);
+    let identical = {
+        let input = service.input();
+        let baseline = Snapshot::build_full(latest.epoch(), &input, one_shot.clone(), par);
+        input.content_eq(&full_input)
+            && *latest.result() == one_shot
+            && latest.content_eq(&baseline)
+    };
+
+    MemoryReport {
+        epochs: per_epoch.len(),
+        fill_epochs,
+        retain,
+        retained_bytes_final: per_epoch.last().map_or(0, |e| e.retained_bytes),
+        per_epoch,
+        flat_after_compaction,
+        full_publish_ms,
+        zero_dirty_publish_ms,
+        publish_speedup,
+        zero_dirty_shared_all,
+        identical,
+    }
+}
+
+/// Whether every gate the study makes holds (`run_experiments
+/// --memory-study` exits non-zero otherwise).
+pub fn memory_gates_hold(report: &MemoryReport) -> bool {
+    report.identical
+        && report.flat_after_compaction
+        && report.zero_dirty_shared_all
+        && report.publish_speedup >= MIN_PUBLISH_SPEEDUP
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opeer_topology::WorldConfig;
+
+    #[test]
+    fn memory_study_holds_every_gate() {
+        let world = WorldConfig::small(7).generate();
+        let report = run_memory_study(
+            &world,
+            7,
+            12,
+            3,
+            &PipelineConfig::default(),
+            &ParallelConfig::new(2),
+        );
+        assert!(report.identical, "shared snapshots diverged from baseline");
+        assert!(
+            report.zero_dirty_shared_all,
+            "clean epoch rebuilt a partition"
+        );
+        assert!(
+            report.flat_after_compaction,
+            "retained bytes drifted in steady state: {:?}",
+            report
+                .per_epoch
+                .iter()
+                .map(|e| e.retained_bytes)
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            report.publish_speedup >= MIN_PUBLISH_SPEEDUP,
+            "zero-dirty publish only {:.1}x faster than full",
+            report.publish_speedup
+        );
+        assert!(memory_gates_hold(&report));
+        // The retention cap holds after every epoch.
+        assert!(report.per_epoch.iter().all(|e| e.retained_epochs <= 3));
+        // Steady-state epochs are clean and publish nothing.
+        let tail = report
+            .per_epoch
+            .iter()
+            .filter(|e| e.epoch as usize > report.fill_epochs)
+            .collect::<Vec<_>>();
+        assert!(!tail.is_empty() && tail.iter().all(|e| e.clean && e.dirty_ixps == 0));
+        // Fill-phase epochs carry real dirty sets.
+        assert!(report.per_epoch[..report.fill_epochs]
+            .iter()
+            .any(|e| e.dirty_ixps > 0));
+        let json = serde_json::to_string(&report).expect("report serialises");
+        assert!(json.contains("\"retained_bytes\":"));
+        assert!(json.contains("\"identical\":true"));
+    }
+}

@@ -2,9 +2,10 @@
 //! at several thread counts — for the inference pipeline, for
 //! measurement assembly, and for the overlapped end-to-end path — plus
 //! the streaming epoch replay, the serving-throughput sweep, the
-//! wire-level gateway load study, and the longitudinal archive replay,
-//! with byte-identity checks and a machine-readable report
-//! (`BENCH_pipeline.json`, schema `opeer-bench-pipeline/7`).
+//! wire-level gateway load study, the longitudinal archive replay, and
+//! the structural-sharing memory study, with byte-identity checks and
+//! a machine-readable report (`BENCH_pipeline.json`, schema
+//! `opeer-bench-pipeline/8`).
 //!
 //! Used by the `pipeline_scaling` / `assembly_scaling` criterion
 //! benches and by `run_experiments --bench-pipeline` (which is what
@@ -13,6 +14,7 @@
 
 use crate::archive::{run_archive_study, ArchiveReport};
 use crate::gateway::{run_gateway_study, GatewayReport, DEFAULT_CONNECTION_SWEEP};
+use crate::memory::{run_memory_study, MemoryReport, DEFAULT_MEMORY_EPOCHS, DEFAULT_MEMORY_RETAIN};
 use crate::serving::{run_serving_study, ServingReport, DEFAULT_READER_SWEEP};
 use crate::streaming::{run_streaming_session, StreamingReport};
 use opeer_core::engine::{assemble_and_run_parallel, run_pipeline_parallel, ParallelConfig};
@@ -131,6 +133,12 @@ pub struct ScalingReport {
     /// accounting, time-travel query throughput, the retained-bytes
     /// estimate, and its own byte-identity gate (new in schema 7).
     pub archive: ArchiveReport,
+    /// The structural-sharing memory study: an epoch stream through a
+    /// retention-capped archive, per-epoch publish dirty sets and
+    /// deduplicated retained bytes, the zero-dirty vs full publish
+    /// cost comparison, and a byte-identity audit against a non-shared
+    /// snapshot baseline (new in schema 8).
+    pub memory: MemoryReport,
     /// Whether every parallel run in every phase — and the final states
     /// of the streaming replay, the serving sweep, and the archive
     /// replay — matched their sequential references byte for byte, plus
@@ -318,6 +326,16 @@ pub fn run_scaling_study(
         &ParallelConfig::new(thread_sweep.last().copied().unwrap_or(1)),
     );
 
+    // ---- structural-sharing memory study (bounded-retention stream) ----
+    let memory = run_memory_study(
+        world,
+        seed,
+        DEFAULT_MEMORY_EPOCHS,
+        DEFAULT_MEMORY_RETAIN,
+        &cfg,
+        &ParallelConfig::new(thread_sweep.last().copied().unwrap_or(1)),
+    );
+
     let all_identical = assembly.all_identical
         && pipeline.all_identical
         && end_to_end.all_identical
@@ -326,14 +344,15 @@ pub fn run_scaling_study(
         && serving.epochs_monotonic
         && serving.tags_consistent
         && gateway.ok
-        && archive.identical;
+        && archive.identical
+        && memory.identical;
     let best_pipeline_speedup = pipeline
         .points
         .iter()
         .map(|p| p.speedup)
         .fold(0.0, f64::max);
     ScalingReport {
-        schema: "opeer-bench-pipeline/7",
+        schema: "opeer-bench-pipeline/8",
         world: world_label.to_string(),
         seed,
         ixps: input.observed.ixps.len(),
@@ -349,6 +368,7 @@ pub fn run_scaling_study(
         serving,
         gateway,
         archive,
+        memory,
         all_identical,
     }
 }
@@ -401,9 +421,12 @@ mod tests {
             .abs()
                 < 1e-12
         );
+        assert!(report.memory.identical, "memory study diverged");
+        assert!(report.memory.zero_dirty_shared_all);
+        assert!(report.memory.retained_bytes_final > 0);
         let json = serde_json::to_string(&report).expect("report serialises");
         assert!(json.contains("\"schema\":"));
-        assert!(json.contains("opeer-bench-pipeline/7"));
+        assert!(json.contains("opeer-bench-pipeline/8"));
         assert!(json.contains("\"best_pipeline_speedup\":"));
         assert!(json.contains("\"assembly\":"));
         assert!(json.contains("\"end_to_end\":"));
@@ -411,5 +434,6 @@ mod tests {
         assert!(json.contains("\"serving\":"));
         assert!(json.contains("\"gateway\":"));
         assert!(json.contains("\"archive\":"));
+        assert!(json.contains("\"memory\":"));
     }
 }

@@ -43,11 +43,28 @@
 //! concurrently. Dropping the archive drops its `Arc` clones — every
 //! non-latest snapshot is released; the latest stays alive through the
 //! service (`archive_retention_releases_on_drop` pins this).
+//!
+//! ## Bounded memory
+//!
+//! Snapshots published by delta share their unchanged partitions with
+//! their neighbours, so [`SnapshotArchive::retained_bytes`] counts each
+//! shared partition **once** — the true footprint of the partition
+//! graph. For a hard ceiling under unbounded epoch streams, attach with
+//! a retention cap ([`SnapshotArchive::attach_with_retention`], or the
+//! [`RETAIN_ENV`] environment variable): after every apply the archive
+//! compacts to the `k` newest snapshots, evicting oldest-first. Evicted
+//! epochs answer [`ArchiveError::NotArchived`] and keep their
+//! [`DirtyRecord`]s in [`SnapshotArchive::dirty_log`]; their snapshots
+//! are re-derivable, not lost — replay the same input stream (e.g.
+//! [`crate::evolution::monthly_deltas`]) through a fresh service up to
+//! the evicted epoch and the serving contract guarantees byte-identical
+//! answers (`tests/archive_oracle.rs` exercises exactly this replay).
 
 use crate::incremental::{DirtyCounts, InputDelta};
 use crate::pipeline::StepCounts;
 use crate::service::{
-    AsnReport, Explanation, IxpReport, PeeringService, ServiceError, Snapshot, VerdictAnswer,
+    AsnReport, Explanation, IxpReport, PartitionSeen, PeeringService, ServiceError, Snapshot,
+    VerdictAnswer,
 };
 use crate::types::Verdict;
 use opeer_net::Asn;
@@ -196,6 +213,11 @@ pub struct DirtyRecord {
 // the archive
 // ---------------------------------------------------------------------
 
+/// Environment variable read by [`SnapshotArchive::attach`]: a positive
+/// integer caps how many snapshots the archive retains (the memory
+/// ceiling); unset, empty, or unparsable means unbounded retention.
+pub const RETAIN_ENV: &str = "OPEER_ARCHIVE_RETAIN";
+
 /// One retained epoch: the published snapshot (Arc-shared with the
 /// service) and the dirty-shard counts of the apply that produced it.
 struct ArchivedEpoch {
@@ -204,29 +226,94 @@ struct ArchivedEpoch {
     dirty: DirtyCounts,
 }
 
-/// The epoch-indexed snapshot archive. See the [module docs](self).
-pub struct SnapshotArchive<'s, 'w> {
-    service: &'s PeeringService<'w>,
+/// The lock-guarded archive state: the retained snapshots plus the
+/// complete dirty-accounting log (eviction drops snapshots, never
+/// history).
+struct ArchiveIndex {
     /// Retained epochs, ascending by epoch. Insertion keeps the sort
     /// even if concurrent [`SnapshotArchive::apply`] calls race past
     /// the publish and reach the index out of order.
-    inner: RwLock<Vec<ArchivedEpoch>>,
+    epochs: Vec<ArchivedEpoch>,
+    /// Dirty-shard accounting for **every** epoch ever archived,
+    /// ascending — retained and evicted alike.
+    dirty: Vec<DirtyRecord>,
+}
+
+impl ArchiveIndex {
+    fn record_dirty(&mut self, record: DirtyRecord) {
+        match self.dirty.binary_search_by_key(&record.epoch, |r| r.epoch) {
+            Ok(pos) => self.dirty[pos] = record,
+            Err(pos) => self.dirty.insert(pos, record),
+        }
+    }
+
+    /// Evicts the oldest retained snapshots until at most `keep` remain.
+    /// The newest snapshot is never evicted (a `keep` of 0 acts as 1),
+    /// and the dirty log keeps the evicted epochs' records. Returns how
+    /// many snapshots were released.
+    fn evict_to(&mut self, keep: usize) -> usize {
+        let keep = keep.max(1);
+        if self.epochs.len() <= keep {
+            return 0;
+        }
+        let evict = self.epochs.len() - keep;
+        self.epochs.drain(..evict);
+        evict
+    }
+}
+
+/// The epoch-indexed snapshot archive. See the [module docs](self).
+pub struct SnapshotArchive<'s, 'w> {
+    service: &'s PeeringService<'w>,
+    inner: RwLock<ArchiveIndex>,
+    /// Retention cap: `Some(k)` keeps at most `k` snapshots, evicting
+    /// the oldest after each apply; `None` retains every epoch.
+    retain: Option<usize>,
 }
 
 impl<'s, 'w> SnapshotArchive<'s, 'w> {
     /// Attaches an archive to a service, retaining the currently
-    /// published snapshot as the first archived epoch.
+    /// published snapshot as the first archived epoch. The retention
+    /// cap comes from [`RETAIN_ENV`] (unset = unbounded); use
+    /// [`SnapshotArchive::attach_with_retention`] to set it explicitly.
     pub fn attach(service: &'s PeeringService<'w>) -> Self {
+        let retain = std::env::var(RETAIN_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&k| k > 0);
+        Self::attach_with_retention(service, retain)
+    }
+
+    /// [`SnapshotArchive::attach`] with an explicit retention cap:
+    /// `Some(k)` bounds the archive to the `k` newest snapshots
+    /// (evicting oldest-first after each apply), `None` retains every
+    /// epoch. Evicted epochs answer [`ArchiveError::NotArchived`]; they
+    /// are re-derivable, not lost — replay the input stream (e.g.
+    /// [`crate::evolution::monthly_deltas`]) through a fresh service up
+    /// to the evicted epoch and the serving contract guarantees a
+    /// byte-identical snapshot (`tests/archive_oracle.rs` pins this).
+    pub fn attach_with_retention(service: &'s PeeringService<'w>, retain: Option<usize>) -> Self {
         let snapshot = service.snapshot();
+        let epoch = snapshot.epoch();
+        let dirty = service.last_dirty();
         let first = ArchivedEpoch {
-            epoch: snapshot.epoch(),
+            epoch,
             snapshot,
-            dirty: service.last_dirty(),
+            dirty,
         };
         SnapshotArchive {
             service,
-            inner: RwLock::new(vec![first]),
+            inner: RwLock::new(ArchiveIndex {
+                epochs: vec![first],
+                dirty: vec![DirtyRecord { epoch, dirty }],
+            }),
+            retain,
         }
+    }
+
+    /// The retention cap this archive compacts to, if bounded.
+    pub fn retention(&self) -> Option<usize> {
+        self.retain
     }
 
     /// The underlying service.
@@ -239,25 +326,57 @@ impl<'s, 'w> SnapshotArchive<'s, 'w> {
     /// service's own publish path is untouched — retention is an `Arc`
     /// clone of the snapshot the service already swapped in.
     pub fn apply(&self, delta: InputDelta) -> u64 {
+        self.apply_reported(delta).epoch
+    }
+
+    /// [`SnapshotArchive::apply`], returning the service's full
+    /// [`crate::service::ApplyReport`] (publish dirty sets and publish
+    /// wall-clock included) — what the memory study instruments.
+    pub fn apply_reported(&self, delta: InputDelta) -> crate::service::ApplyReport {
         let report = self.service.apply_reported(delta);
         let mut inner = self.inner.write().expect("archive index poisoned");
-        match inner.binary_search_by_key(&report.epoch, |e| e.epoch) {
+        match inner
+            .epochs
+            .binary_search_by_key(&report.epoch, |e| e.epoch)
+        {
             // Epochs are strictly monotonic per service, so a hit can
             // only be a re-delivery; keep the newest snapshot for it.
             Ok(pos) => {
-                inner[pos].snapshot = report.snapshot;
-                inner[pos].dirty = report.dirty;
+                inner.epochs[pos].snapshot = Arc::clone(&report.snapshot);
+                inner.epochs[pos].dirty = report.dirty;
             }
-            Err(pos) => inner.insert(
+            Err(pos) => inner.epochs.insert(
                 pos,
                 ArchivedEpoch {
                     epoch: report.epoch,
-                    snapshot: report.snapshot,
+                    snapshot: Arc::clone(&report.snapshot),
                     dirty: report.dirty,
                 },
             ),
         }
-        report.epoch
+        inner.record_dirty(DirtyRecord {
+            epoch: report.epoch,
+            dirty: report.dirty,
+        });
+        // Compaction rides the same lock: the memory ceiling holds the
+        // moment apply returns, not at some later maintenance tick.
+        if let Some(keep) = self.retain {
+            inner.evict_to(keep);
+        }
+        report
+    }
+
+    /// Evicts the oldest retained snapshots until at most `keep`
+    /// remain (the newest is never evicted; `keep == 0` acts as 1).
+    /// Returns how many snapshots were released. The dirty log keeps
+    /// the evicted epochs' records, and evicted epochs remain
+    /// re-derivable by replaying the input stream — see
+    /// [`SnapshotArchive::attach_with_retention`].
+    pub fn evict_to(&self, keep: usize) -> usize {
+        self.inner
+            .write()
+            .expect("archive index poisoned")
+            .evict_to(keep)
     }
 
     /// The service's current snapshot — the same `Arc` pointer
@@ -266,9 +385,13 @@ impl<'s, 'w> SnapshotArchive<'s, 'w> {
         self.service.snapshot()
     }
 
-    /// Number of archived epochs.
+    /// Number of retained (still-archived) epochs.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("archive index poisoned").len()
+        self.inner
+            .read()
+            .expect("archive index poisoned")
+            .epochs
+            .len()
     }
 
     /// Whether the archive holds no epochs (only possible before
@@ -277,22 +400,24 @@ impl<'s, 'w> SnapshotArchive<'s, 'w> {
         self.len() == 0
     }
 
-    /// The oldest archived epoch, if any.
+    /// The oldest retained epoch, if any (eviction advances it).
     pub fn first_epoch(&self) -> Option<u64> {
         let inner = self.inner.read().expect("archive index poisoned");
-        inner.first().map(|e| e.epoch)
+        inner.epochs.first().map(|e| e.epoch)
     }
 
     /// The newest archived epoch, if any.
     pub fn latest_epoch(&self) -> Option<u64> {
         let inner = self.inner.read().expect("archive index poisoned");
-        inner.last().map(|e| e.epoch)
+        inner.epochs.last().map(|e| e.epoch)
     }
 
-    /// The snapshot archived at exactly `epoch`.
+    /// The snapshot archived at exactly `epoch`. An evicted epoch
+    /// answers [`ArchiveError::NotArchived`] — re-derivable by replay,
+    /// see [`SnapshotArchive::attach_with_retention`].
     pub fn at(&self, epoch: u64) -> Result<Arc<Snapshot>, ArchiveError> {
         let inner = self.inner.read().expect("archive index poisoned");
-        Self::resolve(&inner, epoch).map(|pos| Arc::clone(&inner[pos].snapshot))
+        Self::resolve(&inner.epochs, epoch).map(|pos| Arc::clone(&inner.epochs[pos].snapshot))
     }
 
     /// The newest archived snapshot at or before `epoch` (the as-of
@@ -300,21 +425,21 @@ impl<'s, 'w> SnapshotArchive<'s, 'w> {
     /// lies in the future.
     pub fn as_of(&self, epoch: u64) -> Result<Arc<Snapshot>, ArchiveError> {
         let inner = self.inner.read().expect("archive index poisoned");
-        let (first, latest) = Self::bounds(&inner)?;
+        let (first, latest) = Self::bounds(&inner.epochs)?;
         if epoch > latest {
             return Err(ArchiveError::FutureEpoch {
                 requested: epoch,
                 latest,
             });
         }
-        match inner.binary_search_by_key(&epoch, |e| e.epoch) {
-            Ok(pos) => Ok(Arc::clone(&inner[pos].snapshot)),
+        match inner.epochs.binary_search_by_key(&epoch, |e| e.epoch) {
+            Ok(pos) => Ok(Arc::clone(&inner.epochs[pos].snapshot)),
             Err(0) => Err(ArchiveError::NotArchived {
                 requested: epoch,
                 first,
                 latest,
             }),
-            Err(pos) => Ok(Arc::clone(&inner[pos - 1].snapshot)),
+            Err(pos) => Ok(Arc::clone(&inner.epochs[pos - 1].snapshot)),
         }
     }
 
@@ -324,6 +449,7 @@ impl<'s, 'w> SnapshotArchive<'s, 'w> {
     pub fn range(&self, epochs: RangeInclusive<u64>) -> Vec<(u64, Arc<Snapshot>)> {
         let inner = self.inner.read().expect("archive index poisoned");
         inner
+            .epochs
             .iter()
             .filter(|e| epochs.contains(&e.epoch))
             .map(|e| (e.epoch, Arc::clone(&e.snapshot)))
@@ -362,9 +488,10 @@ impl<'s, 'w> SnapshotArchive<'s, 'w> {
     /// archived epoch observes the IXP.
     pub fn trend(&self, ixp: usize) -> Result<TrendLine, ArchiveError> {
         let inner = self.inner.read().expect("archive index poisoned");
-        Self::bounds(&inner)?;
+        Self::bounds(&inner.epochs)?;
         let mut name = None;
         let points: Vec<TrendPoint> = inner
+            .epochs
             .iter()
             .filter_map(|e| {
                 let rollup = e.snapshot.ixp_rollups().get(ixp)?;
@@ -382,7 +509,7 @@ impl<'s, 'w> SnapshotArchive<'s, 'w> {
         match name {
             Some(name) => Ok(TrendLine { ixp, name, points }),
             None => {
-                let latest = inner.last().expect("bounds checked non-empty");
+                let latest = inner.epochs.last().expect("bounds checked non-empty");
                 Err(ArchiveError::Service(ServiceError::UnknownIxp {
                     ixp,
                     ixps: latest.snapshot.ixp_count(),
@@ -400,9 +527,10 @@ impl<'s, 'w> SnapshotArchive<'s, 'w> {
     /// archived epoch.
     pub fn churn(&self, asn: Asn) -> Result<ChurnReport, ArchiveError> {
         let inner = self.inner.read().expect("archive index poisoned");
-        Self::bounds(&inner)?;
+        Self::bounds(&inner.epochs)?;
         let mut known_anywhere = false;
         let verdicts: Vec<(u64, BTreeMap<Ipv4Addr, Option<Verdict>>)> = inner
+            .epochs
             .iter()
             .map(|e| {
                 let map = match e.snapshot.asn_report(asn) {
@@ -450,16 +578,15 @@ impl<'s, 'w> SnapshotArchive<'s, 'w> {
         })
     }
 
-    /// Per-epoch dirty-shard accounting, ascending by epoch.
+    /// Per-epoch dirty-shard accounting, ascending by epoch — complete
+    /// over every epoch ever archived: eviction drops snapshots, never
+    /// this history.
     pub fn dirty_log(&self) -> Vec<DirtyRecord> {
-        let inner = self.inner.read().expect("archive index poisoned");
-        inner
-            .iter()
-            .map(|e| DirtyRecord {
-                epoch: e.epoch,
-                dirty: e.dirty,
-            })
-            .collect()
+        self.inner
+            .read()
+            .expect("archive index poisoned")
+            .dirty
+            .clone()
     }
 
     /// Per-IXP step contributions as of an archived epoch (for the
@@ -471,17 +598,33 @@ impl<'s, 'w> SnapshotArchive<'s, 'w> {
         Ok(self.at(epoch)?.step_contributions().clone())
     }
 
-    /// A rough estimate of the heap retained by the archived snapshots,
-    /// in bytes ([`Snapshot::approx_retained_bytes`] summed over the
-    /// index). Snapshots are Arc-shared with the service, so the
-    /// marginal retention cost of the archive itself is the index plus
-    /// every epoch the service would otherwise have dropped.
-    pub fn retained_bytes_estimate(&self) -> usize {
+    /// Deep size in bytes of everything the archived snapshots retain,
+    /// **counting each shared partition once**: snapshots published by
+    /// delta share most partitions with their neighbours, so this is
+    /// the true footprint of the partition graph, not epochs × full
+    /// snapshot size ([`Snapshot::retained_bytes_deduped`] threaded
+    /// over the index with one shared [`PartitionSeen`]).
+    pub fn retained_bytes(&self) -> usize {
+        let inner = self.inner.read().expect("archive index poisoned");
+        let mut seen = PartitionSeen::default();
+        inner
+            .epochs
+            .iter()
+            .map(|e| e.snapshot.retained_bytes_deduped(&mut seen))
+            .sum()
+    }
+
+    /// Shared/owned partition counts over the newest retained snapshot
+    /// (`strong_count > 1` means shared — with older archived epochs,
+    /// the service's read side, or any other holder). Served by the
+    /// gateway's `/metrics` snapshot gauges.
+    pub fn partition_counts(&self) -> (usize, usize) {
         let inner = self.inner.read().expect("archive index poisoned");
         inner
-            .iter()
-            .map(|e| e.snapshot.approx_retained_bytes())
-            .sum()
+            .epochs
+            .last()
+            .map(|e| e.snapshot.partition_counts())
+            .unwrap_or((0, 0))
     }
 
     /// Resolves an exact epoch to its index position, with the full
@@ -595,7 +738,7 @@ mod tests {
         assert!(log.windows(2).all(|w| w[0].epoch < w[1].epoch));
         assert!(log[1..].iter().any(|r| r.dirty.total() > 0));
 
-        assert!(archive.retained_bytes_estimate() > 0);
+        assert!(archive.retained_bytes() > 0);
     }
 
     #[test]
@@ -698,6 +841,42 @@ mod tests {
             archive.churn(Asn::new(64_999)),
             Err(ArchiveError::Service(ServiceError::UnknownAsn { .. }))
         ));
+    }
+
+    #[test]
+    fn retention_cap_evicts_oldest_and_keeps_history() {
+        let world = WorldConfig::small(13).generate();
+        let (service, deltas) = service_with_deltas(&world, 13, 4);
+        let archive = SnapshotArchive::attach_with_retention(&service, Some(2));
+        assert_eq!(archive.retention(), Some(2));
+        let n = deltas.len() as u64;
+        for delta in deltas {
+            archive.apply(delta);
+            assert!(archive.len() <= 2, "cap must hold after every apply");
+        }
+        assert_eq!(archive.len(), 2);
+        assert_eq!(archive.first_epoch(), Some(n - 1));
+        assert_eq!(archive.latest_epoch(), Some(n));
+        // Evicted epochs answer NotArchived; the dirty log stays
+        // complete across evictions.
+        assert!(matches!(
+            archive.at(0),
+            Err(ArchiveError::NotArchived { .. })
+        ));
+        let log = archive.dirty_log();
+        assert_eq!(log.len() as u64, n + 1);
+        assert!(log.windows(2).all(|w| w[0].epoch < w[1].epoch));
+        // Deduped accounting: consecutive delta-published snapshots
+        // share partitions, so the archive total is strictly below the
+        // sum of standalone per-snapshot sizes.
+        let full_sum: usize = (n - 1..=n)
+            .map(|e| archive.at(e).expect("retained").retained_bytes())
+            .sum();
+        assert!(archive.retained_bytes() < full_sum);
+        // Manual eviction never drops the newest snapshot.
+        assert_eq!(archive.evict_to(0), 1);
+        assert_eq!(archive.len(), 1);
+        assert_eq!(archive.first_epoch(), Some(n));
     }
 
     #[test]

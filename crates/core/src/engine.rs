@@ -327,8 +327,7 @@ fn phase_steps45(
     let ixp_shards = shard_ranges(input.observed.ixps.len(), n_shards);
 
     // ---- step 4: corpus scan by chunk, classification by candidate ----
-    let details_map: BTreeMap<Ipv4Addr, Step3Detail> =
-        step3_details.iter().map(|d| (d.addr, *d)).collect();
+    let details_idx = step4::Step3Index::build(&input.interns, step3_details.iter().copied());
     let data = step4::ixp_data(input);
     let corpus_shards = shard_ranges(input.corpus.len(), n_shards);
     let chunks = map_indexed(corpus_shards.len(), threads, |i| {
@@ -340,7 +339,7 @@ fn phase_steps45(
         // The frozen steps-1–3 ledger is the only cross-candidate state.
         let priors = &ledger;
         map_indexed(cands.len(), threads, |i| {
-            step4::classify_candidate(input, &evidence, cands[i], &details_map, &cfg.alias, priors)
+            step4::classify_candidate(input, &evidence, cands[i], &details_idx, &cfg.alias, priors)
         })
     };
     let mut multi_ixp_routers = Vec::new();

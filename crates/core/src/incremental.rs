@@ -218,6 +218,61 @@ impl ShardTotals {
     }
 }
 
+/// Exact publish-time dirty sets of one [`IncrementalPipeline::apply`]:
+/// which per-IXP and per-ASN snapshot partitions the epoch's changes can
+/// reach. Where [`DirtyCounts`] reports how much *recompute* work an
+/// epoch did, `PublishDirty` reports what the recompute actually
+/// *changed* — the two differ because a re-classified shard usually
+/// reproduces its old output byte-for-byte.
+///
+/// Soundness: every ledger record and residual [`Unclassified`] at an
+/// address carries that address's single membership identity
+/// (`ObservedWorld::member_of_addr` — one `(ixp, asn)` per interface),
+/// so marking the old and the new record of every changed shard covers
+/// commit-order shadowing cascades too: if a changed shard's write
+/// shadows (or stops shadowing) another shard's record at the same
+/// address, both records agree on `(ixp, asn)` and the partitions are
+/// already marked. [`crate::service::Snapshot::build_delta`] rebuilds
+/// exactly the marked partitions and shares the rest by `Arc` clone;
+/// the equivalence suites and `tests/snapshot_sharing.rs` pin the
+/// byte-identity of the shared result against a from-scratch build.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PublishDirty {
+    /// Everything is dirty (construction or registry revision): the
+    /// publish must rebuild every partition from scratch.
+    pub full: bool,
+    /// Whether the merged [`PipelineResult`] changed at all. When
+    /// `false`, the previous snapshot is provably still exact and the
+    /// publish can share it wholesale.
+    pub result_changed: bool,
+    /// Observed-IXP indices whose per-IXP partitions must rebuild.
+    pub ixps: BTreeSet<usize>,
+    /// Member ASNs whose per-ASN report partitions must rebuild.
+    pub asns: BTreeSet<Asn>,
+}
+
+impl PublishDirty {
+    /// A fully-dirty marker (what a from-scratch build implies).
+    pub fn full() -> Self {
+        PublishDirty {
+            full: true,
+            result_changed: true,
+            ..PublishDirty::default()
+        }
+    }
+
+    /// Whether nothing observable changed — the previous snapshot can be
+    /// re-published as-is.
+    pub fn is_clean(&self) -> bool {
+        !self.full && !self.result_changed
+    }
+
+    fn mark(&mut self, inf: &Inference) {
+        self.ixps.insert(inf.ixp);
+        self.asns.insert(inf.asn);
+    }
+}
+
 /// Retained state of the incremental pipeline: the accumulated input
 /// plus every per-shard output of the last run, so the next
 /// [`IncrementalPipeline::apply`] can recompute only what a delta
@@ -254,6 +309,7 @@ pub struct IncrementalPipeline<'w> {
 
     result: PipelineResult,
     last_dirty: DirtyCounts,
+    last_publish: PublishDirty,
     epochs_applied: usize,
 }
 
@@ -292,6 +348,7 @@ impl<'w> IncrementalPipeline<'w> {
                 counts: StepCounts::default(),
             },
             last_dirty: DirtyCounts::default(),
+            last_publish: PublishDirty::full(),
             epochs_applied: 0,
         };
         pipe.recompute(true, 0, 0);
@@ -341,6 +398,20 @@ impl<'w> IncrementalPipeline<'w> {
         self.last_dirty
     }
 
+    /// The publish-time dirty sets of the last
+    /// [`IncrementalPipeline::apply`] — which snapshot partitions it can
+    /// have changed. See [`PublishDirty`].
+    pub fn last_publish(&self) -> &PublishDirty {
+        &self.last_publish
+    }
+
+    /// The engine configuration this pipeline fans shard work over —
+    /// publishers reuse it so snapshot partition rebuilds run on the
+    /// same pool shape as the recompute itself.
+    pub fn parallel(&self) -> &ParallelConfig {
+        &self.par
+    }
+
     /// The full shard population a from-scratch run would compute.
     pub fn totals(&self) -> ShardTotals {
         ShardTotals {
@@ -365,6 +436,25 @@ impl<'w> IncrementalPipeline<'w> {
         let threads = self.par.threads.max(1);
         let n_shards = threads * 4;
         let mut dirty = DirtyCounts::default();
+        let mut publish = PublishDirty {
+            full,
+            result_changed: full,
+            ..PublishDirty::default()
+        };
+
+        // A delta that carried nothing can change nothing: every cache
+        // is a pure function of the (unchanged) accumulated input, so
+        // the retained result is still exact. Skip even the merge
+        // replay — the publish layer shares the previous snapshot
+        // wholesale off the `is_clean` marker.
+        if !full
+            && self.input.campaign.observations.len() == campaign_start
+            && self.input.corpus.len() == corpus_start
+        {
+            self.last_dirty = dirty;
+            self.last_publish = publish;
+            return;
+        }
 
         // ---- registry-derived tables + full-reset bookkeeping ----
         let (campaign_start, corpus_start) = if full {
@@ -455,6 +545,14 @@ impl<'w> IncrementalPipeline<'w> {
             let mut changed = BTreeSet::new();
             for (addr, eval) in evaluated.into_iter().flatten() {
                 if self.step3.get(&addr) != Some(&eval) {
+                    if !full {
+                        if let Some((_, Some(old))) = self.step3.get(&addr) {
+                            publish.mark(old);
+                        }
+                        if let Some(new) = &eval.1 {
+                            publish.mark(new);
+                        }
+                    }
                     changed.insert(addr);
                     self.step3.insert(addr, eval);
                 }
@@ -462,6 +560,10 @@ impl<'w> IncrementalPipeline<'w> {
             changed
         };
         dirty.step3_targets = step3_dirty.len();
+        // The merged result embeds the observation map and the step-3
+        // details, so any surviving observation change dirties it even
+        // when no inference flipped.
+        publish.result_changed |= !step3_dirty.is_empty();
 
         // ---- merged steps-1–3 ledger (step 4/5's frozen priors) ----
         let mut ledger123 = Ledger::new();
@@ -527,8 +629,8 @@ impl<'w> IncrementalPipeline<'w> {
                 .collect()
         };
         let candidates = step4::candidates(&self.evidence);
-        let details_map: BTreeMap<Ipv4Addr, Step3Detail> =
-            self.step3.iter().map(|(a, (d, _))| (*a, *d)).collect();
+        let details_idx =
+            step4::Step3Index::build(&self.input.interns, self.step3.values().map(|(d, _)| *d));
         {
             let dirty_cands: Vec<Asn> = candidates
                 .iter()
@@ -543,12 +645,30 @@ impl<'w> IncrementalPipeline<'w> {
             let evidence = &self.evidence;
             let priors = &self.ledger123;
             let alias = &self.cfg.alias;
-            let details = &details_map;
+            let details = &details_idx;
             let fresh = map_indexed(dirty_cands.len(), threads, |i| {
                 step4::classify_candidate(input, evidence, dirty_cands[i], details, alias, priors)
             });
             for (asn, outcome) in dirty_cands.iter().zip(fresh) {
-                self.outcomes.insert(*asn, outcome);
+                let old = self.outcomes.insert(*asn, outcome);
+                if full {
+                    continue;
+                }
+                let new = &self.outcomes[asn];
+                if old.as_ref() != Some(new) {
+                    // The candidate's findings land in its per-ASN report
+                    // partition; old and new records cover every address
+                    // whose winning ledger entry can move.
+                    publish.result_changed = true;
+                    publish.asns.insert(*asn);
+                    for inf in old
+                        .iter()
+                        .flat_map(|o| o.recorded.iter())
+                        .chain(new.recorded.iter())
+                    {
+                        publish.mark(inf);
+                    }
+                }
             }
             dirty.step4_candidates = dirty_cands.len();
         }
@@ -586,6 +706,31 @@ impl<'w> IncrementalPipeline<'w> {
                 ev5_dirty_ixps.extend(ixps.iter().copied());
             }
         }
+        // A changed unknown set is an observable change in itself — the
+        // residual [`Unclassified`] rows and per-IXP tallies move even
+        // if the re-vote reproduces the same proposals. Mark the IXP and
+        // the owners of the addresses that entered or left (both sides
+        // are sorted interface-key subsets, so a merge walk diffs them).
+        if !full {
+            for (i, now) in unknown.iter().enumerate() {
+                let was = &self.step5_unknown[i];
+                if now == was {
+                    continue;
+                }
+                publish.result_changed = true;
+                publish.ixps.insert(i);
+                let interfaces = &self.input.observed.ixps[i].interfaces;
+                for addr in now
+                    .iter()
+                    .filter(|a| was.binary_search(a).is_err())
+                    .chain(was.iter().filter(|a| now.binary_search(a).is_err()))
+                {
+                    if let Some(&asn) = interfaces.get(addr) {
+                        publish.asns.insert(asn);
+                    }
+                }
+            }
+        }
         {
             let dirty_ixps: Vec<usize> = (0..n_ixps)
                 .filter(|&i| {
@@ -601,6 +746,13 @@ impl<'w> IncrementalPipeline<'w> {
                 step5::propose_for_ixps(input, ev5, alias, i..i + 1, priors)
             });
             for (&i, proposals) in dirty_ixps.iter().zip(fresh) {
+                if !full && self.step5_proposals[i] != proposals {
+                    publish.result_changed = true;
+                    publish.ixps.insert(i);
+                    for inf in self.step5_proposals[i].iter().chain(proposals.iter()) {
+                        publish.mark(inf);
+                    }
+                }
                 self.step5_proposals[i] = proposals;
             }
             dirty.step5_ixps = dirty_ixps.len();
@@ -649,6 +801,7 @@ impl<'w> IncrementalPipeline<'w> {
             },
         };
         self.last_dirty = dirty;
+        self.last_publish = publish;
     }
 }
 

@@ -97,7 +97,7 @@ pub mod types;
 pub use archive::{ArchiveError, ChurnReport, SnapshotArchive, TrendLine};
 pub use baseline::run_baseline;
 pub use engine::{assemble_and_run_parallel, run_pipeline_parallel, ParallelConfig};
-pub use incremental::{run_pipeline_incremental, IncrementalPipeline, InputDelta};
+pub use incremental::{run_pipeline_incremental, IncrementalPipeline, InputDelta, PublishDirty};
 pub use input::InferenceInput;
 pub use intern::{AddrId, AsnId, Intern, InternTables};
 pub use metrics::{score, Metrics};

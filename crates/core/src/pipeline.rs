@@ -308,9 +308,8 @@ pub fn run_pipeline(input: &InferenceInput<'_>, cfg: &PipelineConfig) -> Pipelin
     let n3 = ledger.len() - n1;
 
     // Step 4: multi-IXP routers.
-    let details_map: BTreeMap<Ipv4Addr, Step3Detail> =
-        step3_details.iter().map(|d| (d.addr, *d)).collect();
-    let multi_ixp_routers = step4::apply(input, &details_map, &cfg.alias, &mut ledger);
+    let details_idx = step4::Step3Index::build(&input.interns, step3_details.iter().copied());
+    let multi_ixp_routers = step4::apply(input, &details_idx, &cfg.alias, &mut ledger);
     let n4 = ledger.len() - n1 - n3;
 
     // Step 5: private connectivity (last resort).
@@ -369,9 +368,8 @@ pub fn run_standalone_steps(
     for inf in l23.all() {
         priors.record(inf);
     }
-    let details_map: BTreeMap<Ipv4Addr, Step3Detail> =
-        details_vec.iter().map(|d| (d.addr, *d)).collect();
-    let (_, s4) = step4::classify_all(input, &details_map, &cfg.alias, &priors);
+    let details_idx = step4::Step3Index::build(&input.interns, details_vec.iter().copied());
+    let (_, s4) = step4::classify_all(input, &details_idx, &cfg.alias, &priors);
     out.insert(Step::MultiIxp, s4);
 
     let s5 = step5::classify_all(input, &cfg.alias);

@@ -57,10 +57,10 @@
 //! exactly that, across random worlds × epoch partitions × thread
 //! counts.
 
-use crate::engine::ParallelConfig;
-use crate::incremental::{DirtyCounts, IncrementalPipeline, InputDelta};
+use crate::engine::{map_indexed, shard_ranges, ParallelConfig};
+use crate::incremental::{DirtyCounts, IncrementalPipeline, InputDelta, PublishDirty};
 use crate::input::InferenceInput;
-use crate::intern::{AsnId, InternTables};
+use crate::intern::InternTables;
 use crate::pipeline::{PipelineConfig, PipelineResult, StepCounts};
 use crate::steps::step2::RttObservation;
 use crate::steps::step3::Step3Detail;
@@ -68,10 +68,11 @@ use crate::steps::step4::MultiIxpFinding;
 use crate::types::{Step, Verdict};
 use opeer_net::Asn;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
 
 /// Largest batch [`Snapshot::query`] accepts.
 pub const MAX_BATCH: usize = 4096;
@@ -180,6 +181,64 @@ pub struct IxpRollup {
     pub counts: StepCounts,
     /// `remote / (local + remote)`; 0 when nothing was inferred.
     pub remote_share: f64,
+}
+
+/// An indexable, iterable view over a snapshot's per-IXP rollup
+/// partitions ([`Snapshot::ixp_rollups`]). Behaves like the
+/// `&[IxpRollup]` slice it replaced — `len`/`get`/indexing/iteration —
+/// over rollups that now live behind individually shared `Arc`s.
+#[derive(Clone, Copy)]
+pub struct IxpRollups<'a>(&'a [Arc<IxpRollup>]);
+
+impl<'a> IxpRollups<'a> {
+    /// Number of observed IXPs.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no IXPs were observed.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The rollup for one IXP index, if in range.
+    pub fn get(&self, ixp: usize) -> Option<&'a IxpRollup> {
+        self.0.get(ixp).map(|r| &**r)
+    }
+
+    /// Iterates the rollups in IXP-index order.
+    pub fn iter(&self) -> <IxpRollups<'a> as IntoIterator>::IntoIter {
+        (*self).into_iter()
+    }
+}
+
+impl<'a> IntoIterator for IxpRollups<'a> {
+    type Item = &'a IxpRollup;
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, Arc<IxpRollup>>,
+        fn(&'a Arc<IxpRollup>) -> &'a IxpRollup,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().map(|r| &**r)
+    }
+}
+
+impl<'a> IntoIterator for &IxpRollups<'a> {
+    type Item = &'a IxpRollup;
+    type IntoIter = <IxpRollups<'a> as IntoIterator>::IntoIter;
+
+    fn into_iter(self) -> Self::IntoIter {
+        (*self).into_iter()
+    }
+}
+
+impl std::ops::Index<usize> for IxpRollups<'_> {
+    type Output = IxpRollup;
+
+    fn index(&self, ixp: usize) -> &IxpRollup {
+        &self.0[ixp]
+    }
 }
 
 /// The answer to an IXP report query.
@@ -294,46 +353,256 @@ pub enum QueryResponse {
 // snapshot
 // ---------------------------------------------------------------------
 
-/// A CSR (compressed sparse row) index over dense [`AsnId`]s: for ASN
-/// id `a`, `slots[offsets[a]..offsets[a+1]]` are row indices into some
-/// result vector, in that vector's iteration order. Flat arrays — one
-/// binary search on the interner, then a contiguous slice — replace the
-/// seed's `BTreeMap<Asn, Vec<usize>>` per-key allocations.
-#[derive(Debug, Clone, Default)]
-struct AsnCsr {
-    offsets: Vec<u32>,
-    slots: Vec<u32>,
+/// ASN ids per per-ASN report segment: the granularity of per-ASN partition
+/// sharing. Small enough that one dirty member invalidates only its
+/// 64-id neighbourhood, large enough that segment headers stay noise
+/// next to the records they hold. Public so the sharing tests can map
+/// a dirty ASN to the segment it must have invalidated.
+pub const SEGMENT_WIDTH: usize = 64;
+
+/// The registry-derived partition: the dense-id tables plus the per-ASN
+/// colocation rows. A pure function of the fused registry view, so
+/// delta publishes share it untouched epoch after epoch until a
+/// registry revision forces a full rebuild.
+#[derive(Debug, PartialEq)]
+struct RegistryPart {
+    /// The dense-id tables of the input this snapshot was published
+    /// from (cloned — the snapshot outlives the write side's epoch).
+    interns: InternTables,
+    /// ASN id → colocation facility indices (fused registry view).
+    colo: Vec<Vec<usize>>,
 }
 
-impl AsnCsr {
-    /// Builds the index with a counting sort: one pass to size each
-    /// row, one to fill, preserving the input's iteration order within
-    /// every row. Items without an interned ASN are skipped (they can
-    /// never be queried — queries key on observed member ASNs).
-    fn build(n_asns: usize, items: impl Iterator<Item = Option<AsnId>> + Clone) -> AsnCsr {
-        let mut offsets = vec![0u32; n_asns + 1];
-        for id in items.clone().flatten() {
-            offsets[id.0 as usize + 1] += 1;
+/// The merged-result partition: the retained [`PipelineResult`] plus
+/// the address-keyed side index and the overall share. The result
+/// vectors are position-dependent (one changed record shifts every
+/// index after it), so this partition cannot be split further — it is
+/// rebuilt whenever the epoch changed *any* merged record and shared
+/// wholesale when the epoch changed nothing.
+#[derive(Debug, PartialEq)]
+struct CorePart {
+    result: PipelineResult,
+    /// `(addr, index into result.unclassified)`, sorted by address (the
+    /// residual scan emits (ixp, addr) order, so it needs this index;
+    /// `inferences`/`step3_details` do not).
+    unclassified_by_addr: Vec<(Ipv4Addr, u32)>,
+    /// Overall `remote / inferred` share.
+    remote_share: f64,
+}
+
+impl CorePart {
+    fn build(result: PipelineResult) -> CorePart {
+        // The binary-searchable result vectors must be address-sorted;
+        // both come out of address-ordered ledger/consolidation merges.
+        debug_assert!(result.inferences.windows(2).all(|w| w[0].addr < w[1].addr));
+        debug_assert!(result
+            .step3_details
+            .windows(2)
+            .all(|w| w[0].addr < w[1].addr));
+        let mut unclassified_by_addr: Vec<(Ipv4Addr, u32)> = result
+            .unclassified
+            .iter()
+            .enumerate()
+            .map(|(idx, u)| (u.addr, idx as u32))
+            .collect();
+        // Stable by-address sort, then keep the *last* record per
+        // address — the order a map insertion pass would have kept.
+        unclassified_by_addr.sort_by_key(|&(addr, _)| addr);
+        unclassified_by_addr.reverse();
+        unclassified_by_addr.dedup_by_key(|&mut (addr, _)| addr);
+        unclassified_by_addr.reverse();
+        let remote_share = result.remote_share();
+        CorePart {
+            result,
+            unclassified_by_addr,
+            remote_share,
         }
-        for i in 1..offsets.len() {
-            offsets[i] += offsets[i - 1];
-        }
-        let mut slots = vec![0u32; *offsets.last().unwrap_or(&0) as usize];
-        let mut fill: Vec<u32> = offsets.clone();
-        for (row, id) in items.enumerate() {
-            if let Some(id) = id {
-                slots[fill[id.0 as usize] as usize] = row as u32;
-                fill[id.0 as usize] += 1;
+    }
+}
+
+/// One member interface's materialized report row. Unlike a CSR of
+/// *positions into the result vectors* — which shift globally on any
+/// result change — the rows carry their content, so a segment stays
+/// valid (and shareable across epochs) as long as its own members'
+/// records are unchanged.
+#[derive(Debug, Clone, PartialEq)]
+struct MemberRecord {
+    addr: Ipv4Addr,
+    ixp: u32,
+    verdict: Option<Verdict>,
+    step: Option<Step>,
+}
+
+/// The per-ASN report partition covering [`SEGMENT_WIDTH`] consecutive
+/// interned [`crate::intern::AsnId`]s: each row holds one member's
+/// interface records (address order) and step-4 router findings (result
+/// order). A delta publish rebuilds only the segments containing a
+/// dirty ASN and `Arc`-shares the rest.
+#[derive(Debug, Clone, PartialEq)]
+struct AsnSegment {
+    /// Interface records per ASN id in range, address-sorted.
+    records: Vec<Vec<MemberRecord>>,
+    /// Step-4 findings per ASN id in range, result order.
+    findings: Vec<Vec<MultiIxpFinding>>,
+}
+
+/// Per-IXP tallies of one result shard. Summed across shards — sums are
+/// order-independent, so any sharding merges to the same rollup.
+#[derive(Clone, Copy, Default)]
+struct RollupTally {
+    local: usize,
+    remote: usize,
+    unclassified: usize,
+    counts: StepCounts,
+}
+
+/// Builds fresh rollups for the listed IXP indices with one sharded
+/// tally pass over the result, fanned over the engine pool.
+fn build_rollups_for(
+    input: &InferenceInput<'_>,
+    result: &PipelineResult,
+    dirty: &[usize],
+    threads: usize,
+) -> Vec<Arc<IxpRollup>> {
+    let n_ixps = input.observed.ixps.len();
+    let mut pos: Vec<Option<u32>> = vec![None; n_ixps];
+    for (k, &i) in dirty.iter().enumerate() {
+        pos[i] = Some(k as u32);
+    }
+    let pos = &pos;
+    let inf_ranges = shard_ranges(result.inferences.len(), threads * 4);
+    let unc_ranges = shard_ranges(result.unclassified.len(), threads * 4);
+    let n_shards = inf_ranges.len().max(unc_ranges.len());
+    let tallies = map_indexed(n_shards, threads, |s| {
+        let mut t = vec![RollupTally::default(); dirty.len()];
+        if let Some(r) = inf_ranges.get(s) {
+            for inf in &result.inferences[r.clone()] {
+                if let Some(&Some(k)) = pos.get(inf.ixp) {
+                    let t = &mut t[k as usize];
+                    match inf.verdict {
+                        Verdict::Local => t.local += 1,
+                        Verdict::Remote => t.remote += 1,
+                    }
+                    t.counts.record(inf.step);
+                }
             }
         }
-        AsnCsr { offsets, slots }
+        if let Some(r) = unc_ranges.get(s) {
+            for u in &result.unclassified[r.clone()] {
+                if let Some(&Some(k)) = pos.get(u.ixp) {
+                    t[k as usize].unclassified += 1;
+                }
+            }
+        }
+        t
+    });
+    let mut merged = vec![RollupTally::default(); dirty.len()];
+    for shard in tallies {
+        for (m, t) in merged.iter_mut().zip(shard) {
+            m.local += t.local;
+            m.remote += t.remote;
+            m.unclassified += t.unclassified;
+            m.counts.baseline += t.counts.baseline;
+            m.counts.port_capacity += t.counts.port_capacity;
+            m.counts.rtt_colo += t.counts.rtt_colo;
+            m.counts.multi_ixp += t.counts.multi_ixp;
+            m.counts.private_links += t.counts.private_links;
+        }
     }
+    dirty
+        .iter()
+        .zip(merged)
+        .map(|(&i, t)| {
+            let inferred = t.local + t.remote;
+            Arc::new(IxpRollup {
+                ixp: i,
+                name: input.observed.ixps[i].name.clone(),
+                interfaces: input.observed.ixps[i].interfaces.len(),
+                local: t.local,
+                remote: t.remote,
+                unclassified: t.unclassified,
+                counts: t.counts,
+                remote_share: if inferred > 0 {
+                    t.remote as f64 / inferred as f64
+                } else {
+                    0.0
+                },
+            })
+        })
+        .collect()
+}
 
-    /// The row indices of one ASN id, in input iteration order.
-    fn row(&self, id: AsnId) -> &[u32] {
-        let a = id.0 as usize;
-        &self.slots[self.offsets[a] as usize..self.offsets[a + 1] as usize]
+/// Builds fresh report segments for the listed segment indices: one
+/// sequential bucketing pass over the result (preserving commit order),
+/// then per-row address sorts.
+fn build_segments_for(
+    interns: &InternTables,
+    result: &PipelineResult,
+    dirty: &[usize],
+    n_segs: usize,
+) -> Vec<Arc<AsnSegment>> {
+    let mut pos: Vec<Option<u32>> = vec![None; n_segs];
+    for (k, &s) in dirty.iter().enumerate() {
+        pos[s] = Some(k as u32);
     }
+    let mut segs: Vec<AsnSegment> = dirty
+        .iter()
+        .map(|_| AsnSegment {
+            records: vec![Vec::new(); SEGMENT_WIDTH],
+            findings: vec![Vec::new(); SEGMENT_WIDTH],
+        })
+        .collect();
+    // Items without an interned ASN are skipped — they can never be
+    // queried, since report queries key on observed member ASNs.
+    let slot = |asn: Asn| -> Option<(usize, usize)> {
+        let id = interns.asn_id(asn)?.0 as usize;
+        let k = pos[id / SEGMENT_WIDTH]?;
+        Some((k as usize, id % SEGMENT_WIDTH))
+    };
+    for inf in &result.inferences {
+        if let Some((k, row)) = slot(inf.asn) {
+            segs[k].records[row].push(MemberRecord {
+                addr: inf.addr,
+                ixp: inf.ixp as u32,
+                verdict: Some(inf.verdict),
+                step: Some(inf.step),
+            });
+        }
+    }
+    for u in &result.unclassified {
+        if let Some((k, row)) = slot(u.asn) {
+            segs[k].records[row].push(MemberRecord {
+                addr: u.addr,
+                ixp: u.ixp as u32,
+                verdict: None,
+                step: None,
+            });
+        }
+    }
+    for f in &result.multi_ixp_routers {
+        if let Some((k, row)) = slot(f.asn) {
+            segs[k].findings[row].push(f.clone());
+        }
+    }
+    for seg in &mut segs {
+        for row in &mut seg.records {
+            // Stable by-address sort: inferred records arrive address-
+            // sorted, residual records after them — the same order the
+            // CSR-rows-then-sort pass produced.
+            row.sort_by_key(|r| r.addr);
+        }
+    }
+    segs.into_iter().map(Arc::new).collect()
+}
+
+/// The contribution map is derived from the full rollup set, so it is
+/// one partition of its own: rebuilt when any rollup changed, shared
+/// otherwise.
+fn contributions_of(ixps: &[Arc<IxpRollup>]) -> BTreeMap<usize, StepCounts> {
+    ixps.iter()
+        .filter(|r| r.counts.total() > 0)
+        .map(|r| (r.ixp, r.counts))
+        .collect()
 }
 
 /// An immutable, epoch-versioned view of the pipeline output with the
@@ -345,123 +614,67 @@ impl AsnCsr {
 /// search the result vectors directly — `result.inferences` and
 /// `result.step3_details` are already address-sorted, so they *are*
 /// their own index — and the per-ASN families are CSR rows over the
-/// input's interned [`AsnId`] universe.
+/// input's interned [`crate::intern::AsnId`] universe.
 pub struct Snapshot {
     epoch: u64,
-    result: PipelineResult,
-    /// The dense-id tables of the input this snapshot was published
-    /// from (cloned — the snapshot outlives the write side's epoch).
-    interns: InternTables,
-    /// `(addr, index into result.unclassified)`, sorted by address (the
-    /// residual scan emits (ixp, addr) order, so it needs this index;
-    /// `inferences`/`step3_details` do not).
-    unclassified_by_addr: Vec<(Ipv4Addr, u32)>,
-    /// ASN id → indices into `result.inferences`, address order.
-    asn_inferred: AsnCsr,
-    /// ASN id → indices into `result.unclassified`.
-    asn_unclassified: AsnCsr,
-    /// ASN id → indices into `result.multi_ixp_routers`.
-    findings_by_asn: AsnCsr,
-    /// ASN id → colocation facility indices (fused registry view).
-    colo: Vec<Vec<usize>>,
-    /// One rollup per observed IXP.
-    ixps: Vec<IxpRollup>,
-    /// Per-IXP step contributions, computed once at publish time
-    /// (the seed rebuilt this map on every call).
-    contributions: BTreeMap<usize, StepCounts>,
-    /// Overall `remote / inferred` share.
-    remote_share: f64,
+    /// Registry-derived partition (interns + colocation rows).
+    registry: Arc<RegistryPart>,
+    /// Merged-result partition (result vectors + address side index).
+    core: Arc<CorePart>,
+    /// One rollup partition per observed IXP, individually shareable.
+    ixps: Vec<Arc<IxpRollup>>,
+    /// Report partitions over the interned ASN universe, one per
+    /// [`SEGMENT_WIDTH`] ids.
+    segments: Vec<Arc<AsnSegment>>,
+    /// Per-IXP step contributions, derived from the full rollup set at
+    /// publish time (the seed rebuilt this map on every call).
+    contributions: Arc<BTreeMap<usize, StepCounts>>,
+}
+
+/// Raw partition pointer identities of one snapshot — the sharing
+/// structure made inspectable, for gauges and the sharing proptests.
+/// Two snapshots share a partition iff the corresponding entries are
+/// equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPtrs {
+    /// The registry partition.
+    pub registry: usize,
+    /// The merged-result partition.
+    pub core: usize,
+    /// The step-contribution map partition.
+    pub contributions: usize,
+    /// The per-IXP rollup partitions, by IXP index.
+    pub ixps: Vec<usize>,
+    /// The per-ASN report segments, by segment index.
+    pub segments: Vec<usize>,
+}
+
+/// A partition identity set for **deduplicated** deep-size accounting
+/// across snapshots: partitions already counted through one snapshot
+/// are skipped when reached again through another. See
+/// [`Snapshot::retained_bytes_deduped`].
+#[derive(Debug, Default)]
+pub struct PartitionSeen(BTreeSet<usize>);
+
+impl PartitionSeen {
+    fn first(&mut self, ptr: usize) -> bool {
+        self.0.insert(ptr)
+    }
 }
 
 impl Snapshot {
-    /// Builds a snapshot (the publish-time index pass) from the
-    /// accumulated input's registry view and the retained result.
-    fn build(epoch: u64, input: &InferenceInput<'_>, result: PipelineResult) -> Snapshot {
-        // The binary-searchable result vectors must be address-sorted;
-        // both come out of address-ordered ledger/consolidation merges.
-        debug_assert!(result.inferences.windows(2).all(|w| w[0].addr < w[1].addr));
-        debug_assert!(result
-            .step3_details
-            .windows(2)
-            .all(|w| w[0].addr < w[1].addr));
-
+    /// Builds every partition from scratch (the from-scratch publish
+    /// pass — construction, registry revisions, and the non-shared
+    /// baseline the sharing tests and benches compare against).
+    pub fn build_full(
+        epoch: u64,
+        input: &InferenceInput<'_>,
+        result: PipelineResult,
+        par: &ParallelConfig,
+    ) -> Snapshot {
+        let threads = par.threads.max(1);
         let interns = input.interns.clone();
         let n_asns = interns.asns.len();
-
-        let mut ixps: Vec<IxpRollup> = input
-            .observed
-            .ixps
-            .iter()
-            .enumerate()
-            .map(|(i, ixp)| IxpRollup {
-                ixp: i,
-                name: ixp.name.clone(),
-                interfaces: ixp.interfaces.len(),
-                local: 0,
-                remote: 0,
-                unclassified: 0,
-                counts: StepCounts::default(),
-                remote_share: 0.0,
-            })
-            .collect();
-
-        for inf in &result.inferences {
-            if let Some(rollup) = ixps.get_mut(inf.ixp) {
-                match inf.verdict {
-                    Verdict::Local => rollup.local += 1,
-                    Verdict::Remote => rollup.remote += 1,
-                }
-                rollup.counts.record(inf.step);
-            }
-        }
-        let mut unclassified_by_addr: Vec<(Ipv4Addr, u32)> = result
-            .unclassified
-            .iter()
-            .enumerate()
-            .map(|(idx, u)| (u.addr, idx as u32))
-            .collect();
-        for u in &result.unclassified {
-            if let Some(rollup) = ixps.get_mut(u.ixp) {
-                rollup.unclassified += 1;
-            }
-        }
-        // Stable by-address sort, then keep the *last* record per
-        // address — the order a map insertion pass would have kept.
-        unclassified_by_addr.sort_by_key(|&(addr, _)| addr);
-        unclassified_by_addr.reverse();
-        unclassified_by_addr.dedup_by_key(|&mut (addr, _)| addr);
-        unclassified_by_addr.reverse();
-
-        for rollup in &mut ixps {
-            let inferred = rollup.local + rollup.remote;
-            if inferred > 0 {
-                rollup.remote_share = rollup.remote as f64 / inferred as f64;
-            }
-        }
-        // Per-IXP step contributions: computed once here, served by
-        // reference forever after (the seed rebuilt the map per call —
-        // once per rollup consumer, every publish).
-        let contributions = ixps
-            .iter()
-            .filter(|r| r.counts.total() > 0)
-            .map(|r| (r.ixp, r.counts))
-            .collect();
-
-        let asn_inferred = AsnCsr::build(
-            n_asns,
-            result.inferences.iter().map(|i| interns.asn_id(i.asn)),
-        );
-        let asn_unclassified = AsnCsr::build(
-            n_asns,
-            result.unclassified.iter().map(|u| interns.asn_id(u.asn)),
-        );
-        let findings_by_asn = AsnCsr::build(
-            n_asns,
-            result
-                .multi_ixp_routers
-                .iter()
-                .map(|f| interns.asn_id(f.asn)),
-        );
         // Colocation rows for the whole interned universe (dense by
         // ASN id; the fused per-AS table also covers non-members).
         let colo = interns
@@ -476,20 +689,100 @@ impl Snapshot {
                     .unwrap_or_default()
             })
             .collect();
-        let remote_share = result.remote_share();
-
+        let registry = Arc::new(RegistryPart { interns, colo });
+        let all_ixps: Vec<usize> = (0..input.observed.ixps.len()).collect();
+        let ixps = build_rollups_for(input, &result, &all_ixps, threads);
+        let n_segs = n_asns.div_ceil(SEGMENT_WIDTH);
+        let all_segs: Vec<usize> = (0..n_segs).collect();
+        let segments = build_segments_for(&registry.interns, &result, &all_segs, n_segs);
+        let contributions = Arc::new(contributions_of(&ixps));
+        let core = Arc::new(CorePart::build(result));
         Snapshot {
             epoch,
-            result,
-            interns,
-            unclassified_by_addr,
-            asn_inferred,
-            asn_unclassified,
-            findings_by_asn,
-            colo,
+            registry,
+            core,
             ixps,
+            segments,
             contributions,
-            remote_share,
+        }
+    }
+
+    /// Publishes by *delta* against the previous snapshot: partitions
+    /// the epoch's [`PublishDirty`] sets cannot have touched are shared
+    /// by `Arc` clone, and only the dirty per-IXP rollups / per-ASN
+    /// segments are rebuilt (fanned over the engine pool). A clean
+    /// epoch shares everything — including the result vectors — so its
+    /// publish cost is a handful of refcount bumps regardless of world
+    /// size. The answers are byte-identical to [`Snapshot::build_full`]
+    /// over the same result: `tests/snapshot_sharing.rs` pins that.
+    pub fn build_delta(
+        epoch: u64,
+        input: &InferenceInput<'_>,
+        result: &PipelineResult,
+        prev: &Snapshot,
+        publish: &PublishDirty,
+        par: &ParallelConfig,
+    ) -> Snapshot {
+        if publish.is_clean() {
+            return Snapshot {
+                epoch,
+                registry: Arc::clone(&prev.registry),
+                core: Arc::clone(&prev.core),
+                ixps: prev.ixps.clone(),
+                segments: prev.segments.clone(),
+                contributions: Arc::clone(&prev.contributions),
+            };
+        }
+        if publish.full {
+            return Snapshot::build_full(epoch, input, result.clone(), par);
+        }
+        let threads = par.threads.max(1);
+        let registry = Arc::clone(&prev.registry);
+        let dirty_ixps: Vec<usize> = publish
+            .ixps
+            .iter()
+            .copied()
+            .filter(|&i| i < prev.ixps.len())
+            .collect();
+        let mut ixps = prev.ixps.clone();
+        for (&i, rollup) in
+            dirty_ixps
+                .iter()
+                .zip(build_rollups_for(input, result, &dirty_ixps, threads))
+        {
+            ixps[i] = rollup;
+        }
+        let n_segs = prev.segments.len();
+        let dirty_segs: Vec<usize> = publish
+            .asns
+            .iter()
+            .filter_map(|&asn| registry.interns.asn_id(asn))
+            .map(|id| id.0 as usize / SEGMENT_WIDTH)
+            .collect::<BTreeSet<usize>>()
+            .into_iter()
+            .collect();
+        let mut segments = prev.segments.clone();
+        for (&s, seg) in dirty_segs.iter().zip(build_segments_for(
+            &registry.interns,
+            result,
+            &dirty_segs,
+            n_segs,
+        )) {
+            segments[s] = seg;
+        }
+        let contributions = if dirty_ixps.is_empty() {
+            Arc::clone(&prev.contributions)
+        } else {
+            Arc::new(contributions_of(&ixps))
+        };
+        let core = Arc::new(CorePart::build(result.clone()));
+        Snapshot {
+            epoch,
+            registry,
+            core,
+            ixps,
+            segments,
+            contributions,
         }
     }
 
@@ -504,7 +797,7 @@ impl Snapshot {
     /// record. Point and report queries should use the typed methods,
     /// which hit the indexes instead.
     pub fn result(&self) -> &PipelineResult {
-        &self.result
+        &self.core.result
     }
 
     /// Number of observed IXPs.
@@ -514,12 +807,13 @@ impl Snapshot {
 
     /// Overall fraction of inferred interfaces classified remote.
     pub fn remote_share(&self) -> f64 {
-        self.remote_share
+        self.core.remote_share
     }
 
-    /// Every observed IXP's precomputed rollup, by IXP index.
-    pub fn ixp_rollups(&self) -> &[IxpRollup] {
-        &self.ixps
+    /// Every observed IXP's precomputed rollup, as an indexable view
+    /// over the per-IXP partitions.
+    pub fn ixp_rollups(&self) -> IxpRollups<'_> {
+        IxpRollups(&self.ixps)
     }
 
     /// Per-IXP step-contribution counts (Fig. 10a), computed once at
@@ -559,7 +853,8 @@ impl Snapshot {
     /// Index into `result.inferences` for an address — the inference
     /// vector is address-sorted, so it is its own index.
     fn inference_idx(&self, addr: Ipv4Addr) -> Option<usize> {
-        self.result
+        self.core
+            .result
             .inferences
             .binary_search_by(|i| i.addr.cmp(&addr))
             .ok()
@@ -568,16 +863,17 @@ impl Snapshot {
     /// Index into `result.unclassified` for an address, via the sorted
     /// side index.
     fn unclassified_idx(&self, addr: Ipv4Addr) -> Option<usize> {
-        self.unclassified_by_addr
+        self.core
+            .unclassified_by_addr
             .binary_search_by(|&(a, _)| a.cmp(&addr))
             .ok()
-            .map(|pos| self.unclassified_by_addr[pos].1 as usize)
+            .map(|pos| self.core.unclassified_by_addr[pos].1 as usize)
     }
 
     /// The verdict entry for an address regardless of IXP, if observed.
     fn answer_for_addr(&self, addr: Ipv4Addr) -> Option<VerdictAnswer> {
         if let Some(idx) = self.inference_idx(addr) {
-            let inf = &self.result.inferences[idx];
+            let inf = &self.core.result.inferences[idx];
             return Some(VerdictAnswer {
                 epoch: self.epoch,
                 addr: inf.addr,
@@ -588,7 +884,7 @@ impl Snapshot {
             });
         }
         let idx = self.unclassified_idx(addr)?;
-        let u = &self.result.unclassified[idx];
+        let u = &self.core.result.unclassified[idx];
         Some(VerdictAnswer {
             epoch: self.epoch,
             addr: u.addr,
@@ -603,50 +899,44 @@ impl Snapshot {
     /// verdict, plus tallies. O(k) in the member's interface count.
     pub fn asn_report(&self, asn: Asn) -> Result<AsnReport, ServiceError> {
         let id = self
+            .registry
             .interns
             .asn_id(asn)
-            .ok_or(ServiceError::UnknownAsn { asn })?;
-        let (inferred, unclassified_rows) =
-            (self.asn_inferred.row(id), self.asn_unclassified.row(id));
-        if inferred.is_empty() && unclassified_rows.is_empty() {
+            .ok_or(ServiceError::UnknownAsn { asn })?
+            .0 as usize;
+        let records = &self.segments[id / SEGMENT_WIDTH].records[id % SEGMENT_WIDTH];
+        if records.is_empty() {
             // Interned (a member somewhere in the registry universe)
             // but without a single interface record in this result —
             // the same `UnknownAsn` the map-keyed index answered.
             return Err(ServiceError::UnknownAsn { asn });
         }
-        let mut interfaces: Vec<VerdictAnswer> =
-            Vec::with_capacity(inferred.len() + unclassified_rows.len());
+        // The segment rows are materialized position-independent (no
+        // epoch, no ASN): the answers are stamped here, so a partition
+        // shared across epochs still reports each reader's own epoch.
         let mut counts = StepCounts::default();
-        let (mut local, mut remote) = (0, 0);
-        for &idx in inferred {
-            let inf = &self.result.inferences[idx as usize];
-            match inf.verdict {
-                Verdict::Local => local += 1,
-                Verdict::Remote => remote += 1,
-            }
-            counts.record(inf.step);
-            interfaces.push(VerdictAnswer {
-                epoch: self.epoch,
-                addr: inf.addr,
-                ixp: inf.ixp,
-                asn: inf.asn,
-                verdict: Some(inf.verdict),
-                step: Some(inf.step),
-            });
-        }
-        for &idx in unclassified_rows {
-            let u = &self.result.unclassified[idx as usize];
-            interfaces.push(VerdictAnswer {
-                epoch: self.epoch,
-                addr: u.addr,
-                ixp: u.ixp,
-                asn: u.asn,
-                verdict: None,
-                step: None,
-            });
-        }
-        let unclassified = unclassified_rows.len();
-        interfaces.sort_by_key(|a| a.addr);
+        let (mut local, mut remote, mut unclassified) = (0, 0, 0);
+        let interfaces: Vec<VerdictAnswer> = records
+            .iter()
+            .map(|r| {
+                match r.verdict {
+                    Some(Verdict::Local) => local += 1,
+                    Some(Verdict::Remote) => remote += 1,
+                    None => unclassified += 1,
+                }
+                if let Some(step) = r.step {
+                    counts.record(step);
+                }
+                VerdictAnswer {
+                    epoch: self.epoch,
+                    addr: r.addr,
+                    ixp: r.ixp as usize,
+                    asn,
+                    verdict: r.verdict,
+                    step: r.step,
+                }
+            })
+            .collect();
         let mut ixps: Vec<usize> = interfaces.iter().map(|a| a.ixp).collect();
         ixps.sort_unstable();
         ixps.dedup();
@@ -671,7 +961,7 @@ impl Snapshot {
         })?;
         Ok(IxpReport {
             epoch: self.epoch,
-            rollup: rollup.clone(),
+            rollup: IxpRollup::clone(rollup),
         })
     }
 
@@ -689,24 +979,27 @@ impl Snapshot {
             })?;
         let evidence = self
             .inference_idx(iface)
-            .map(|idx| self.result.inferences[idx].evidence.clone());
-        let observation = self.result.observations.get(&iface).copied();
+            .map(|idx| self.core.result.inferences[idx].evidence.clone());
+        let observation = self.core.result.observations.get(&iface).copied();
         let annulus = self
+            .core
             .result
             .step3_details
             .binary_search_by(|d| d.addr.cmp(&iface))
             .ok()
-            .map(|idx| self.result.step3_details[idx]);
-        let asn_id = self.interns.asn_id(base.asn);
+            .map(|idx| self.core.result.step3_details[idx]);
+        let asn_id = self
+            .registry
+            .interns
+            .asn_id(base.asn)
+            .map(|id| id.0 as usize);
         let colo_facilities = asn_id
-            .map(|id| self.colo[id.0 as usize].clone())
+            .map(|id| self.registry.colo[id].clone())
             .unwrap_or_default();
         let multi_ixp_witnesses = asn_id
             .map(|id| {
-                self.findings_by_asn
-                    .row(id)
+                self.segments[id / SEGMENT_WIDTH].findings[id % SEGMENT_WIDTH]
                     .iter()
-                    .map(|&idx| &self.result.multi_ixp_routers[idx as usize])
                     .filter(|f| f.ifaces.contains(&iface) || f.next_hop_ixps.contains(&base.ixp))
                     .cloned()
                     .collect()
@@ -727,52 +1020,159 @@ impl Snapshot {
         })
     }
 
-    /// A rough retained-heap estimate for this snapshot, in bytes:
-    /// the major result vectors, the publish-time indexes, and the
-    /// interned id tables, counted by element size (strings by their
-    /// current length). Used by the longitudinal archive's
-    /// retention accounting — an estimate, not an allocator audit.
-    pub fn approx_retained_bytes(&self) -> usize {
+    /// Deep size of this snapshot's partition graph in bytes, every
+    /// partition counted in full. Real element-size accounting
+    /// (strings and nested vectors by length) — not an allocator
+    /// audit, but a measure that moves one-for-one with what the
+    /// snapshot actually pins. For cross-snapshot accounting that
+    /// counts shared partitions once, use
+    /// [`Snapshot::retained_bytes_deduped`].
+    pub fn retained_bytes(&self) -> usize {
+        self.retained_bytes_deduped(&mut PartitionSeen::default())
+    }
+
+    /// Deep size in bytes of the partitions of this snapshot **not
+    /// already counted** through `seen`: a partition reached earlier
+    /// through another snapshot's call on the same `seen` contributes
+    /// zero, so summing over an archive yields the true footprint of
+    /// the shared partition graph rather than epochs × full size.
+    pub fn retained_bytes_deduped(&self, seen: &mut PartitionSeen) -> usize {
         use std::mem::size_of;
-        let result = &self.result;
-        let mut bytes = size_of::<Snapshot>();
-        bytes += result.inferences.capacity() * size_of::<crate::types::Inference>();
-        bytes += result
-            .inferences
-            .iter()
-            .map(|i| i.evidence.len())
-            .sum::<usize>();
-        bytes += result.unclassified.capacity() * size_of::<crate::types::Unclassified>();
-        bytes += result.observations.len()
-            * (size_of::<Ipv4Addr>() + size_of::<RttObservation>() + 4 * size_of::<usize>());
-        bytes += result.step3_details.capacity() * size_of::<Step3Detail>();
-        bytes += result.multi_ixp_routers.capacity() * size_of::<MultiIxpFinding>();
-        bytes += result
-            .multi_ixp_routers
-            .iter()
-            .map(|f| {
-                f.ifaces.capacity() * size_of::<Ipv4Addr>()
-                    + f.next_hop_ixps.len() * size_of::<usize>()
-            })
-            .sum::<usize>();
-        bytes += self.unclassified_by_addr.capacity() * size_of::<(Ipv4Addr, u32)>();
-        for csr in [
-            &self.asn_inferred,
-            &self.asn_unclassified,
-            &self.findings_by_asn,
-        ] {
-            bytes += (csr.offsets.capacity() + csr.slots.capacity()) * size_of::<u32>();
+        let mut bytes = size_of::<Snapshot>()
+            + self.ixps.capacity() * size_of::<Arc<IxpRollup>>()
+            + self.segments.capacity() * size_of::<Arc<AsnSegment>>();
+        if seen.first(Arc::as_ptr(&self.registry) as usize) {
+            let interns = &self.registry.interns;
+            bytes += size_of::<RegistryPart>();
+            bytes += size_of_val(interns.addrs.keys());
+            bytes += size_of_val(interns.asns.keys());
+            bytes += self
+                .registry
+                .colo
+                .iter()
+                .map(|row| size_of::<Vec<usize>>() + row.capacity() * size_of::<usize>())
+                .sum::<usize>();
         }
-        bytes += self
-            .colo
-            .iter()
-            .map(|row| row.capacity() * size_of::<usize>())
-            .sum::<usize>();
-        bytes += self.ixps.capacity() * size_of::<IxpRollup>();
-        bytes += self.ixps.iter().map(|r| r.name.len()).sum::<usize>();
-        bytes += size_of_val(self.interns.addrs.keys());
-        bytes += size_of_val(self.interns.asns.keys());
+        if seen.first(Arc::as_ptr(&self.core) as usize) {
+            let result = &self.core.result;
+            bytes += size_of::<CorePart>();
+            bytes += result.inferences.capacity() * size_of::<crate::types::Inference>();
+            bytes += result
+                .inferences
+                .iter()
+                .map(|i| i.evidence.len())
+                .sum::<usize>();
+            bytes += result.unclassified.capacity() * size_of::<crate::types::Unclassified>();
+            bytes += result.observations.len()
+                * (size_of::<Ipv4Addr>() + size_of::<RttObservation>() + 4 * size_of::<usize>());
+            bytes += result.step3_details.capacity() * size_of::<Step3Detail>();
+            bytes += result.multi_ixp_routers.capacity() * size_of::<MultiIxpFinding>();
+            bytes += result
+                .multi_ixp_routers
+                .iter()
+                .map(|f| {
+                    f.ifaces.capacity() * size_of::<Ipv4Addr>()
+                        + f.next_hop_ixps.len() * size_of::<usize>()
+                })
+                .sum::<usize>();
+            bytes += self.core.unclassified_by_addr.capacity() * size_of::<(Ipv4Addr, u32)>();
+        }
+        if seen.first(Arc::as_ptr(&self.contributions) as usize) {
+            bytes += self.contributions.len()
+                * (size_of::<usize>() + size_of::<StepCounts>() + 4 * size_of::<usize>());
+        }
+        for rollup in &self.ixps {
+            if seen.first(Arc::as_ptr(rollup) as usize) {
+                bytes += size_of::<IxpRollup>() + rollup.name.len();
+            }
+        }
+        for seg in &self.segments {
+            if seen.first(Arc::as_ptr(seg) as usize) {
+                bytes += size_of::<AsnSegment>();
+                bytes += seg
+                    .records
+                    .iter()
+                    .map(|row| {
+                        size_of::<Vec<MemberRecord>>() + row.capacity() * size_of::<MemberRecord>()
+                    })
+                    .sum::<usize>();
+                bytes += seg
+                    .findings
+                    .iter()
+                    .map(|row| {
+                        size_of::<Vec<MultiIxpFinding>>()
+                            + row.capacity() * size_of::<MultiIxpFinding>()
+                            + row
+                                .iter()
+                                .map(|f| {
+                                    f.ifaces.capacity() * size_of::<Ipv4Addr>()
+                                        + f.next_hop_ixps.len() * size_of::<usize>()
+                                })
+                                .sum::<usize>()
+                    })
+                    .sum::<usize>();
+            }
+        }
         bytes
+    }
+
+    /// How many of this snapshot's partitions are shared with at least
+    /// one other holder (`strong_count > 1`) versus solely owned.
+    /// Served by the gateway's `/metrics` snapshot gauges.
+    pub fn partition_counts(&self) -> (usize, usize) {
+        let (mut shared, mut owned) = (0, 0);
+        let mut tally = |n: usize| {
+            if n > 1 {
+                shared += 1;
+            } else {
+                owned += 1;
+            }
+        };
+        tally(Arc::strong_count(&self.registry));
+        tally(Arc::strong_count(&self.core));
+        tally(Arc::strong_count(&self.contributions));
+        for rollup in &self.ixps {
+            tally(Arc::strong_count(rollup));
+        }
+        for seg in &self.segments {
+            tally(Arc::strong_count(seg));
+        }
+        (shared, owned)
+    }
+
+    /// The raw partition pointer identities — equality between two
+    /// snapshots' entries means the partition is structurally shared.
+    pub fn partition_ptrs(&self) -> PartitionPtrs {
+        PartitionPtrs {
+            registry: Arc::as_ptr(&self.registry) as usize,
+            core: Arc::as_ptr(&self.core) as usize,
+            contributions: Arc::as_ptr(&self.contributions) as usize,
+            ixps: self.ixps.iter().map(|r| Arc::as_ptr(r) as usize).collect(),
+            segments: self
+                .segments
+                .iter()
+                .map(|s| Arc::as_ptr(s) as usize)
+                .collect(),
+        }
+    }
+
+    /// Structural equality over partition *contents* (epoch included),
+    /// ignoring whether partitions are shared or rebuilt — the
+    /// byte-identity check the sharing tests and the memory study run
+    /// against a non-shared [`Snapshot::build_full`] baseline.
+    pub fn content_eq(&self, other: &Snapshot) -> bool {
+        self.epoch == other.epoch
+            && *self.registry == *other.registry
+            && *self.core == *other.core
+            && *self.contributions == *other.contributions
+            && self.ixps.len() == other.ixps.len()
+            && self.ixps.iter().zip(&other.ixps).all(|(a, b)| **a == **b)
+            && self.segments.len() == other.segments.len()
+            && self
+                .segments
+                .iter()
+                .zip(&other.segments)
+                .all(|(a, b)| **a == **b)
     }
 
     /// Answers a batch of requests positionally. The batch itself is
@@ -847,6 +1247,12 @@ pub struct ApplyReport {
     pub snapshot: Arc<Snapshot>,
     /// Shard units this apply recomputed.
     pub dirty: DirtyCounts,
+    /// The exact publish-time dirty sets the delta publish rebuilt
+    /// from — which IXP rollups and ASN segments could have changed.
+    pub publish: PublishDirty,
+    /// Wall-clock milliseconds the snapshot publish took (partition
+    /// sharing + dirty rebuilds; excludes the pipeline recompute).
+    pub publish_ms: f64,
 }
 
 /// The concurrently-readable peering lookup service: an
@@ -862,10 +1268,12 @@ impl<'w> PeeringService<'w> {
     /// measurement-free base) and publishes its current state as the
     /// initial snapshot.
     pub fn new(pipeline: IncrementalPipeline<'w>) -> Self {
-        let snapshot = Arc::new(Snapshot::build(
+        let par = *pipeline.parallel();
+        let snapshot = Arc::new(Snapshot::build_full(
             pipeline.epochs_applied() as u64,
             pipeline.input(),
             pipeline.result().clone(),
+            &par,
         ));
         PeeringService {
             write: Mutex::new(pipeline),
@@ -902,7 +1310,19 @@ impl<'w> PeeringService<'w> {
         pipe.apply(delta);
         let epoch = pipe.epochs_applied() as u64;
         let dirty = pipe.last_dirty();
-        let snapshot = Arc::new(Snapshot::build(epoch, pipe.input(), pipe.result().clone()));
+        let publish = pipe.last_publish().clone();
+        let par = *pipe.parallel();
+        let prev = self.current.read().expect("snapshot slot poisoned").clone();
+        let started = Instant::now();
+        let snapshot = Arc::new(Snapshot::build_delta(
+            epoch,
+            pipe.input(),
+            pipe.result(),
+            &prev,
+            &publish,
+            &par,
+        ));
+        let publish_ms = started.elapsed().as_secs_f64() * 1e3;
         // Swap while still holding the writer mutex: concurrent apply()
         // calls cannot publish out of order.
         *self.current.write().expect("snapshot slot poisoned") = Arc::clone(&snapshot);
@@ -910,6 +1330,8 @@ impl<'w> PeeringService<'w> {
             epoch,
             snapshot,
             dirty,
+            publish,
+            publish_ms,
         }
     }
 

@@ -20,6 +20,7 @@
 //!   member's outer bound `dmax` allows (condition 3(b)), are remote.
 
 use crate::input::InferenceInput;
+use crate::intern::InternTables;
 use crate::steps::step3::Step3Detail;
 use crate::steps::Ledger;
 use crate::types::{Inference, Step, Verdict};
@@ -29,6 +30,79 @@ use opeer_traix::{member_ixp_pairs, IxpData};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
+
+/// Dense rows of step-3 annulus details over the input's interned
+/// address universe ([`crate::intern::AddrId`]), replacing the
+/// per-candidate `BTreeMap<Ipv4Addr, Step3Detail>` walks: one flat
+/// `Vec<Option<Step3Detail>>` built once per run, indexed through the
+/// interner's binary search. Classification only ever looks details up
+/// for the candidate's own LAN interfaces, and those are member
+/// interfaces — always interned — so a detail for a non-interned
+/// address (never produced by the campaign emitters) is unreachable
+/// and dropped.
+pub struct Step3Index<'a> {
+    interns: &'a InternTables,
+    rows: Vec<Option<Step3Detail>>,
+}
+
+impl<'a> Step3Index<'a> {
+    /// Builds the dense rows from per-target details (any order).
+    pub fn build(
+        interns: &'a InternTables,
+        details: impl IntoIterator<Item = Step3Detail>,
+    ) -> Step3Index<'a> {
+        let mut rows = vec![None; interns.addrs.len()];
+        for d in details {
+            if let Some(id) = interns.addr_id(d.addr) {
+                rows[id.0 as usize] = Some(d);
+            }
+        }
+        Step3Index { interns, rows }
+    }
+
+    /// The step-3 detail evaluated for one address, if any.
+    pub fn get(&self, addr: Ipv4Addr) -> Option<Step3Detail> {
+        let id = self.interns.addr_id(addr)?;
+        self.rows[id.0 as usize]
+    }
+}
+
+/// The candidate-local verdict overlay: dense rows over the candidate's
+/// own sorted address set (rank via binary search) instead of a
+/// per-candidate `BTreeMap<Ipv4Addr, Inference>` allocation. Only the
+/// verdict is overlaid — that is all [`classify`] ever read from the
+/// map's `Inference` values.
+struct LocalRows<'a> {
+    addrs: &'a [Ipv4Addr],
+    verdicts: Vec<Option<Verdict>>,
+}
+
+impl<'a> LocalRows<'a> {
+    fn new(addrs: &'a [Ipv4Addr]) -> LocalRows<'a> {
+        LocalRows {
+            addrs,
+            verdicts: vec![None; addrs.len()],
+        }
+    }
+
+    fn rank(&self, addr: Ipv4Addr) -> Option<usize> {
+        self.addrs.binary_search(&addr).ok()
+    }
+
+    fn get(&self, addr: Ipv4Addr) -> Option<Verdict> {
+        self.rank(addr).and_then(|i| self.verdicts[i])
+    }
+
+    fn known(&self, addr: Ipv4Addr) -> bool {
+        self.get(addr).is_some()
+    }
+
+    fn set(&mut self, addr: Ipv4Addr, verdict: Verdict) {
+        if let Some(i) = self.rank(addr) {
+            self.verdicts[i] = Some(verdict);
+        }
+    }
+}
 
 /// Classification of one multi-IXP router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -192,7 +266,7 @@ pub fn candidates(evidence: &Step4Evidence) -> Vec<Asn> {
 /// (those that passed the not-already-known check against `priors` and
 /// this candidate's own earlier groups); `all` holds every constructed
 /// inference (standalone / Table 4 semantics).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CandidateOutcome {
     /// Router findings of this AS, in group order.
     pub findings: Vec<MultiIxpFinding>,
@@ -213,31 +287,37 @@ pub fn classify_candidate(
     input: &InferenceInput<'_>,
     evidence: &Step4Evidence,
     asn: Asn,
-    details: &BTreeMap<Ipv4Addr, Step3Detail>,
+    details: &Step3Index<'_>,
     alias_cfg: &AliasConfig,
     priors: &Ledger,
 ) -> CandidateOutcome {
     let empty: BTreeSet<(Ipv4Addr, usize)> = BTreeSet::new();
     let pairs = evidence.as_pairs.get(&asn).unwrap_or(&empty);
-    // Same-candidate writes: earlier groups of this AS seed later ones,
-    // exactly as the sequential ledger did mid-loop.
-    let mut local: BTreeMap<Ipv4Addr, Inference> = BTreeMap::new();
     let mut outcome = CandidateOutcome {
         findings: Vec::new(),
         recorded: Vec::new(),
         all: Vec::new(),
     };
 
-    // Alias-resolve all the candidate's observed interfaces.
-    let mut addrs: BTreeSet<Ipv4Addr> = pairs.iter().map(|&(a, _)| a).collect();
-    for &(a, _) in evidence
-        .lan_ifaces
-        .get(&asn)
-        .map(Vec::as_slice)
-        .unwrap_or(&[])
-    {
-        addrs.insert(a);
-    }
+    // Alias-resolve all the candidate's observed interfaces. The sorted
+    // dedup'd vector doubles as the rank space for the candidate-local
+    // verdict overlay below (pairs come out of a BTreeSet, so the merge
+    // preserves the old set-iteration order).
+    let mut addrs: Vec<Ipv4Addr> = pairs.iter().map(|&(a, _)| a).collect();
+    addrs.extend(
+        evidence
+            .lan_ifaces
+            .get(&asn)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .map(|&(a, _)| a),
+    );
+    addrs.sort_unstable();
+    addrs.dedup();
+    // Same-candidate writes: earlier groups of this AS seed later ones,
+    // exactly as the sequential ledger did mid-loop.
+    let mut local = LocalRows::new(&addrs);
     let iface_ids: Vec<opeer_topology::IfaceId> = addrs
         .iter()
         .filter_map(|&a| input.world.iface_by_addr(a))
@@ -245,15 +325,22 @@ pub fn classify_candidate(
     let sets = resolve(input.world, &iface_ids, alias_cfg);
 
     // Group interfaces per resolved router; singletons stay alone.
-    let mut groups: BTreeMap<usize, Vec<Ipv4Addr>> = BTreeMap::new();
+    // Group ids are dense alias-set indices, so a flat row per id
+    // reproduces the old ascending-key map iteration exactly.
+    let mut groups: Vec<Vec<Ipv4Addr>> = Vec::new();
     let mut singles: Vec<Ipv4Addr> = Vec::new();
     for &a in &addrs {
         match input.world.iface_by_addr(a).and_then(|i| sets.group_of(i)) {
-            Some(g) => groups.entry(g).or_default().push(a),
+            Some(g) => {
+                if g >= groups.len() {
+                    groups.resize_with(g + 1, Vec::new);
+                }
+                groups[g].push(a);
+            }
             None => singles.push(a),
         }
     }
-    let mut all_groups: Vec<Vec<Ipv4Addr>> = groups.into_values().collect();
+    let mut all_groups: Vec<Vec<Ipv4Addr>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
     all_groups.extend(singles.into_iter().map(|a| vec![a]));
 
     for group in all_groups {
@@ -307,8 +394,8 @@ pub fn classify_candidate(
                             ),
                         };
                         outcome.all.push(inf.clone());
-                        if !priors.known(addr) && !local.contains_key(&addr) {
-                            local.insert(addr, inf.clone());
+                        if !priors.known(addr) && !local.known(addr) {
+                            local.set(addr, inf.verdict);
                             outcome.recorded.push(inf);
                         }
                     }
@@ -329,7 +416,7 @@ pub fn classify_candidate(
 /// records propagated inferences in the ledger.
 pub fn apply(
     input: &InferenceInput<'_>,
-    details: &BTreeMap<Ipv4Addr, Step3Detail>,
+    details: &Step3Index<'_>,
     alias_cfg: &AliasConfig,
     ledger: &mut Ledger,
 ) -> Vec<MultiIxpFinding> {
@@ -351,7 +438,7 @@ pub fn apply(
 /// interfaces, classified or not.
 pub fn classify_all(
     input: &InferenceInput<'_>,
-    details: &BTreeMap<Ipv4Addr, Step3Detail>,
+    details: &Step3Index<'_>,
     alias_cfg: &AliasConfig,
     priors: &Ledger,
 ) -> (Vec<MultiIxpFinding>, Vec<Inference>) {
@@ -378,28 +465,31 @@ fn classify(
     input: &InferenceInput<'_>,
     asn: Asn,
     involved: &BTreeSet<usize>,
-    details: &BTreeMap<Ipv4Addr, Step3Detail>,
+    details: &Step3Index<'_>,
     priors: &Ledger,
-    local: &BTreeMap<Ipv4Addr, Inference>,
+    local: &LocalRows<'_>,
     lan_ifaces: &BTreeMap<Asn, Vec<(Ipv4Addr, usize)>>,
 ) -> Option<(RouterClass, Vec<(usize, Verdict)>)> {
-    let verdict_of = |addr: Ipv4Addr| -> Option<Verdict> {
-        priors
-            .verdict(addr)
-            .or_else(|| local.get(&addr).map(|i| i.verdict))
-    };
+    let verdict_of =
+        |addr: Ipv4Addr| -> Option<Verdict> { priors.verdict(addr).or(local.get(addr)) };
     // Prior verdicts of this AS at the involved IXPs, with their annuli.
-    let mut prior: BTreeMap<usize, (Verdict, Option<Step3Detail>)> = BTreeMap::new();
+    // The sorted rows keep the LAST verdict written per IXP (matching the
+    // old map's insert-overwrites semantics) and iterate IXP-ascending.
+    let mut prior: Vec<(usize, (Verdict, Option<Step3Detail>))> = Vec::new();
     if let Some(lans) = lan_ifaces.get(&asn) {
         for &(addr, ixp) in lans {
             if !involved.contains(&ixp) {
                 continue;
             }
             if let Some(v) = verdict_of(addr) {
-                prior.insert(ixp, (v, details.get(&addr).copied()));
+                prior.push((ixp, (v, details.get(addr))));
             }
         }
     }
+    prior.sort_by_key(|&(ixp, _)| ixp);
+    prior.reverse();
+    prior.dedup_by_key(|&mut (ixp, _)| ixp);
+    prior.reverse();
 
     let share_facility = |a: usize, b: usize| -> bool {
         input.observed.ixps[a]
@@ -432,7 +522,7 @@ fn classify(
     };
 
     // Rule 1: local multi-IXP router.
-    if let Some((&l_ixp, _)) = prior.iter().find(|(_, (v, _))| *v == Verdict::Local) {
+    if let Some(&(l_ixp, _)) = prior.iter().find(|(_, (v, _))| *v == Verdict::Local) {
         if all_share() {
             let _ = l_ixp;
             return Some((
@@ -443,7 +533,7 @@ fn classify(
     }
 
     // Rule 2: remote multi-IXP router.
-    if let Some((&r_ixp, (_, det))) = prior.iter().find(|(_, (v, _))| *v == Verdict::Remote) {
+    if let Some(&(r_ixp, (_, det))) = prior.iter().find(|(_, (v, _))| *v == Verdict::Remote) {
         let cond_a = all_share();
         let cond_b = det.is_some_and(|d| {
             involved.iter().all(|&x| {
@@ -460,7 +550,7 @@ fn classify(
     }
 
     // Rule 3: hybrid.
-    if let Some((&l_ixp, (_, det))) = prior.iter().find(|(_, (v, _))| *v == Verdict::Local) {
+    if let Some(&(l_ixp, (_, det))) = prior.iter().find(|(_, (v, _))| *v == Verdict::Local) {
         let mut verdicts: Vec<(usize, Verdict)> = vec![(l_ixp, Verdict::Local)];
         let mut any_remote = false;
         for &x in involved {
@@ -502,8 +592,7 @@ mod tests {
         crate::steps::step1::apply(&input, &mut ledger);
         let obs = step2::consolidate(&input);
         let details_vec = step3::apply(&input, &obs, &SpeedModel::default(), &mut ledger);
-        let details: BTreeMap<Ipv4Addr, Step3Detail> =
-            details_vec.iter().map(|d| (d.addr, *d)).collect();
+        let details = Step3Index::build(&input.interns, details_vec.iter().copied());
         let before = ledger.len();
         let findings = apply(&input, &details, &AliasConfig::default(), &mut ledger);
         assert!(ledger.len() >= before);

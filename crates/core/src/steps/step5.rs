@@ -281,7 +281,6 @@ mod tests {
     use crate::steps::{step1, step2, step3, step4};
     use opeer_geo::SpeedModel;
     use opeer_topology::WorldConfig;
-    use std::collections::BTreeMap as Map;
 
     #[test]
     fn last_resort_adds_inferences_with_fair_accuracy() {
@@ -291,8 +290,7 @@ mod tests {
         step1::apply(&input, &mut ledger);
         let obs = step2::consolidate(&input);
         let details_vec = step3::apply(&input, &obs, &SpeedModel::default(), &mut ledger);
-        let details: Map<Ipv4Addr, crate::steps::step3::Step3Detail> =
-            details_vec.iter().map(|d| (d.addr, *d)).collect();
+        let details = step4::Step3Index::build(&input.interns, details_vec.iter().copied());
         step4::apply(&input, &details, &AliasConfig::default(), &mut ledger);
         let before = ledger.len();
         let added = apply(&input, &AliasConfig::default(), &mut ledger);

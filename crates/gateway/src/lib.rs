@@ -65,5 +65,5 @@ pub mod routes;
 pub mod server;
 
 pub use config::GatewayConfig;
-pub use metrics::MetricsRegistry;
+pub use metrics::{MetricsRegistry, SnapshotGauges};
 pub use server::{Gateway, GatewayControl};

@@ -212,6 +212,26 @@ pub struct RouteStats {
     pub mean_us: f64,
 }
 
+/// Structural-sharing gauges of the serving snapshot (and the attached
+/// archive, when the time-travel surface is enabled), rendered as the
+/// `snapshot` object of the `/metrics` document. Computed fresh per
+/// scrape by the dispatcher — these are point-in-time reads of the
+/// partition graph, not accumulated counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotGauges {
+    /// Snapshot epochs currently retained (the archive's length after
+    /// compaction, or 1 when only the live snapshot is held).
+    pub retained_epochs: u64,
+    /// Partitions of the newest snapshot also held by another snapshot
+    /// (structurally shared via `Arc`).
+    pub shared_partitions: u64,
+    /// Partitions the newest snapshot holds alone.
+    pub owned_partitions: u64,
+    /// Deduplicated deep size of everything retained, in bytes (each
+    /// shared partition counted once).
+    pub retained_bytes: u64,
+}
+
 /// The error taxonomy counters: framing, middleware, and routing
 /// rejections by stable kind, plus the last-resort panic bulkhead.
 #[derive(Default)]
@@ -301,9 +321,10 @@ impl MetricsRegistry {
 
     /// Renders the registry as the `/metrics` JSON document:
     /// `{epoch, snapshot_age_ms, connections, requests, errors,
-    /// taxonomy: {...}, routes: [{route, requests, errors, p50_us,
-    /// p99_us, max_us, mean_us}, ...]}`.
-    pub fn render(&self, epoch: u64, snapshot_age: Duration) -> Value {
+    /// snapshot: {retained_epochs, shared_partitions, owned_partitions,
+    /// retained_bytes}, taxonomy: {...}, routes: [{route, requests,
+    /// errors, p50_us, p99_us, max_us, mean_us}, ...]}`.
+    pub fn render(&self, epoch: u64, snapshot_age: Duration, gauges: &SnapshotGauges) -> Value {
         let routes: Vec<Value> = self
             .route_stats()
             .into_iter()
@@ -357,6 +378,15 @@ impl MetricsRegistry {
             ),
             ("requests", Value::U64(self.total_requests())),
             ("errors", Value::U64(self.total_errors())),
+            (
+                "snapshot",
+                obj(vec![
+                    ("retained_epochs", Value::U64(gauges.retained_epochs)),
+                    ("shared_partitions", Value::U64(gauges.shared_partitions)),
+                    ("owned_partitions", Value::U64(gauges.owned_partitions)),
+                    ("retained_bytes", Value::U64(gauges.retained_bytes)),
+                ]),
+            ),
             ("taxonomy", taxonomy),
             ("routes", Value::Array(routes)),
         ])
@@ -394,7 +424,13 @@ mod tests {
         assert_eq!(m.total_errors(), 1);
         assert_eq!(m.panics(), 0);
 
-        let doc = m.render(7, Duration::from_millis(120));
+        let gauges = SnapshotGauges {
+            retained_epochs: 4,
+            shared_partitions: 9,
+            owned_partitions: 2,
+            retained_bytes: 123_456,
+        };
+        let doc = m.render(7, Duration::from_millis(120), &gauges);
         let json = serde_json::to_string(&doc).expect("metrics serialize");
         assert!(json.contains("\"epoch\": 7") || json.contains("\"epoch\":7"));
         let back: Value = serde_json::from_str(&json).expect("metrics reparse");
@@ -405,6 +441,13 @@ mod tests {
             }
             other => panic!("metrics document is not an object: {other:?}"),
         }
+        // The structural-sharing gauges land under `snapshot`, finite
+        // and as written.
+        let snap = &doc["snapshot"];
+        assert_eq!(snap["retained_epochs"].as_u64(), Some(4));
+        assert_eq!(snap["shared_partitions"].as_u64(), Some(9));
+        assert_eq!(snap["owned_partitions"].as_u64(), Some(2));
+        assert_eq!(snap["retained_bytes"].as_u64(), Some(123_456));
     }
 
     #[test]

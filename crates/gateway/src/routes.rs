@@ -21,7 +21,7 @@
 //! a garbage epoch value the usual `400 bad_param` — never a `500`.
 
 use crate::http::Request;
-use crate::metrics::{MetricsRegistry, Route};
+use crate::metrics::{MetricsRegistry, Route, SnapshotGauges};
 use opeer_core::archive::{ArchiveError, SnapshotArchive};
 use opeer_core::service::{QueryRequest, ServiceError, Snapshot};
 use serde::{Serialize, Value};
@@ -154,6 +154,26 @@ fn archive_error(err: ArchiveError) -> Outcome {
     }
 }
 
+/// Point-in-time structural-sharing gauges for the `/metrics`
+/// `snapshot` object: archive-wide retained size and the newest
+/// snapshot's shared/owned partition split when the time-travel
+/// surface is attached, the live snapshot alone otherwise.
+fn snapshot_gauges(
+    snapshot: &Snapshot,
+    archive: Option<&SnapshotArchive<'_, '_>>,
+) -> SnapshotGauges {
+    let (retained_epochs, retained_bytes, (shared, owned)) = match archive {
+        Some(a) => (a.len(), a.retained_bytes(), a.partition_counts()),
+        None => (1, snapshot.retained_bytes(), snapshot.partition_counts()),
+    };
+    SnapshotGauges {
+        retained_epochs: retained_epochs as u64,
+        shared_partitions: shared as u64,
+        owned_partitions: owned as u64,
+        retained_bytes: retained_bytes as u64,
+    }
+}
+
 /// Bumps the taxonomy counter matching an outcome's kind.
 fn record_taxonomy(metrics: &MetricsRegistry, outcome: &Outcome) {
     let t = &metrics.taxonomy;
@@ -188,7 +208,10 @@ pub fn dispatch(
         ("GET", Route::Trend) => trend(request, archive),
         ("GET", Route::Churn) => churn(request, archive),
         ("GET", Route::Healthz) => healthz(snapshot, snapshot_age),
-        ("GET", Route::Metrics) => serialize_ok(&metrics.render(snapshot.epoch(), snapshot_age)),
+        ("GET", Route::Metrics) => {
+            let gauges = snapshot_gauges(snapshot, archive);
+            serialize_ok(&metrics.render(snapshot.epoch(), snapshot_age, &gauges))
+        }
         (_, Route::Other) => error(404, "not_found", format!("no route `{}`", request.path)),
         (method, _) => error(
             405,

@@ -212,6 +212,19 @@ fn split_writes_pipelining_and_early_close() {
         assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
         let metrics_doc: Value = serde_json::from_slice(&second.body).expect("metrics JSON");
         assert!(metrics_doc.get("routes").is_some());
+        // The structural-sharing snapshot gauges are present and
+        // finite: a live gateway retains at least one epoch, its
+        // snapshot holds at least one partition, and those partitions
+        // weigh something.
+        let snap = metrics_doc.get("snapshot").expect("snapshot gauges");
+        let gauge = |k: &str| {
+            snap.get(k)
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| panic!("gauge {k} missing or not a finite count"))
+        };
+        assert!(gauge("retained_epochs") >= 1);
+        assert!(gauge("shared_partitions") + gauge("owned_partitions") >= 1);
+        assert!(gauge("retained_bytes") > 0);
 
         // A client that connects and vanishes mid-request burns
         // nothing but its own connection.

@@ -109,8 +109,8 @@ fn main() {
         println!("  epoch {:<2} dirty={}", rec.epoch, rec.dirty.total());
     }
     println!(
-        "~{} bytes retained across {} epochs",
-        archive.retained_bytes_estimate(),
+        "~{} bytes retained across {} epochs (shared partitions counted once)",
+        archive.retained_bytes(),
         archive.len()
     );
 

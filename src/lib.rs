@@ -70,8 +70,9 @@ pub use opeer_traix as traix;
 pub mod prelude {
     // --- the serving layer (the primary public surface) ---
     pub use opeer_core::service::{
-        AsnReport, Explanation, InputGuard, IxpReport, IxpRollup, PeeringService, QueryRequest,
-        QueryResponse, ServiceError, Snapshot, VerdictAnswer, MAX_BATCH,
+        ApplyReport, AsnReport, Explanation, InputGuard, IxpReport, IxpRollup, PartitionPtrs,
+        PartitionSeen, PeeringService, QueryRequest, QueryResponse, ServiceError, Snapshot,
+        VerdictAnswer, MAX_BATCH,
     };
     // --- the longitudinal archive on top of it ---
     pub use opeer_core::archive::{ArchiveError, ChurnReport, SnapshotArchive, TrendLine};
@@ -82,7 +83,8 @@ pub mod prelude {
         assemble_and_run_parallel, run_pipeline_parallel, ParallelConfig,
     };
     pub use opeer_core::incremental::{
-        run_pipeline_incremental, DirtyCounts, IncrementalPipeline, InputDelta, ShardTotals,
+        run_pipeline_incremental, DirtyCounts, IncrementalPipeline, InputDelta, PublishDirty,
+        ShardTotals,
     };
     pub use opeer_core::pipeline::{
         run_pipeline, ConfigError, PipelineConfig, PipelineConfigBuilder, PipelineResult,

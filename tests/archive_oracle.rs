@@ -218,6 +218,96 @@ proptest! {
     }
 }
 
+/// The eviction leg of the oracle: a retention-capped archive must
+/// (a) keep every epoch in its live window byte-identical to an
+/// uncapped twin replaying the same deltas, (b) answer evicted epochs
+/// with the typed `NotArchived` rejection (with accurate bounds), and
+/// (c) lose nothing irrecoverably — an evicted epoch re-derived by the
+/// documented path (replaying its [`monthly_deltas`] prefix through a
+/// fresh pipeline) is byte-identical, partition for partition, to what
+/// the uncapped twin retained. The dirty log must stay complete across
+/// evictions.
+#[test]
+fn evicted_epochs_rederive_byte_identical_by_replay() {
+    let seed = 42;
+    let world = WorldConfig::small(seed).generate();
+    let cfg = PipelineConfig::default();
+    let par = ParallelConfig::new(2);
+    let months = 0..=4u32;
+
+    // A retention-capped archive and an uncapped twin replay the same
+    // deterministic monthly stream.
+    let capped_service =
+        PeeringService::build(InferenceInput::assemble_base(&world, seed), &cfg, &par);
+    let capped = SnapshotArchive::attach_with_retention(&capped_service, Some(2));
+    let uncapped_service =
+        PeeringService::build(InferenceInput::assemble_base(&world, seed), &cfg, &par);
+    let uncapped = SnapshotArchive::attach(&uncapped_service);
+    for delta in monthly_deltas(&world, seed, months.clone()) {
+        capped.apply(delta);
+    }
+    for delta in monthly_deltas(&world, seed, months.clone()) {
+        uncapped.apply(delta);
+    }
+    let final_epoch = uncapped.latest_epoch().expect("replay published");
+    assert_eq!(capped.latest_epoch(), Some(final_epoch));
+    assert_eq!(capped.len(), 2, "compaction holds the cap");
+    assert_eq!(capped.retention(), Some(2));
+
+    // (a) the live window is byte-identical to the uncapped twin.
+    let first_retained = capped.first_epoch().expect("nonempty");
+    for epoch in first_retained..=final_epoch {
+        let ours = capped.at(epoch).expect("live window resolves");
+        let twins = uncapped.at(epoch).expect("uncapped retains all");
+        assert!(
+            ours.content_eq(&twins),
+            "retained epoch {epoch} diverged from the uncapped twin"
+        );
+    }
+
+    // (b) evicted epochs are typed rejections, not wrong answers.
+    for epoch in 0..first_retained {
+        match capped.at(epoch) {
+            Err(ArchiveError::NotArchived {
+                requested,
+                first,
+                latest,
+            }) => {
+                assert_eq!(requested, epoch);
+                assert_eq!(first, first_retained);
+                assert_eq!(latest, final_epoch);
+            }
+            Err(other) => panic!("evicted epoch {epoch} answered {other:?}"),
+            Ok(_) => panic!("evicted epoch {epoch} still resolves"),
+        }
+    }
+
+    // (c) re-derivation: replay the evicted epoch's prefix through a
+    // fresh pipeline and compare partition for partition.
+    let evicted = first_retained - 1;
+    let fresh_service =
+        PeeringService::build(InferenceInput::assemble_base(&world, seed), &cfg, &par);
+    for delta in monthly_deltas(&world, seed, months)
+        .into_iter()
+        .take(evicted as usize)
+    {
+        fresh_service.apply(delta);
+    }
+    let rederived = fresh_service.snapshot();
+    assert_eq!(rederived.epoch(), evicted);
+    let reference = uncapped.at(evicted).expect("uncapped retains it");
+    assert!(
+        rederived.content_eq(&reference),
+        "re-derived epoch {evicted} diverged from what eviction dropped"
+    );
+
+    // The dirty log survives eviction in full.
+    let capped_log = capped.dirty_log();
+    let uncapped_log = uncapped.dirty_log();
+    assert_eq!(capped_log.len(), uncapped_log.len(), "dirty log truncated");
+    assert_eq!(capped_log.len() as u64, final_epoch + 1);
+}
+
 /// The same oracle through the monthly evolution adapter, which
 /// exercises registry revisions (membership churn between epochs) —
 /// the path where `appeared`/`disappeared` and trend-length gaps are
