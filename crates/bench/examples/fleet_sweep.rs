@@ -1,0 +1,80 @@
+//! End-to-end sweep-fleet example: a tiny seed × knob grid with one
+//! what-if scenario, printed as confidence-banded figures.
+//!
+//! ```text
+//! cargo run --release -p opeer-bench --example fleet_sweep
+//! ```
+//!
+//! The grid below is the same shape CI's sweep-smoke step runs: two
+//! seeds crossed with two reseller rates, each cell re-run under an
+//! `AMS-IX` outage scenario — 4 baseline cells + 4 scenario cells.
+//! The report is byte-identical for any `OPEER_THREADS`, which the
+//! example asserts by running the fleet on 1 and 4 workers.
+
+use opeer_bench::{run_sweep, SweepGrid};
+use opeer_core::engine::ParallelConfig;
+
+fn main() {
+    let spec = "base=tiny;seeds=1,2;reseller=0.3,0.62;scenario=ixp-outage:AMS-IX";
+    let grid = SweepGrid::parse(spec).expect("grid spec parses");
+    eprintln!("canonical spec: {}", grid.spec);
+    eprintln!(
+        "{} knobs × {} seeds × (1 + {} scenarios) = {} cells",
+        grid.knobs.len(),
+        grid.seeds.len(),
+        grid.scenarios.len(),
+        grid.n_cells()
+    );
+
+    let t = std::time::Instant::now();
+    let report = run_sweep(&grid, &ParallelConfig::new(4)).expect("sweep runs");
+    eprintln!(
+        "fleet done in {:?} (identity={})",
+        t.elapsed(),
+        report.identity
+    );
+
+    for band in &report.bands {
+        let scenario = band.scenario.as_deref().unwrap_or("baseline");
+        println!("knob={} scenario={scenario}", band.knob);
+        println!(
+            "  remote share {:.4} in [{:.4}, {:.4}]  accuracy {:.4}  coverage {:.4}",
+            band.remote_share.mean,
+            band.remote_share.lo,
+            band.remote_share.hi,
+            band.accuracy.mean,
+            band.coverage.mean
+        );
+        if let Some(delta) = &band.share_delta {
+            println!(
+                "  scenario share delta {:+.4} in [{:+.4}, {:+.4}]",
+                delta.mean, delta.lo, delta.hi
+            );
+        }
+    }
+    for cell in report.cells.iter().filter(|c| c.shift.is_some()) {
+        let shift = cell.shift.expect("scenario cell has a shift");
+        println!(
+            "cell #{} knob={} seed={} scenario={}: Δshare {:+.4}, churn {}→R/{}→L, affected ASNs {}",
+            cell.index,
+            cell.knob,
+            cell.seed,
+            cell.scenario.as_deref().unwrap_or("?"),
+            shift.remote_share_delta,
+            shift.local_to_remote,
+            shift.remote_to_local,
+            shift.affected_asns
+        );
+    }
+
+    // The fleet contract: the scrubbed report bytes do not depend on
+    // the worker-pool width.
+    let single = run_sweep(&grid, &ParallelConfig::new(1)).expect("sweep runs on one worker");
+    assert_eq!(
+        report.stats_bytes(),
+        single.stats_bytes(),
+        "fleet report must be byte-identical across thread counts"
+    );
+    assert!(report.identity, "identity gate must hold");
+    println!("OK: report byte-identical on 1 and 4 workers, identity gate holds");
+}

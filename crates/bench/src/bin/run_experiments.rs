@@ -3,16 +3,22 @@
 //! `--epochs N`, replays the measurements through the incremental
 //! pipeline in N epoch batches, or, with `--archive-months N`, replays
 //! N monthly world revisions through the longitudinal snapshot
-//! archive, or, with `--compare-bench`, diffs two scaling reports as a
-//! regression gate.
+//! archive, or, with `--sweep GRIDSPEC`, runs the multi-world fleet
+//! over a seed × knob × scenario grid, or, with `--compare-bench`,
+//! diffs two scaling reports as a regression gate.
 //!
 //! ```text
 //! run_experiments [--scale paper|large|xlarge|small] [--seed N] [--out DIR]
 //!                 [--bench-pipeline] [--bench-samples N] [--epochs N]
 //!                 [--archive-months N]
 //!                 [--min-host-parallelism N] [--min-pipeline-speedup X]
+//! run_experiments --sweep GRIDSPEC [--out DIR]
 //! run_experiments --compare-bench OLD.json NEW.json [--tolerance X]
 //! ```
+//!
+//! Unknown and **duplicate** flags are rejected with a usage message
+//! and exit code 2 — a grid-spec typo must never silently fall through
+//! to the default experiment run.
 //!
 //! Experiment mode writes one `<id>.txt` and one `<id>.json` per
 //! experiment into the output directory and prints the text reports to
@@ -30,7 +36,7 @@
 //! archive replay (monthly world revisions retained as time-travel
 //! epochs, `--archive-months N` months of them), writes the
 //! machine-readable report to `<out>/BENCH_pipeline.json` (schema
-//! `opeer-bench-pipeline/7`, documented in the README), and **exits
+//! `opeer-bench-pipeline/9`, documented in the README), and **exits
 //! non-zero if any run is not byte-identical to its sequential
 //! reference, if any serving reader observed a non-monotonic epoch, if
 //! the gateway study's expected-status / taxonomy / zero-panic gate
@@ -78,6 +84,16 @@
 //! overrides the stream length (default 24).
 //! Bench, streaming, archive, and memory modes default to
 //! `--scale large`; experiment mode defaults to `--scale paper`.
+//!
+//! Sweep mode (`--sweep GRIDSPEC`) runs the multi-world fleet: one
+//! world per (knob, seed) cell fanned over the worker pool, optionally
+//! extended with what-if scenario cells, aggregated into mean ± 95 %
+//! confidence bands (grid-spec syntax in `opeer_bench::fleet`). Writes
+//! `<out>/BENCH_sweep.json` (schema v9's `sweep` section) and **exits
+//! non-zero unless the identity gate holds** — the first baseline cell
+//! must reproduce on a fresh re-run and the first scenario cell's
+//! delta path must equal a one-shot assemble + pipeline on the
+//! scenario world. CI's sweep-smoke step enforces this.
 
 use opeer_bench::{
     memory_gates_hold, run_all, run_archive_study, run_memory_study, run_scaling_study,
@@ -90,6 +106,7 @@ use opeer_topology::WorldConfig;
 use std::io::Write;
 use std::path::PathBuf;
 
+#[derive(Debug)]
 struct Args {
     scale: Option<String>,
     seed: u64,
@@ -99,41 +116,70 @@ struct Args {
     epochs: Option<usize>,
     archive_months: Option<u32>,
     memory_study: bool,
+    sweep: Option<String>,
     min_host_parallelism: Option<usize>,
     min_pipeline_speedup: Option<f64>,
     compare_bench: Option<(PathBuf, PathBuf)>,
     tolerance: f64,
 }
 
-fn parse_args() -> Args {
-    let mut args = Args {
-        scale: None,
-        seed: 42,
-        out: PathBuf::from("target/experiments"),
-        bench_pipeline: false,
-        bench_samples: 5,
-        epochs: None,
-        archive_months: None,
-        memory_study: false,
-        min_host_parallelism: None,
-        min_pipeline_speedup: None,
-        compare_bench: None,
-        tolerance: opeer_bench::DEFAULT_TOLERANCE,
-    };
-    let mut it = std::env::args().skip(1);
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: None,
+            seed: 42,
+            out: PathBuf::from("target/experiments"),
+            bench_pipeline: false,
+            bench_samples: 5,
+            epochs: None,
+            archive_months: None,
+            memory_study: false,
+            sweep: None,
+            min_host_parallelism: None,
+            min_pipeline_speedup: None,
+            compare_bench: None,
+            tolerance: opeer_bench::DEFAULT_TOLERANCE,
+        }
+    }
+}
+
+/// Pure argv parser. `Err("")` requests the help text (exit 0); any
+/// other `Err` is a usage error (exit 2). Unknown flags and **repeated**
+/// flags are both errors — every flag takes effect exactly once, so a
+/// later duplicate can't silently overwrite an earlier value.
+fn parse_from(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut seen: Vec<String> = Vec::new();
+    let mut it = argv.iter();
     while let Some(flag) = it.next() {
-        match flag.as_str() {
+        let flag = flag.as_str();
+        if matches!(flag, "--help" | "-h") {
+            return Err(String::new());
+        }
+        if seen.iter().any(|s| s == flag) {
+            return Err(format!("duplicate flag {flag}"));
+        }
+        seen.push(flag.to_string());
+        match flag {
             "--scale" => {
-                args.scale = Some(it.next().unwrap_or_else(|| usage("missing --scale value")))
+                args.scale = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| "missing --scale value".to_string())?,
+                )
             }
             "--seed" => {
                 args.seed = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("bad --seed value"))
+                    .ok_or_else(|| "bad --seed value".to_string())?
             }
             "--out" => {
-                args.out = PathBuf::from(it.next().unwrap_or_else(|| usage("missing --out value")))
+                args.out = PathBuf::from(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| "missing --out value".to_string())?,
+                )
             }
             "--bench-pipeline" => args.bench_pipeline = true,
             "--bench-samples" => {
@@ -141,14 +187,14 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| usage("bad --bench-samples value"))
+                    .ok_or_else(|| "bad --bench-samples value".to_string())?
             }
             "--epochs" => {
                 args.epochs = Some(
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .filter(|&n| n >= 1)
-                        .unwrap_or_else(|| usage("bad --epochs value")),
+                        .ok_or_else(|| "bad --epochs value".to_string())?,
                 )
             }
             "--archive-months" => {
@@ -156,16 +202,23 @@ fn parse_args() -> Args {
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .filter(|&n| n >= 1)
-                        .unwrap_or_else(|| usage("bad --archive-months value")),
+                        .ok_or_else(|| "bad --archive-months value".to_string())?,
                 )
             }
             "--memory-study" => args.memory_study = true,
+            "--sweep" => {
+                args.sweep = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| "missing --sweep GRIDSPEC".to_string())?,
+                )
+            }
             "--min-host-parallelism" => {
                 args.min_host_parallelism = Some(
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .filter(|&n| n >= 1)
-                        .unwrap_or_else(|| usage("bad --min-host-parallelism value")),
+                        .ok_or_else(|| "bad --min-host-parallelism value".to_string())?,
                 )
             }
             "--min-pipeline-speedup" => {
@@ -173,16 +226,18 @@ fn parse_args() -> Args {
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .filter(|&x: &f64| x.is_finite() && x > 0.0)
-                        .unwrap_or_else(|| usage("bad --min-pipeline-speedup value")),
+                        .ok_or_else(|| "bad --min-pipeline-speedup value".to_string())?,
                 )
             }
             "--compare-bench" => {
                 let old = it
                     .next()
-                    .unwrap_or_else(|| usage("missing --compare-bench OLD.json"));
+                    .cloned()
+                    .ok_or_else(|| "missing --compare-bench OLD.json".to_string())?;
                 let new = it
                     .next()
-                    .unwrap_or_else(|| usage("missing --compare-bench NEW.json"));
+                    .cloned()
+                    .ok_or_else(|| "missing --compare-bench NEW.json".to_string())?;
                 args.compare_bench = Some((PathBuf::from(old), PathBuf::from(new)));
             }
             "--tolerance" => {
@@ -190,13 +245,17 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&x: &f64| x.is_finite() && x >= 0.0)
-                    .unwrap_or_else(|| usage("bad --tolerance value"))
+                    .ok_or_else(|| "bad --tolerance value".to_string())?
             }
-            "--help" | "-h" => usage(""),
-            other => usage(&format!("unknown flag {other}")),
+            other => return Err(format!("unknown flag {other}")),
         }
     }
-    args
+    Ok(args)
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    parse_from(&argv).unwrap_or_else(|err| usage(&err))
 }
 
 fn usage(err: &str) -> ! {
@@ -208,6 +267,7 @@ fn usage(err: &str) -> ! {
                        [--bench-pipeline] [--bench-samples N] [--epochs N] \
                        [--archive-months N] [--memory-study] \
                        [--min-host-parallelism N] [--min-pipeline-speedup X]\n\
+       run_experiments --sweep GRIDSPEC [--out DIR]\n\
        run_experiments --compare-bench OLD.json NEW.json [--tolerance X]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -265,6 +325,74 @@ fn run_compare_bench(old_path: &PathBuf, new_path: &PathBuf, tolerance: f64) -> 
             std::process::exit(1);
         }
     }
+}
+
+/// Sweep mode: the multi-world fleet with confidence bands.
+fn run_sweep_mode(args: &Args, spec: &str) -> ! {
+    let grid = match opeer_bench::SweepGrid::parse(spec) {
+        Ok(grid) => grid,
+        Err(e) => usage(&format!("bad --sweep grid spec: {e}")),
+    };
+    let par = ParallelConfig::from_env();
+    eprintln!(
+        "sweep: {} knobs × {} seeds × (1 + {} scenarios) = {} cells on {} threads...",
+        grid.knobs.len(),
+        grid.seeds.len(),
+        grid.scenarios.len(),
+        grid.n_cells(),
+        par.threads
+    );
+    eprintln!("  canonical spec: {}", grid.spec);
+    let report = match opeer_bench::run_sweep(&grid, &par) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: sweep failed: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "[sweep] {} cells, {} band groups",
+        report.cells.len(),
+        report.bands.len()
+    );
+    for band in &report.bands {
+        let scenario = band.scenario.as_deref().unwrap_or("baseline");
+        println!("  knob={} scenario={scenario}", band.knob);
+        println!(
+            "    remote share {:.4} ± {:.4}  accuracy {:.4} ± {:.4}  coverage {:.4} ± {:.4}",
+            band.remote_share.mean,
+            band.remote_share.width() / 2.0,
+            band.accuracy.mean,
+            band.accuracy.width() / 2.0,
+            band.coverage.mean,
+            band.coverage.width() / 2.0,
+        );
+        if let Some(delta) = &band.share_delta {
+            println!(
+                "    share delta  {:+.4} ± {:.4}",
+                delta.mean,
+                delta.width() / 2.0
+            );
+        }
+    }
+    println!(
+        "  total {:.1} ms, mean cell {:.1} ms, identity={}",
+        report.total_wall_ms, report.mean_cell_wall_ms, report.identity
+    );
+
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    let path = args.out.join("BENCH_sweep.json");
+    let bench = opeer_bench::SweepBenchReport::new(report);
+    let json = serde_json::to_string_pretty(&bench).expect("report serialises");
+    std::fs::write(&path, json).expect("write BENCH_sweep.json");
+    println!("wrote {}", path.display());
+
+    if !bench.sweep.identity {
+        eprintln!("error: sweep identity gate failed — cell results are not reproducible");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 /// Bench mode: the engine scaling study plus the determinism gate.
@@ -586,6 +714,9 @@ fn main() {
     if let Some((old, new)) = &args.compare_bench {
         run_compare_bench(old, new, args.tolerance);
     }
+    if let Some(spec) = &args.sweep {
+        run_sweep_mode(&args, spec);
+    }
     if args.bench_pipeline {
         run_bench_pipeline(&args);
     }
@@ -638,4 +769,71 @@ fn main() {
         println!("{}", r.text);
     }
     println!("wrote {} experiments to {}", all.len(), args.out.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let args = parse_from(&[]).expect("empty argv parses");
+        assert_eq!(args.seed, 42);
+        assert_eq!(args.out, PathBuf::from("target/experiments"));
+        assert!(args.scale.is_none());
+        assert!(args.sweep.is_none());
+        assert!(!args.bench_pipeline);
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = parse_from(&argv(&["--swep", "base=tiny"])).unwrap_err();
+        assert!(err.contains("unknown flag --swep"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_value_flag_is_rejected() {
+        let err = parse_from(&argv(&["--seed", "1", "--seed", "2"])).unwrap_err();
+        assert!(err.contains("duplicate flag --seed"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_boolean_flag_is_rejected() {
+        let err = parse_from(&argv(&["--memory-study", "--memory-study"])).unwrap_err();
+        assert!(err.contains("duplicate flag --memory-study"), "{err}");
+    }
+
+    #[test]
+    fn help_is_an_empty_error() {
+        assert_eq!(parse_from(&argv(&["-h"])).unwrap_err(), "");
+        assert_eq!(
+            parse_from(&argv(&["--seed", "7", "--help"])).unwrap_err(),
+            ""
+        );
+    }
+
+    #[test]
+    fn sweep_spec_is_captured() {
+        let args = parse_from(&argv(&["--sweep", "base=tiny;seeds=1,2", "--out", "x"]))
+            .expect("sweep argv parses");
+        assert_eq!(args.sweep.as_deref(), Some("base=tiny;seeds=1,2"));
+        assert_eq!(args.out, PathBuf::from("x"));
+    }
+
+    #[test]
+    fn sweep_without_spec_is_rejected() {
+        let err = parse_from(&argv(&["--sweep"])).unwrap_err();
+        assert!(err.contains("missing --sweep"), "{err}");
+    }
+
+    #[test]
+    fn bad_numeric_values_are_rejected() {
+        assert!(parse_from(&argv(&["--seed", "x"])).is_err());
+        assert!(parse_from(&argv(&["--bench-samples", "0"])).is_err());
+        assert!(parse_from(&argv(&["--tolerance", "-1"])).is_err());
+    }
 }

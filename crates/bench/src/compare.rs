@@ -20,6 +20,11 @@
 //! costs — `full_publish_ms`, `zero_dirty_publish_ms`, and
 //! `retained_bytes_final` — are gated by the same tolerance; a
 //! schema-7 baseline simply skips the section.
+//!
+//! Schema-9 adds the `sweep` section (the multi-world fleet,
+//! `BENCH_sweep.json`). When both sides carry it, its wall-clock
+//! scalars — `total_wall_ms` and `mean_cell_wall_ms` — are gated the
+//! same way; either side lacking the section skips it.
 
 use serde_json::Value;
 
@@ -38,11 +43,16 @@ const MEMORY_METRICS: &[&str] = &[
     "retained_bytes_final",
 ];
 
+/// Scalar costs of the schema-9 `sweep` section (the fleet report),
+/// compared only when both reports carry the section.
+const SWEEP_METRICS: &[&str] = &["total_wall_ms", "mean_cell_wall_ms"];
+
 /// One regressed configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
-    /// Phase name (`assembly` / `pipeline` / `end_to_end`), or
-    /// `memory/<metric>` for a schema-8 memory-section scalar.
+    /// Phase name (`assembly` / `pipeline` / `end_to_end`),
+    /// `memory/<metric>` for a schema-8 memory-section scalar, or
+    /// `sweep/<metric>` for a schema-9 sweep-section scalar.
     pub phase: String,
     /// Thread count of the regressed point, or `None` for the
     /// sequential reference (and for memory-section scalars).
@@ -59,8 +69,8 @@ pub struct Regression {
 
 impl std::fmt::Display for Regression {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.phase.starts_with("memory/") {
-            // Memory scalars carry their unit in the metric name.
+        if self.phase.starts_with("memory/") || self.phase.starts_with("sweep/") {
+            // Section scalars carry their unit in the metric name.
             return write!(
                 f,
                 "{}: {:.3} -> {:.3} ({:+.1} %)",
@@ -180,11 +190,18 @@ fn compare_phase(
     compared
 }
 
-/// Compares the schema-8 `memory` section's scalar costs when both
-/// sides carry them. Returns how many metrics overlapped.
-fn compare_memory(old: &Value, new: &Value, tolerance: f64, out: &mut Vec<Regression>) -> usize {
+/// Compares a section's scalar metrics (schema-8 `memory`, schema-9
+/// `sweep`) when both sides carry them. Returns how many overlapped.
+fn compare_scalars(
+    section: &str,
+    metrics: &[&str],
+    old: &Value,
+    new: &Value,
+    tolerance: f64,
+    out: &mut Vec<Regression>,
+) -> usize {
     let mut compared = 0;
-    for &metric in MEMORY_METRICS {
+    for &metric in metrics {
         let finite = |v: &Value| v.as_f64().filter(|m| m.is_finite());
         let (Some(o), Some(n)) = (
             old.get(metric).and_then(finite),
@@ -195,7 +212,7 @@ fn compare_memory(old: &Value, new: &Value, tolerance: f64, out: &mut Vec<Regres
         compared += 1;
         if n > o * (1.0 + tolerance) {
             out.push(Regression {
-                phase: format!("memory/{metric}"),
+                phase: format!("{section}/{metric}"),
                 threads: None,
                 old_mean_ms: o,
                 new_mean_ms: n,
@@ -221,11 +238,15 @@ pub fn compare_reports(old: &Value, new: &Value, tolerance: f64) -> Result<Compa
         }
     }
     if let (Some(o), Some(n)) = (old.get("memory"), new.get("memory")) {
-        compared += compare_memory(o, n, tolerance, &mut regressions);
+        compared += compare_scalars("memory", MEMORY_METRICS, o, n, tolerance, &mut regressions);
+    }
+    if let (Some(o), Some(n)) = (old.get("sweep"), new.get("sweep")) {
+        compared += compare_scalars("sweep", SWEEP_METRICS, o, n, tolerance, &mut regressions);
     }
     if compared == 0 {
         return Err(format!(
-            "no comparable phase configurations (expected {PHASES:?} with sequential_ms/points)"
+            "no comparable phase configurations (expected {PHASES:?} with sequential_ms/points, \
+             or a shared memory/sweep section)"
         ));
     }
     Ok(Comparison {
@@ -408,6 +429,50 @@ mod tests {
     fn schema_7_baseline_without_memory_skips_the_section() {
         let old = report("opeer-bench-pipeline/7", 100.0, &[(1, 100.0)], &[]);
         let new = with_memory(report(V6, 100.0, &[(1, 100.0)], &[]), 50.0, 0.5, 1e6);
+        let c = compare_reports(&old, &new, DEFAULT_TOLERANCE).expect("comparable");
+        assert_eq!(c.compared, 6);
+        assert!(c.passed());
+    }
+
+    /// A schema-9 sweep-only fixture (`BENCH_sweep.json` shape).
+    fn sweep_report(total_ms: f64, mean_cell_ms: f64) -> Value {
+        parse(&format!(
+            r#"{{"schema": "opeer-bench-pipeline/9", "sweep": {{"total_wall_ms": {total_ms}, "mean_cell_wall_ms": {mean_cell_ms}, "identity": true}}}}"#
+        ))
+    }
+
+    #[test]
+    fn sweep_section_compares_and_gates() {
+        let old = sweep_report(1000.0, 125.0);
+        let ok = sweep_report(1100.0, 137.0);
+        let c = compare_reports(&old, &ok, DEFAULT_TOLERANCE).expect("comparable");
+        assert_eq!(c.compared, 2);
+        assert!(c.passed(), "{:?}", c.regressions);
+
+        let slow = sweep_report(1000.0, 200.0);
+        let c = compare_reports(&old, &slow, DEFAULT_TOLERANCE).expect("comparable");
+        assert!(!c.passed());
+        assert_eq!(c.regressions.len(), 1);
+        let r = &c.regressions[0];
+        assert_eq!(r.phase, "sweep/mean_cell_wall_ms");
+        assert!((r.ratio - 1.6).abs() < 1e-9);
+        assert!(r.to_string().contains("sweep/mean_cell_wall_ms"));
+        assert!(!r.to_string().contains("sequential"));
+    }
+
+    #[test]
+    fn pipeline_baseline_without_sweep_skips_the_section() {
+        // A v8 BENCH_pipeline.json gating a v9 candidate (and the sweep
+        // file showing up on one side only) must not fail the diff.
+        let old = report("opeer-bench-pipeline/8", 100.0, &[(1, 100.0)], &[]);
+        let Value::Object(members) = &mut report(V6, 100.0, &[(1, 100.0)], &[]).clone() else {
+            panic!("object fixture");
+        };
+        members.push((
+            "sweep".to_string(),
+            parse(r#"{"total_wall_ms": 5.0, "mean_cell_wall_ms": 1.0}"#),
+        ));
+        let new = Value::Object(members.clone());
         let c = compare_reports(&old, &new, DEFAULT_TOLERANCE).expect("comparable");
         assert_eq!(c.compared, 6);
         assert!(c.passed());

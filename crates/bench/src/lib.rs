@@ -49,6 +49,13 @@
 //!   archive, per-epoch publish dirty sets and deduplicated retained
 //!   bytes, with flat-ceiling, zero-dirty-speedup, and byte-identity
 //!   gates.
+//! * [`run_sweep`] / [`SweepGrid`] / [`FleetReport`] — the multi-world
+//!   sweep fleet behind `run_experiments --sweep GRIDSPEC`: seed ×
+//!   `WorldConfig`-knob grids fanned one world per shard, optional
+//!   what-if [`opeer_topology::Scenario`] cells scored incrementally
+//!   against their baselines, aggregated into mean ± 95 % confidence
+//!   bands, serialised as `BENCH_sweep.json` (the v9 `sweep` section)
+//!   with an identity gate and thread/permutation-invariant bytes.
 //! * [`compare_reports`] / [`Comparison`] — the schema-tolerant
 //!   regression diff behind `run_experiments --compare-bench`: two
 //!   `BENCH_pipeline.json` files compared phase by phase, failing on
@@ -59,6 +66,7 @@
 pub mod archive;
 pub mod compare;
 pub mod experiments;
+pub mod fleet;
 pub mod gateway;
 pub mod memory;
 pub mod scaling;
@@ -69,6 +77,10 @@ pub mod streaming;
 pub use archive::{run_archive_study, ArchiveReport, MonthCost, DEFAULT_ARCHIVE_MONTHS};
 pub use compare::{compare_reports, Comparison, Regression, DEFAULT_TOLERANCE};
 pub use experiments::{run_all, Rendered};
+pub use fleet::{
+    run_sweep, Band, BandGroup, CellReport, CellStats, FleetReport, KnobPoint, SweepBenchReport,
+    SweepGrid, FLEET_SCHEMA,
+};
 pub use gateway::{run_gateway_study, GatewayPoint, GatewayReport, DEFAULT_CONNECTION_SWEEP};
 pub use memory::{
     memory_gates_hold, run_memory_study, MemoryEpoch, MemoryReport, DEFAULT_MEMORY_EPOCHS,

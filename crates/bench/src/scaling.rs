@@ -5,7 +5,7 @@
 //! wire-level gateway load study, the longitudinal archive replay, and
 //! the structural-sharing memory study, with byte-identity checks and
 //! a machine-readable report (`BENCH_pipeline.json`, schema
-//! `opeer-bench-pipeline/8`).
+//! `opeer-bench-pipeline/9`).
 //!
 //! Used by the `pipeline_scaling` / `assembly_scaling` criterion
 //! benches and by `run_experiments --bench-pipeline` (which is what
@@ -81,6 +81,11 @@ impl PhaseScaling {
             .map(|p| p.speedup)
     }
 }
+
+/// BENCH schema tag shared by every report this crate writes
+/// (`BENCH_pipeline.json`, `BENCH_sweep.json`). v9 added the optional
+/// `sweep` section ([`crate::fleet::SweepBenchReport`]).
+pub const BENCH_SCHEMA: &str = "opeer-bench-pipeline/9";
 
 /// The full study report, serialised as `BENCH_pipeline.json`.
 #[derive(Debug, Clone, Serialize)]
@@ -352,7 +357,7 @@ pub fn run_scaling_study(
         .map(|p| p.speedup)
         .fold(0.0, f64::max);
     ScalingReport {
-        schema: "opeer-bench-pipeline/8",
+        schema: BENCH_SCHEMA,
         world: world_label.to_string(),
         seed,
         ixps: input.observed.ixps.len(),
@@ -426,7 +431,7 @@ mod tests {
         assert!(report.memory.retained_bytes_final > 0);
         let json = serde_json::to_string(&report).expect("report serialises");
         assert!(json.contains("\"schema\":"));
-        assert!(json.contains("opeer-bench-pipeline/8"));
+        assert!(json.contains("opeer-bench-pipeline/9"));
         assert!(json.contains("\"best_pipeline_speedup\":"));
         assert!(json.contains("\"assembly\":"));
         assert!(json.contains("\"end_to_end\":"));

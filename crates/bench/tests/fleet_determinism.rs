@@ -1,0 +1,170 @@
+//! Fleet determinism gates: the sweep report must be byte-identical
+//! across worker-pool widths and grid-spec permutations, the pinned
+//! 2×2×(1+1) grid must reproduce exact figures, and the band math must
+//! agree with an independent two-pass reference.
+
+use opeer_bench::{run_sweep, Band, FleetReport, SweepGrid};
+use opeer_core::engine::ParallelConfig;
+use proptest::prelude::*;
+
+/// The CI-smoke grid: 2 knobs × 2 seeds baselines + the same 4 cells
+/// under an AMS-IX outage.
+const SPEC: &str = "base=tiny;seeds=1,2;reseller=0.3,0.62;scenario=ixp-outage:AMS-IX";
+
+/// Same grid with every axis and value list permuted.
+const PERMUTED_SPEC: &str = "scenario=ixp-outage:AMS-IX;reseller=0.62,0.3;seeds=2,1;base=tiny";
+
+fn fleet(spec: &str, threads: usize) -> FleetReport {
+    let grid = SweepGrid::parse(spec).expect("grid spec parses");
+    run_sweep(&grid, &ParallelConfig::new(threads)).expect("sweep runs")
+}
+
+#[test]
+fn fleet_report_is_thread_and_permutation_invariant_and_pinned() {
+    let original = SweepGrid::parse(SPEC).expect("grid spec parses");
+    let permuted = SweepGrid::parse(PERMUTED_SPEC).expect("permuted spec parses");
+    assert_eq!(
+        original.spec, permuted.spec,
+        "permuted axes must normalise to one canonical spec"
+    );
+    assert_eq!(original.seeds, permuted.seeds);
+    assert_eq!(
+        original.knobs.iter().map(|k| &k.label).collect::<Vec<_>>(),
+        permuted.knobs.iter().map(|k| &k.label).collect::<Vec<_>>()
+    );
+    assert_eq!(original.scenarios, permuted.scenarios);
+
+    // Three full fleet runs: two pool widths on the original spec, a
+    // third width on the permuted spec (the canonical grids are equal,
+    // so one run serves both invariance claims).
+    let one = fleet(SPEC, 1);
+    let two = fleet(SPEC, 2);
+    let eight = fleet(PERMUTED_SPEC, 8);
+    assert_eq!(
+        one.stats_bytes(),
+        two.stats_bytes(),
+        "report must not depend on worker-pool width"
+    );
+    assert_eq!(
+        one.stats_bytes(),
+        eight.stats_bytes(),
+        "report must not depend on pool width or axis order"
+    );
+    assert!(one.identity, "identity gate must hold");
+    assert_eq!(one.threads, 1);
+    assert_eq!(eight.threads, 8, "threads is reported but scrubbed");
+
+    // Pinned snapshot: exact figures for the canonical grid. Cells run
+    // internally sequential and bands accumulate left-to-right, so
+    // these are bit-stable — any drift is a real behaviour change.
+    assert_eq!(
+        one.spec,
+        "base=tiny;seeds=1,2;knobs=reseller=0.3,reseller=0.62;scenario=ixp-outage:AMS-IX"
+    );
+    assert_eq!(one.seeds, vec![1, 2]);
+    assert_eq!(one.knobs, vec!["reseller=0.3", "reseller=0.62"]);
+    assert_eq!(one.scenarios, vec!["ixp-outage:AMS-IX"]);
+    assert_eq!(one.cells.len(), 8);
+    assert_eq!(one.bands.len(), 4);
+
+    let c0 = &one.cells[0];
+    assert_eq!(
+        (c0.knob.as_str(), c0.seed, c0.scenario.as_deref()),
+        ("reseller=0.3", 1, None)
+    );
+    assert_eq!(c0.stats.interfaces, 240);
+    assert_eq!(c0.stats.classified, 164);
+    assert_eq!(c0.stats.local, 103);
+    assert_eq!(c0.stats.remote, 61);
+    assert_eq!(c0.stats.remote_share, 0.3719512195121951);
+    assert_eq!(c0.stats.accuracy, 0.9634146341463414);
+
+    let c7 = &one.cells[7];
+    assert_eq!(
+        (c7.knob.as_str(), c7.seed, c7.scenario.as_deref()),
+        ("reseller=0.62", 2, Some("ixp-outage:AMS-IX"))
+    );
+    let shift = c7.shift.expect("scenario cell carries a shift");
+    assert_eq!(shift.remote_share_delta, -0.021150278293135427);
+    assert_eq!(shift.affected_asns, 20);
+
+    let b0 = &one.bands[0];
+    assert_eq!(
+        (b0.knob.as_str(), b0.scenario.as_deref()),
+        ("reseller=0.3", None)
+    );
+    assert_eq!(b0.remote_share.n, 2);
+    assert_eq!(b0.remote_share.mean, 0.35785060975609756);
+    assert_eq!(b0.remote_share.stddev, 0.01994127355480355);
+    assert_eq!(b0.accuracy.mean, 0.9504573170731707);
+    assert_eq!(b0.coverage.mean, 0.6578722002635047);
+    assert!(
+        b0.share_delta.is_none(),
+        "baseline groups have no delta band"
+    );
+
+    let b3 = &one.bands[3];
+    assert_eq!(
+        (b3.knob.as_str(), b3.scenario.as_deref()),
+        ("reseller=0.62", Some("ixp-outage:AMS-IX"))
+    );
+    assert_eq!(b3.remote_share.mean, 0.3145519077196096);
+    let delta = b3.share_delta.expect("scenario groups carry a delta band");
+    assert_eq!(delta.mean, -0.022379910462208608);
+}
+
+/// Independent two-pass reference for the band math.
+fn naive_band(samples: &[f64]) -> (f64, f64, f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().copied().sum::<f64>() / n;
+    let var = if samples.len() < 2 {
+        0.0
+    } else {
+        samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    };
+    let stddev = var.sqrt();
+    let half = 1.96 * stddev / n.sqrt();
+    (mean, stddev, mean - half, mean + half)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #[test]
+    fn band_matches_naive_reference(samples in proptest::collection::vec(-1.0e6f64..1.0e6, 1..40)) {
+        let band = Band::from_samples(&samples);
+        let (mean, stddev, lo, hi) = naive_band(&samples);
+        prop_assert_eq!(band.n, samples.len());
+        prop_assert!(close(band.mean, mean), "mean {} vs {}", band.mean, mean);
+        prop_assert!(close(band.stddev, stddev), "stddev {} vs {}", band.stddev, stddev);
+        prop_assert!(close(band.lo, lo), "lo {} vs {}", band.lo, lo);
+        prop_assert!(close(band.hi, hi), "hi {} vs {}", band.hi, hi);
+    }
+
+    #[test]
+    fn band_brackets_its_mean(samples in proptest::collection::vec(-1.0e3f64..1.0e3, 1..40)) {
+        let band = Band::from_samples(&samples);
+        prop_assert!(band.lo <= band.mean && band.mean <= band.hi);
+        prop_assert!(band.width() >= 0.0);
+        prop_assert!(band.stddev >= 0.0);
+    }
+
+    #[test]
+    fn singleton_band_has_zero_width(x in -1.0e6f64..1.0e6) {
+        let band = Band::from_samples(&[x]);
+        prop_assert_eq!(band.n, 1);
+        prop_assert_eq!(band.mean, x);
+        prop_assert_eq!(band.stddev, 0.0);
+        prop_assert_eq!(band.width(), 0.0);
+    }
+
+    #[test]
+    fn constant_samples_have_negligible_spread(x in -1.0e3f64..1.0e3, n in 2usize..20) {
+        let band = Band::from_samples(&vec![x; n]);
+        prop_assert!(close(band.mean, x), "mean {} vs {}", band.mean, x);
+        prop_assert!(band.stddev <= 1e-9 * x.abs().max(1.0));
+        prop_assert!(band.width() <= 1e-8 * x.abs().max(1.0));
+    }
+}

@@ -90,6 +90,7 @@ pub mod intern;
 pub mod metrics;
 pub mod pipeline;
 pub mod routing_impl;
+pub mod scenario;
 pub mod service;
 pub mod steps;
 pub mod types;
@@ -102,5 +103,6 @@ pub use input::InferenceInput;
 pub use intern::{AddrId, AsnId, Intern, InternTables};
 pub use metrics::{score, Metrics};
 pub use pipeline::{run_pipeline, ConfigError, PipelineConfig, PipelineResult};
+pub use scenario::{run_scenario_epoch, scenario_delta, score_shift, ScenarioShift};
 pub use service::{PeeringService, QueryRequest, QueryResponse, ServiceError, Snapshot};
 pub use types::{Inference, Step, Verdict};

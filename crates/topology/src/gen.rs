@@ -54,6 +54,69 @@ impl Default for RemoteMix {
     }
 }
 
+/// Distribution of freshly sold *physical* port capacities — the
+/// port-capacity knob of the sweep fleet. The weights pick the tier of a
+/// new physical port; the bounds clamp whatever tier was drawn, so whole
+/// worlds can be pushed toward rich (all-100GE) or lean (all-GE) port
+/// markets. Reseller virtual ports and legacy sub-`Cmin` ports are
+/// deliberately outside its reach: resellers stay rate-limited below the
+/// IXP minimum and legacy ports stay legacy, whatever the market does.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(crate = "serde")]
+pub struct PortCapacityDist {
+    /// P(local physical port = GE).
+    pub p_local_ge: f64,
+    /// P(local physical port = 10GE); the remainder is 100GE.
+    pub p_local_10ge: f64,
+    /// P(remote long-cable port = GE); the remainder is 10GE.
+    pub p_cable_ge: f64,
+    /// Lower clamp applied to tier-drawn physical capacities, Mbps.
+    pub min_physical_mbps: u32,
+    /// Upper clamp applied to tier-drawn physical capacities, Mbps.
+    pub max_physical_mbps: u32,
+}
+
+impl Default for PortCapacityDist {
+    fn default() -> Self {
+        PortCapacityDist {
+            p_local_ge: 0.55,
+            p_local_10ge: 0.35,
+            p_cable_ge: 0.70,
+            min_physical_mbps: capacity::GE,
+            max_physical_mbps: capacity::HUNDRED_GE,
+        }
+    }
+}
+
+impl PortCapacityDist {
+    /// A capacity-rich market: most physical ports 10GE or 100GE.
+    pub fn rich() -> Self {
+        PortCapacityDist {
+            p_local_ge: 0.15,
+            p_local_10ge: 0.45,
+            p_cable_ge: 0.30,
+            ..Default::default()
+        }
+    }
+
+    /// A lean market: nearly everything at the GE minimum.
+    pub fn lean() -> Self {
+        PortCapacityDist {
+            p_local_ge: 0.90,
+            p_local_10ge: 0.09,
+            p_cable_ge: 0.95,
+            ..Default::default()
+        }
+    }
+
+    /// Clamps a tier-drawn capacity into the configured bounds. `max`
+    /// wins over an inverted `min` (the builder rejects inverted bounds
+    /// up front; a hand-built struct degrades instead of panicking).
+    pub fn bound(&self, cap: u32) -> u32 {
+        cap.max(self.min_physical_mbps).min(self.max_physical_mbps)
+    }
+}
+
 /// Configuration of the world generator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorldConfig {
@@ -75,6 +138,9 @@ pub struct WorldConfig {
     pub observation_month: u32,
     /// Distance mixture of remote peers.
     pub remote_mix: RemoteMix,
+    /// Distribution (and bounds) of freshly sold physical port
+    /// capacities.
+    pub port_capacity: PortCapacityDist,
     /// P(remote peer connects via reseller | IXP allows resellers).
     pub p_reseller_given_remote: f64,
     /// P(virtual port below Cmin | reseller port).
@@ -127,6 +193,7 @@ impl Default for WorldConfig {
             timeline_months: 14,
             observation_month: 12,
             remote_mix: RemoteMix::default(),
+            port_capacity: PortCapacityDist::default(),
             p_reseller_given_remote: 0.62,
             p_submin_given_reseller: 0.60,
             p_colocated_reseller: 0.05,
@@ -892,7 +959,8 @@ impl Gen {
         } else {
             let facs = self.w.ixps[ixp.index()].facilities.clone();
             let landing = *facs.choose(&mut self.rng).expect("IXP has facilities");
-            let cap = if self.rng.gen_bool(0.7) {
+            let ports = self.cfg.port_capacity;
+            let cap = if self.rng.gen_bool(ports.p_cable_ge) {
                 capacity::GE
             } else {
                 capacity::TEN_GE
@@ -901,7 +969,7 @@ impl Gen {
                 AccessTruth::RemoteLongCable {
                     landing_facility: landing,
                 },
-                cap,
+                ports.bound(cap),
                 PortKind::Physical,
             )
         };
@@ -924,15 +992,16 @@ impl Gen {
         if self.rng.gen_bool(self.cfg.p_legacy_submin_local) {
             return (5 * capacity::FE, PortKind::LegacyPhysicalSubMin);
         }
+        let ports = self.cfg.port_capacity;
         let r: f64 = self.rng.gen();
-        let cap = if r < 0.55 {
+        let cap = if r < ports.p_local_ge {
             capacity::GE
-        } else if r < 0.90 {
+        } else if r < ports.p_local_ge + ports.p_local_10ge {
             capacity::TEN_GE
         } else {
             capacity::HUNDRED_GE
         };
-        (cap, PortKind::Physical)
+        (ports.bound(cap), PortKind::Physical)
     }
 
     /// Mints a fresh member AS homed in `city` (single-facility bias).

@@ -33,18 +33,22 @@
 //! assert!(table.entry(src).is_some());
 //! ```
 
+pub mod builder;
 pub mod cities;
 pub mod evolution;
 pub mod gen;
 pub mod ids;
 pub mod routing;
+pub mod scenario;
 pub mod spec;
 pub mod world;
 
+pub use builder::{WorldConfigBuilder, WorldConfigError};
 pub use cities::{CityRecord, Region, CITY_CATALOG};
-pub use gen::{capacity, RemoteMix, WorldConfig};
+pub use gen::{capacity, PortCapacityDist, RemoteMix, WorldConfig};
 pub use ids::{AsId, CityId, FacilityId, IfaceId, IxpId, MembershipId, RouterId};
 pub use routing::{EdgeKind, RouteKind, RouteTable, RoutingOracle, TraceHop};
+pub use scenario::Scenario;
 pub use spec::{IxpSpec, NAMED_IXPS};
 pub use world::{
     AccessTruth, AsKind, AsNode, City, Facility, IfaceKind, Interface, IpIdMode, Ixp, Membership,

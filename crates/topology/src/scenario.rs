@@ -1,0 +1,436 @@
+//! What-if scenario transforms over a generated [`World`].
+//!
+//! A [`Scenario`] is a *pure* function `World -> World`: clone the
+//! baseline, perturb the ground truth, rebuild the derived indexes.
+//! Crucially every transform preserves the measurement plane — the
+//! interface set, addresses, router IP-ID behaviour and the IXP roster
+//! are untouched — so a scenario world can also be expressed as an
+//! `InputDelta` (fresh registry snapshot + re-measured campaign/corpus)
+//! against the baseline's assembled input, and the incremental pipeline
+//! reproduces the one-shot result byte for byte (the fleet's identity
+//! gate checks exactly this).
+//!
+//! The four transforms mirror the what-if axes of ROADMAP's sweep-fleet
+//! item, in the spirit of Loye et al.'s complex-network analysis of
+//! public peering capacity:
+//!
+//! * [`Scenario::IxpOutage`] — one IXP's memberships all lapse before
+//!   the observation month (facility failure / fabric decommission).
+//! * [`Scenario::PortMigration`] — remote members of one IXP buy real
+//!   colocation: their truth flips to `Local` at the anchor facility.
+//! * [`Scenario::ResellerConsolidation`] — the biggest reseller absorbs
+//!   every competitor's customer base.
+//! * [`Scenario::CapacityScaling`] — all physical port capacities (and
+//!   the IXPs' `Cmin`) scale by a common factor.
+
+use crate::ids::{AsId, MembershipId};
+use crate::world::{AccessTruth, IfaceKind, PortKind, RouterLoc, World};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A pure world perturbation, applied per sweep cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scenario {
+    /// The named IXP suffers a fabric outage: every membership becomes
+    /// inactive at the observation month (early joiners depart, late
+    /// joiners are pushed past the window).
+    IxpOutage {
+        /// Name of the IXP (e.g. `"AMS-IX"`).
+        ixp: String,
+    },
+    /// Up to `count` remote members of the named IXP migrate onto
+    /// physical ports at the IXP's anchor facility and become local.
+    PortMigration {
+        /// Name of the IXP.
+        ixp: String,
+        /// Maximum number of members migrated (membership-index order).
+        count: usize,
+    },
+    /// The reseller with the most customers acquires every competitor:
+    /// all resold memberships move to the winner, onto the winner's own
+    /// port where it already sells and onto the acquired (former
+    /// competitor's) port elsewhere.
+    ResellerConsolidation,
+    /// Every physical port capacity — and each IXP's advertised minimum
+    /// and option list — is multiplied by `factor_permille / 1000`.
+    CapacityScaling {
+        /// Scale factor in permille (500 = halve, 2000 = double).
+        factor_permille: u32,
+    },
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl Scenario {
+    /// Stable label used in grid specs, reports and snapshot keys.
+    pub fn label(&self) -> String {
+        match self {
+            Scenario::IxpOutage { ixp } => format!("ixp-outage:{ixp}"),
+            Scenario::PortMigration { ixp, count } => {
+                format!("port-migration:{ixp}:{count}")
+            }
+            Scenario::ResellerConsolidation => "reseller-consolidation".to_string(),
+            Scenario::CapacityScaling { factor_permille } => {
+                format!("capacity-scaling:{factor_permille}")
+            }
+        }
+    }
+
+    /// Checks the scenario is meaningful for `world` (IXP names resolve,
+    /// factors are non-zero). [`Scenario::apply`] itself is total — an
+    /// unknown name degrades to a no-op — but sweeps want loud failures.
+    pub fn validate(&self, world: &World) -> Result<(), String> {
+        match self {
+            Scenario::IxpOutage { ixp } | Scenario::PortMigration { ixp, .. } => {
+                if world.ixps.iter().any(|x| x.name == *ixp) {
+                    Ok(())
+                } else {
+                    Err(format!("scenario `{self}`: no IXP named `{ixp}` in world"))
+                }
+            }
+            Scenario::ResellerConsolidation => Ok(()),
+            Scenario::CapacityScaling { factor_permille } => {
+                if *factor_permille == 0 {
+                    Err(format!("scenario `{self}`: factor must be > 0"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Applies the transform, returning a fresh world with rebuilt
+    /// indexes. The baseline is untouched.
+    pub fn apply(&self, world: &World) -> World {
+        let mut w = world.clone();
+        match self {
+            Scenario::IxpOutage { ixp } => apply_outage(&mut w, ixp),
+            Scenario::PortMigration { ixp, count } => apply_migration(&mut w, ixp, *count),
+            Scenario::ResellerConsolidation => apply_consolidation(&mut w),
+            Scenario::CapacityScaling { factor_permille } => {
+                apply_scaling(&mut w, *factor_permille)
+            }
+        }
+        w.rebuild_indexes();
+        w
+    }
+}
+
+fn ixp_index_by_name(w: &World, name: &str) -> Option<usize> {
+    w.ixps.iter().position(|x| x.name == name)
+}
+
+/// Outage: make every membership of the IXP inactive at the observation
+/// month without violating the `left > joined` consistency rule.
+fn apply_outage(w: &mut World, name: &str) {
+    let Some(ixp) = ixp_index_by_name(w, name) else {
+        return;
+    };
+    let obs = w.observation_month;
+    for m in w.memberships.iter_mut() {
+        if m.ixp.index() != ixp {
+            continue;
+        }
+        if m.joined_month < obs {
+            // Departs at the outage (or earlier, if it already had).
+            let left = m.left_month.map_or(obs, |l| l.min(obs));
+            m.left_month = Some(left.max(m.joined_month + 1));
+        } else {
+            // Joined at/after the outage month: push the join past the
+            // window so the membership never overlaps the observation.
+            m.joined_month = obs + 1;
+            m.left_month = None;
+        }
+    }
+}
+
+/// Port migration: flip up to `count` active remote members of the IXP
+/// to local physical ports at the anchor facility. Only members whose
+/// border router carries no *other* IXP LAN (so relocating the router
+/// cannot invalidate sibling memberships) are eligible.
+fn apply_migration(w: &mut World, name: &str, count: usize) {
+    let Some(ixp) = ixp_index_by_name(w, name) else {
+        return;
+    };
+    let obs = w.observation_month;
+    let anchor = w.ixps[ixp].anchor_facility;
+    let cmin = w.ixps[ixp].min_physical_capacity_mbps;
+    let mut migrated = 0usize;
+    for mid in 0..w.memberships.len() {
+        if migrated >= count {
+            break;
+        }
+        let m = &w.memberships[mid];
+        if m.ixp.index() != ixp || !m.truth.is_remote() || !m.active_at(obs) {
+            continue;
+        }
+        let router = m.router;
+        let movable = w.routers[router.index()].interfaces.iter().all(|&ifc| {
+            match w.interfaces[ifc.index()].kind {
+                IfaceKind::IxpLan { membership, .. } => membership == MembershipId(mid as u32),
+                IfaceKind::Internal => true,
+                IfaceKind::PrivatePeering { .. } => false,
+            }
+        });
+        if !movable {
+            continue;
+        }
+        let m = &mut w.memberships[mid];
+        m.truth = AccessTruth::Local { facility: anchor };
+        m.port = PortKind::Physical;
+        m.port_mbps = m.port_mbps.max(cmin);
+        w.routers[router.index()].loc = RouterLoc::Facility(anchor);
+        let owner = w.routers[router.index()].owner;
+        let facs = &mut w.ases[owner.index()].facilities;
+        if !facs.contains(&anchor) {
+            facs.push(anchor);
+        }
+        migrated += 1;
+    }
+}
+
+/// Consolidation: the reseller serving the most memberships (ties break
+/// to the lowest AS id) acquires every other reseller outright. Resold
+/// customers move onto the winner's port where it already sells at that
+/// IXP; elsewhere the winner takes over the competitor's port facility,
+/// so the customer's physical seat is unchanged and only the contract
+/// flips.
+fn apply_consolidation(w: &mut World) {
+    // Count served memberships and record, per (reseller, IXP), the port
+    // facility of the first served membership in index order.
+    let mut served: BTreeMap<AsId, usize> = BTreeMap::new();
+    let mut port_fac: BTreeMap<(AsId, usize), crate::ids::FacilityId> = BTreeMap::new();
+    for m in &w.memberships {
+        if let AccessTruth::RemoteReseller {
+            reseller,
+            reseller_port_facility,
+        } = m.truth
+        {
+            *served.entry(reseller).or_insert(0) += 1;
+            port_fac
+                .entry((reseller, m.ixp.index()))
+                .or_insert(reseller_port_facility);
+        }
+    }
+    // BTreeMap iteration is ascending by AsId, so `>` keeps the lowest
+    // id among equal counts.
+    let Some((winner, _)) = served.iter().fold(None, |best, (&r, &n)| match best {
+        Some((_, bn)) if n <= bn => best,
+        _ => Some((r, n)),
+    }) else {
+        return;
+    };
+    for m in w.memberships.iter_mut() {
+        let AccessTruth::RemoteReseller {
+            reseller,
+            reseller_port_facility,
+        } = m.truth
+        else {
+            continue;
+        };
+        if reseller == winner {
+            continue;
+        }
+        // Winner's own port where it sells at this IXP, the acquired
+        // competitor's port otherwise.
+        let fac = port_fac
+            .get(&(winner, m.ixp.index()))
+            .copied()
+            .unwrap_or(reseller_port_facility);
+        m.truth = AccessTruth::RemoteReseller {
+            reseller: winner,
+            reseller_port_facility: fac,
+        };
+        if let PortKind::VirtualReseller { ref mut reseller } = m.port {
+            *reseller = winner;
+        }
+    }
+}
+
+/// Capacity scaling: multiply by `permille/1000`, min 1 Mbps.
+fn scale_cap(cap: u32, permille: u32) -> u32 {
+    ((cap as u64 * permille as u64) / 1000).max(1) as u32
+}
+
+fn apply_scaling(w: &mut World, permille: u32) {
+    if permille == 0 {
+        return;
+    }
+    for ixp in w.ixps.iter_mut() {
+        ixp.min_physical_capacity_mbps = scale_cap(ixp.min_physical_capacity_mbps, permille);
+        for c in ixp.capacity_options_mbps.iter_mut() {
+            *c = scale_cap(*c, permille);
+        }
+    }
+    for m in w.memberships.iter_mut() {
+        match m.port {
+            PortKind::Physical | PortKind::LegacyPhysicalSubMin => {
+                m.port_mbps = scale_cap(m.port_mbps, permille);
+            }
+            // Reseller VLAN rate limits are contractual, not physical.
+            PortKind::VirtualReseller { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WorldConfig;
+
+    fn world() -> World {
+        WorldConfig::small(11).generate()
+    }
+
+    #[test]
+    fn outage_empties_ixp_and_stays_consistent() {
+        let base = world();
+        let ixp = base.ixps.iter().position(|x| x.studied).unwrap();
+        let name = base.ixps[ixp].name.clone();
+        let sc = Scenario::IxpOutage { ixp: name };
+        sc.validate(&base).unwrap();
+        let w = sc.apply(&base);
+        assert!(w.check_consistency().is_empty(), "outage world consistent");
+        let obs = w.observation_month;
+        let active = w
+            .memberships
+            .iter()
+            .filter(|m| m.ixp.index() == ixp && m.active_at(obs))
+            .count();
+        assert_eq!(active, 0, "no membership survives the outage");
+        // Baseline untouched.
+        assert!(base
+            .memberships
+            .iter()
+            .any(|m| m.ixp.index() == ixp && m.active_at(obs)));
+        // Measurement plane preserved.
+        assert_eq!(base.interfaces.len(), w.interfaces.len());
+    }
+
+    #[test]
+    fn migration_flips_remote_to_local() {
+        let base = world();
+        let obs = base.observation_month;
+        let ixp = base
+            .ixps
+            .iter()
+            .position(|x| {
+                x.studied
+                    && base.memberships.iter().any(|m| {
+                        m.ixp.index() == base.ixps.iter().position(|y| y.name == x.name).unwrap()
+                            && m.truth.is_remote()
+                            && m.active_at(obs)
+                    })
+            })
+            .unwrap();
+        let name = base.ixps[ixp].name.clone();
+        let remote_before = base
+            .memberships
+            .iter()
+            .filter(|m| m.ixp.index() == ixp && m.truth.is_remote() && m.active_at(obs))
+            .count();
+        let sc = Scenario::PortMigration {
+            ixp: name,
+            count: 3,
+        };
+        sc.validate(&base).unwrap();
+        let w = sc.apply(&base);
+        assert!(
+            w.check_consistency().is_empty(),
+            "migration world consistent"
+        );
+        let remote_after = w
+            .memberships
+            .iter()
+            .filter(|m| m.ixp.index() == ixp && m.truth.is_remote() && m.active_at(obs))
+            .count();
+        assert!(remote_after < remote_before, "some member migrated");
+        assert_eq!(base.interfaces.len(), w.interfaces.len());
+    }
+
+    #[test]
+    fn consolidation_leaves_at_most_one_grown_reseller() {
+        let base = world();
+        let count_resellers = |w: &World| {
+            let mut set = std::collections::BTreeSet::new();
+            for m in &w.memberships {
+                if let AccessTruth::RemoteReseller { reseller, .. } = m.truth {
+                    set.insert(reseller);
+                }
+            }
+            set.len()
+        };
+        let before = count_resellers(&base);
+        let w = Scenario::ResellerConsolidation.apply(&base);
+        assert!(w.check_consistency().is_empty());
+        let after = count_resellers(&w);
+        assert!(before > 1, "world must exercise the transform");
+        assert_eq!(after, 1, "acquisition leaves exactly the winner");
+    }
+
+    #[test]
+    fn capacity_scaling_scales_physical_only() {
+        let base = world();
+        let sc = Scenario::CapacityScaling {
+            factor_permille: 2000,
+        };
+        sc.validate(&base).unwrap();
+        let w = sc.apply(&base);
+        assert!(w.check_consistency().is_empty());
+        for (b, s) in base.memberships.iter().zip(&w.memberships) {
+            match b.port {
+                PortKind::VirtualReseller { .. } => assert_eq!(b.port_mbps, s.port_mbps),
+                _ => assert_eq!(b.port_mbps * 2, s.port_mbps),
+            }
+        }
+        for (b, s) in base.ixps.iter().zip(&w.ixps) {
+            assert_eq!(
+                b.min_physical_capacity_mbps * 2,
+                s.min_physical_capacity_mbps
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_unknown_ixp_and_zero_factor() {
+        let base = world();
+        assert!(Scenario::IxpOutage {
+            ixp: "NO-SUCH-IXP".into()
+        }
+        .validate(&base)
+        .is_err());
+        assert!(Scenario::CapacityScaling { factor_permille: 0 }
+            .validate(&base)
+            .is_err());
+    }
+
+    #[test]
+    fn labels_round_trip_visually() {
+        assert_eq!(
+            Scenario::IxpOutage {
+                ixp: "AMS-IX".into()
+            }
+            .label(),
+            "ixp-outage:AMS-IX"
+        );
+        assert_eq!(
+            Scenario::PortMigration {
+                ixp: "LINX".into(),
+                count: 5
+            }
+            .label(),
+            "port-migration:LINX:5"
+        );
+        assert_eq!(
+            Scenario::CapacityScaling {
+                factor_permille: 500
+            }
+            .label(),
+            "capacity-scaling:500"
+        );
+    }
+}
